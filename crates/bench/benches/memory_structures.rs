@@ -1,0 +1,80 @@
+//! Criterion benches for the L1 memory structures: cache probe streams,
+//! PSRAM partial-write/consume cycles and the k-way merge.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexagon_mem::{Dram, Psram, StrCache};
+use flexagon_sparse::{merge, Element, Fiber};
+use std::hint::black_box;
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("str_cache");
+    group.bench_function("sequential_stream_64k_elems", |bench| {
+        bench.iter(|| {
+            let mut cache = StrCache::with_defaults();
+            let mut dram = Dram::with_defaults();
+            for chunk in 0..64 {
+                cache.read_range(chunk * 1024, 1024, &mut dram);
+            }
+            black_box(cache.miss_rate())
+        });
+    });
+    group.bench_function("random_fiber_fetches", |bench| {
+        bench.iter(|| {
+            let mut cache = StrCache::with_defaults();
+            let mut dram = Dram::with_defaults();
+            let mut addr = 11u64;
+            for _ in 0..4096 {
+                addr = (addr.wrapping_mul(6364136223846793005).wrapping_add(1)) % 1_000_000;
+                cache.read_range(addr, 64, &mut dram);
+            }
+            black_box(cache.miss_rate())
+        });
+    });
+    group.finish();
+}
+
+fn bench_psram(c: &mut Criterion) {
+    c.bench_function("psram_write_consume_16k", |bench| {
+        bench.iter(|| {
+            let mut psram = Psram::with_defaults();
+            let mut dram = Dram::with_defaults();
+            for row in 0..16u32 {
+                for k in 0..4u32 {
+                    let elems: Vec<Element> =
+                        (0..256).map(|i| Element::new(i, 1.0)).collect();
+                    psram.partial_write_fiber(row, k, &elems, &mut dram);
+                }
+            }
+            let mut total = 0usize;
+            for row in 0..16u32 {
+                for k in 0..4u32 {
+                    total += psram.consume_fiber(row, k, &mut dram).len();
+                }
+            }
+            black_box(total)
+        });
+    });
+}
+
+fn bench_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kway_merge");
+    for &ways in &[4usize, 16, 64] {
+        let fibers: Vec<Fiber> = (0..ways)
+            .map(|w| {
+                Fiber::from_sorted(
+                    (0..512)
+                        .map(|i| Element::new((i * ways + w) as u32, 1.0))
+                        .collect(),
+                )
+            })
+            .collect();
+        group.bench_with_input(BenchmarkId::new("disjoint", ways), &ways, |bench, _| {
+            let views: Vec<_> = fibers.iter().map(Fiber::as_view).collect();
+            bench.iter(|| merge::merge_accumulate(black_box(&views)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache, bench_psram, bench_merge);
+criterion_main!(benches);

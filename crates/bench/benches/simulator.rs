@@ -1,0 +1,56 @@
+//! Criterion benches for the cycle-level simulator itself: wall-clock cost
+//! of simulating one layer under each dataflow (the metric that bounds how
+//! large a workload suite the harness can sweep).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexagon_core::{Accelerator, Dataflow, Flexagon};
+use flexagon_sparse::{gen, CompressedMatrix, MajorOrder};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn layer(m: u32, k: u32, n: u32, da: f64, db: f64) -> (CompressedMatrix, CompressedMatrix) {
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    (
+        gen::random(m, k, da, MajorOrder::Row, &mut rng),
+        gen::random(k, n, db, MajorOrder::Row, &mut rng),
+    )
+}
+
+fn bench_dataflows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_layer");
+    group.sample_size(10);
+    // A mid-size conv layer: 128x512 x 512x1024 at 80%/50% sparsity.
+    let (a, b) = layer(128, 512, 1024, 0.2, 0.5);
+    let accel = Flexagon::with_defaults();
+    for df in Dataflow::M_STATIONARY {
+        group.bench_with_input(
+            BenchmarkId::new("table5", df.loop_order()),
+            &df,
+            |bench, &df| {
+                bench.iter(|| accel.run(black_box(&a), black_box(&b), df).unwrap());
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulate_scaling");
+    group.sample_size(10);
+    let accel = Flexagon::with_defaults();
+    for &n in &[128u32, 256, 512] {
+        let (a, b) = layer(n, n, n, 0.2, 0.3);
+        group.bench_with_input(BenchmarkId::new("gustavson", n), &n, |bench, _| {
+            bench.iter(|| {
+                accel
+                    .run(black_box(&a), black_box(&b), Dataflow::GustavsonM)
+                    .unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_dataflows, bench_scaling);
+criterion_main!(benches);

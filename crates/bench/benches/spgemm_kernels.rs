@@ -1,0 +1,45 @@
+//! Criterion benches for the software reference SpGEMM kernels — the
+//! golden models and the CPU-baseline kernel.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flexagon_sparse::{gen, reference, CompressedMatrix, MajorOrder};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::hint::black_box;
+
+fn operands(n: u32, density: f64) -> (CompressedMatrix, CompressedMatrix) {
+    let mut rng = ChaCha8Rng::seed_from_u64(99);
+    (
+        gen::random(n, n, density, MajorOrder::Row, &mut rng),
+        gen::random(n, n, density, MajorOrder::Row, &mut rng),
+    )
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("spgemm_kernels");
+    for &n in &[64u32, 256] {
+        let (a, b) = operands(n, 0.1);
+        let b_csc = b.converted(MajorOrder::Col);
+        let a_csc = a.converted(MajorOrder::Col);
+        group.bench_with_input(BenchmarkId::new("gustavson", n), &n, |bench, _| {
+            bench.iter(|| reference::gustavson(black_box(&a), black_box(&b)).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("inner_product", n), &n, |bench, _| {
+            bench.iter(|| reference::inner_product(black_box(&a), black_box(&b_csc)).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("outer_product", n), &n, |bench, _| {
+            bench.iter(|| reference::outer_product(black_box(&a_csc), black_box(&b)).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_conversion(c: &mut Criterion) {
+    let (a, _) = operands(512, 0.1);
+    c.bench_function("csr_to_csc_conversion_512", |bench| {
+        bench.iter(|| black_box(&a).converted(MajorOrder::Col));
+    });
+}
+
+criterion_group!(benches, bench_kernels, bench_conversion);
+criterion_main!(benches);

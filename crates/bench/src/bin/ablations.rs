@@ -1,0 +1,87 @@
+//! Ablation sweeps over the design choices Table 5 fixes: multiplier count,
+//! STR cache capacity, PSRAM capacity and merge bandwidth.
+//!
+//! These are extensions beyond the paper's figures: they quantify how much
+//! each provisioning decision matters on a representative layer from each
+//! dataflow group.
+//!
+//! Run with `cargo run --release -p flexagon-bench --bin ablations`.
+
+use flexagon_bench::render::table;
+use flexagon_bench::DEFAULT_SEED;
+use flexagon_core::{Accelerator, AcceleratorConfig, Dataflow, Flexagon};
+use flexagon_dnn::table6;
+
+fn run_with(cfg: AcceleratorConfig, layer_id: &str, dataflow: Dataflow) -> u64 {
+    let layer = table6::by_id(layer_id).expect("known layer");
+    let mats = layer.spec.materialize(DEFAULT_SEED);
+    Flexagon::new(cfg)
+        .run(&mats.a, &mats.b, dataflow)
+        .expect("run")
+        .report
+        .total_cycles
+}
+
+fn main() {
+    println!("Ablations on Flexagon's Table 5 provisioning\n");
+
+    println!("(a) Multiplier count (layer V7, Gustavson's):");
+    let mut rows = Vec::new();
+    for mults in [16u32, 32, 64, 128, 256] {
+        let mut cfg = AcceleratorConfig::table5();
+        cfg.multipliers = mults;
+        rows.push(vec![
+            mults.to_string(),
+            run_with(cfg, "V7", Dataflow::GustavsonM).to_string(),
+        ]);
+    }
+    println!("{}", table(&["multipliers", "cycles"], &rows));
+
+    println!("(b) STR cache capacity (layer R6, Gustavson's — large B):");
+    let mut rows = Vec::new();
+    for shift in [16u32, 18, 20, 22] {
+        let mut cfg = AcceleratorConfig::table5();
+        cfg.memory.cache.capacity_bytes = 1 << shift;
+        rows.push(vec![
+            format!("{} KiB", (1u64 << shift) >> 10),
+            run_with(cfg, "R6", Dataflow::GustavsonM).to_string(),
+        ]);
+    }
+    println!("{}", table(&["cache", "cycles"], &rows));
+
+    println!("(c) PSRAM capacity (layer S-R3, Outer Product — psum heavy):");
+    let mut rows = Vec::new();
+    for kib in [32u64, 64, 128, 256, 512] {
+        let mut cfg = AcceleratorConfig::table5();
+        cfg.memory.psram.capacity_bytes = kib << 10;
+        rows.push(vec![
+            format!("{kib} KiB"),
+            run_with(cfg, "S-R3", Dataflow::OuterProductM).to_string(),
+        ]);
+    }
+    println!("{}", table(&["psram", "cycles"], &rows));
+
+    println!("(d) Merge bandwidth (layer A2, Gustavson's):");
+    let mut rows = Vec::new();
+    for bw in [4u64, 8, 16, 32, 64] {
+        let mut cfg = AcceleratorConfig::table5();
+        cfg.merge_bandwidth = bw;
+        rows.push(vec![
+            format!("{bw}/cycle"),
+            run_with(cfg, "A2", Dataflow::GustavsonM).to_string(),
+        ]);
+    }
+    println!("{}", table(&["merge bw", "cycles"], &rows));
+
+    println!("(e) Distribution bandwidth (layer SQ5, Inner Product):");
+    let mut rows = Vec::new();
+    for bw in [4u64, 8, 16, 32, 64] {
+        let mut cfg = AcceleratorConfig::table5();
+        cfg.dn_bandwidth = bw;
+        rows.push(vec![
+            format!("{bw}/cycle"),
+            run_with(cfg, "SQ5", Dataflow::InnerProductM).to_string(),
+        ]);
+    }
+    println!("{}", table(&["dn bw", "cycles"], &rows));
+}

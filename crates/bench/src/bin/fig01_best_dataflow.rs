@@ -1,0 +1,42 @@
+//! Fig. 1: the dataflow that obtains the best performance per layer across
+//! the eight DNN models.
+//!
+//! Run with `cargo run --release -p flexagon-bench --bin fig01_best_dataflow`.
+//! For MobileBERT the paper plots only the first 60 layers; we do the same
+//! for the plot series but count all layers in the summary.
+
+use flexagon_bench::{run_model, DEFAULT_SEED};
+use flexagon_core::Dataflow;
+use flexagon_dnn::suite;
+
+fn tag(d: Dataflow) -> &'static str {
+    match d {
+        Dataflow::InnerProductM | Dataflow::InnerProductN => "IP",
+        Dataflow::OuterProductM | Dataflow::OuterProductN => "OP",
+        Dataflow::GustavsonM | Dataflow::GustavsonN => "Gust",
+    }
+}
+
+fn main() {
+    println!("Fig. 1 — best dataflow per layer (IP / OP / Gust)\n");
+    for model in suite() {
+        eprintln!("running {} ({} layers)...", model.name, model.layers.len());
+        let results = run_model(&model, DEFAULT_SEED, false);
+        let shown = if model.short == "MB" { 60 } else { results.winners.len() };
+        let series: Vec<&str> = results.winners[..shown].iter().map(|&d| tag(d)).collect();
+        println!("{:<4} {}", model.short, series.join(" "));
+        let mut counts = [0usize; 3];
+        for &w in &results.winners {
+            match tag(w) {
+                "IP" => counts[0] += 1,
+                "OP" => counts[1] += 1,
+                _ => counts[2] += 1,
+            }
+        }
+        let n = results.winners.len();
+        println!(
+            "     summary: IP {}/{n}, OP {}/{n}, Gust {}/{n}\n",
+            counts[0], counts[1], counts[2]
+        );
+    }
+}

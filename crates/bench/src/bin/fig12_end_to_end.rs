@@ -1,0 +1,57 @@
+//! Fig. 12: end-to-end performance of the five systems on the eight DNN
+//! models, as speed-up over the CPU MKL baseline.
+//!
+//! Run with `cargo run --release -p flexagon-bench --bin fig12_end_to_end`.
+
+use flexagon_bench::render::{geomean, speedup, table};
+use flexagon_bench::{run_model, SystemId, DEFAULT_SEED};
+use flexagon_dnn::suite;
+
+fn main() {
+    println!("Fig. 12 — end-to-end speed-up over CPU MKL\n");
+    let mut rows = Vec::new();
+    let mut per_system: Vec<Vec<f64>> = vec![Vec::new(); SystemId::ALL.len()];
+    let mut flexagon_vs = [Vec::new(), Vec::new(), Vec::new()];
+    for model in suite() {
+        eprintln!("running {} ({} layers)...", model.name, model.layers.len());
+        let r = run_model(&model, DEFAULT_SEED, false);
+        let mut row = vec![model.short.to_string()];
+        for (i, system) in SystemId::ALL.into_iter().enumerate() {
+            let s = r.speedup_vs_cpu(system);
+            per_system[i].push(s);
+            row.push(speedup(s));
+        }
+        flexagon_vs[0]
+            .push(r.cycles(SystemId::SigmaLike) as f64 / r.cycles(SystemId::Flexagon) as f64);
+        flexagon_vs[1]
+            .push(r.cycles(SystemId::SparchLike) as f64 / r.cycles(SystemId::Flexagon) as f64);
+        flexagon_vs[2]
+            .push(r.cycles(SystemId::GammaLike) as f64 / r.cycles(SystemId::Flexagon) as f64);
+        rows.push(row);
+    }
+    let mut gm = vec!["GEOMEAN".to_string()];
+    for s in &per_system {
+        gm.push(speedup(geomean(s)));
+    }
+    rows.push(gm);
+    println!(
+        "{}",
+        table(
+            &["model", "CPU MKL", "SIGMA-like", "Sparch-like", "GAMMA-like", "Flexagon"],
+            &rows
+        )
+    );
+    println!(
+        "Flexagon speed-up: {} vs SIGMA-like (paper: 4.59x), {} vs Sparch-like \
+         (paper: 1.71x), {} vs GAMMA-like (paper: 1.35x)",
+        speedup(geomean(&flexagon_vs[0])),
+        speedup(geomean(&flexagon_vs[1])),
+        speedup(geomean(&flexagon_vs[2])),
+    );
+    println!(
+        "Flexagon vs CPU: {} average (paper: ~31x, range 13x-163x); range {}..{}",
+        speedup(geomean(&per_system[4])),
+        speedup(per_system[4].iter().copied().fold(f64::INFINITY, f64::min)),
+        speedup(per_system[4].iter().copied().fold(0.0, f64::max)),
+    );
+}

@@ -1,0 +1,51 @@
+//! Fig. 13: layer-wise speed-ups of the four accelerators on the nine
+//! representative layers of Table 6, with the multiply/merge cycle split.
+//!
+//! Run with `cargo run --release -p flexagon-bench --bin fig13_layerwise`.
+
+use flexagon_bench::render::{geomean, speedup, table};
+use flexagon_bench::{run_layer, SystemId, DEFAULT_SEED};
+use flexagon_dnn::table6;
+
+fn main() {
+    println!("Fig. 13 — layer-wise performance (speed-up vs SIGMA-like)\n");
+    let mut rows = Vec::new();
+    let mut per_system_speedups: Vec<Vec<f64>> = vec![Vec::new(); 4];
+    let systems = [
+        SystemId::SigmaLike,
+        SystemId::SparchLike,
+        SystemId::GammaLike,
+        SystemId::Flexagon,
+    ];
+    for layer in table6::layers() {
+        let r = run_layer(&layer.spec, DEFAULT_SEED);
+        let base = r.inner_product.total_cycles as f64;
+        let mut row = vec![layer.id.to_string()];
+        for (i, system) in systems.into_iter().enumerate() {
+            let rep = r.of(system);
+            let s = base / rep.total_cycles as f64;
+            per_system_speedups[i].push(s);
+            row.push(format!(
+                "{} (mult {}%, merg {}%)",
+                speedup(s),
+                (100 * rep.phases.mult_cycles() / rep.total_cycles.max(1)),
+                (100 * rep.phases.merge_cycles() / rep.total_cycles.max(1)),
+            ));
+        }
+        row.push(r.best_dataflow().to_string());
+        rows.push(row);
+    }
+    let mut gm = vec!["GEOMEAN".to_string()];
+    for s in &per_system_speedups {
+        gm.push(speedup(geomean(s)));
+    }
+    gm.push(String::new());
+    rows.push(gm);
+    println!(
+        "{}",
+        table(
+            &["layer", "SIGMA-like", "Sparch-like", "GAMMA-like", "Flexagon", "best dataflow"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,44 @@
+//! Fig. 14: on-chip memory traffic (STA / STR / psums) through the L1
+//! hierarchy for the four accelerators on the nine Table 6 layers.
+//!
+//! Run with `cargo run --release -p flexagon-bench --bin fig14_onchip_traffic`.
+
+use flexagon_bench::render::{mib, table};
+use flexagon_bench::{run_layer, SystemId, DEFAULT_SEED};
+use flexagon_dnn::table6;
+
+fn main() {
+    println!("Fig. 14 — on-chip memory traffic in MiB (STA + STR + psums)\n");
+    let systems = [
+        SystemId::SigmaLike,
+        SystemId::SparchLike,
+        SystemId::GammaLike,
+        SystemId::Flexagon,
+    ];
+    let mut rows = Vec::new();
+    for layer in table6::layers() {
+        let r = run_layer(&layer.spec, DEFAULT_SEED);
+        for system in systems {
+            let t = &r.of(system).traffic;
+            rows.push(vec![
+                layer.id.to_string(),
+                system.name().to_string(),
+                mib(t.sta_onchip_bytes),
+                mib(t.str_onchip_bytes),
+                mib(t.psum_onchip_bytes),
+                mib(t.onchip_total()),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        table(
+            &["layer", "system", "STA (MiB)", "STR (MiB)", "psums (MiB)", "total"],
+            &rows
+        )
+    );
+    println!(
+        "Expected shape: SIGMA-like psums always 0; Sparch-like psums dominate;\n\
+         STA is negligible everywhere (paper §5.2)."
+    );
+}

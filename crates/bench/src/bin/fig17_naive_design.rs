@@ -1,0 +1,40 @@
+//! Fig. 17: area of the naive three-network design versus Flexagon's
+//! unified MRN, with the mux/demux / SRAM / datapath breakdown.
+//!
+//! Run with `cargo run --release -p flexagon-bench --bin fig17_naive_design`.
+
+use flexagon_bench::render::table;
+use flexagon_rtl::naive_design;
+
+fn main() {
+    println!("Fig. 17 — naive (3 separate networks) vs unified MRN, area (mm²)\n");
+    let mut rows = Vec::new();
+    for mults in [64u32, 128, 256] {
+        let cmp = naive_design(mults, 1 << 20, 256 << 10);
+        for (name, d) in [("Flexagon", cmp.flexagon), ("Naive", cmp.naive)] {
+            rows.push(vec![
+                format!("{mults}-MS {name}"),
+                format!("{:.2}", d.mux_demux.area_mm2),
+                format!("{:.2}", d.sram.area_mm2),
+                format!("{:.2}", d.datapath.area_mm2),
+                format!("{:.2}", d.total().area_mm2),
+            ]);
+        }
+        rows.push(vec![
+            format!("{mults}-MS overhead"),
+            String::new(),
+            String::new(),
+            String::new(),
+            format!("{:.1}%", 100.0 * cmp.naive_overhead()),
+        ]);
+    }
+    println!(
+        "{}",
+        table(&["design", "Mux/Demux", "SRAM", "Datapath", "Total"], &rows)
+    );
+    println!(
+        "Paper: at 64 multipliers the naive design's muxes/demuxes add ≈25%\n\
+         area over Flexagon, while the three separate networks alone add only\n\
+         ≈2% (SRAM dominates); the overhead grows with multiplier count."
+    );
+}

@@ -1,0 +1,49 @@
+//! Runs the complete reproduction: every table and figure binary's content
+//! in one pass, writing the combined report to `results/repro_report.txt`.
+//!
+//! Run with `cargo run --release -p flexagon-bench --bin repro_all`.
+//! Expect a few minutes of runtime for the end-to-end model sweeps.
+
+use std::process::Command;
+
+const BINS: &[&str] = &[
+    "table3_taxonomy",
+    "table4_transitions",
+    "table6_layers",
+    "table8_area_power",
+    "fig17_naive_design",
+    "fig13_layerwise",
+    "fig14_onchip_traffic",
+    "fig15_miss_rate",
+    "fig16_offchip_traffic",
+    "table2_models",
+    "fig01_best_dataflow",
+    "fig12_end_to_end",
+    "fig18_perf_per_area",
+    "ablations",
+];
+
+fn main() {
+    let mut combined = String::new();
+    for bin in BINS {
+        eprintln!("==> {bin}");
+        let out = Command::new(std::env::current_exe().expect("self path").with_file_name(bin))
+            .output()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(
+            out.status.success(),
+            "{bin} failed:\n{}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        combined.push('\n');
+        combined.push_str(&"=".repeat(72));
+        combined.push_str(&format!("\n== {bin}\n"));
+        combined.push_str(&"=".repeat(72));
+        combined.push('\n');
+        combined.push_str(&String::from_utf8_lossy(&out.stdout));
+    }
+    std::fs::create_dir_all("results").expect("create results dir");
+    std::fs::write("results/repro_report.txt", &combined).expect("write report");
+    println!("{combined}");
+    println!("\nCombined report written to results/repro_report.txt");
+}

@@ -1,0 +1,74 @@
+//! Tables 3 and 5: the dataflow taxonomy and the accelerator configuration.
+//!
+//! Run with `cargo run --release -p flexagon-bench --bin table3_taxonomy`.
+
+use flexagon_bench::render::table;
+use flexagon_core::{AcceleratorConfig, Dataflow};
+
+fn main() {
+    println!("Table 3 — taxonomy of dataflow properties\n");
+    let rows: Vec<Vec<String>> = Dataflow::ALL
+        .into_iter()
+        .map(|d| {
+            vec![
+                d.loop_order().to_string(),
+                d.informal_name().to_string(),
+                d.a_format().format_name().to_string(),
+                d.b_format().format_name().to_string(),
+                d.c_format().format_name().to_string(),
+                d.intersection().to_string(),
+                d.merging().to_string(),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        table(
+            &["Dataflow", "Informal Name", "A", "B", "C", "Intersection", "Merging"],
+            &rows
+        )
+    );
+
+    println!("Table 5 — configuration parameters of Flexagon\n");
+    let cfg = AcceleratorConfig::table5();
+    let rows = vec![
+        vec!["Number of Multipliers".into(), cfg.multipliers.to_string()],
+        vec!["Number of Adders".into(), cfg.adders().to_string()],
+        vec!["Distribution bandwidth".into(), format!("{} elems/cycle", cfg.dn_bandwidth)],
+        vec![
+            "Reduction/Merging bandwidth".into(),
+            format!("{} elems/cycle", cfg.merge_bandwidth),
+        ],
+        vec!["Total Word Size".into(), "32 bits".into()],
+        vec!["L1 Access Latency".into(), format!("{} cycle", cfg.l1_latency)],
+        vec![
+            "L1 STA FIFO Size".into(),
+            format!("{} bytes", cfg.memory.fifo.capacity_bytes),
+        ],
+        vec![
+            "L1 STR cache Size".into(),
+            format!("{} MiB", cfg.memory.cache.capacity_bytes >> 20),
+        ],
+        vec![
+            "L1 STR Cache Line Size".into(),
+            format!("{} bytes", cfg.memory.cache.line_bytes),
+        ],
+        vec![
+            "L1 STR Cache Associativity".into(),
+            cfg.memory.cache.associativity.to_string(),
+        ],
+        vec![
+            "L1 STR Cache Number of Banks".into(),
+            cfg.memory.cache.banks.to_string(),
+        ],
+        vec!["PSRAM".into(), format!("{} KiB", cfg.memory.psram.capacity_bytes >> 10)],
+        vec![
+            "DRAM access time / Bandwidth".into(),
+            format!(
+                "{} cycles / {} B/cycle",
+                cfg.memory.dram.latency_cycles, cfg.memory.dram.bytes_per_cycle
+            ),
+        ],
+    ];
+    println!("{}", table(&["Parameter", "Value"], &rows));
+}

@@ -1,0 +1,39 @@
+//! Table 4: inter-layer dataflow transitions that avoid explicit format
+//! conversions.
+//!
+//! Run with `cargo run --release -p flexagon-bench --bin table4_transitions`.
+
+use flexagon_bench::render::table;
+use flexagon_core::{transitions, Dataflow};
+
+fn main() {
+    println!("Table 4 — transitions without Explicit format Conversion (EC)\n");
+    let names: Vec<&str> = Dataflow::ALL.iter().map(|d| d.informal_name()).collect();
+    let matrix = transitions::matrix();
+    let mut rows = Vec::new();
+    for (i, from) in names.iter().enumerate() {
+        let mut row = vec![format!("from {from}")];
+        for &free in &matrix[i] {
+            row.push(if free { "ok".into() } else { "EC".into() });
+        }
+        rows.push(row);
+    }
+    let mut header = vec!["producer \\ consumer"];
+    header.extend(names.iter().copied());
+    println!("{}", table(&header, &rows));
+
+    println!("Fig. 8's example chain (free of conversions):");
+    let chain = [
+        Dataflow::InnerProductN,
+        Dataflow::OuterProductM,
+        Dataflow::GustavsonM,
+    ];
+    for pair in chain.windows(2) {
+        println!(
+            "  {} -> {}: {}",
+            pair[0],
+            pair[1],
+            if transitions::is_free(pair[0], pair[1]) { "free" } else { "EC" }
+        );
+    }
+}

@@ -1,0 +1,35 @@
+//! Table 6: the nine representative DNN layers and their measured
+//! compressed sizes.
+//!
+//! Run with `cargo run --release -p flexagon-bench --bin table6_layers`.
+
+use flexagon_bench::render::{kib, table};
+use flexagon_bench::DEFAULT_SEED;
+use flexagon_dnn::table6;
+use flexagon_sparse::reference;
+
+fn main() {
+    println!("Table 6 — representative DNN layers (measured)\n");
+    let mut rows = Vec::new();
+    for layer in table6::layers() {
+        let mats = layer.spec.materialize(DEFAULT_SEED);
+        let c = reference::spgemm(&mats.a, &mats.b).expect("well-formed layer");
+        rows.push(vec![
+            layer.id.to_string(),
+            format!("{}, {}, {}", layer.spec.m, layer.spec.n, layer.spec.k),
+            format!("{:.0}", mats.a.sparsity_percent()),
+            format!("{:.0}", mats.b.sparsity_percent()),
+            kib(mats.a.compressed_size_bytes()),
+            kib(mats.b.compressed_size_bytes()),
+            kib(c.compressed_size_bytes()),
+            format!("{:?}", layer.favours),
+        ]);
+    }
+    println!(
+        "{}",
+        table(
+            &["Layer", "M, N, K", "spA", "spB", "csA KiB", "csB KiB", "csC KiB", "favours"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,47 @@
+//! Table 8: post-layout area and power for the four 64-multiplier designs.
+//!
+//! Run with `cargo run --release -p flexagon-bench --bin table8_area_power`.
+
+use flexagon_bench::render::table;
+use flexagon_rtl::table8_rows;
+
+fn main() {
+    println!("Table 8 — area (mm²) and power (mW), TSMC 28 nm @ 800 MHz\n");
+    let rows = table8_rows();
+    let mut area_rows = Vec::new();
+    let mut power_rows = Vec::new();
+    for r in &rows {
+        area_rows.push(vec![
+            r.kind.name().to_string(),
+            format!("{:.2}", r.dn.area_mm2),
+            format!("{:.2}", r.mn.area_mm2),
+            format!("{:.2}", r.rn.area_mm2),
+            format!("{:.2}", r.cache.area_mm2),
+            format!("{:.2}", r.psram.area_mm2),
+            format!("{:.2}", r.total().area_mm2),
+        ]);
+        power_rows.push(vec![
+            r.kind.name().to_string(),
+            format!("{:.2}", r.dn.power_mw),
+            format!("{:.2}", r.mn.power_mw),
+            format!("{:.0}", r.rn.power_mw),
+            format!("{:.0}", r.cache.power_mw),
+            format!("{:.0}", r.psram.power_mw),
+            format!("{:.0}", r.total().power_mw),
+        ]);
+    }
+    println!("Area results:");
+    println!(
+        "{}",
+        table(&["design", "DN", "MN", "RN", "Cache", "PSRAM", "Total"], &area_rows)
+    );
+    println!("Power results:");
+    println!(
+        "{}",
+        table(&["design", "DN", "MN", "RN", "Cache", "PSRAM", "Total"], &power_rows)
+    );
+    println!(
+        "Paper totals — area: 4.21 / 5.14 / 4.62 / 5.28 mm²; \
+         power: 2396 / 2750 / 2481 / 2998 mW."
+    );
+}

@@ -1,0 +1,16 @@
+//! Shared helpers for the benchmark harness.
+//!
+//! Every table and figure of the paper's evaluation section has a dedicated
+//! binary under `src/bin/` (see DESIGN.md §5 for the index). This library
+//! holds the pieces they share: running one layer across the four
+//! accelerators, aggregating per-model results, and text-table rendering.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod render;
+pub mod runner;
+
+pub use runner::{
+    run_layer, run_model, LayerResults, ModelResults, SystemId, DEFAULT_SEED,
+};

@@ -1,0 +1,121 @@
+//! Plain-text table rendering for the harness binaries.
+
+/// Renders a table with a header row and aligned columns.
+///
+/// ```
+/// let t = flexagon_bench::render::table(
+///     &["layer", "cycles"],
+///     &[vec!["SQ5".into(), "123".into()]],
+/// );
+/// assert!(t.contains("SQ5"));
+/// ```
+pub fn table(header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:<width$}", c, width = widths.get(i).copied().unwrap_or(0)))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&header_cells, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Formats bytes as mebibytes with two decimals.
+pub fn mib(bytes: u64) -> String {
+    format!("{:.2}", bytes as f64 / (1024.0 * 1024.0))
+}
+
+/// Formats bytes as kibibytes with one decimal.
+pub fn kib(bytes: u64) -> String {
+    format!("{:.1}", bytes as f64 / 1024.0)
+}
+
+/// Formats a ratio as a percentage with two decimals.
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", 100.0 * x)
+}
+
+/// Formats a speed-up factor.
+pub fn speedup(x: f64) -> String {
+    format!("{x:.2}x")
+}
+
+/// Geometric mean of a slice of positive values.
+///
+/// # Panics
+///
+/// Panics if `values` is empty or contains a non-positive value.
+pub fn geomean(values: &[f64]) -> f64 {
+    assert!(!values.is_empty(), "geomean of empty slice");
+    let log_sum: f64 = values
+        .iter()
+        .map(|&v| {
+            assert!(v > 0.0, "geomean requires positive values");
+            v.ln()
+        })
+        .sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let t = table(
+            &["a", "long-header"],
+            &[
+                vec!["xxxx".into(), "1".into()],
+                vec!["y".into(), "2".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("a   "));
+        assert!(lines[2].starts_with("xxxx"));
+    }
+
+    #[test]
+    fn unit_formatting() {
+        assert_eq!(mib(1 << 20), "1.00");
+        assert_eq!(kib(1536), "1.5");
+        assert_eq!(pct(0.0313), "3.13%");
+        assert_eq!(speedup(4.59), "4.59x");
+    }
+
+    #[test]
+    fn geomean_of_identical_values() {
+        assert!((geomean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn geomean_known_value() {
+        assert!((geomean(&[1.0, 4.0]) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn geomean_empty_panics() {
+        geomean(&[]);
+    }
+}

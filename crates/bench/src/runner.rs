@@ -1,0 +1,232 @@
+//! Layer- and model-level experiment runners.
+
+use flexagon_core::{
+    Accelerator, CpuMkl, Dataflow, ExecutionReport, GammaLike, SigmaLike, SparchLike,
+};
+use flexagon_dnn::{DnnModel, LayerSpec};
+use serde::Serialize;
+
+/// Seed used by every harness binary, so all tables and figures in
+/// EXPERIMENTS.md come from the same materialized workload.
+pub const DEFAULT_SEED: u64 = 0xF1E_CA60;
+
+/// The five systems of Fig. 12.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum SystemId {
+    /// Intel-MKL-like CPU baseline.
+    CpuMkl,
+    /// SIGMA-like (Inner Product) accelerator.
+    SigmaLike,
+    /// SpArch-like (Outer Product) accelerator.
+    SparchLike,
+    /// GAMMA-like (Gustavson) accelerator.
+    GammaLike,
+    /// Flexagon with per-layer best dataflow.
+    Flexagon,
+}
+
+impl SystemId {
+    /// All five in the paper's plotting order.
+    pub const ALL: [SystemId; 5] = [
+        SystemId::CpuMkl,
+        SystemId::SigmaLike,
+        SystemId::SparchLike,
+        SystemId::GammaLike,
+        SystemId::Flexagon,
+    ];
+
+    /// Display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::CpuMkl => "CPU MKL",
+            Self::SigmaLike => "SIGMA-like",
+            Self::SparchLike => "Sparch-like",
+            Self::GammaLike => "GAMMA-like",
+            Self::Flexagon => "Flexagon",
+        }
+    }
+}
+
+/// Results of one layer across the three fixed-dataflow accelerators (the
+/// Flexagon result is the per-layer minimum, as in the paper's oracle
+/// configuration, and the CPU estimate rides along).
+#[derive(Debug, Clone, Serialize)]
+pub struct LayerResults {
+    /// The layer that was run.
+    pub spec: LayerSpec,
+    /// SIGMA-like (Inner-Product(M)) report.
+    pub inner_product: ExecutionReport,
+    /// SpArch-like (Outer-Product(M)) report.
+    pub outer_product: ExecutionReport,
+    /// GAMMA-like (Gustavson(M)) report.
+    pub gustavson: ExecutionReport,
+    /// CPU baseline report.
+    pub cpu: ExecutionReport,
+}
+
+impl LayerResults {
+    /// The dataflow with the fewest cycles — the per-layer winner that
+    /// Fig. 1 plots and that Flexagon's oracle configuration selects.
+    pub fn best_dataflow(&self) -> Dataflow {
+        let mut best = (self.inner_product.total_cycles, Dataflow::InnerProductM);
+        if self.outer_product.total_cycles < best.0 {
+            best = (self.outer_product.total_cycles, Dataflow::OuterProductM);
+        }
+        if self.gustavson.total_cycles < best.0 {
+            best = (self.gustavson.total_cycles, Dataflow::GustavsonM);
+        }
+        best.1
+    }
+
+    /// The report of the winning dataflow (= Flexagon's per-layer result).
+    pub fn flexagon(&self) -> &ExecutionReport {
+        match self.best_dataflow() {
+            Dataflow::InnerProductM => &self.inner_product,
+            Dataflow::OuterProductM => &self.outer_product,
+            _ => &self.gustavson,
+        }
+    }
+
+    /// Report for one of the five systems.
+    pub fn of(&self, system: SystemId) -> &ExecutionReport {
+        match system {
+            SystemId::CpuMkl => &self.cpu,
+            SystemId::SigmaLike => &self.inner_product,
+            SystemId::SparchLike => &self.outer_product,
+            SystemId::GammaLike => &self.gustavson,
+            SystemId::Flexagon => self.flexagon(),
+        }
+    }
+}
+
+/// Runs one layer on the four accelerators plus the CPU baseline.
+///
+/// The three fixed-dataflow baselines run their M-stationary variant, as in
+/// the paper's per-layer methodology; Flexagon's number is the per-layer
+/// best (its oracle configuration).
+///
+/// # Panics
+///
+/// Panics if any simulation fails — harness inputs are always well-formed.
+pub fn run_layer(spec: &LayerSpec, seed: u64) -> LayerResults {
+    let mats = spec.materialize(seed);
+    let sigma = SigmaLike::with_defaults();
+    let sparch = SparchLike::with_defaults();
+    let gamma = GammaLike::with_defaults();
+    let cpu = CpuMkl::with_defaults();
+    let ip = sigma
+        .run(&mats.a, &mats.b, Dataflow::InnerProductM)
+        .expect("inner product run");
+    let op = sparch
+        .run(&mats.a, &mats.b, Dataflow::OuterProductM)
+        .expect("outer product run");
+    let gu = gamma
+        .run(&mats.a, &mats.b, Dataflow::GustavsonM)
+        .expect("gustavson run");
+    let cpu_out = cpu.run(&mats.a, &mats.b).expect("cpu run");
+    LayerResults {
+        spec: spec.clone(),
+        inner_product: ip.report,
+        outer_product: op.report,
+        gustavson: gu.report,
+        cpu: cpu_out.report,
+    }
+}
+
+/// Aggregated results of a whole model: total cycles per system plus the
+/// per-layer winner list.
+#[derive(Debug, Clone, Serialize)]
+pub struct ModelResults {
+    /// Model short code.
+    pub short: &'static str,
+    /// Model name.
+    pub name: &'static str,
+    /// Total cycles per system, in [`SystemId::ALL`] order.
+    pub total_cycles: [u64; 5],
+    /// Winning dataflow per layer (Fig. 1's series).
+    pub winners: Vec<Dataflow>,
+}
+
+impl ModelResults {
+    /// Total cycles for one system.
+    pub fn cycles(&self, system: SystemId) -> u64 {
+        let idx = SystemId::ALL.iter().position(|&s| s == system).expect("system in ALL");
+        self.total_cycles[idx]
+    }
+
+    /// Speed-up of `system` over the CPU baseline (Fig. 12's y-axis).
+    pub fn speedup_vs_cpu(&self, system: SystemId) -> f64 {
+        self.cycles(SystemId::CpuMkl) as f64 / self.cycles(system) as f64
+    }
+}
+
+/// Runs every layer of a model and aggregates per-system totals.
+///
+/// `verbose` prints one progress line per layer to stderr.
+pub fn run_model(model: &DnnModel, seed: u64, verbose: bool) -> ModelResults {
+    let mut totals = [0u64; 5];
+    let mut winners = Vec::with_capacity(model.layers.len());
+    for spec in &model.layers {
+        let layer = run_layer(spec, seed);
+        for (i, system) in SystemId::ALL.into_iter().enumerate() {
+            totals[i] += layer.of(system).total_cycles;
+        }
+        winners.push(layer.best_dataflow());
+        if verbose {
+            eprintln!(
+                "  {}/{}: {} -> {}",
+                model.short,
+                spec.index,
+                spec.name,
+                layer.best_dataflow()
+            );
+        }
+    }
+    ModelResults {
+        short: model.short,
+        name: model.name,
+        total_cycles: totals,
+        winners,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn run_layer_produces_all_systems() {
+        let spec = LayerSpec::new(0, "t", 32, 32, 32, 60.0, 60.0);
+        let r = run_layer(&spec, 1);
+        for system in SystemId::ALL {
+            assert!(r.of(system).total_cycles > 0, "{}", system.name());
+        }
+        // Flexagon is never slower than any fixed accelerator.
+        let f = r.flexagon().total_cycles;
+        assert!(f <= r.inner_product.total_cycles);
+        assert!(f <= r.outer_product.total_cycles);
+        assert!(f <= r.gustavson.total_cycles);
+    }
+
+    #[test]
+    fn model_aggregation_sums_layers() {
+        let model = DnnModel {
+            name: "Tiny",
+            short: "T",
+            domain: flexagon_dnn::Domain::ComputerVision,
+            layers: vec![
+                LayerSpec::new(0, "l0", 16, 16, 16, 50.0, 50.0),
+                LayerSpec::new(1, "l1", 16, 16, 16, 50.0, 50.0),
+            ],
+        };
+        let results = run_model(&model, 1, false);
+        assert_eq!(results.winners.len(), 2);
+        assert!(results.speedup_vs_cpu(SystemId::Flexagon) > 0.0);
+        let l0 = run_layer(&model.layers[0], 1);
+        let l1 = run_layer(&model.layers[1], 1);
+        assert_eq!(
+            results.cycles(SystemId::GammaLike),
+            l0.gustavson.total_cycles + l1.gustavson.total_cycles
+        );
+    }
+}

@@ -1,0 +1,243 @@
+//! The accelerators: Flexagon and the three fixed-dataflow baselines.
+//!
+//! Following the paper's methodology (§4), the four accelerators share the
+//! same Table 5 parameters — "we only change the memory controllers to
+//! deliver the data in the proper order according to its dataflow" — so the
+//! baselines are the same engine pinned to one dataflow class, with the
+//! PSRAM sized per Table 8 (none for SIGMA-like, half for GAMMA-like).
+
+use crate::{engine, AcceleratorConfig, CoreError, Dataflow, ExecutionReport, Result};
+use flexagon_sparse::CompressedMatrix;
+
+/// Result of one accelerator execution: the functional output matrix and
+/// the measured report.
+#[derive(Debug, Clone)]
+pub struct RunOutput {
+    /// The output matrix C, in the dataflow's natural format (Table 3).
+    pub c: CompressedMatrix,
+    /// Cycles, traffic and statistics for the run.
+    pub report: ExecutionReport,
+}
+
+/// Common interface of all simulated accelerators.
+pub trait Accelerator {
+    /// Human-readable name used in reports ("Flexagon", "SIGMA-like", ...).
+    fn name(&self) -> &str;
+
+    /// The architectural configuration.
+    fn config(&self) -> &AcceleratorConfig;
+
+    /// The dataflows this accelerator can execute.
+    fn supported_dataflows(&self) -> &[Dataflow];
+
+    /// Runs `a x b` under `dataflow`.
+    ///
+    /// Operands may arrive in either major order; if an operand is not in
+    /// the format Table 3 requires, it is explicitly converted and the
+    /// conversion is recorded in the report (`explicit_conversions`) — the
+    /// cost Flexagon's inter-layer transitions avoid.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::UnsupportedDataflow`] if the dataflow is not in
+    /// [`Accelerator::supported_dataflows`]; [`CoreError::Format`] on
+    /// dimension mismatch.
+    fn run(
+        &self,
+        a: &CompressedMatrix,
+        b: &CompressedMatrix,
+        dataflow: Dataflow,
+    ) -> Result<RunOutput> {
+        if !self.supported_dataflows().contains(&dataflow) {
+            return Err(CoreError::UnsupportedDataflow {
+                accelerator: self.name().to_owned(),
+                dataflow,
+            });
+        }
+        let (c, report) = engine::execute(self.config(), a, b, dataflow)?;
+        Ok(RunOutput { c, report })
+    }
+
+    /// Runs every supported dataflow and returns the fastest result.
+    ///
+    /// This is the oracle selection the paper uses to drive Flexagon's
+    /// per-layer configuration (the phase-1 mapper is future work there).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first execution error encountered.
+    fn run_best(
+        &self,
+        a: &CompressedMatrix,
+        b: &CompressedMatrix,
+    ) -> Result<RunOutput> {
+        let mut best: Option<RunOutput> = None;
+        for &df in self.supported_dataflows() {
+            let out = self.run(a, b, df)?;
+            let better = match &best {
+                None => true,
+                Some(b) => out.report.total_cycles < b.report.total_cycles,
+            };
+            if better {
+                best = Some(out);
+            }
+        }
+        best.ok_or_else(|| CoreError::UnsupportedDataflow {
+            accelerator: self.name().to_owned(),
+            dataflow: Dataflow::InnerProductM,
+        })
+    }
+}
+
+macro_rules! fixed_accelerator {
+    (
+        $(#[$doc:meta])*
+        $name:ident, $display:expr, $dataflows:expr, $memory:expr
+    ) => {
+        $(#[$doc])*
+        #[derive(Debug, Clone)]
+        pub struct $name {
+            cfg: AcceleratorConfig,
+        }
+
+        impl $name {
+            /// Creates the accelerator from a base configuration; the
+            /// memory hierarchy is adjusted to this design's sizing.
+            pub fn new(mut cfg: AcceleratorConfig) -> Self {
+                cfg.memory = $memory(cfg.memory);
+                Self { cfg }
+            }
+
+            /// Creates the accelerator with the paper's Table 5 parameters.
+            pub fn with_defaults() -> Self {
+                Self::new(AcceleratorConfig::table5())
+            }
+        }
+
+        impl Accelerator for $name {
+            fn name(&self) -> &str {
+                $display
+            }
+
+            fn config(&self) -> &AcceleratorConfig {
+                &self.cfg
+            }
+
+            fn supported_dataflows(&self) -> &[Dataflow] {
+                &$dataflows
+            }
+        }
+
+        impl Default for $name {
+            fn default() -> Self {
+                Self::with_defaults()
+            }
+        }
+    };
+}
+
+fixed_accelerator!(
+    /// The Flexagon accelerator: all six dataflows on one substrate, with
+    /// the unified MRN and the full 256 KiB PSRAM.
+    Flexagon,
+    "Flexagon",
+    Dataflow::ALL,
+    |m| m
+);
+
+fixed_accelerator!(
+    /// The SIGMA-like Inner-Product baseline: FAN reduction network, no
+    /// merging capability, no PSRAM use.
+    SigmaLike,
+    "SIGMA-like",
+    [Dataflow::InnerProductM, Dataflow::InnerProductN],
+    |m: flexagon_mem::MemoryConfig| {
+        let _ = m;
+        flexagon_mem::MemoryConfig::table5_no_psram()
+    }
+);
+
+fixed_accelerator!(
+    /// The SpArch-like Outer-Product baseline: merger tree plus a full
+    /// 256 KiB PSRAM for its worst-case psum volume.
+    SparchLike,
+    "Sparch-like",
+    [Dataflow::OuterProductM, Dataflow::OuterProductN],
+    |m| m
+);
+
+fixed_accelerator!(
+    /// The GAMMA-like Gustavson baseline: merger tree, fiber-reuse cache,
+    /// and a half-sized (128 KiB) PSRAM per Table 8.
+    GammaLike,
+    "GAMMA-like",
+    [Dataflow::GustavsonM, Dataflow::GustavsonN],
+    |mut m: flexagon_mem::MemoryConfig| {
+        m.psram.capacity_bytes /= 2;
+        m
+    }
+);
+
+impl Flexagon {
+    /// Runs `a x b` with the dataflow chosen by the heuristic mapper
+    /// (no oracle sweep).
+    ///
+    /// # Errors
+    ///
+    /// Propagates engine errors.
+    pub fn run_mapped(
+        &self,
+        a: &CompressedMatrix,
+        b: &CompressedMatrix,
+    ) -> Result<RunOutput> {
+        let df = crate::mapper::heuristic(&self.cfg, a, b);
+        self.run(a, b, df)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DataflowClass;
+
+    #[test]
+    fn supported_dataflows_match_table1() {
+        assert_eq!(Flexagon::with_defaults().supported_dataflows().len(), 6);
+        for d in SigmaLike::with_defaults().supported_dataflows() {
+            assert_eq!(d.class(), DataflowClass::InnerProduct);
+        }
+        for d in SparchLike::with_defaults().supported_dataflows() {
+            assert_eq!(d.class(), DataflowClass::OuterProduct);
+        }
+        for d in GammaLike::with_defaults().supported_dataflows() {
+            assert_eq!(d.class(), DataflowClass::Gustavson);
+        }
+    }
+
+    #[test]
+    fn gamma_like_has_half_psram() {
+        let g = GammaLike::with_defaults();
+        let f = Flexagon::with_defaults();
+        assert_eq!(
+            g.config().memory.psram.capacity_bytes * 2,
+            f.config().memory.psram.capacity_bytes
+        );
+    }
+
+    #[test]
+    fn baselines_reject_foreign_dataflows() {
+        let sigma = SigmaLike::with_defaults();
+        let a = CompressedMatrix::zero(2, 2, flexagon_sparse::MajorOrder::Row);
+        let b = CompressedMatrix::zero(2, 2, flexagon_sparse::MajorOrder::Row);
+        let err = sigma.run(&a, &b, Dataflow::GustavsonM).unwrap_err();
+        assert!(matches!(err, CoreError::UnsupportedDataflow { .. }));
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(Flexagon::with_defaults().name(), "Flexagon");
+        assert_eq!(SigmaLike::with_defaults().name(), "SIGMA-like");
+        assert_eq!(SparchLike::with_defaults().name(), "Sparch-like");
+        assert_eq!(GammaLike::with_defaults().name(), "GAMMA-like");
+    }
+}

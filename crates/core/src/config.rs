@@ -1,0 +1,119 @@
+//! Accelerator configuration (paper Table 5).
+
+use flexagon_mem::MemoryConfig;
+use flexagon_sim::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// Architectural parameters shared by Flexagon and the three baseline
+/// accelerators ("for the three accelerators, we model the same parameters
+/// presented in Table 5, and we only change the memory controllers").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AcceleratorConfig {
+    /// Number of multipliers (Table 5: 64). Must be a power of two — the
+    /// distribution network is a Benes topology and the MRN a binary tree.
+    pub multipliers: u32,
+    /// Distribution bandwidth in elements per cycle (Table 5: 16).
+    pub dn_bandwidth: u64,
+    /// Reduction/merging bandwidth in elements per cycle (Table 5: 16).
+    pub merge_bandwidth: u64,
+    /// L1 access latency in cycles (Table 5: 1).
+    pub l1_latency: Cycle,
+    /// Memory hierarchy configuration.
+    pub memory: MemoryConfig,
+}
+
+impl AcceleratorConfig {
+    /// The paper's Table 5 configuration: 64 multipliers, 16 elems/cycle
+    /// distribution and merge bandwidth, 1 MiB STR cache, 256 KiB PSRAM,
+    /// HBM 2.0 DRAM.
+    pub fn table5() -> Self {
+        Self {
+            multipliers: 64,
+            dn_bandwidth: 16,
+            merge_bandwidth: 16,
+            l1_latency: 1,
+            memory: MemoryConfig::table5(),
+        }
+    }
+
+    /// A deliberately tiny configuration for unit tests: 4 multipliers,
+    /// 2 elements/cycle everywhere, a 512-byte cache and 256-byte PSRAM so
+    /// tiling, eviction and spill paths are exercised by small matrices.
+    pub fn tiny() -> Self {
+        let mut memory = MemoryConfig::table5();
+        memory.fifo.capacity_bytes = 32;
+        memory.cache.capacity_bytes = 512;
+        memory.cache.line_bytes = 16;
+        memory.cache.associativity = 2;
+        memory.cache.banks = 2;
+        memory.psram.capacity_bytes = 256;
+        memory.psram.block_bytes = 16;
+        memory.psram.num_sets = 4;
+        memory.psram.banks = 2;
+        Self {
+            multipliers: 4,
+            dn_bandwidth: 2,
+            merge_bandwidth: 2,
+            l1_latency: 1,
+            memory,
+        }
+    }
+
+    /// Number of adder/comparator nodes in the MRN (`multipliers - 1`,
+    /// Table 5: 63 adders).
+    pub fn adders(&self) -> u32 {
+        self.multipliers - 1
+    }
+
+    /// Validates structural constraints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `multipliers` is not a power of two or a bandwidth is zero.
+    pub fn assert_valid(&self) {
+        assert!(
+            self.multipliers.is_power_of_two() && self.multipliers >= 2,
+            "multipliers must be a power of two >= 2"
+        );
+        assert!(self.dn_bandwidth > 0, "dn_bandwidth must be positive");
+        assert!(self.merge_bandwidth > 0, "merge_bandwidth must be positive");
+    }
+}
+
+impl Default for AcceleratorConfig {
+    fn default() -> Self {
+        Self::table5()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table5_matches_paper() {
+        let c = AcceleratorConfig::table5();
+        assert_eq!(c.multipliers, 64);
+        assert_eq!(c.adders(), 63);
+        assert_eq!(c.dn_bandwidth, 16);
+        assert_eq!(c.merge_bandwidth, 16);
+        assert_eq!(c.l1_latency, 1);
+        c.assert_valid();
+    }
+
+    #[test]
+    fn tiny_is_valid_and_small() {
+        let c = AcceleratorConfig::tiny();
+        c.assert_valid();
+        assert_eq!(c.multipliers, 4);
+        assert!(c.memory.cache.capacity_bytes < 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn invalid_multiplier_count_rejected() {
+        let mut c = AcceleratorConfig::table5();
+        c.multipliers = 48;
+        c.assert_valid();
+    }
+}

@@ -1,0 +1,289 @@
+//! The six SpMSpM dataflows and their taxonomy (paper §2.2, Fig. 2, Table 3).
+
+use flexagon_sparse::MajorOrder;
+use serde::{Deserialize, Serialize};
+
+/// The three base SpMSpM dataflows, classified by where the shared dimension
+/// `K` co-iterates in the loop nest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DataflowClass {
+    /// Co-iteration at the innermost loop: full sums, intersection hardware.
+    InnerProduct,
+    /// Co-iteration at the outermost loop: psums for whole matrices, merger.
+    OuterProduct,
+    /// Co-iteration at the middle loop: psums into the current fiber,
+    /// leader-follower intersection.
+    Gustavson,
+}
+
+impl std::fmt::Display for DataflowClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::InnerProduct => write!(f, "Inner Product"),
+            Self::OuterProduct => write!(f, "Outer Product"),
+            Self::Gustavson => write!(f, "Gustavson's"),
+        }
+    }
+}
+
+/// Which independent dimension stays outermost (and thus stationary).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Stationarity {
+    /// M-stationary: output produced row-wise (CSR).
+    M,
+    /// N-stationary: output produced column-wise (CSC).
+    N,
+}
+
+/// One of the six dataflow variants of Fig. 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Dataflow {
+    /// MNK loop order — `Inner-Product(M)`.
+    InnerProductM,
+    /// KMN loop order — `Outer-Product(M)`.
+    OuterProductM,
+    /// MKN loop order — `Gustavson(M)`.
+    GustavsonM,
+    /// NMK loop order — `Inner-Product(N)`.
+    InnerProductN,
+    /// KNM loop order — `Outer-Product(N)`.
+    OuterProductN,
+    /// NKM loop order — `Gustavson(N)`.
+    GustavsonN,
+}
+
+impl Dataflow {
+    /// All six variants in Table 3 order.
+    pub const ALL: [Dataflow; 6] = [
+        Dataflow::InnerProductM,
+        Dataflow::OuterProductM,
+        Dataflow::GustavsonM,
+        Dataflow::InnerProductN,
+        Dataflow::OuterProductN,
+        Dataflow::GustavsonN,
+    ];
+
+    /// The three M-stationary variants (one per class).
+    pub const M_STATIONARY: [Dataflow; 3] = [
+        Dataflow::InnerProductM,
+        Dataflow::OuterProductM,
+        Dataflow::GustavsonM,
+    ];
+
+    /// The base dataflow class.
+    pub fn class(self) -> DataflowClass {
+        match self {
+            Self::InnerProductM | Self::InnerProductN => DataflowClass::InnerProduct,
+            Self::OuterProductM | Self::OuterProductN => DataflowClass::OuterProduct,
+            Self::GustavsonM | Self::GustavsonN => DataflowClass::Gustavson,
+        }
+    }
+
+    /// The stationary independent dimension.
+    pub fn stationarity(self) -> Stationarity {
+        match self {
+            Self::InnerProductM | Self::OuterProductM | Self::GustavsonM => Stationarity::M,
+            Self::InnerProductN | Self::OuterProductN | Self::GustavsonN => Stationarity::N,
+        }
+    }
+
+    /// Loop order, outermost first (Table 3's "Dataflow" column).
+    pub fn loop_order(self) -> &'static str {
+        match self {
+            Self::InnerProductM => "MNK",
+            Self::OuterProductM => "KMN",
+            Self::GustavsonM => "MKN",
+            Self::InnerProductN => "NMK",
+            Self::OuterProductN => "KNM",
+            Self::GustavsonN => "NKM",
+        }
+    }
+
+    /// Informal name (Table 3).
+    pub fn informal_name(self) -> &'static str {
+        match self {
+            Self::InnerProductM => "Inner Product(M)",
+            Self::OuterProductM => "Outer Product(M)",
+            Self::GustavsonM => "Gustavson's(M)",
+            Self::InnerProductN => "Inner Product(N)",
+            Self::OuterProductN => "Outer Product(N)",
+            Self::GustavsonN => "Gustavson's(N)",
+        }
+    }
+
+    /// Compression format required for operand A (Table 3).
+    pub fn a_format(self) -> MajorOrder {
+        match self {
+            Self::InnerProductM | Self::GustavsonM | Self::InnerProductN => MajorOrder::Row,
+            Self::OuterProductM | Self::OuterProductN | Self::GustavsonN => MajorOrder::Col,
+        }
+    }
+
+    /// Compression format required for operand B (Table 3).
+    pub fn b_format(self) -> MajorOrder {
+        match self {
+            Self::InnerProductM | Self::InnerProductN | Self::GustavsonN => MajorOrder::Col,
+            Self::OuterProductM | Self::GustavsonM | Self::OuterProductN => MajorOrder::Row,
+        }
+    }
+
+    /// Compression format of the produced output C (Table 3): M-stationary
+    /// dataflows emit CSR, N-stationary emit CSC.
+    pub fn c_format(self) -> MajorOrder {
+        match self.stationarity() {
+            Stationarity::M => MajorOrder::Row,
+            Stationarity::N => MajorOrder::Col,
+        }
+    }
+
+    /// Whether the dataflow produces partial sums that require merging
+    /// (Table 3's "Merging" column; Inner Product does not).
+    pub fn requires_merging(self) -> bool {
+        !matches!(self.class(), DataflowClass::InnerProduct)
+    }
+
+    /// Table 3's "Intersection" column.
+    pub fn intersection(self) -> &'static str {
+        match self {
+            Self::InnerProductM => "Scalar A vs Scalar B",
+            Self::InnerProductN => "Scalar B vs Scalar A",
+            Self::GustavsonM => "Scalar A vs Fiber B",
+            Self::GustavsonN => "Scalar B vs Fiber A",
+            Self::OuterProductM | Self::OuterProductN => "N/A",
+        }
+    }
+
+    /// Table 3's "Merging" column.
+    pub fn merging(self) -> &'static str {
+        match self {
+            Self::InnerProductM | Self::InnerProductN => "N/A",
+            Self::OuterProductM | Self::OuterProductN => "Scalar",
+            Self::GustavsonM => "Fiber(M)",
+            Self::GustavsonN => "Fiber(N)",
+        }
+    }
+
+    /// The same class with the opposite stationarity.
+    #[must_use]
+    pub fn flipped_stationarity(self) -> Dataflow {
+        match self {
+            Self::InnerProductM => Self::InnerProductN,
+            Self::OuterProductM => Self::OuterProductN,
+            Self::GustavsonM => Self::GustavsonN,
+            Self::InnerProductN => Self::InnerProductM,
+            Self::OuterProductN => Self::OuterProductM,
+            Self::GustavsonN => Self::GustavsonM,
+        }
+    }
+
+    /// The M-stationary variant of this dataflow's class.
+    #[must_use]
+    pub fn as_m_stationary(self) -> Dataflow {
+        match self.class() {
+            DataflowClass::InnerProduct => Self::InnerProductM,
+            DataflowClass::OuterProduct => Self::OuterProductM,
+            DataflowClass::Gustavson => Self::GustavsonM,
+        }
+    }
+}
+
+impl std::fmt::Display for Dataflow {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.informal_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table3_formats_m_stationary() {
+        // MNK: A CSR, B CSC, C CSR.
+        assert_eq!(Dataflow::InnerProductM.a_format(), MajorOrder::Row);
+        assert_eq!(Dataflow::InnerProductM.b_format(), MajorOrder::Col);
+        assert_eq!(Dataflow::InnerProductM.c_format(), MajorOrder::Row);
+        // KMN: A CSC, B CSR, C CSR.
+        assert_eq!(Dataflow::OuterProductM.a_format(), MajorOrder::Col);
+        assert_eq!(Dataflow::OuterProductM.b_format(), MajorOrder::Row);
+        assert_eq!(Dataflow::OuterProductM.c_format(), MajorOrder::Row);
+        // MKN: A CSR, B CSR, C CSR.
+        assert_eq!(Dataflow::GustavsonM.a_format(), MajorOrder::Row);
+        assert_eq!(Dataflow::GustavsonM.b_format(), MajorOrder::Row);
+        assert_eq!(Dataflow::GustavsonM.c_format(), MajorOrder::Row);
+    }
+
+    #[test]
+    fn table3_formats_n_stationary() {
+        // NMK: A CSR, B CSC, C CSC.
+        assert_eq!(Dataflow::InnerProductN.a_format(), MajorOrder::Row);
+        assert_eq!(Dataflow::InnerProductN.b_format(), MajorOrder::Col);
+        assert_eq!(Dataflow::InnerProductN.c_format(), MajorOrder::Col);
+        // KNM: A CSC, B CSR, C CSC.
+        assert_eq!(Dataflow::OuterProductN.a_format(), MajorOrder::Col);
+        assert_eq!(Dataflow::OuterProductN.b_format(), MajorOrder::Row);
+        assert_eq!(Dataflow::OuterProductN.c_format(), MajorOrder::Col);
+        // NKM: A CSC, B CSC, C CSC.
+        assert_eq!(Dataflow::GustavsonN.a_format(), MajorOrder::Col);
+        assert_eq!(Dataflow::GustavsonN.b_format(), MajorOrder::Col);
+        assert_eq!(Dataflow::GustavsonN.c_format(), MajorOrder::Col);
+    }
+
+    #[test]
+    fn loop_orders_match_table3() {
+        let orders: Vec<&str> = Dataflow::ALL.iter().map(|d| d.loop_order()).collect();
+        assert_eq!(orders, vec!["MNK", "KMN", "MKN", "NMK", "KNM", "NKM"]);
+    }
+
+    #[test]
+    fn only_inner_product_skips_merging() {
+        for d in Dataflow::ALL {
+            assert_eq!(
+                d.requires_merging(),
+                d.class() != DataflowClass::InnerProduct,
+                "{d}"
+            );
+        }
+    }
+
+    #[test]
+    fn merging_column_matches_table3() {
+        assert_eq!(Dataflow::InnerProductM.merging(), "N/A");
+        assert_eq!(Dataflow::OuterProductM.merging(), "Scalar");
+        assert_eq!(Dataflow::GustavsonM.merging(), "Fiber(M)");
+        assert_eq!(Dataflow::GustavsonN.merging(), "Fiber(N)");
+    }
+
+    #[test]
+    fn stationarity_partitions_variants() {
+        let m: Vec<_> = Dataflow::ALL
+            .iter()
+            .filter(|d| d.stationarity() == Stationarity::M)
+            .collect();
+        assert_eq!(m.len(), 3);
+        assert_eq!(Dataflow::M_STATIONARY.len(), 3);
+    }
+
+    #[test]
+    fn flip_is_involution() {
+        for d in Dataflow::ALL {
+            assert_eq!(d.flipped_stationarity().flipped_stationarity(), d);
+            assert_eq!(d.flipped_stationarity().class(), d.class());
+            assert_ne!(d.flipped_stationarity().stationarity(), d.stationarity());
+        }
+    }
+
+    #[test]
+    fn as_m_stationary_fixes_stationarity() {
+        for d in Dataflow::ALL {
+            assert_eq!(d.as_m_stationary().stationarity(), Stationarity::M);
+            assert_eq!(d.as_m_stationary().class(), d.class());
+        }
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(format!("{}", Dataflow::GustavsonM), "Gustavson's(M)");
+        assert_eq!(format!("{}", DataflowClass::OuterProduct), "Outer Product");
+    }
+}

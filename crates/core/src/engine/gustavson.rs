@@ -1,0 +1,105 @@
+//! The Gustavson's(M) phase loop (paper §3.2.3, Fig. 7).
+//!
+//! Stationary: row fibers of A (CSR) map onto clusters of multipliers.
+//! Streaming: each multiplier's stationary element `A[m,k]` pulls B's row
+//! `k` (CSR) through the STR cache — the leader-follower intersection whose
+//! irregular reuse the cache is sized for. The cluster's scaled fibers
+//! merge immediately in the MRN subtree ("we can merge the psums
+//! immediately after their generation"), overlapping with multiplication —
+//! GAMMA's signature. Rows that fit one cluster emit final fibers straight
+//! to DRAM; longer rows buffer per-chunk fibers in the PSRAM and run a
+//! short merging phase when their last chunk completes.
+
+use super::{tiling, Engine};
+use flexagon_sim::{bottleneck, Phase};
+use flexagon_sparse::Fiber;
+
+pub(super) fn run(e: &mut Engine<'_>) {
+    let tiles = tiling::tile_rows(&e.a, e.cfg.multipliers);
+
+    for tile in &tiles {
+        e.stationary_phase(tile.slots_used());
+
+        let mut delivered = 0u64;
+        let mut products = 0u64;
+        let mut merge_in = 0u64;
+        let mut miss_lines = 0u64;
+        let mut rows_completed: Vec<u32> = Vec::new();
+
+        for cl in &tile.clusters {
+            let a_fiber = e.a.fiber(cl.row);
+            let chunk = &a_fiber.elements()[cl.start..cl.start + cl.len];
+            let mut scaled: Vec<Fiber> = Vec::with_capacity(chunk.len());
+            for el in chunk {
+                let len = e.b.fiber_len(el.coord) as u64;
+                if len == 0 {
+                    continue;
+                }
+                let start = e.b_elem_offset(el.coord);
+                let access = e.cache.read_range(start, len, &mut e.dram);
+                miss_lines += access.misses;
+                delivered += len;
+                scaled.push(e.b.fiber(el.coord).to_fiber().scaled(el.value));
+            }
+            let cluster_products: u64 = scaled.iter().map(|f| f.len() as u64).sum();
+            products += cluster_products;
+            e.mn.multiply(cluster_products);
+            let views: Vec<_> = scaled.iter().map(Fiber::as_view).collect();
+            let out = e.mrn.merge_fibers(&views);
+            merge_in += cluster_products;
+            if cl.is_whole_row() {
+                e.emit_row(cl.row, out.fiber);
+            } else {
+                // Partial fiber: buffer under the chunk index as its tag.
+                e.psram.partial_write_fiber(
+                    cl.row,
+                    cl.chunk,
+                    out.fiber.elements(),
+                    &mut e.dram,
+                );
+                if cl.is_last_chunk() {
+                    rows_completed.push(cl.row);
+                }
+            }
+        }
+        e.dn.send_irregular(delivered, delivered);
+        // Unlike the sequential streams of IP and OP, Gustavson's B-row
+        // gathers are data-dependent (the stationary coordinate selects the
+        // fiber), so cache misses serialize against consumption instead of
+        // hiding behind it: each batch of outstanding misses exposes one
+        // DRAM latency. This is the "irregular and unpredictable memory
+        // access pattern" (§3.4) the STR cache is provisioned for, and what
+        // degrades the GAMMA-like design when B outgrows the cache (Fig. 13).
+        let dram_cfg = e.cfg.memory.dram;
+        let gather_stall =
+            miss_lines.div_ceil(dram_cfg.max_outstanding) * dram_cfg.latency_cycles;
+        e.counters.add("gust.gather_stall_cycles", gather_stall);
+        // Multiplication and in-cluster merging overlap: the tile is bound
+        // by the slowest of delivery, multiply throughput and merge
+        // bandwidth (GAMMA computes "the merging phase ... in parallel
+        // within the multiplying phase").
+        let streaming = bottleneck(&[
+            e.dn_cycles(delivered),
+            e.mult_cycles(products),
+            e.merge_cycles(merge_in),
+        ]) + gather_stall
+            + e.mrn.fill_latency();
+        e.advance_with_dram(Phase::Streaming, streaming);
+
+        // Merging phase: only rows whose last chunk just finished.
+        if !rows_completed.is_empty() {
+            let mut merging = 0;
+            for row in rows_completed {
+                let (fiber, cycles) = e.merge_row_fibers(row, Vec::new());
+                merging += cycles;
+                e.counters.incr("gust.split_rows_merged");
+                e.emit_row(row, fiber);
+            }
+            e.advance_with_dram(Phase::Merging, merging);
+        }
+    }
+    debug_assert!(
+        e.psram.is_empty(),
+        "all chunk fibers must be merged when their row completes"
+    );
+}

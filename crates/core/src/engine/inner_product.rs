@@ -1,0 +1,136 @@
+//! The Inner-Product(M) phase loop (paper §3.2.1, Fig. 5).
+//!
+//! Stationary: as many row fibers of A (CSR) as possible map onto the
+//! multipliers, forming clusters that each compute dot products for one
+//! output row. Streaming: every column fiber of B (CSC) is examined by the
+//! controller, which sends only intersecting elements into the distribution
+//! network ("the controller uses the row coordinate of each element in the
+//! fiber of B to detect whether it intersects"); the MRN reduces each
+//! cluster's products into a full sum. No partial sums ever reach the
+//! PSRAM — rows longer than the array accumulate temporally in the
+//! cluster's output register across consecutive tiles, which is why the
+//! SIGMA-like bars of Fig. 14 show zero psum traffic while paying a full
+//! re-stream of B per tile.
+
+use super::{tiling, Engine};
+use flexagon_sim::{bottleneck, Phase};
+use flexagon_sparse::{Element, Fiber, Value};
+use std::collections::HashMap;
+
+pub(super) fn run(e: &mut Engine<'_>) {
+    let tiles = tiling::tile_rows(&e.a, e.cfg.multipliers);
+    let k_dim = e.a.cols() as usize;
+    // Reusable k -> [(cluster, stationary value)] index for the current tile.
+    let mut k_entries: Vec<Vec<(u32, Value)>> = vec![Vec::new(); k_dim];
+    // Cross-tile accumulators for rows split into multiple chunks.
+    let mut split_acc: HashMap<u32, HashMap<u32, Value>> = HashMap::new();
+
+    for tile in &tiles {
+        e.stationary_phase(tile.slots_used());
+
+        // Index this tile's stationary coordinates.
+        let mut touched_k: Vec<u32> = Vec::new();
+        for (ci, cl) in tile.clusters.iter().enumerate() {
+            let fiber = e.a.fiber(cl.row);
+            for el in &fiber.elements()[cl.start..cl.start + cl.len] {
+                let slot = &mut k_entries[el.coord as usize];
+                if slot.is_empty() {
+                    touched_k.push(el.coord);
+                }
+                slot.push((ci as u32, el.value));
+            }
+        }
+
+        // Streaming phase: the whole of B flows past this tile once.
+        let mut streaming = 0u64;
+        let mut acc: Vec<Value> = vec![0.0; tile.clusters.len()];
+        let mut hit: Vec<bool> = vec![false; tile.clusters.len()];
+        let mut hit_list: Vec<u32> = Vec::new();
+        let mut injected_tile = 0u64;
+        let mut delivered_tile = 0u64;
+        let mut final_elems = 0u64;
+        for n in 0..e.b.major_dim() {
+            let len = e.b.fiber_len(n) as u64;
+            if len == 0 {
+                continue;
+            }
+            let start = e.b_elem_offset(n);
+            e.cache.read_range(start, len, &mut e.dram);
+            let mut intersections = 0u64;
+            let mut injected = 0u64;
+            {
+                let fiber = e.b.fiber(n);
+                for el in fiber.elements() {
+                    let entries = &k_entries[el.coord as usize];
+                    if entries.is_empty() {
+                        continue;
+                    }
+                    injected += 1;
+                    intersections += entries.len() as u64;
+                    for &(ci, aval) in entries {
+                        let ci = ci as usize;
+                        if !hit[ci] {
+                            hit[ci] = true;
+                            hit_list.push(ci as u32);
+                        }
+                        acc[ci] += aval * el.value;
+                    }
+                }
+            }
+            injected_tile += injected;
+            delivered_tile += intersections;
+            let mult = e.mn.multiply(intersections);
+            e.mrn.reduce(intersections);
+            // Controller scans the fiber from the cache at DN rate; the
+            // multipliers and the reduction tree run concurrently.
+            streaming += bottleneck(&[e.dn_cycles(len), mult]);
+            // Emit completed dot products for this column.
+            for &ci in &hit_list {
+                let cl = &tile.clusters[ci as usize];
+                let value = acc[ci as usize];
+                if cl.is_whole_row() {
+                    e.out_fibers[cl.row as usize].push(Element::new(n, value));
+                    final_elems += 1;
+                } else {
+                    *split_acc
+                        .entry(cl.row)
+                        .or_default()
+                        .entry(n)
+                        .or_insert(0.0) += value;
+                }
+                acc[ci as usize] = 0.0;
+                hit[ci as usize] = false;
+            }
+            hit_list.clear();
+        }
+        e.dn.send_irregular(injected_tile, delivered_tile.max(injected_tile));
+        streaming += e.mrn.fill_latency();
+        e.wbuf.write(final_elems, &mut e.dram);
+        e.advance_with_dram(Phase::Streaming, streaming);
+
+        for k in touched_k {
+            k_entries[k as usize].clear();
+        }
+    }
+
+    // Assemble rows that accumulated across tiles. Their elements were held
+    // in the cluster output registers, so only the final store is charged.
+    let mut split_rows: Vec<u32> = split_acc.keys().copied().collect();
+    split_rows.sort_unstable();
+    let mut split_elems = 0u64;
+    for row in split_rows {
+        let entries = split_acc.remove(&row).expect("key from map");
+        let fiber: Fiber = entries
+            .into_iter()
+            .map(|(n, v)| Element::new(n, v))
+            .collect();
+        split_elems += fiber.len() as u64;
+        e.wbuf.write(fiber.len() as u64, &mut e.dram);
+        e.out_fibers[row as usize] = fiber;
+    }
+    if split_elems > 0 {
+        e.counters.add("ip.split_row_elements", split_elems);
+        let drain = e.merge_cycles(split_elems);
+        e.advance_with_dram(Phase::Streaming, drain);
+    }
+}

@@ -1,0 +1,295 @@
+//! The execution engine: one hardware substrate, six dataflows.
+//!
+//! [`execute`] orients any of the six dataflows onto the M-stationary form
+//! of its class (paper §3.2: "the IP(N), OP(N) and Gust(N) dataflows could
+//! be executed in the same manner by exchanging matrices A and B"), runs the
+//! class-specific phase loop against the simulated memory structures and
+//! networks, and assembles the functional output together with the
+//! execution report.
+
+mod gustavson;
+mod inner_product;
+mod outer_product;
+pub(crate) mod tiling;
+
+use crate::{
+    AcceleratorConfig, CoreError, Dataflow, DataflowClass, ExecutionReport, Result,
+    Stationarity, TrafficReport,
+};
+use flexagon_mem::{Dram, Psram, StaFifo, StrCache, WriteBuffer};
+use flexagon_noc::{
+    DistributionNetwork, DnConfig, MergerReductionNetwork, MnConfig, MrnConfig,
+    MultiplierNetwork,
+};
+use flexagon_sim::{
+    bottleneck, cycles_for, Bandwidth, CounterSet, Cycle, Phase, PhaseClock,
+};
+use flexagon_sparse::{
+    stats::SpGemmWork, CompressedMatrix, Fiber, FormatError, MajorOrder,
+};
+
+/// Runs `a x b` under `dataflow` on the given configuration, returning the
+/// output matrix (in the dataflow's natural format) and the report.
+pub(crate) fn execute(
+    cfg: &AcceleratorConfig,
+    a: &CompressedMatrix,
+    b: &CompressedMatrix,
+    dataflow: Dataflow,
+) -> Result<(CompressedMatrix, ExecutionReport)> {
+    cfg.assert_valid();
+    if a.cols() != b.rows() {
+        return Err(CoreError::Format(FormatError::DimensionMismatch {
+            left_cols: a.cols(),
+            right_rows: b.rows(),
+        }));
+    }
+    // Bring operands into the dataflow's Table 3 formats, counting explicit
+    // conversions (the "EC" cost Flexagon's inter-layer mechanism avoids).
+    let mut explicit_conversions = 0u32;
+    let a_fmt = dataflow.a_format();
+    let b_fmt = dataflow.b_format();
+    let a_conv;
+    let a_ref = if a.order() == a_fmt {
+        a
+    } else {
+        explicit_conversions += 1;
+        a_conv = a.converted(a_fmt);
+        &a_conv
+    };
+    let b_conv;
+    let b_ref = if b.order() == b_fmt {
+        b
+    } else {
+        explicit_conversions += 1;
+        b_conv = b.converted(b_fmt);
+        &b_conv
+    };
+    // Orient to M-stationary: an N-stationary run of C = A x B is the
+    // M-stationary run of Cᵀ = Bᵀ x Aᵀ, and transposition is a free
+    // reinterpretation of the compressed data.
+    let (a_eff, b_eff) = match dataflow.stationarity() {
+        Stationarity::M => (a_ref.clone(), b_ref.clone()),
+        Stationarity::N => (
+            b_ref.reinterpret_transposed(),
+            a_ref.reinterpret_transposed(),
+        ),
+    };
+    let work = SpGemmWork::of(&a_eff, &b_eff);
+    let mut engine = Engine::new(cfg, a_eff, b_eff);
+    match dataflow.class() {
+        DataflowClass::InnerProduct => inner_product::run(&mut engine),
+        DataflowClass::OuterProduct => outer_product::run(&mut engine),
+        DataflowClass::Gustavson => gustavson::run(&mut engine),
+    }
+    let (c_m, report) = engine.finish(dataflow, work, explicit_conversions)?;
+    let c = match dataflow.stationarity() {
+        Stationarity::M => c_m,
+        Stationarity::N => c_m.reinterpret_transposed(),
+    };
+    debug_assert_eq!(c.order(), dataflow.c_format());
+    Ok((c, report))
+}
+
+/// Execution context: configuration, operands (already M-stationary
+/// oriented), the simulated hardware, and accumulating results.
+pub(crate) struct Engine<'a> {
+    pub cfg: &'a AcceleratorConfig,
+    /// Stationary operand (CSR for IP/Gust, CSC for OP).
+    pub a: CompressedMatrix,
+    /// Streaming operand (CSC for IP, CSR for OP/Gust).
+    pub b: CompressedMatrix,
+    pub dram: Dram,
+    pub fifo: StaFifo,
+    pub cache: StrCache,
+    pub psram: Psram,
+    pub wbuf: WriteBuffer,
+    pub dn: DistributionNetwork,
+    pub mn: MultiplierNetwork,
+    pub mrn: MergerReductionNetwork,
+    pub phases: PhaseClock,
+    pub counters: CounterSet,
+    /// Output fibers per row of C (M-stationary orientation).
+    pub out_fibers: Vec<Fiber>,
+    pub tiles_run: u64,
+}
+
+impl std::fmt::Debug for Engine<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("a", &(self.a.rows(), self.a.cols()))
+            .field("b", &(self.b.rows(), self.b.cols()))
+            .field("tiles_run", &self.tiles_run)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<'a> Engine<'a> {
+    pub(crate) fn new(
+        cfg: &'a AcceleratorConfig,
+        a: CompressedMatrix,
+        b: CompressedMatrix,
+    ) -> Self {
+        let rows = a.rows();
+        Self {
+            cfg,
+            a,
+            b,
+            dram: Dram::new(cfg.memory.dram),
+            fifo: StaFifo::new(cfg.memory.fifo),
+            cache: StrCache::new(cfg.memory.cache),
+            psram: Psram::new(cfg.memory.psram),
+            wbuf: WriteBuffer::new(),
+            dn: DistributionNetwork::new(DnConfig {
+                width: cfg.multipliers,
+                bandwidth: Bandwidth::per_cycle(cfg.dn_bandwidth),
+            }),
+            mn: MultiplierNetwork::new(MnConfig { multipliers: cfg.multipliers }),
+            mrn: MergerReductionNetwork::new(MrnConfig {
+                leaves: cfg.multipliers,
+                bandwidth: Bandwidth::per_cycle(cfg.merge_bandwidth),
+            }),
+            phases: PhaseClock::new(),
+            counters: CounterSet::new(),
+            out_fibers: vec![Fiber::new(); rows as usize],
+            tiles_run: 0,
+        }
+    }
+
+    /// Element offset of streaming fiber `major` within B's data vector —
+    /// the virtual address space the STR cache operates on.
+    pub(crate) fn b_elem_offset(&self, major: u32) -> u64 {
+        self.b.ptr()[major as usize] as u64
+    }
+
+    /// Runs the stationary phase for one tile: `n` elements stream from
+    /// DRAM through the STA FIFO and are unicast to their multipliers.
+    pub(crate) fn stationary_phase(&mut self, n: u64) {
+        self.tiles_run += 1;
+        if n == 0 {
+            return;
+        }
+        self.fifo.stream(n, &mut self.dram);
+        let inject = self.dn.send_irregular(n, n);
+        self.mn.load_stationary(n);
+        let dram_busy = self.dram.take_busy_cycles();
+        self.phases
+            .advance(Phase::Stationary, bottleneck(&[inject, dram_busy]));
+    }
+
+    /// Folds accumulated DRAM occupancy into `compute` cycles for `phase`:
+    /// memory either hides behind compute or becomes the bottleneck.
+    pub(crate) fn advance_with_dram(&mut self, phase: Phase, compute: Cycle) {
+        let dram_busy = self.dram.take_busy_cycles();
+        self.phases.advance(phase, bottleneck(&[compute, dram_busy]));
+    }
+
+    /// Merges every psum fiber currently buffered for `row` (plus
+    /// `extra` in-flight fibers) down to a single fiber, running as many
+    /// MRN passes as the tree radix requires. Intermediate pass results are
+    /// buffered in the PSRAM (charged as psum traffic). Returns the merged
+    /// fiber and the cycles spent.
+    pub(crate) fn merge_row_fibers(
+        &mut self,
+        row: u32,
+        extra: Vec<Fiber>,
+    ) -> (Fiber, Cycle) {
+        let tags = self.psram.fiber_tags_of_row(row);
+        let mut queue: std::collections::VecDeque<Fiber> = tags
+            .into_iter()
+            .map(|k| {
+                Fiber::from_sorted(self.psram.consume_fiber(row, k, &mut self.dram))
+            })
+            .chain(extra)
+            .filter(|f| !f.is_empty())
+            .collect();
+        match queue.len() {
+            0 => return (Fiber::new(), 0),
+            1 => return (queue.pop_front().expect("len checked"), 0),
+            _ => {}
+        }
+        let radix = self.mrn.max_radix();
+        let mut cycles = 0;
+        loop {
+            let take = radix.min(queue.len());
+            let batch: Vec<Fiber> = queue.drain(..take).collect();
+            let views: Vec<_> = batch.iter().map(Fiber::as_view).collect();
+            let out = self.mrn.merge_fibers(&views);
+            cycles += out.cycles;
+            self.counters.incr("mrn.merge_passes");
+            if queue.is_empty() {
+                return (out.fiber, cycles);
+            }
+            // Intermediate result waits in the PSRAM for the next pass.
+            self.psram
+                .charge_intermediate_roundtrip(out.fiber.len() as u64);
+            queue.push_back(out.fiber);
+        }
+    }
+
+    /// Emits a final output fiber for `row` through the write buffer.
+    pub(crate) fn emit_row(&mut self, row: u32, fiber: Fiber) {
+        self.wbuf.write(fiber.len() as u64, &mut self.dram);
+        self.out_fibers[row as usize] = fiber;
+    }
+
+    /// Assembles the output matrix and the execution report.
+    pub(crate) fn finish(
+        mut self,
+        dataflow: Dataflow,
+        work: SpGemmWork,
+        explicit_conversions: u32,
+    ) -> Result<(CompressedMatrix, ExecutionReport)> {
+        let rows = self.a.rows();
+        let cols = self.b.cols();
+        let fibers = std::mem::take(&mut self.out_fibers);
+        let c = CompressedMatrix::from_fibers(rows, cols, MajorOrder::Row, fibers)?;
+        let (uni, multi, broad) = self.dn.cast_counts();
+        self.counters.add("dn.unicasts", uni);
+        self.counters.add("dn.multicasts", multi);
+        self.counters.add("dn.broadcasts", broad);
+        self.counters.add("dn.injected", self.dn.injected_elements());
+        self.counters.add("dn.delivered", self.dn.delivered_elements());
+        self.counters.add("mrn.additions", self.mrn.additions());
+        self.counters.add("mrn.comparisons", self.mrn.comparisons());
+        self.counters.add("mn.forwards", self.mn.forwards());
+        self.counters
+            .add("psram.spilled_elements", self.psram.usage().spilled_elements);
+        self.counters.add("wbuf.elements", self.wbuf.written_elements());
+        let report = ExecutionReport {
+            dataflow,
+            total_cycles: self.phases.total(),
+            phases: self.phases,
+            traffic: TrafficReport {
+                sta_onchip_bytes: self.fifo.onchip_bytes(),
+                str_onchip_bytes: self.cache.onchip_bytes(),
+                psum_onchip_bytes: self.psram.onchip_bytes(),
+                str_fill_bytes: self.cache.fill_bytes(),
+                dram_read_bytes: self.dram.read_bytes(),
+                dram_write_bytes: self.dram.written_bytes(),
+            },
+            cache: self.cache.stats(),
+            psram: self.psram.usage(),
+            work,
+            tiles: self.tiles_run,
+            multiplications: self.mn.multiplications(),
+            explicit_conversions,
+            counters: self.counters,
+        };
+        Ok((c, report))
+    }
+
+    /// Shorthand for `cycles_for` against the distribution bandwidth.
+    pub(crate) fn dn_cycles(&self, elements: u64) -> Cycle {
+        cycles_for(elements, self.cfg.dn_bandwidth)
+    }
+
+    /// Shorthand for `cycles_for` against the merge bandwidth.
+    pub(crate) fn merge_cycles(&self, elements: u64) -> Cycle {
+        cycles_for(elements, self.cfg.merge_bandwidth)
+    }
+
+    /// Shorthand for `cycles_for` against the multiplier count.
+    pub(crate) fn mult_cycles(&self, products: u64) -> Cycle {
+        cycles_for(products, self.cfg.multipliers as u64)
+    }
+}

@@ -1,0 +1,100 @@
+//! The Outer-Product(M) phase loop (paper §3.2.2, Fig. 6).
+//!
+//! Stationary: individual elements of A (CSC, column-major order) occupy
+//! the multipliers. Streaming: each distinct k's B row (CSR) is multicast
+//! to every multiplier holding an element of A's column k; each multiplier
+//! emits a psum fiber `(row m, iteration k)` into the PSRAM. Merging: row
+//! by row, the k-tagged fibers are consumed from the PSRAM and merged
+//! through the tree; rows that will receive psums from later tiles ship a
+//! partial fiber to DRAM and are finally merged when their last tile
+//! completes — the off-chip psum traffic that characterizes Outer-Product
+//! designs like SpArch.
+
+use super::{tiling, Engine};
+use flexagon_sim::{bottleneck, Phase};
+use flexagon_sparse::{Element, Fiber};
+use std::collections::HashMap;
+
+pub(super) fn run(e: &mut Engine<'_>) {
+    let tiles = tiling::tile_cols(&e.a, e.cfg.multipliers);
+    // How many tiles contribute psums to each output row.
+    let mut tiles_left: HashMap<u32, u32> = HashMap::new();
+    for tile in &tiles {
+        for row in tile.rows_touched() {
+            *tiles_left.entry(row).or_insert(0) += 1;
+        }
+    }
+    // Partial row fibers shipped to DRAM between tiles.
+    let mut pending: HashMap<u32, Vec<Fiber>> = HashMap::new();
+
+    for tile in &tiles {
+        e.stationary_phase(tile.slots_used());
+
+        // Streaming phase: one multicast of B's row k per group.
+        let mut streaming = 0u64;
+        let mut scaled: Vec<Element> = Vec::new();
+        for g in &tile.groups {
+            let len = e.b.fiber_len(g.k) as u64;
+            if len == 0 {
+                continue;
+            }
+            let start = e.b_elem_offset(g.k);
+            e.cache.read_range(start, len, &mut e.dram);
+            let fanout = g.targets.len() as u64;
+            let products = len * fanout;
+            e.dn.send_irregular(len, products);
+            let mult = e.mn.multiply(products);
+            for &(row, aval) in &g.targets {
+                scaled.clear();
+                scaled.extend(e.b.fiber(g.k).elements().iter().map(|el| el.scaled(aval)));
+                e.psram.partial_write_fiber(row, g.k, &scaled, &mut e.dram);
+            }
+            // Cache scan, multipliers and PSRAM write ports run concurrently.
+            streaming += bottleneck(&[e.dn_cycles(len), mult, e.merge_cycles(products)]);
+        }
+        e.advance_with_dram(Phase::Streaming, streaming);
+
+        // Merging phase: proceed row by row (paper: "the merging phase
+        // proceeds row by row").
+        let mut merging = e.mrn.fill_latency();
+        for row in tile.rows_touched() {
+            let (fiber, cycles) = e.merge_row_fibers(row, Vec::new());
+            merging += cycles;
+            let left = tiles_left
+                .get_mut(&row)
+                .expect("row appears in its own tile count");
+            *left -= 1;
+            if *left == 0 {
+                let parts = pending.remove(&row).unwrap_or_default();
+                if parts.is_empty() {
+                    e.emit_row(row, fiber);
+                } else {
+                    // Reload the DRAM-resident partial fibers and run the
+                    // final cross-tile merge.
+                    for p in &parts {
+                        e.dram.read(p.len() as u64 * flexagon_sparse::ELEMENT_BYTES);
+                    }
+                    e.counters.add("op.partial_fibers_reloaded", parts.len() as u64);
+                    let mut extra = parts;
+                    extra.push(fiber);
+                    let (merged, cycles) = e.merge_row_fibers(row, extra);
+                    merging += cycles;
+                    e.emit_row(row, merged);
+                }
+            } else if !fiber.is_empty() {
+                // More tiles will contribute: ship the partial fiber out.
+                e.dram
+                    .write(fiber.len() as u64 * flexagon_sparse::ELEMENT_BYTES);
+                e.counters
+                    .add("op.partial_fiber_elements_to_dram", fiber.len() as u64);
+                pending.entry(row).or_default().push(fiber);
+            }
+        }
+        e.advance_with_dram(Phase::Merging, merging);
+    }
+    debug_assert!(
+        e.psram.is_empty(),
+        "all psum fibers must be consumed by the merging phases"
+    );
+    debug_assert!(pending.is_empty(), "every pending row must be finalized");
+}

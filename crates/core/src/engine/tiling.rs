@@ -1,0 +1,285 @@
+//! Stationary-tile planning.
+//!
+//! A tile is one filling of the multiplier array (the stationary phase of
+//! Fig. 3b). For row-stationary dataflows (IP, Gust) a tile packs row
+//! fibers (split into chunks when longer than the array); for the
+//! element-stationary Outer Product it packs individual elements walked in
+//! column-major order, grouped by their `k` so one B-row multicast serves
+//! the whole group.
+
+use flexagon_sparse::{CompressedMatrix, Value};
+
+/// A chunk of a stationary row fiber mapped onto consecutive multipliers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Cluster {
+    /// Output row this cluster computes.
+    pub row: u32,
+    /// Chunk index within the row (0-based).
+    pub chunk: u32,
+    /// Total chunks the row was split into.
+    pub chunks_total: u32,
+    /// Offset of the chunk within the row's fiber.
+    pub start: usize,
+    /// Number of elements (multiplier slots) in the chunk.
+    pub len: usize,
+}
+
+impl Cluster {
+    /// Whether this row fits entirely in one cluster.
+    pub fn is_whole_row(&self) -> bool {
+        self.chunks_total == 1
+    }
+
+    /// Whether this is the row's final chunk.
+    pub fn is_last_chunk(&self) -> bool {
+        self.chunk + 1 == self.chunks_total
+    }
+}
+
+/// One stationary tile of row clusters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct RowTile {
+    /// Clusters mapped in this tile, in row order.
+    pub clusters: Vec<Cluster>,
+}
+
+impl RowTile {
+    /// Multiplier slots occupied.
+    pub fn slots_used(&self) -> u64 {
+        self.clusters.iter().map(|c| c.len as u64).sum()
+    }
+}
+
+/// Packs the rows of a row-major stationary matrix into tiles of at most
+/// `slots` multipliers, splitting rows longer than `slots` into chunks.
+///
+/// Chunks of one row are emitted in order and never share a tile with a
+/// later chunk of the same row (a full-width chunk fills a tile by itself).
+/// Empty rows occupy no slots.
+pub(crate) fn tile_rows(a: &CompressedMatrix, slots: u32) -> Vec<RowTile> {
+    let slots = slots as usize;
+    let mut tiles = Vec::new();
+    let mut current = RowTile::default();
+    let mut used = 0usize;
+    for row in 0..a.major_dim() {
+        let len = a.fiber_len(row);
+        if len == 0 {
+            continue;
+        }
+        let chunks_total = len.div_ceil(slots) as u32;
+        let mut start = 0usize;
+        let mut chunk = 0u32;
+        while start < len {
+            let take = (len - start).min(slots);
+            if used + take > slots {
+                tiles.push(std::mem::take(&mut current));
+                used = 0;
+            }
+            current.clusters.push(Cluster {
+                row,
+                chunk,
+                chunks_total,
+                start,
+                len: take,
+            });
+            used += take;
+            start += take;
+            chunk += 1;
+            if used == slots {
+                tiles.push(std::mem::take(&mut current));
+                used = 0;
+            }
+        }
+    }
+    if !current.clusters.is_empty() {
+        tiles.push(current);
+    }
+    tiles
+}
+
+/// Stationary elements of one `k` (column of A) within an Outer-Product
+/// tile; the k's B row is multicast to all of them.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct KGroup {
+    /// Shared k coordinate (column of A / row of B).
+    pub k: u32,
+    /// `(output row, stationary A value)` per occupied slot.
+    pub targets: Vec<(u32, Value)>,
+}
+
+/// One stationary tile of Outer-Product element groups.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct ColTile {
+    /// Groups in ascending-k order.
+    pub groups: Vec<KGroup>,
+}
+
+impl ColTile {
+    /// Multiplier slots occupied.
+    pub fn slots_used(&self) -> u64 {
+        self.groups.iter().map(|g| g.targets.len() as u64).sum()
+    }
+
+    /// Output rows receiving psums from this tile (sorted, deduplicated).
+    pub fn rows_touched(&self) -> Vec<u32> {
+        let mut rows: Vec<u32> = self
+            .groups
+            .iter()
+            .flat_map(|g| g.targets.iter().map(|&(row, _)| row))
+            .collect();
+        rows.sort_unstable();
+        rows.dedup();
+        rows
+    }
+}
+
+/// Packs the elements of a column-major stationary matrix into tiles of at
+/// most `slots` elements, walking columns in order (the Outer-Product
+/// stationary order). A column spanning a tile boundary is split across
+/// tiles.
+pub(crate) fn tile_cols(a_csc: &CompressedMatrix, slots: u32) -> Vec<ColTile> {
+    let slots = slots as usize;
+    let mut tiles = Vec::new();
+    let mut current = ColTile::default();
+    let mut used = 0usize;
+    for k in 0..a_csc.major_dim() {
+        for e in a_csc.fiber(k).elements() {
+            if used == slots {
+                tiles.push(std::mem::take(&mut current));
+                used = 0;
+            }
+            match current.groups.last_mut() {
+                Some(g) if g.k == k => g.targets.push((e.coord, e.value)),
+                _ => current.groups.push(KGroup { k, targets: vec![(e.coord, e.value)] }),
+            }
+            used += 1;
+        }
+    }
+    if !current.groups.is_empty() {
+        tiles.push(current);
+    }
+    tiles
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexagon_sparse::{gen, MajorOrder};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn csr(m: u32, k: u32, d: f64, seed: u64) -> CompressedMatrix {
+        gen::random(m, k, d, MajorOrder::Row, &mut ChaCha8Rng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn tile_rows_covers_all_elements_once() {
+        let a = csr(20, 30, 0.3, 1);
+        let tiles = tile_rows(&a, 8);
+        let mut covered = 0usize;
+        for t in &tiles {
+            assert!(t.slots_used() <= 8);
+            covered += t.slots_used() as usize;
+        }
+        assert_eq!(covered, a.nnz());
+    }
+
+    #[test]
+    fn tile_rows_splits_long_rows() {
+        // One dense row of 20 elements, 8 slots: chunks 8/8/4.
+        let a = csr(1, 20, 1.0, 2);
+        let tiles = tile_rows(&a, 8);
+        assert_eq!(tiles.len(), 3);
+        let chunks: Vec<(u32, usize)> = tiles
+            .iter()
+            .flat_map(|t| t.clusters.iter().map(|c| (c.chunk, c.len)))
+            .collect();
+        assert_eq!(chunks, vec![(0, 8), (1, 8), (2, 4)]);
+        for t in &tiles {
+            for c in &t.clusters {
+                assert_eq!(c.chunks_total, 3);
+            }
+        }
+        assert!(tiles[2].clusters[0].is_last_chunk());
+        assert!(!tiles[0].clusters[0].is_last_chunk());
+    }
+
+    #[test]
+    fn tile_rows_skips_empty_rows() {
+        let a = CompressedMatrix::from_triplets(
+            4,
+            4,
+            &[(0, 0, 1.0), (3, 1, 1.0)],
+            MajorOrder::Row,
+        )
+        .unwrap();
+        let tiles = tile_rows(&a, 8);
+        assert_eq!(tiles.len(), 1);
+        let rows: Vec<u32> = tiles[0].clusters.iter().map(|c| c.row).collect();
+        assert_eq!(rows, vec![0, 3]);
+    }
+
+    #[test]
+    fn tile_rows_empty_matrix_no_tiles() {
+        let a = CompressedMatrix::zero(5, 5, MajorOrder::Row);
+        assert!(tile_rows(&a, 8).is_empty());
+    }
+
+    #[test]
+    fn whole_row_flag() {
+        let a = csr(3, 4, 1.0, 3); // rows of 4 nnz, 8 slots
+        let tiles = tile_rows(&a, 8);
+        for t in &tiles {
+            for c in &t.clusters {
+                assert!(c.is_whole_row());
+            }
+        }
+    }
+
+    #[test]
+    fn tile_cols_covers_all_elements_once() {
+        let a = csr(20, 30, 0.3, 4).converted(MajorOrder::Col);
+        let tiles = tile_cols(&a, 8);
+        let covered: u64 = tiles.iter().map(|t| t.slots_used()).sum();
+        assert_eq!(covered, a.nnz() as u64);
+        for t in &tiles {
+            assert!(t.slots_used() <= 8);
+        }
+    }
+
+    #[test]
+    fn tile_cols_groups_share_k() {
+        let a = csr(10, 3, 1.0, 5).converted(MajorOrder::Col); // 3 cols x 10 nnz
+        let tiles = tile_cols(&a, 8);
+        // Column 0 (10 elements) spans tiles 0 and 1.
+        assert_eq!(tiles[0].groups.len(), 1);
+        assert_eq!(tiles[0].groups[0].k, 0);
+        assert_eq!(tiles[0].groups[0].targets.len(), 8);
+        assert_eq!(tiles[1].groups[0].k, 0);
+        assert_eq!(tiles[1].groups[0].targets.len(), 2);
+    }
+
+    #[test]
+    fn tile_cols_ks_ascend_within_tile() {
+        let a = csr(6, 20, 0.4, 6).converted(MajorOrder::Col);
+        for t in tile_cols(&a, 16) {
+            let ks: Vec<u32> = t.groups.iter().map(|g| g.k).collect();
+            let mut sorted = ks.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(ks, sorted);
+        }
+    }
+
+    #[test]
+    fn rows_touched_is_sorted_unique() {
+        let a = csr(6, 6, 0.8, 7).converted(MajorOrder::Col);
+        for t in tile_cols(&a, 12) {
+            let rows = t.rows_touched();
+            let mut sorted = rows.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(rows, sorted);
+        }
+    }
+}

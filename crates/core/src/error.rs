@@ -1,0 +1,71 @@
+//! Error type for accelerator operations.
+
+use crate::Dataflow;
+use flexagon_sparse::FormatError;
+
+/// Errors produced while configuring or running an accelerator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum CoreError {
+    /// A sparse-format defect (dimensions, ordering, bounds).
+    Format(FormatError),
+    /// The accelerator does not support the requested dataflow — e.g. the
+    /// SIGMA-like baseline asked to run Gustavson's.
+    UnsupportedDataflow {
+        /// Name of the accelerator that rejected the request.
+        accelerator: String,
+        /// The requested dataflow.
+        dataflow: Dataflow,
+    },
+}
+
+impl std::fmt::Display for CoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Format(e) => write!(f, "{e}"),
+            Self::UnsupportedDataflow { accelerator, dataflow } => {
+                write!(f, "accelerator {accelerator} does not support {dataflow}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Format(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FormatError> for CoreError {
+    fn from(e: FormatError) -> Self {
+        Self::Format(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = CoreError::UnsupportedDataflow {
+            accelerator: "SIGMA-like".into(),
+            dataflow: Dataflow::GustavsonM,
+        };
+        assert!(format!("{e}").contains("SIGMA-like"));
+        assert!(e.source().is_none());
+
+        let f: CoreError = FormatError::DimensionMismatch { left_cols: 2, right_rows: 3 }.into();
+        assert!(f.source().is_some());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<CoreError>();
+    }
+}

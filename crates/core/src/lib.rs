@@ -1,0 +1,44 @@
+//! The Flexagon accelerator engine and its baselines.
+//!
+//! This crate implements the paper's primary contribution: a single hardware
+//! substrate that executes all six SpMSpM dataflows (Inner Product, Outer
+//! Product and Gustavson's, each in M- and N-stationary variants), plus the
+//! three fixed-dataflow baseline accelerators it is evaluated against and
+//! the CPU reference.
+//!
+//! * [`Dataflow`] — the six dataflows and their Table 3 taxonomy.
+//! * [`transitions`] — the inter-layer format-compatibility rules (Table 4).
+//! * [`AcceleratorConfig`] — the Table 5 configuration.
+//! * [`Accelerator`] — common interface; implemented by [`Flexagon`],
+//!   [`SigmaLike`], [`SparchLike`], [`GammaLike`] and [`CpuMkl`].
+//! * [`ExecutionReport`] — cycles, phase split, on-/off-chip traffic, cache
+//!   and PSRAM statistics for one SpMSpM execution.
+//! * [`mapper`] — per-layer dataflow selection (oracle and heuristic).
+//!
+//! Every run is functionally exact: the returned output matrix is produced
+//! by actually executing the dataflow (stationary/streaming/merging phases
+//! against the simulated memory structures) and can be validated against
+//! the dense reference.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod accel;
+mod config;
+mod cpu;
+mod dataflow;
+mod engine;
+mod error;
+mod report;
+pub mod mapper;
+pub mod transitions;
+
+pub use accel::{Accelerator, Flexagon, GammaLike, RunOutput, SigmaLike, SparchLike};
+pub use config::AcceleratorConfig;
+pub use cpu::{CpuConfig, CpuMkl};
+pub use dataflow::{Dataflow, DataflowClass, Stationarity};
+pub use error::CoreError;
+pub use report::{ExecutionReport, TrafficReport};
+
+/// Convenience result alias for accelerator operations.
+pub type Result<T> = std::result::Result<T, CoreError>;

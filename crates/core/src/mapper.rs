@@ -1,0 +1,280 @@
+//! Dataflow analysis — the paper's offline phase 1.
+//!
+//! "A mapper/compiler examines the features of the SpMSpM operation to be
+//! executed (i.e., matrix dimensions and sparsity patterns) and decides the
+//! dataflow (between the six available) that best matches the operation."
+//! The paper leaves the tool as future work and evaluates Flexagon with
+//! per-layer best dataflows; we provide both that oracle and a closed-form
+//! cost-model [`heuristic`] as the documented extension.
+
+use crate::{Accelerator, AcceleratorConfig, Dataflow, Result, RunOutput};
+use flexagon_sim::Cycle;
+use flexagon_sparse::{stats::SpGemmWork, CompressedMatrix, ELEMENT_BYTES};
+
+/// Oracle selection: runs every dataflow the accelerator supports and
+/// returns the fastest, together with its output.
+///
+/// This matches the paper's evaluation methodology ("by properly
+/// configuring the control logic of Flexagon according to the most suitable
+/// dataflow for each layer").
+///
+/// # Errors
+///
+/// Propagates the first execution error.
+pub fn oracle<A: Accelerator + ?Sized>(
+    accel: &A,
+    a: &CompressedMatrix,
+    b: &CompressedMatrix,
+) -> Result<(Dataflow, RunOutput)> {
+    let mut best: Option<(Dataflow, RunOutput)> = None;
+    for &df in accel.supported_dataflows() {
+        let out = accel.run(a, b, df)?;
+        let better = match &best {
+            None => true,
+            Some((_, prev)) => out.report.total_cycles < prev.report.total_cycles,
+        };
+        if better {
+            best = Some((df, out));
+        }
+    }
+    Ok(best.expect("accelerators always support at least one dataflow"))
+}
+
+/// Closed-form cycle estimates used by the heuristic mapper.
+///
+/// The estimates model only the first-order bottlenecks that separate the
+/// dataflows:
+///
+/// * **IP** pays a full re-stream of B per stationary tile
+///   (`ceil(nnz_A / multipliers)` tiles).
+/// * **OP** reads B once but moves every product through the PSRAM twice,
+///   spilling to DRAM beyond its capacity.
+/// * **Gustavson** moves every product through the distribution network
+///   once, with B re-fetches served by the cache when B fits and by DRAM
+///   when it does not.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostEstimates {
+    /// Estimated Inner-Product cycles.
+    pub inner_product: Cycle,
+    /// Estimated Outer-Product cycles.
+    pub outer_product: Cycle,
+    /// Estimated Gustavson cycles.
+    pub gustavson: Cycle,
+}
+
+impl CostEstimates {
+    /// Computes the estimates for `a x b` on `cfg`.
+    pub fn of(cfg: &AcceleratorConfig, a: &CompressedMatrix, b: &CompressedMatrix) -> Self {
+        let work = SpGemmWork::of(a, b);
+        let dn = cfg.dn_bandwidth.max(1);
+        let merge = cfg.merge_bandwidth.max(1);
+        let mults = cfg.multipliers as u64;
+        let dram_bpc = cfg.memory.dram.bytes_per_cycle.max(1);
+        let cache_bytes = cfg.memory.cache.capacity_bytes;
+        let psram_elems = cfg.memory.psram.capacity_bytes / ELEMENT_BYTES;
+        let b_bytes = work.nnz_b * ELEMENT_BYTES;
+
+        // Inner Product: tiles x stream-all-of-B, DRAM-bound when B does
+        // not fit in the cache.
+        let tiles = work.nnz_a.div_ceil(mults).max(1);
+        let stream_onchip = tiles * work.nnz_b / dn;
+        let reload_bytes = if b_bytes > cache_bytes {
+            tiles * b_bytes
+        } else {
+            b_bytes
+        };
+        let inner_product = stream_onchip.max(reload_bytes / dram_bpc) + work.products / mults;
+
+        // Outer Product: B once, every product written+read on-chip, spilled
+        // volume through DRAM.
+        let spilled = work.products.saturating_sub(psram_elems);
+        let op_onchip = work.nnz_b / dn + 2 * work.products / merge;
+        let op_offchip = (b_bytes + 2 * spilled * ELEMENT_BYTES) / dram_bpc;
+        let outer_product = op_onchip.max(op_offchip);
+
+        // Gustavson: every product delivered once; B fiber fetches hit the
+        // cache when B fits, otherwise each fetch goes off-chip.
+        let gust_onchip = (work.products / dn).max(work.products / merge);
+        let fetch_bytes = if b_bytes <= cache_bytes {
+            b_bytes
+        } else {
+            work.products * ELEMENT_BYTES
+        };
+        let gustavson = gust_onchip.max(fetch_bytes / dram_bpc);
+
+        Self { inner_product, outer_product, gustavson }
+    }
+
+    /// The M-stationary dataflow with the lowest estimate (ties resolved in
+    /// IP, OP, Gust order).
+    pub fn best(&self) -> Dataflow {
+        let mut best = (self.inner_product, Dataflow::InnerProductM);
+        if self.outer_product < best.0 {
+            best = (self.outer_product, Dataflow::OuterProductM);
+        }
+        if self.gustavson < best.0 {
+            best = (self.gustavson, Dataflow::GustavsonM);
+        }
+        best.1
+    }
+}
+
+/// Heuristic mapper: picks a dataflow from matrix features alone, without
+/// running the simulator.
+pub fn heuristic(
+    cfg: &AcceleratorConfig,
+    a: &CompressedMatrix,
+    b: &CompressedMatrix,
+) -> Dataflow {
+    CostEstimates::of(cfg, a, b).best()
+}
+
+/// All six dataflows ranked by estimated cost, cheapest first.
+///
+/// M-stationary variants use the estimates directly; N-stationary variants
+/// are the same class with the operand roles mirrored (B becomes the
+/// stationary tensor), so their estimates come from the transposed problem.
+pub fn ranked_dataflows(
+    cfg: &AcceleratorConfig,
+    a: &CompressedMatrix,
+    b: &CompressedMatrix,
+) -> Vec<(Dataflow, Cycle)> {
+    let m_est = CostEstimates::of(cfg, a, b);
+    let bt = b.reinterpret_transposed();
+    let at = a.reinterpret_transposed();
+    let n_est = CostEstimates::of(cfg, &bt, &at);
+    let mut ranked = vec![
+        (Dataflow::InnerProductM, m_est.inner_product),
+        (Dataflow::OuterProductM, m_est.outer_product),
+        (Dataflow::GustavsonM, m_est.gustavson),
+        (Dataflow::InnerProductN, n_est.inner_product),
+        (Dataflow::OuterProductN, n_est.outer_product),
+        (Dataflow::GustavsonN, n_est.gustavson),
+    ];
+    ranked.sort_by_key(|&(_, cycles)| cycles);
+    ranked
+}
+
+/// Plans a whole model: one dataflow per layer such that (when possible)
+/// every inter-layer transition is conversion-free (Table 4), preferring
+/// each layer's cheapest dataflows.
+///
+/// This is the "best sequence of dataflows" decision the paper assigns to
+/// the mapper/compiler (§3.3). When no conversion-free chain exists under
+/// the given preferences, the planner falls back to each layer's
+/// locally-cheapest dataflow (explicit conversions then show up in the
+/// execution reports).
+///
+/// `layers` supplies `(A, B)` per layer in execution order.
+pub fn plan_model(
+    cfg: &AcceleratorConfig,
+    layers: &[(&CompressedMatrix, &CompressedMatrix)],
+) -> Vec<Dataflow> {
+    let preferences: Vec<Vec<Dataflow>> = layers
+        .iter()
+        .map(|(a, b)| ranked_dataflows(cfg, a, b).into_iter().map(|(d, _)| d).collect())
+        .collect();
+    crate::transitions::plan_chain(&preferences).unwrap_or_else(|| {
+        preferences
+            .iter()
+            .map(|p| *p.first().expect("six ranked dataflows per layer"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexagon_sparse::{gen, MajorOrder};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn cfg() -> AcceleratorConfig {
+        AcceleratorConfig::table5()
+    }
+
+    #[test]
+    fn heuristic_prefers_gustavson_for_small_cached_b() {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        // Small B (fits in cache easily), plenty of A rows.
+        let a = gen::random(256, 128, 0.3, MajorOrder::Row, &mut rng);
+        let b = gen::random(128, 64, 0.3, MajorOrder::Row, &mut rng);
+        assert_eq!(heuristic(&cfg(), &a, &b), Dataflow::GustavsonM);
+    }
+
+    #[test]
+    fn heuristic_avoids_inner_product_when_many_tiles() {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        // nnz_A >> multipliers makes IP re-stream B many times.
+        let a = gen::random(512, 512, 0.5, MajorOrder::Row, &mut rng);
+        let b = gen::random(512, 512, 0.5, MajorOrder::Row, &mut rng);
+        let est = CostEstimates::of(&cfg(), &a, &b);
+        assert!(est.inner_product > est.gustavson);
+        assert!(est.inner_product > est.outer_product);
+    }
+
+    #[test]
+    fn heuristic_prefers_inner_product_for_tiny_a() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        // A fits in one tile: B is streamed exactly once with no merge work.
+        let a = gen::random_with_nnz(8, 64, 40, MajorOrder::Row, &mut rng);
+        let b = gen::random(64, 256, 0.4, MajorOrder::Row, &mut rng);
+        let est = CostEstimates::of(&cfg(), &a, &b);
+        assert!(est.inner_product <= est.outer_product);
+    }
+
+    #[test]
+    fn estimates_are_monotone_in_products() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let a = gen::random(64, 64, 0.2, MajorOrder::Row, &mut rng);
+        let b_sparse = gen::random(64, 64, 0.1, MajorOrder::Row, &mut rng);
+        let b_dense = gen::random(64, 64, 0.8, MajorOrder::Row, &mut rng);
+        let sparse = CostEstimates::of(&cfg(), &a, &b_sparse);
+        let dense = CostEstimates::of(&cfg(), &a, &b_dense);
+        assert!(dense.gustavson >= sparse.gustavson);
+        assert!(dense.outer_product >= sparse.outer_product);
+    }
+
+    #[test]
+    fn best_breaks_ties_in_declared_order() {
+        let est = CostEstimates { inner_product: 5, outer_product: 5, gustavson: 5 };
+        assert_eq!(est.best(), Dataflow::InnerProductM);
+    }
+
+    #[test]
+    fn ranked_covers_all_six_and_sorts() {
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let a = gen::random(32, 32, 0.3, MajorOrder::Row, &mut rng);
+        let b = gen::random(32, 32, 0.3, MajorOrder::Row, &mut rng);
+        let ranked = ranked_dataflows(&cfg(), &a, &b);
+        assert_eq!(ranked.len(), 6);
+        let mut seen: Vec<Dataflow> = ranked.iter().map(|&(d, _)| d).collect();
+        seen.sort_by_key(|d| d.loop_order());
+        seen.dedup();
+        assert_eq!(seen.len(), 6, "all variants ranked exactly once");
+        assert!(ranked.windows(2).all(|w| w[0].1 <= w[1].1), "sorted by cost");
+    }
+
+    #[test]
+    fn plan_model_produces_free_chain_when_possible() {
+        use crate::transitions;
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let x = gen::random(24, 32, 0.4, MajorOrder::Row, &mut rng);
+        let w1 = gen::random(32, 40, 0.3, MajorOrder::Row, &mut rng);
+        let c1 = flexagon_sparse::reference::spgemm(&x, &w1).unwrap();
+        let w2 = gen::random(40, 16, 0.3, MajorOrder::Row, &mut rng);
+        let plan = plan_model(&cfg(), &[(&x, &w1), (&c1, &w2)]);
+        assert_eq!(plan.len(), 2);
+        assert!(
+            transitions::is_free(plan[0], plan[1]),
+            "planner must chain {} -> {} for free",
+            plan[0],
+            plan[1]
+        );
+    }
+
+    #[test]
+    fn plan_model_empty_is_empty() {
+        assert!(plan_model(&cfg(), &[]).is_empty());
+    }
+}

@@ -1,0 +1,181 @@
+//! Inter-layer dataflow transitions (paper §3.3, Table 4).
+//!
+//! "M-stationary dataflows output the elements in CSR format while
+//! N-stationary dataflows output the elements in CSC format. Flexagon
+//! supports the six dataflows and takes advantage of this observation to
+//! appropriately execute every possible sequence of DNN layers without
+//! requiring costly explicit hardware format conversions."
+//!
+//! A transition from a producing layer to a consuming layer is free exactly
+//! when the producer's C format equals the consumer's A format; otherwise an
+//! Explicit Conversion (EC) would be needed.
+
+use crate::Dataflow;
+
+/// Returns `true` when the output of a layer run with `producer` can feed a
+/// layer run with `consumer` without an explicit format conversion.
+///
+/// This reproduces Table 4 (rows = producer, columns = consumer): a green
+/// tick in the paper corresponds to `true` here.
+pub fn is_free(producer: Dataflow, consumer: Dataflow) -> bool {
+    producer.c_format() == consumer.a_format()
+}
+
+/// Returns the dataflows that can consume `producer`'s output for free.
+pub fn free_successors(producer: Dataflow) -> Vec<Dataflow> {
+    Dataflow::ALL
+        .into_iter()
+        .filter(|&d| is_free(producer, d))
+        .collect()
+}
+
+/// Returns the dataflows whose output `consumer` can accept for free.
+pub fn free_predecessors(consumer: Dataflow) -> Vec<Dataflow> {
+    Dataflow::ALL
+        .into_iter()
+        .filter(|&d| is_free(d, consumer))
+        .collect()
+}
+
+/// The full 6x6 transition matrix in Table 4's row/column order;
+/// `matrix()[i][j]` is `true` when row `i`'s output feeds column `j` free of
+/// conversion.
+pub fn matrix() -> [[bool; 6]; 6] {
+    let mut m = [[false; 6]; 6];
+    for (i, prod) in Dataflow::ALL.iter().enumerate() {
+        for (j, cons) in Dataflow::ALL.iter().enumerate() {
+            m[i][j] = is_free(*prod, *cons);
+        }
+    }
+    m
+}
+
+/// Selects, for each layer in a chain, a dataflow from `preferred` such that
+/// every adjacent transition is conversion-free, if possible.
+///
+/// `preferred[i]` lists layer `i`'s dataflows in descending preference (as
+/// produced by the mapper). Returns `None` when no conversion-free chain
+/// exists using the given preferences.
+///
+/// This is the decision the paper assigns to the mapper/compiler: "These
+/// combinations can be utilized by the mapper/compiler to generate the best
+/// sequence of dataflows".
+pub fn plan_chain(preferred: &[Vec<Dataflow>]) -> Option<Vec<Dataflow>> {
+    fn solve(prev: Option<Dataflow>, rest: &[Vec<Dataflow>]) -> Option<Vec<Dataflow>> {
+        let Some((head, tail)) = rest.split_first() else {
+            return Some(Vec::new());
+        };
+        for &candidate in head {
+            let ok = match prev {
+                None => true,
+                Some(p) => is_free(p, candidate),
+            };
+            if ok {
+                if let Some(mut plan) = solve(Some(candidate), tail) {
+                    plan.insert(0, candidate);
+                    return Some(plan);
+                }
+            }
+        }
+        None
+    }
+    solve(None, preferred)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Dataflow as D;
+
+    /// Table 4, transcribed: rows/columns in `Dataflow::ALL` order, `true`
+    /// = no explicit conversion required (the paper's green tick).
+    const TABLE4: [[bool; 6]; 6] = [
+        // IP(M)   OP(M)  Gust(M) IP(N)  OP(N)  Gust(N)
+        [true, false, true, true, false, false],  // from IP(M)
+        [true, false, true, true, false, false],  // from OP(M)
+        [true, false, true, true, false, false],  // from Gust(M)
+        [false, true, false, false, true, true],  // from IP(N)
+        [false, true, false, false, true, true],  // from OP(N)
+        [false, true, false, false, true, true],  // from Gust(N)
+    ];
+
+    #[test]
+    fn matrix_reproduces_table4_exactly() {
+        assert_eq!(matrix(), TABLE4);
+    }
+
+    #[test]
+    fn m_stationary_feeds_csr_consumers() {
+        assert!(is_free(D::InnerProductM, D::GustavsonM));
+        assert!(is_free(D::GustavsonM, D::InnerProductN));
+        assert!(!is_free(D::GustavsonM, D::OuterProductM));
+    }
+
+    #[test]
+    fn n_stationary_feeds_csc_consumers() {
+        assert!(is_free(D::InnerProductN, D::OuterProductM));
+        assert!(is_free(D::OuterProductN, D::GustavsonN));
+        assert!(!is_free(D::OuterProductN, D::InnerProductM));
+    }
+
+    #[test]
+    fn successors_and_predecessors_are_consistent() {
+        for d in D::ALL {
+            for s in free_successors(d) {
+                assert!(free_predecessors(s).contains(&d));
+            }
+        }
+    }
+
+    #[test]
+    fn every_dataflow_has_three_free_successors() {
+        // Each output format (CSR or CSC) is consumed by exactly 3 dataflows.
+        for d in D::ALL {
+            assert_eq!(free_successors(d).len(), 3, "{d}");
+        }
+    }
+
+    #[test]
+    fn paper_fig8_example_chain_is_free() {
+        // Fig. 8: IP(N) -> OP(M) -> Gust(M).
+        assert!(is_free(D::InnerProductN, D::OuterProductM));
+        assert!(is_free(D::OuterProductM, D::GustavsonM));
+    }
+
+    #[test]
+    fn plan_chain_finds_fig8_plan() {
+        // Layer 1 prefers IP, layer 2 prefers OP, layer 3 prefers Gust;
+        // the planner must pick stationarities that chain for free.
+        let preferred = vec![
+            vec![D::InnerProductN, D::InnerProductM],
+            vec![D::OuterProductM, D::OuterProductN],
+            vec![D::GustavsonM, D::GustavsonN],
+        ];
+        let plan = plan_chain(&preferred).expect("a free chain exists");
+        assert_eq!(plan, vec![D::InnerProductN, D::OuterProductM, D::GustavsonM]);
+    }
+
+    #[test]
+    fn plan_chain_backtracks() {
+        // First choice of layer 1 (IP(M) outputs CSR) cannot feed OP(M)
+        // (needs CSC), so the planner must fall back to IP(N).
+        let preferred = vec![
+            vec![D::InnerProductM, D::InnerProductN],
+            vec![D::OuterProductM],
+        ];
+        let plan = plan_chain(&preferred).expect("fallback chain exists");
+        assert_eq!(plan, vec![D::InnerProductN, D::OuterProductM]);
+    }
+
+    #[test]
+    fn plan_chain_reports_impossible() {
+        // OP(M) output is CSR; OP(M) input must be CSC: no free chain.
+        let preferred = vec![vec![D::OuterProductM], vec![D::OuterProductM]];
+        assert_eq!(plan_chain(&preferred), None);
+    }
+
+    #[test]
+    fn plan_chain_empty_is_trivially_free() {
+        assert_eq!(plan_chain(&[]), Some(vec![]));
+    }
+}

@@ -1,0 +1,188 @@
+//! Functional correctness of the engine: every dataflow, on every
+//! accelerator, must produce exactly the product matrix.
+
+use flexagon_core::{
+    Accelerator, AcceleratorConfig, Dataflow, Flexagon, GammaLike, SigmaLike,
+    SparchLike,
+};
+use flexagon_sparse::{gen, CompressedMatrix, DenseMatrix, MajorOrder};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn golden(a: &CompressedMatrix, b: &CompressedMatrix) -> DenseMatrix {
+    DenseMatrix::from_compressed(a)
+        .matmul(&DenseMatrix::from_compressed(b))
+        .unwrap()
+}
+
+fn check_all_dataflows(cfg: &AcceleratorConfig, a: &CompressedMatrix, b: &CompressedMatrix) {
+    let accel = Flexagon::new(*cfg);
+    let want = golden(a, b);
+    for df in Dataflow::ALL {
+        let out = accel
+            .run(a, b, df)
+            .unwrap_or_else(|e| panic!("{df} failed: {e}"));
+        assert_eq!(out.c.order(), df.c_format(), "{df} output format");
+        assert_eq!(out.c.rows(), a.rows());
+        assert_eq!(out.c.cols(), b.cols());
+        out.c.validate().expect("output must be structurally valid");
+        let got = DenseMatrix::from_compressed(&out.c);
+        assert!(
+            got.approx_eq(&want, 1e-2),
+            "{df}: max diff {}",
+            got.max_abs_diff(&want)
+        );
+    }
+}
+
+#[test]
+fn random_problems_tiny_config() {
+    // The tiny config (4 multipliers, 512 B cache, 256 B PSRAM) forces row
+    // splitting, cache thrash and PSRAM spills even on small inputs.
+    let cfg = AcceleratorConfig::tiny();
+    for seed in 0..8 {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let a = gen::random(13, 17, 0.35, MajorOrder::Row, &mut rng);
+        let b = gen::random(17, 11, 0.4, MajorOrder::Row, &mut rng);
+        check_all_dataflows(&cfg, &a, &b);
+    }
+}
+
+#[test]
+fn random_problems_table5_config() {
+    let cfg = AcceleratorConfig::table5();
+    for seed in 100..104 {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let a = gen::random(40, 60, 0.25, MajorOrder::Row, &mut rng);
+        let b = gen::random(60, 50, 0.3, MajorOrder::Row, &mut rng);
+        check_all_dataflows(&cfg, &a, &b);
+    }
+}
+
+#[test]
+fn long_rows_force_cluster_splitting() {
+    // Rows of 40+ nnz on a 4-multiplier array: 10+ chunks per row.
+    let cfg = AcceleratorConfig::tiny();
+    let mut rng = ChaCha8Rng::seed_from_u64(7);
+    let a = gen::random(6, 50, 0.9, MajorOrder::Row, &mut rng);
+    let b = gen::random(50, 30, 0.5, MajorOrder::Row, &mut rng);
+    check_all_dataflows(&cfg, &a, &b);
+}
+
+#[test]
+fn hypersparse_inputs() {
+    let cfg = AcceleratorConfig::tiny();
+    let mut rng = ChaCha8Rng::seed_from_u64(9);
+    let a = gen::random(50, 50, 0.02, MajorOrder::Row, &mut rng);
+    let b = gen::random(50, 50, 0.02, MajorOrder::Row, &mut rng);
+    check_all_dataflows(&cfg, &a, &b);
+}
+
+#[test]
+fn fully_dense_inputs() {
+    let cfg = AcceleratorConfig::tiny();
+    let mut rng = ChaCha8Rng::seed_from_u64(11);
+    let a = gen::random(10, 10, 1.0, MajorOrder::Row, &mut rng);
+    let b = gen::random(10, 10, 1.0, MajorOrder::Row, &mut rng);
+    check_all_dataflows(&cfg, &a, &b);
+}
+
+#[test]
+fn empty_operands_give_empty_output() {
+    let cfg = AcceleratorConfig::tiny();
+    let accel = Flexagon::new(cfg);
+    let a = CompressedMatrix::zero(5, 6, MajorOrder::Row);
+    let b = CompressedMatrix::zero(6, 7, MajorOrder::Row);
+    for df in Dataflow::ALL {
+        let out = accel.run(&a, &b, df).unwrap();
+        assert_eq!(out.c.nnz(), 0, "{df}");
+        assert_eq!(out.report.total_cycles, 0, "{df} should be free");
+    }
+}
+
+#[test]
+fn single_element_matrices() {
+    let cfg = AcceleratorConfig::tiny();
+    let accel = Flexagon::new(cfg);
+    let a = CompressedMatrix::from_triplets(1, 1, &[(0, 0, 3.0)], MajorOrder::Row).unwrap();
+    let b = CompressedMatrix::from_triplets(1, 1, &[(0, 0, 4.0)], MajorOrder::Row).unwrap();
+    for df in Dataflow::ALL {
+        let out = accel.run(&a, &b, df).unwrap();
+        assert_eq!(out.c.get(0, 0), 12.0, "{df}");
+        assert!(out.report.total_cycles > 0, "{df} must cost something");
+    }
+}
+
+#[test]
+fn rectangular_extremes() {
+    let cfg = AcceleratorConfig::tiny();
+    for (m, k, n) in [(1, 40, 1), (40, 1, 40), (2, 3, 60), (60, 3, 2)] {
+        let mut rng = ChaCha8Rng::seed_from_u64((m * 1000 + k * 10 + n) as u64);
+        let a = gen::random(m, k, 0.6, MajorOrder::Row, &mut rng);
+        let b = gen::random(k, n, 0.6, MajorOrder::Row, &mut rng);
+        check_all_dataflows(&cfg, &a, &b);
+    }
+}
+
+#[test]
+fn banded_and_block_structures() {
+    let cfg = AcceleratorConfig::tiny();
+    let mut rng = ChaCha8Rng::seed_from_u64(21);
+    let a = gen::banded(24, 3, 0.8, MajorOrder::Row, &mut rng);
+    let b = gen::block_sparse(24, 24, 4, 0.5, MajorOrder::Row, &mut rng);
+    check_all_dataflows(&cfg, &a, &b);
+}
+
+#[test]
+fn baselines_match_flexagon_functionally() {
+    let cfg = AcceleratorConfig::tiny();
+    let mut rng = ChaCha8Rng::seed_from_u64(31);
+    let a = gen::random(15, 20, 0.3, MajorOrder::Row, &mut rng);
+    let b = gen::random(20, 12, 0.3, MajorOrder::Row, &mut rng);
+    let want = golden(&a, &b);
+    let sigma = SigmaLike::new(cfg).run(&a, &b, Dataflow::InnerProductM).unwrap();
+    let sparch = SparchLike::new(cfg).run(&a, &b, Dataflow::OuterProductM).unwrap();
+    let gamma = GammaLike::new(cfg).run(&a, &b, Dataflow::GustavsonM).unwrap();
+    for out in [sigma, sparch, gamma] {
+        assert!(DenseMatrix::from_compressed(&out.c).approx_eq(&want, 1e-2));
+    }
+}
+
+#[test]
+fn n_stationary_equals_m_stationary_transposed() {
+    let cfg = AcceleratorConfig::tiny();
+    let accel = Flexagon::new(cfg);
+    let mut rng = ChaCha8Rng::seed_from_u64(41);
+    let a = gen::random(12, 14, 0.4, MajorOrder::Row, &mut rng);
+    let b = gen::random(14, 10, 0.4, MajorOrder::Row, &mut rng);
+    for class_pair in [
+        (Dataflow::InnerProductM, Dataflow::InnerProductN),
+        (Dataflow::OuterProductM, Dataflow::OuterProductN),
+        (Dataflow::GustavsonM, Dataflow::GustavsonN),
+    ] {
+        let m = accel.run(&a, &b, class_pair.0).unwrap();
+        let n = accel.run(&a, &b, class_pair.1).unwrap();
+        assert!(m.c.approx_eq(&n.c, 1e-3), "{} vs {}", class_pair.0, class_pair.1);
+        // The N-variant on (A, B) costs what the M-variant costs on the
+        // transposed problem — same tiles, same traffic, mirrored.
+        assert_eq!(m.report.work.products, n.report.work.products);
+    }
+}
+
+#[test]
+fn explicit_conversions_are_counted() {
+    let cfg = AcceleratorConfig::tiny();
+    let accel = Flexagon::new(cfg);
+    let mut rng = ChaCha8Rng::seed_from_u64(51);
+    let a = gen::random(8, 8, 0.5, MajorOrder::Row, &mut rng);
+    let b = gen::random(8, 8, 0.5, MajorOrder::Row, &mut rng);
+    // Gustavson(M) wants CSR x CSR: as given, no conversions.
+    let ok = accel.run(&a, &b, Dataflow::GustavsonM).unwrap();
+    assert_eq!(ok.report.explicit_conversions, 0);
+    // Inner-Product(M) wants B in CSC: one conversion.
+    let one = accel.run(&a, &b, Dataflow::InnerProductM).unwrap();
+    assert_eq!(one.report.explicit_conversions, 1);
+    // Outer-Product(M) wants A in CSC: also one.
+    let op = accel.run(&a, &b, Dataflow::OuterProductM).unwrap();
+    assert_eq!(op.report.explicit_conversions, 1);
+}

@@ -1,0 +1,111 @@
+//! Invariants of the execution report that must hold for any input and any
+//! dataflow — conservation laws of the simulation.
+
+use flexagon_core::{Accelerator, AcceleratorConfig, Dataflow, Flexagon};
+use flexagon_sparse::{gen, CompressedMatrix, MajorOrder, ELEMENT_BYTES};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn random_pair(
+    m: u32,
+    k: u32,
+    n: u32,
+    da: f64,
+    db: f64,
+    seed: u64,
+) -> (CompressedMatrix, CompressedMatrix) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    (
+        gen::random(m, k, da, MajorOrder::Row, &mut rng),
+        gen::random(k, n, db, MajorOrder::Row, &mut rng),
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Conservation laws that hold for every dataflow on every input.
+    #[test]
+    fn conservation_laws(
+        m in 1u32..20, k in 1u32..20, n in 1u32..20,
+        da in 0.05f64..0.9, db in 0.05f64..0.9,
+        seed in 0u64..1000,
+    ) {
+        let (a, b) = random_pair(m, k, n, da, db, seed);
+        let accel = Flexagon::new(AcceleratorConfig::tiny());
+        for df in Dataflow::ALL {
+            let out = accel.run(&a, &b, df).unwrap();
+            let r = &out.report;
+
+            // Work conservation: the MN performed exactly the effectual
+            // products, and the output holds at most that many elements.
+            prop_assert_eq!(r.multiplications, r.work.products);
+            prop_assert!(out.c.nnz() as u64 <= r.work.products);
+
+            // The stationary matrix is read exactly once from DRAM.
+            prop_assert_eq!(
+                r.traffic.sta_onchip_bytes,
+                r.work.nnz_a * ELEMENT_BYTES,
+                "{}: STA traffic",
+                df
+            );
+
+            // Off-chip reads cover at least the cache fills; writes cover
+            // at least the final output.
+            prop_assert!(r.traffic.dram_read_bytes >= r.traffic.str_fill_bytes);
+            prop_assert!(
+                r.traffic.dram_write_bytes >= out.c.nnz() as u64 * ELEMENT_BYTES
+            );
+
+            // Phases sum to the total.
+            prop_assert_eq!(r.phases.total(), r.total_cycles);
+
+            // Inner product never produces psums.
+            if !df.requires_merging() {
+                prop_assert_eq!(r.traffic.psum_onchip_bytes, 0, "{}", df);
+            }
+
+            // Cycles are zero only for empty work.
+            if r.work.products > 0 {
+                prop_assert!(r.total_cycles > 0);
+            }
+        }
+    }
+
+    /// Flexagon's oracle choice is optimal among supported dataflows, and
+    /// tighter hardware never makes a dataflow faster.
+    #[test]
+    fn more_multipliers_never_hurt(
+        seed in 0u64..200,
+    ) {
+        let (a, b) = random_pair(24, 24, 24, 0.4, 0.4, seed);
+        for df in Dataflow::M_STATIONARY {
+            let mut small_cfg = AcceleratorConfig::table5();
+            small_cfg.multipliers = 8;
+            let small = Flexagon::new(small_cfg).run(&a, &b, df).unwrap();
+            let large = Flexagon::with_defaults().run(&a, &b, df).unwrap();
+            prop_assert!(
+                large.report.total_cycles <= small.report.total_cycles,
+                "{df}: 64 mults {} vs 8 mults {}",
+                large.report.total_cycles,
+                small.report.total_cycles
+            );
+        }
+    }
+
+    /// A larger cache never increases the miss count.
+    #[test]
+    fn bigger_cache_never_misses_more(seed in 0u64..200) {
+        let (a, b) = random_pair(20, 30, 24, 0.5, 0.5, seed);
+        let mut small_cfg = AcceleratorConfig::tiny();
+        small_cfg.memory.cache.capacity_bytes = 256;
+        small_cfg.memory.cache.associativity = 1;
+        let mut big_cfg = small_cfg;
+        big_cfg.memory.cache.capacity_bytes = 64 << 10;
+        big_cfg.memory.cache.associativity = 16;
+        let small = Flexagon::new(small_cfg).run(&a, &b, Dataflow::GustavsonM).unwrap();
+        let big = Flexagon::new(big_cfg).run(&a, &b, Dataflow::GustavsonM).unwrap();
+        prop_assert!(big.report.cache.misses() <= small.report.cache.misses());
+    }
+}

@@ -1,0 +1,167 @@
+//! Per-layer SpMSpM problem specifications and their materialization.
+
+use flexagon_sparse::{gen, CompressedMatrix, MajorOrder};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+/// One DNN layer as an SpMSpM problem `C[M,N] = A[M,K] x B[K,N]`.
+///
+/// Following the paper's convention (Table 6), `A` holds the pruned weights
+/// (sparsity `sp_a`) and `B` the post-ReLU activations (sparsity `sp_b`),
+/// both expressed in percent of zero entries.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LayerSpec {
+    /// Layer index within its model.
+    pub index: u32,
+    /// Human-readable layer name (e.g. `"conv2_1"`).
+    pub name: String,
+    /// Output rows (e.g. output channels).
+    pub m: u32,
+    /// Shared dimension (e.g. `in_channels x kh x kw`).
+    pub k: u32,
+    /// Output columns (e.g. `out_h x out_w`).
+    pub n: u32,
+    /// Weight sparsity in percent (`100 x` fraction of zeros).
+    pub sp_a: f64,
+    /// Activation sparsity in percent.
+    pub sp_b: f64,
+}
+
+impl LayerSpec {
+    /// Creates a layer spec.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a sparsity lies outside `[0, 100]` or a dimension is zero.
+    pub fn new(
+        index: u32,
+        name: impl Into<String>,
+        m: u32,
+        k: u32,
+        n: u32,
+        sp_a: f64,
+        sp_b: f64,
+    ) -> Self {
+        assert!(m > 0 && k > 0 && n > 0, "dimensions must be positive");
+        assert!((0.0..=100.0).contains(&sp_a), "sp_a must be a percentage");
+        assert!((0.0..=100.0).contains(&sp_b), "sp_b must be a percentage");
+        Self { index, name: name.into(), m, k, n, sp_a, sp_b }
+    }
+
+    /// Densities `(A, B)` implied by the sparsities.
+    pub fn densities(&self) -> (f64, f64) {
+        (1.0 - self.sp_a / 100.0, 1.0 - self.sp_b / 100.0)
+    }
+
+    /// Expected non-zeros of A.
+    pub fn expected_nnz_a(&self) -> u64 {
+        (self.m as f64 * self.k as f64 * self.densities().0) as u64
+    }
+
+    /// Expected non-zeros of B.
+    pub fn expected_nnz_b(&self) -> u64 {
+        (self.k as f64 * self.n as f64 * self.densities().1) as u64
+    }
+
+    /// Generates the layer's matrices (A and B, both CSR) from a
+    /// deterministic seed.
+    pub fn materialize(&self, seed: u64) -> LayerMatrices {
+        // Distinct streams for A and B so changing one dimension does not
+        // reshuffle the other operand.
+        let mut rng_a = ChaCha8Rng::seed_from_u64(seed ^ (u64::from(self.index) << 32));
+        let mut rng_b =
+            ChaCha8Rng::seed_from_u64(seed ^ (u64::from(self.index) << 32) ^ 0x9e37_79b9);
+        let (da, db) = self.densities();
+        LayerMatrices {
+            a: gen::random(self.m, self.k, da, MajorOrder::Row, &mut rng_a),
+            b: gen::random(self.k, self.n, db, MajorOrder::Row, &mut rng_b),
+        }
+    }
+}
+
+impl std::fmt::Display for LayerSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} [{}x{}x{}] spA={:.0}% spB={:.0}%",
+            self.name, self.m, self.k, self.n, self.sp_a, self.sp_b
+        )
+    }
+}
+
+/// The materialized operands of one layer.
+#[derive(Debug, Clone)]
+pub struct LayerMatrices {
+    /// Weights, `M x K`, CSR.
+    pub a: CompressedMatrix,
+    /// Activations, `K x N`, CSR.
+    pub b: CompressedMatrix,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> LayerSpec {
+        LayerSpec::new(3, "conv", 32, 64, 49, 70.0, 40.0)
+    }
+
+    #[test]
+    fn densities_invert_sparsities() {
+        let (da, db) = spec().densities();
+        assert!((da - 0.3).abs() < 1e-12);
+        assert!((db - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn materialize_has_right_shapes_and_formats() {
+        let m = spec().materialize(42);
+        assert_eq!((m.a.rows(), m.a.cols()), (32, 64));
+        assert_eq!((m.b.rows(), m.b.cols()), (64, 49));
+        assert_eq!(m.a.order(), MajorOrder::Row);
+        assert_eq!(m.b.order(), MajorOrder::Row);
+    }
+
+    #[test]
+    fn materialize_is_deterministic() {
+        let x = spec().materialize(42);
+        let y = spec().materialize(42);
+        assert_eq!(x.a, y.a);
+        assert_eq!(x.b, y.b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let x = spec().materialize(1);
+        let y = spec().materialize(2);
+        assert_ne!(x.a, y.a);
+    }
+
+    #[test]
+    fn sparsity_is_close_to_spec() {
+        let big = LayerSpec::new(0, "big", 200, 200, 200, 70.0, 40.0);
+        let m = big.materialize(7);
+        assert!((m.a.sparsity_percent() - 70.0).abs() < 2.0);
+        assert!((m.b.sparsity_percent() - 40.0).abs() < 2.0);
+    }
+
+    #[test]
+    fn expected_nnz_matches_generation_roughly() {
+        let s = LayerSpec::new(0, "x", 100, 100, 100, 50.0, 50.0);
+        let m = s.materialize(3);
+        let want = s.expected_nnz_a() as f64;
+        assert!((m.a.nnz() as f64 - want).abs() < want * 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentage")]
+    fn bad_sparsity_rejected() {
+        LayerSpec::new(0, "x", 1, 1, 1, 150.0, 0.0);
+    }
+
+    #[test]
+    fn display_contains_dims() {
+        assert!(format!("{}", spec()).contains("[32x64x49]"));
+    }
+}

@@ -1,0 +1,100 @@
+//! Per-model workload statistics — the measured columns of Table 2.
+
+use crate::DnnModel;
+use flexagon_sparse::stats::MatrixStats;
+use serde::Serialize;
+
+/// One Table 2 row computed over a materialized model.
+#[derive(Debug, Clone, Serialize)]
+pub struct ModelStats {
+    /// Model short code ("A", "V", ...).
+    pub short: &'static str,
+    /// Number of layers (nl).
+    pub num_layers: usize,
+    /// Average sparsity of A across layers, percent (AvSpA).
+    pub avg_sp_a: f64,
+    /// Average sparsity of B across layers, percent (AvSpB).
+    pub avg_sp_b: f64,
+    /// Average compressed size of A in MiB (AvCsA).
+    pub avg_cs_a_mib: f64,
+    /// Average compressed size of B in MiB (AvCsB).
+    pub avg_cs_b_mib: f64,
+    /// Minimum compressed size of A in MiB (MinCsA).
+    pub min_cs_a_mib: f64,
+    /// Minimum compressed size of B in MiB (MinCsB).
+    pub min_cs_b_mib: f64,
+    /// Maximum compressed size of A in MiB (MaxCsA).
+    pub max_cs_a_mib: f64,
+    /// Maximum compressed size of B in MiB (MaxCsB).
+    pub max_cs_b_mib: f64,
+}
+
+impl ModelStats {
+    /// Materializes every layer of `model` with `seed` and aggregates the
+    /// Table 2 statistics.
+    pub fn measure(model: &DnnModel, seed: u64) -> Self {
+        let mut sp_a = 0.0;
+        let mut sp_b = 0.0;
+        let mut cs_a = Vec::with_capacity(model.layers.len());
+        let mut cs_b = Vec::with_capacity(model.layers.len());
+        for layer in &model.layers {
+            let mats = layer.materialize(seed);
+            let sa = MatrixStats::of(&mats.a);
+            let sb = MatrixStats::of(&mats.b);
+            sp_a += sa.sparsity_percent;
+            sp_b += sb.sparsity_percent;
+            cs_a.push(sa.compressed_mib());
+            cs_b.push(sb.compressed_mib());
+        }
+        let n = model.layers.len() as f64;
+        let minmax = |v: &[f64]| {
+            (
+                v.iter().copied().fold(f64::INFINITY, f64::min),
+                v.iter().copied().fold(0.0, f64::max),
+            )
+        };
+        let (min_a, max_a) = minmax(&cs_a);
+        let (min_b, max_b) = minmax(&cs_b);
+        Self {
+            short: model.short,
+            num_layers: model.layers.len(),
+            avg_sp_a: sp_a / n,
+            avg_sp_b: sp_b / n,
+            avg_cs_a_mib: cs_a.iter().sum::<f64>() / n,
+            avg_cs_b_mib: cs_b.iter().sum::<f64>() / n,
+            min_cs_a_mib: min_a,
+            min_cs_b_mib: min_b,
+            max_cs_a_mib: max_a,
+            max_cs_b_mib: max_b,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alexnet_stats_are_sane() {
+        let stats = ModelStats::measure(&DnnModel::alexnet(), 1);
+        assert_eq!(stats.num_layers, 7);
+        assert!((stats.avg_sp_a - 70.0).abs() < 8.0, "spA = {}", stats.avg_sp_a);
+        assert!(stats.min_cs_a_mib <= stats.avg_cs_a_mib);
+        assert!(stats.avg_cs_a_mib <= stats.max_cs_a_mib);
+        assert!(stats.max_cs_b_mib > 0.0);
+    }
+
+    #[test]
+    fn mobilebert_matrices_are_tiny() {
+        let stats = ModelStats::measure(&DnnModel::mobilebert(), 1);
+        assert!(stats.avg_cs_b_mib < 0.1, "MB csB avg {}", stats.avg_cs_b_mib);
+        assert!(stats.max_cs_a_mib < 1.0);
+    }
+
+    #[test]
+    fn vgg_has_the_largest_activations() {
+        let vgg = ModelStats::measure(&DnnModel::vgg16(), 1);
+        let mb = ModelStats::measure(&DnnModel::mobilebert(), 1);
+        assert!(vgg.max_cs_b_mib > 20.0 * mb.max_cs_b_mib);
+    }
+}

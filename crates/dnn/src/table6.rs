@@ -1,0 +1,116 @@
+//! The nine representative layers of Table 6.
+//!
+//! "Since explaining the results requires delving into a finer-grained
+//! detail, we have selected 9 representative layers extracted from the
+//! execution of the DNN models" — three that favour Inner Product (SQ5,
+//! SQ11, R4), three that favour Outer Product (R6, S-R3, V0) and three
+//! that favour Gustavson's (MB215, V7, A2).
+
+use crate::LayerSpec;
+use serde::{Deserialize, Serialize};
+
+/// Which dataflow the paper reports this layer favouring.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FavouredDataflow {
+    /// The SIGMA-like Inner-Product accelerator wins.
+    InnerProduct,
+    /// The SpArch-like Outer-Product accelerator wins.
+    OuterProduct,
+    /// The GAMMA-like Gustavson accelerator wins.
+    Gustavson,
+}
+
+/// One Table 6 row: a named layer and the dataflow group it belongs to.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RepresentativeLayer {
+    /// Table 6 identifier ("SQ5", "V0", ...).
+    pub id: &'static str,
+    /// The layer's SpMSpM problem.
+    pub spec: LayerSpec,
+    /// The group the paper assigns it to.
+    pub favours: FavouredDataflow,
+}
+
+/// All nine layers in Table 6 order, at exact published dimensions and
+/// sparsities.
+pub fn layers() -> Vec<RepresentativeLayer> {
+    use FavouredDataflow::*;
+    let rows: [(&'static str, u32, u32, u32, f64, f64, FavouredDataflow); 9] = [
+        // id,      M,   K,    N,     spA,  spB,  group
+        ("SQ5", 64, 16, 2916, 68.0, 11.0, InnerProduct),
+        ("SQ11", 128, 32, 729, 70.0, 10.0, InnerProduct),
+        ("R4", 256, 64, 3136, 88.0, 9.0, InnerProduct),
+        ("R6", 64, 576, 2916, 89.0, 53.0, OuterProduct),
+        ("S-R3", 64, 576, 5329, 89.0, 46.0, OuterProduct),
+        ("V0", 128, 576, 12100, 90.0, 61.0, OuterProduct),
+        ("MB215", 128, 512, 8, 50.0, 0.0, Gustavson),
+        ("V7", 512, 4608, 144, 90.0, 94.0, Gustavson),
+        ("A2", 384, 1728, 121, 70.0, 54.0, Gustavson),
+    ];
+    rows.iter()
+        .enumerate()
+        .map(|(i, &(id, m, k, n, sp_a, sp_b, favours))| RepresentativeLayer {
+            id,
+            spec: LayerSpec::new(i as u32, id, m, k, n, sp_a, sp_b),
+            favours,
+        })
+        .collect()
+}
+
+/// Looks a representative layer up by its Table 6 id.
+pub fn by_id(id: &str) -> Option<RepresentativeLayer> {
+    layers().into_iter().find(|l| l.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_layers_in_three_groups() {
+        let all = layers();
+        assert_eq!(all.len(), 9);
+        for group in [
+            FavouredDataflow::InnerProduct,
+            FavouredDataflow::OuterProduct,
+            FavouredDataflow::Gustavson,
+        ] {
+            assert_eq!(all.iter().filter(|l| l.favours == group).count(), 3);
+        }
+    }
+
+    #[test]
+    fn dimensions_match_table6() {
+        let v0 = by_id("V0").unwrap();
+        assert_eq!((v0.spec.m, v0.spec.n, v0.spec.k), (128, 12100, 576));
+        let mb = by_id("MB215").unwrap();
+        assert_eq!((mb.spec.m, mb.spec.n, mb.spec.k), (128, 8, 512));
+        let v7 = by_id("V7").unwrap();
+        assert_eq!((v7.spec.m, v7.spec.n, v7.spec.k), (512, 144, 4608));
+    }
+
+    #[test]
+    fn sparsities_match_table6() {
+        let r4 = by_id("R4").unwrap();
+        assert_eq!((r4.spec.sp_a, r4.spec.sp_b), (88.0, 9.0));
+        let sr3 = by_id("S-R3").unwrap();
+        assert_eq!((sr3.spec.sp_a, sr3.spec.sp_b), (89.0, 46.0));
+    }
+
+    #[test]
+    fn unknown_id_is_none() {
+        assert!(by_id("Z9").is_none());
+    }
+
+    #[test]
+    fn compressed_sizes_are_in_table6_ballpark() {
+        // Table 6 reports csA/csB in KiB; our 4-byte elements put us within
+        // a small factor. Spot-check the extremes.
+        let v0 = by_id("V0").unwrap().spec.materialize(1);
+        let cs_b_kib = v0.b.compressed_size_bytes() as f64 / 1024.0;
+        assert!(cs_b_kib > 5_000.0, "V0 csB must be in the MiB range, got {cs_b_kib} KiB");
+        let mb = by_id("MB215").unwrap().spec.materialize(1);
+        let cs_b_kib = mb.b.compressed_size_bytes() as f64 / 1024.0;
+        assert!(cs_b_kib < 32.0, "MB215 csB must be tiny, got {cs_b_kib} KiB");
+    }
+}

@@ -1,0 +1,93 @@
+//! Integration tests of the workload suite against the simulator: the
+//! Table 6 layer groups must favour the paper's dataflows.
+
+use flexagon_core::{Accelerator, Dataflow, Flexagon, GammaLike, SigmaLike, SparchLike};
+use flexagon_dnn::table6::{self, FavouredDataflow};
+
+/// Gustavson-group layers: GAMMA-like must win them (MB215 and A2 are small
+/// enough to verify in a debug-build test; V7 is covered by the release
+/// harness).
+#[test]
+fn gustavson_group_layers_favour_gamma() {
+    for id in ["MB215", "A2"] {
+        let layer = table6::by_id(id).unwrap();
+        assert_eq!(layer.favours, FavouredDataflow::Gustavson);
+        let mats = layer.spec.materialize(1);
+        let ip = SigmaLike::with_defaults()
+            .run(&mats.a, &mats.b, Dataflow::InnerProductM)
+            .unwrap()
+            .report
+            .total_cycles;
+        let op = SparchLike::with_defaults()
+            .run(&mats.a, &mats.b, Dataflow::OuterProductM)
+            .unwrap()
+            .report
+            .total_cycles;
+        let gu = GammaLike::with_defaults()
+            .run(&mats.a, &mats.b, Dataflow::GustavsonM)
+            .unwrap()
+            .report
+            .total_cycles;
+        assert!(gu < ip && gu < op, "{id}: Gust {gu} vs IP {ip} / OP {op}");
+    }
+}
+
+/// Inner-product-group layers: the SIGMA-like accelerator must beat the
+/// outer-product baseline (its defining comparison in Fig. 13).
+#[test]
+fn inner_product_group_beats_outer_product() {
+    for id in ["SQ5", "SQ11"] {
+        let layer = table6::by_id(id).unwrap();
+        assert_eq!(layer.favours, FavouredDataflow::InnerProduct);
+        let mats = layer.spec.materialize(1);
+        let ip = SigmaLike::with_defaults()
+            .run(&mats.a, &mats.b, Dataflow::InnerProductM)
+            .unwrap()
+            .report
+            .total_cycles;
+        let op = SparchLike::with_defaults()
+            .run(&mats.a, &mats.b, Dataflow::OuterProductM)
+            .unwrap()
+            .report
+            .total_cycles;
+        assert!(ip < op, "{id}: IP {ip} !< OP {op}");
+    }
+}
+
+/// Flexagon matches the best baseline on every (small) Table 6 layer.
+#[test]
+fn flexagon_matches_best_on_table6() {
+    for id in ["SQ5", "SQ11", "MB215"] {
+        let layer = table6::by_id(id).unwrap();
+        let mats = layer.spec.materialize(1);
+        let accel = Flexagon::with_defaults();
+        let mut best = u64::MAX;
+        for df in Dataflow::M_STATIONARY {
+            best = best.min(accel.run(&mats.a, &mats.b, df).unwrap().report.total_cycles);
+        }
+        let oracle = flexagon_core::mapper::oracle(&accel, &mats.a, &mats.b)
+            .unwrap()
+            .1
+            .report
+            .total_cycles;
+        assert!(oracle <= best, "{id}: oracle {oracle} > best-of-M {best}");
+    }
+}
+
+/// Materialized sparsities of the pinned layers track Table 6.
+#[test]
+fn pinned_layer_sparsities_track_table6() {
+    for layer in table6::layers() {
+        if layer.spec.m * layer.spec.k < 5000 {
+            continue; // tiny matrices have high sampling variance
+        }
+        let mats = layer.spec.materialize(1);
+        assert!(
+            (mats.a.sparsity_percent() - layer.spec.sp_a).abs() < 3.0,
+            "{}: spA {:.1} vs {:.1}",
+            layer.id,
+            mats.a.sparsity_percent(),
+            layer.spec.sp_a
+        );
+    }
+}

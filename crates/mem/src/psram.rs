@@ -1,0 +1,509 @@
+//! The PSRAM partial-sum buffer (paper §3.4, Fig. 10).
+//!
+//! "The memory is organized into sets corresponding to different rows and
+//! each set into blocks for different K dimension within a row. Each block
+//! has a valid bit. Besides, we use a register as a line tag to keep the
+//! column coordinate (i.e., the k-iteration) assigned to that line. Since
+//! the length of the output fiber is undetermined, it may occupy several
+//! (and non-consecutive) lines in the same row. This is essentially a
+//! way-combining scheme tagged by the k-iteration."
+//!
+//! The simulator additionally tags blocks with the output row (several rows
+//! can map onto one set), and models overflow by spilling the victim fiber
+//! to DRAM — the spill traffic shows up in the off-chip figures, which is
+//! how an undersized PSRAM degrades a real design.
+//!
+//! Internally a chain index maps `(row, k)` to its block list so that the
+//! Outer-Product dataflow's millions of `PartialWrite`s stay O(1) amortized;
+//! the hardware achieves the same with the parallel tag search of Fig. 10.
+
+use crate::Dram;
+use flexagon_sparse::{Element, ELEMENT_BYTES};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// PSRAM geometry. Defaults give the paper's 256 KiB structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PsramConfig {
+    /// Total capacity in bytes (Table 5: 256 KiB; GAMMA-like uses 128 KiB).
+    pub capacity_bytes: u64,
+    /// Bytes per block ("line" in Fig. 10).
+    pub block_bytes: u64,
+    /// Number of sets; output rows are interleaved across sets.
+    pub num_sets: u32,
+    /// Number of banks across the lines of a set (parallel fiber reads).
+    pub banks: u32,
+}
+
+impl PsramConfig {
+    /// Elements that fit in one block.
+    pub fn elements_per_block(&self) -> usize {
+        (self.block_bytes / ELEMENT_BYTES) as usize
+    }
+
+    /// Blocks per set implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry does not divide evenly.
+    pub fn blocks_per_set(&self) -> usize {
+        let total = self.capacity_bytes / self.block_bytes;
+        assert!(
+            total.is_multiple_of(self.num_sets as u64),
+            "capacity must split evenly across sets"
+        );
+        (total / self.num_sets as u64) as usize
+    }
+}
+
+impl Default for PsramConfig {
+    fn default() -> Self {
+        Self {
+            capacity_bytes: 256 << 10,
+            block_bytes: 64,
+            num_sets: 64,
+            banks: 16,
+        }
+    }
+}
+
+/// Occupancy snapshot of the PSRAM.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PsramUsage {
+    /// Blocks currently valid.
+    pub live_blocks: usize,
+    /// Most blocks ever simultaneously valid.
+    pub high_water_blocks: usize,
+    /// Elements spilled to DRAM due to set overflow.
+    pub spilled_elements: u64,
+}
+
+/// One way-combined fiber chain: the blocks of `(row, k)` in write order.
+#[derive(Debug, Clone, Default)]
+struct Chain {
+    /// Block slots within the owning set, in allocation order.
+    blocks: Vec<usize>,
+    /// Total elements across the chain.
+    len: usize,
+}
+
+/// One set: fixed block slots plus a free list.
+#[derive(Debug, Clone)]
+struct Set {
+    /// `blocks[i]` is the element data of slot `i` (empty = invalid).
+    blocks: Vec<Vec<Element>>,
+    /// Invalid slots available for allocation.
+    free: Vec<usize>,
+    /// Chains resident in this set, keyed by (row, k).
+    chains: HashMap<(u32, u32), Chain>,
+}
+
+impl Set {
+    fn new(num_blocks: usize) -> Self {
+        Self {
+            blocks: vec![Vec::new(); num_blocks],
+            free: (0..num_blocks).rev().collect(),
+            chains: HashMap::new(),
+        }
+    }
+}
+
+/// Way-combining partial-sum SRAM.
+///
+/// Functionally exact: it stores the real psum elements, so the merging
+/// phase that consumes it produces the real output matrix.
+#[derive(Debug, Clone)]
+pub struct Psram {
+    cfg: PsramConfig,
+    sets: Vec<Set>,
+    write_elems: u64,
+    read_elems: u64,
+    usage: PsramUsage,
+    /// Overflow fibers resident in DRAM, keyed by (row, k); values stay
+    /// coordinate-sorted because spills preserve write order.
+    spilled: HashMap<(u32, u32), Vec<Element>>,
+}
+
+impl Psram {
+    /// Creates a PSRAM with the given geometry.
+    pub fn new(cfg: PsramConfig) -> Self {
+        let blocks = cfg.blocks_per_set();
+        let sets = (0..cfg.num_sets).map(|_| Set::new(blocks)).collect();
+        Self {
+            cfg,
+            sets,
+            write_elems: 0,
+            read_elems: 0,
+            usage: PsramUsage::default(),
+            spilled: HashMap::new(),
+        }
+    }
+
+    /// Creates a PSRAM with the paper's 256 KiB geometry.
+    pub fn with_defaults() -> Self {
+        Self::new(PsramConfig::default())
+    }
+
+    /// The PSRAM geometry.
+    pub fn config(&self) -> PsramConfig {
+        self.cfg
+    }
+
+    fn set_index(&self, row: u32) -> usize {
+        (row % self.cfg.num_sets) as usize
+    }
+
+    /// `PartialWrite(row, k, E)`: appends one psum element to the output
+    /// fiber identified by `(row, k)`.
+    ///
+    /// Follows Fig. 10's logic: the set is indexed by `row`; if a block
+    /// chain for this fiber exists and has room, the element lands in its
+    /// last block; otherwise the first free block is allocated. When the
+    /// set is exhausted, the largest resident fiber is spilled to DRAM.
+    pub fn partial_write(&mut self, row: u32, k: u32, e: Element, dram: &mut Dram) {
+        self.partial_write_fiber(row, k, std::slice::from_ref(&e), dram);
+    }
+
+    /// Appends a whole run of elements for `(row, k)`.
+    ///
+    /// Equivalent to repeated `PartialWrite`s; the bulk form exists because
+    /// the Outer-Product streaming phase emits an entire scaled B fiber per
+    /// stationary element.
+    pub fn partial_write_fiber(
+        &mut self,
+        row: u32,
+        k: u32,
+        elems: &[Element],
+        dram: &mut Dram,
+    ) {
+        if elems.is_empty() {
+            return;
+        }
+        self.write_elems += elems.len() as u64;
+        let per_block = self.cfg.elements_per_block();
+        let set_idx = self.set_index(row);
+        let mut remaining = elems;
+        while !remaining.is_empty() {
+            // Room in the chain's tail block?
+            let tail_space = {
+                let set = &self.sets[set_idx];
+                set.chains
+                    .get(&(row, k))
+                    .and_then(|c| c.blocks.last())
+                    .map(|&slot| per_block - set.blocks[slot].len())
+                    .unwrap_or(0)
+            };
+            if tail_space > 0 {
+                let take = tail_space.min(remaining.len());
+                let set = &mut self.sets[set_idx];
+                let chain = set.chains.get_mut(&(row, k)).expect("tail implies chain");
+                let slot = *chain.blocks.last().expect("tail implies block");
+                set.blocks[slot].extend_from_slice(&remaining[..take]);
+                chain.len += take;
+                remaining = &remaining[take..];
+                continue;
+            }
+            // Allocate a fresh block, spilling if the set is full.
+            while self.sets[set_idx].free.is_empty() {
+                self.spill_victim(set_idx, dram);
+            }
+            let set = &mut self.sets[set_idx];
+            let slot = set.free.pop().expect("free slot after spilling");
+            let take = per_block.min(remaining.len());
+            set.blocks[slot].clear();
+            set.blocks[slot].extend_from_slice(&remaining[..take]);
+            let chain = set.chains.entry((row, k)).or_default();
+            chain.blocks.push(slot);
+            chain.len += take;
+            remaining = &remaining[take..];
+            self.usage.live_blocks += 1;
+            self.usage.high_water_blocks =
+                self.usage.high_water_blocks.max(self.usage.live_blocks);
+        }
+    }
+
+    /// Evicts the largest fiber of `set_idx` to DRAM.
+    fn spill_victim(&mut self, set_idx: usize, dram: &mut Dram) {
+        let victim = {
+            let set = &self.sets[set_idx];
+            *set.chains
+                .iter()
+                .max_by_key(|(_, c)| c.len)
+                .map(|(key, _)| key)
+                .expect("spill requested on a set with no chains")
+        };
+        let fiber = self.take_onchip_fiber(set_idx, victim);
+        dram.write(fiber.len() as u64 * ELEMENT_BYTES);
+        self.usage.spilled_elements += fiber.len() as u64;
+        self.spilled.entry(victim).or_default().extend(fiber);
+    }
+
+    /// Removes and returns the on-chip portion of fiber `(row, k)`,
+    /// invalidating its blocks. Elements come back in write order.
+    fn take_onchip_fiber(&mut self, set_idx: usize, key: (u32, u32)) -> Vec<Element> {
+        let set = &mut self.sets[set_idx];
+        let Some(chain) = set.chains.remove(&key) else {
+            return Vec::new();
+        };
+        let mut out = Vec::with_capacity(chain.len);
+        for slot in chain.blocks {
+            out.append(&mut set.blocks[slot]);
+            set.free.push(slot);
+            self.usage.live_blocks -= 1;
+        }
+        out
+    }
+
+    /// `Consume(row, k)`: reads and erases the whole output fiber for
+    /// `(row, k)`, re-loading any spilled portion from DRAM.
+    ///
+    /// Elements are returned in the order they were written, which for all
+    /// dataflows is coordinate order.
+    pub fn consume_fiber(&mut self, row: u32, k: u32, dram: &mut Dram) -> Vec<Element> {
+        let set_idx = self.set_index(row);
+        let mut out = Vec::new();
+        if let Some(spilled) = self.spilled.remove(&(row, k)) {
+            dram.read(spilled.len() as u64 * ELEMENT_BYTES);
+            out = spilled;
+        }
+        let onchip = self.take_onchip_fiber(set_idx, (row, k));
+        self.read_elems += onchip.len() as u64;
+        out.extend(onchip);
+        debug_assert!(
+            out.windows(2).all(|w| w[0].coord < w[1].coord),
+            "psum fiber for (row {row}, k {k}) must be coordinate-sorted"
+        );
+        out
+    }
+
+    /// Sorted list of k tags with data (on-chip or spilled) for `row`.
+    pub fn fiber_tags_of_row(&self, row: u32) -> Vec<u32> {
+        let set_idx = self.set_index(row);
+        let mut ks: Vec<u32> = self.sets[set_idx]
+            .chains
+            .keys()
+            .filter(|&&(r, _)| r == row)
+            .map(|&(_, k)| k)
+            .chain(
+                self.spilled
+                    .keys()
+                    .filter(|&&(r, _)| r == row)
+                    .map(|&(_, k)| k),
+            )
+            .collect();
+        ks.sort_unstable();
+        ks.dedup();
+        ks
+    }
+
+    /// All rows currently holding data.
+    pub fn rows_with_data(&self) -> Vec<u32> {
+        let mut rows: Vec<u32> = self
+            .sets
+            .iter()
+            .flat_map(|s| s.chains.keys().map(|&(r, _)| r))
+            .chain(self.spilled.keys().map(|&(r, _)| r))
+            .collect();
+        rows.sort_unstable();
+        rows.dedup();
+        rows
+    }
+
+    /// Returns `true` when no psums are buffered anywhere.
+    pub fn is_empty(&self) -> bool {
+        self.usage.live_blocks == 0 && self.spilled.is_empty()
+    }
+
+    /// Occupancy snapshot.
+    pub fn usage(&self) -> PsramUsage {
+        self.usage
+    }
+
+    /// Elements written on-chip so far (psum write traffic, Fig. 14).
+    pub fn written_elements(&self) -> u64 {
+        self.write_elems
+    }
+
+    /// Elements read on-chip so far (psum read traffic, Fig. 14).
+    pub fn read_elements(&self) -> u64 {
+        self.read_elems
+    }
+
+    /// Total on-chip psum bytes moved (reads + writes) — Fig. 14's green bar.
+    pub fn onchip_bytes(&self) -> u64 {
+        (self.write_elems + self.read_elems) * ELEMENT_BYTES
+    }
+
+    /// Charges the traffic of an intermediate merge result parking in the
+    /// PSRAM between passes (one write now, one read on the next pass),
+    /// without storing the data — the engine keeps the fiber in flight.
+    pub fn charge_intermediate_roundtrip(&mut self, elements: u64) {
+        self.write_elems += elements;
+        self.read_elems += elements;
+    }
+}
+
+impl Default for Psram {
+    fn default() -> Self {
+        Self::with_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn e(c: u32, v: f32) -> Element {
+        Element::new(c, v)
+    }
+
+    fn tiny() -> Psram {
+        // 2 sets x 4 blocks x 2 elements = 16 elements capacity.
+        Psram::new(PsramConfig {
+            capacity_bytes: 64,
+            block_bytes: 8,
+            num_sets: 2,
+            banks: 1,
+        })
+    }
+
+    #[test]
+    fn default_geometry_matches_table5() {
+        let cfg = PsramConfig::default();
+        assert_eq!(cfg.capacity_bytes, 256 << 10);
+        assert_eq!(cfg.elements_per_block(), 16);
+        assert_eq!(
+            cfg.blocks_per_set() * cfg.num_sets as usize * cfg.block_bytes as usize,
+            256 << 10
+        );
+    }
+
+    #[test]
+    fn write_then_consume_roundtrips() {
+        let mut p = tiny();
+        let mut dram = Dram::with_defaults();
+        p.partial_write(0, 3, e(1, 1.0), &mut dram);
+        p.partial_write(0, 3, e(5, 2.0), &mut dram);
+        let fiber = p.consume_fiber(0, 3, &mut dram);
+        assert_eq!(fiber, vec![e(1, 1.0), e(5, 2.0)]);
+        assert!(p.is_empty());
+        assert_eq!(p.written_elements(), 2);
+        assert_eq!(p.read_elements(), 2);
+    }
+
+    #[test]
+    fn fiber_spans_multiple_blocks_in_order() {
+        let mut p = tiny(); // 2 elements per block
+        let mut dram = Dram::with_defaults();
+        for i in 0..6 {
+            p.partial_write(0, 0, e(i, i as f32), &mut dram);
+        }
+        let fiber = p.consume_fiber(0, 0, &mut dram);
+        let coords: Vec<u32> = fiber.iter().map(|x| x.coord).collect();
+        assert_eq!(coords, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn distinct_k_fibers_coexist_in_one_set() {
+        let mut p = tiny();
+        let mut dram = Dram::with_defaults();
+        p.partial_write(0, 0, e(2, 1.0), &mut dram);
+        p.partial_write(0, 7, e(1, 9.0), &mut dram);
+        assert_eq!(p.fiber_tags_of_row(0), vec![0, 7]);
+        assert_eq!(p.consume_fiber(0, 7, &mut dram), vec![e(1, 9.0)]);
+        assert_eq!(p.consume_fiber(0, 0, &mut dram), vec![e(2, 1.0)]);
+    }
+
+    #[test]
+    fn rows_interleave_across_sets() {
+        let mut p = tiny(); // 2 sets
+        let mut dram = Dram::with_defaults();
+        p.partial_write(0, 0, e(0, 1.0), &mut dram); // set 0
+        p.partial_write(1, 0, e(0, 2.0), &mut dram); // set 1
+        p.partial_write(2, 0, e(0, 3.0), &mut dram); // set 0 again
+        assert_eq!(p.rows_with_data(), vec![0, 1, 2]);
+        assert_eq!(p.consume_fiber(2, 0, &mut dram), vec![e(0, 3.0)]);
+        assert_eq!(p.consume_fiber(0, 0, &mut dram), vec![e(0, 1.0)]);
+    }
+
+    #[test]
+    fn overflow_spills_to_dram_and_reloads() {
+        let mut p = tiny(); // each set: 4 blocks x 2 elems = 8 elements
+        let mut dram = Dram::with_defaults();
+        // Fill set 0 beyond capacity with a single fiber.
+        for i in 0..12 {
+            p.partial_write(0, 0, e(i, 1.0), &mut dram);
+        }
+        assert!(p.usage().spilled_elements > 0, "overflow must spill");
+        assert!(dram.written_bytes() > 0, "spill writes DRAM");
+        let fiber = p.consume_fiber(0, 0, &mut dram);
+        assert_eq!(fiber.len(), 12, "spilled part reloads on consume");
+        let coords: Vec<u32> = fiber.iter().map(|x| x.coord).collect();
+        assert!(coords.windows(2).all(|w| w[0] < w[1]), "order preserved");
+        assert!(dram.read_bytes() > 0, "reload reads DRAM");
+        assert!(p.is_empty());
+    }
+
+    #[test]
+    fn high_water_tracks_peak() {
+        let mut p = tiny();
+        let mut dram = Dram::with_defaults();
+        for i in 0..4 {
+            p.partial_write(0, i, e(0, 1.0), &mut dram); // 4 distinct blocks
+        }
+        for i in 0..4 {
+            p.consume_fiber(0, i, &mut dram);
+        }
+        assert_eq!(p.usage().live_blocks, 0);
+        assert_eq!(p.usage().high_water_blocks, 4);
+    }
+
+    #[test]
+    fn consume_missing_fiber_is_empty() {
+        let mut p = tiny();
+        let mut dram = Dram::with_defaults();
+        assert!(p.consume_fiber(5, 9, &mut dram).is_empty());
+    }
+
+    #[test]
+    fn onchip_bytes_counts_reads_and_writes() {
+        let mut p = tiny();
+        let mut dram = Dram::with_defaults();
+        p.partial_write(1, 0, e(0, 1.0), &mut dram);
+        p.consume_fiber(1, 0, &mut dram);
+        assert_eq!(p.onchip_bytes(), 2 * ELEMENT_BYTES);
+    }
+
+    #[test]
+    fn partial_write_fiber_bulk() {
+        let mut p = tiny();
+        let mut dram = Dram::with_defaults();
+        let elems = vec![e(0, 1.0), e(3, 2.0), e(4, 3.0)];
+        p.partial_write_fiber(1, 2, &elems, &mut dram);
+        assert_eq!(p.consume_fiber(1, 2, &mut dram), elems);
+    }
+
+    #[test]
+    fn bulk_write_larger_than_set_spills_and_roundtrips() {
+        let mut p = tiny(); // set capacity 8 elements
+        let mut dram = Dram::with_defaults();
+        let elems: Vec<Element> = (0..20).map(|i| e(i, i as f32)).collect();
+        p.partial_write_fiber(0, 1, &elems, &mut dram);
+        let back = p.consume_fiber(0, 1, &mut dram);
+        assert_eq!(back, elems);
+    }
+
+    #[test]
+    fn interleaved_writes_to_two_fibers_keep_chains_apart() {
+        let mut p = tiny();
+        let mut dram = Dram::with_defaults();
+        for i in 0..3 {
+            p.partial_write(0, 0, e(i, 1.0), &mut dram);
+            p.partial_write(0, 1, e(i, 2.0), &mut dram);
+        }
+        let f0 = p.consume_fiber(0, 0, &mut dram);
+        let f1 = p.consume_fiber(0, 1, &mut dram);
+        assert_eq!(f0.iter().map(|x| x.value).sum::<f32>(), 3.0);
+        assert_eq!(f1.iter().map(|x| x.value).sum::<f32>(), 6.0);
+    }
+}

@@ -1,0 +1,80 @@
+//! Output write buffer (paper §3.4, `Write(Offset, E)`).
+//!
+//! "We also augment our memory structure with a FIFO which is used as a
+//! write buffer to hide the latency of sending out final output fibers to
+//! DRAM."
+
+use crate::Dram;
+use flexagon_sparse::ELEMENT_BYTES;
+
+/// FIFO write buffer for final output fibers.
+///
+/// Final (fully merged) elements leave the MRN root, pass through this
+/// buffer and stream to DRAM; the buffer hides the store latency, so the
+/// model is a traffic meter.
+#[derive(Debug, Clone, Default)]
+pub struct WriteBuffer {
+    written_elements: u64,
+}
+
+impl WriteBuffer {
+    /// Creates an empty write buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Writes `elements` final output elements through to DRAM.
+    ///
+    /// Returns the bytes written (which also accrue on `dram`).
+    pub fn write(&mut self, elements: u64, dram: &mut Dram) -> u64 {
+        if elements == 0 {
+            return 0;
+        }
+        let bytes = elements * ELEMENT_BYTES;
+        dram.write(bytes);
+        self.written_elements += elements;
+        bytes
+    }
+
+    /// Total final output elements written.
+    pub fn written_elements(&self) -> u64 {
+        self.written_elements
+    }
+
+    /// Total final output bytes written.
+    pub fn written_bytes(&self) -> u64 {
+        self.written_elements * ELEMENT_BYTES
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn write_counts_bytes() {
+        let mut w = WriteBuffer::new();
+        let mut dram = Dram::with_defaults();
+        assert_eq!(w.write(10, &mut dram), 40);
+        assert_eq!(w.written_elements(), 10);
+        assert_eq!(w.written_bytes(), 40);
+        assert_eq!(dram.written_bytes(), 40);
+    }
+
+    #[test]
+    fn write_zero_is_free() {
+        let mut w = WriteBuffer::new();
+        let mut dram = Dram::with_defaults();
+        assert_eq!(w.write(0, &mut dram), 0);
+        assert_eq!(dram.write_requests(), 0);
+    }
+
+    #[test]
+    fn writes_accumulate() {
+        let mut w = WriteBuffer::new();
+        let mut dram = Dram::with_defaults();
+        w.write(3, &mut dram);
+        w.write(4, &mut dram);
+        assert_eq!(w.written_elements(), 7);
+    }
+}

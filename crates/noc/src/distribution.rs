@@ -1,0 +1,268 @@
+//! The distribution network (paper §3.1).
+//!
+//! "This module is used to deliver data from the SRAM structures to the
+//! multipliers. [...] the DN needs to support unicast, multicast and
+//! broadcast data delivery. To achieve this [...] we utilize a Benes network
+//! similar to previous designs like SIGMA. This network is an N-input,
+//! N-output non-blocking topology with 2·log(N)+1 levels, each with N tiny
+//! 2x2 switches."
+//!
+//! Because the Benes topology is non-blocking, the timing model is injection
+//! bandwidth: the memory side feeds at most `bandwidth` elements per cycle
+//! (Table 5: 16), and a multicast replicates inside the network for free.
+
+use flexagon_sim::{Bandwidth, Cycle};
+use serde::{Deserialize, Serialize};
+
+/// How a delivered element fans out.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CastKind {
+    /// One source element to one multiplier.
+    Unicast,
+    /// One source element to a subset of multipliers.
+    Multicast,
+    /// One source element to every multiplier.
+    Broadcast,
+}
+
+/// Distribution network configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DnConfig {
+    /// Number of output ports (= multipliers fed).
+    pub width: u32,
+    /// Injection bandwidth in elements per cycle (Table 5: 16).
+    pub bandwidth: Bandwidth,
+}
+
+impl Default for DnConfig {
+    fn default() -> Self {
+        Self { width: 64, bandwidth: Bandwidth::per_cycle(16) }
+    }
+}
+
+impl DnConfig {
+    /// Benes levels: `2*log2(width) + 1`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is not a power of two (the Benes construction
+    /// requires it).
+    pub fn levels(&self) -> u32 {
+        assert!(self.width.is_power_of_two(), "benes width must be a power of two");
+        2 * self.width.trailing_zeros() + 1
+    }
+
+    /// Total 2x2 switches: `levels * width`.
+    pub fn switches(&self) -> u32 {
+        self.levels() * self.width
+    }
+}
+
+/// The Benes distribution network: traffic meter plus injection-bandwidth
+/// timing.
+#[derive(Debug, Clone)]
+pub struct DistributionNetwork {
+    cfg: DnConfig,
+    injected_elements: u64,
+    delivered_elements: u64,
+    unicasts: u64,
+    multicasts: u64,
+    broadcasts: u64,
+}
+
+impl DistributionNetwork {
+    /// Creates a network with the given configuration.
+    pub fn new(cfg: DnConfig) -> Self {
+        Self {
+            cfg,
+            injected_elements: 0,
+            delivered_elements: 0,
+            unicasts: 0,
+            multicasts: 0,
+            broadcasts: 0,
+        }
+    }
+
+    /// Creates a 64-wide network with Table 5's 16 elements/cycle.
+    pub fn with_defaults() -> Self {
+        Self::new(DnConfig::default())
+    }
+
+    /// The network configuration.
+    pub fn config(&self) -> DnConfig {
+        self.cfg
+    }
+
+    /// Sends `elements` source elements, each reaching `destinations`
+    /// multipliers, and returns the injection cycles consumed.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `destinations` is zero or exceeds the network width.
+    pub fn send(&mut self, elements: u64, destinations: u32) -> Cycle {
+        assert!(
+            destinations >= 1 && destinations <= self.cfg.width,
+            "destinations must be within 1..=width"
+        );
+        if elements == 0 {
+            return 0;
+        }
+        let kind = self.classify(destinations);
+        match kind {
+            CastKind::Unicast => self.unicasts += elements,
+            CastKind::Multicast => self.multicasts += elements,
+            CastKind::Broadcast => self.broadcasts += elements,
+        }
+        self.injected_elements += elements;
+        self.delivered_elements += elements * destinations as u64;
+        self.cfg.bandwidth.cycles(elements)
+    }
+
+    fn classify(&self, destinations: u32) -> CastKind {
+        if destinations == 1 {
+            CastKind::Unicast
+        } else if destinations == self.cfg.width {
+            CastKind::Broadcast
+        } else {
+            CastKind::Multicast
+        }
+    }
+
+    /// Sends `injected` source elements with an irregular fan-out totalling
+    /// `delivered` port-level deliveries, returning the injection cycles.
+    ///
+    /// Used by dataflows where each element reaches a data-dependent subset
+    /// of multipliers (e.g. the intersection-filtered multicasts of Inner
+    /// Product). Elements with average fan-out 1 are counted as unicasts,
+    /// otherwise as multicasts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `delivered < injected`.
+    pub fn send_irregular(&mut self, injected: u64, delivered: u64) -> Cycle {
+        assert!(delivered >= injected, "each injected element reaches >= 1 port");
+        if injected == 0 {
+            return 0;
+        }
+        if delivered == injected {
+            self.unicasts += injected;
+        } else {
+            self.multicasts += injected;
+        }
+        self.injected_elements += injected;
+        self.delivered_elements += delivered;
+        self.cfg.bandwidth.cycles(injected)
+    }
+
+    /// Cycles to inject `elements` without recording them (planning).
+    pub fn injection_cycles(&self, elements: u64) -> Cycle {
+        self.cfg.bandwidth.cycles(elements)
+    }
+
+    /// Elements injected at the memory side.
+    pub fn injected_elements(&self) -> u64 {
+        self.injected_elements
+    }
+
+    /// Elements received across all multiplier ports (counts fan-out).
+    pub fn delivered_elements(&self) -> u64 {
+        self.delivered_elements
+    }
+
+    /// Unicast / multicast / broadcast source-element counts.
+    pub fn cast_counts(&self) -> (u64, u64, u64) {
+        (self.unicasts, self.multicasts, self.broadcasts)
+    }
+}
+
+impl Default for DistributionNetwork {
+    fn default() -> Self {
+        Self::with_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_64_wide_16_per_cycle() {
+        let dn = DistributionNetwork::with_defaults();
+        assert_eq!(dn.config().width, 64);
+        assert_eq!(dn.config().bandwidth.rate(), 16);
+    }
+
+    #[test]
+    fn benes_levels_and_switches() {
+        let cfg = DnConfig { width: 64, bandwidth: Bandwidth::per_cycle(16) };
+        assert_eq!(cfg.levels(), 13); // 2*6+1
+        assert_eq!(cfg.switches(), 13 * 64);
+        let cfg8 = DnConfig { width: 8, bandwidth: Bandwidth::per_cycle(4) };
+        assert_eq!(cfg8.levels(), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_width_rejected() {
+        DnConfig { width: 48, bandwidth: Bandwidth::per_cycle(16) }.levels();
+    }
+
+    #[test]
+    fn send_charges_injection_only() {
+        let mut dn = DistributionNetwork::with_defaults();
+        // 32 elements broadcast to all 64 ports: 2 cycles at 16/cycle.
+        assert_eq!(dn.send(32, 64), 2);
+        assert_eq!(dn.injected_elements(), 32);
+        assert_eq!(dn.delivered_elements(), 32 * 64);
+    }
+
+    #[test]
+    fn cast_classification() {
+        let mut dn = DistributionNetwork::with_defaults();
+        dn.send(1, 1);
+        dn.send(2, 7);
+        dn.send(3, 64);
+        assert_eq!(dn.cast_counts(), (1, 2, 3));
+    }
+
+    #[test]
+    fn send_zero_elements_free() {
+        let mut dn = DistributionNetwork::with_defaults();
+        assert_eq!(dn.send(0, 4), 0);
+        assert_eq!(dn.injected_elements(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "within 1..=width")]
+    fn too_many_destinations_rejected() {
+        DistributionNetwork::with_defaults().send(1, 65);
+    }
+
+    #[test]
+    fn injection_cycles_is_pure() {
+        let dn = DistributionNetwork::with_defaults();
+        assert_eq!(dn.injection_cycles(17), 2);
+        assert_eq!(dn.injected_elements(), 0);
+    }
+
+    #[test]
+    fn send_irregular_classifies_by_fanout() {
+        let mut dn = DistributionNetwork::with_defaults();
+        assert_eq!(dn.send_irregular(16, 16), 1); // pure unicast
+        assert_eq!(dn.send_irregular(16, 40), 1); // average fan-out > 1
+        assert_eq!(dn.cast_counts(), (16, 16, 0));
+        assert_eq!(dn.delivered_elements(), 56);
+    }
+
+    #[test]
+    fn send_irregular_zero_free() {
+        let mut dn = DistributionNetwork::with_defaults();
+        assert_eq!(dn.send_irregular(0, 0), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = ">= 1 port")]
+    fn send_irregular_rejects_undelivery() {
+        DistributionNetwork::with_defaults().send_irregular(4, 3);
+    }
+}

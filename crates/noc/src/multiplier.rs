@@ -1,0 +1,146 @@
+//! The multiplier network (paper §3.1, Fig. 4c).
+//!
+//! "This network is composed of independent multipliers that can operate in
+//! two different modes: i) Multiplier mode: the unit performs a
+//! multiplication and sends the result to the MRN [...] ii) Forwarder mode:
+//! the multiplier forwards directly the input, which is typically a psum, to
+//! the MRN."
+
+use flexagon_sim::{cycles_for, Cycle};
+use serde::{Deserialize, Serialize};
+
+/// Operating mode of a multiplier unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MultiplierMode {
+    /// Multiply the streaming input by the stationary register.
+    Multiplier,
+    /// Forward the input (a psum) straight to the MRN.
+    Forwarder,
+}
+
+/// Multiplier network configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MnConfig {
+    /// Number of multiplier units (Table 5: 64).
+    pub multipliers: u32,
+}
+
+impl Default for MnConfig {
+    fn default() -> Self {
+        Self { multipliers: 64 }
+    }
+}
+
+/// The linear multiplier array: operation counters plus throughput model.
+#[derive(Debug, Clone)]
+pub struct MultiplierNetwork {
+    cfg: MnConfig,
+    multiplications: u64,
+    forwards: u64,
+    stationary_loads: u64,
+}
+
+impl MultiplierNetwork {
+    /// Creates a network with the given configuration.
+    pub fn new(cfg: MnConfig) -> Self {
+        Self { cfg, multiplications: 0, forwards: 0, stationary_loads: 0 }
+    }
+
+    /// Creates the paper's 64-multiplier network.
+    pub fn with_defaults() -> Self {
+        Self::new(MnConfig::default())
+    }
+
+    /// The network configuration.
+    pub fn config(&self) -> MnConfig {
+        self.cfg
+    }
+
+    /// Number of multiplier units.
+    pub fn width(&self) -> u32 {
+        self.cfg.multipliers
+    }
+
+    /// Records the stationary phase loading `count` operands into the
+    /// stationary registers (at most one per multiplier per tile).
+    pub fn load_stationary(&mut self, count: u64) {
+        self.stationary_loads += count;
+    }
+
+    /// Records `count` multiplications and returns the cycles they occupy
+    /// when all units work in parallel.
+    pub fn multiply(&mut self, count: u64) -> Cycle {
+        self.multiplications += count;
+        cycles_for(count, self.cfg.multipliers as u64)
+    }
+
+    /// Records `count` forwarded psums (Forwarder mode) and returns the
+    /// cycles they occupy.
+    pub fn forward(&mut self, count: u64) -> Cycle {
+        self.forwards += count;
+        cycles_for(count, self.cfg.multipliers as u64)
+    }
+
+    /// Total multiplications performed.
+    pub fn multiplications(&self) -> u64 {
+        self.multiplications
+    }
+
+    /// Total psums forwarded.
+    pub fn forwards(&self) -> u64 {
+        self.forwards
+    }
+
+    /// Total stationary operands loaded.
+    pub fn stationary_loads(&self) -> u64 {
+        self.stationary_loads
+    }
+}
+
+impl Default for MultiplierNetwork {
+    fn default() -> Self {
+        Self::with_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_has_64_units() {
+        assert_eq!(MultiplierNetwork::with_defaults().width(), 64);
+    }
+
+    #[test]
+    fn multiply_parallelizes_over_units() {
+        let mut mn = MultiplierNetwork::with_defaults();
+        assert_eq!(mn.multiply(64), 1);
+        assert_eq!(mn.multiply(65), 2);
+        assert_eq!(mn.multiplications(), 129);
+    }
+
+    #[test]
+    fn forward_counts_separately() {
+        let mut mn = MultiplierNetwork::with_defaults();
+        mn.multiply(10);
+        assert_eq!(mn.forward(128), 2);
+        assert_eq!(mn.forwards(), 128);
+        assert_eq!(mn.multiplications(), 10);
+    }
+
+    #[test]
+    fn zero_work_is_free() {
+        let mut mn = MultiplierNetwork::with_defaults();
+        assert_eq!(mn.multiply(0), 0);
+        assert_eq!(mn.forward(0), 0);
+    }
+
+    #[test]
+    fn stationary_loads_accumulate() {
+        let mut mn = MultiplierNetwork::with_defaults();
+        mn.load_stationary(64);
+        mn.load_stationary(32);
+        assert_eq!(mn.stationary_loads(), 96);
+    }
+}

@@ -1,0 +1,178 @@
+//! Per-component area/power models, calibrated to Table 8.
+
+use serde::{Deserialize, Serialize};
+use std::ops::Add;
+
+/// Post-layout cost of a component: area in mm² and power in mW
+/// (TSMC 28 nm GP LVT at 800 MHz, like the paper).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct AreaPower {
+    /// Area in mm².
+    pub area_mm2: f64,
+    /// Power in mW.
+    pub power_mw: f64,
+}
+
+impl AreaPower {
+    /// Creates a cost pair.
+    pub fn new(area_mm2: f64, power_mw: f64) -> Self {
+        Self { area_mm2, power_mw }
+    }
+
+    /// Scales both area and power by `factor`.
+    #[must_use]
+    pub fn scaled(self, factor: f64) -> Self {
+        Self::new(self.area_mm2 * factor, self.power_mw * factor)
+    }
+}
+
+impl Add for AreaPower {
+    type Output = AreaPower;
+    fn add(self, rhs: AreaPower) -> AreaPower {
+        AreaPower::new(self.area_mm2 + rhs.area_mm2, self.power_mw + rhs.power_mw)
+    }
+}
+
+impl std::iter::Sum for AreaPower {
+    fn sum<I: Iterator<Item = AreaPower>>(iter: I) -> AreaPower {
+        iter.fold(AreaPower::default(), Add::add)
+    }
+}
+
+/// Reference width the Table 8 numbers were measured at.
+const REF_MULTIPLIERS: u32 = 64;
+
+/// Table 8 calibration points (64-multiplier designs).
+mod calib {
+    use super::AreaPower;
+
+    /// Distribution network (tree), all designs.
+    pub const DN: AreaPower = AreaPower { area_mm2: 0.04, power_mw: 2.18 };
+    /// Multiplier network (linear array), all designs.
+    pub const MN: AreaPower = AreaPower { area_mm2: 0.07, power_mw: 3.29 };
+    /// SIGMA's FAN reduction network.
+    pub const FAN: AreaPower = AreaPower { area_mm2: 0.17, power_mw: 248.0 };
+    /// SpArch/GAMMA merger tree.
+    pub const MERGER: AreaPower = AreaPower { area_mm2: 0.07, power_mw: 64.48 };
+    /// Flexagon's merger-reduction network.
+    pub const MRN: AreaPower = AreaPower { area_mm2: 0.21, power_mw: 312.0 };
+    /// 1 MiB streaming cache.
+    pub const CACHE_1MIB: AreaPower = AreaPower { area_mm2: 3.93, power_mw: 2142.0 };
+    /// 256 KiB PSRAM.
+    pub const PSRAM_256KIB: AreaPower = AreaPower { area_mm2: 1.03, power_mw: 538.0 };
+}
+
+/// Reduction/merger network flavour (Table 7's RN row).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RnKind {
+    /// SIGMA's FAN: flexible-sized adder reductions only.
+    Fan,
+    /// SpArch/GAMMA merger: comparator merging only.
+    Merger,
+    /// Flexagon's MRN: both, on one tree.
+    Mrn,
+}
+
+/// Distribution network cost for `multipliers` output ports.
+///
+/// Trees grow linearly in leaf count to first order (the paper reports the
+/// same DN cost for all four 64-wide designs).
+pub fn dn_cost(multipliers: u32) -> AreaPower {
+    calib::DN.scaled(multipliers as f64 / REF_MULTIPLIERS as f64)
+}
+
+/// Multiplier network cost for `multipliers` units.
+pub fn mn_cost(multipliers: u32) -> AreaPower {
+    calib::MN.scaled(multipliers as f64 / REF_MULTIPLIERS as f64)
+}
+
+/// Reduction/merger network cost for `multipliers` leaves.
+///
+/// A tree of `n` leaves has `n - 1` nodes, so cost scales with
+/// `(n - 1) / 63` from the 64-leaf calibration point.
+pub fn rn_cost(kind: RnKind, multipliers: u32) -> AreaPower {
+    let base = match kind {
+        RnKind::Fan => calib::FAN,
+        RnKind::Merger => calib::MERGER,
+        RnKind::Mrn => calib::MRN,
+    };
+    base.scaled((multipliers.saturating_sub(1)) as f64 / (REF_MULTIPLIERS - 1) as f64)
+}
+
+/// Streaming-cache cost for `bytes` of capacity.
+///
+/// SRAM macros are dominated by the bit array: capacity-proportional to
+/// first order (CACTI's sub-linear periphery effects are below the
+/// precision Table 8 reports).
+pub fn str_cache_cost(bytes: u64) -> AreaPower {
+    calib::CACHE_1MIB.scaled(bytes as f64 / (1u64 << 20) as f64)
+}
+
+/// PSRAM cost for `bytes` of capacity (zero bytes = structure absent, as in
+/// the SIGMA-like design).
+pub fn psram_cost(bytes: u64) -> AreaPower {
+    calib::PSRAM_256KIB.scaled(bytes as f64 / (256u64 << 10) as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-9
+    }
+
+    #[test]
+    fn calibration_points_reproduce_table8() {
+        assert!(close(dn_cost(64).area_mm2, 0.04));
+        assert!(close(dn_cost(64).power_mw, 2.18));
+        assert!(close(mn_cost(64).area_mm2, 0.07));
+        assert!(close(rn_cost(RnKind::Fan, 64).area_mm2, 0.17));
+        assert!(close(rn_cost(RnKind::Fan, 64).power_mw, 248.0));
+        assert!(close(rn_cost(RnKind::Merger, 64).area_mm2, 0.07));
+        assert!(close(rn_cost(RnKind::Mrn, 64).area_mm2, 0.21));
+        assert!(close(rn_cost(RnKind::Mrn, 64).power_mw, 312.0));
+        assert!(close(str_cache_cost(1 << 20).area_mm2, 3.93));
+        assert!(close(psram_cost(256 << 10).area_mm2, 1.03));
+        assert!(close(psram_cost(256 << 10).power_mw, 538.0));
+    }
+
+    #[test]
+    fn gamma_psram_is_half() {
+        // Table 8: GAMMA-like PSRAM 0.51 mm² / 269 mW (half of 1.03 / 538).
+        let half = psram_cost(128 << 10);
+        assert!(close(half.area_mm2, 0.515));
+        assert!(close(half.power_mw, 269.0));
+    }
+
+    #[test]
+    fn costs_scale_with_size() {
+        assert!(dn_cost(128).area_mm2 > dn_cost(64).area_mm2);
+        assert!(rn_cost(RnKind::Mrn, 128).area_mm2 > rn_cost(RnKind::Mrn, 64).area_mm2);
+        assert!(str_cache_cost(2 << 20).power_mw > str_cache_cost(1 << 20).power_mw);
+        assert!(close(psram_cost(0).area_mm2, 0.0));
+    }
+
+    #[test]
+    fn mrn_premium_matches_paper_claims() {
+        // "our MRN is 28% ... larger than the area of the FAN".
+        let mrn = rn_cost(RnKind::Mrn, 64).area_mm2;
+        let fan = rn_cost(RnKind::Fan, 64).area_mm2;
+        let premium = mrn / fan - 1.0;
+        assert!((0.2..0.3).contains(&premium), "premium {premium}");
+        // "the MRN consumes 25% ... more than the FAN RN".
+        let p = rn_cost(RnKind::Mrn, 64).power_mw / rn_cost(RnKind::Fan, 64).power_mw - 1.0;
+        assert!((0.2..0.3).contains(&p), "power premium {p}");
+    }
+
+    #[test]
+    fn area_power_arithmetic() {
+        let a = AreaPower::new(1.0, 10.0);
+        let b = AreaPower::new(2.0, 20.0);
+        let s = a + b;
+        assert!(close(s.area_mm2, 3.0) && close(s.power_mw, 30.0));
+        let total: AreaPower = [a, b].into_iter().sum();
+        assert_eq!(total, s);
+        assert!(close(a.scaled(2.0).power_mw, 20.0));
+    }
+}

@@ -1,0 +1,219 @@
+//! Activity-based energy model.
+//!
+//! The paper reports post-layout *power* (Table 8); STONNE-class simulators
+//! additionally report per-run *energy* by charging each architectural
+//! event an energy cost. This module derives per-event energies from the
+//! calibrated Table 8 power numbers (power = energy x activity at the
+//! design point) and folds an execution report's counters into a
+//! breakdown — making designs comparable by energy-to-solution, not just
+//! cycles.
+
+use crate::AreaPower;
+use flexagon_core::ExecutionReport;
+use serde::{Deserialize, Serialize};
+
+/// Per-event energy constants in picojoules.
+///
+/// Derived for TSMC 28 nm at 0.9 V from the Table 8 power figures at the
+/// 800 MHz design point, assuming the reported power corresponds to full
+/// utilization of the 16-element/cycle datapath. These are deliberately
+/// simple constants: relative energy between designs is what the
+/// comparison needs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyParams {
+    /// One multiply-accumulate in the MN.
+    pub mac_pj: f64,
+    /// One element traversing the distribution network.
+    pub dn_elem_pj: f64,
+    /// One adder/comparator node operation in the RN/MRN.
+    pub rn_op_pj: f64,
+    /// One byte read or written in the STR cache.
+    pub cache_byte_pj: f64,
+    /// One byte read or written in the PSRAM.
+    pub psram_byte_pj: f64,
+    /// One byte moved to or from DRAM.
+    pub dram_byte_pj: f64,
+    /// Static leakage per cycle for the whole accelerator.
+    pub leakage_per_cycle_pj: f64,
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        Self {
+            // 3.29 mW MN at 800 MHz over 64 lanes ≈ 0.06 pJ/MAC; rounded
+            // up for the stationary register write.
+            mac_pj: 0.08,
+            // 2.18 mW DN at 16 elems/cycle ≈ 0.17 pJ/element.
+            dn_elem_pj: 0.17,
+            // 312 mW MRN at 800 MHz over 63 nodes, ~16 active/cycle.
+            rn_op_pj: 0.9,
+            // CACTI-class 1 MiB SRAM read ≈ 0.65 pJ/byte at 28 nm.
+            cache_byte_pj: 0.65,
+            // Smaller macro, shorter wires.
+            psram_byte_pj: 0.45,
+            // HBM2 ≈ 3.9 pJ/bit ≈ 31 pJ/byte; use a conservative 25.
+            dram_byte_pj: 25.0,
+            // ~10% of the 3 W total as leakage.
+            leakage_per_cycle_pj: 0.37,
+        }
+    }
+}
+
+/// Energy consumed by one execution, by component.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Multiplier network (MACs + forwards).
+    pub mn_pj: f64,
+    /// Distribution network traversals.
+    pub dn_pj: f64,
+    /// Reduction/merger network operations.
+    pub rn_pj: f64,
+    /// STR cache accesses.
+    pub cache_pj: f64,
+    /// PSRAM accesses.
+    pub psram_pj: f64,
+    /// Off-chip DRAM transfers.
+    pub dram_pj: f64,
+    /// Leakage over the run's cycles.
+    pub leakage_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in picojoules.
+    pub fn total_pj(&self) -> f64 {
+        self.mn_pj
+            + self.dn_pj
+            + self.rn_pj
+            + self.cache_pj
+            + self.psram_pj
+            + self.dram_pj
+            + self.leakage_pj
+    }
+
+    /// Total energy in microjoules.
+    pub fn total_uj(&self) -> f64 {
+        self.total_pj() / 1e6
+    }
+
+    /// On-chip fraction of the total (everything but DRAM).
+    pub fn onchip_fraction(&self) -> f64 {
+        let t = self.total_pj();
+        if t == 0.0 {
+            0.0
+        } else {
+            (t - self.dram_pj) / t
+        }
+    }
+}
+
+/// Folds an execution report into an energy breakdown.
+pub fn energy_of(report: &ExecutionReport, params: &EnergyParams) -> EnergyBreakdown {
+    let c = &report.counters;
+    let rn_ops = c.get("mrn.additions") + c.get("mrn.comparisons");
+    EnergyBreakdown {
+        mn_pj: (report.multiplications + c.get("mn.forwards")) as f64 * params.mac_pj,
+        dn_pj: c.get("dn.delivered") as f64 * params.dn_elem_pj,
+        rn_pj: rn_ops as f64 * params.rn_op_pj,
+        cache_pj: (report.traffic.str_onchip_bytes + report.traffic.str_fill_bytes) as f64
+            * params.cache_byte_pj,
+        psram_pj: report.traffic.psum_onchip_bytes as f64 * params.psram_byte_pj,
+        dram_pj: report.traffic.offchip_total() as f64 * params.dram_byte_pj,
+        leakage_pj: report.total_cycles as f64 * params.leakage_per_cycle_pj,
+    }
+}
+
+/// Average power implied by a run at the given clock, in milliwatts —
+/// lets the activity model be sanity-checked against Table 8.
+pub fn average_power_mw(breakdown: &EnergyBreakdown, cycles: u64, clock_hz: f64) -> f64 {
+    if cycles == 0 {
+        return 0.0;
+    }
+    let seconds = cycles as f64 / clock_hz;
+    breakdown.total_pj() / 1e9 / seconds
+}
+
+/// Energy-delay product in pJ·cycles — the composite metric used to rank
+/// designs that trade energy against speed.
+pub fn energy_delay_pj_cycles(breakdown: &EnergyBreakdown, cycles: u64) -> f64 {
+    breakdown.total_pj() * cycles as f64
+}
+
+/// Convenience: the design-point total power of Table 8 for cross-checks.
+pub fn table8_power_reference() -> AreaPower {
+    crate::table8_rows()
+        .iter()
+        .find(|r| r.kind == crate::AcceleratorKind::Flexagon)
+        .expect("flexagon row present")
+        .total()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexagon_core::{Accelerator, AcceleratorConfig, Dataflow, Flexagon};
+    use flexagon_sparse::{gen, MajorOrder};
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn sample_report(df: Dataflow) -> ExecutionReport {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let a = gen::random(32, 48, 0.3, MajorOrder::Row, &mut rng);
+        let b = gen::random(48, 40, 0.4, MajorOrder::Row, &mut rng);
+        Flexagon::new(AcceleratorConfig::table5())
+            .run(&a, &b, df)
+            .unwrap()
+            .report
+    }
+
+    #[test]
+    fn energy_is_positive_and_componentwise() {
+        let e = energy_of(&sample_report(Dataflow::GustavsonM), &EnergyParams::default());
+        assert!(e.mn_pj > 0.0);
+        assert!(e.dn_pj > 0.0);
+        assert!(e.dram_pj > 0.0);
+        assert!(e.total_pj() > e.dram_pj);
+        assert!((0.0..=1.0).contains(&e.onchip_fraction()));
+    }
+
+    #[test]
+    fn inner_product_spends_nothing_on_psram() {
+        let e = energy_of(&sample_report(Dataflow::InnerProductM), &EnergyParams::default());
+        assert_eq!(e.psram_pj, 0.0);
+    }
+
+    #[test]
+    fn outer_product_pays_psum_energy() {
+        let e = energy_of(&sample_report(Dataflow::OuterProductM), &EnergyParams::default());
+        assert!(e.psram_pj > 0.0);
+    }
+
+    #[test]
+    fn average_power_is_in_watt_range() {
+        let r = sample_report(Dataflow::GustavsonM);
+        let e = energy_of(&r, &EnergyParams::default());
+        let p = average_power_mw(&e, r.total_cycles, 800e6);
+        // Within an order of magnitude of Table 8's ~3 W budget.
+        assert!(p > 50.0 && p < 30_000.0, "power {p} mW out of range");
+    }
+
+    #[test]
+    fn edp_scales_with_both_terms() {
+        let r = sample_report(Dataflow::GustavsonM);
+        let e = energy_of(&r, &EnergyParams::default());
+        let edp = energy_delay_pj_cycles(&e, r.total_cycles);
+        assert!(edp > e.total_pj());
+    }
+
+    #[test]
+    fn zero_cycles_zero_power() {
+        let e = EnergyBreakdown::default();
+        assert_eq!(average_power_mw(&e, 0, 800e6), 0.0);
+        assert_eq!(e.onchip_fraction(), 0.0);
+    }
+
+    #[test]
+    fn table8_reference_is_flexagon_total() {
+        let p = table8_power_reference();
+        assert!((p.power_mw - 2998.0).abs() < 10.0);
+    }
+}

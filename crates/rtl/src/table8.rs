@@ -1,0 +1,175 @@
+//! Table 8: post-layout area and power of the four accelerators.
+
+use crate::{dn_cost, mn_cost, psram_cost, rn_cost, str_cache_cost, AreaPower, RnKind};
+use serde::{Deserialize, Serialize};
+
+/// The four designs compared in Tables 7 and 8.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AcceleratorKind {
+    /// SIGMA-like: FAN reduction network, no PSRAM.
+    SigmaLike,
+    /// SpArch-like: merger, 256 KiB PSRAM.
+    SparchLike,
+    /// GAMMA-like: merger, 128 KiB PSRAM.
+    GammaLike,
+    /// Flexagon: MRN, 256 KiB PSRAM.
+    Flexagon,
+}
+
+impl AcceleratorKind {
+    /// All four in Table 8 column order.
+    pub const ALL: [AcceleratorKind; 4] = [
+        AcceleratorKind::SigmaLike,
+        AcceleratorKind::SparchLike,
+        AcceleratorKind::GammaLike,
+        AcceleratorKind::Flexagon,
+    ];
+
+    /// Display name matching the paper's column headers.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::SigmaLike => "SIGMA-like",
+            Self::SparchLike => "Sparch-like",
+            Self::GammaLike => "GAMMA-like",
+            Self::Flexagon => "Flexagon",
+        }
+    }
+
+    /// The reduction/merger network this design uses (Table 7).
+    pub fn rn_kind(self) -> RnKind {
+        match self {
+            Self::SigmaLike => RnKind::Fan,
+            Self::SparchLike | Self::GammaLike => RnKind::Merger,
+            Self::Flexagon => RnKind::Mrn,
+        }
+    }
+
+    /// PSRAM capacity in bytes (Table 8's sizing).
+    pub fn psram_bytes(self) -> u64 {
+        match self {
+            Self::SigmaLike => 0,
+            Self::GammaLike => 128 << 10,
+            Self::SparchLike | Self::Flexagon => 256 << 10,
+        }
+    }
+}
+
+/// One column of Table 8: the component breakdown of a design.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Table8Row {
+    /// Which design this is.
+    pub kind: AcceleratorKind,
+    /// Distribution network.
+    pub dn: AreaPower,
+    /// Multiplier network.
+    pub mn: AreaPower,
+    /// Reduction/merger network.
+    pub rn: AreaPower,
+    /// Streaming cache.
+    pub cache: AreaPower,
+    /// Partial-sum SRAM.
+    pub psram: AreaPower,
+}
+
+impl Table8Row {
+    /// Builds the breakdown for `kind` at `multipliers` wide with a
+    /// `cache_bytes` streaming cache.
+    pub fn model(kind: AcceleratorKind, multipliers: u32, cache_bytes: u64) -> Self {
+        Self {
+            kind,
+            dn: dn_cost(multipliers),
+            mn: mn_cost(multipliers),
+            rn: rn_cost(kind.rn_kind(), multipliers),
+            cache: str_cache_cost(cache_bytes),
+            psram: psram_cost(kind.psram_bytes()),
+        }
+    }
+
+    /// Total design cost.
+    pub fn total(&self) -> AreaPower {
+        self.dn + self.mn + self.rn + self.cache + self.psram
+    }
+}
+
+/// The full Table 8 at the paper's 64-multiplier, 1 MiB-cache design point.
+pub fn table8_rows() -> Vec<Table8Row> {
+    AcceleratorKind::ALL
+        .into_iter()
+        .map(|kind| Table8Row::model(kind, 64, 1 << 20))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(kind: AcceleratorKind) -> Table8Row {
+        Table8Row::model(kind, 64, 1 << 20)
+    }
+
+    fn close(a: f64, b: f64, tol: f64) -> bool {
+        (a - b).abs() <= tol
+    }
+
+    #[test]
+    fn totals_match_table8() {
+        // Paper totals: SIGMA 4.21, Sparch 5.14, GAMMA 4.62, Flexagon 5.28 mm².
+        assert!(close(row(AcceleratorKind::SigmaLike).total().area_mm2, 4.21, 0.02));
+        assert!(close(row(AcceleratorKind::SparchLike).total().area_mm2, 5.14, 0.02));
+        assert!(close(row(AcceleratorKind::GammaLike).total().area_mm2, 4.62, 0.02));
+        assert!(close(row(AcceleratorKind::Flexagon).total().area_mm2, 5.28, 0.02));
+    }
+
+    #[test]
+    fn power_totals_match_table8() {
+        // Paper totals: 2396, 2750, 2481, 2998 mW (small rounding slack).
+        assert!(close(row(AcceleratorKind::SigmaLike).total().power_mw, 2396.0, 6.0));
+        assert!(close(row(AcceleratorKind::SparchLike).total().power_mw, 2750.0, 6.0));
+        assert!(close(row(AcceleratorKind::GammaLike).total().power_mw, 2481.0, 6.0));
+        assert!(close(row(AcceleratorKind::Flexagon).total().power_mw, 2998.0, 6.0));
+    }
+
+    #[test]
+    fn flexagon_overheads_match_paper_percentages() {
+        // "Flexagon introduces an overhead of 25%, 3% and 14% with respect
+        // to the area of the SIGMA-like, Sparch-like and GAMMA-like".
+        let f = row(AcceleratorKind::Flexagon).total().area_mm2;
+        let sigma = row(AcceleratorKind::SigmaLike).total().area_mm2;
+        let sparch = row(AcceleratorKind::SparchLike).total().area_mm2;
+        let gamma = row(AcceleratorKind::GammaLike).total().area_mm2;
+        assert!(close(f / sigma - 1.0, 0.25, 0.02));
+        assert!(close(f / sparch - 1.0, 0.03, 0.02));
+        assert!(close(f / gamma - 1.0, 0.14, 0.02));
+    }
+
+    #[test]
+    fn cache_dominates_every_design() {
+        // "the cache for the streaming matrix represents a 93%, 76%, 85%
+        // and 74% of the total amount of area".
+        let want = [0.93, 0.76, 0.85, 0.74];
+        for (kind, want) in AcceleratorKind::ALL.into_iter().zip(want) {
+            let r = row(kind);
+            let frac = r.cache.area_mm2 / r.total().area_mm2;
+            assert!(close(frac, want, 0.02), "{}: {frac}", kind.name());
+        }
+    }
+
+    #[test]
+    fn mrn_is_small_fraction_of_flexagon() {
+        // "the MRN takes only a 4% out of the total area for Flexagon".
+        let r = row(AcceleratorKind::Flexagon);
+        let frac = r.rn.area_mm2 / r.total().area_mm2;
+        assert!(close(frac, 0.04, 0.01), "{frac}");
+    }
+
+    #[test]
+    fn sigma_has_no_psram() {
+        assert_eq!(row(AcceleratorKind::SigmaLike).psram.area_mm2, 0.0);
+    }
+
+    #[test]
+    fn rows_come_in_paper_order() {
+        let kinds: Vec<_> = table8_rows().into_iter().map(|r| r.kind).collect();
+        assert_eq!(kinds, AcceleratorKind::ALL.to_vec());
+    }
+}

@@ -1,0 +1,27 @@
+//! Cycle-accounting substrate for the Flexagon simulator.
+//!
+//! The paper evaluates with a cycle-level microarchitectural simulator
+//! (STONNE + SST). This crate provides the timing vocabulary our engine uses
+//! to reproduce that accounting:
+//!
+//! * [`Cycle`] arithmetic helpers for bandwidth-limited and pipelined
+//!   transfers ([`cycles_for`], [`pipeline_cycles`], [`bottleneck`]).
+//! * [`CounterSet`] — named event counters feeding the traffic figures
+//!   (Figs. 14 and 16).
+//! * [`Ratio`] — hit/miss style ratios (Fig. 15).
+//! * [`PhaseClock`] — per-phase cycle attribution (the Mult/Merge split of
+//!   Fig. 13).
+//!
+//! Everything here is deterministic and free of wall-clock time; the
+//! simulated cycle is the only notion of time.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod counters;
+mod phase;
+mod timing;
+
+pub use counters::{CounterSet, Ratio};
+pub use phase::{Phase, PhaseClock};
+pub use timing::{bottleneck, cycles_for, pipeline_cycles, Bandwidth, Cycle};

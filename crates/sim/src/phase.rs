@@ -1,0 +1,159 @@
+//! Per-phase cycle attribution.
+//!
+//! Flexagon's runtime is organized in three phases (paper Fig. 3b): the
+//! stationary phase loads operands into the multipliers, the streaming phase
+//! multiplies (the "Mult" bars of Fig. 13), and the merging phase combines
+//! partial-sum fibers (the "Merg" bars). [`PhaseClock`] attributes every
+//! simulated cycle to one of these.
+
+use crate::Cycle;
+use serde::{Deserialize, Serialize};
+
+/// Runtime execution phase of the accelerator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Phase {
+    /// Phase 2: delivering stationary operands to the multipliers.
+    Stationary,
+    /// Phase 3: streaming the other operand and multiplying.
+    Streaming,
+    /// Phase 4: merging partial-sum fibers (skipped by Inner Product).
+    Merging,
+}
+
+impl Phase {
+    /// All phases in execution order.
+    pub const ALL: [Phase; 3] = [Phase::Stationary, Phase::Streaming, Phase::Merging];
+}
+
+impl std::fmt::Display for Phase {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Phase::Stationary => write!(f, "stationary"),
+            Phase::Streaming => write!(f, "streaming"),
+            Phase::Merging => write!(f, "merging"),
+        }
+    }
+}
+
+/// Accumulates cycles per [`Phase`].
+///
+/// ```
+/// use flexagon_sim::{Phase, PhaseClock};
+/// let mut clock = PhaseClock::new();
+/// clock.advance(Phase::Streaming, 100);
+/// clock.advance(Phase::Merging, 20);
+/// assert_eq!(clock.total(), 120);
+/// assert_eq!(clock.of(Phase::Merging), 20);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseClock {
+    stationary: Cycle,
+    streaming: Cycle,
+    merging: Cycle,
+}
+
+impl PhaseClock {
+    /// Creates a clock with all phases at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds `cycles` to the given phase.
+    pub fn advance(&mut self, phase: Phase, cycles: Cycle) {
+        match phase {
+            Phase::Stationary => self.stationary += cycles,
+            Phase::Streaming => self.streaming += cycles,
+            Phase::Merging => self.merging += cycles,
+        }
+    }
+
+    /// Cycles attributed to `phase`.
+    pub fn of(&self, phase: Phase) -> Cycle {
+        match phase {
+            Phase::Stationary => self.stationary,
+            Phase::Streaming => self.streaming,
+            Phase::Merging => self.merging,
+        }
+    }
+
+    /// Total cycles across all phases.
+    pub fn total(&self) -> Cycle {
+        self.stationary + self.streaming + self.merging
+    }
+
+    /// The multiply portion of Fig. 13's bars: stationary + streaming.
+    pub fn mult_cycles(&self) -> Cycle {
+        self.stationary + self.streaming
+    }
+
+    /// The merge portion of Fig. 13's bars.
+    pub fn merge_cycles(&self) -> Cycle {
+        self.merging
+    }
+
+    /// Adds every phase of `other` into `self`.
+    pub fn merge(&mut self, other: PhaseClock) {
+        self.stationary += other.stationary;
+        self.streaming += other.streaming;
+        self.merging += other.merging;
+    }
+}
+
+impl std::fmt::Display for PhaseClock {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "stationary {} + streaming {} + merging {} = {}",
+            self.stationary,
+            self.streaming,
+            self.merging,
+            self.total()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn advance_and_query() {
+        let mut c = PhaseClock::new();
+        c.advance(Phase::Stationary, 5);
+        c.advance(Phase::Streaming, 10);
+        c.advance(Phase::Streaming, 10);
+        c.advance(Phase::Merging, 1);
+        assert_eq!(c.of(Phase::Stationary), 5);
+        assert_eq!(c.of(Phase::Streaming), 20);
+        assert_eq!(c.of(Phase::Merging), 1);
+        assert_eq!(c.total(), 26);
+        assert_eq!(c.mult_cycles(), 25);
+        assert_eq!(c.merge_cycles(), 1);
+    }
+
+    #[test]
+    fn merge_combines_clocks() {
+        let mut a = PhaseClock::new();
+        a.advance(Phase::Streaming, 10);
+        let mut b = PhaseClock::new();
+        b.advance(Phase::Merging, 4);
+        a.merge(b);
+        assert_eq!(a.total(), 14);
+    }
+
+    #[test]
+    fn all_phases_listed_in_order() {
+        assert_eq!(
+            Phase::ALL,
+            [Phase::Stationary, Phase::Streaming, Phase::Merging]
+        );
+    }
+
+    #[test]
+    fn display_formats() {
+        let mut c = PhaseClock::new();
+        c.advance(Phase::Merging, 3);
+        assert!(format!("{c}").contains("merging 3"));
+        assert_eq!(format!("{}", Phase::Streaming), "streaming");
+    }
+}

@@ -1,0 +1,156 @@
+//! Cycle arithmetic: bandwidth-limited transfers and pipelined operations.
+
+use serde::{Deserialize, Serialize};
+
+/// Simulated clock cycles. All accelerator configurations in the paper run
+/// at 800 MHz; cycles are the unit every result is reported in.
+pub type Cycle = u64;
+
+/// Cycles needed to move `items` through a resource that accepts
+/// `per_cycle` items each cycle (ceiling division; zero items are free).
+///
+/// ```
+/// use flexagon_sim::cycles_for;
+/// assert_eq!(cycles_for(0, 16), 0);
+/// assert_eq!(cycles_for(16, 16), 1);
+/// assert_eq!(cycles_for(17, 16), 2);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `per_cycle` is zero.
+#[inline]
+pub fn cycles_for(items: u64, per_cycle: u64) -> Cycle {
+    assert!(per_cycle > 0, "resource bandwidth must be positive");
+    items.div_ceil(per_cycle)
+}
+
+/// Cycles for a pipelined unit: fill latency plus bandwidth-limited drain.
+///
+/// A tree of depth `latency` that accepts `per_cycle` inputs every cycle
+/// completes `items` inputs in `latency + ceil(items / per_cycle)` cycles
+/// (the classic pipeline formula). Zero items cost zero cycles — an
+/// unconfigured unit is never charged its fill latency.
+///
+/// # Panics
+///
+/// Panics if `per_cycle` is zero.
+#[inline]
+pub fn pipeline_cycles(items: u64, latency: Cycle, per_cycle: u64) -> Cycle {
+    if items == 0 {
+        return 0;
+    }
+    latency + cycles_for(items, per_cycle)
+}
+
+/// Combines the cycle costs of resources that operate concurrently: the
+/// slowest one is the bottleneck.
+///
+/// ```
+/// use flexagon_sim::bottleneck;
+/// assert_eq!(bottleneck(&[3, 10, 7]), 10);
+/// assert_eq!(bottleneck(&[]), 0);
+/// ```
+#[inline]
+pub fn bottleneck(concurrent: &[Cycle]) -> Cycle {
+    concurrent.iter().copied().max().unwrap_or(0)
+}
+
+/// A per-cycle transfer rate (elements/cycle or bytes/cycle).
+///
+/// Newtype so configuration fields can't be confused with plain counts
+/// (C-NEWTYPE).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Bandwidth(u64);
+
+impl Bandwidth {
+    /// Creates a bandwidth of `per_cycle` items per cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `per_cycle` is zero — a zero-bandwidth resource would make
+    /// every transfer take infinitely long.
+    pub fn per_cycle(per_cycle: u64) -> Self {
+        assert!(per_cycle > 0, "bandwidth must be positive");
+        Self(per_cycle)
+    }
+
+    /// Items transferred per cycle.
+    pub fn rate(self) -> u64 {
+        self.0
+    }
+
+    /// Cycles to transfer `items` at this rate.
+    pub fn cycles(self, items: u64) -> Cycle {
+        cycles_for(items, self.0)
+    }
+
+    /// Cycles for a pipelined transfer with the given fill latency.
+    pub fn pipelined_cycles(self, items: u64, latency: Cycle) -> Cycle {
+        pipeline_cycles(items, latency, self.0)
+    }
+}
+
+impl std::fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/cycle", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cycles_for_rounds_up() {
+        assert_eq!(cycles_for(1, 16), 1);
+        assert_eq!(cycles_for(15, 16), 1);
+        assert_eq!(cycles_for(16, 16), 1);
+        assert_eq!(cycles_for(17, 16), 2);
+        assert_eq!(cycles_for(32, 16), 2);
+    }
+
+    #[test]
+    fn cycles_for_zero_items_is_free() {
+        assert_eq!(cycles_for(0, 1), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn cycles_for_zero_bandwidth_panics() {
+        cycles_for(1, 0);
+    }
+
+    #[test]
+    fn pipeline_adds_latency_once() {
+        assert_eq!(pipeline_cycles(16, 6, 16), 7);
+        assert_eq!(pipeline_cycles(32, 6, 16), 8);
+    }
+
+    #[test]
+    fn pipeline_zero_items_skips_latency() {
+        assert_eq!(pipeline_cycles(0, 100, 16), 0);
+    }
+
+    #[test]
+    fn bottleneck_takes_max() {
+        assert_eq!(bottleneck(&[1, 2, 3]), 3);
+        assert_eq!(bottleneck(&[7]), 7);
+        assert_eq!(bottleneck(&[]), 0);
+    }
+
+    #[test]
+    fn bandwidth_accessors() {
+        let bw = Bandwidth::per_cycle(16);
+        assert_eq!(bw.rate(), 16);
+        assert_eq!(bw.cycles(33), 3);
+        assert_eq!(bw.pipelined_cycles(33, 4), 7);
+        assert_eq!(format!("{bw}"), "16/cycle");
+    }
+
+    #[test]
+    #[should_panic(expected = "bandwidth must be positive")]
+    fn zero_bandwidth_rejected() {
+        Bandwidth::per_cycle(0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Bitmap-compressed matrices.
+//!
+//! Besides CSR/CSC, sparse DNN accelerators commonly use a *bitmap* format
+//! (SIGMA's original implementation does): a dense bit mask marking
+//! non-zero positions plus a packed value vector. The paper's §2.1 cites
+//! it among the widely used compression formats; we provide it for format
+//! studies and as the interchange target of MINT-style converter widgets
+//! mentioned in the related work.
+
+use crate::{CompressedMatrix, DenseMatrix, MajorOrder, Value};
+use serde::{Deserialize, Serialize};
+
+/// A matrix compressed as (bit mask, packed non-zero values), row-major.
+///
+/// Storage cost is `rows*cols/8` bytes of mask plus a value-only payload
+/// per non-zero — cheaper than CSR at moderate densities, which is why
+/// moderately sparse accelerators favour it.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BitmapMatrix {
+    rows: u32,
+    cols: u32,
+    /// Row-major bit mask; bit `r*cols + c` marks a stored value.
+    mask: Vec<u64>,
+    /// Non-zero values in row-major scan order.
+    values: Vec<Value>,
+}
+
+impl BitmapMatrix {
+    /// Builds a bitmap matrix from a compressed (CSR/CSC) one.
+    pub fn from_compressed(m: &CompressedMatrix) -> Self {
+        let dense = DenseMatrix::from_compressed(m);
+        Self::from_dense(&dense)
+    }
+
+    /// Builds a bitmap matrix from a dense one, dropping exact zeros.
+    pub fn from_dense(d: &DenseMatrix) -> Self {
+        let bits = d.rows() as usize * d.cols() as usize;
+        let mut mask = vec![0u64; bits.div_ceil(64)];
+        let mut values = Vec::new();
+        for r in 0..d.rows() {
+            for c in 0..d.cols() {
+                let v = d.get(r, c);
+                if v != 0.0 {
+                    let bit = r as usize * d.cols() as usize + c as usize;
+                    mask[bit / 64] |= 1u64 << (bit % 64);
+                    values.push(v);
+                }
+            }
+        }
+        Self { rows: d.rows(), cols: d.cols(), mask, values }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> u32 {
+        self.cols
+    }
+
+    /// Number of stored non-zero values.
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether position `(row, col)` holds a stored value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn is_set(&self, row: u32, col: u32) -> bool {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        let bit = row as usize * self.cols as usize + col as usize;
+        self.mask[bit / 64] & (1u64 << (bit % 64)) != 0
+    }
+
+    /// Value at `(row, col)` (zero when unset).
+    ///
+    /// Computed by popcounting the mask prefix — the same
+    /// rank-select arithmetic the hardware's bitmap decoder performs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, row: u32, col: u32) -> Value {
+        if !self.is_set(row, col) {
+            return 0.0;
+        }
+        let bit = row as usize * self.cols as usize + col as usize;
+        let mut rank = 0usize;
+        for w in &self.mask[..bit / 64] {
+            rank += w.count_ones() as usize;
+        }
+        let tail = self.mask[bit / 64] & ((1u64 << (bit % 64)) - 1);
+        rank += tail.count_ones() as usize;
+        self.values[rank]
+    }
+
+    /// Compressed footprint in bytes: mask plus packed values.
+    ///
+    /// A bitmap entry needs no coordinate, so each stored value costs only
+    /// the 16-bit value half of Table 5's 32-bit (value + coordinate)
+    /// word; positions are carried by the mask at one bit per cell.
+    pub fn compressed_size_bytes(&self) -> u64 {
+        self.mask.len() as u64 * 8 + self.values.len() as u64 * 2
+    }
+
+    /// Converts to CSR/CSC.
+    pub fn to_compressed(&self, order: MajorOrder) -> CompressedMatrix {
+        let mut triplets = Vec::with_capacity(self.values.len());
+        let mut rank = 0usize;
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                let bit = r as usize * self.cols as usize + c as usize;
+                if self.mask[bit / 64] & (1u64 << (bit % 64)) != 0 {
+                    triplets.push((r, c, self.values[rank]));
+                    rank += 1;
+                }
+            }
+        }
+        CompressedMatrix::from_triplets(self.rows, self.cols, &triplets, order)
+            .expect("bitmap positions are unique and in range")
+    }
+
+    /// Whether bitmap beats CSR on footprint for this matrix.
+    pub fn is_smaller_than_csr(&self) -> bool {
+        let csr = self.nnz() as u64 * 4 + (self.rows as u64 + 1) * 4;
+        self.compressed_size_bytes() < csr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn sample() -> CompressedMatrix {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        gen::random(17, 23, 0.4, MajorOrder::Row, &mut rng)
+    }
+
+    #[test]
+    fn roundtrip_csr_bitmap_csr() {
+        let m = sample();
+        let bm = BitmapMatrix::from_compressed(&m);
+        assert_eq!(bm.nnz(), m.nnz());
+        assert_eq!(bm.to_compressed(MajorOrder::Row), m);
+    }
+
+    #[test]
+    fn get_matches_source() {
+        let m = sample();
+        let bm = BitmapMatrix::from_compressed(&m);
+        for r in 0..m.rows() {
+            for c in 0..m.cols() {
+                assert_eq!(bm.get(r, c), m.get(r, c), "mismatch at ({r},{c})");
+            }
+        }
+    }
+
+    #[test]
+    fn footprint_crossover_with_density() {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        let dense = gen::random(64, 64, 0.5, MajorOrder::Row, &mut rng);
+        let sparse = gen::random(64, 64, 0.02, MajorOrder::Row, &mut rng);
+        assert!(BitmapMatrix::from_compressed(&dense).is_smaller_than_csr());
+        assert!(!BitmapMatrix::from_compressed(&sparse).is_smaller_than_csr());
+    }
+
+    #[test]
+    fn empty_and_full_extremes() {
+        let empty = CompressedMatrix::zero(5, 5, MajorOrder::Row);
+        let bm = BitmapMatrix::from_compressed(&empty);
+        assert_eq!(bm.nnz(), 0);
+        assert_eq!(bm.get(2, 2), 0.0);
+
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let full = gen::random(6, 6, 1.0, MajorOrder::Row, &mut rng);
+        let bm = BitmapMatrix::from_compressed(&full);
+        assert_eq!(bm.nnz(), 36);
+        assert!(bm.is_set(5, 5));
+    }
+
+    #[test]
+    fn conversion_preserves_across_orders() {
+        let m = sample();
+        let bm = BitmapMatrix::from_compressed(&m);
+        let csc = bm.to_compressed(MajorOrder::Col);
+        assert!(csc.approx_eq(&m, 0.0));
+    }
+}

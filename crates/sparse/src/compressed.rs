@@ -1,0 +1,680 @@
+//! The unified CSR/CSC compressed matrix representation.
+
+use crate::{Element, Fiber, FiberView, FormatError, Result, Value, ELEMENT_BYTES};
+use serde::{Deserialize, Serialize};
+
+/// Major order of a [`CompressedMatrix`]: row-major is CSR, column-major CSC.
+///
+/// The paper (§2.1) notes that CSR and CSC "employ the same compression
+/// method, and thus, can be seen as a single compression format", sharing
+/// control logic in the accelerator. We encode that as a tag on one type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MajorOrder {
+    /// Row-major compression (CSR): fibers are rows, coordinates are columns.
+    Row,
+    /// Column-major compression (CSC): fibers are columns, coordinates are rows.
+    Col,
+}
+
+impl MajorOrder {
+    /// The opposite order.
+    #[must_use]
+    pub fn flipped(self) -> Self {
+        match self {
+            Self::Row => Self::Col,
+            Self::Col => Self::Row,
+        }
+    }
+
+    /// Conventional format name: `"CSR"` or `"CSC"`.
+    pub fn format_name(self) -> &'static str {
+        match self {
+            Self::Row => "CSR",
+            Self::Col => "CSC",
+        }
+    }
+}
+
+impl std::fmt::Display for MajorOrder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Row => write!(f, "row-major"),
+            Self::Col => write!(f, "column-major"),
+        }
+    }
+}
+
+/// A sparse matrix compressed in CSR or CSC form.
+///
+/// Storage follows the paper's description: a pointer vector marking where
+/// each fiber begins, plus per-element coordinate and value data (stored here
+/// as interleaved [`Element`]s so a fiber is a contiguous, zero-copy slice).
+///
+/// # Example
+///
+/// ```
+/// use flexagon_sparse::{CompressedMatrix, MajorOrder};
+///
+/// # fn main() -> Result<(), flexagon_sparse::FormatError> {
+/// let m = CompressedMatrix::from_triplets(
+///     2, 2, &[(0, 0, 1.0), (1, 1, 2.0)], MajorOrder::Row)?;
+/// assert_eq!(m.nnz(), 2);
+/// assert_eq!(m.fiber(1).elements()[0].coord, 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CompressedMatrix {
+    rows: u32,
+    cols: u32,
+    order: MajorOrder,
+    /// `ptr[i]..ptr[i+1]` delimits fiber `i` within `elems`.
+    ptr: Vec<usize>,
+    elems: Vec<Element>,
+}
+
+impl CompressedMatrix {
+    /// Creates an empty (all-zero) matrix in the given order.
+    pub fn zero(rows: u32, cols: u32, order: MajorOrder) -> Self {
+        let majors = match order {
+            MajorOrder::Row => rows,
+            MajorOrder::Col => cols,
+        };
+        Self {
+            rows,
+            cols,
+            order,
+            ptr: vec![0; majors as usize + 1],
+            elems: Vec::new(),
+        }
+    }
+
+    /// Builds a matrix from `(row, col, value)` triplets.
+    ///
+    /// Triplets may arrive in any order. Zero-valued entries are kept (they
+    /// were explicitly provided), matching how pruned-but-stored weights
+    /// behave.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::CoordOutOfBounds`] if an entry lies outside
+    /// `rows x cols` and [`FormatError::DuplicateCoord`] if a position
+    /// repeats.
+    pub fn from_triplets(
+        rows: u32,
+        cols: u32,
+        triplets: &[(u32, u32, Value)],
+        order: MajorOrder,
+    ) -> Result<Self> {
+        for &(r, c, _) in triplets {
+            if r >= rows || c >= cols {
+                return Err(FormatError::CoordOutOfBounds { row: r, col: c, rows, cols });
+            }
+        }
+        let majors = match order {
+            MajorOrder::Row => rows,
+            MajorOrder::Col => cols,
+        } as usize;
+        let mut counts = vec![0usize; majors + 1];
+        for &(r, c, _) in triplets {
+            let major = match order {
+                MajorOrder::Row => r,
+                MajorOrder::Col => c,
+            } as usize;
+            counts[major + 1] += 1;
+        }
+        for i in 0..majors {
+            counts[i + 1] += counts[i];
+        }
+        let ptr = counts.clone();
+        let mut cursor = counts;
+        let mut elems = vec![Element::new(0, 0.0); triplets.len()];
+        for &(r, c, v) in triplets {
+            let (major, minor) = match order {
+                MajorOrder::Row => (r as usize, c),
+                MajorOrder::Col => (c as usize, r),
+            };
+            elems[cursor[major]] = Element::new(minor, v);
+            cursor[major] += 1;
+        }
+        for i in 0..majors {
+            elems[ptr[i]..ptr[i + 1]].sort_by_key(|e| e.coord);
+            for w in elems[ptr[i]..ptr[i + 1]].windows(2) {
+                if w[0].coord == w[1].coord {
+                    let (row, col) = match order {
+                        MajorOrder::Row => (i as u32, w[0].coord),
+                        MajorOrder::Col => (w[0].coord, i as u32),
+                    };
+                    return Err(FormatError::DuplicateCoord { row, col });
+                }
+            }
+        }
+        Ok(Self { rows, cols, order, ptr, elems })
+    }
+
+    /// Builds a matrix from per-fiber element lists.
+    ///
+    /// `fibers[i]` becomes fiber `i`; its length must equal the major
+    /// dimension implied by `order`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::MalformedPointers`] when the fiber count does
+    /// not match the major dimension, and [`FormatError::CoordOutOfBounds`]
+    /// when an element's coordinate exceeds the minor dimension.
+    pub fn from_fibers(
+        rows: u32,
+        cols: u32,
+        order: MajorOrder,
+        fibers: Vec<Fiber>,
+    ) -> Result<Self> {
+        let (majors, minors) = match order {
+            MajorOrder::Row => (rows, cols),
+            MajorOrder::Col => (cols, rows),
+        };
+        if fibers.len() != majors as usize {
+            return Err(FormatError::MalformedPointers {
+                detail: format!(
+                    "expected {majors} fibers for a {rows}x{cols} {} matrix, got {}",
+                    order.format_name(),
+                    fibers.len()
+                ),
+            });
+        }
+        let mut ptr = Vec::with_capacity(majors as usize + 1);
+        let mut elems = Vec::new();
+        ptr.push(0);
+        for (i, fiber) in fibers.into_iter().enumerate() {
+            for e in fiber.elements() {
+                if e.coord >= minors {
+                    let (row, col) = match order {
+                        MajorOrder::Row => (i as u32, e.coord),
+                        MajorOrder::Col => (e.coord, i as u32),
+                    };
+                    return Err(FormatError::CoordOutOfBounds { row, col, rows, cols });
+                }
+            }
+            elems.extend_from_slice(fiber.elements());
+            ptr.push(elems.len());
+        }
+        Ok(Self { rows, cols, order, ptr, elems })
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> u32 {
+        self.cols
+    }
+
+    /// The compression order (CSR or CSC).
+    pub fn order(&self) -> MajorOrder {
+        self.order
+    }
+
+    /// Number of fibers (rows for CSR, columns for CSC).
+    pub fn major_dim(&self) -> u32 {
+        match self.order {
+            MajorOrder::Row => self.rows,
+            MajorOrder::Col => self.cols,
+        }
+    }
+
+    /// Length of each fiber's coordinate space (columns for CSR).
+    pub fn minor_dim(&self) -> u32 {
+        match self.order {
+            MajorOrder::Row => self.cols,
+            MajorOrder::Col => self.rows,
+        }
+    }
+
+    /// Number of stored non-zero elements.
+    pub fn nnz(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// Fraction of stored entries, `nnz / (rows * cols)`.
+    pub fn density(&self) -> f64 {
+        if self.rows == 0 || self.cols == 0 {
+            return 0.0;
+        }
+        self.nnz() as f64 / (self.rows as f64 * self.cols as f64)
+    }
+
+    /// Sparsity as a percentage, `100 * (1 - density)` — the paper's metric.
+    pub fn sparsity_percent(&self) -> f64 {
+        100.0 * (1.0 - self.density())
+    }
+
+    /// Zero-copy view of fiber `major`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `major >= self.major_dim()`.
+    pub fn fiber(&self, major: u32) -> FiberView<'_> {
+        let i = major as usize;
+        FiberView::from_sorted(&self.elems[self.ptr[i]..self.ptr[i + 1]])
+    }
+
+    /// Length (nnz) of fiber `major` without materializing a view.
+    pub fn fiber_len(&self, major: u32) -> usize {
+        let i = major as usize;
+        self.ptr[i + 1] - self.ptr[i]
+    }
+
+    /// Iterator over `(major_index, fiber_view)` pairs.
+    pub fn fibers(&self) -> FiberIter<'_> {
+        FiberIter { matrix: self, next: 0 }
+    }
+
+    /// The raw pointer vector (`major_dim + 1` monotone offsets).
+    pub fn ptr(&self) -> &[usize] {
+        &self.ptr
+    }
+
+    /// All stored elements in fiber-major order.
+    pub fn elements(&self) -> &[Element] {
+        &self.elems
+    }
+
+    /// Value at `(row, col)`, or `0.0` if not stored.
+    pub fn get(&self, row: u32, col: u32) -> Value {
+        let (major, minor) = match self.order {
+            MajorOrder::Row => (row, col),
+            MajorOrder::Col => (col, row),
+        };
+        if major >= self.major_dim() {
+            return 0.0;
+        }
+        self.fiber(major)
+            .elements()
+            .binary_search_by_key(&minor, |e| e.coord)
+            .map(|i| self.fiber(major).elements()[i].value)
+            .unwrap_or(0.0)
+    }
+
+    /// Compressed footprint in bytes: element data plus the pointer vector.
+    ///
+    /// Elements are charged [`ELEMENT_BYTES`] each (32-bit value+coordinate
+    /// word, Table 5); pointers 4 bytes each. This is the `cs{A,B,C}` metric
+    /// of Tables 2 and 6.
+    pub fn compressed_size_bytes(&self) -> u64 {
+        self.nnz() as u64 * ELEMENT_BYTES + (self.major_dim() as u64 + 1) * 4
+    }
+
+    /// Reinterprets this matrix as its transpose, free of data movement.
+    ///
+    /// A CSR matrix of `A` is bit-identical to a CSC matrix of `Aᵀ`; only the
+    /// dimension labels and the order tag change. This is the trick that lets
+    /// one engine run N-stationary dataflows by "exchanging matrices A and B"
+    /// (paper §3.2).
+    #[must_use]
+    pub fn reinterpret_transposed(&self) -> Self {
+        Self {
+            rows: self.cols,
+            cols: self.rows,
+            order: self.order.flipped(),
+            ptr: self.ptr.clone(),
+            elems: self.elems.clone(),
+        }
+    }
+
+    /// Explicitly converts to the other major order (CSR ↔ CSC).
+    ///
+    /// This is the *expensive* operation the paper's inter-layer dataflow
+    /// mechanism avoids (Table 4 marks transitions requiring it as "EC").
+    /// The accelerator never performs it in hardware; it exists so tests and
+    /// the workload suite can prepare operands in the format each dataflow
+    /// expects.
+    #[must_use]
+    pub fn converted(&self, target: MajorOrder) -> Self {
+        if target == self.order {
+            return self.clone();
+        }
+        let majors_out = match target {
+            MajorOrder::Row => self.rows,
+            MajorOrder::Col => self.cols,
+        } as usize;
+        let mut counts = vec![0usize; majors_out + 1];
+        for (major, fiber) in self.fibers() {
+            let _ = major;
+            for e in fiber.elements() {
+                counts[e.coord as usize + 1] += 1;
+            }
+        }
+        for i in 0..majors_out {
+            counts[i + 1] += counts[i];
+        }
+        let ptr = counts.clone();
+        let mut cursor = counts;
+        let mut elems = vec![Element::new(0, 0.0); self.nnz()];
+        for (major, fiber) in self.fibers() {
+            for e in fiber.elements() {
+                let out_major = e.coord as usize;
+                elems[cursor[out_major]] = Element::new(major, e.value);
+                cursor[out_major] += 1;
+            }
+        }
+        // Source fibers are scanned in increasing major order, so each output
+        // fiber receives its coordinates already sorted.
+        Self { rows: self.rows, cols: self.cols, order: target, ptr, elems }
+    }
+
+    /// Structural validation: pointer monotonicity, bounds, fiber ordering.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first defect found as a [`FormatError`].
+    pub fn validate(&self) -> Result<()> {
+        if self.ptr.len() != self.major_dim() as usize + 1 {
+            return Err(FormatError::MalformedPointers {
+                detail: format!(
+                    "pointer vector has {} entries, expected {}",
+                    self.ptr.len(),
+                    self.major_dim() + 1
+                ),
+            });
+        }
+        if self.ptr[0] != 0 || *self.ptr.last().unwrap() != self.elems.len() {
+            return Err(FormatError::MalformedPointers {
+                detail: "pointer vector does not span the element data".into(),
+            });
+        }
+        for w in self.ptr.windows(2) {
+            if w[0] > w[1] {
+                return Err(FormatError::MalformedPointers {
+                    detail: "pointer vector is not monotone".into(),
+                });
+            }
+        }
+        for major in 0..self.major_dim() {
+            let fiber = &self.elems[self.ptr[major as usize]..self.ptr[major as usize + 1]];
+            for w in fiber.windows(2) {
+                if w[0].coord >= w[1].coord {
+                    return Err(FormatError::UnsortedFiber { fiber: major });
+                }
+            }
+            for e in fiber {
+                if e.coord >= self.minor_dim() {
+                    let (row, col) = match self.order {
+                        MajorOrder::Row => (major, e.coord),
+                        MajorOrder::Col => (e.coord, major),
+                    };
+                    return Err(FormatError::CoordOutOfBounds {
+                        row,
+                        col,
+                        rows: self.rows,
+                        cols: self.cols,
+                    });
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Compares against `other` element-wise with absolute tolerance `tol`,
+    /// regardless of either matrix's major order.
+    pub fn approx_eq(&self, other: &Self, tol: Value) -> bool {
+        if self.rows != other.rows || self.cols != other.cols {
+            return false;
+        }
+        let canonical = |m: &Self| -> Vec<(u32, u32, Value)> {
+            let mut v: Vec<(u32, u32, Value)> = m
+                .fibers()
+                .flat_map(|(major, fiber)| {
+                    fiber
+                        .elements()
+                        .iter()
+                        .map(move |e| match m.order {
+                            MajorOrder::Row => (major, e.coord, e.value),
+                            MajorOrder::Col => (e.coord, major, e.value),
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .filter(|&(_, _, val)| val != 0.0)
+                .collect();
+            v.sort_by_key(|&(r, c, _)| (r, c));
+            v
+        };
+        let (a, b) = (canonical(self), canonical(other));
+        if a.len() != b.len() {
+            return false;
+        }
+        a.iter().zip(&b).all(|(&(ar, ac, av), &(br, bc, bv))| {
+            ar == br && ac == bc && (av - bv).abs() <= tol
+        })
+    }
+}
+
+/// Iterator over the fibers of a [`CompressedMatrix`].
+///
+/// Produced by [`CompressedMatrix::fibers`].
+#[derive(Debug, Clone)]
+pub struct FiberIter<'a> {
+    matrix: &'a CompressedMatrix,
+    next: u32,
+}
+
+impl<'a> Iterator for FiberIter<'a> {
+    type Item = (u32, FiberView<'a>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.next >= self.matrix.major_dim() {
+            return None;
+        }
+        let major = self.next;
+        self.next += 1;
+        Some((major, self.matrix.fiber(major)))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let left = (self.matrix.major_dim() - self.next) as usize;
+        (left, Some(left))
+    }
+}
+
+impl ExactSizeIterator for FiberIter<'_> {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_csr() -> CompressedMatrix {
+        // [[0 2 0]
+        //  [1 0 3]]
+        CompressedMatrix::from_triplets(
+            2,
+            3,
+            &[(0, 1, 2.0), (1, 0, 1.0), (1, 2, 3.0)],
+            MajorOrder::Row,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn from_triplets_sorts_within_fibers() {
+        let m = CompressedMatrix::from_triplets(
+            2,
+            3,
+            &[(1, 2, 3.0), (1, 0, 1.0), (0, 1, 2.0)],
+            MajorOrder::Row,
+        )
+        .unwrap();
+        assert_eq!(m, sample_csr());
+    }
+
+    #[test]
+    fn from_triplets_rejects_out_of_bounds() {
+        let err = CompressedMatrix::from_triplets(2, 2, &[(2, 0, 1.0)], MajorOrder::Row)
+            .unwrap_err();
+        assert!(matches!(err, FormatError::CoordOutOfBounds { row: 2, .. }));
+    }
+
+    #[test]
+    fn from_triplets_rejects_duplicates() {
+        let err = CompressedMatrix::from_triplets(
+            2,
+            2,
+            &[(0, 0, 1.0), (0, 0, 2.0)],
+            MajorOrder::Row,
+        )
+        .unwrap_err();
+        assert!(matches!(err, FormatError::DuplicateCoord { row: 0, col: 0 }));
+    }
+
+    #[test]
+    fn csc_fibers_are_columns() {
+        let m = CompressedMatrix::from_triplets(
+            2,
+            3,
+            &[(0, 1, 2.0), (1, 0, 1.0), (1, 2, 3.0)],
+            MajorOrder::Col,
+        )
+        .unwrap();
+        assert_eq!(m.major_dim(), 3);
+        assert_eq!(m.fiber(0).elements(), &[Element::new(1, 1.0)]);
+        assert_eq!(m.fiber(1).elements(), &[Element::new(0, 2.0)]);
+        assert_eq!(m.fiber(2).elements(), &[Element::new(1, 3.0)]);
+    }
+
+    #[test]
+    fn get_works_in_both_orders() {
+        let csr = sample_csr();
+        let csc = csr.converted(MajorOrder::Col);
+        for r in 0..2 {
+            for c in 0..3 {
+                assert_eq!(csr.get(r, c), csc.get(r, c), "mismatch at ({r},{c})");
+            }
+        }
+        assert_eq!(csr.get(1, 2), 3.0);
+        assert_eq!(csr.get(0, 0), 0.0);
+    }
+
+    #[test]
+    fn conversion_roundtrip_preserves_matrix() {
+        let csr = sample_csr();
+        let back = csr.converted(MajorOrder::Col).converted(MajorOrder::Row);
+        assert_eq!(csr, back);
+    }
+
+    #[test]
+    fn converted_to_same_order_is_identity() {
+        let csr = sample_csr();
+        assert_eq!(csr.converted(MajorOrder::Row), csr);
+    }
+
+    #[test]
+    fn reinterpret_transposed_swaps_dims_without_moving_data() {
+        let csr = sample_csr();
+        let t = csr.reinterpret_transposed();
+        assert_eq!(t.rows(), 3);
+        assert_eq!(t.cols(), 2);
+        assert_eq!(t.order(), MajorOrder::Col);
+        assert_eq!(t.elements(), csr.elements());
+        // A[1][2] == Aᵀ[2][1]
+        assert_eq!(t.get(2, 1), 3.0);
+    }
+
+    #[test]
+    fn zero_matrix_has_no_elements() {
+        let z = CompressedMatrix::zero(4, 5, MajorOrder::Col);
+        assert_eq!(z.nnz(), 0);
+        assert_eq!(z.major_dim(), 5);
+        z.validate().unwrap();
+    }
+
+    #[test]
+    fn density_and_sparsity() {
+        let m = sample_csr();
+        assert!((m.density() - 0.5).abs() < 1e-9);
+        assert!((m.sparsity_percent() - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn compressed_size_counts_elements_and_pointers() {
+        let m = sample_csr();
+        assert_eq!(m.compressed_size_bytes(), 3 * 4 + 3 * 4);
+    }
+
+    #[test]
+    fn fibers_iterator_visits_all_majors() {
+        let m = sample_csr();
+        let lens: Vec<usize> = m.fibers().map(|(_, f)| f.len()).collect();
+        assert_eq!(lens, vec![1, 2]);
+        assert_eq!(m.fibers().len(), 2);
+    }
+
+    #[test]
+    fn from_fibers_matches_from_triplets() {
+        let m = CompressedMatrix::from_fibers(
+            2,
+            3,
+            MajorOrder::Row,
+            vec![
+                Fiber::from_sorted(vec![Element::new(1, 2.0)]),
+                Fiber::from_sorted(vec![Element::new(0, 1.0), Element::new(2, 3.0)]),
+            ],
+        )
+        .unwrap();
+        assert_eq!(m, sample_csr());
+    }
+
+    #[test]
+    fn from_fibers_rejects_wrong_count() {
+        let err =
+            CompressedMatrix::from_fibers(2, 3, MajorOrder::Row, vec![Fiber::new()]).unwrap_err();
+        assert!(matches!(err, FormatError::MalformedPointers { .. }));
+    }
+
+    #[test]
+    fn from_fibers_rejects_out_of_range_coord() {
+        let err = CompressedMatrix::from_fibers(
+            2,
+            3,
+            MajorOrder::Row,
+            vec![
+                Fiber::from_sorted(vec![Element::new(3, 1.0)]),
+                Fiber::new(),
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(err, FormatError::CoordOutOfBounds { .. }));
+    }
+
+    #[test]
+    fn validate_accepts_well_formed() {
+        sample_csr().validate().unwrap();
+    }
+
+    #[test]
+    fn approx_eq_across_orders() {
+        let csr = sample_csr();
+        let csc = csr.converted(MajorOrder::Col);
+        assert!(csr.approx_eq(&csc, 1e-6));
+    }
+
+    #[test]
+    fn approx_eq_detects_value_difference() {
+        let a = sample_csr();
+        let b = CompressedMatrix::from_triplets(
+            2,
+            3,
+            &[(0, 1, 2.5), (1, 0, 1.0), (1, 2, 3.0)],
+            MajorOrder::Row,
+        )
+        .unwrap();
+        assert!(!a.approx_eq(&b, 0.1));
+        assert!(a.approx_eq(&b, 0.6));
+    }
+
+    #[test]
+    fn major_order_flip_and_names() {
+        assert_eq!(MajorOrder::Row.flipped(), MajorOrder::Col);
+        assert_eq!(MajorOrder::Col.flipped(), MajorOrder::Row);
+        assert_eq!(MajorOrder::Row.format_name(), "CSR");
+        assert_eq!(MajorOrder::Col.format_name(), "CSC");
+    }
+}

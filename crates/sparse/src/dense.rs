@@ -1,0 +1,210 @@
+//! Dense matrix used as the golden reference in tests and examples.
+
+use crate::{CompressedMatrix, FormatError, MajorOrder, Result, Value};
+
+/// A row-major dense matrix of [`Value`]s.
+///
+/// Used to cross-check every accelerator and reference kernel: any SpMSpM
+/// result must equal `DenseMatrix::matmul` of the densified operands.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: u32,
+    cols: u32,
+    data: Vec<Value>,
+}
+
+impl DenseMatrix {
+    /// Creates an all-zero `rows x cols` matrix.
+    pub fn zeros(rows: u32, cols: u32) -> Self {
+        Self { rows, cols, data: vec![0.0; rows as usize * cols as usize] }
+    }
+
+    /// Builds from a row-major data vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: u32, cols: u32, data: Vec<Value>) -> Self {
+        assert_eq!(
+            data.len(),
+            rows as usize * cols as usize,
+            "data length must equal rows * cols"
+        );
+        Self { rows, cols, data }
+    }
+
+    /// Densifies a compressed matrix.
+    pub fn from_compressed(m: &CompressedMatrix) -> Self {
+        let mut d = Self::zeros(m.rows(), m.cols());
+        for (major, fiber) in m.fibers() {
+            for e in fiber.elements() {
+                let (r, c) = match m.order() {
+                    MajorOrder::Row => (major, e.coord),
+                    MajorOrder::Col => (e.coord, major),
+                };
+                d.set(r, c, e.value);
+            }
+        }
+        d
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> u32 {
+        self.cols
+    }
+
+    /// Value at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn get(&self, row: u32, col: u32) -> Value {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row as usize * self.cols as usize + col as usize]
+    }
+
+    /// Sets the value at `(row, col)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, row: u32, col: u32, v: Value) {
+        assert!(row < self.rows && col < self.cols, "index out of bounds");
+        self.data[row as usize * self.cols as usize + col as usize] = v;
+    }
+
+    /// Row-major data slice.
+    pub fn data(&self) -> &[Value] {
+        &self.data
+    }
+
+    /// Number of non-zero entries.
+    pub fn nnz(&self) -> usize {
+        self.data.iter().filter(|&&v| v != 0.0).count()
+    }
+
+    /// Dense matrix multiplication `self * rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FormatError::DimensionMismatch`] when the inner dimensions
+    /// disagree.
+    pub fn matmul(&self, rhs: &DenseMatrix) -> Result<DenseMatrix> {
+        if self.cols != rhs.rows {
+            return Err(FormatError::DimensionMismatch {
+                left_cols: self.cols,
+                right_rows: rhs.rows,
+            });
+        }
+        let mut out = DenseMatrix::zeros(self.rows, rhs.cols);
+        for m in 0..self.rows as usize {
+            for k in 0..self.cols as usize {
+                let a = self.data[m * self.cols as usize + k];
+                if a == 0.0 {
+                    continue;
+                }
+                for n in 0..rhs.cols as usize {
+                    out.data[m * rhs.cols as usize + n] +=
+                        a * rhs.data[k * rhs.cols as usize + n];
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Compresses into the given major order, dropping exact zeros.
+    pub fn to_compressed(&self, order: MajorOrder) -> CompressedMatrix {
+        let triplets: Vec<(u32, u32, Value)> = (0..self.rows)
+            .flat_map(|r| {
+                (0..self.cols).filter_map(move |c| {
+                    let v = self.get(r, c);
+                    (v != 0.0).then_some((r, c, v))
+                })
+            })
+            .collect();
+        CompressedMatrix::from_triplets(self.rows, self.cols, &triplets, order)
+            .expect("triplets from a dense matrix are always well-formed")
+    }
+
+    /// Largest absolute element-wise difference against `other`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions differ.
+    pub fn max_abs_diff(&self, other: &DenseMatrix) -> Value {
+        assert_eq!(self.rows, other.rows, "row mismatch");
+        assert_eq!(self.cols, other.cols, "col mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, Value::max)
+    }
+
+    /// Element-wise comparison within absolute tolerance `tol`.
+    pub fn approx_eq(&self, other: &DenseMatrix, tol: Value) -> bool {
+        self.rows == other.rows && self.cols == other.cols && self.max_abs_diff(other) <= tol
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_set_get() {
+        let mut d = DenseMatrix::zeros(2, 3);
+        assert_eq!(d.get(1, 2), 0.0);
+        d.set(1, 2, 5.0);
+        assert_eq!(d.get(1, 2), 5.0);
+        assert_eq!(d.nnz(), 1);
+    }
+
+    #[test]
+    fn matmul_small() {
+        let a = DenseMatrix::from_vec(2, 2, vec![1.0, 2.0, 3.0, 4.0]);
+        let b = DenseMatrix::from_vec(2, 2, vec![5.0, 6.0, 7.0, 8.0]);
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c.data(), &[19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_dimension_mismatch() {
+        let a = DenseMatrix::zeros(2, 3);
+        let b = DenseMatrix::zeros(2, 2);
+        assert!(matches!(
+            a.matmul(&b),
+            Err(FormatError::DimensionMismatch { left_cols: 3, right_rows: 2 })
+        ));
+    }
+
+    #[test]
+    fn compress_roundtrip_row_and_col() {
+        let d = DenseMatrix::from_vec(2, 3, vec![0.0, 2.0, 0.0, 1.0, 0.0, 3.0]);
+        for order in [MajorOrder::Row, MajorOrder::Col] {
+            let c = d.to_compressed(order);
+            assert_eq!(c.nnz(), 3);
+            assert_eq!(DenseMatrix::from_compressed(&c), d);
+        }
+    }
+
+    #[test]
+    fn max_abs_diff_and_approx_eq() {
+        let a = DenseMatrix::from_vec(1, 2, vec![1.0, 2.0]);
+        let b = DenseMatrix::from_vec(1, 2, vec![1.5, 2.0]);
+        assert_eq!(a.max_abs_diff(&b), 0.5);
+        assert!(a.approx_eq(&b, 0.5));
+        assert!(!a.approx_eq(&b, 0.4));
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn get_out_of_bounds_panics() {
+        DenseMatrix::zeros(1, 1).get(1, 0);
+    }
+}

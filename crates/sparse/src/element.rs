@@ -1,0 +1,102 @@
+//! The `(coordinate, value)` duple — the atom every Flexagon network moves.
+
+use serde::{Deserialize, Serialize};
+
+/// Scalar value type used throughout the simulator.
+///
+/// The paper's configuration (Table 5) uses a 32-bit total word — a 16-bit
+/// value plus a 16-bit coordinate. We compute in `f32` for numerical fidelity
+/// of the functional model and charge [`ELEMENT_BYTES`] per element for all
+/// traffic accounting, matching the paper's word size.
+pub type Value = f32;
+
+/// Bytes charged per `(coordinate, value)` element in traffic accounting.
+///
+/// Table 5: "Total Word Size (Value+Coordinate): 32 bits".
+pub const ELEMENT_BYTES: u64 = 4;
+
+/// One compressed-matrix element: a coordinate within a fiber plus a value.
+///
+/// The coordinate is the *minor* index of the element: for a CSR (row-major)
+/// matrix it is the column; for CSC (column-major) it is the row. Elements
+/// within a [`crate::Fiber`] are sorted by coordinate, which is the invariant
+/// the merger-reduction network relies on.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Element {
+    /// Minor coordinate of the element within its fiber.
+    pub coord: u32,
+    /// Numeric value.
+    pub value: Value,
+}
+
+impl Element {
+    /// Creates a new element.
+    ///
+    /// ```
+    /// use flexagon_sparse::Element;
+    /// let e = Element::new(3, 1.5);
+    /// assert_eq!(e.coord, 3);
+    /// assert_eq!(e.value, 1.5);
+    /// ```
+    #[inline]
+    pub fn new(coord: u32, value: Value) -> Self {
+        Self { coord, value }
+    }
+
+    /// Returns a copy with the value scaled by `factor`.
+    ///
+    /// This is what a multiplier in the multiplier network does to a
+    /// streaming element when holding `factor` stationary.
+    #[inline]
+    #[must_use]
+    pub fn scaled(self, factor: Value) -> Self {
+        Self { coord: self.coord, value: self.value * factor }
+    }
+}
+
+impl From<(u32, Value)> for Element {
+    fn from((coord, value): (u32, Value)) -> Self {
+        Self { coord, value }
+    }
+}
+
+impl std::fmt::Display for Element {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "({}, {})", self.coord, self.value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_sets_fields() {
+        let e = Element::new(7, 2.5);
+        assert_eq!(e.coord, 7);
+        assert_eq!(e.value, 2.5);
+    }
+
+    #[test]
+    fn scaled_multiplies_value_only() {
+        let e = Element::new(7, 2.5).scaled(2.0);
+        assert_eq!(e.coord, 7);
+        assert_eq!(e.value, 5.0);
+    }
+
+    #[test]
+    fn from_tuple() {
+        let e: Element = (1u32, 3.0f32).into();
+        assert_eq!(e, Element::new(1, 3.0));
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        assert_eq!(format!("{}", Element::new(2, 1.0)), "(2, 1)");
+    }
+
+    #[test]
+    fn element_bytes_is_32_bits() {
+        assert_eq!(ELEMENT_BYTES, 4);
+    }
+}

@@ -1,0 +1,106 @@
+//! Error type for sparse-format operations.
+
+/// Errors produced while constructing or validating sparse matrices.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FormatError {
+    /// A coordinate lies outside the matrix dimensions.
+    CoordOutOfBounds {
+        /// Row of the offending entry.
+        row: u32,
+        /// Column of the offending entry.
+        col: u32,
+        /// Number of rows in the matrix.
+        rows: u32,
+        /// Number of columns in the matrix.
+        cols: u32,
+    },
+    /// The same (row, col) position appears more than once.
+    DuplicateCoord {
+        /// Row of the duplicated entry.
+        row: u32,
+        /// Column of the duplicated entry.
+        col: u32,
+    },
+    /// The pointer array is malformed (wrong length or non-monotonic).
+    MalformedPointers {
+        /// Human-readable description of the defect.
+        detail: String,
+    },
+    /// Fiber coordinates are not strictly increasing.
+    UnsortedFiber {
+        /// Index of the fiber with unsorted coordinates.
+        fiber: u32,
+    },
+    /// The inner dimensions of a matrix multiplication do not agree.
+    DimensionMismatch {
+        /// Columns of the left operand.
+        left_cols: u32,
+        /// Rows of the right operand.
+        right_rows: u32,
+    },
+    /// The operation requires a different major order than the operand has.
+    WrongMajorOrder {
+        /// The order the operation expects.
+        expected: crate::MajorOrder,
+        /// The order the operand actually has.
+        actual: crate::MajorOrder,
+    },
+}
+
+impl std::fmt::Display for FormatError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::CoordOutOfBounds { row, col, rows, cols } => write!(
+                f,
+                "coordinate ({row}, {col}) outside a {rows}x{cols} matrix"
+            ),
+            Self::DuplicateCoord { row, col } => {
+                write!(f, "duplicate coordinate ({row}, {col})")
+            }
+            Self::MalformedPointers { detail } => {
+                write!(f, "malformed pointer vector: {detail}")
+            }
+            Self::UnsortedFiber { fiber } => {
+                write!(f, "fiber {fiber} has unsorted coordinates")
+            }
+            Self::DimensionMismatch { left_cols, right_rows } => write!(
+                f,
+                "inner dimensions disagree: left has {left_cols} columns, right has {right_rows} rows"
+            ),
+            Self::WrongMajorOrder { expected, actual } => write!(
+                f,
+                "operation expects a {expected} matrix but got {actual}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for FormatError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MajorOrder;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = FormatError::CoordOutOfBounds { row: 5, col: 6, rows: 2, cols: 3 };
+        assert_eq!(format!("{e}"), "coordinate (5, 6) outside a 2x3 matrix");
+        let e = FormatError::DuplicateCoord { row: 1, col: 1 };
+        assert!(format!("{e}").contains("duplicate"));
+        let e = FormatError::DimensionMismatch { left_cols: 4, right_rows: 5 };
+        assert!(format!("{e}").contains("inner dimensions"));
+        let e = FormatError::WrongMajorOrder {
+            expected: MajorOrder::Row,
+            actual: MajorOrder::Col,
+        };
+        assert!(format!("{e}").contains("row-major"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FormatError>();
+    }
+}

@@ -1,0 +1,363 @@
+//! Fibers: compressed rows or columns.
+//!
+//! Following the paper (§2.1, terminology shared with GAMMA), a *fiber* is
+//! one compressed row (CSR) or column (CSC): a list of `(coordinate, value)`
+//! duples sorted by coordinate.
+
+use crate::{Element, Value};
+
+/// An owned fiber: a coordinate-sorted list of [`Element`]s.
+///
+/// The sorted-by-coordinate invariant is maintained by construction and is
+/// what allows the merger-reduction network to merge fibers with a single
+/// comparator per tree node.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Fiber {
+    elems: Vec<Element>,
+}
+
+impl Fiber {
+    /// Creates an empty fiber.
+    pub fn new() -> Self {
+        Self { elems: Vec::new() }
+    }
+
+    /// Creates an empty fiber with room for `cap` elements.
+    pub fn with_capacity(cap: usize) -> Self {
+        Self { elems: Vec::with_capacity(cap) }
+    }
+
+    /// Builds a fiber from elements that are already coordinate-sorted.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if coordinates are not strictly increasing.
+    pub fn from_sorted(elems: Vec<Element>) -> Self {
+        debug_assert!(
+            elems.windows(2).all(|w| w[0].coord < w[1].coord),
+            "fiber coordinates must be strictly increasing"
+        );
+        Self { elems }
+    }
+
+    /// Builds a fiber from arbitrary elements, sorting by coordinate and
+    /// accumulating values on duplicate coordinates.
+    ///
+    /// ```
+    /// use flexagon_sparse::{Element, Fiber};
+    /// let f = Fiber::from_unsorted(vec![
+    ///     Element::new(3, 1.0),
+    ///     Element::new(1, 2.0),
+    ///     Element::new(3, 4.0),
+    /// ]);
+    /// assert_eq!(f.len(), 2);
+    /// assert_eq!(f.get(3), Some(5.0));
+    /// ```
+    pub fn from_unsorted(mut elems: Vec<Element>) -> Self {
+        elems.sort_by_key(|e| e.coord);
+        let mut out: Vec<Element> = Vec::with_capacity(elems.len());
+        for e in elems {
+            match out.last_mut() {
+                Some(last) if last.coord == e.coord => last.value += e.value,
+                _ => out.push(e),
+            }
+        }
+        Self { elems: out }
+    }
+
+    /// Number of non-zero elements in the fiber.
+    pub fn len(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// Returns `true` when the fiber holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.elems.is_empty()
+    }
+
+    /// Appends an element whose coordinate must exceed the current last.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `elem.coord` is not strictly greater than the last
+    /// coordinate currently in the fiber.
+    pub fn push(&mut self, elem: Element) {
+        if let Some(last) = self.elems.last() {
+            assert!(
+                elem.coord > last.coord,
+                "push would break fiber ordering: {} after {}",
+                elem.coord,
+                last.coord
+            );
+        }
+        self.elems.push(elem);
+    }
+
+    /// Looks up the value at `coord`, if present.
+    pub fn get(&self, coord: u32) -> Option<Value> {
+        self.elems
+            .binary_search_by_key(&coord, |e| e.coord)
+            .ok()
+            .map(|i| self.elems[i].value)
+    }
+
+    /// Borrowed view of the elements.
+    pub fn as_view(&self) -> FiberView<'_> {
+        FiberView { elems: &self.elems }
+    }
+
+    /// Iterates over the elements in coordinate order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Element> {
+        self.elems.iter()
+    }
+
+    /// Consumes the fiber, returning the underlying element vector.
+    pub fn into_inner(self) -> Vec<Element> {
+        self.elems
+    }
+
+    /// Slice of the underlying elements.
+    pub fn elements(&self) -> &[Element] {
+        &self.elems
+    }
+
+    /// Returns a fiber with every value scaled by `factor`.
+    ///
+    /// This is the per-multiplier operation of the streaming phase in the
+    /// Outer-Product and Gustavson dataflows: one stationary scalar times an
+    /// entire streaming fiber.
+    #[must_use]
+    pub fn scaled(&self, factor: Value) -> Fiber {
+        Fiber {
+            elems: self.elems.iter().map(|e| e.scaled(factor)).collect(),
+        }
+    }
+
+    /// Dot product against another fiber (sorted intersection).
+    ///
+    /// This is the Inner-Product dataflow's core operation; the returned
+    /// count is the number of effectual multiplications (intersected pairs).
+    pub fn dot(&self, other: &Fiber) -> (Value, usize) {
+        self.as_view().dot(other.as_view())
+    }
+}
+
+impl FromIterator<Element> for Fiber {
+    /// Collects elements, sorting and accumulating duplicates.
+    fn from_iter<I: IntoIterator<Item = Element>>(iter: I) -> Self {
+        Fiber::from_unsorted(iter.into_iter().collect())
+    }
+}
+
+impl Extend<Element> for Fiber {
+    /// Extends the fiber; elements are re-sorted and duplicates accumulated.
+    fn extend<I: IntoIterator<Item = Element>>(&mut self, iter: I) {
+        let mut all = std::mem::take(&mut self.elems);
+        all.extend(iter);
+        *self = Fiber::from_unsorted(all);
+    }
+}
+
+impl<'a> IntoIterator for &'a Fiber {
+    type Item = &'a Element;
+    type IntoIter = std::slice::Iter<'a, Element>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.elems.iter()
+    }
+}
+
+impl IntoIterator for Fiber {
+    type Item = Element;
+    type IntoIter = std::vec::IntoIter<Element>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.elems.into_iter()
+    }
+}
+
+/// A borrowed, coordinate-sorted slice of elements.
+///
+/// `FiberView` is the zero-copy unit handed to the networks: tile readers
+/// produce views into the L1 structures without copying element data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FiberView<'a> {
+    elems: &'a [Element],
+}
+
+impl<'a> FiberView<'a> {
+    /// Wraps an element slice that is already coordinate-sorted.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if coordinates are not strictly increasing.
+    pub fn from_sorted(elems: &'a [Element]) -> Self {
+        debug_assert!(
+            elems.windows(2).all(|w| w[0].coord < w[1].coord),
+            "fiber view coordinates must be strictly increasing"
+        );
+        Self { elems }
+    }
+
+    /// Number of elements in the view.
+    pub fn len(&self) -> usize {
+        self.elems.len()
+    }
+
+    /// Returns `true` when the view is empty.
+    pub fn is_empty(&self) -> bool {
+        self.elems.is_empty()
+    }
+
+    /// Underlying element slice.
+    pub fn elements(&self) -> &'a [Element] {
+        self.elems
+    }
+
+    /// Iterates over the elements in coordinate order.
+    pub fn iter(&self) -> std::slice::Iter<'a, Element> {
+        self.elems.iter()
+    }
+
+    /// Copies the view into an owned [`Fiber`].
+    pub fn to_fiber(&self) -> Fiber {
+        Fiber { elems: self.elems.to_vec() }
+    }
+
+    /// Dot product with effectual-multiplication count (sorted intersection).
+    pub fn dot(&self, other: FiberView<'_>) -> (Value, usize) {
+        let (mut i, mut j) = (0, 0);
+        let mut acc = 0.0;
+        let mut work = 0;
+        while i < self.elems.len() && j < other.elems.len() {
+            let (a, b) = (self.elems[i], other.elems[j]);
+            match a.coord.cmp(&b.coord) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    acc += a.value * b.value;
+                    work += 1;
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        (acc, work)
+    }
+
+    /// Number of coordinates present in both fibers.
+    pub fn intersect_count(&self, other: FiberView<'_>) -> usize {
+        self.dot(other).1
+    }
+}
+
+impl<'a> IntoIterator for FiberView<'a> {
+    type Item = &'a Element;
+    type IntoIter = std::slice::Iter<'a, Element>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.elems.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(pairs: &[(u32, Value)]) -> Fiber {
+        Fiber::from_sorted(pairs.iter().map(|&(c, v)| Element::new(c, v)).collect())
+    }
+
+    #[test]
+    fn from_unsorted_sorts_and_accumulates() {
+        let fb = Fiber::from_unsorted(vec![
+            Element::new(5, 1.0),
+            Element::new(2, 2.0),
+            Element::new(5, 3.0),
+        ]);
+        assert_eq!(fb.len(), 2);
+        assert_eq!(fb.get(2), Some(2.0));
+        assert_eq!(fb.get(5), Some(4.0));
+    }
+
+    #[test]
+    fn push_preserves_order() {
+        let mut fb = Fiber::new();
+        fb.push(Element::new(1, 1.0));
+        fb.push(Element::new(4, 2.0));
+        assert_eq!(fb.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "fiber ordering")]
+    fn push_out_of_order_panics() {
+        let mut fb = f(&[(4, 1.0)]);
+        fb.push(Element::new(2, 1.0));
+    }
+
+    #[test]
+    fn get_missing_coord_is_none() {
+        assert_eq!(f(&[(1, 1.0), (3, 2.0)]).get(2), None);
+    }
+
+    #[test]
+    fn dot_intersects_sorted_coords() {
+        let a = f(&[(0, 1.0), (2, 2.0), (5, 3.0)]);
+        let b = f(&[(1, 4.0), (2, 5.0), (5, 6.0)]);
+        let (v, work) = a.dot(&b);
+        assert_eq!(v, 2.0 * 5.0 + 3.0 * 6.0);
+        assert_eq!(work, 2);
+    }
+
+    #[test]
+    fn dot_with_empty_is_zero() {
+        let a = f(&[(0, 1.0)]);
+        let (v, work) = a.dot(&Fiber::new());
+        assert_eq!(v, 0.0);
+        assert_eq!(work, 0);
+    }
+
+    #[test]
+    fn scaled_scales_all_values() {
+        let a = f(&[(0, 1.0), (2, 2.0)]).scaled(3.0);
+        assert_eq!(a.get(0), Some(3.0));
+        assert_eq!(a.get(2), Some(6.0));
+    }
+
+    #[test]
+    fn collect_from_iterator() {
+        let fb: Fiber = vec![Element::new(2, 1.0), Element::new(0, 2.0)]
+            .into_iter()
+            .collect();
+        assert_eq!(fb.elements()[0].coord, 0);
+    }
+
+    #[test]
+    fn extend_merges_duplicates() {
+        let mut fb = f(&[(1, 1.0)]);
+        fb.extend(vec![Element::new(1, 2.0), Element::new(0, 5.0)]);
+        assert_eq!(fb.len(), 2);
+        assert_eq!(fb.get(1), Some(3.0));
+    }
+
+    #[test]
+    fn view_roundtrip() {
+        let fb = f(&[(1, 1.0), (9, 2.0)]);
+        let v = fb.as_view();
+        assert_eq!(v.len(), 2);
+        assert_eq!(v.to_fiber(), fb);
+    }
+
+    #[test]
+    fn intersect_count_matches_dot_work() {
+        let a = f(&[(0, 1.0), (1, 1.0), (2, 1.0)]);
+        let b = f(&[(1, 1.0), (2, 1.0), (3, 1.0)]);
+        assert_eq!(a.as_view().intersect_count(b.as_view()), 2);
+    }
+
+    #[test]
+    fn into_iterator_both_ways() {
+        let fb = f(&[(0, 1.0), (1, 2.0)]);
+        let borrowed: Vec<u32> = (&fb).into_iter().map(|e| e.coord).collect();
+        assert_eq!(borrowed, vec![0, 1]);
+        let owned: Vec<Value> = fb.into_iter().map(|e| e.value).collect();
+        assert_eq!(owned, vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,370 @@
+//! Random sparse-matrix generators for workloads and tests.
+//!
+//! All generators are deterministic given an `Rng`, so the workload suite is
+//! reproducible (`rand_chacha` seeding happens in `flexagon-dnn`).
+
+use crate::{CompressedMatrix, Element, Fiber, MajorOrder, Value};
+use rand::Rng;
+
+/// Uniform unstructured sparsity: each entry is non-zero with probability
+/// `density`, values uniform in `[0.5, 1.5)`.
+///
+/// Uses geometric gap-skipping, so the cost is proportional to the number of
+/// non-zeros rather than `rows * cols`, which matters for the very sparse
+/// layers in the suite (down to 0.04% density's complement).
+///
+/// # Panics
+///
+/// Panics if `density` is not within `[0, 1]`.
+pub fn random<R: Rng + ?Sized>(
+    rows: u32,
+    cols: u32,
+    density: f64,
+    order: MajorOrder,
+    rng: &mut R,
+) -> CompressedMatrix {
+    assert!((0.0..=1.0).contains(&density), "density must lie in [0, 1]");
+    let majors = match order {
+        MajorOrder::Row => rows,
+        MajorOrder::Col => cols,
+    };
+    let minors = match order {
+        MajorOrder::Row => cols,
+        MajorOrder::Col => rows,
+    } as u64;
+    let mut fibers = Vec::with_capacity(majors as usize);
+    for _ in 0..majors {
+        fibers.push(random_fiber(minors, density, rng));
+    }
+    CompressedMatrix::from_fibers(rows, cols, order, fibers)
+        .expect("generated fibers are always in range")
+}
+
+/// Generates a single sorted fiber over `[0, minors)` with Bernoulli
+/// `density` occupancy via geometric skips.
+fn random_fiber<R: Rng + ?Sized>(minors: u64, density: f64, rng: &mut R) -> Fiber {
+    let mut fiber = Fiber::new();
+    if density <= 0.0 || minors == 0 {
+        return fiber;
+    }
+    if density >= 1.0 {
+        for c in 0..minors {
+            fiber.push(Element::new(c as u32, value_in_range(rng)));
+        }
+        return fiber;
+    }
+    let log1m = (1.0 - density).ln();
+    let mut pos: u64 = 0;
+    loop {
+        // Geometric(p) gap: number of zeros before the next non-zero.
+        let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let skip = (u.ln() / log1m).floor() as u64;
+        pos = pos.saturating_add(skip);
+        if pos >= minors {
+            break;
+        }
+        fiber.push(Element::new(pos as u32, value_in_range(rng)));
+        pos += 1;
+        if pos >= minors {
+            break;
+        }
+    }
+    fiber
+}
+
+/// Exactly `nnz` non-zeros placed uniformly at random (no duplicates).
+///
+/// # Panics
+///
+/// Panics if `nnz > rows * cols`.
+pub fn random_with_nnz<R: Rng + ?Sized>(
+    rows: u32,
+    cols: u32,
+    nnz: usize,
+    order: MajorOrder,
+    rng: &mut R,
+) -> CompressedMatrix {
+    let total = rows as u64 * cols as u64;
+    assert!(nnz as u64 <= total, "cannot place {nnz} non-zeros in {total} cells");
+    // Floyd's algorithm for a uniform sample without replacement.
+    let mut chosen = std::collections::HashSet::with_capacity(nnz);
+    for j in (total - nnz as u64)..total {
+        let t = rng.gen_range(0..=j);
+        let cell = if chosen.contains(&t) { j } else { t };
+        chosen.insert(cell);
+    }
+    let triplets: Vec<(u32, u32, Value)> = chosen
+        .into_iter()
+        .map(|cell| {
+            let r = (cell / cols as u64) as u32;
+            let c = (cell % cols as u64) as u32;
+            (r, c, value_in_range(rng))
+        })
+        .collect();
+    CompressedMatrix::from_triplets(rows, cols, &triplets, order)
+        .expect("sampled cells are unique and in range")
+}
+
+/// Band matrix: non-zeros only where `|row - col| <= half_bandwidth`.
+///
+/// Handy for exercising dataflows on structured sparsity, where Gustavson's
+/// leader-follower intersection has perfect locality.
+pub fn banded<R: Rng + ?Sized>(
+    n: u32,
+    half_bandwidth: u32,
+    density_in_band: f64,
+    order: MajorOrder,
+    rng: &mut R,
+) -> CompressedMatrix {
+    let mut triplets = Vec::new();
+    for r in 0..n {
+        let lo = r.saturating_sub(half_bandwidth);
+        let hi = (r + half_bandwidth).min(n - 1);
+        for c in lo..=hi {
+            if rng.gen_bool(density_in_band) {
+                triplets.push((r, c, value_in_range(rng)));
+            }
+        }
+    }
+    CompressedMatrix::from_triplets(n, n, &triplets, order)
+        .expect("band coordinates are always in range")
+}
+
+/// Identity-like diagonal matrix with the given `value` on the diagonal.
+pub fn diagonal(n: u32, value: Value, order: MajorOrder) -> CompressedMatrix {
+    let triplets: Vec<(u32, u32, Value)> = (0..n).map(|i| (i, i, value)).collect();
+    CompressedMatrix::from_triplets(n, n, &triplets, order)
+        .expect("diagonal coordinates are always in range")
+}
+
+/// Block-sparse matrix: a grid of `block x block` tiles, each fully dense
+/// with probability `block_density`.
+///
+/// Mimics structured pruning; useful in ablations because it concentrates
+/// reuse into block rows/columns.
+pub fn block_sparse<R: Rng + ?Sized>(
+    rows: u32,
+    cols: u32,
+    block: u32,
+    block_density: f64,
+    order: MajorOrder,
+    rng: &mut R,
+) -> CompressedMatrix {
+    assert!(block > 0, "block size must be positive");
+    let mut triplets = Vec::new();
+    let mut br = 0;
+    while br < rows {
+        let mut bc = 0;
+        while bc < cols {
+            if rng.gen_bool(block_density) {
+                for r in br..(br + block).min(rows) {
+                    for c in bc..(bc + block).min(cols) {
+                        triplets.push((r, c, value_in_range(rng)));
+                    }
+                }
+            }
+            bc += block;
+        }
+        br += block;
+    }
+    CompressedMatrix::from_triplets(rows, cols, &triplets, order)
+        .expect("block coordinates are always in range")
+}
+
+/// R-MAT (recursive matrix) power-law graph generator.
+///
+/// SpGEMM accelerator evaluations (SpArch, GAMMA, OuterSPACE) use
+/// SuiteSparse graphs whose degree distributions are highly skewed; R-MAT
+/// reproduces that skew synthetically. Each of `edges` non-zeros picks its
+/// cell by descending a 2x2 recursive partition with probabilities
+/// `(a, b, c, d)`; duplicates are accumulated into a single entry with the
+/// count as its value (standard multigraph collapsing).
+///
+/// # Panics
+///
+/// Panics if `scale >= 31` or the probabilities are not positive and
+/// summing to ~1.
+pub fn rmat<R: Rng + ?Sized>(
+    scale: u32,
+    edges: usize,
+    probs: (f64, f64, f64, f64),
+    order: MajorOrder,
+    rng: &mut R,
+) -> CompressedMatrix {
+    assert!(scale < 31, "scale must keep dimensions within u32");
+    let (a, b, c, d) = probs;
+    assert!(
+        a > 0.0 && b >= 0.0 && c >= 0.0 && d > 0.0,
+        "partition probabilities must be non-negative with a, d positive"
+    );
+    let sum = a + b + c + d;
+    assert!((sum - 1.0).abs() < 1e-6, "probabilities must sum to 1, got {sum}");
+    let n = 1u32 << scale;
+    let mut cells: std::collections::HashMap<(u32, u32), u32> = std::collections::HashMap::new();
+    for _ in 0..edges {
+        let (mut r, mut col) = (0u32, 0u32);
+        for level in (0..scale).rev() {
+            let x: f64 = rng.gen();
+            let (dr, dc) = if x < a {
+                (0, 0)
+            } else if x < a + b {
+                (0, 1)
+            } else if x < a + b + c {
+                (1, 0)
+            } else {
+                (1, 1)
+            };
+            r |= dr << level;
+            col |= dc << level;
+        }
+        *cells.entry((r, col)).or_insert(0) += 1;
+    }
+    let triplets: Vec<(u32, u32, Value)> = cells
+        .into_iter()
+        .map(|((r, c), count)| (r, c, count as Value))
+        .collect();
+    CompressedMatrix::from_triplets(n, n, &triplets, order)
+        .expect("rmat cells are always in range")
+}
+
+fn value_in_range<R: Rng + ?Sized>(rng: &mut R) -> Value {
+    // Uniform in [0.5, 1.5): keeps products well-conditioned so functional
+    // checks against the dense reference stay within tight tolerances.
+    rng.gen_range(0.5..1.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn rng() -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn random_density_is_close() {
+        let m = random(200, 200, 0.3, MajorOrder::Row, &mut rng());
+        let d = m.density();
+        assert!((d - 0.3).abs() < 0.03, "density {d} too far from 0.3");
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn random_zero_density_is_empty() {
+        let m = random(10, 10, 0.0, MajorOrder::Row, &mut rng());
+        assert_eq!(m.nnz(), 0);
+    }
+
+    #[test]
+    fn random_full_density_is_dense() {
+        let m = random(8, 8, 1.0, MajorOrder::Col, &mut rng());
+        assert_eq!(m.nnz(), 64);
+    }
+
+    #[test]
+    fn random_extreme_sparsity_is_cheap_and_valid() {
+        let m = random(1000, 1000, 0.0004, MajorOrder::Row, &mut rng());
+        m.validate().unwrap();
+        assert!(m.nnz() < 5000);
+    }
+
+    #[test]
+    fn random_is_reproducible() {
+        let a = random(50, 50, 0.2, MajorOrder::Row, &mut rng());
+        let b = random(50, 50, 0.2, MajorOrder::Row, &mut rng());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_with_nnz_exact_count() {
+        let m = random_with_nnz(30, 40, 123, MajorOrder::Row, &mut rng());
+        assert_eq!(m.nnz(), 123);
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn random_with_nnz_can_fill_completely() {
+        let m = random_with_nnz(5, 5, 25, MajorOrder::Col, &mut rng());
+        assert_eq!(m.nnz(), 25);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot place")]
+    fn random_with_nnz_rejects_overfull() {
+        random_with_nnz(2, 2, 5, MajorOrder::Row, &mut rng());
+    }
+
+    #[test]
+    fn banded_respects_bandwidth() {
+        let m = banded(20, 2, 1.0, MajorOrder::Row, &mut rng());
+        for (r, fiber) in m.fibers() {
+            for e in fiber.elements() {
+                assert!(
+                    (e.coord as i64 - r as i64).abs() <= 2,
+                    "element ({r},{}) outside band",
+                    e.coord
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn diagonal_has_n_entries() {
+        let m = diagonal(7, 2.0, MajorOrder::Row);
+        assert_eq!(m.nnz(), 7);
+        assert_eq!(m.get(3, 3), 2.0);
+        assert_eq!(m.get(3, 4), 0.0);
+    }
+
+    #[test]
+    fn block_sparse_full_blocks() {
+        let m = block_sparse(8, 8, 4, 1.0, MajorOrder::Row, &mut rng());
+        assert_eq!(m.nnz(), 64);
+    }
+
+    #[test]
+    fn values_are_in_expected_range() {
+        let m = random(50, 50, 0.5, MajorOrder::Row, &mut rng());
+        for e in m.elements() {
+            assert!((0.5..1.5).contains(&e.value));
+        }
+    }
+
+    #[test]
+    fn rmat_dimensions_and_count() {
+        let m = rmat(8, 2000, (0.57, 0.19, 0.19, 0.05), MajorOrder::Row, &mut rng());
+        assert_eq!(m.rows(), 256);
+        assert_eq!(m.cols(), 256);
+        assert!(m.nnz() <= 2000, "duplicates collapse");
+        assert!(m.nnz() > 1000, "most edges are distinct at this density");
+        m.validate().unwrap();
+    }
+
+    #[test]
+    fn rmat_is_skewed() {
+        // With standard Graph500 probabilities, the max row degree far
+        // exceeds the mean — that is the point of the generator.
+        let m = rmat(9, 8000, (0.57, 0.19, 0.19, 0.05), MajorOrder::Row, &mut rng());
+        let mean = m.nnz() as f64 / m.rows() as f64;
+        let max = (0..m.major_dim()).map(|r| m.fiber_len(r)).max().unwrap();
+        assert!(
+            max as f64 > 4.0 * mean,
+            "max degree {max} not skewed vs mean {mean:.1}"
+        );
+    }
+
+    #[test]
+    fn rmat_uniform_probs_behave_like_uniform() {
+        let m = rmat(6, 500, (0.25, 0.25, 0.25, 0.25), MajorOrder::Row, &mut rng());
+        m.validate().unwrap();
+        assert!(m.nnz() > 400);
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to 1")]
+    fn rmat_rejects_bad_probs() {
+        rmat(4, 10, (0.9, 0.9, 0.1, 0.1), MajorOrder::Row, &mut rng());
+    }
+}

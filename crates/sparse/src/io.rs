@@ -1,0 +1,270 @@
+//! Matrix Market (`.mtx`) import/export.
+//!
+//! SpGEMM accelerator papers (SpArch, GAMMA, OuterSPACE) evaluate on
+//! SuiteSparse matrices distributed in the Matrix Market exchange format;
+//! this module lets the simulator consume those files directly. The
+//! coordinate format with `real`, `integer` or `pattern` values and
+//! `general` or `symmetric` symmetry is supported — the subset covering
+//! the SuiteSparse collection.
+
+use crate::{CompressedMatrix, MajorOrder, Value};
+use std::io::{BufRead, Write};
+
+/// Errors produced while parsing a Matrix Market stream.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum MtxError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The header line is missing or malformed.
+    BadHeader(String),
+    /// The file declares a feature outside the supported subset.
+    Unsupported(String),
+    /// A data line could not be parsed.
+    BadEntry {
+        /// 1-based line number.
+        line: usize,
+        /// Description of the defect.
+        detail: String,
+    },
+    /// The parsed entries violate the declared dimensions.
+    Format(crate::FormatError),
+}
+
+impl std::fmt::Display for MtxError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "i/o error: {e}"),
+            Self::BadHeader(h) => write!(f, "malformed matrix market header: {h}"),
+            Self::Unsupported(what) => write!(f, "unsupported matrix market feature: {what}"),
+            Self::BadEntry { line, detail } => {
+                write!(f, "bad entry at line {line}: {detail}")
+            }
+            Self::Format(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for MtxError {}
+
+impl From<std::io::Error> for MtxError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+impl From<crate::FormatError> for MtxError {
+    fn from(e: crate::FormatError) -> Self {
+        Self::Format(e)
+    }
+}
+
+/// Reads a Matrix Market coordinate stream into a compressed matrix.
+///
+/// # Errors
+///
+/// Returns [`MtxError`] on malformed input or unsupported variants (array
+/// format, complex values).
+pub fn read_matrix_market<R: BufRead>(
+    reader: R,
+    order: MajorOrder,
+) -> Result<CompressedMatrix, MtxError> {
+    let mut lines = reader.lines().enumerate();
+    let (_, header) = lines
+        .next()
+        .ok_or_else(|| MtxError::BadHeader("empty input".into()))?;
+    let header = header?;
+    let fields: Vec<String> = header.split_whitespace().map(str::to_lowercase).collect();
+    if fields.len() < 4 || fields[0] != "%%matrixmarket" || fields[1] != "matrix" {
+        return Err(MtxError::BadHeader(header));
+    }
+    if fields[2] != "coordinate" {
+        return Err(MtxError::Unsupported(format!("format '{}'", fields[2])));
+    }
+    let pattern = match fields[3].as_str() {
+        "real" | "integer" => false,
+        "pattern" => true,
+        other => return Err(MtxError::Unsupported(format!("field '{other}'"))),
+    };
+    let symmetric = match fields.get(4).map(String::as_str) {
+        None | Some("general") => false,
+        Some("symmetric") => true,
+        Some(other) => return Err(MtxError::Unsupported(format!("symmetry '{other}'"))),
+    };
+
+    // Skip comments; the first non-comment line is the size line.
+    let mut size_line = None;
+    for (idx, line) in lines.by_ref() {
+        let line = line?;
+        if line.trim_start().starts_with('%') || line.trim().is_empty() {
+            continue;
+        }
+        size_line = Some((idx + 1, line));
+        break;
+    }
+    let (size_lineno, size_line) =
+        size_line.ok_or_else(|| MtxError::BadHeader("missing size line".into()))?;
+    let dims: Vec<u64> = size_line
+        .split_whitespace()
+        .map(|t| t.parse::<u64>())
+        .collect::<Result<_, _>>()
+        .map_err(|e| MtxError::BadEntry { line: size_lineno, detail: e.to_string() })?;
+    let [rows, cols, nnz] = dims[..] else {
+        return Err(MtxError::BadEntry {
+            line: size_lineno,
+            detail: format!("expected 'rows cols nnz', got '{size_line}'"),
+        });
+    };
+
+    let mut triplets: Vec<(u32, u32, Value)> = Vec::with_capacity(nnz as usize);
+    for (idx, line) in lines {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('%') {
+            continue;
+        }
+        let mut tokens = trimmed.split_whitespace();
+        let parse_coord = |t: Option<&str>, what: &str| -> Result<u32, MtxError> {
+            t.ok_or_else(|| MtxError::BadEntry {
+                line: idx + 1,
+                detail: format!("missing {what}"),
+            })?
+            .parse::<u32>()
+            .map_err(|e| MtxError::BadEntry { line: idx + 1, detail: e.to_string() })
+        };
+        let r = parse_coord(tokens.next(), "row")?;
+        let c = parse_coord(tokens.next(), "column")?;
+        if r == 0 || c == 0 {
+            return Err(MtxError::BadEntry {
+                line: idx + 1,
+                detail: "matrix market coordinates are 1-based".into(),
+            });
+        }
+        let v: Value = if pattern {
+            1.0
+        } else {
+            tokens
+                .next()
+                .ok_or_else(|| MtxError::BadEntry {
+                    line: idx + 1,
+                    detail: "missing value".into(),
+                })?
+                .parse::<f64>()
+                .map_err(|e| MtxError::BadEntry { line: idx + 1, detail: e.to_string() })?
+                as Value
+        };
+        triplets.push((r - 1, c - 1, v));
+        if symmetric && r != c {
+            triplets.push((c - 1, r - 1, v));
+        }
+    }
+    Ok(CompressedMatrix::from_triplets(rows as u32, cols as u32, &triplets, order)?)
+}
+
+/// Writes a matrix as a `general real coordinate` Matrix Market stream.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_matrix_market<W: Write>(
+    matrix: &CompressedMatrix,
+    mut writer: W,
+) -> std::io::Result<()> {
+    writeln!(writer, "%%MatrixMarket matrix coordinate real general")?;
+    writeln!(writer, "% produced by the flexagon simulator")?;
+    writeln!(writer, "{} {} {}", matrix.rows(), matrix.cols(), matrix.nnz())?;
+    for (major, fiber) in matrix.fibers() {
+        for e in fiber.elements() {
+            let (r, c) = match matrix.order() {
+                MajorOrder::Row => (major, e.coord),
+                MajorOrder::Col => (e.coord, major),
+            };
+            writeln!(writer, "{} {} {}", r + 1, c + 1, e.value)?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    const SAMPLE: &str = "%%MatrixMarket matrix coordinate real general\n\
+                          % a comment\n\
+                          3 4 3\n\
+                          1 1 2.5\n\
+                          2 4 -1.0\n\
+                          3 2 7\n";
+
+    #[test]
+    fn reads_general_real() {
+        let m = read_matrix_market(Cursor::new(SAMPLE), MajorOrder::Row).unwrap();
+        assert_eq!((m.rows(), m.cols(), m.nnz()), (3, 4, 3));
+        assert_eq!(m.get(0, 0), 2.5);
+        assert_eq!(m.get(1, 3), -1.0);
+        assert_eq!(m.get(2, 1), 7.0);
+    }
+
+    #[test]
+    fn reads_pattern_as_ones() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 2\n2 1\n";
+        let m = read_matrix_market(Cursor::new(text), MajorOrder::Row).unwrap();
+        assert_eq!(m.get(0, 1), 1.0);
+        assert_eq!(m.get(1, 0), 1.0);
+    }
+
+    #[test]
+    fn expands_symmetric() {
+        let text =
+            "%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n2 1 5.0\n3 3 1.0\n";
+        let m = read_matrix_market(Cursor::new(text), MajorOrder::Row).unwrap();
+        assert_eq!(m.nnz(), 3, "off-diagonal mirrored, diagonal not");
+        assert_eq!(m.get(0, 1), 5.0);
+        assert_eq!(m.get(1, 0), 5.0);
+    }
+
+    #[test]
+    fn roundtrip_write_read() {
+        let m = read_matrix_market(Cursor::new(SAMPLE), MajorOrder::Row).unwrap();
+        let mut buf = Vec::new();
+        write_matrix_market(&m, &mut buf).unwrap();
+        let back = read_matrix_market(Cursor::new(buf), MajorOrder::Row).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn rejects_array_format() {
+        let text = "%%MatrixMarket matrix array real general\n2 2\n1\n2\n3\n4\n";
+        assert!(matches!(
+            read_matrix_market(Cursor::new(text), MajorOrder::Row),
+            Err(MtxError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_zero_based_coords() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n0 1 3.0\n";
+        assert!(matches!(
+            read_matrix_market(Cursor::new(text), MajorOrder::Row),
+            Err(MtxError::BadEntry { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_header() {
+        assert!(matches!(
+            read_matrix_market(Cursor::new("hello\n"), MajorOrder::Row),
+            Err(MtxError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_entry() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n3 1 1.0\n";
+        assert!(matches!(
+            read_matrix_market(Cursor::new(text), MajorOrder::Row),
+            Err(MtxError::Format(_))
+        ));
+    }
+}

@@ -1,0 +1,193 @@
+//! K-way merge with accumulation — the functional behaviour of the MRN.
+//!
+//! A node of the merger-reduction network compares the coordinates of its two
+//! input elements: on a match it adds the values, otherwise it forwards the
+//! element with the lower coordinate (paper §3.2.2). Applied over a tree this
+//! is exactly a k-way merge of sorted fibers that accumulates colliding
+//! coordinates. These helpers implement that semantics in software; the
+//! `flexagon-noc` crate layers cycle accounting on top.
+
+use crate::{Element, Fiber, FiberView};
+#[cfg(test)]
+use crate::Value;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Outcome of a merge: the merged fiber plus operation counts.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MergeStats {
+    /// Number of coordinate comparisons performed.
+    pub comparisons: u64,
+    /// Number of value additions (coordinate collisions).
+    pub additions: u64,
+}
+
+/// Merges two sorted fibers, accumulating values on coordinate collisions.
+pub fn merge_two(a: FiberView<'_>, b: FiberView<'_>) -> (Fiber, MergeStats) {
+    let mut out = Fiber::with_capacity(a.len() + b.len());
+    let mut stats = MergeStats::default();
+    let (mut i, mut j) = (0, 0);
+    let (ae, be) = (a.elements(), b.elements());
+    while i < ae.len() && j < be.len() {
+        stats.comparisons += 1;
+        match ae[i].coord.cmp(&be[j].coord) {
+            std::cmp::Ordering::Less => {
+                out.push(ae[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(be[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                stats.additions += 1;
+                out.push(Element::new(ae[i].coord, ae[i].value + be[j].value));
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    for &e in &ae[i..] {
+        out.push(e);
+    }
+    for &e in &be[j..] {
+        out.push(e);
+    }
+    (out, stats)
+}
+
+/// Merges any number of sorted fibers with accumulation.
+///
+/// Implemented with a binary heap so merging `F` fibers of `E` total
+/// elements costs `O(E log F)` in software regardless of `F`.
+///
+/// ```
+/// use flexagon_sparse::{Element, Fiber, merge};
+/// let a = Fiber::from_sorted(vec![Element::new(0, 1.0), Element::new(2, 1.0)]);
+/// let b = Fiber::from_sorted(vec![Element::new(2, 2.0), Element::new(3, 1.0)]);
+/// let (m, _) = merge::merge_accumulate(&[a.as_view(), b.as_view()]);
+/// assert_eq!(m.get(2), Some(3.0));
+/// assert_eq!(m.len(), 3);
+/// ```
+pub fn merge_accumulate(fibers: &[FiberView<'_>]) -> (Fiber, MergeStats) {
+    let mut stats = MergeStats::default();
+    let total: usize = fibers.iter().map(|f| f.len()).sum();
+    let mut out = Fiber::with_capacity(total);
+    // Heap of (coord, source fiber, position within fiber).
+    let mut heap: BinaryHeap<Reverse<(u32, usize, usize)>> = fibers
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| !f.is_empty())
+        .map(|(src, f)| Reverse((f.elements()[0].coord, src, 0)))
+        .collect();
+    let mut pending: Option<Element> = None;
+    while let Some(Reverse((coord, src, pos))) = heap.pop() {
+        stats.comparisons += 1;
+        let value = fibers[src].elements()[pos].value;
+        match pending {
+            Some(ref mut p) if p.coord == coord => {
+                p.value += value;
+                stats.additions += 1;
+            }
+            Some(p) => {
+                out.push(p);
+                pending = Some(Element::new(coord, value));
+            }
+            None => pending = Some(Element::new(coord, value)),
+        }
+        if pos + 1 < fibers[src].len() {
+            heap.push(Reverse((fibers[src].elements()[pos + 1].coord, src, pos + 1)));
+        }
+    }
+    if let Some(p) = pending {
+        out.push(p);
+    }
+    (out, stats)
+}
+
+/// Total elements across a set of fibers (the merge's input volume).
+pub fn input_volume(fibers: &[FiberView<'_>]) -> usize {
+    fibers.iter().map(|f| f.len()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn f(pairs: &[(u32, Value)]) -> Fiber {
+        Fiber::from_sorted(pairs.iter().map(|&(c, v)| Element::new(c, v)).collect())
+    }
+
+    #[test]
+    fn merge_two_disjoint() {
+        let a = f(&[(0, 1.0), (2, 2.0)]);
+        let b = f(&[(1, 3.0), (5, 4.0)]);
+        let (m, stats) = merge_two(a.as_view(), b.as_view());
+        assert_eq!(m.len(), 4);
+        assert_eq!(stats.additions, 0);
+        assert_eq!(m.get(5), Some(4.0));
+    }
+
+    #[test]
+    fn merge_two_accumulates_collisions() {
+        let a = f(&[(1, 1.0), (2, 2.0)]);
+        let b = f(&[(1, 10.0), (3, 3.0)]);
+        let (m, stats) = merge_two(a.as_view(), b.as_view());
+        assert_eq!(m.get(1), Some(11.0));
+        assert_eq!(stats.additions, 1);
+    }
+
+    #[test]
+    fn merge_two_with_empty_is_identity() {
+        let a = f(&[(1, 1.0)]);
+        let (m, _) = merge_two(a.as_view(), Fiber::new().as_view());
+        assert_eq!(m, a);
+    }
+
+    #[test]
+    fn merge_accumulate_empty_input() {
+        let (m, stats) = merge_accumulate(&[]);
+        assert!(m.is_empty());
+        assert_eq!(stats, MergeStats::default());
+    }
+
+    #[test]
+    fn merge_accumulate_matches_pairwise() {
+        let a = f(&[(0, 1.0), (4, 1.0)]);
+        let b = f(&[(0, 2.0), (3, 1.0)]);
+        let c = f(&[(3, 5.0), (4, 5.0)]);
+        let (kway, _) = merge_accumulate(&[a.as_view(), b.as_view(), c.as_view()]);
+        let (ab, _) = merge_two(a.as_view(), b.as_view());
+        let (abc, _) = merge_two(ab.as_view(), c.as_view());
+        assert_eq!(kway, abc);
+    }
+
+    #[test]
+    fn merge_accumulate_many_copies_of_same_fiber() {
+        let a = f(&[(0, 1.0), (1, 1.0)]);
+        let views: Vec<_> = std::iter::repeat_n(a.as_view(), 8).collect();
+        let (m, stats) = merge_accumulate(&views);
+        assert_eq!(m.get(0), Some(8.0));
+        assert_eq!(m.get(1), Some(8.0));
+        assert_eq!(stats.additions, 14); // 7 per coordinate
+    }
+
+    #[test]
+    fn merge_preserves_sortedness() {
+        let a = f(&[(5, 1.0), (9, 1.0)]);
+        let b = f(&[(0, 1.0), (7, 1.0)]);
+        let (m, _) = merge_accumulate(&[a.as_view(), b.as_view()]);
+        let coords: Vec<u32> = m.iter().map(|e| e.coord).collect();
+        let mut sorted = coords.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(coords, sorted);
+    }
+
+    #[test]
+    fn input_volume_sums_lengths() {
+        let a = f(&[(0, 1.0)]);
+        let b = f(&[(0, 1.0), (1, 1.0)]);
+        assert_eq!(input_volume(&[a.as_view(), b.as_view()]), 3);
+    }
+}

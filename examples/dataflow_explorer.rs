@@ -1,0 +1,73 @@
+//! Dataflow explorer: sweep matrix shape and sparsity on a custom SpMSpM
+//! problem and watch the best dataflow change — the paper's core
+//! observation ("one dataflow does not fit all").
+//!
+//! Run with `cargo run --release --example dataflow_explorer`.
+
+use flexagon::core::{Accelerator, Dataflow, Flexagon};
+use flexagon::sparse::{gen, MajorOrder};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let accel = Flexagon::with_defaults();
+
+    println!("Sweep 1: growing B (K x N) pushes the winner from IP toward OP");
+    println!(
+        "{:<24} {:>14} {:>14} {:>14}  winner",
+        "problem", "IP cycles", "OP cycles", "Gust cycles"
+    );
+    for (k, n) in [(32u32, 256u32), (128, 1024), (512, 2048), (1024, 4096)] {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let a = gen::random(64, k, 0.10, MajorOrder::Row, &mut rng);
+        let b = gen::random(k, n, 0.40, MajorOrder::Row, &mut rng);
+        report_row(&accel, format!("64x{k} * {k}x{n}"), &a, &b)?;
+    }
+
+    println!("\nSweep 2: denser A rows favour Gustavson's over IP re-streaming");
+    println!(
+        "{:<24} {:>14} {:>14} {:>14}  winner",
+        "problem", "IP cycles", "OP cycles", "Gust cycles"
+    );
+    for da in [0.02, 0.10, 0.30, 0.60] {
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let a = gen::random(128, 256, da, MajorOrder::Row, &mut rng);
+        let b = gen::random(256, 512, 0.30, MajorOrder::Row, &mut rng);
+        report_row(&accel, format!("A density {da:.2}"), &a, &b)?;
+    }
+
+    println!("\nSweep 3: structured sparsity (band vs blocks)");
+    println!(
+        "{:<24} {:>14} {:>14} {:>14}  winner",
+        "problem", "IP cycles", "OP cycles", "Gust cycles"
+    );
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let band = gen::banded(256, 4, 0.9, MajorOrder::Row, &mut rng);
+    let blocks = gen::block_sparse(256, 256, 16, 0.2, MajorOrder::Row, &mut rng);
+    let dense_b = gen::random(256, 256, 0.5, MajorOrder::Row, &mut rng);
+    report_row(&accel, "banded A".into(), &band, &dense_b)?;
+    report_row(&accel, "block-sparse A".into(), &blocks, &dense_b)?;
+    Ok(())
+}
+
+fn report_row(
+    accel: &Flexagon,
+    label: String,
+    a: &flexagon::sparse::CompressedMatrix,
+    b: &flexagon::sparse::CompressedMatrix,
+) -> Result<(), Box<dyn std::error::Error>> {
+    let mut cycles = Vec::new();
+    for df in Dataflow::M_STATIONARY {
+        cycles.push(accel.run(a, b, df)?.report.total_cycles);
+    }
+    let winner = match (0..3).min_by_key(|&i| cycles[i]).expect("three dataflows") {
+        0 => "Inner Product",
+        1 => "Outer Product",
+        _ => "Gustavson's",
+    };
+    println!(
+        "{:<24} {:>14} {:>14} {:>14}  {}",
+        label, cycles[0], cycles[1], cycles[2], winner
+    );
+    Ok(())
+}

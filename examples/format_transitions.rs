@@ -1,0 +1,98 @@
+//! Inter-layer dataflow chaining (paper §3.3, Fig. 8): execute a three-layer
+//! network where each layer uses a different dataflow, with every layer
+//! consuming the previous layer's output **in the format it was produced**
+//! — no explicit CSR/CSC conversion anywhere.
+//!
+//! Run with `cargo run --release --example format_transitions`.
+
+use flexagon::core::{transitions, Accelerator, Dataflow, Flexagon};
+use flexagon::sparse::{gen, reference, DenseMatrix, MajorOrder};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let accel = Flexagon::with_defaults();
+    let mut rng = ChaCha8Rng::seed_from_u64(8);
+
+    // The activations entering layer 1, and each layer's weights. Weights
+    // are prepared offline in whichever format the planned dataflow needs
+    // ("the weights are assumed to be stored offline in both formats").
+    let x0 = gen::random(96, 128, 0.4, MajorOrder::Row, &mut rng);
+    let w1 = gen::random(128, 160, 0.25, MajorOrder::Row, &mut rng);
+    let w2 = gen::random(160, 112, 0.25, MajorOrder::Row, &mut rng);
+    let w3 = gen::random(112, 80, 0.25, MajorOrder::Row, &mut rng);
+
+    // Fig. 8's plan: IP(N) -> OP(M) -> Gust(M). In our convention each
+    // layer computes activations x weights, so the chained operand is A.
+    let plan = [
+        Dataflow::InnerProductN,
+        Dataflow::OuterProductM,
+        Dataflow::GustavsonM,
+    ];
+    for pair in plan.windows(2) {
+        assert!(
+            transitions::is_free(pair[0], pair[1]),
+            "plan must be conversion-free"
+        );
+    }
+    println!("Plan: {} -> {} -> {} (all transitions free)\n", plan[0], plan[1], plan[2]);
+
+    // Layer 1: IP(N) wants A in CSR, B in CSC; outputs CSC.
+    let l1 = accel.run(&x0, &w1.converted(MajorOrder::Col), plan[0])?;
+    println!(
+        "layer 1 ({}): output {} [{}x{}], {} conversions during run",
+        plan[0],
+        l1.c.order().format_name(),
+        l1.c.rows(),
+        l1.c.cols(),
+        l1.report.explicit_conversions
+    );
+    assert_eq!(l1.report.explicit_conversions, 0);
+
+    // Layer 2 consumes layer 1's CSC output as its A operand: OP(M) wants
+    // exactly CSC, so no conversion happens.
+    let l2 = accel.run(&l1.c, &w2, plan[1])?;
+    println!(
+        "layer 2 ({}): output {} [{}x{}], {} conversions during run",
+        plan[1],
+        l2.c.order().format_name(),
+        l2.c.rows(),
+        l2.c.cols(),
+        l2.report.explicit_conversions
+    );
+    assert_eq!(l2.report.explicit_conversions, 0);
+
+    // Layer 3 consumes layer 2's CSR output: Gust(M) wants CSR. Free again.
+    let l3 = accel.run(&l2.c, &w3, plan[2])?;
+    println!(
+        "layer 3 ({}): output {} [{}x{}], {} conversions during run",
+        plan[2],
+        l3.c.order().format_name(),
+        l3.c.rows(),
+        l3.c.cols(),
+        l3.report.explicit_conversions
+    );
+    assert_eq!(l3.report.explicit_conversions, 0);
+
+    // Verify the whole chain functionally.
+    let want = {
+        let c1 = reference::spgemm(&x0, &w1)?;
+        let c2 = reference::spgemm(&c1, &w2)?;
+        reference::spgemm(&c2, &w3)?
+    };
+    assert!(
+        DenseMatrix::from_compressed(&l3.c).approx_eq(&DenseMatrix::from_compressed(&want), 1e-1),
+        "chained execution must equal the reference product chain"
+    );
+    println!("\nChain verified: 3 layers, 3 different dataflows, 0 format conversions.");
+
+    // Contrast: a plan that ignores Table 4 pays explicit conversions.
+    let bad = accel.run(&l1.c, &w2, Dataflow::GustavsonM)?; // wants CSR, gets CSC
+    println!(
+        "Counter-example: feeding a CSC output into Gustavson's(M) costs {} \
+         explicit conversion(s).",
+        bad.report.explicit_conversions
+    );
+    assert_eq!(bad.report.explicit_conversions, 1);
+    Ok(())
+}

@@ -1,0 +1,153 @@
+//! The paper's §3.2 walk-through: the example matrices of Figs. 5, 6 and 7
+//! executed on a 4-multiplier accelerator, exactly as the paper draws them.
+//!
+//! A is 2x4 with elements {A01, A10, A12, A13}; B is 4x3 with elements
+//! {B01, B02, B10, B12, B20, B30, B31, B32}; the product has the five
+//! outputs {C00, C02, C10, C11, C12} the figures show emerging from the
+//! tree.
+
+use flexagon::core::{Accelerator, AcceleratorConfig, Dataflow, Flexagon};
+use flexagon::sparse::{CompressedMatrix, MajorOrder};
+
+/// The A matrix of Fig. 2/5/6/7 with distinguishable values.
+fn paper_a() -> CompressedMatrix {
+    CompressedMatrix::from_triplets(
+        2,
+        4,
+        &[
+            (0, 1, 2.0), // A01
+            (1, 0, 3.0), // A10
+            (1, 2, 5.0), // A12
+            (1, 3, 7.0), // A13
+        ],
+        MajorOrder::Row,
+    )
+    .unwrap()
+}
+
+/// The B matrix of the walk-through.
+fn paper_b() -> CompressedMatrix {
+    CompressedMatrix::from_triplets(
+        4,
+        3,
+        &[
+            (0, 1, 1.0),  // B01
+            (0, 2, 2.0),  // B02
+            (1, 0, 3.0),  // B10
+            (1, 2, 4.0),  // B12
+            (2, 0, 5.0),  // B20
+            (3, 0, 6.0),  // B30
+            (3, 1, 7.0),  // B31
+            (3, 2, 8.0),  // B32
+        ],
+        MajorOrder::Row,
+    )
+    .unwrap()
+}
+
+/// A 4-multiplier accelerator like the paper's pedagogical examples.
+fn four_multiplier_accel() -> Flexagon {
+    let mut cfg = AcceleratorConfig::table5();
+    cfg.multipliers = 4;
+    cfg.dn_bandwidth = 4;
+    cfg.merge_bandwidth = 4;
+    Flexagon::new(cfg)
+}
+
+/// The expected product, by hand:
+///   C00 = A01*B10 = 6                  C02 = A01*B12 = 8
+///   C10 = A12*B20 + A13*B30 = 67       C11 = A10*B01 + A13*B31 = 52
+///   C12 = A10*B02 + A13*B32 = 62
+fn check_product(c: &CompressedMatrix) {
+    assert_eq!(c.get(0, 0), 6.0, "C00");
+    assert_eq!(c.get(0, 1), 0.0, "C01 is structurally zero");
+    assert_eq!(c.get(0, 2), 8.0, "C02");
+    assert_eq!(c.get(1, 0), 67.0, "C10");
+    assert_eq!(c.get(1, 1), 52.0, "C11");
+    assert_eq!(c.get(1, 2), 62.0, "C12");
+    assert_eq!(c.nnz(), 5, "the figures show exactly five outputs");
+}
+
+#[test]
+fn fig5_inner_product_walkthrough() {
+    let accel = four_multiplier_accel();
+    let out = accel.run(&paper_a(), &paper_b(), Dataflow::InnerProductM).unwrap();
+    check_product(&out.c);
+    let r = &out.report;
+    // All four A elements fit the 4-multiplier array: one stationary tile.
+    assert_eq!(r.tiles, 1);
+    // "This dataflow obtains the best performance [on this example]" —
+    // and produces no psums at all.
+    assert_eq!(r.traffic.psum_onchip_bytes, 0);
+    assert_eq!(r.phases.merge_cycles(), 0);
+    // 8 effectual products — the same multiplications every dataflow
+    // performs, discovered here through intersection.
+    assert_eq!(r.multiplications, 8);
+}
+
+#[test]
+fn fig6_outer_product_walkthrough() {
+    let accel = four_multiplier_accel();
+    let out = accel.run(&paper_a(), &paper_b(), Dataflow::OuterProductM).unwrap();
+    check_product(&out.c);
+    let r = &out.report;
+    assert_eq!(r.tiles, 1, "columns 0..3 of A fill the four multipliers");
+    // Each multiplier linearly combines its B row: A10 x row0 (2 elems),
+    // A01 x row1 (2), A12 x row2 (1), A13 x row3 (3) = 8 psums, exactly
+    // the eight '*C' elements Fig. 6 stores in the PSRAM.
+    assert_eq!(r.multiplications, 8);
+    assert_eq!(
+        r.traffic.psum_onchip_bytes,
+        (8 + 8) * 4,
+        "every psum written once and consumed once"
+    );
+    // The merging phase is where psums become the five outputs.
+    assert!(r.phases.merge_cycles() > 0);
+}
+
+#[test]
+fn fig7_gustavson_walkthrough() {
+    let accel = four_multiplier_accel();
+    let out = accel.run(&paper_a(), &paper_b(), Dataflow::GustavsonM).unwrap();
+    check_product(&out.c);
+    let r = &out.report;
+    // Fig. 7 maps row 0 (1 element) and row 1 (3 elements) spatially in
+    // one pass of the four multipliers.
+    assert_eq!(r.tiles, 1);
+    assert_eq!(r.multiplications, 8, "same 8 products as OP");
+    // "We can merge the psums immediately after their generation": both
+    // rows fit their clusters, so nothing ever reaches the PSRAM and no
+    // separate merging phase runs.
+    assert_eq!(r.traffic.psum_onchip_bytes, 0);
+    assert_eq!(r.phases.merge_cycles(), 0);
+}
+
+#[test]
+fn walkthrough_dataflow_costs_differ() {
+    // Even on the toy example the three dataflows charge different cycle
+    // counts — the observation motivating the whole design.
+    let accel = four_multiplier_accel();
+    let a = paper_a();
+    let b = paper_b();
+    let cycles: Vec<u64> = Dataflow::M_STATIONARY
+        .iter()
+        .map(|&df| accel.run(&a, &b, df).unwrap().report.total_cycles)
+        .collect();
+    assert!(cycles.iter().any(|&c| c != cycles[0]), "costs differ: {cycles:?}");
+}
+
+#[test]
+fn n_stationary_variants_on_walkthrough() {
+    let accel = four_multiplier_accel();
+    let a = paper_a();
+    let b = paper_b();
+    for df in [
+        Dataflow::InnerProductN,
+        Dataflow::OuterProductN,
+        Dataflow::GustavsonN,
+    ] {
+        let out = accel.run(&a, &b, df).unwrap();
+        check_product(&out.c);
+        assert_eq!(out.c.order(), MajorOrder::Col, "{df} outputs CSC");
+    }
+}

@@ -1,0 +1,118 @@
+//! Cross-crate property-based tests: for arbitrary sparse operands, every
+//! dataflow on every accelerator computes the exact product, and the
+//! system-level invariants hold.
+
+use flexagon::core::{Accelerator, AcceleratorConfig, Dataflow, Flexagon};
+use flexagon::sparse::{CompressedMatrix, DenseMatrix, Element, Fiber, MajorOrder};
+use proptest::prelude::*;
+
+/// Strategy: a small sparse matrix with arbitrary structure.
+fn sparse_matrix(
+    rows: std::ops::Range<u32>,
+    cols: std::ops::Range<u32>,
+) -> impl Strategy<Value = CompressedMatrix> {
+    (rows, cols).prop_flat_map(|(r, c)| {
+        let cells = (r * c) as usize;
+        // A BTreeMap guarantees unique cell positions.
+        proptest::collection::btree_map(0..cells, 0.5f32..1.5, 0..cells.min(120)).prop_map(
+            move |entries| {
+                let triplets: Vec<(u32, u32, f32)> = entries
+                    .into_iter()
+                    .map(|(p, v)| (p as u32 / c, p as u32 % c, v))
+                    .collect();
+                CompressedMatrix::from_triplets(r, c, &triplets, MajorOrder::Row)
+                    .expect("generated triplets are unique and in range")
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// All six dataflows on the tiny config equal the dense product.
+    #[test]
+    fn every_dataflow_computes_the_product(
+        a in sparse_matrix(1..12, 1..12),
+        bseed in 0u64..64,
+    ) {
+        let k = a.cols();
+        let mut rng = <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(bseed);
+        let b = flexagon::sparse::gen::random(k, 9, 0.4, MajorOrder::Row, &mut rng);
+        let want = DenseMatrix::from_compressed(&a)
+            .matmul(&DenseMatrix::from_compressed(&b))
+            .unwrap();
+        let accel = Flexagon::new(AcceleratorConfig::tiny());
+        for df in Dataflow::ALL {
+            let out = accel.run(&a, &b, df).unwrap();
+            prop_assert!(
+                DenseMatrix::from_compressed(&out.c).approx_eq(&want, 1e-2),
+                "{df} mismatch"
+            );
+        }
+    }
+
+    /// Cycles, traffic and work are invariant under transposition duality:
+    /// running df(N) on (A, B) costs exactly what df(M) costs on (Bᵀ, Aᵀ).
+    #[test]
+    fn n_stationary_duality(a in sparse_matrix(1..10, 1..10), bseed in 0u64..32) {
+        let k = a.cols();
+        let mut rng = <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(bseed);
+        let b = flexagon::sparse::gen::random(k, 7, 0.5, MajorOrder::Row, &mut rng);
+        let accel = Flexagon::new(AcceleratorConfig::tiny());
+        for (m_df, n_df) in [
+            (Dataflow::InnerProductM, Dataflow::InnerProductN),
+            (Dataflow::OuterProductM, Dataflow::OuterProductN),
+            (Dataflow::GustavsonM, Dataflow::GustavsonN),
+        ] {
+            let n_run = accel.run(&a, &b, n_df).unwrap();
+            let bt = b.converted(n_df.b_format()).reinterpret_transposed();
+            let at = a.converted(n_df.a_format()).reinterpret_transposed();
+            let m_run = accel.run(&bt, &at, m_df).unwrap();
+            prop_assert_eq!(n_run.report.total_cycles, m_run.report.total_cycles);
+            prop_assert_eq!(
+                n_run.report.traffic.onchip_total(),
+                m_run.report.traffic.onchip_total()
+            );
+        }
+    }
+
+    /// The output of any run is structurally valid and correctly shaped.
+    #[test]
+    fn outputs_are_well_formed(a in sparse_matrix(1..10, 1..10), bseed in 0u64..32) {
+        let k = a.cols();
+        let mut rng = <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(bseed);
+        let b = flexagon::sparse::gen::random(k, 6, 0.3, MajorOrder::Row, &mut rng);
+        let accel = Flexagon::new(AcceleratorConfig::tiny());
+        for df in Dataflow::ALL {
+            let out = accel.run(&a, &b, df).unwrap();
+            prop_assert!(out.c.validate().is_ok());
+            prop_assert_eq!(out.c.order(), df.c_format());
+            prop_assert_eq!(out.c.rows(), a.rows());
+            prop_assert_eq!(out.c.cols(), b.cols());
+            // Conservation: multiplications equal the work profile.
+            prop_assert_eq!(out.report.multiplications, out.report.work.products);
+        }
+    }
+
+    /// Fibers survive arbitrary merge splits: merging any partition of a
+    /// set of fibers accumulates to the same result.
+    #[test]
+    fn merge_is_partition_invariant(
+        coords in proptest::collection::btree_set(0u32..40, 1..25),
+        split in 1usize..5,
+    ) {
+        let elems: Vec<Element> =
+            coords.iter().map(|&c| Element::new(c, c as f32 + 0.5)).collect();
+        let whole = Fiber::from_sorted(elems.clone());
+        // Partition round-robin into `split` fibers.
+        let mut parts: Vec<Vec<Element>> = vec![Vec::new(); split];
+        for (i, e) in elems.iter().enumerate() {
+            parts[i % split].push(*e);
+        }
+        let fibers: Vec<Fiber> = parts.into_iter().map(Fiber::from_sorted).collect();
+        let views: Vec<_> = fibers.iter().map(Fiber::as_view).collect();
+        let (merged, _) = flexagon::sparse::merge::merge_accumulate(&views);
+        prop_assert_eq!(merged, whole);
+    }
+}

@@ -1,0 +1,60 @@
+//! Reports and configurations serialize to JSON — the interface downstream
+//! tooling (plotting scripts, regression dashboards) consumes.
+
+use flexagon::core::{Accelerator, AcceleratorConfig, Dataflow, Flexagon};
+use flexagon::sparse::{gen, MajorOrder};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn sample_report() -> flexagon::core::ExecutionReport {
+    let mut rng = ChaCha8Rng::seed_from_u64(2);
+    let a = gen::random(16, 16, 0.4, MajorOrder::Row, &mut rng);
+    let b = gen::random(16, 16, 0.4, MajorOrder::Row, &mut rng);
+    Flexagon::new(AcceleratorConfig::tiny())
+        .run(&a, &b, Dataflow::OuterProductM)
+        .unwrap()
+        .report
+}
+
+#[test]
+fn execution_report_serializes_to_json() {
+    let report = sample_report();
+    let json = serde_json::to_string_pretty(&report).expect("report serializes");
+    // The fields every consumer needs are present by name.
+    for field in [
+        "total_cycles",
+        "phases",
+        "traffic",
+        "dram_read_bytes",
+        "psum_onchip_bytes",
+        "multiplications",
+        "counters",
+    ] {
+        assert!(json.contains(field), "missing field {field} in:\n{json}");
+    }
+}
+
+#[test]
+fn accelerator_config_roundtrips_through_json() {
+    let cfg = AcceleratorConfig::table5();
+    let json = serde_json::to_string(&cfg).expect("config serializes");
+    let back: AcceleratorConfig = serde_json::from_str(&json).expect("config deserializes");
+    assert_eq!(cfg, back);
+}
+
+#[test]
+fn dataflow_serializes_as_identifier() {
+    let json = serde_json::to_string(&Dataflow::GustavsonM).unwrap();
+    assert_eq!(json, "\"GustavsonM\"");
+    let back: Dataflow = serde_json::from_str(&json).unwrap();
+    assert_eq!(back, Dataflow::GustavsonM);
+}
+
+#[test]
+fn compressed_matrix_roundtrips_through_json() {
+    let mut rng = ChaCha8Rng::seed_from_u64(3);
+    let m = gen::random(8, 9, 0.5, MajorOrder::Col, &mut rng);
+    let json = serde_json::to_string(&m).unwrap();
+    let back: flexagon::sparse::CompressedMatrix = serde_json::from_str(&json).unwrap();
+    assert_eq!(m, back);
+}
