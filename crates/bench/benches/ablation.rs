@@ -40,17 +40,13 @@ fn bench_psram_pressure(c: &mut Criterion) {
         let mut cfg = AcceleratorConfig::table5();
         cfg.memory.psram.capacity_bytes = kib << 10;
         let accel = Flexagon::new(cfg);
-        group.bench_with_input(
-            BenchmarkId::new("outer_product", kib),
-            &kib,
-            |bench, _| {
-                bench.iter(|| {
-                    accel
-                        .run(black_box(&a), black_box(&b), Dataflow::OuterProductM)
-                        .unwrap()
-                });
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("outer_product", kib), &kib, |bench, _| {
+            bench.iter(|| {
+                accel
+                    .run(black_box(&a), black_box(&b), Dataflow::OuterProductM)
+                    .unwrap()
+            });
+        });
     }
     group.finish();
 }

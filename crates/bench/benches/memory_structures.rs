@@ -40,8 +40,7 @@ fn bench_psram(c: &mut Criterion) {
             let mut dram = Dram::with_defaults();
             for row in 0..16u32 {
                 for k in 0..4u32 {
-                    let elems: Vec<Element> =
-                        (0..256).map(|i| Element::new(i, 1.0)).collect();
+                    let elems: Vec<Element> = (0..256).map(|i| Element::new(i, 1.0)).collect();
                     psram.partial_write_fiber(row, k, &elems, &mut dram);
                 }
             }

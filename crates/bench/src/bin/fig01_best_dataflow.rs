@@ -22,7 +22,11 @@ fn main() {
     for model in suite() {
         eprintln!("running {} ({} layers)...", model.name, model.layers.len());
         let results = run_model(&model, DEFAULT_SEED, false);
-        let shown = if model.short == "MB" { 60 } else { results.winners.len() };
+        let shown = if model.short == "MB" {
+            60
+        } else {
+            results.winners.len()
+        };
         let series: Vec<&str> = results.winners[..shown].iter().map(|&d| tag(d)).collect();
         println!("{:<4} {}", model.short, series.join(" "));
         let mut counts = [0usize; 3];

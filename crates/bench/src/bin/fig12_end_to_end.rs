@@ -37,7 +37,14 @@ fn main() {
     println!(
         "{}",
         table(
-            &["model", "CPU MKL", "SIGMA-like", "Sparch-like", "GAMMA-like", "Flexagon"],
+            &[
+                "model",
+                "CPU MKL",
+                "SIGMA-like",
+                "Sparch-like",
+                "GAMMA-like",
+                "Flexagon"
+            ],
             &rows
         )
     );

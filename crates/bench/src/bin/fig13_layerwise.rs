@@ -44,7 +44,14 @@ fn main() {
     println!(
         "{}",
         table(
-            &["layer", "SIGMA-like", "Sparch-like", "GAMMA-like", "Flexagon", "best dataflow"],
+            &[
+                "layer",
+                "SIGMA-like",
+                "Sparch-like",
+                "GAMMA-like",
+                "Flexagon",
+                "best dataflow"
+            ],
             &rows
         )
     );

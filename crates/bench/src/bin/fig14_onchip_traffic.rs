@@ -33,7 +33,14 @@ fn main() {
     println!(
         "{}",
         table(
-            &["layer", "system", "STA (MiB)", "STR (MiB)", "psums (MiB)", "total"],
+            &[
+                "layer",
+                "system",
+                "STA (MiB)",
+                "STR (MiB)",
+                "psums (MiB)",
+                "total"
+            ],
             &rows
         )
     );

@@ -27,7 +27,13 @@ fn main() {
     println!(
         "{}",
         table(
-            &["layer", "SIGMA-like", "Sparch-like", "GAMMA-like", "Flexagon"],
+            &[
+                "layer",
+                "SIGMA-like",
+                "Sparch-like",
+                "GAMMA-like",
+                "Flexagon"
+            ],
             &rows
         )
     );

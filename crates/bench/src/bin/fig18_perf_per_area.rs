@@ -49,7 +49,13 @@ fn main() {
     println!(
         "{}",
         table(
-            &["model", "SIGMA-like", "Sparch-like", "GAMMA-like", "Flexagon"],
+            &[
+                "model",
+                "SIGMA-like",
+                "Sparch-like",
+                "GAMMA-like",
+                "Flexagon"
+            ],
             &rows
         )
     );
@@ -89,7 +95,13 @@ fn main() {
     println!(
         "{}",
         table(
-            &["layer", "SIGMA-like", "Sparch-like", "GAMMA-like", "Flexagon"],
+            &[
+                "layer",
+                "SIGMA-like",
+                "Sparch-like",
+                "GAMMA-like",
+                "Flexagon"
+            ],
             &rows
         )
     );

@@ -27,9 +27,13 @@ fn main() {
     let mut combined = String::new();
     for bin in BINS {
         eprintln!("==> {bin}");
-        let out = Command::new(std::env::current_exe().expect("self path").with_file_name(bin))
-            .output()
-            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        let out = Command::new(
+            std::env::current_exe()
+                .expect("self path")
+                .with_file_name(bin),
+        )
+        .output()
+        .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
         assert!(
             out.status.success(),
             "{bin} failed:\n{}",

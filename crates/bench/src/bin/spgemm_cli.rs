@@ -38,7 +38,8 @@ fn load_mtx(path: &str) -> CompressedMatrix {
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let usage = "usage: spgemm_cli mtx <a.mtx> <b.mtx> [dataflow] | rmat <scale> <edges> [dataflow]";
+    let usage =
+        "usage: spgemm_cli mtx <a.mtx> <b.mtx> [dataflow] | rmat <scale> <edges> [dataflow]";
     let (a, b, df_arg) = match args.first().map(String::as_str) {
         Some("mtx") => {
             let a = load_mtx(args.get(1).expect(usage));
@@ -51,7 +52,13 @@ fn main() {
             let mut rng = ChaCha8Rng::seed_from_u64(1);
             // Squaring an R-MAT graph: the canonical SpGEMM graph kernel
             // (two-hop neighbourhoods).
-            let g = gen::rmat(scale, edges, (0.57, 0.19, 0.19, 0.05), MajorOrder::Row, &mut rng);
+            let g = gen::rmat(
+                scale,
+                edges,
+                (0.57, 0.19, 0.19, 0.05),
+                MajorOrder::Row,
+                &mut rng,
+            );
             (g.clone(), g, args.get(3).cloned())
         }
         _ => {
@@ -86,15 +93,30 @@ fn main() {
     let r = &out.report;
     println!("\n== report ({df}) ==");
     println!("cycles            {:>14}", r.total_cycles);
-    println!("  stationary      {:>14}", r.phases.of(flexagon_sim::Phase::Stationary));
-    println!("  streaming       {:>14}", r.phases.of(flexagon_sim::Phase::Streaming));
-    println!("  merging         {:>14}", r.phases.of(flexagon_sim::Phase::Merging));
+    println!(
+        "  stationary      {:>14}",
+        r.phases.of(flexagon_sim::Phase::Stationary)
+    );
+    println!(
+        "  streaming       {:>14}",
+        r.phases.of(flexagon_sim::Phase::Streaming)
+    );
+    println!(
+        "  merging         {:>14}",
+        r.phases.of(flexagon_sim::Phase::Merging)
+    );
     println!("tiles             {:>14}", r.tiles);
     println!("multiplications   {:>14}", r.multiplications);
     println!("output nnz        {:>14}", out.c.nnz());
     println!("cache miss rate   {:>13.2}%", 100.0 * r.cache.miss_rate());
-    println!("on-chip traffic   {:>11.2} MiB", r.onchip_bytes() as f64 / (1 << 20) as f64);
-    println!("off-chip traffic  {:>11.2} MiB", r.offchip_bytes() as f64 / (1 << 20) as f64);
+    println!(
+        "on-chip traffic   {:>11.2} MiB",
+        r.onchip_bytes() as f64 / (1 << 20) as f64
+    );
+    println!(
+        "off-chip traffic  {:>11.2} MiB",
+        r.offchip_bytes() as f64 / (1 << 20) as f64
+    );
     let e = energy_of(r, &EnergyParams::default());
     println!("energy            {:>11.2} uJ", e.total_uj());
     println!("  on-chip share   {:>13.1}%", 100.0 * e.onchip_fraction());

@@ -18,7 +18,11 @@ fn main() {
         let mut cpu_cycles = 0u64;
         for layer in &model.layers {
             let mats = layer.materialize(DEFAULT_SEED);
-            cpu_cycles += cpu.run(&mats.a, &mats.b).expect("cpu run").report.total_cycles;
+            cpu_cycles += cpu
+                .run(&mats.a, &mats.b)
+                .expect("cpu run")
+                .report
+                .total_cycles;
         }
         rows.push(vec![
             format!("{} ({})", model.name, model.short),
@@ -39,8 +43,18 @@ fn main() {
         "{}",
         table(
             &[
-                "DNN", "Appl", "nl", "AvSpA", "AvSpB", "AvCsA", "AvCsB", "MinCsA",
-                "MinCsB", "MaxCsA", "MaxCsB", "CPU Mcycles"
+                "DNN",
+                "Appl",
+                "nl",
+                "AvSpA",
+                "AvSpB",
+                "AvCsA",
+                "AvCsB",
+                "MinCsA",
+                "MinCsB",
+                "MaxCsA",
+                "MaxCsB",
+                "CPU Mcycles"
             ],
             &rows
         )

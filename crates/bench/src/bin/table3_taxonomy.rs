@@ -24,7 +24,15 @@ fn main() {
     println!(
         "{}",
         table(
-            &["Dataflow", "Informal Name", "A", "B", "C", "Intersection", "Merging"],
+            &[
+                "Dataflow",
+                "Informal Name",
+                "A",
+                "B",
+                "C",
+                "Intersection",
+                "Merging"
+            ],
             &rows
         )
     );
@@ -34,13 +42,19 @@ fn main() {
     let rows = vec![
         vec!["Number of Multipliers".into(), cfg.multipliers.to_string()],
         vec!["Number of Adders".into(), cfg.adders().to_string()],
-        vec!["Distribution bandwidth".into(), format!("{} elems/cycle", cfg.dn_bandwidth)],
+        vec![
+            "Distribution bandwidth".into(),
+            format!("{} elems/cycle", cfg.dn_bandwidth),
+        ],
         vec![
             "Reduction/Merging bandwidth".into(),
             format!("{} elems/cycle", cfg.merge_bandwidth),
         ],
         vec!["Total Word Size".into(), "32 bits".into()],
-        vec!["L1 Access Latency".into(), format!("{} cycle", cfg.l1_latency)],
+        vec![
+            "L1 Access Latency".into(),
+            format!("{} cycle", cfg.l1_latency),
+        ],
         vec![
             "L1 STA FIFO Size".into(),
             format!("{} bytes", cfg.memory.fifo.capacity_bytes),
@@ -61,7 +75,10 @@ fn main() {
             "L1 STR Cache Number of Banks".into(),
             cfg.memory.cache.banks.to_string(),
         ],
-        vec!["PSRAM".into(), format!("{} KiB", cfg.memory.psram.capacity_bytes >> 10)],
+        vec![
+            "PSRAM".into(),
+            format!("{} KiB", cfg.memory.psram.capacity_bytes >> 10),
+        ],
         vec![
             "DRAM access time / Bandwidth".into(),
             format!(

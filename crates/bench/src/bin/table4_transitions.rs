@@ -33,7 +33,11 @@ fn main() {
             "  {} -> {}: {}",
             pair[0],
             pair[1],
-            if transitions::is_free(pair[0], pair[1]) { "free" } else { "EC" }
+            if transitions::is_free(pair[0], pair[1]) {
+                "free"
+            } else {
+                "EC"
+            }
         );
     }
 }

@@ -33,12 +33,18 @@ fn main() {
     println!("Area results:");
     println!(
         "{}",
-        table(&["design", "DN", "MN", "RN", "Cache", "PSRAM", "Total"], &area_rows)
+        table(
+            &["design", "DN", "MN", "RN", "Cache", "PSRAM", "Total"],
+            &area_rows
+        )
     );
     println!("Power results:");
     println!(
         "{}",
-        table(&["design", "DN", "MN", "RN", "Cache", "PSRAM", "Total"], &power_rows)
+        table(
+            &["design", "DN", "MN", "RN", "Cache", "PSRAM", "Total"],
+            &power_rows
+        )
     );
     println!(
         "Paper totals — area: 4.21 / 5.14 / 4.62 / 5.28 mm²; \

@@ -11,6 +11,4 @@
 pub mod render;
 pub mod runner;
 
-pub use runner::{
-    run_layer, run_model, LayerResults, ModelResults, SystemId, DEFAULT_SEED,
-};
+pub use runner::{run_layer, run_model, LayerResults, ModelResults, SystemId, DEFAULT_SEED};

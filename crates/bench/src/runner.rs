@@ -150,7 +150,10 @@ pub struct ModelResults {
 impl ModelResults {
     /// Total cycles for one system.
     pub fn cycles(&self, system: SystemId) -> u64 {
-        let idx = SystemId::ALL.iter().position(|&s| s == system).expect("system in ALL");
+        let idx = SystemId::ALL
+            .iter()
+            .position(|&s| s == system)
+            .expect("system in ALL");
         self.total_cycles[idx]
     }
 

@@ -66,11 +66,7 @@ pub trait Accelerator {
     /// # Errors
     ///
     /// Propagates the first execution error encountered.
-    fn run_best(
-        &self,
-        a: &CompressedMatrix,
-        b: &CompressedMatrix,
-    ) -> Result<RunOutput> {
+    fn run_best(&self, a: &CompressedMatrix, b: &CompressedMatrix) -> Result<RunOutput> {
         let mut best: Option<RunOutput> = None;
         for &df in self.supported_dataflows() {
             let out = self.run(a, b, df)?;
@@ -185,11 +181,7 @@ impl Flexagon {
     /// # Errors
     ///
     /// Propagates engine errors.
-    pub fn run_mapped(
-        &self,
-        a: &CompressedMatrix,
-        b: &CompressedMatrix,
-    ) -> Result<RunOutput> {
+    pub fn run_mapped(&self, a: &CompressedMatrix, b: &CompressedMatrix) -> Result<RunOutput> {
         let df = crate::mapper::heuristic(&self.cfg, a, b);
         self.run(a, b, df)
     }

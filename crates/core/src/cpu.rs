@@ -31,7 +31,10 @@ pub struct CpuConfig {
 
 impl Default for CpuConfig {
     fn default() -> Self {
-        Self { cycles_per_product: 4.0, cycles_per_element: 2.0 }
+        Self {
+            cycles_per_product: 4.0,
+            cycles_per_element: 2.0,
+        }
     }
 }
 
@@ -121,22 +124,45 @@ mod tests {
     #[test]
     fn cycles_scale_with_work() {
         let cpu = CpuMkl::with_defaults();
-        let small = SpGemmWork { products: 100, nnz_a: 10, nnz_b: 10, effectual_k: 5 };
-        let large = SpGemmWork { products: 10_000, nnz_a: 10, nnz_b: 10, effectual_k: 5 };
+        let small = SpGemmWork {
+            products: 100,
+            nnz_a: 10,
+            nnz_b: 10,
+            effectual_k: 5,
+        };
+        let large = SpGemmWork {
+            products: 10_000,
+            nnz_a: 10,
+            nnz_b: 10,
+            effectual_k: 5,
+        };
         assert!(cpu.estimate_cycles(&large, 100) > cpu.estimate_cycles(&small, 100));
     }
 
     #[test]
     fn empty_product_costs_nothing_but_elements() {
         let cpu = CpuMkl::with_defaults();
-        let w = SpGemmWork { products: 0, nnz_a: 0, nnz_b: 0, effectual_k: 0 };
+        let w = SpGemmWork {
+            products: 0,
+            nnz_a: 0,
+            nnz_b: 0,
+            effectual_k: 0,
+        };
         assert_eq!(cpu.estimate_cycles(&w, 0), 0);
     }
 
     #[test]
     fn config_is_tunable() {
-        let cpu = CpuMkl::new(CpuConfig { cycles_per_product: 10.0, cycles_per_element: 0.0 });
-        let w = SpGemmWork { products: 7, nnz_a: 0, nnz_b: 0, effectual_k: 1 };
+        let cpu = CpuMkl::new(CpuConfig {
+            cycles_per_product: 10.0,
+            cycles_per_element: 0.0,
+        });
+        let w = SpGemmWork {
+            products: 7,
+            nnz_a: 0,
+            nnz_b: 0,
+            effectual_k: 1,
+        };
         assert_eq!(cpu.estimate_cycles(&w, 0), 70);
     }
 }

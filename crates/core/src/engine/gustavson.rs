@@ -51,12 +51,8 @@ pub(super) fn run(e: &mut Engine<'_>) {
                 e.emit_row(cl.row, out.fiber);
             } else {
                 // Partial fiber: buffer under the chunk index as its tag.
-                e.psram.partial_write_fiber(
-                    cl.row,
-                    cl.chunk,
-                    out.fiber.elements(),
-                    &mut e.dram,
-                );
+                e.psram
+                    .partial_write_fiber(cl.row, cl.chunk, out.fiber.elements(), &mut e.dram);
                 if cl.is_last_chunk() {
                     rows_completed.push(cl.row);
                 }
@@ -71,8 +67,7 @@ pub(super) fn run(e: &mut Engine<'_>) {
         // access pattern" (§3.4) the STR cache is provisioned for, and what
         // degrades the GAMMA-like design when B outgrows the cache (Fig. 13).
         let dram_cfg = e.cfg.memory.dram;
-        let gather_stall =
-            miss_lines.div_ceil(dram_cfg.max_outstanding) * dram_cfg.latency_cycles;
+        let gather_stall = miss_lines.div_ceil(dram_cfg.max_outstanding) * dram_cfg.latency_cycles;
         e.counters.add("gust.gather_stall_cycles", gather_stall);
         // Multiplication and in-cluster merging overlap: the tile is bound
         // by the slowest of delivery, multiply throughput and merge

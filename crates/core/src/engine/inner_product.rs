@@ -92,11 +92,7 @@ pub(super) fn run(e: &mut Engine<'_>) {
                     e.out_fibers[cl.row as usize].push(Element::new(n, value));
                     final_elems += 1;
                 } else {
-                    *split_acc
-                        .entry(cl.row)
-                        .or_default()
-                        .entry(n)
-                        .or_insert(0.0) += value;
+                    *split_acc.entry(cl.row).or_default().entry(n).or_insert(0.0) += value;
                 }
                 acc[ci as usize] = 0.0;
                 hit[ci as usize] = false;

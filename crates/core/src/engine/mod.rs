@@ -13,20 +13,15 @@ mod outer_product;
 pub(crate) mod tiling;
 
 use crate::{
-    AcceleratorConfig, CoreError, Dataflow, DataflowClass, ExecutionReport, Result,
-    Stationarity, TrafficReport,
+    AcceleratorConfig, CoreError, Dataflow, DataflowClass, ExecutionReport, Result, Stationarity,
+    TrafficReport,
 };
 use flexagon_mem::{Dram, Psram, StaFifo, StrCache, WriteBuffer};
 use flexagon_noc::{
-    DistributionNetwork, DnConfig, MergerReductionNetwork, MnConfig, MrnConfig,
-    MultiplierNetwork,
+    DistributionNetwork, DnConfig, MergerReductionNetwork, MnConfig, MrnConfig, MultiplierNetwork,
 };
-use flexagon_sim::{
-    bottleneck, cycles_for, Bandwidth, CounterSet, Cycle, Phase, PhaseClock,
-};
-use flexagon_sparse::{
-    stats::SpGemmWork, CompressedMatrix, Fiber, FormatError, MajorOrder,
-};
+use flexagon_sim::{bottleneck, cycles_for, Bandwidth, CounterSet, Cycle, Phase, PhaseClock};
+use flexagon_sparse::{stats::SpGemmWork, CompressedMatrix, Fiber, FormatError, MajorOrder};
 
 /// Runs `a x b` under `dataflow` on the given configuration, returning the
 /// output matrix (in the dataflow's natural format) and the report.
@@ -143,7 +138,9 @@ impl<'a> Engine<'a> {
                 width: cfg.multipliers,
                 bandwidth: Bandwidth::per_cycle(cfg.dn_bandwidth),
             }),
-            mn: MultiplierNetwork::new(MnConfig { multipliers: cfg.multipliers }),
+            mn: MultiplierNetwork::new(MnConfig {
+                multipliers: cfg.multipliers,
+            }),
             mrn: MergerReductionNetwork::new(MrnConfig {
                 leaves: cfg.multipliers,
                 bandwidth: Bandwidth::per_cycle(cfg.merge_bandwidth),
@@ -180,7 +177,8 @@ impl<'a> Engine<'a> {
     /// memory either hides behind compute or becomes the bottleneck.
     pub(crate) fn advance_with_dram(&mut self, phase: Phase, compute: Cycle) {
         let dram_busy = self.dram.take_busy_cycles();
-        self.phases.advance(phase, bottleneck(&[compute, dram_busy]));
+        self.phases
+            .advance(phase, bottleneck(&[compute, dram_busy]));
     }
 
     /// Merges every psum fiber currently buffered for `row` (plus
@@ -188,17 +186,11 @@ impl<'a> Engine<'a> {
     /// MRN passes as the tree radix requires. Intermediate pass results are
     /// buffered in the PSRAM (charged as psum traffic). Returns the merged
     /// fiber and the cycles spent.
-    pub(crate) fn merge_row_fibers(
-        &mut self,
-        row: u32,
-        extra: Vec<Fiber>,
-    ) -> (Fiber, Cycle) {
+    pub(crate) fn merge_row_fibers(&mut self, row: u32, extra: Vec<Fiber>) -> (Fiber, Cycle) {
         let tags = self.psram.fiber_tags_of_row(row);
         let mut queue: std::collections::VecDeque<Fiber> = tags
             .into_iter()
-            .map(|k| {
-                Fiber::from_sorted(self.psram.consume_fiber(row, k, &mut self.dram))
-            })
+            .map(|k| Fiber::from_sorted(self.psram.consume_fiber(row, k, &mut self.dram)))
             .chain(extra)
             .filter(|f| !f.is_empty())
             .collect();
@@ -247,14 +239,19 @@ impl<'a> Engine<'a> {
         self.counters.add("dn.unicasts", uni);
         self.counters.add("dn.multicasts", multi);
         self.counters.add("dn.broadcasts", broad);
-        self.counters.add("dn.injected", self.dn.injected_elements());
-        self.counters.add("dn.delivered", self.dn.delivered_elements());
+        self.counters
+            .add("dn.injected", self.dn.injected_elements());
+        self.counters
+            .add("dn.delivered", self.dn.delivered_elements());
         self.counters.add("mrn.additions", self.mrn.additions());
         self.counters.add("mrn.comparisons", self.mrn.comparisons());
         self.counters.add("mn.forwards", self.mn.forwards());
+        self.counters.add(
+            "psram.spilled_elements",
+            self.psram.usage().spilled_elements,
+        );
         self.counters
-            .add("psram.spilled_elements", self.psram.usage().spilled_elements);
-        self.counters.add("wbuf.elements", self.wbuf.written_elements());
+            .add("wbuf.elements", self.wbuf.written_elements());
         let report = ExecutionReport {
             dataflow,
             total_cycles: self.phases.total(),

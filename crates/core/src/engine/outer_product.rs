@@ -74,7 +74,8 @@ pub(super) fn run(e: &mut Engine<'_>) {
                     for p in &parts {
                         e.dram.read(p.len() as u64 * flexagon_sparse::ELEMENT_BYTES);
                     }
-                    e.counters.add("op.partial_fibers_reloaded", parts.len() as u64);
+                    e.counters
+                        .add("op.partial_fibers_reloaded", parts.len() as u64);
                     let mut extra = parts;
                     extra.push(fiber);
                     let (merged, cycles) = e.merge_row_fibers(row, extra);

@@ -150,7 +150,10 @@ pub(crate) fn tile_cols(a_csc: &CompressedMatrix, slots: u32) -> Vec<ColTile> {
             }
             match current.groups.last_mut() {
                 Some(g) if g.k == k => g.targets.push((e.coord, e.value)),
-                _ => current.groups.push(KGroup { k, targets: vec![(e.coord, e.value)] }),
+                _ => current.groups.push(KGroup {
+                    k,
+                    targets: vec![(e.coord, e.value)],
+                }),
             }
             used += 1;
         }
@@ -169,7 +172,13 @@ mod tests {
     use rand_chacha::ChaCha8Rng;
 
     fn csr(m: u32, k: u32, d: f64, seed: u64) -> CompressedMatrix {
-        gen::random(m, k, d, MajorOrder::Row, &mut ChaCha8Rng::seed_from_u64(seed))
+        gen::random(
+            m,
+            k,
+            d,
+            MajorOrder::Row,
+            &mut ChaCha8Rng::seed_from_u64(seed),
+        )
     }
 
     #[test]
@@ -206,13 +215,8 @@ mod tests {
 
     #[test]
     fn tile_rows_skips_empty_rows() {
-        let a = CompressedMatrix::from_triplets(
-            4,
-            4,
-            &[(0, 0, 1.0), (3, 1, 1.0)],
-            MajorOrder::Row,
-        )
-        .unwrap();
+        let a = CompressedMatrix::from_triplets(4, 4, &[(0, 0, 1.0), (3, 1, 1.0)], MajorOrder::Row)
+            .unwrap();
         let tiles = tile_rows(&a, 8);
         assert_eq!(tiles.len(), 1);
         let rows: Vec<u32> = tiles[0].clusters.iter().map(|c| c.row).collect();

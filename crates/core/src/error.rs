@@ -23,7 +23,10 @@ impl std::fmt::Display for CoreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::Format(e) => write!(f, "{e}"),
-            Self::UnsupportedDataflow { accelerator, dataflow } => {
+            Self::UnsupportedDataflow {
+                accelerator,
+                dataflow,
+            } => {
                 write!(f, "accelerator {accelerator} does not support {dataflow}")
             }
         }
@@ -59,7 +62,11 @@ mod tests {
         assert!(format!("{e}").contains("SIGMA-like"));
         assert!(e.source().is_none());
 
-        let f: CoreError = FormatError::DimensionMismatch { left_cols: 2, right_rows: 3 }.into();
+        let f: CoreError = FormatError::DimensionMismatch {
+            left_cols: 2,
+            right_rows: 3,
+        }
+        .into();
         assert!(f.source().is_some());
     }
 

@@ -29,8 +29,8 @@ mod cpu;
 mod dataflow;
 mod engine;
 mod error;
-mod report;
 pub mod mapper;
+mod report;
 pub mod transitions;
 
 pub use accel::{Accelerator, Flexagon, GammaLike, RunOutput, SigmaLike, SparchLike};

@@ -102,7 +102,11 @@ impl CostEstimates {
         };
         let gustavson = gust_onchip.max(fetch_bytes / dram_bpc);
 
-        Self { inner_product, outer_product, gustavson }
+        Self {
+            inner_product,
+            outer_product,
+            gustavson,
+        }
     }
 
     /// The M-stationary dataflow with the lowest estimate (ties resolved in
@@ -121,11 +125,7 @@ impl CostEstimates {
 
 /// Heuristic mapper: picks a dataflow from matrix features alone, without
 /// running the simulator.
-pub fn heuristic(
-    cfg: &AcceleratorConfig,
-    a: &CompressedMatrix,
-    b: &CompressedMatrix,
-) -> Dataflow {
+pub fn heuristic(cfg: &AcceleratorConfig, a: &CompressedMatrix, b: &CompressedMatrix) -> Dataflow {
     CostEstimates::of(cfg, a, b).best()
 }
 
@@ -172,7 +172,12 @@ pub fn plan_model(
 ) -> Vec<Dataflow> {
     let preferences: Vec<Vec<Dataflow>> = layers
         .iter()
-        .map(|(a, b)| ranked_dataflows(cfg, a, b).into_iter().map(|(d, _)| d).collect())
+        .map(|(a, b)| {
+            ranked_dataflows(cfg, a, b)
+                .into_iter()
+                .map(|(d, _)| d)
+                .collect()
+        })
         .collect();
     crate::transitions::plan_chain(&preferences).unwrap_or_else(|| {
         preferences
@@ -237,7 +242,11 @@ mod tests {
 
     #[test]
     fn best_breaks_ties_in_declared_order() {
-        let est = CostEstimates { inner_product: 5, outer_product: 5, gustavson: 5 };
+        let est = CostEstimates {
+            inner_product: 5,
+            outer_product: 5,
+            gustavson: 5,
+        };
         assert_eq!(est.best(), Dataflow::InnerProductM);
     }
 
@@ -252,7 +261,10 @@ mod tests {
         seen.sort_by_key(|d| d.loop_order());
         seen.dedup();
         assert_eq!(seen.len(), 6, "all variants ranked exactly once");
-        assert!(ranked.windows(2).all(|w| w[0].1 <= w[1].1), "sorted by cost");
+        assert!(
+            ranked.windows(2).all(|w| w[0].1 <= w[1].1),
+            "sorted by cost"
+        );
     }
 
     #[test]

@@ -83,7 +83,11 @@ impl ExecutionReport {
     /// cycles`); >1 means this run is faster.
     pub fn speedup_over(&self, other: &ExecutionReport) -> f64 {
         if self.total_cycles == 0 {
-            return if other.total_cycles == 0 { 1.0 } else { f64::INFINITY };
+            return if other.total_cycles == 0 {
+                1.0
+            } else {
+                f64::INFINITY
+            };
         }
         other.total_cycles as f64 / self.total_cycles as f64
     }
@@ -110,8 +114,10 @@ impl ExecutionReport {
         self.explicit_conversions += other.explicit_conversions;
         self.counters.merge(&other.counters);
         self.psram.spilled_elements += other.psram.spilled_elements;
-        self.psram.high_water_blocks =
-            self.psram.high_water_blocks.max(other.psram.high_water_blocks);
+        self.psram.high_water_blocks = self
+            .psram
+            .high_water_blocks
+            .max(other.psram.high_water_blocks);
     }
 }
 
@@ -127,7 +133,12 @@ mod tests {
             traffic: TrafficReport::default(),
             cache: Ratio::new(),
             psram: PsramUsage::default(),
-            work: SpGemmWork { products: 0, nnz_a: 0, nnz_b: 0, effectual_k: 0 },
+            work: SpGemmWork {
+                products: 0,
+                nnz_a: 0,
+                nnz_b: 0,
+                effectual_k: 0,
+            },
             tiles: 0,
             multiplications: 0,
             explicit_conversions: 0,

@@ -91,12 +91,12 @@ mod tests {
     /// = no explicit conversion required (the paper's green tick).
     const TABLE4: [[bool; 6]; 6] = [
         // IP(M)   OP(M)  Gust(M) IP(N)  OP(N)  Gust(N)
-        [true, false, true, true, false, false],  // from IP(M)
-        [true, false, true, true, false, false],  // from OP(M)
-        [true, false, true, true, false, false],  // from Gust(M)
-        [false, true, false, false, true, true],  // from IP(N)
-        [false, true, false, false, true, true],  // from OP(N)
-        [false, true, false, false, true, true],  // from Gust(N)
+        [true, false, true, true, false, false], // from IP(M)
+        [true, false, true, true, false, false], // from OP(M)
+        [true, false, true, true, false, false], // from Gust(M)
+        [false, true, false, false, true, true], // from IP(N)
+        [false, true, false, false, true, true], // from OP(N)
+        [false, true, false, false, true, true], // from Gust(N)
     ];
 
     #[test]
@@ -152,7 +152,10 @@ mod tests {
             vec![D::GustavsonM, D::GustavsonN],
         ];
         let plan = plan_chain(&preferred).expect("a free chain exists");
-        assert_eq!(plan, vec![D::InnerProductN, D::OuterProductM, D::GustavsonM]);
+        assert_eq!(
+            plan,
+            vec![D::InnerProductN, D::OuterProductM, D::GustavsonM]
+        );
     }
 
     #[test]

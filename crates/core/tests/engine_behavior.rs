@@ -6,7 +6,14 @@ use flexagon_sparse::{gen, CompressedMatrix, MajorOrder, ELEMENT_BYTES};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
-fn pair(m: u32, k: u32, n: u32, da: f64, db: f64, seed: u64) -> (CompressedMatrix, CompressedMatrix) {
+fn pair(
+    m: u32,
+    k: u32,
+    n: u32,
+    da: f64,
+    db: f64,
+    seed: u64,
+) -> (CompressedMatrix, CompressedMatrix) {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     (
         gen::random(m, k, da, MajorOrder::Row, &mut rng),
@@ -33,7 +40,10 @@ fn inner_product_streams_b_once_per_tile() {
     let out = accel.run(&a, &b, Dataflow::InnerProductM).unwrap();
     let expected = out.report.tiles * b.nnz() as u64 * ELEMENT_BYTES;
     assert_eq!(out.report.traffic.str_onchip_bytes, expected);
-    assert!(out.report.tiles > 1, "tiny config must force multiple tiles");
+    assert!(
+        out.report.tiles > 1,
+        "tiny config must force multiple tiles"
+    );
 }
 
 #[test]
@@ -84,16 +94,14 @@ fn ip_traffic_grows_with_stationary_tiles_gust_does_not() {
     let ip_small = accel.run(&a_small, &b, Dataflow::InnerProductM).unwrap();
     let ip_big = accel.run(&a_big, &b, Dataflow::InnerProductM).unwrap();
     assert!(ip_big.report.tiles > ip_small.report.tiles);
-    assert!(
-        ip_big.report.traffic.str_onchip_bytes > ip_small.report.traffic.str_onchip_bytes
-    );
+    assert!(ip_big.report.traffic.str_onchip_bytes > ip_small.report.traffic.str_onchip_bytes);
 }
 
 #[test]
 fn small_b_hits_cache_large_b_misses() {
     // Fig. 15's story: GAMMA-like thrashes when B's rows do not fit.
     let accel = Flexagon::new(AcceleratorConfig::tiny()); // 512-byte cache
-    // Small B: 32 elements = 128 bytes, fits.
+                                                          // Small B: 32 elements = 128 bytes, fits.
     let (a1, b_small) = pair(30, 16, 8, 0.5, 0.25, 8);
     let small = accel.run(&a1, &b_small, Dataflow::GustavsonM).unwrap();
     // Large B: ~2000 elements = 8 KiB >> 512 B.
@@ -187,8 +195,7 @@ fn psram_spills_surface_in_offchip_traffic() {
     let out = accel.run(&a, &b, Dataflow::OuterProductM).unwrap();
     assert!(out.report.psram.spilled_elements > 0, "must spill");
     assert!(
-        out.report.traffic.dram_write_bytes
-            > out.c.nnz() as u64 * ELEMENT_BYTES,
+        out.report.traffic.dram_write_bytes > out.c.nnz() as u64 * ELEMENT_BYTES,
         "spill writes exceed the plain output traffic"
     );
 }

@@ -2,8 +2,7 @@
 //! accelerator, must produce exactly the product matrix.
 
 use flexagon_core::{
-    Accelerator, AcceleratorConfig, Dataflow, Flexagon, GammaLike, SigmaLike,
-    SparchLike,
+    Accelerator, AcceleratorConfig, Dataflow, Flexagon, GammaLike, SigmaLike, SparchLike,
 };
 use flexagon_sparse::{gen, CompressedMatrix, DenseMatrix, MajorOrder};
 use rand::SeedableRng;
@@ -140,9 +139,15 @@ fn baselines_match_flexagon_functionally() {
     let a = gen::random(15, 20, 0.3, MajorOrder::Row, &mut rng);
     let b = gen::random(20, 12, 0.3, MajorOrder::Row, &mut rng);
     let want = golden(&a, &b);
-    let sigma = SigmaLike::new(cfg).run(&a, &b, Dataflow::InnerProductM).unwrap();
-    let sparch = SparchLike::new(cfg).run(&a, &b, Dataflow::OuterProductM).unwrap();
-    let gamma = GammaLike::new(cfg).run(&a, &b, Dataflow::GustavsonM).unwrap();
+    let sigma = SigmaLike::new(cfg)
+        .run(&a, &b, Dataflow::InnerProductM)
+        .unwrap();
+    let sparch = SparchLike::new(cfg)
+        .run(&a, &b, Dataflow::OuterProductM)
+        .unwrap();
+    let gamma = GammaLike::new(cfg)
+        .run(&a, &b, Dataflow::GustavsonM)
+        .unwrap();
     for out in [sigma, sparch, gamma] {
         assert!(DenseMatrix::from_compressed(&out.c).approx_eq(&want, 1e-2));
     }
@@ -162,7 +167,12 @@ fn n_stationary_equals_m_stationary_transposed() {
     ] {
         let m = accel.run(&a, &b, class_pair.0).unwrap();
         let n = accel.run(&a, &b, class_pair.1).unwrap();
-        assert!(m.c.approx_eq(&n.c, 1e-3), "{} vs {}", class_pair.0, class_pair.1);
+        assert!(
+            m.c.approx_eq(&n.c, 1e-3),
+            "{} vs {}",
+            class_pair.0,
+            class_pair.1
+        );
         // The N-variant on (A, B) costs what the M-variant costs on the
         // transposed problem — same tiles, same traffic, mirrored.
         assert_eq!(m.report.work.products, n.report.work.products);

@@ -46,7 +46,15 @@ impl LayerSpec {
         assert!(m > 0 && k > 0 && n > 0, "dimensions must be positive");
         assert!((0.0..=100.0).contains(&sp_a), "sp_a must be a percentage");
         assert!((0.0..=100.0).contains(&sp_b), "sp_b must be a percentage");
-        Self { index, name: name.into(), m, k, n, sp_a, sp_b }
+        Self {
+            index,
+            name: name.into(),
+            m,
+            k,
+            n,
+            sp_a,
+            sp_b,
+        }
     }
 
     /// Densities `(A, B)` implied by the sparsities.

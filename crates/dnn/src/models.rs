@@ -37,7 +37,10 @@ impl std::fmt::Display for Domain {
 }
 
 /// One DNN model: an ordered list of SpMSpM layer problems.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serialize-only: the `&'static str` identifiers cannot be deserialized
+/// from owned JSON text.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct DnnModel {
     /// Full name ("Resnets-50").
     pub name: &'static str,
@@ -127,7 +130,7 @@ impl DnnModel {
     /// SqueezeNet (S): 26 layers, CV, spA ≈ 70%, spB ≈ 31%.
     pub fn squeezenet() -> Self {
         let mut shapes: Vec<(u32, u32, u32)> = vec![(64, 147, 2916)]; // conv1
-        // Eight fire modules: (squeeze 1x1, expand 1x1, expand 3x3).
+                                                                      // Eight fire modules: (squeeze 1x1, expand 1x1, expand 3x3).
         let fires: [(u32, u32, u32); 8] = [
             // (squeeze, expand, spatial)
             (16, 64, 2916),
@@ -184,7 +187,7 @@ impl DnnModel {
     /// ResNet-50 (R): 54 layers, CV, spA ≈ 89%, spB ≈ 52%.
     pub fn resnet50() -> Self {
         let mut shapes: Vec<(u32, u32, u32)> = vec![(64, 147, 3136)]; // conv1
-        // (reduce 1x1, 3x3, expand 1x1) bottlenecks over four stages.
+                                                                      // (reduce 1x1, 3x3, expand 1x1) bottlenecks over four stages.
         let stages: [(u32, u32, u32, u32); 4] = [
             // (blocks, width, in_channels, spatial)
             (3, 64, 256, 3136),
@@ -200,8 +203,8 @@ impl DnnModel {
             }
         }
         shapes.push((512, 2048, 16)); // pooled fc (scaled)
-        // Downsample projections at each stage boundary bring the count to
-        // the published 54.
+                                      // Downsample projections at each stage boundary bring the count to
+                                      // the published 54.
         shapes.push((256, 64, 3136));
         shapes.push((512, 256, 784));
         shapes.push((1024, 512, 196));
@@ -222,11 +225,8 @@ impl DnnModel {
     pub fn ssd_resnets() -> Self {
         let mut shapes: Vec<(u32, u32, u32)> = vec![(64, 147, 5329)];
         // Backbone: reduced ResNet (9 bottlenecks).
-        let stages: [(u32, u32, u32, u32); 3] = [
-            (3, 64, 256, 5329),
-            (3, 128, 512, 1369),
-            (3, 256, 1024, 361),
-        ];
+        let stages: [(u32, u32, u32, u32); 3] =
+            [(3, 64, 256, 5329), (3, 128, 512, 1369), (3, 256, 1024, 361)];
         for &(blocks, w, c_out, n) in &stages {
             for _ in 0..blocks {
                 shapes.push((w, c_out, n));
@@ -277,7 +277,13 @@ impl DnnModel {
             shapes.push((24, c, n));
             shapes.push((16, c, n));
         }
-        shapes.extend_from_slice(&[(256, 512, 25), (128, 256, 9), (64, 128, 9), (64, 64, 9), (32, 64, 9)]);
+        shapes.extend_from_slice(&[
+            (256, 512, 25),
+            (128, 256, 9),
+            (64, 128, 9),
+            (64, 64, 9),
+            (32, 64, 9),
+        ]);
         debug_assert_eq!(shapes.len(), 29);
         Self {
             name: "SSD-Mobilenets",
@@ -405,20 +411,47 @@ mod tests {
     #[test]
     fn table6_layers_are_pinned_in_their_models() {
         let sq = DnnModel::squeezenet();
-        assert_eq!((sq.layers[5].m, sq.layers[5].k, sq.layers[5].n), (64, 16, 2916));
-        assert_eq!((sq.layers[11].m, sq.layers[11].k, sq.layers[11].n), (128, 32, 729));
+        assert_eq!(
+            (sq.layers[5].m, sq.layers[5].k, sq.layers[5].n),
+            (64, 16, 2916)
+        );
+        assert_eq!(
+            (sq.layers[11].m, sq.layers[11].k, sq.layers[11].n),
+            (128, 32, 729)
+        );
         let r = DnnModel::resnet50();
-        assert_eq!((r.layers[4].m, r.layers[4].k, r.layers[4].n), (256, 64, 3136));
-        assert_eq!((r.layers[6].m, r.layers[6].k, r.layers[6].n), (64, 576, 2916));
+        assert_eq!(
+            (r.layers[4].m, r.layers[4].k, r.layers[4].n),
+            (256, 64, 3136)
+        );
+        assert_eq!(
+            (r.layers[6].m, r.layers[6].k, r.layers[6].n),
+            (64, 576, 2916)
+        );
         let sr = DnnModel::ssd_resnets();
-        assert_eq!((sr.layers[3].m, sr.layers[3].k, sr.layers[3].n), (64, 576, 5329));
+        assert_eq!(
+            (sr.layers[3].m, sr.layers[3].k, sr.layers[3].n),
+            (64, 576, 5329)
+        );
         let v = DnnModel::vgg16();
-        assert_eq!((v.layers[0].m, v.layers[0].k, v.layers[0].n), (128, 576, 12100));
-        assert_eq!((v.layers[7].m, v.layers[7].k, v.layers[7].n), (512, 4608, 144));
+        assert_eq!(
+            (v.layers[0].m, v.layers[0].k, v.layers[0].n),
+            (128, 576, 12100)
+        );
+        assert_eq!(
+            (v.layers[7].m, v.layers[7].k, v.layers[7].n),
+            (512, 4608, 144)
+        );
         let a = DnnModel::alexnet();
-        assert_eq!((a.layers[2].m, a.layers[2].k, a.layers[2].n), (384, 1728, 121));
+        assert_eq!(
+            (a.layers[2].m, a.layers[2].k, a.layers[2].n),
+            (384, 1728, 121)
+        );
         let mb = DnnModel::mobilebert();
-        assert_eq!((mb.layers[215].m, mb.layers[215].k, mb.layers[215].n), (128, 512, 8));
+        assert_eq!(
+            (mb.layers[215].m, mb.layers[215].k, mb.layers[215].n),
+            (128, 512, 8)
+        );
     }
 
     #[test]
@@ -428,12 +461,20 @@ mod tests {
             (DnnModel::vgg16(), 90.0, 80.0),
             (DnnModel::distilbert(), 50.0, 0.04),
         ] {
-            let avg_a: f64 = model.layers.iter().map(|l| l.sp_a).sum::<f64>()
-                / model.num_layers() as f64;
-            let avg_b: f64 = model.layers.iter().map(|l| l.sp_b).sum::<f64>()
-                / model.num_layers() as f64;
-            assert!((avg_a - want_a).abs() < 8.0, "{}: avg spA {avg_a}", model.name);
-            assert!((avg_b - want_b).abs() < 10.0, "{}: avg spB {avg_b}", model.name);
+            let avg_a: f64 =
+                model.layers.iter().map(|l| l.sp_a).sum::<f64>() / model.num_layers() as f64;
+            let avg_b: f64 =
+                model.layers.iter().map(|l| l.sp_b).sum::<f64>() / model.num_layers() as f64;
+            assert!(
+                (avg_a - want_a).abs() < 8.0,
+                "{}: avg spA {avg_a}",
+                model.name
+            );
+            assert!(
+                (avg_b - want_b).abs() < 10.0,
+                "{}: avg spB {avg_b}",
+                model.name
+            );
         }
     }
 

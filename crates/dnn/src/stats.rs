@@ -78,7 +78,11 @@ mod tests {
     fn alexnet_stats_are_sane() {
         let stats = ModelStats::measure(&DnnModel::alexnet(), 1);
         assert_eq!(stats.num_layers, 7);
-        assert!((stats.avg_sp_a - 70.0).abs() < 8.0, "spA = {}", stats.avg_sp_a);
+        assert!(
+            (stats.avg_sp_a - 70.0).abs() < 8.0,
+            "spA = {}",
+            stats.avg_sp_a
+        );
         assert!(stats.min_cs_a_mib <= stats.avg_cs_a_mib);
         assert!(stats.avg_cs_a_mib <= stats.max_cs_a_mib);
         assert!(stats.max_cs_b_mib > 0.0);
@@ -87,7 +91,11 @@ mod tests {
     #[test]
     fn mobilebert_matrices_are_tiny() {
         let stats = ModelStats::measure(&DnnModel::mobilebert(), 1);
-        assert!(stats.avg_cs_b_mib < 0.1, "MB csB avg {}", stats.avg_cs_b_mib);
+        assert!(
+            stats.avg_cs_b_mib < 0.1,
+            "MB csB avg {}",
+            stats.avg_cs_b_mib
+        );
         assert!(stats.max_cs_a_mib < 1.0);
     }
 

@@ -21,7 +21,10 @@ pub enum FavouredDataflow {
 }
 
 /// One Table 6 row: a named layer and the dataflow group it belongs to.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Serialize-only: the `&'static str` identifier cannot be deserialized
+/// from owned JSON text.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct RepresentativeLayer {
     /// Table 6 identifier ("SQ5", "V0", ...).
     pub id: &'static str,
@@ -49,11 +52,13 @@ pub fn layers() -> Vec<RepresentativeLayer> {
     ];
     rows.iter()
         .enumerate()
-        .map(|(i, &(id, m, k, n, sp_a, sp_b, favours))| RepresentativeLayer {
-            id,
-            spec: LayerSpec::new(i as u32, id, m, k, n, sp_a, sp_b),
-            favours,
-        })
+        .map(
+            |(i, &(id, m, k, n, sp_a, sp_b, favours))| RepresentativeLayer {
+                id,
+                spec: LayerSpec::new(i as u32, id, m, k, n, sp_a, sp_b),
+                favours,
+            },
+        )
         .collect()
 }
 
@@ -108,9 +113,15 @@ mod tests {
         // a small factor. Spot-check the extremes.
         let v0 = by_id("V0").unwrap().spec.materialize(1);
         let cs_b_kib = v0.b.compressed_size_bytes() as f64 / 1024.0;
-        assert!(cs_b_kib > 5_000.0, "V0 csB must be in the MiB range, got {cs_b_kib} KiB");
+        assert!(
+            cs_b_kib > 5_000.0,
+            "V0 csB must be in the MiB range, got {cs_b_kib} KiB"
+        );
         let mb = by_id("MB215").unwrap().spec.materialize(1);
         let cs_b_kib = mb.b.compressed_size_bytes() as f64 / 1024.0;
-        assert!(cs_b_kib < 32.0, "MB215 csB must be tiny, got {cs_b_kib} KiB");
+        assert!(
+            cs_b_kib < 32.0,
+            "MB215 csB must be tiny, got {cs_b_kib} KiB"
+        );
     }
 }

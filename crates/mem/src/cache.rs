@@ -99,7 +99,13 @@ impl StrCache {
     /// Creates a cache with the given geometry, initially empty.
     pub fn new(cfg: CacheConfig) -> Self {
         let sets = vec![Vec::with_capacity(cfg.associativity as usize); cfg.num_sets() as usize];
-        Self { cfg, sets, stats: Ratio::new(), fill_bytes: 0, onchip_bytes: 0 }
+        Self {
+            cfg,
+            sets,
+            stats: Ratio::new(),
+            fill_bytes: 0,
+            onchip_bytes: 0,
+        }
     }
 
     /// Creates a cache with the paper's Table 5 geometry.
@@ -347,8 +353,23 @@ mod tests {
 
     #[test]
     fn outcome_merge_accumulates() {
-        let mut a = AccessOutcome { lines: 1, hits: 1, misses: 0 };
-        a.merge(AccessOutcome { lines: 2, hits: 0, misses: 2 });
-        assert_eq!(a, AccessOutcome { lines: 3, hits: 1, misses: 2 });
+        let mut a = AccessOutcome {
+            lines: 1,
+            hits: 1,
+            misses: 0,
+        };
+        a.merge(AccessOutcome {
+            lines: 2,
+            hits: 0,
+            misses: 2,
+        });
+        assert_eq!(
+            a,
+            AccessOutcome {
+                lines: 3,
+                hits: 1,
+                misses: 2
+            }
+        );
     }
 }

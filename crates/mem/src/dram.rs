@@ -23,7 +23,11 @@ pub struct DramConfig {
 
 impl Default for DramConfig {
     fn default() -> Self {
-        Self { latency_cycles: 80, bytes_per_cycle: 320, max_outstanding: 16 }
+        Self {
+            latency_cycles: 80,
+            bytes_per_cycle: 320,
+            max_outstanding: 16,
+        }
     }
 }
 

@@ -19,7 +19,9 @@ pub struct FifoConfig {
 
 impl Default for FifoConfig {
     fn default() -> Self {
-        Self { capacity_bytes: 256 }
+        Self {
+            capacity_bytes: 256,
+        }
     }
 }
 
@@ -38,7 +40,10 @@ pub struct StaFifo {
 impl StaFifo {
     /// Creates a FIFO with the given configuration.
     pub fn new(cfg: FifoConfig) -> Self {
-        Self { cfg, popped_elements: 0 }
+        Self {
+            cfg,
+            popped_elements: 0,
+        }
     }
 
     /// Creates a FIFO with the paper's 256-byte capacity.

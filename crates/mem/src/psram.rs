@@ -169,13 +169,7 @@ impl Psram {
     /// Equivalent to repeated `PartialWrite`s; the bulk form exists because
     /// the Outer-Product streaming phase emits an entire scaled B fiber per
     /// stationary element.
-    pub fn partial_write_fiber(
-        &mut self,
-        row: u32,
-        k: u32,
-        elems: &[Element],
-        dram: &mut Dram,
-    ) {
+    pub fn partial_write_fiber(&mut self, row: u32, k: u32, elems: &[Element], dram: &mut Dram) {
         if elems.is_empty() {
             return;
         }
@@ -217,8 +211,7 @@ impl Psram {
             chain.len += take;
             remaining = &remaining[take..];
             self.usage.live_blocks += 1;
-            self.usage.high_water_blocks =
-                self.usage.high_water_blocks.max(self.usage.live_blocks);
+            self.usage.high_water_blocks = self.usage.high_water_blocks.max(self.usage.live_blocks);
         }
     }
 

@@ -36,7 +36,10 @@ pub struct DnConfig {
 
 impl Default for DnConfig {
     fn default() -> Self {
-        Self { width: 64, bandwidth: Bandwidth::per_cycle(16) }
+        Self {
+            width: 64,
+            bandwidth: Bandwidth::per_cycle(16),
+        }
     }
 }
 
@@ -48,7 +51,10 @@ impl DnConfig {
     /// Panics if `width` is not a power of two (the Benes construction
     /// requires it).
     pub fn levels(&self) -> u32 {
-        assert!(self.width.is_power_of_two(), "benes width must be a power of two");
+        assert!(
+            self.width.is_power_of_two(),
+            "benes width must be a power of two"
+        );
         2 * self.width.trailing_zeros() + 1
     }
 
@@ -140,7 +146,10 @@ impl DistributionNetwork {
     ///
     /// Panics if `delivered < injected`.
     pub fn send_irregular(&mut self, injected: u64, delivered: u64) -> Cycle {
-        assert!(delivered >= injected, "each injected element reaches >= 1 port");
+        assert!(
+            delivered >= injected,
+            "each injected element reaches >= 1 port"
+        );
         if injected == 0 {
             return 0;
         }
@@ -194,17 +203,27 @@ mod tests {
 
     #[test]
     fn benes_levels_and_switches() {
-        let cfg = DnConfig { width: 64, bandwidth: Bandwidth::per_cycle(16) };
+        let cfg = DnConfig {
+            width: 64,
+            bandwidth: Bandwidth::per_cycle(16),
+        };
         assert_eq!(cfg.levels(), 13); // 2*6+1
         assert_eq!(cfg.switches(), 13 * 64);
-        let cfg8 = DnConfig { width: 8, bandwidth: Bandwidth::per_cycle(4) };
+        let cfg8 = DnConfig {
+            width: 8,
+            bandwidth: Bandwidth::per_cycle(4),
+        };
         assert_eq!(cfg8.levels(), 7);
     }
 
     #[test]
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_width_rejected() {
-        DnConfig { width: 48, bandwidth: Bandwidth::per_cycle(16) }.levels();
+        DnConfig {
+            width: 48,
+            bandwidth: Bandwidth::per_cycle(16),
+        }
+        .levels();
     }
 
     #[test]

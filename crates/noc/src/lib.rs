@@ -25,7 +25,5 @@ mod mrn;
 mod multiplier;
 
 pub use distribution::{CastKind, DistributionNetwork, DnConfig};
-pub use mrn::{
-    FanNetwork, MergeOutcome, MergerReductionNetwork, MergerTree, MrnConfig, NodeMode,
-};
+pub use mrn::{FanNetwork, MergeOutcome, MergerReductionNetwork, MergerTree, MrnConfig, NodeMode};
 pub use multiplier::{MnConfig, MultiplierMode, MultiplierNetwork};

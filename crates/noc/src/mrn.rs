@@ -41,7 +41,10 @@ pub struct MrnConfig {
 
 impl Default for MrnConfig {
     fn default() -> Self {
-        Self { leaves: 64, bandwidth: Bandwidth::per_cycle(16) }
+        Self {
+            leaves: 64,
+            bandwidth: Bandwidth::per_cycle(16),
+        }
     }
 }
 
@@ -52,7 +55,10 @@ impl MrnConfig {
     ///
     /// Panics if `leaves` is not a power of two.
     pub fn depth(&self) -> u32 {
-        assert!(self.leaves.is_power_of_two(), "tree leaves must be a power of two");
+        assert!(
+            self.leaves.is_power_of_two(),
+            "tree leaves must be a power of two"
+        );
         self.leaves.trailing_zeros()
     }
 
@@ -139,7 +145,9 @@ pub struct MergerReductionNetwork {
 impl MergerReductionNetwork {
     /// Creates an MRN with the given geometry.
     pub fn new(cfg: MrnConfig) -> Self {
-        Self { tree: Tree::new(cfg) }
+        Self {
+            tree: Tree::new(cfg),
+        }
     }
 
     /// Creates the paper's 64-leaf, 16 elements/cycle MRN.
@@ -218,7 +226,9 @@ pub struct FanNetwork {
 impl FanNetwork {
     /// Creates a FAN with the given geometry.
     pub fn new(cfg: MrnConfig) -> Self {
-        Self { tree: Tree::new(cfg) }
+        Self {
+            tree: Tree::new(cfg),
+        }
     }
 
     /// Creates the 64-leaf FAN used by the SIGMA-like baseline.
@@ -270,7 +280,9 @@ pub struct MergerTree {
 impl MergerTree {
     /// Creates a merger with the given geometry.
     pub fn new(cfg: MrnConfig) -> Self {
-        Self { tree: Tree::new(cfg) }
+        Self {
+            tree: Tree::new(cfg),
+        }
     }
 
     /// Creates the 64-leaf merger used by the SpArch-like and GAMMA-like
@@ -346,7 +358,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "power of two")]
     fn non_power_of_two_leaves_rejected() {
-        MrnConfig { leaves: 48, bandwidth: Bandwidth::per_cycle(16) }.depth();
+        MrnConfig {
+            leaves: 48,
+            bandwidth: Bandwidth::per_cycle(16),
+        }
+        .depth();
     }
 
     #[test]

@@ -43,7 +43,12 @@ pub struct MultiplierNetwork {
 impl MultiplierNetwork {
     /// Creates a network with the given configuration.
     pub fn new(cfg: MnConfig) -> Self {
-        Self { cfg, multiplications: 0, forwards: 0, stationary_loads: 0 }
+        Self {
+            cfg,
+            multiplications: 0,
+            forwards: 0,
+            stationary_loads: 0,
+        }
     }
 
     /// Creates the paper's 64-multiplier network.

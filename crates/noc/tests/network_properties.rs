@@ -1,27 +1,22 @@
 //! Property-based tests for the on-chip networks.
 
 use flexagon_noc::{
-    DistributionNetwork, DnConfig, FanNetwork, MergerReductionNetwork, MergerTree,
-    MrnConfig,
+    DistributionNetwork, DnConfig, FanNetwork, MergerReductionNetwork, MergerTree, MrnConfig,
 };
 use flexagon_sim::Bandwidth;
 use flexagon_sparse::{merge, Element, Fiber};
 use proptest::prelude::*;
 
 fn fibers_strategy() -> impl Strategy<Value = Vec<Fiber>> {
-    proptest::collection::vec(
-        proptest::collection::btree_set(0u32..50, 0..20),
-        1..16,
+    proptest::collection::vec(proptest::collection::btree_set(0u32..50, 0..20), 1..16).prop_map(
+        |sets| {
+            sets.into_iter()
+                .map(|coords| {
+                    Fiber::from_sorted(coords.into_iter().map(|c| Element::new(c, 1.25)).collect())
+                })
+                .collect()
+        },
     )
-    .prop_map(|sets| {
-        sets.into_iter()
-            .map(|coords| {
-                Fiber::from_sorted(
-                    coords.into_iter().map(|c| Element::new(c, 1.25)).collect(),
-                )
-            })
-            .collect()
-    })
 }
 
 proptest! {

@@ -47,19 +47,40 @@ mod calib {
     use super::AreaPower;
 
     /// Distribution network (tree), all designs.
-    pub const DN: AreaPower = AreaPower { area_mm2: 0.04, power_mw: 2.18 };
+    pub const DN: AreaPower = AreaPower {
+        area_mm2: 0.04,
+        power_mw: 2.18,
+    };
     /// Multiplier network (linear array), all designs.
-    pub const MN: AreaPower = AreaPower { area_mm2: 0.07, power_mw: 3.29 };
+    pub const MN: AreaPower = AreaPower {
+        area_mm2: 0.07,
+        power_mw: 3.29,
+    };
     /// SIGMA's FAN reduction network.
-    pub const FAN: AreaPower = AreaPower { area_mm2: 0.17, power_mw: 248.0 };
+    pub const FAN: AreaPower = AreaPower {
+        area_mm2: 0.17,
+        power_mw: 248.0,
+    };
     /// SpArch/GAMMA merger tree.
-    pub const MERGER: AreaPower = AreaPower { area_mm2: 0.07, power_mw: 64.48 };
+    pub const MERGER: AreaPower = AreaPower {
+        area_mm2: 0.07,
+        power_mw: 64.48,
+    };
     /// Flexagon's merger-reduction network.
-    pub const MRN: AreaPower = AreaPower { area_mm2: 0.21, power_mw: 312.0 };
+    pub const MRN: AreaPower = AreaPower {
+        area_mm2: 0.21,
+        power_mw: 312.0,
+    };
     /// 1 MiB streaming cache.
-    pub const CACHE_1MIB: AreaPower = AreaPower { area_mm2: 3.93, power_mw: 2142.0 };
+    pub const CACHE_1MIB: AreaPower = AreaPower {
+        area_mm2: 3.93,
+        power_mw: 2142.0,
+    };
     /// 256 KiB PSRAM.
-    pub const PSRAM_256KIB: AreaPower = AreaPower { area_mm2: 1.03, power_mw: 538.0 };
+    pub const PSRAM_256KIB: AreaPower = AreaPower {
+        area_mm2: 1.03,
+        power_mw: 538.0,
+    };
 }
 
 /// Reduction/merger network flavour (Table 7's RN row).

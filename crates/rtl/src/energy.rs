@@ -167,7 +167,10 @@ mod tests {
 
     #[test]
     fn energy_is_positive_and_componentwise() {
-        let e = energy_of(&sample_report(Dataflow::GustavsonM), &EnergyParams::default());
+        let e = energy_of(
+            &sample_report(Dataflow::GustavsonM),
+            &EnergyParams::default(),
+        );
         assert!(e.mn_pj > 0.0);
         assert!(e.dn_pj > 0.0);
         assert!(e.dram_pj > 0.0);
@@ -177,13 +180,19 @@ mod tests {
 
     #[test]
     fn inner_product_spends_nothing_on_psram() {
-        let e = energy_of(&sample_report(Dataflow::InnerProductM), &EnergyParams::default());
+        let e = energy_of(
+            &sample_report(Dataflow::InnerProductM),
+            &EnergyParams::default(),
+        );
         assert_eq!(e.psram_pj, 0.0);
     }
 
     #[test]
     fn outer_product_pays_psum_energy() {
-        let e = energy_of(&sample_report(Dataflow::OuterProductM), &EnergyParams::default());
+        let e = energy_of(
+            &sample_report(Dataflow::OuterProductM),
+            &EnergyParams::default(),
+        );
         assert!(e.psram_pj > 0.0);
     }
 

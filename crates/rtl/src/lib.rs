@@ -17,9 +17,7 @@ pub mod energy;
 mod naive;
 mod table8;
 
-pub use components::{
-    dn_cost, mn_cost, psram_cost, rn_cost, str_cache_cost, AreaPower, RnKind,
-};
+pub use components::{dn_cost, mn_cost, psram_cost, rn_cost, str_cache_cost, AreaPower, RnKind};
 pub use naive::{naive_design, NaiveComparison, NaiveDesign};
 pub use table8::{table8_rows, AcceleratorKind, Table8Row};
 

@@ -7,9 +7,7 @@
 //! merger and reduction network has to be connected to memory requiring 3
 //! costly (64:1) multiplexers and connections."
 
-use crate::{
-    dn_cost, mn_cost, psram_cost, rn_cost, str_cache_cost, AreaPower, RnKind,
-};
+use crate::{dn_cost, mn_cost, psram_cost, rn_cost, str_cache_cost, AreaPower, RnKind};
 use serde::{Deserialize, Serialize};
 
 /// Area of one mux/demux leg (one port-to-port connection), calibrated so

@@ -114,19 +114,51 @@ mod tests {
     #[test]
     fn totals_match_table8() {
         // Paper totals: SIGMA 4.21, Sparch 5.14, GAMMA 4.62, Flexagon 5.28 mm².
-        assert!(close(row(AcceleratorKind::SigmaLike).total().area_mm2, 4.21, 0.02));
-        assert!(close(row(AcceleratorKind::SparchLike).total().area_mm2, 5.14, 0.02));
-        assert!(close(row(AcceleratorKind::GammaLike).total().area_mm2, 4.62, 0.02));
-        assert!(close(row(AcceleratorKind::Flexagon).total().area_mm2, 5.28, 0.02));
+        assert!(close(
+            row(AcceleratorKind::SigmaLike).total().area_mm2,
+            4.21,
+            0.02
+        ));
+        assert!(close(
+            row(AcceleratorKind::SparchLike).total().area_mm2,
+            5.14,
+            0.02
+        ));
+        assert!(close(
+            row(AcceleratorKind::GammaLike).total().area_mm2,
+            4.62,
+            0.02
+        ));
+        assert!(close(
+            row(AcceleratorKind::Flexagon).total().area_mm2,
+            5.28,
+            0.02
+        ));
     }
 
     #[test]
     fn power_totals_match_table8() {
         // Paper totals: 2396, 2750, 2481, 2998 mW (small rounding slack).
-        assert!(close(row(AcceleratorKind::SigmaLike).total().power_mw, 2396.0, 6.0));
-        assert!(close(row(AcceleratorKind::SparchLike).total().power_mw, 2750.0, 6.0));
-        assert!(close(row(AcceleratorKind::GammaLike).total().power_mw, 2481.0, 6.0));
-        assert!(close(row(AcceleratorKind::Flexagon).total().power_mw, 2998.0, 6.0));
+        assert!(close(
+            row(AcceleratorKind::SigmaLike).total().power_mw,
+            2396.0,
+            6.0
+        ));
+        assert!(close(
+            row(AcceleratorKind::SparchLike).total().power_mw,
+            2750.0,
+            6.0
+        ));
+        assert!(close(
+            row(AcceleratorKind::GammaLike).total().power_mw,
+            2481.0,
+            6.0
+        ));
+        assert!(close(
+            row(AcceleratorKind::Flexagon).total().power_mw,
+            2998.0,
+            6.0
+        ));
     }
 
     #[test]

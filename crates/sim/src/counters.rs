@@ -151,7 +151,13 @@ impl Ratio {
 
 impl std::fmt::Display for Ratio {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}/{} ({:.2}%)", self.hits, self.total, 100.0 * self.hit_rate())
+        write!(
+            f,
+            "{}/{} ({:.2}%)",
+            self.hits,
+            self.total,
+            100.0 * self.hit_rate()
+        )
     }
 }
 

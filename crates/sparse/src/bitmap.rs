@@ -47,7 +47,12 @@ impl BitmapMatrix {
                 }
             }
         }
-        Self { rows: d.rows(), cols: d.cols(), mask, values }
+        Self {
+            rows: d.rows(),
+            cols: d.cols(),
+            mask,
+            values,
+        }
     }
 
     /// Number of rows.

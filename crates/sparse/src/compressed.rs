@@ -108,7 +108,12 @@ impl CompressedMatrix {
     ) -> Result<Self> {
         for &(r, c, _) in triplets {
             if r >= rows || c >= cols {
-                return Err(FormatError::CoordOutOfBounds { row: r, col: c, rows, cols });
+                return Err(FormatError::CoordOutOfBounds {
+                    row: r,
+                    col: c,
+                    rows,
+                    cols,
+                });
             }
         }
         let majors = match order {
@@ -149,7 +154,13 @@ impl CompressedMatrix {
                 }
             }
         }
-        Ok(Self { rows, cols, order, ptr, elems })
+        Ok(Self {
+            rows,
+            cols,
+            order,
+            ptr,
+            elems,
+        })
     }
 
     /// Builds a matrix from per-fiber element lists.
@@ -191,13 +202,24 @@ impl CompressedMatrix {
                         MajorOrder::Row => (i as u32, e.coord),
                         MajorOrder::Col => (e.coord, i as u32),
                     };
-                    return Err(FormatError::CoordOutOfBounds { row, col, rows, cols });
+                    return Err(FormatError::CoordOutOfBounds {
+                        row,
+                        col,
+                        rows,
+                        cols,
+                    });
                 }
             }
             elems.extend_from_slice(fiber.elements());
             ptr.push(elems.len());
         }
-        Ok(Self { rows, cols, order, ptr, elems })
+        Ok(Self {
+            rows,
+            cols,
+            order,
+            ptr,
+            elems,
+        })
     }
 
     /// Number of rows.
@@ -267,7 +289,10 @@ impl CompressedMatrix {
 
     /// Iterator over `(major_index, fiber_view)` pairs.
     pub fn fibers(&self) -> FiberIter<'_> {
-        FiberIter { matrix: self, next: 0 }
+        FiberIter {
+            matrix: self,
+            next: 0,
+        }
     }
 
     /// The raw pointer vector (`major_dim + 1` monotone offsets).
@@ -360,7 +385,13 @@ impl CompressedMatrix {
         }
         // Source fibers are scanned in increasing major order, so each output
         // fiber receives its coordinates already sorted.
-        Self { rows: self.rows, cols: self.cols, order: target, ptr, elems }
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            order: target,
+            ptr,
+            elems,
+        }
     }
 
     /// Structural validation: pointer monotonicity, bounds, fiber ordering.
@@ -443,9 +474,9 @@ impl CompressedMatrix {
         if a.len() != b.len() {
             return false;
         }
-        a.iter().zip(&b).all(|(&(ar, ac, av), &(br, bc, bv))| {
-            ar == br && ac == bc && (av - bv).abs() <= tol
-        })
+        a.iter()
+            .zip(&b)
+            .all(|(&(ar, ac, av), &(br, bc, bv))| ar == br && ac == bc && (av - bv).abs() <= tol)
     }
 }
 
@@ -508,21 +539,20 @@ mod tests {
 
     #[test]
     fn from_triplets_rejects_out_of_bounds() {
-        let err = CompressedMatrix::from_triplets(2, 2, &[(2, 0, 1.0)], MajorOrder::Row)
-            .unwrap_err();
+        let err =
+            CompressedMatrix::from_triplets(2, 2, &[(2, 0, 1.0)], MajorOrder::Row).unwrap_err();
         assert!(matches!(err, FormatError::CoordOutOfBounds { row: 2, .. }));
     }
 
     #[test]
     fn from_triplets_rejects_duplicates() {
-        let err = CompressedMatrix::from_triplets(
-            2,
-            2,
-            &[(0, 0, 1.0), (0, 0, 2.0)],
-            MajorOrder::Row,
-        )
-        .unwrap_err();
-        assert!(matches!(err, FormatError::DuplicateCoord { row: 0, col: 0 }));
+        let err =
+            CompressedMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 0, 2.0)], MajorOrder::Row)
+                .unwrap_err();
+        assert!(matches!(
+            err,
+            FormatError::DuplicateCoord { row: 0, col: 0 }
+        ));
     }
 
     #[test]
@@ -635,10 +665,7 @@ mod tests {
             2,
             3,
             MajorOrder::Row,
-            vec![
-                Fiber::from_sorted(vec![Element::new(3, 1.0)]),
-                Fiber::new(),
-            ],
+            vec![Fiber::from_sorted(vec![Element::new(3, 1.0)]), Fiber::new()],
         )
         .unwrap_err();
         assert!(matches!(err, FormatError::CoordOutOfBounds { .. }));

@@ -16,7 +16,11 @@ pub struct DenseMatrix {
 impl DenseMatrix {
     /// Creates an all-zero `rows x cols` matrix.
     pub fn zeros(rows: u32, cols: u32) -> Self {
-        Self { rows, cols, data: vec![0.0; rows as usize * cols as usize] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows as usize * cols as usize],
+        }
     }
 
     /// Builds from a row-major data vector.
@@ -109,8 +113,7 @@ impl DenseMatrix {
                     continue;
                 }
                 for n in 0..rhs.cols as usize {
-                    out.data[m * rhs.cols as usize + n] +=
-                        a * rhs.data[k * rhs.cols as usize + n];
+                    out.data[m * rhs.cols as usize + n] += a * rhs.data[k * rhs.cols as usize + n];
                 }
             }
         }
@@ -179,7 +182,10 @@ mod tests {
         let b = DenseMatrix::zeros(2, 2);
         assert!(matches!(
             a.matmul(&b),
-            Err(FormatError::DimensionMismatch { left_cols: 3, right_rows: 2 })
+            Err(FormatError::DimensionMismatch {
+                left_cols: 3,
+                right_rows: 2
+            })
         ));
     }
 

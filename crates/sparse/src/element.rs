@@ -50,7 +50,10 @@ impl Element {
     #[inline]
     #[must_use]
     pub fn scaled(self, factor: Value) -> Self {
-        Self { coord: self.coord, value: self.value * factor }
+        Self {
+            coord: self.coord,
+            value: self.value * factor,
+        }
     }
 }
 

@@ -85,11 +85,19 @@ mod tests {
 
     #[test]
     fn display_messages_are_lowercase_and_informative() {
-        let e = FormatError::CoordOutOfBounds { row: 5, col: 6, rows: 2, cols: 3 };
+        let e = FormatError::CoordOutOfBounds {
+            row: 5,
+            col: 6,
+            rows: 2,
+            cols: 3,
+        };
         assert_eq!(format!("{e}"), "coordinate (5, 6) outside a 2x3 matrix");
         let e = FormatError::DuplicateCoord { row: 1, col: 1 };
         assert!(format!("{e}").contains("duplicate"));
-        let e = FormatError::DimensionMismatch { left_cols: 4, right_rows: 5 };
+        let e = FormatError::DimensionMismatch {
+            left_cols: 4,
+            right_rows: 5,
+        };
         assert!(format!("{e}").contains("inner dimensions"));
         let e = FormatError::WrongMajorOrder {
             expected: MajorOrder::Row,

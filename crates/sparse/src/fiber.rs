@@ -24,7 +24,9 @@ impl Fiber {
 
     /// Creates an empty fiber with room for `cap` elements.
     pub fn with_capacity(cap: usize) -> Self {
-        Self { elems: Vec::with_capacity(cap) }
+        Self {
+            elems: Vec::with_capacity(cap),
+        }
     }
 
     /// Builds a fiber from elements that are already coordinate-sorted.
@@ -219,7 +221,9 @@ impl<'a> FiberView<'a> {
 
     /// Copies the view into an owned [`Fiber`].
     pub fn to_fiber(&self) -> Fiber {
-        Fiber { elems: self.elems.to_vec() }
+        Fiber {
+            elems: self.elems.to_vec(),
+        }
     }
 
     /// Dot product with effectual-multiplication count (sorted intersection).

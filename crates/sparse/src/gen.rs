@@ -85,7 +85,10 @@ pub fn random_with_nnz<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> CompressedMatrix {
     let total = rows as u64 * cols as u64;
-    assert!(nnz as u64 <= total, "cannot place {nnz} non-zeros in {total} cells");
+    assert!(
+        nnz as u64 <= total,
+        "cannot place {nnz} non-zeros in {total} cells"
+    );
     // Floyd's algorithm for a uniform sample without replacement.
     let mut chosen = std::collections::HashSet::with_capacity(nnz);
     for j in (total - nnz as u64)..total {
@@ -198,7 +201,10 @@ pub fn rmat<R: Rng + ?Sized>(
         "partition probabilities must be non-negative with a, d positive"
     );
     let sum = a + b + c + d;
-    assert!((sum - 1.0).abs() < 1e-6, "probabilities must sum to 1, got {sum}");
+    assert!(
+        (sum - 1.0).abs() < 1e-6,
+        "probabilities must sum to 1, got {sum}"
+    );
     let n = 1u32 << scale;
     let mut cells: std::collections::HashMap<(u32, u32), u32> = std::collections::HashMap::new();
     for _ in 0..edges {
@@ -223,8 +229,7 @@ pub fn rmat<R: Rng + ?Sized>(
         .into_iter()
         .map(|((r, c), count)| (r, c, count as Value))
         .collect();
-    CompressedMatrix::from_triplets(n, n, &triplets, order)
-        .expect("rmat cells are always in range")
+    CompressedMatrix::from_triplets(n, n, &triplets, order).expect("rmat cells are always in range")
 }
 
 fn value_in_range<R: Rng + ?Sized>(rng: &mut R) -> Value {
@@ -334,7 +339,13 @@ mod tests {
 
     #[test]
     fn rmat_dimensions_and_count() {
-        let m = rmat(8, 2000, (0.57, 0.19, 0.19, 0.05), MajorOrder::Row, &mut rng());
+        let m = rmat(
+            8,
+            2000,
+            (0.57, 0.19, 0.19, 0.05),
+            MajorOrder::Row,
+            &mut rng(),
+        );
         assert_eq!(m.rows(), 256);
         assert_eq!(m.cols(), 256);
         assert!(m.nnz() <= 2000, "duplicates collapse");
@@ -346,7 +357,13 @@ mod tests {
     fn rmat_is_skewed() {
         // With standard Graph500 probabilities, the max row degree far
         // exceeds the mean — that is the point of the generator.
-        let m = rmat(9, 8000, (0.57, 0.19, 0.19, 0.05), MajorOrder::Row, &mut rng());
+        let m = rmat(
+            9,
+            8000,
+            (0.57, 0.19, 0.19, 0.05),
+            MajorOrder::Row,
+            &mut rng(),
+        );
         let mean = m.nnz() as f64 / m.rows() as f64;
         let max = (0..m.major_dim()).map(|r| m.fiber_len(r)).max().unwrap();
         assert!(
@@ -357,7 +374,13 @@ mod tests {
 
     #[test]
     fn rmat_uniform_probs_behave_like_uniform() {
-        let m = rmat(6, 500, (0.25, 0.25, 0.25, 0.25), MajorOrder::Row, &mut rng());
+        let m = rmat(
+            6,
+            500,
+            (0.25, 0.25, 0.25, 0.25),
+            MajorOrder::Row,
+            &mut rng(),
+        );
         m.validate().unwrap();
         assert!(m.nnz() > 400);
     }

@@ -108,7 +108,10 @@ pub fn read_matrix_market<R: BufRead>(
         .split_whitespace()
         .map(|t| t.parse::<u64>())
         .collect::<Result<_, _>>()
-        .map_err(|e| MtxError::BadEntry { line: size_lineno, detail: e.to_string() })?;
+        .map_err(|e| MtxError::BadEntry {
+            line: size_lineno,
+            detail: e.to_string(),
+        })?;
     let [rows, cols, nnz] = dims[..] else {
         return Err(MtxError::BadEntry {
             line: size_lineno,
@@ -130,7 +133,10 @@ pub fn read_matrix_market<R: BufRead>(
                 detail: format!("missing {what}"),
             })?
             .parse::<u32>()
-            .map_err(|e| MtxError::BadEntry { line: idx + 1, detail: e.to_string() })
+            .map_err(|e| MtxError::BadEntry {
+                line: idx + 1,
+                detail: e.to_string(),
+            })
         };
         let r = parse_coord(tokens.next(), "row")?;
         let c = parse_coord(tokens.next(), "column")?;
@@ -150,15 +156,22 @@ pub fn read_matrix_market<R: BufRead>(
                     detail: "missing value".into(),
                 })?
                 .parse::<f64>()
-                .map_err(|e| MtxError::BadEntry { line: idx + 1, detail: e.to_string() })?
-                as Value
+                .map_err(|e| MtxError::BadEntry {
+                    line: idx + 1,
+                    detail: e.to_string(),
+                })? as Value
         };
         triplets.push((r - 1, c - 1, v));
         if symmetric && r != c {
             triplets.push((c - 1, r - 1, v));
         }
     }
-    Ok(CompressedMatrix::from_triplets(rows as u32, cols as u32, &triplets, order)?)
+    Ok(CompressedMatrix::from_triplets(
+        rows as u32,
+        cols as u32,
+        &triplets,
+        order,
+    )?)
 }
 
 /// Writes a matrix as a `general real coordinate` Matrix Market stream.
@@ -172,7 +185,13 @@ pub fn write_matrix_market<W: Write>(
 ) -> std::io::Result<()> {
     writeln!(writer, "%%MatrixMarket matrix coordinate real general")?;
     writeln!(writer, "% produced by the flexagon simulator")?;
-    writeln!(writer, "{} {} {}", matrix.rows(), matrix.cols(), matrix.nnz())?;
+    writeln!(
+        writer,
+        "{} {} {}",
+        matrix.rows(),
+        matrix.cols(),
+        matrix.nnz()
+    )?;
     for (major, fiber) in matrix.fibers() {
         for e in fiber.elements() {
             let (r, c) = match matrix.order() {
@@ -216,8 +235,7 @@ mod tests {
 
     #[test]
     fn expands_symmetric() {
-        let text =
-            "%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n2 1 5.0\n3 3 1.0\n";
+        let text = "%%MatrixMarket matrix coordinate real symmetric\n3 3 2\n2 1 5.0\n3 3 1.0\n";
         let m = read_matrix_market(Cursor::new(text), MajorOrder::Row).unwrap();
         assert_eq!(m.nnz(), 3, "off-diagonal mirrored, diagonal not");
         assert_eq!(m.get(0, 1), 5.0);

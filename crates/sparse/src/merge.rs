@@ -7,9 +7,9 @@
 //! coordinates. These helpers implement that semantics in software; the
 //! `flexagon-noc` crate layers cycle accounting on top.
 
-use crate::{Element, Fiber, FiberView};
 #[cfg(test)]
 use crate::Value;
+use crate::{Element, Fiber, FiberView};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 
@@ -96,7 +96,11 @@ pub fn merge_accumulate(fibers: &[FiberView<'_>]) -> (Fiber, MergeStats) {
             None => pending = Some(Element::new(coord, value)),
         }
         if pos + 1 < fibers[src].len() {
-            heap.push(Reverse((fibers[src].elements()[pos + 1].coord, src, pos + 1)));
+            heap.push(Reverse((
+                fibers[src].elements()[pos + 1].coord,
+                src,
+                pos + 1,
+            )));
         }
     }
     if let Some(p) = pending {

@@ -9,9 +9,7 @@
 //!
 //! All return C in CSR (the M-stationary output format of Table 3).
 
-use crate::{
-    merge, CompressedMatrix, Element, Fiber, FormatError, MajorOrder, Result,
-};
+use crate::{merge, CompressedMatrix, Element, Fiber, FormatError, MajorOrder, Result};
 
 fn check_dims(a: &CompressedMatrix, b: &CompressedMatrix) -> Result<()> {
     if a.cols() != b.rows() {
@@ -215,7 +213,13 @@ mod tests {
     #[test]
     fn empty_times_anything_is_empty() {
         let a = CompressedMatrix::zero(4, 5, MajorOrder::Row);
-        let b = gen::random(5, 6, 0.5, MajorOrder::Row, &mut ChaCha8Rng::seed_from_u64(1));
+        let b = gen::random(
+            5,
+            6,
+            0.5,
+            MajorOrder::Row,
+            &mut ChaCha8Rng::seed_from_u64(1),
+        );
         let c = gustavson(&a, &b).unwrap();
         assert_eq!(c.nnz(), 0);
         assert_eq!(c.rows(), 4);
@@ -224,7 +228,13 @@ mod tests {
 
     #[test]
     fn identity_is_neutral() {
-        let b = gen::random(6, 7, 0.5, MajorOrder::Row, &mut ChaCha8Rng::seed_from_u64(2));
+        let b = gen::random(
+            6,
+            7,
+            0.5,
+            MajorOrder::Row,
+            &mut ChaCha8Rng::seed_from_u64(2),
+        );
         let i = gen::diagonal(6, 1.0, MajorOrder::Row);
         let c = gustavson(&i, &b).unwrap();
         assert!(c.approx_eq(&b, 1e-6));
@@ -254,7 +264,10 @@ mod tests {
         let b = CompressedMatrix::zero(3, 2, MajorOrder::Col);
         assert!(matches!(
             inner_product(&a, &b),
-            Err(FormatError::WrongMajorOrder { expected: MajorOrder::Row, .. })
+            Err(FormatError::WrongMajorOrder {
+                expected: MajorOrder::Row,
+                ..
+            })
         ));
         assert!(matches!(
             gustavson(&a, &b),
@@ -263,7 +276,10 @@ mod tests {
         let a_csr = a.converted(MajorOrder::Row);
         assert!(matches!(
             outer_product(&a_csr, &b),
-            Err(FormatError::WrongMajorOrder { expected: MajorOrder::Col, .. })
+            Err(FormatError::WrongMajorOrder {
+                expected: MajorOrder::Col,
+                ..
+            })
         ));
     }
 

@@ -166,9 +166,7 @@ mod tests {
         let m = gen::diagonal(1024, 1.0, MajorOrder::Row);
         let s = MatrixStats::of(&m);
         assert!((s.compressed_kib() * 1024.0 - s.compressed_bytes as f64).abs() < 1e-9);
-        assert!(
-            (s.compressed_mib() * 1024.0 - s.compressed_kib()).abs() < 1e-9
-        );
+        assert!((s.compressed_mib() * 1024.0 - s.compressed_kib()).abs() < 1e-9);
     }
 
     #[test]

@@ -35,7 +35,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "plan must be conversion-free"
         );
     }
-    println!("Plan: {} -> {} -> {} (all transitions free)\n", plan[0], plan[1], plan[2]);
+    println!(
+        "Plan: {} -> {} -> {} (all transitions free)\n",
+        plan[0], plan[1], plan[2]
+    );
 
     // Layer 1: IP(N) wants A in CSR, B in CSC; outputs CSC.
     let l1 = accel.run(&x0, &w1.converted(MajorOrder::Col), plan[0])?;

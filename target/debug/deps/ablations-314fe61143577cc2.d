@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-314fe61143577cc2.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-314fe61143577cc2: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-95ce70b1e8918ef2.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-95ce70b1e8918ef2: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-8ffb9e9a612df731.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-8ffb9e9a612df731: tests/end_to_end.rs
+
+tests/end_to_end.rs:

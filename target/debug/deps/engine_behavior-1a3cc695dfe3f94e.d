@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_behavior-1a3cc695dfe3f94e.d: crates/core/tests/engine_behavior.rs
+
+/root/repo/target/debug/deps/engine_behavior-1a3cc695dfe3f94e: crates/core/tests/engine_behavior.rs
+
+crates/core/tests/engine_behavior.rs:

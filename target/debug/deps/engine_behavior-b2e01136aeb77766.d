@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_behavior-b2e01136aeb77766.d: crates/core/tests/engine_behavior.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_behavior-b2e01136aeb77766.rmeta: crates/core/tests/engine_behavior.rs Cargo.toml
+
+crates/core/tests/engine_behavior.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

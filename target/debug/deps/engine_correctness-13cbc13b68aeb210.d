@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_correctness-13cbc13b68aeb210.d: crates/core/tests/engine_correctness.rs
+
+/root/repo/target/debug/deps/engine_correctness-13cbc13b68aeb210: crates/core/tests/engine_correctness.rs
+
+crates/core/tests/engine_correctness.rs:

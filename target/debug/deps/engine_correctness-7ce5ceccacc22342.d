@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine_correctness-7ce5ceccacc22342.d: crates/core/tests/engine_correctness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine_correctness-7ce5ceccacc22342.rmeta: crates/core/tests/engine_correctness.rs Cargo.toml
+
+crates/core/tests/engine_correctness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01_best_dataflow-105036f9a3d6a638.d: crates/bench/src/bin/fig01_best_dataflow.rs
+
+/root/repo/target/debug/deps/fig01_best_dataflow-105036f9a3d6a638: crates/bench/src/bin/fig01_best_dataflow.rs
+
+crates/bench/src/bin/fig01_best_dataflow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig01_best_dataflow-398df3f9b8e654c4.d: crates/bench/src/bin/fig01_best_dataflow.rs
+
+/root/repo/target/debug/deps/fig01_best_dataflow-398df3f9b8e654c4: crates/bench/src/bin/fig01_best_dataflow.rs
+
+crates/bench/src/bin/fig01_best_dataflow.rs:

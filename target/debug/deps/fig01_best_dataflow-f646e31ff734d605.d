@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig01_best_dataflow-f646e31ff734d605.d: crates/bench/src/bin/fig01_best_dataflow.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig01_best_dataflow-f646e31ff734d605.rmeta: crates/bench/src/bin/fig01_best_dataflow.rs Cargo.toml
+
+crates/bench/src/bin/fig01_best_dataflow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

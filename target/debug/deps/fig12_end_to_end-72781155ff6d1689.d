@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_end_to_end-72781155ff6d1689.d: crates/bench/src/bin/fig12_end_to_end.rs
+
+/root/repo/target/debug/deps/fig12_end_to_end-72781155ff6d1689: crates/bench/src/bin/fig12_end_to_end.rs
+
+crates/bench/src/bin/fig12_end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12_end_to_end-b3daf47cb12ba6ae.d: crates/bench/src/bin/fig12_end_to_end.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12_end_to_end-b3daf47cb12ba6ae.rmeta: crates/bench/src/bin/fig12_end_to_end.rs Cargo.toml
+
+crates/bench/src/bin/fig12_end_to_end.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

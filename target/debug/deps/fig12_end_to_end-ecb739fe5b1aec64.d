@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12_end_to_end-ecb739fe5b1aec64.d: crates/bench/src/bin/fig12_end_to_end.rs
+
+/root/repo/target/debug/deps/fig12_end_to_end-ecb739fe5b1aec64: crates/bench/src/bin/fig12_end_to_end.rs
+
+crates/bench/src/bin/fig12_end_to_end.rs:

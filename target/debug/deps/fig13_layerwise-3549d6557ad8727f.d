@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_layerwise-3549d6557ad8727f.d: crates/bench/src/bin/fig13_layerwise.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_layerwise-3549d6557ad8727f.rmeta: crates/bench/src/bin/fig13_layerwise.rs Cargo.toml
+
+crates/bench/src/bin/fig13_layerwise.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_layerwise-4203f10d4f087bf5.d: crates/bench/src/bin/fig13_layerwise.rs
+
+/root/repo/target/debug/deps/fig13_layerwise-4203f10d4f087bf5: crates/bench/src/bin/fig13_layerwise.rs
+
+crates/bench/src/bin/fig13_layerwise.rs:

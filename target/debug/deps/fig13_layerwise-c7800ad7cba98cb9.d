@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_layerwise-c7800ad7cba98cb9.d: crates/bench/src/bin/fig13_layerwise.rs
+
+/root/repo/target/debug/deps/fig13_layerwise-c7800ad7cba98cb9: crates/bench/src/bin/fig13_layerwise.rs
+
+crates/bench/src/bin/fig13_layerwise.rs:

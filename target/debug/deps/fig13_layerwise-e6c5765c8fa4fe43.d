@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13_layerwise-e6c5765c8fa4fe43.d: crates/bench/src/bin/fig13_layerwise.rs
+
+/root/repo/target/debug/deps/fig13_layerwise-e6c5765c8fa4fe43: crates/bench/src/bin/fig13_layerwise.rs
+
+crates/bench/src/bin/fig13_layerwise.rs:

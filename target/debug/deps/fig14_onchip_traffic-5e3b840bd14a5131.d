@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_onchip_traffic-5e3b840bd14a5131.d: crates/bench/src/bin/fig14_onchip_traffic.rs
+
+/root/repo/target/debug/deps/fig14_onchip_traffic-5e3b840bd14a5131: crates/bench/src/bin/fig14_onchip_traffic.rs
+
+crates/bench/src/bin/fig14_onchip_traffic.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_onchip_traffic-76c25b30fce93512.d: crates/bench/src/bin/fig14_onchip_traffic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_onchip_traffic-76c25b30fce93512.rmeta: crates/bench/src/bin/fig14_onchip_traffic.rs Cargo.toml
+
+crates/bench/src/bin/fig14_onchip_traffic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_onchip_traffic-a0867dc3c1319ef1.d: crates/bench/src/bin/fig14_onchip_traffic.rs
+
+/root/repo/target/debug/deps/fig14_onchip_traffic-a0867dc3c1319ef1: crates/bench/src/bin/fig14_onchip_traffic.rs
+
+crates/bench/src/bin/fig14_onchip_traffic.rs:

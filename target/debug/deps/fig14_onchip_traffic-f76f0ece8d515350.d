@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14_onchip_traffic-f76f0ece8d515350.d: crates/bench/src/bin/fig14_onchip_traffic.rs
+
+/root/repo/target/debug/deps/fig14_onchip_traffic-f76f0ece8d515350: crates/bench/src/bin/fig14_onchip_traffic.rs
+
+crates/bench/src/bin/fig14_onchip_traffic.rs:

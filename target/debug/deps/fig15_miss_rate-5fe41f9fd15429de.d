@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_miss_rate-5fe41f9fd15429de.d: crates/bench/src/bin/fig15_miss_rate.rs
+
+/root/repo/target/debug/deps/fig15_miss_rate-5fe41f9fd15429de: crates/bench/src/bin/fig15_miss_rate.rs
+
+crates/bench/src/bin/fig15_miss_rate.rs:

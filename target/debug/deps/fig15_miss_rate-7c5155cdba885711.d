@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_miss_rate-7c5155cdba885711.d: crates/bench/src/bin/fig15_miss_rate.rs
+
+/root/repo/target/debug/deps/fig15_miss_rate-7c5155cdba885711: crates/bench/src/bin/fig15_miss_rate.rs
+
+crates/bench/src/bin/fig15_miss_rate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15_miss_rate-a87acc1261aa5f4c.d: crates/bench/src/bin/fig15_miss_rate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15_miss_rate-a87acc1261aa5f4c.rmeta: crates/bench/src/bin/fig15_miss_rate.rs Cargo.toml
+
+crates/bench/src/bin/fig15_miss_rate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig15_miss_rate-ee55cb8bdf2c374c.d: crates/bench/src/bin/fig15_miss_rate.rs
+
+/root/repo/target/debug/deps/fig15_miss_rate-ee55cb8bdf2c374c: crates/bench/src/bin/fig15_miss_rate.rs
+
+crates/bench/src/bin/fig15_miss_rate.rs:

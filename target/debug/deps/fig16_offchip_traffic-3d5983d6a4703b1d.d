@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_offchip_traffic-3d5983d6a4703b1d.d: crates/bench/src/bin/fig16_offchip_traffic.rs
+
+/root/repo/target/debug/deps/fig16_offchip_traffic-3d5983d6a4703b1d: crates/bench/src/bin/fig16_offchip_traffic.rs
+
+crates/bench/src/bin/fig16_offchip_traffic.rs:

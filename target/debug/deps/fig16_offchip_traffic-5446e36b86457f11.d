@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_offchip_traffic-5446e36b86457f11.d: crates/bench/src/bin/fig16_offchip_traffic.rs
+
+/root/repo/target/debug/deps/fig16_offchip_traffic-5446e36b86457f11: crates/bench/src/bin/fig16_offchip_traffic.rs
+
+crates/bench/src/bin/fig16_offchip_traffic.rs:

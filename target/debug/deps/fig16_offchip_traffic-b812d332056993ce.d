@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig16_offchip_traffic-b812d332056993ce.d: crates/bench/src/bin/fig16_offchip_traffic.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig16_offchip_traffic-b812d332056993ce.rmeta: crates/bench/src/bin/fig16_offchip_traffic.rs Cargo.toml
+
+crates/bench/src/bin/fig16_offchip_traffic.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

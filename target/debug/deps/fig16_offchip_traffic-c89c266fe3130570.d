@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig16_offchip_traffic-c89c266fe3130570.d: crates/bench/src/bin/fig16_offchip_traffic.rs
+
+/root/repo/target/debug/deps/fig16_offchip_traffic-c89c266fe3130570: crates/bench/src/bin/fig16_offchip_traffic.rs
+
+crates/bench/src/bin/fig16_offchip_traffic.rs:

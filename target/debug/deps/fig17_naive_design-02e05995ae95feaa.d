@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17_naive_design-02e05995ae95feaa.d: crates/bench/src/bin/fig17_naive_design.rs
+
+/root/repo/target/debug/deps/fig17_naive_design-02e05995ae95feaa: crates/bench/src/bin/fig17_naive_design.rs
+
+crates/bench/src/bin/fig17_naive_design.rs:

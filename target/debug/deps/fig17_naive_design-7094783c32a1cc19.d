@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17_naive_design-7094783c32a1cc19.d: crates/bench/src/bin/fig17_naive_design.rs
+
+/root/repo/target/debug/deps/fig17_naive_design-7094783c32a1cc19: crates/bench/src/bin/fig17_naive_design.rs
+
+crates/bench/src/bin/fig17_naive_design.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig17_naive_design-8d73de4d95207e95.d: crates/bench/src/bin/fig17_naive_design.rs
+
+/root/repo/target/debug/deps/fig17_naive_design-8d73de4d95207e95: crates/bench/src/bin/fig17_naive_design.rs
+
+crates/bench/src/bin/fig17_naive_design.rs:

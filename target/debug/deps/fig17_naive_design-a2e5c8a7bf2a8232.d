@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig17_naive_design-a2e5c8a7bf2a8232.d: crates/bench/src/bin/fig17_naive_design.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig17_naive_design-a2e5c8a7bf2a8232.rmeta: crates/bench/src/bin/fig17_naive_design.rs Cargo.toml
+
+crates/bench/src/bin/fig17_naive_design.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

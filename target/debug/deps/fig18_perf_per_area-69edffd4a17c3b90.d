@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig18_perf_per_area-69edffd4a17c3b90.d: crates/bench/src/bin/fig18_perf_per_area.rs
+
+/root/repo/target/debug/deps/fig18_perf_per_area-69edffd4a17c3b90: crates/bench/src/bin/fig18_perf_per_area.rs
+
+crates/bench/src/bin/fig18_perf_per_area.rs:

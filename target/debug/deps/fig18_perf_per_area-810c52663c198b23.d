@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig18_perf_per_area-810c52663c198b23.d: crates/bench/src/bin/fig18_perf_per_area.rs
+
+/root/repo/target/debug/deps/fig18_perf_per_area-810c52663c198b23: crates/bench/src/bin/fig18_perf_per_area.rs
+
+crates/bench/src/bin/fig18_perf_per_area.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig18_perf_per_area-b31b528b560a9718.d: crates/bench/src/bin/fig18_perf_per_area.rs
+
+/root/repo/target/debug/deps/fig18_perf_per_area-b31b528b560a9718: crates/bench/src/bin/fig18_perf_per_area.rs
+
+crates/bench/src/bin/fig18_perf_per_area.rs:

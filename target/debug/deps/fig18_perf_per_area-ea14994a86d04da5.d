@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig18_perf_per_area-ea14994a86d04da5.d: crates/bench/src/bin/fig18_perf_per_area.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig18_perf_per_area-ea14994a86d04da5.rmeta: crates/bench/src/bin/fig18_perf_per_area.rs Cargo.toml
+
+crates/bench/src/bin/fig18_perf_per_area.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/flexagon-702a5de74aed7ea2.d: src/lib.rs
+
+/root/repo/target/debug/deps/libflexagon-702a5de74aed7ea2.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libflexagon-702a5de74aed7ea2.rmeta: src/lib.rs
+
+src/lib.rs:

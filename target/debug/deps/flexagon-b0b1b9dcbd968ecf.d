@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flexagon-b0b1b9dcbd968ecf.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflexagon-b0b1b9dcbd968ecf.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/flexagon-fe5bed8c0569b697.d: src/lib.rs
+
+/root/repo/target/debug/deps/flexagon-fe5bed8c0569b697: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/flexagon_bench-24b4e611f87da4ac.d: crates/bench/src/lib.rs crates/bench/src/render.rs crates/bench/src/runner.rs
+
+/root/repo/target/debug/deps/flexagon_bench-24b4e611f87da4ac: crates/bench/src/lib.rs crates/bench/src/render.rs crates/bench/src/runner.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/render.rs:
+crates/bench/src/runner.rs:

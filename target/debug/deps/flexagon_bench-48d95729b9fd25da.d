@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/flexagon_bench-48d95729b9fd25da.d: crates/bench/src/lib.rs crates/bench/src/render.rs crates/bench/src/runner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflexagon_bench-48d95729b9fd25da.rmeta: crates/bench/src/lib.rs crates/bench/src/render.rs crates/bench/src/runner.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/render.rs:
+crates/bench/src/runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flexagon_bench-9a3afa5dd2b529e2.d: crates/bench/src/lib.rs crates/bench/src/render.rs crates/bench/src/runner.rs
+
+/root/repo/target/debug/deps/libflexagon_bench-9a3afa5dd2b529e2.rlib: crates/bench/src/lib.rs crates/bench/src/render.rs crates/bench/src/runner.rs
+
+/root/repo/target/debug/deps/libflexagon_bench-9a3afa5dd2b529e2.rmeta: crates/bench/src/lib.rs crates/bench/src/render.rs crates/bench/src/runner.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/render.rs:
+crates/bench/src/runner.rs:

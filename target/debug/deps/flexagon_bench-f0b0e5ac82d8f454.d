@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flexagon_bench-f0b0e5ac82d8f454.d: crates/bench/src/lib.rs crates/bench/src/render.rs crates/bench/src/runner.rs
+
+/root/repo/target/debug/deps/libflexagon_bench-f0b0e5ac82d8f454.rlib: crates/bench/src/lib.rs crates/bench/src/render.rs crates/bench/src/runner.rs
+
+/root/repo/target/debug/deps/libflexagon_bench-f0b0e5ac82d8f454.rmeta: crates/bench/src/lib.rs crates/bench/src/render.rs crates/bench/src/runner.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/render.rs:
+crates/bench/src/runner.rs:

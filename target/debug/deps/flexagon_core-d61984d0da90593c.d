@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/flexagon_core-d61984d0da90593c.d: crates/core/src/lib.rs crates/core/src/accel.rs crates/core/src/config.rs crates/core/src/cpu.rs crates/core/src/dataflow.rs crates/core/src/engine/mod.rs crates/core/src/engine/gustavson.rs crates/core/src/engine/inner_product.rs crates/core/src/engine/outer_product.rs crates/core/src/engine/tiling.rs crates/core/src/error.rs crates/core/src/mapper.rs crates/core/src/report.rs crates/core/src/transitions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflexagon_core-d61984d0da90593c.rmeta: crates/core/src/lib.rs crates/core/src/accel.rs crates/core/src/config.rs crates/core/src/cpu.rs crates/core/src/dataflow.rs crates/core/src/engine/mod.rs crates/core/src/engine/gustavson.rs crates/core/src/engine/inner_product.rs crates/core/src/engine/outer_product.rs crates/core/src/engine/tiling.rs crates/core/src/error.rs crates/core/src/mapper.rs crates/core/src/report.rs crates/core/src/transitions.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/accel.rs:
+crates/core/src/config.rs:
+crates/core/src/cpu.rs:
+crates/core/src/dataflow.rs:
+crates/core/src/engine/mod.rs:
+crates/core/src/engine/gustavson.rs:
+crates/core/src/engine/inner_product.rs:
+crates/core/src/engine/outer_product.rs:
+crates/core/src/engine/tiling.rs:
+crates/core/src/error.rs:
+crates/core/src/mapper.rs:
+crates/core/src/report.rs:
+crates/core/src/transitions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

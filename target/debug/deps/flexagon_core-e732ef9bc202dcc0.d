@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/flexagon_core-e732ef9bc202dcc0.d: crates/core/src/lib.rs crates/core/src/accel.rs crates/core/src/config.rs crates/core/src/cpu.rs crates/core/src/dataflow.rs crates/core/src/engine/mod.rs crates/core/src/engine/gustavson.rs crates/core/src/engine/inner_product.rs crates/core/src/engine/outer_product.rs crates/core/src/engine/tiling.rs crates/core/src/error.rs crates/core/src/mapper.rs crates/core/src/report.rs crates/core/src/transitions.rs
+
+/root/repo/target/debug/deps/flexagon_core-e732ef9bc202dcc0: crates/core/src/lib.rs crates/core/src/accel.rs crates/core/src/config.rs crates/core/src/cpu.rs crates/core/src/dataflow.rs crates/core/src/engine/mod.rs crates/core/src/engine/gustavson.rs crates/core/src/engine/inner_product.rs crates/core/src/engine/outer_product.rs crates/core/src/engine/tiling.rs crates/core/src/error.rs crates/core/src/mapper.rs crates/core/src/report.rs crates/core/src/transitions.rs
+
+crates/core/src/lib.rs:
+crates/core/src/accel.rs:
+crates/core/src/config.rs:
+crates/core/src/cpu.rs:
+crates/core/src/dataflow.rs:
+crates/core/src/engine/mod.rs:
+crates/core/src/engine/gustavson.rs:
+crates/core/src/engine/inner_product.rs:
+crates/core/src/engine/outer_product.rs:
+crates/core/src/engine/tiling.rs:
+crates/core/src/error.rs:
+crates/core/src/mapper.rs:
+crates/core/src/report.rs:
+crates/core/src/transitions.rs:

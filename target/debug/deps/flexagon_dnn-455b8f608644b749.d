@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/flexagon_dnn-455b8f608644b749.d: crates/dnn/src/lib.rs crates/dnn/src/layer.rs crates/dnn/src/models.rs crates/dnn/src/stats.rs crates/dnn/src/table6.rs
+
+/root/repo/target/debug/deps/libflexagon_dnn-455b8f608644b749.rlib: crates/dnn/src/lib.rs crates/dnn/src/layer.rs crates/dnn/src/models.rs crates/dnn/src/stats.rs crates/dnn/src/table6.rs
+
+/root/repo/target/debug/deps/libflexagon_dnn-455b8f608644b749.rmeta: crates/dnn/src/lib.rs crates/dnn/src/layer.rs crates/dnn/src/models.rs crates/dnn/src/stats.rs crates/dnn/src/table6.rs
+
+crates/dnn/src/lib.rs:
+crates/dnn/src/layer.rs:
+crates/dnn/src/models.rs:
+crates/dnn/src/stats.rs:
+crates/dnn/src/table6.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/flexagon_dnn-aed850a132d776ed.d: crates/dnn/src/lib.rs crates/dnn/src/layer.rs crates/dnn/src/models.rs crates/dnn/src/stats.rs crates/dnn/src/table6.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflexagon_dnn-aed850a132d776ed.rmeta: crates/dnn/src/lib.rs crates/dnn/src/layer.rs crates/dnn/src/models.rs crates/dnn/src/stats.rs crates/dnn/src/table6.rs Cargo.toml
+
+crates/dnn/src/lib.rs:
+crates/dnn/src/layer.rs:
+crates/dnn/src/models.rs:
+crates/dnn/src/stats.rs:
+crates/dnn/src/table6.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

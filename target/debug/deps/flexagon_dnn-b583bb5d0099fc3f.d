@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flexagon_dnn-b583bb5d0099fc3f.d: crates/dnn/src/lib.rs crates/dnn/src/layer.rs crates/dnn/src/models.rs crates/dnn/src/stats.rs crates/dnn/src/table6.rs
+
+/root/repo/target/debug/deps/flexagon_dnn-b583bb5d0099fc3f: crates/dnn/src/lib.rs crates/dnn/src/layer.rs crates/dnn/src/models.rs crates/dnn/src/stats.rs crates/dnn/src/table6.rs
+
+crates/dnn/src/lib.rs:
+crates/dnn/src/layer.rs:
+crates/dnn/src/models.rs:
+crates/dnn/src/stats.rs:
+crates/dnn/src/table6.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/flexagon_mem-1670e3ac8d77d711.d: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/config.rs crates/mem/src/dram.rs crates/mem/src/fifo.rs crates/mem/src/psram.rs crates/mem/src/wbuf.rs
+
+/root/repo/target/debug/deps/libflexagon_mem-1670e3ac8d77d711.rlib: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/config.rs crates/mem/src/dram.rs crates/mem/src/fifo.rs crates/mem/src/psram.rs crates/mem/src/wbuf.rs
+
+/root/repo/target/debug/deps/libflexagon_mem-1670e3ac8d77d711.rmeta: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/config.rs crates/mem/src/dram.rs crates/mem/src/fifo.rs crates/mem/src/psram.rs crates/mem/src/wbuf.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/config.rs:
+crates/mem/src/dram.rs:
+crates/mem/src/fifo.rs:
+crates/mem/src/psram.rs:
+crates/mem/src/wbuf.rs:

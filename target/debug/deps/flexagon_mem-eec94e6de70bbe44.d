@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/flexagon_mem-eec94e6de70bbe44.d: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/config.rs crates/mem/src/dram.rs crates/mem/src/fifo.rs crates/mem/src/psram.rs crates/mem/src/wbuf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflexagon_mem-eec94e6de70bbe44.rmeta: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/config.rs crates/mem/src/dram.rs crates/mem/src/fifo.rs crates/mem/src/psram.rs crates/mem/src/wbuf.rs Cargo.toml
+
+crates/mem/src/lib.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/config.rs:
+crates/mem/src/dram.rs:
+crates/mem/src/fifo.rs:
+crates/mem/src/psram.rs:
+crates/mem/src/wbuf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

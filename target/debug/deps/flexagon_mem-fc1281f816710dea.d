@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/flexagon_mem-fc1281f816710dea.d: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/config.rs crates/mem/src/dram.rs crates/mem/src/fifo.rs crates/mem/src/psram.rs crates/mem/src/wbuf.rs
+
+/root/repo/target/debug/deps/flexagon_mem-fc1281f816710dea: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/config.rs crates/mem/src/dram.rs crates/mem/src/fifo.rs crates/mem/src/psram.rs crates/mem/src/wbuf.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/config.rs:
+crates/mem/src/dram.rs:
+crates/mem/src/fifo.rs:
+crates/mem/src/psram.rs:
+crates/mem/src/wbuf.rs:

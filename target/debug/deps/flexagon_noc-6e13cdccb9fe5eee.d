@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/flexagon_noc-6e13cdccb9fe5eee.d: crates/noc/src/lib.rs crates/noc/src/distribution.rs crates/noc/src/mrn.rs crates/noc/src/multiplier.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflexagon_noc-6e13cdccb9fe5eee.rmeta: crates/noc/src/lib.rs crates/noc/src/distribution.rs crates/noc/src/mrn.rs crates/noc/src/multiplier.rs Cargo.toml
+
+crates/noc/src/lib.rs:
+crates/noc/src/distribution.rs:
+crates/noc/src/mrn.rs:
+crates/noc/src/multiplier.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/flexagon_noc-745fc97dbb6a75d2.d: crates/noc/src/lib.rs crates/noc/src/distribution.rs crates/noc/src/mrn.rs crates/noc/src/multiplier.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflexagon_noc-745fc97dbb6a75d2.rmeta: crates/noc/src/lib.rs crates/noc/src/distribution.rs crates/noc/src/mrn.rs crates/noc/src/multiplier.rs Cargo.toml
+
+crates/noc/src/lib.rs:
+crates/noc/src/distribution.rs:
+crates/noc/src/mrn.rs:
+crates/noc/src/multiplier.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/flexagon_noc-7f689e6e92e5959a.d: crates/noc/src/lib.rs crates/noc/src/distribution.rs crates/noc/src/mrn.rs crates/noc/src/multiplier.rs
+
+/root/repo/target/debug/deps/libflexagon_noc-7f689e6e92e5959a.rlib: crates/noc/src/lib.rs crates/noc/src/distribution.rs crates/noc/src/mrn.rs crates/noc/src/multiplier.rs
+
+/root/repo/target/debug/deps/libflexagon_noc-7f689e6e92e5959a.rmeta: crates/noc/src/lib.rs crates/noc/src/distribution.rs crates/noc/src/mrn.rs crates/noc/src/multiplier.rs
+
+crates/noc/src/lib.rs:
+crates/noc/src/distribution.rs:
+crates/noc/src/mrn.rs:
+crates/noc/src/multiplier.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/flexagon_noc-a7fe1238ecd4e51a.d: crates/noc/src/lib.rs crates/noc/src/distribution.rs crates/noc/src/mrn.rs crates/noc/src/multiplier.rs
+
+/root/repo/target/debug/deps/flexagon_noc-a7fe1238ecd4e51a: crates/noc/src/lib.rs crates/noc/src/distribution.rs crates/noc/src/mrn.rs crates/noc/src/multiplier.rs
+
+crates/noc/src/lib.rs:
+crates/noc/src/distribution.rs:
+crates/noc/src/mrn.rs:
+crates/noc/src/multiplier.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/flexagon_rtl-0cbb7a0214e53e6e.d: crates/rtl/src/lib.rs crates/rtl/src/components.rs crates/rtl/src/energy.rs crates/rtl/src/naive.rs crates/rtl/src/table8.rs
+
+/root/repo/target/debug/deps/libflexagon_rtl-0cbb7a0214e53e6e.rlib: crates/rtl/src/lib.rs crates/rtl/src/components.rs crates/rtl/src/energy.rs crates/rtl/src/naive.rs crates/rtl/src/table8.rs
+
+/root/repo/target/debug/deps/libflexagon_rtl-0cbb7a0214e53e6e.rmeta: crates/rtl/src/lib.rs crates/rtl/src/components.rs crates/rtl/src/energy.rs crates/rtl/src/naive.rs crates/rtl/src/table8.rs
+
+crates/rtl/src/lib.rs:
+crates/rtl/src/components.rs:
+crates/rtl/src/energy.rs:
+crates/rtl/src/naive.rs:
+crates/rtl/src/table8.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/flexagon_rtl-2982a969aa2aa5c7.d: crates/rtl/src/lib.rs crates/rtl/src/components.rs crates/rtl/src/energy.rs crates/rtl/src/naive.rs crates/rtl/src/table8.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflexagon_rtl-2982a969aa2aa5c7.rmeta: crates/rtl/src/lib.rs crates/rtl/src/components.rs crates/rtl/src/energy.rs crates/rtl/src/naive.rs crates/rtl/src/table8.rs Cargo.toml
+
+crates/rtl/src/lib.rs:
+crates/rtl/src/components.rs:
+crates/rtl/src/energy.rs:
+crates/rtl/src/naive.rs:
+crates/rtl/src/table8.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

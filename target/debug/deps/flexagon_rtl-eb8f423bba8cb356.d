@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/flexagon_rtl-eb8f423bba8cb356.d: crates/rtl/src/lib.rs crates/rtl/src/components.rs crates/rtl/src/energy.rs crates/rtl/src/naive.rs crates/rtl/src/table8.rs
+
+/root/repo/target/debug/deps/flexagon_rtl-eb8f423bba8cb356: crates/rtl/src/lib.rs crates/rtl/src/components.rs crates/rtl/src/energy.rs crates/rtl/src/naive.rs crates/rtl/src/table8.rs
+
+crates/rtl/src/lib.rs:
+crates/rtl/src/components.rs:
+crates/rtl/src/energy.rs:
+crates/rtl/src/naive.rs:
+crates/rtl/src/table8.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/flexagon_rtl-fb7a397e81e908b3.d: crates/rtl/src/lib.rs crates/rtl/src/components.rs crates/rtl/src/energy.rs crates/rtl/src/naive.rs crates/rtl/src/table8.rs
+
+/root/repo/target/debug/deps/libflexagon_rtl-fb7a397e81e908b3.rlib: crates/rtl/src/lib.rs crates/rtl/src/components.rs crates/rtl/src/energy.rs crates/rtl/src/naive.rs crates/rtl/src/table8.rs
+
+/root/repo/target/debug/deps/libflexagon_rtl-fb7a397e81e908b3.rmeta: crates/rtl/src/lib.rs crates/rtl/src/components.rs crates/rtl/src/energy.rs crates/rtl/src/naive.rs crates/rtl/src/table8.rs
+
+crates/rtl/src/lib.rs:
+crates/rtl/src/components.rs:
+crates/rtl/src/energy.rs:
+crates/rtl/src/naive.rs:
+crates/rtl/src/table8.rs:

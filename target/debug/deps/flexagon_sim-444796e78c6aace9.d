@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/flexagon_sim-444796e78c6aace9.d: crates/sim/src/lib.rs crates/sim/src/counters.rs crates/sim/src/phase.rs crates/sim/src/timing.rs
+
+/root/repo/target/debug/deps/flexagon_sim-444796e78c6aace9: crates/sim/src/lib.rs crates/sim/src/counters.rs crates/sim/src/phase.rs crates/sim/src/timing.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/counters.rs:
+crates/sim/src/phase.rs:
+crates/sim/src/timing.rs:

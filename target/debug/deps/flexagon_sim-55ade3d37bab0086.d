@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/flexagon_sim-55ade3d37bab0086.d: crates/sim/src/lib.rs crates/sim/src/counters.rs crates/sim/src/phase.rs crates/sim/src/timing.rs
+
+/root/repo/target/debug/deps/libflexagon_sim-55ade3d37bab0086.rlib: crates/sim/src/lib.rs crates/sim/src/counters.rs crates/sim/src/phase.rs crates/sim/src/timing.rs
+
+/root/repo/target/debug/deps/libflexagon_sim-55ade3d37bab0086.rmeta: crates/sim/src/lib.rs crates/sim/src/counters.rs crates/sim/src/phase.rs crates/sim/src/timing.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/counters.rs:
+crates/sim/src/phase.rs:
+crates/sim/src/timing.rs:

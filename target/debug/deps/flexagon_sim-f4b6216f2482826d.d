@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/flexagon_sim-f4b6216f2482826d.d: crates/sim/src/lib.rs crates/sim/src/counters.rs crates/sim/src/phase.rs crates/sim/src/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflexagon_sim-f4b6216f2482826d.rmeta: crates/sim/src/lib.rs crates/sim/src/counters.rs crates/sim/src/phase.rs crates/sim/src/timing.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/counters.rs:
+crates/sim/src/phase.rs:
+crates/sim/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/flexagon_sparse-1b7dd27db679e057.d: crates/sparse/src/lib.rs crates/sparse/src/bitmap.rs crates/sparse/src/compressed.rs crates/sparse/src/dense.rs crates/sparse/src/element.rs crates/sparse/src/error.rs crates/sparse/src/fiber.rs crates/sparse/src/gen.rs crates/sparse/src/io.rs crates/sparse/src/merge.rs crates/sparse/src/reference.rs crates/sparse/src/stats.rs
+
+/root/repo/target/debug/deps/libflexagon_sparse-1b7dd27db679e057.rlib: crates/sparse/src/lib.rs crates/sparse/src/bitmap.rs crates/sparse/src/compressed.rs crates/sparse/src/dense.rs crates/sparse/src/element.rs crates/sparse/src/error.rs crates/sparse/src/fiber.rs crates/sparse/src/gen.rs crates/sparse/src/io.rs crates/sparse/src/merge.rs crates/sparse/src/reference.rs crates/sparse/src/stats.rs
+
+/root/repo/target/debug/deps/libflexagon_sparse-1b7dd27db679e057.rmeta: crates/sparse/src/lib.rs crates/sparse/src/bitmap.rs crates/sparse/src/compressed.rs crates/sparse/src/dense.rs crates/sparse/src/element.rs crates/sparse/src/error.rs crates/sparse/src/fiber.rs crates/sparse/src/gen.rs crates/sparse/src/io.rs crates/sparse/src/merge.rs crates/sparse/src/reference.rs crates/sparse/src/stats.rs
+
+crates/sparse/src/lib.rs:
+crates/sparse/src/bitmap.rs:
+crates/sparse/src/compressed.rs:
+crates/sparse/src/dense.rs:
+crates/sparse/src/element.rs:
+crates/sparse/src/error.rs:
+crates/sparse/src/fiber.rs:
+crates/sparse/src/gen.rs:
+crates/sparse/src/io.rs:
+crates/sparse/src/merge.rs:
+crates/sparse/src/reference.rs:
+crates/sparse/src/stats.rs:

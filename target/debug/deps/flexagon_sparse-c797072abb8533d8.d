@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/flexagon_sparse-c797072abb8533d8.d: crates/sparse/src/lib.rs crates/sparse/src/bitmap.rs crates/sparse/src/compressed.rs crates/sparse/src/dense.rs crates/sparse/src/element.rs crates/sparse/src/error.rs crates/sparse/src/fiber.rs crates/sparse/src/gen.rs crates/sparse/src/io.rs crates/sparse/src/merge.rs crates/sparse/src/reference.rs crates/sparse/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libflexagon_sparse-c797072abb8533d8.rmeta: crates/sparse/src/lib.rs crates/sparse/src/bitmap.rs crates/sparse/src/compressed.rs crates/sparse/src/dense.rs crates/sparse/src/element.rs crates/sparse/src/error.rs crates/sparse/src/fiber.rs crates/sparse/src/gen.rs crates/sparse/src/io.rs crates/sparse/src/merge.rs crates/sparse/src/reference.rs crates/sparse/src/stats.rs Cargo.toml
+
+crates/sparse/src/lib.rs:
+crates/sparse/src/bitmap.rs:
+crates/sparse/src/compressed.rs:
+crates/sparse/src/dense.rs:
+crates/sparse/src/element.rs:
+crates/sparse/src/error.rs:
+crates/sparse/src/fiber.rs:
+crates/sparse/src/gen.rs:
+crates/sparse/src/io.rs:
+crates/sparse/src/merge.rs:
+crates/sparse/src/reference.rs:
+crates/sparse/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/format_properties-53a14b38cccac9ad.d: crates/sparse/tests/format_properties.rs
+
+/root/repo/target/debug/deps/format_properties-53a14b38cccac9ad: crates/sparse/tests/format_properties.rs
+
+crates/sparse/tests/format_properties.rs:

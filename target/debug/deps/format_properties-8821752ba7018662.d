@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/format_properties-8821752ba7018662.d: crates/sparse/tests/format_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libformat_properties-8821752ba7018662.rmeta: crates/sparse/tests/format_properties.rs Cargo.toml
+
+crates/sparse/tests/format_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/memory_properties-110ec5766f45f657.d: crates/mem/tests/memory_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmemory_properties-110ec5766f45f657.rmeta: crates/mem/tests/memory_properties.rs Cargo.toml
+
+crates/mem/tests/memory_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/memory_properties-ed1b2e2807816b47.d: crates/mem/tests/memory_properties.rs
+
+/root/repo/target/debug/deps/memory_properties-ed1b2e2807816b47: crates/mem/tests/memory_properties.rs
+
+crates/mem/tests/memory_properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/memory_structures-50dd37545325d81d.d: crates/bench/benches/memory_structures.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmemory_structures-50dd37545325d81d.rmeta: crates/bench/benches/memory_structures.rs Cargo.toml
+
+crates/bench/benches/memory_structures.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

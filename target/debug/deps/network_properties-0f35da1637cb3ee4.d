@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/network_properties-0f35da1637cb3ee4.d: crates/noc/tests/network_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetwork_properties-0f35da1637cb3ee4.rmeta: crates/noc/tests/network_properties.rs Cargo.toml
+
+crates/noc/tests/network_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/network_properties-e01275419f7b7fa0.d: crates/noc/tests/network_properties.rs
+
+/root/repo/target/debug/deps/network_properties-e01275419f7b7fa0: crates/noc/tests/network_properties.rs
+
+crates/noc/tests/network_properties.rs:

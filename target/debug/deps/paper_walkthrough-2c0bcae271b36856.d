@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_walkthrough-2c0bcae271b36856.d: tests/paper_walkthrough.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_walkthrough-2c0bcae271b36856.rmeta: tests/paper_walkthrough.rs Cargo.toml
+
+tests/paper_walkthrough.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_walkthrough-d7360a856db8a140.d: tests/paper_walkthrough.rs
+
+/root/repo/target/debug/deps/paper_walkthrough-d7360a856db8a140: tests/paper_walkthrough.rs
+
+tests/paper_walkthrough.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-41e53d7f2205743a.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-41e53d7f2205743a: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-322a4cf58def1516.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-322a4cf58def1516.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-596846faed7e92ff.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-596846faed7e92ff.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-596846faed7e92ff.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

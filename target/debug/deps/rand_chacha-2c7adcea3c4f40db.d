@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_chacha-2c7adcea3c4f40db.d: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/debug/deps/librand_chacha-2c7adcea3c4f40db.rmeta: vendor/rand_chacha/src/lib.rs
+
+vendor/rand_chacha/src/lib.rs:

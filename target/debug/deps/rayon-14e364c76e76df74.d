@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rayon-14e364c76e76df74.d: vendor/rayon/src/lib.rs
+
+/root/repo/target/debug/deps/librayon-14e364c76e76df74.rmeta: vendor/rayon/src/lib.rs
+
+vendor/rayon/src/lib.rs:

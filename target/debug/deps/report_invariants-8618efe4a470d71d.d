@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/report_invariants-8618efe4a470d71d.d: crates/core/tests/report_invariants.rs
+
+/root/repo/target/debug/deps/report_invariants-8618efe4a470d71d: crates/core/tests/report_invariants.rs
+
+crates/core/tests/report_invariants.rs:

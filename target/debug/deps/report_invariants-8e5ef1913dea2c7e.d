@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/report_invariants-8e5ef1913dea2c7e.d: crates/core/tests/report_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreport_invariants-8e5ef1913dea2c7e.rmeta: crates/core/tests/report_invariants.rs Cargo.toml
+
+crates/core/tests/report_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

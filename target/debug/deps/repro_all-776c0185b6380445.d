@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_all-776c0185b6380445.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/debug/deps/repro_all-776c0185b6380445: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

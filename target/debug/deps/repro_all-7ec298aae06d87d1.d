@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro_all-7ec298aae06d87d1.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/debug/deps/repro_all-7ec298aae06d87d1: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

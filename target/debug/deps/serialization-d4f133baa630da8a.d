@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serialization-d4f133baa630da8a.d: tests/serialization.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserialization-d4f133baa630da8a.rmeta: tests/serialization.rs Cargo.toml
+
+tests/serialization.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serialization-edcfb1150cd91629.d: tests/serialization.rs
+
+/root/repo/target/debug/deps/serialization-edcfb1150cd91629: tests/serialization.rs
+
+tests/serialization.rs:

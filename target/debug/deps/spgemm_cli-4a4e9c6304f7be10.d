@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/spgemm_cli-4a4e9c6304f7be10.d: crates/bench/src/bin/spgemm_cli.rs
+
+/root/repo/target/debug/deps/spgemm_cli-4a4e9c6304f7be10: crates/bench/src/bin/spgemm_cli.rs
+
+crates/bench/src/bin/spgemm_cli.rs:

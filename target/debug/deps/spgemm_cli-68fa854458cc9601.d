@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/spgemm_cli-68fa854458cc9601.d: crates/bench/src/bin/spgemm_cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspgemm_cli-68fa854458cc9601.rmeta: crates/bench/src/bin/spgemm_cli.rs Cargo.toml
+
+crates/bench/src/bin/spgemm_cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/spgemm_cli-a096c5ce4bada8ca.d: crates/bench/src/bin/spgemm_cli.rs
+
+/root/repo/target/debug/deps/spgemm_cli-a096c5ce4bada8ca: crates/bench/src/bin/spgemm_cli.rs
+
+crates/bench/src/bin/spgemm_cli.rs:

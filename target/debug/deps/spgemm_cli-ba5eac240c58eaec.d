@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/spgemm_cli-ba5eac240c58eaec.d: crates/bench/src/bin/spgemm_cli.rs
+
+/root/repo/target/debug/deps/spgemm_cli-ba5eac240c58eaec: crates/bench/src/bin/spgemm_cli.rs
+
+crates/bench/src/bin/spgemm_cli.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/spgemm_kernels-84e2d726b909afcc.d: crates/bench/benches/spgemm_kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspgemm_kernels-84e2d726b909afcc.rmeta: crates/bench/benches/spgemm_kernels.rs Cargo.toml
+
+crates/bench/benches/spgemm_kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/suite_integration-528ec0cbc6deed7f.d: crates/dnn/tests/suite_integration.rs
+
+/root/repo/target/debug/deps/suite_integration-528ec0cbc6deed7f: crates/dnn/tests/suite_integration.rs
+
+crates/dnn/tests/suite_integration.rs:

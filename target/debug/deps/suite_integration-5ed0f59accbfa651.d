@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/suite_integration-5ed0f59accbfa651.d: crates/dnn/tests/suite_integration.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsuite_integration-5ed0f59accbfa651.rmeta: crates/dnn/tests/suite_integration.rs Cargo.toml
+
+crates/dnn/tests/suite_integration.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

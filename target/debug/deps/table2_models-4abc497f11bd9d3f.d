@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_models-4abc497f11bd9d3f.d: crates/bench/src/bin/table2_models.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_models-4abc497f11bd9d3f.rmeta: crates/bench/src/bin/table2_models.rs Cargo.toml
+
+crates/bench/src/bin/table2_models.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_models-6769449458a3ee2a.d: crates/bench/src/bin/table2_models.rs
+
+/root/repo/target/debug/deps/table2_models-6769449458a3ee2a: crates/bench/src/bin/table2_models.rs
+
+crates/bench/src/bin/table2_models.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_models-c86563ec7ca24795.d: crates/bench/src/bin/table2_models.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_models-c86563ec7ca24795.rmeta: crates/bench/src/bin/table2_models.rs Cargo.toml
+
+crates/bench/src/bin/table2_models.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

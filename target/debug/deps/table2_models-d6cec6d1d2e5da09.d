@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2_models-d6cec6d1d2e5da09.d: crates/bench/src/bin/table2_models.rs
+
+/root/repo/target/debug/deps/table2_models-d6cec6d1d2e5da09: crates/bench/src/bin/table2_models.rs
+
+crates/bench/src/bin/table2_models.rs:

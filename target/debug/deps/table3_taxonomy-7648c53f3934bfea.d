@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_taxonomy-7648c53f3934bfea.d: crates/bench/src/bin/table3_taxonomy.rs
+
+/root/repo/target/debug/deps/table3_taxonomy-7648c53f3934bfea: crates/bench/src/bin/table3_taxonomy.rs
+
+crates/bench/src/bin/table3_taxonomy.rs:

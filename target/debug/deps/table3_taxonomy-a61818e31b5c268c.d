@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_taxonomy-a61818e31b5c268c.d: crates/bench/src/bin/table3_taxonomy.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_taxonomy-a61818e31b5c268c.rmeta: crates/bench/src/bin/table3_taxonomy.rs Cargo.toml
+
+crates/bench/src/bin/table3_taxonomy.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

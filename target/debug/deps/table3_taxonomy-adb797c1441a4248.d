@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3_taxonomy-adb797c1441a4248.d: crates/bench/src/bin/table3_taxonomy.rs
+
+/root/repo/target/debug/deps/table3_taxonomy-adb797c1441a4248: crates/bench/src/bin/table3_taxonomy.rs
+
+crates/bench/src/bin/table3_taxonomy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_transitions-2dd78a53bdfcac06.d: crates/bench/src/bin/table4_transitions.rs
+
+/root/repo/target/debug/deps/table4_transitions-2dd78a53bdfcac06: crates/bench/src/bin/table4_transitions.rs
+
+crates/bench/src/bin/table4_transitions.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_transitions-5a420127b988f629.d: crates/bench/src/bin/table4_transitions.rs
+
+/root/repo/target/debug/deps/table4_transitions-5a420127b988f629: crates/bench/src/bin/table4_transitions.rs
+
+crates/bench/src/bin/table4_transitions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_transitions-a2c3cde20e6e4561.d: crates/bench/src/bin/table4_transitions.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_transitions-a2c3cde20e6e4561.rmeta: crates/bench/src/bin/table4_transitions.rs Cargo.toml
+
+crates/bench/src/bin/table4_transitions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

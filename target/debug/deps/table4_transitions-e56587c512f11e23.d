@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4_transitions-e56587c512f11e23.d: crates/bench/src/bin/table4_transitions.rs
+
+/root/repo/target/debug/deps/table4_transitions-e56587c512f11e23: crates/bench/src/bin/table4_transitions.rs
+
+crates/bench/src/bin/table4_transitions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table6_layers-347e78f2b04d5cd0.d: crates/bench/src/bin/table6_layers.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable6_layers-347e78f2b04d5cd0.rmeta: crates/bench/src/bin/table6_layers.rs Cargo.toml
+
+crates/bench/src/bin/table6_layers.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

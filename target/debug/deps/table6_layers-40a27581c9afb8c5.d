@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6_layers-40a27581c9afb8c5.d: crates/bench/src/bin/table6_layers.rs
+
+/root/repo/target/debug/deps/table6_layers-40a27581c9afb8c5: crates/bench/src/bin/table6_layers.rs
+
+crates/bench/src/bin/table6_layers.rs:

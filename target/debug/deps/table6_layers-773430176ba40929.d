@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6_layers-773430176ba40929.d: crates/bench/src/bin/table6_layers.rs
+
+/root/repo/target/debug/deps/table6_layers-773430176ba40929: crates/bench/src/bin/table6_layers.rs
+
+crates/bench/src/bin/table6_layers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6_layers-c15f3bb6d663fc6d.d: crates/bench/src/bin/table6_layers.rs
+
+/root/repo/target/debug/deps/table6_layers-c15f3bb6d663fc6d: crates/bench/src/bin/table6_layers.rs
+
+crates/bench/src/bin/table6_layers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table8_area_power-2f06de829ccbf05f.d: crates/bench/src/bin/table8_area_power.rs
+
+/root/repo/target/debug/deps/table8_area_power-2f06de829ccbf05f: crates/bench/src/bin/table8_area_power.rs
+
+crates/bench/src/bin/table8_area_power.rs:

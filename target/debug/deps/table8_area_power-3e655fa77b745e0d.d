@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table8_area_power-3e655fa77b745e0d.d: crates/bench/src/bin/table8_area_power.rs
+
+/root/repo/target/debug/deps/table8_area_power-3e655fa77b745e0d: crates/bench/src/bin/table8_area_power.rs
+
+crates/bench/src/bin/table8_area_power.rs:

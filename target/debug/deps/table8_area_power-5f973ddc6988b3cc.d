@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table8_area_power-5f973ddc6988b3cc.d: crates/bench/src/bin/table8_area_power.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable8_area_power-5f973ddc6988b3cc.rmeta: crates/bench/src/bin/table8_area_power.rs Cargo.toml
+
+crates/bench/src/bin/table8_area_power.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

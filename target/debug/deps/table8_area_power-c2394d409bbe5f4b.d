@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table8_area_power-c2394d409bbe5f4b.d: crates/bench/src/bin/table8_area_power.rs
+
+/root/repo/target/debug/deps/table8_area_power-c2394d409bbe5f4b: crates/bench/src/bin/table8_area_power.rs
+
+crates/bench/src/bin/table8_area_power.rs:

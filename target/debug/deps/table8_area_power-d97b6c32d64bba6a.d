@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table8_area_power-d97b6c32d64bba6a.d: crates/bench/src/bin/table8_area_power.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable8_area_power-d97b6c32d64bba6a.rmeta: crates/bench/src/bin/table8_area_power.rs Cargo.toml
+
+crates/bench/src/bin/table8_area_power.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

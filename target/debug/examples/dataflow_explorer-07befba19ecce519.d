@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dataflow_explorer-07befba19ecce519.d: examples/dataflow_explorer.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdataflow_explorer-07befba19ecce519.rmeta: examples/dataflow_explorer.rs Cargo.toml
+
+examples/dataflow_explorer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

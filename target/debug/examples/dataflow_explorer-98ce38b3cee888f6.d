@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dataflow_explorer-98ce38b3cee888f6.d: examples/dataflow_explorer.rs
+
+/root/repo/target/debug/examples/dataflow_explorer-98ce38b3cee888f6: examples/dataflow_explorer.rs
+
+examples/dataflow_explorer.rs:

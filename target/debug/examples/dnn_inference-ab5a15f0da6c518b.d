@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dnn_inference-ab5a15f0da6c518b.d: examples/dnn_inference.rs
+
+/root/repo/target/debug/examples/dnn_inference-ab5a15f0da6c518b: examples/dnn_inference.rs
+
+examples/dnn_inference.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dnn_inference-bf4e26a95017f622.d: examples/dnn_inference.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdnn_inference-bf4e26a95017f622.rmeta: examples/dnn_inference.rs Cargo.toml
+
+examples/dnn_inference.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

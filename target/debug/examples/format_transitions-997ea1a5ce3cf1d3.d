@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/format_transitions-997ea1a5ce3cf1d3.d: examples/format_transitions.rs
+
+/root/repo/target/debug/examples/format_transitions-997ea1a5ce3cf1d3: examples/format_transitions.rs
+
+examples/format_transitions.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/format_transitions-b8d27faf819b7d8e.d: examples/format_transitions.rs Cargo.toml
+
+/root/repo/target/debug/examples/libformat_transitions-b8d27faf819b7d8e.rmeta: examples/format_transitions.rs Cargo.toml
+
+examples/format_transitions.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-8d613cadb72e312c.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-8d613cadb72e312c: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-c30e25efa201da29.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-c30e25efa201da29: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig01_best_dataflow-e8261f3fa71ea181.d: crates/bench/src/bin/fig01_best_dataflow.rs
+
+/root/repo/target/release/deps/fig01_best_dataflow-e8261f3fa71ea181: crates/bench/src/bin/fig01_best_dataflow.rs
+
+crates/bench/src/bin/fig01_best_dataflow.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12_end_to_end-89c4a004851856bc.d: crates/bench/src/bin/fig12_end_to_end.rs
+
+/root/repo/target/release/deps/fig12_end_to_end-89c4a004851856bc: crates/bench/src/bin/fig12_end_to_end.rs
+
+crates/bench/src/bin/fig12_end_to_end.rs:

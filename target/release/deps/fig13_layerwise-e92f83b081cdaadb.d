@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13_layerwise-e92f83b081cdaadb.d: crates/bench/src/bin/fig13_layerwise.rs
+
+/root/repo/target/release/deps/fig13_layerwise-e92f83b081cdaadb: crates/bench/src/bin/fig13_layerwise.rs
+
+crates/bench/src/bin/fig13_layerwise.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14_onchip_traffic-4ae21bbe43606662.d: crates/bench/src/bin/fig14_onchip_traffic.rs
+
+/root/repo/target/release/deps/fig14_onchip_traffic-4ae21bbe43606662: crates/bench/src/bin/fig14_onchip_traffic.rs
+
+crates/bench/src/bin/fig14_onchip_traffic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig15_miss_rate-e1894ee3ef2c3d42.d: crates/bench/src/bin/fig15_miss_rate.rs
+
+/root/repo/target/release/deps/fig15_miss_rate-e1894ee3ef2c3d42: crates/bench/src/bin/fig15_miss_rate.rs
+
+crates/bench/src/bin/fig15_miss_rate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig16_offchip_traffic-fc8ea2097a451af4.d: crates/bench/src/bin/fig16_offchip_traffic.rs
+
+/root/repo/target/release/deps/fig16_offchip_traffic-fc8ea2097a451af4: crates/bench/src/bin/fig16_offchip_traffic.rs
+
+crates/bench/src/bin/fig16_offchip_traffic.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig17_naive_design-f756ade4af324ff2.d: crates/bench/src/bin/fig17_naive_design.rs
+
+/root/repo/target/release/deps/fig17_naive_design-f756ade4af324ff2: crates/bench/src/bin/fig17_naive_design.rs
+
+crates/bench/src/bin/fig17_naive_design.rs:

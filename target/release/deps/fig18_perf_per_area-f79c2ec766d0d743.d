@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig18_perf_per_area-f79c2ec766d0d743.d: crates/bench/src/bin/fig18_perf_per_area.rs
+
+/root/repo/target/release/deps/fig18_perf_per_area-f79c2ec766d0d743: crates/bench/src/bin/fig18_perf_per_area.rs
+
+crates/bench/src/bin/fig18_perf_per_area.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/flexagon-b566f768dccb4d4f.d: src/lib.rs
+
+/root/repo/target/release/deps/libflexagon-b566f768dccb4d4f.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libflexagon-b566f768dccb4d4f.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/flexagon_bench-882fd4ce6428d06b.d: crates/bench/src/lib.rs crates/bench/src/render.rs crates/bench/src/runner.rs
+
+/root/repo/target/release/deps/libflexagon_bench-882fd4ce6428d06b.rlib: crates/bench/src/lib.rs crates/bench/src/render.rs crates/bench/src/runner.rs
+
+/root/repo/target/release/deps/libflexagon_bench-882fd4ce6428d06b.rmeta: crates/bench/src/lib.rs crates/bench/src/render.rs crates/bench/src/runner.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/render.rs:
+crates/bench/src/runner.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/flexagon_core-ead88ce6eb15a0d7.d: crates/core/src/lib.rs crates/core/src/accel.rs crates/core/src/config.rs crates/core/src/cpu.rs crates/core/src/dataflow.rs crates/core/src/engine/mod.rs crates/core/src/engine/gustavson.rs crates/core/src/engine/inner_product.rs crates/core/src/engine/outer_product.rs crates/core/src/engine/tiling.rs crates/core/src/error.rs crates/core/src/mapper.rs crates/core/src/report.rs crates/core/src/transitions.rs
+
+/root/repo/target/release/deps/libflexagon_core-ead88ce6eb15a0d7.rlib: crates/core/src/lib.rs crates/core/src/accel.rs crates/core/src/config.rs crates/core/src/cpu.rs crates/core/src/dataflow.rs crates/core/src/engine/mod.rs crates/core/src/engine/gustavson.rs crates/core/src/engine/inner_product.rs crates/core/src/engine/outer_product.rs crates/core/src/engine/tiling.rs crates/core/src/error.rs crates/core/src/mapper.rs crates/core/src/report.rs crates/core/src/transitions.rs
+
+/root/repo/target/release/deps/libflexagon_core-ead88ce6eb15a0d7.rmeta: crates/core/src/lib.rs crates/core/src/accel.rs crates/core/src/config.rs crates/core/src/cpu.rs crates/core/src/dataflow.rs crates/core/src/engine/mod.rs crates/core/src/engine/gustavson.rs crates/core/src/engine/inner_product.rs crates/core/src/engine/outer_product.rs crates/core/src/engine/tiling.rs crates/core/src/error.rs crates/core/src/mapper.rs crates/core/src/report.rs crates/core/src/transitions.rs
+
+crates/core/src/lib.rs:
+crates/core/src/accel.rs:
+crates/core/src/config.rs:
+crates/core/src/cpu.rs:
+crates/core/src/dataflow.rs:
+crates/core/src/engine/mod.rs:
+crates/core/src/engine/gustavson.rs:
+crates/core/src/engine/inner_product.rs:
+crates/core/src/engine/outer_product.rs:
+crates/core/src/engine/tiling.rs:
+crates/core/src/error.rs:
+crates/core/src/mapper.rs:
+crates/core/src/report.rs:
+crates/core/src/transitions.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/flexagon_dnn-9c7758109495b423.d: crates/dnn/src/lib.rs crates/dnn/src/layer.rs crates/dnn/src/models.rs crates/dnn/src/stats.rs crates/dnn/src/table6.rs
+
+/root/repo/target/release/deps/libflexagon_dnn-9c7758109495b423.rlib: crates/dnn/src/lib.rs crates/dnn/src/layer.rs crates/dnn/src/models.rs crates/dnn/src/stats.rs crates/dnn/src/table6.rs
+
+/root/repo/target/release/deps/libflexagon_dnn-9c7758109495b423.rmeta: crates/dnn/src/lib.rs crates/dnn/src/layer.rs crates/dnn/src/models.rs crates/dnn/src/stats.rs crates/dnn/src/table6.rs
+
+crates/dnn/src/lib.rs:
+crates/dnn/src/layer.rs:
+crates/dnn/src/models.rs:
+crates/dnn/src/stats.rs:
+crates/dnn/src/table6.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/flexagon_mem-32965cbf0c165236.d: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/config.rs crates/mem/src/dram.rs crates/mem/src/fifo.rs crates/mem/src/psram.rs crates/mem/src/wbuf.rs
+
+/root/repo/target/release/deps/libflexagon_mem-32965cbf0c165236.rlib: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/config.rs crates/mem/src/dram.rs crates/mem/src/fifo.rs crates/mem/src/psram.rs crates/mem/src/wbuf.rs
+
+/root/repo/target/release/deps/libflexagon_mem-32965cbf0c165236.rmeta: crates/mem/src/lib.rs crates/mem/src/cache.rs crates/mem/src/config.rs crates/mem/src/dram.rs crates/mem/src/fifo.rs crates/mem/src/psram.rs crates/mem/src/wbuf.rs
+
+crates/mem/src/lib.rs:
+crates/mem/src/cache.rs:
+crates/mem/src/config.rs:
+crates/mem/src/dram.rs:
+crates/mem/src/fifo.rs:
+crates/mem/src/psram.rs:
+crates/mem/src/wbuf.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/flexagon_noc-7c1cdf5811b43b2d.d: crates/noc/src/lib.rs crates/noc/src/distribution.rs crates/noc/src/mrn.rs crates/noc/src/multiplier.rs
+
+/root/repo/target/release/deps/libflexagon_noc-7c1cdf5811b43b2d.rlib: crates/noc/src/lib.rs crates/noc/src/distribution.rs crates/noc/src/mrn.rs crates/noc/src/multiplier.rs
+
+/root/repo/target/release/deps/libflexagon_noc-7c1cdf5811b43b2d.rmeta: crates/noc/src/lib.rs crates/noc/src/distribution.rs crates/noc/src/mrn.rs crates/noc/src/multiplier.rs
+
+crates/noc/src/lib.rs:
+crates/noc/src/distribution.rs:
+crates/noc/src/mrn.rs:
+crates/noc/src/multiplier.rs:

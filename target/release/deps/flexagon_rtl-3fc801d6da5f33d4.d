@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/flexagon_rtl-3fc801d6da5f33d4.d: crates/rtl/src/lib.rs crates/rtl/src/components.rs crates/rtl/src/energy.rs crates/rtl/src/naive.rs crates/rtl/src/table8.rs
+
+/root/repo/target/release/deps/libflexagon_rtl-3fc801d6da5f33d4.rlib: crates/rtl/src/lib.rs crates/rtl/src/components.rs crates/rtl/src/energy.rs crates/rtl/src/naive.rs crates/rtl/src/table8.rs
+
+/root/repo/target/release/deps/libflexagon_rtl-3fc801d6da5f33d4.rmeta: crates/rtl/src/lib.rs crates/rtl/src/components.rs crates/rtl/src/energy.rs crates/rtl/src/naive.rs crates/rtl/src/table8.rs
+
+crates/rtl/src/lib.rs:
+crates/rtl/src/components.rs:
+crates/rtl/src/energy.rs:
+crates/rtl/src/naive.rs:
+crates/rtl/src/table8.rs:

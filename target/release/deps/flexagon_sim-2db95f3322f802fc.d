@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/flexagon_sim-2db95f3322f802fc.d: crates/sim/src/lib.rs crates/sim/src/counters.rs crates/sim/src/phase.rs crates/sim/src/timing.rs
+
+/root/repo/target/release/deps/libflexagon_sim-2db95f3322f802fc.rlib: crates/sim/src/lib.rs crates/sim/src/counters.rs crates/sim/src/phase.rs crates/sim/src/timing.rs
+
+/root/repo/target/release/deps/libflexagon_sim-2db95f3322f802fc.rmeta: crates/sim/src/lib.rs crates/sim/src/counters.rs crates/sim/src/phase.rs crates/sim/src/timing.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/counters.rs:
+crates/sim/src/phase.rs:
+crates/sim/src/timing.rs:

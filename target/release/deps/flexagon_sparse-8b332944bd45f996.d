@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/flexagon_sparse-8b332944bd45f996.d: crates/sparse/src/lib.rs crates/sparse/src/bitmap.rs crates/sparse/src/compressed.rs crates/sparse/src/dense.rs crates/sparse/src/element.rs crates/sparse/src/error.rs crates/sparse/src/fiber.rs crates/sparse/src/gen.rs crates/sparse/src/io.rs crates/sparse/src/merge.rs crates/sparse/src/reference.rs crates/sparse/src/stats.rs
+
+/root/repo/target/release/deps/libflexagon_sparse-8b332944bd45f996.rlib: crates/sparse/src/lib.rs crates/sparse/src/bitmap.rs crates/sparse/src/compressed.rs crates/sparse/src/dense.rs crates/sparse/src/element.rs crates/sparse/src/error.rs crates/sparse/src/fiber.rs crates/sparse/src/gen.rs crates/sparse/src/io.rs crates/sparse/src/merge.rs crates/sparse/src/reference.rs crates/sparse/src/stats.rs
+
+/root/repo/target/release/deps/libflexagon_sparse-8b332944bd45f996.rmeta: crates/sparse/src/lib.rs crates/sparse/src/bitmap.rs crates/sparse/src/compressed.rs crates/sparse/src/dense.rs crates/sparse/src/element.rs crates/sparse/src/error.rs crates/sparse/src/fiber.rs crates/sparse/src/gen.rs crates/sparse/src/io.rs crates/sparse/src/merge.rs crates/sparse/src/reference.rs crates/sparse/src/stats.rs
+
+crates/sparse/src/lib.rs:
+crates/sparse/src/bitmap.rs:
+crates/sparse/src/compressed.rs:
+crates/sparse/src/dense.rs:
+crates/sparse/src/element.rs:
+crates/sparse/src/error.rs:
+crates/sparse/src/fiber.rs:
+crates/sparse/src/gen.rs:
+crates/sparse/src/io.rs:
+crates/sparse/src/merge.rs:
+crates/sparse/src/reference.rs:
+crates/sparse/src/stats.rs:

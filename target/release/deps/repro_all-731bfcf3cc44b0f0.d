@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_all-731bfcf3cc44b0f0.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/release/deps/repro_all-731bfcf3cc44b0f0: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-2d3e4eb1dc158def.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-2d3e4eb1dc158def.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-2d3e4eb1dc158def.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

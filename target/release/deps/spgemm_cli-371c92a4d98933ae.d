@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/spgemm_cli-371c92a4d98933ae.d: crates/bench/src/bin/spgemm_cli.rs
+
+/root/repo/target/release/deps/spgemm_cli-371c92a4d98933ae: crates/bench/src/bin/spgemm_cli.rs
+
+crates/bench/src/bin/spgemm_cli.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2_models-10bf8d5213b38013.d: crates/bench/src/bin/table2_models.rs
+
+/root/repo/target/release/deps/table2_models-10bf8d5213b38013: crates/bench/src/bin/table2_models.rs
+
+crates/bench/src/bin/table2_models.rs:

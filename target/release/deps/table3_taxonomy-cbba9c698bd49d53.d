@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3_taxonomy-cbba9c698bd49d53.d: crates/bench/src/bin/table3_taxonomy.rs
+
+/root/repo/target/release/deps/table3_taxonomy-cbba9c698bd49d53: crates/bench/src/bin/table3_taxonomy.rs
+
+crates/bench/src/bin/table3_taxonomy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4_transitions-9ef14bdeef986534.d: crates/bench/src/bin/table4_transitions.rs
+
+/root/repo/target/release/deps/table4_transitions-9ef14bdeef986534: crates/bench/src/bin/table4_transitions.rs
+
+crates/bench/src/bin/table4_transitions.rs:

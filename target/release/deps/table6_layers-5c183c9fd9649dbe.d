@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6_layers-5c183c9fd9649dbe.d: crates/bench/src/bin/table6_layers.rs
+
+/root/repo/target/release/deps/table6_layers-5c183c9fd9649dbe: crates/bench/src/bin/table6_layers.rs
+
+crates/bench/src/bin/table6_layers.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table8_area_power-f9d3a859726fa06a.d: crates/bench/src/bin/table8_area_power.rs
+
+/root/repo/target/release/deps/table8_area_power-f9d3a859726fa06a: crates/bench/src/bin/table8_area_power.rs
+
+crates/bench/src/bin/table8_area_power.rs:

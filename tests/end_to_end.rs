@@ -2,8 +2,7 @@
 //! through simulation to area models, exercised the way the harness uses it.
 
 use flexagon::core::{
-    mapper, transitions, Accelerator, CpuMkl, Dataflow, Flexagon, GammaLike,
-    SigmaLike, SparchLike,
+    mapper, transitions, Accelerator, CpuMkl, Dataflow, Flexagon, GammaLike, SigmaLike, SparchLike,
 };
 use flexagon::dnn::{table6, DnnModel};
 use flexagon::rtl::{perf_per_area, table8_rows, AcceleratorKind};
@@ -38,7 +37,11 @@ fn representative_layer_runs_everywhere() {
     assert!(best.report.total_cycles <= sparch.report.total_cycles);
     assert!(best.report.total_cycles <= gamma.report.total_cycles);
     // The paper groups MB215 with the Gustavson-friendly layers.
-    assert_eq!(best_df.class(), Dataflow::GustavsonM.class(), "MB215 favours Gust");
+    assert_eq!(
+        best_df.class(),
+        Dataflow::GustavsonM.class(),
+        "MB215 favours Gust"
+    );
 }
 
 /// The CPU baseline is slower than every accelerator on a real layer.
@@ -49,7 +52,10 @@ fn accelerators_beat_the_cpu() {
     let cpu = CpuMkl::with_defaults().run(&mats.a, &mats.b).unwrap();
     let (_, accel) = mapper::oracle(&Flexagon::with_defaults(), &mats.a, &mats.b).unwrap();
     let speedup = cpu.report.total_cycles as f64 / accel.report.total_cycles as f64;
-    assert!(speedup > 5.0, "accelerator speed-up over CPU only {speedup:.1}x");
+    assert!(
+        speedup > 5.0,
+        "accelerator speed-up over CPU only {speedup:.1}x"
+    );
 }
 
 /// A multi-layer chain planned with Table 4 never converts formats, and the
@@ -73,8 +79,14 @@ fn three_layer_chain_without_conversions() {
         .run(&x, &w1.converted(plan[0].b_format()), plan[0])
         .unwrap();
     assert_eq!(l1.report.explicit_conversions, 0);
-    assert_eq!(l1.c.order(), plan[1].a_format(), "chain is format-compatible");
-    let l2 = accel.run(&l1.c, &w2.converted(plan[1].b_format()), plan[1]).unwrap();
+    assert_eq!(
+        l1.c.order(),
+        plan[1].a_format(),
+        "chain is format-compatible"
+    );
+    let l2 = accel
+        .run(&l1.c, &w2.converted(plan[1].b_format()), plan[1])
+        .unwrap();
     assert_eq!(l2.report.explicit_conversions, 0);
 
     let want = reference::spgemm(&reference::spgemm(&x, &w1).unwrap(), &w2).unwrap();
@@ -111,7 +123,11 @@ fn mappers_agree_on_extremes() {
     let accel = Flexagon::with_defaults();
     let (oracle_df, _) = mapper::oracle(&accel, &mb.a, &mb.b).unwrap();
     let heuristic_df = mapper::heuristic(accel.config(), &mb.a, &mb.b);
-    assert_eq!(oracle_df.class(), heuristic_df.class(), "tiny-B layer is Gust territory");
+    assert_eq!(
+        oracle_df.class(),
+        heuristic_df.class(),
+        "tiny-B layer is Gust territory"
+    );
 }
 
 /// Whole-model execution stays functionally exact layer by layer.

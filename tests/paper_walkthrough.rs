@@ -31,14 +31,14 @@ fn paper_b() -> CompressedMatrix {
         4,
         3,
         &[
-            (0, 1, 1.0),  // B01
-            (0, 2, 2.0),  // B02
-            (1, 0, 3.0),  // B10
-            (1, 2, 4.0),  // B12
-            (2, 0, 5.0),  // B20
-            (3, 0, 6.0),  // B30
-            (3, 1, 7.0),  // B31
-            (3, 2, 8.0),  // B32
+            (0, 1, 1.0), // B01
+            (0, 2, 2.0), // B02
+            (1, 0, 3.0), // B10
+            (1, 2, 4.0), // B12
+            (2, 0, 5.0), // B20
+            (3, 0, 6.0), // B30
+            (3, 1, 7.0), // B31
+            (3, 2, 8.0), // B32
         ],
         MajorOrder::Row,
     )
@@ -71,7 +71,9 @@ fn check_product(c: &CompressedMatrix) {
 #[test]
 fn fig5_inner_product_walkthrough() {
     let accel = four_multiplier_accel();
-    let out = accel.run(&paper_a(), &paper_b(), Dataflow::InnerProductM).unwrap();
+    let out = accel
+        .run(&paper_a(), &paper_b(), Dataflow::InnerProductM)
+        .unwrap();
     check_product(&out.c);
     let r = &out.report;
     // All four A elements fit the 4-multiplier array: one stationary tile.
@@ -88,7 +90,9 @@ fn fig5_inner_product_walkthrough() {
 #[test]
 fn fig6_outer_product_walkthrough() {
     let accel = four_multiplier_accel();
-    let out = accel.run(&paper_a(), &paper_b(), Dataflow::OuterProductM).unwrap();
+    let out = accel
+        .run(&paper_a(), &paper_b(), Dataflow::OuterProductM)
+        .unwrap();
     check_product(&out.c);
     let r = &out.report;
     assert_eq!(r.tiles, 1, "columns 0..3 of A fill the four multipliers");
@@ -108,7 +112,9 @@ fn fig6_outer_product_walkthrough() {
 #[test]
 fn fig7_gustavson_walkthrough() {
     let accel = four_multiplier_accel();
-    let out = accel.run(&paper_a(), &paper_b(), Dataflow::GustavsonM).unwrap();
+    let out = accel
+        .run(&paper_a(), &paper_b(), Dataflow::GustavsonM)
+        .unwrap();
     check_product(&out.c);
     let r = &out.report;
     // Fig. 7 maps row 0 (1 element) and row 1 (3 elements) spatially in
@@ -133,7 +139,10 @@ fn walkthrough_dataflow_costs_differ() {
         .iter()
         .map(|&df| accel.run(&a, &b, df).unwrap().report.total_cycles)
         .collect();
-    assert!(cycles.iter().any(|&c| c != cycles[0]), "costs differ: {cycles:?}");
+    assert!(
+        cycles.iter().any(|&c| c != cycles[0]),
+        "costs differ: {cycles:?}"
+    );
 }
 
 #[test]

@@ -1,0 +1,261 @@
+//! Minimal in-tree criterion shim.
+//!
+//! Implements the benchmarking surface the `flexagon-bench` suites use:
+//! [`Criterion`], [`BenchmarkGroup`], [`BenchmarkId`], `Bencher::iter`,
+//! `criterion_group!` and `criterion_main!`. Each benchmark is warmed up and
+//! then timed in batches until a wall-clock budget is spent; the harness
+//! prints one line per benchmark and appends machine-readable JSON records
+//! to the path named by `FLEXAGON_BENCH_JSON` (default
+//! `target/bench_results.json`).
+//!
+//! Environment knobs:
+//! * `FLEXAGON_BENCH_MS` — measurement budget per benchmark in milliseconds
+//!   (default 300).
+//! * `FLEXAGON_BENCH_JSON` — output path for the JSON records.
+
+use std::fmt::Display;
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// One measured benchmark: name and nanoseconds per iteration.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Full benchmark id (`group/function/param`).
+    pub name: String,
+    /// Median nanoseconds per iteration across measurement batches.
+    pub ns_per_iter: f64,
+    /// Total iterations executed during measurement.
+    pub iterations: u64,
+}
+
+/// The benchmark driver handed to `criterion_group!` functions.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Creates a driver with default settings.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn budget() -> Duration {
+        let ms = std::env::var("FLEXAGON_BENCH_MS")
+            .ok()
+            .and_then(|v| v.parse::<u64>().ok())
+            .unwrap_or(300);
+        Duration::from_millis(ms)
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: String, mut f: F) {
+        let mut bencher = Bencher { batches: Vec::new(), budget: Self::budget() };
+        f(&mut bencher);
+        let mut per_iter: Vec<f64> = bencher
+            .batches
+            .iter()
+            .map(|&(ns, iters)| ns as f64 / iters as f64)
+            .collect();
+        per_iter.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        let median = if per_iter.is_empty() {
+            0.0
+        } else {
+            per_iter[per_iter.len() / 2]
+        };
+        let iterations: u64 = bencher.batches.iter().map(|&(_, iters)| iters).sum();
+        println!("bench: {name:<56} {median:>14.1} ns/iter ({iterations} iters)");
+        self.results.push(BenchResult { name, ns_per_iter: median, iterations });
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        self.run_one(name.to_string(), f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string() }
+    }
+
+    /// Serializes all measured results as a JSON array.
+    pub fn results_json(&self) -> String {
+        let mut out = String::from("[\n");
+        for (i, r) in self.results.iter().enumerate() {
+            if i > 0 {
+                out.push_str(",\n");
+            }
+            out.push_str(&format!(
+                "  {{\"name\": \"{}\", \"ns_per_iter\": {:.1}, \"iterations\": {}}}",
+                r.name, r.ns_per_iter, r.iterations
+            ));
+        }
+        out.push_str("\n]\n");
+        out
+    }
+
+    /// Writes the JSON results to `FLEXAGON_BENCH_JSON` (appends records by
+    /// rewriting the whole file for simplicity: one file per bench binary).
+    pub fn flush_results(&self) {
+        if self.results.is_empty() {
+            return;
+        }
+        let path = std::env::var("FLEXAGON_BENCH_JSON")
+            .unwrap_or_else(|_| "target/bench_results.json".to_string());
+        if let Some(parent) = std::path::Path::new(&path).parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        match std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+            Ok(mut file) => {
+                for r in &self.results {
+                    let _ = writeln!(
+                        file,
+                        "{{\"name\": \"{}\", \"ns_per_iter\": {:.1}, \"iterations\": {}}}",
+                        r.name, r.ns_per_iter, r.iterations
+                    );
+                }
+            }
+            Err(e) => eprintln!("warning: cannot write bench results to {path}: {e}"),
+        }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the shim sizes batches by wall clock.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<I: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: I,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        self.criterion.run_one(format!("{}/{}", self.name, id.label()), f);
+        self
+    }
+
+    /// Runs one benchmark that receives a reference to `input`.
+    pub fn bench_with_input<I: Into<BenchmarkId>, T: ?Sized, F: FnMut(&mut Bencher, &T)>(
+        &mut self,
+        id: I,
+        input: &T,
+        mut f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        self.criterion
+            .run_one(format!("{}/{}", self.name, id.label()), |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifier of one benchmark within a group: `function/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter value.
+    pub fn new<P: Display>(function: &str, parameter: P) -> Self {
+        Self { label: format!("{function}/{parameter}") }
+    }
+
+    /// Builds an id from a parameter value alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self { label: parameter.to_string() }
+    }
+
+    fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { label: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { label: s }
+    }
+}
+
+/// Times closures in batches until the measurement budget is spent.
+#[derive(Debug)]
+pub struct Bencher {
+    /// `(elapsed_ns, iterations)` per measured batch.
+    batches: Vec<(u128, u64)>,
+    budget: Duration,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly, measuring batched wall-clock time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Calibrate: find an iteration count that takes roughly 1/20 of the
+        // budget per batch, so the median is taken over ~20 batches.
+        let calibration_start = Instant::now();
+        black_box(f());
+        let one = calibration_start.elapsed().as_nanos().max(1);
+        let mut batch_iters = 1u64;
+        let target_batch = (self.budget.as_nanos() / 20).max(1);
+        while one.saturating_mul(batch_iters as u128) < target_batch && batch_iters < 1 << 20 {
+            batch_iters *= 2;
+        }
+        // Warm-up batch.
+        for _ in 0..batch_iters.min(16) {
+            black_box(f());
+        }
+        let deadline = Instant::now() + self.budget;
+        while Instant::now() < deadline {
+            let start = Instant::now();
+            for _ in 0..batch_iters {
+                black_box(f());
+            }
+            self.batches.push((start.elapsed().as_nanos(), batch_iters));
+        }
+        if self.batches.is_empty() {
+            let start = Instant::now();
+            black_box(f());
+            self.batches.push((start.elapsed().as_nanos(), 1));
+        }
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running every group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::new();
+            $($group(&mut criterion);)+
+            criterion.flush_results();
+        }
+    };
+}

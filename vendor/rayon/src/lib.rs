@@ -1,0 +1,187 @@
+//! Minimal in-tree rayon shim.
+//!
+//! Implements the data-parallel surface the benchmark runner uses —
+//! `par_iter().map(..).collect()` over slices, plus [`join`] — on top of
+//! `std::thread::scope`. Results are collected in input order, so a parallel
+//! map is a drop-in replacement for the sequential one: determinism is
+//! preserved as long as the mapped closure is a pure function of its item.
+//!
+//! Thread count comes from `std::thread::available_parallelism`, clamped by
+//! the `RAYON_NUM_THREADS` environment variable when set.
+
+use std::num::NonZeroUsize;
+
+/// Number of worker threads a parallel operation may use.
+pub fn current_num_threads() -> usize {
+    let hw = std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1);
+    match std::env::var("RAYON_NUM_THREADS")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+    {
+        Some(n) if n >= 1 => n.min(hw.max(1)),
+        _ => hw,
+    }
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(a);
+        let rb = b();
+        (handle.join().expect("joined closure panicked"), rb)
+    })
+}
+
+/// Parallel iterator over `&[T]` produced by [`IntoParallelRefIterator::par_iter`].
+#[derive(Debug)]
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+/// Lazily mapped parallel iterator.
+#[derive(Debug)]
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps every item through `f` in parallel.
+    pub fn map<U, F: Fn(&'a T) -> U + Sync>(self, f: F) -> ParMap<'a, T, F> {
+        ParMap { items: self.items, f }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the iterator is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+impl<'a, T: Sync, U: Send, F: Fn(&'a T) -> U + Sync> ParMap<'a, T, F> {
+    /// Evaluates the map on worker threads, preserving input order.
+    pub fn collect<C: FromParallelResults<U>>(self) -> C {
+        C::from_ordered(parallel_map(self.items, &self.f))
+    }
+}
+
+/// Collections buildable from an ordered parallel map result.
+pub trait FromParallelResults<U> {
+    /// Builds the collection from results in input order.
+    fn from_ordered(items: Vec<U>) -> Self;
+}
+
+impl<U> FromParallelResults<U> for Vec<U> {
+    fn from_ordered(items: Vec<U>) -> Self {
+        items
+    }
+}
+
+fn parallel_map<'a, T: Sync, U: Send, F: Fn(&'a T) -> U + Sync>(
+    items: &'a [T],
+    f: &F,
+) -> Vec<U> {
+    let threads = current_num_threads().min(items.len().max(1));
+    if threads <= 1 || items.len() <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let mut slots: Vec<Option<U>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let slot_ptr = SlotsPtr(slots.as_mut_ptr());
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let next = &next;
+            let slot_ptr = &slot_ptr;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                let value = f(&items[i]);
+                // SAFETY: each index is claimed by exactly one worker via the
+                // atomic counter, slots outlives the scope, and `Option<U>`
+                // writes to distinct elements never alias.
+                unsafe { *slot_ptr.0.add(i) = Some(value) };
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.expect("every index was claimed by a worker"))
+        .collect()
+}
+
+struct SlotsPtr<U>(*mut Option<U>);
+// SAFETY: workers write disjoint indices; synchronization is provided by the
+// scope join before the vector is read.
+unsafe impl<U: Send> Sync for SlotsPtr<U> {}
+unsafe impl<U: Send> Send for SlotsPtr<U> {}
+
+/// Borrowing conversion into a parallel iterator (`.par_iter()`).
+pub trait IntoParallelRefIterator<'a> {
+    /// Item type yielded by the parallel iterator.
+    type Item: 'a;
+    /// Creates the parallel iterator.
+    fn par_iter(&'a self) -> ParIter<'a, Self::Item>;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = T;
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// The glob-import surface mirroring `rayon::prelude::*`.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParIter, ParMap};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = input.par_iter().map(|&x| x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = super::join(|| 1 + 1, || "two");
+        assert_eq!(a, 2);
+        assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn empty_input() {
+        let input: Vec<u32> = Vec::new();
+        let out: Vec<u32> = input.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+}

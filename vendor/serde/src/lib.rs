@@ -1,0 +1,342 @@
+//! Minimal in-tree serde shim.
+//!
+//! The build environment cannot reach crates.io, so the workspace vendors the
+//! small serde surface the simulator uses: `Serialize` / `Deserialize` traits
+//! over a self-describing [`Value`] model, plus derive macros re-exported from
+//! the companion `serde_derive` shim. `serde_json` (also vendored) renders
+//! [`Value`] to and from JSON text.
+//!
+//! The design intentionally collapses serde's serializer/visitor machinery to
+//! a concrete value tree: every type serializes by building a [`Value`] and
+//! deserializes by reading one. That is ample for the simulator's reports,
+//! configs and matrices, and keeps the shim a few hundred lines.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+
+/// A self-describing serialized value (the shim's data model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Unsigned integer (JSON number without sign, fraction or exponent).
+    UInt(u64),
+    /// Negative integer.
+    Int(i64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Seq(Vec<Value>),
+    /// Object; insertion order is preserved.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The object entries, if this value is a map.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this value is a sequence.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The string contents, if this value is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this value is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `u64`, if losslessly representable.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(u) => Some(u),
+            Value::Int(i) => u64::try_from(i).ok(),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `i64`, if losslessly representable.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::UInt(u) => i64::try_from(u).ok(),
+            Value::Int(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `f64` (integers widen).
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::UInt(u) => Some(u as f64),
+            Value::Int(i) => Some(i as f64),
+            Value::Float(f) => Some(f),
+            _ => None,
+        }
+    }
+}
+
+/// Deserialization error: a message describing the mismatch.
+#[derive(Debug, Clone)]
+pub struct DeError(String);
+
+impl DeError {
+    /// Creates an error with the given message.
+    pub fn new(msg: &str) -> Self {
+        Self(msg.to_string())
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Looks up `key` in a map's entries (helper used by derived impls).
+pub fn map_get<'a>(map: &'a [(String, Value)], key: &str) -> Result<&'a Value, DeError> {
+    map.iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError(format!("missing field '{key}'")))
+}
+
+/// Types that can serialize themselves into a [`Value`].
+pub trait Serialize {
+    /// Builds the value-model representation of `self`.
+    fn to_value(&self) -> Value;
+}
+
+/// Types that can reconstruct themselves from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Parses `v` into `Self`.
+    fn from_value(v: &Value) -> Result<Self, DeError>;
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::UInt(*self as u64) }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let u = v.as_u64().ok_or_else(|| {
+                    DeError(format!("expected unsigned integer, got {v:?}"))
+                })?;
+                <$t>::try_from(u).map_err(|_| {
+                    DeError(format!("{u} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+impl_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let i = *self as i64;
+                if i < 0 { Value::Int(i) } else { Value::UInt(i as u64) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, DeError> {
+                let i = v.as_i64().ok_or_else(|| {
+                    DeError(format!("expected integer, got {v:?}"))
+                })?;
+                <$t>::try_from(i).map_err(|_| {
+                    DeError(format!("{i} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+impl_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_f64()
+            .ok_or_else(|| DeError(format!("expected number, got {v:?}")))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        // f32 -> f64 is exact, so the round trip back through `as f32` is too.
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        Ok(f64::from_value(v)? as f32)
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_bool()
+            .ok_or_else(|| DeError(format!("expected bool, got {v:?}")))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError(format!("expected string, got {v:?}")))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_seq()
+            .ok_or_else(|| DeError(format!("expected array, got {v:?}")))?
+            .iter()
+            .map(Deserialize::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize, const N: usize> Deserialize for [T; N] {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let items: Vec<T> = Vec::from_value(v)?;
+        let len = items.len();
+        items
+            .try_into()
+            .map_err(|_| DeError(format!("expected array of length {N}, got {len}")))
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(t) => t.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<K: ToString, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_string(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        v.as_map()
+            .ok_or_else(|| DeError(format!("expected object, got {v:?}")))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::from_value(v)?)))
+            .collect()
+    }
+}
+
+impl<K: ToString, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$n.to_value()),+])
+            }
+        }
+    )*};
+}
+impl_tuple!((0 A, 1 B) (0 A, 1 B, 2 C) (0 A, 1 B, 2 C, 3 D));

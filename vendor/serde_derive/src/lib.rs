@@ -1,0 +1,292 @@
+//! Minimal `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for the
+//! vendored serde shim.
+//!
+//! The build environment has no access to crates.io, so the workspace vendors
+//! a tiny serde-compatible surface. This crate hand-parses the derive input
+//! token stream (no `syn`/`quote` available) and supports the shapes the
+//! simulator actually uses:
+//!
+//! * structs with named fields
+//! * enums whose variants are all unit variants
+//!
+//! `#[serde(...)]` attributes are not supported (none are used in-tree).
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    /// Named-field struct: field identifiers in declaration order.
+    Struct(Vec<String>),
+    /// Tuple struct: number of fields.
+    Tuple(usize),
+    /// Unit-variant enum: variant identifiers in declaration order.
+    Enum(Vec<String>),
+}
+
+struct Input {
+    name: String,
+    shape: Shape,
+}
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut tokens = input.into_iter().peekable();
+    let mut is_enum = false;
+    // Skip attributes and visibility until the `struct` / `enum` keyword.
+    loop {
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#[...]` — the bracket group is the next token.
+                tokens.next();
+            }
+            Some(TokenTree::Ident(id)) => {
+                let word = id.to_string();
+                if word == "struct" {
+                    break;
+                }
+                if word == "enum" {
+                    is_enum = true;
+                    break;
+                }
+                // `pub` / `pub(crate)` — the optional paren group is skipped
+                // by the surrounding loop as an ordinary token.
+            }
+            Some(_) => {}
+            None => panic!("derive input has no struct or enum keyword"),
+        }
+    }
+    let name = match tokens.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("expected type name after struct/enum, got {other:?}"),
+    };
+    let shape = loop {
+        match tokens.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                break if is_enum {
+                    Shape::Enum(parse_variants(g.stream()))
+                } else {
+                    Shape::Struct(parse_fields(g.stream()))
+                };
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis && !is_enum => {
+                break Shape::Tuple(count_tuple_fields(g.stream()));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                panic!("generic types are not supported by the vendored serde derive")
+            }
+            Some(_) => continue,
+            None => panic!("missing body for type {name}"),
+        }
+    };
+    Input { name, shape }
+}
+
+fn parse_fields(body: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        // Skip field attributes (doc comments arrive as `#[doc = ...]`).
+        while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            tokens.next();
+            tokens.next();
+        }
+        // Skip visibility.
+        if matches!(tokens.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            tokens.next();
+            if matches!(
+                tokens.peek(),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            ) {
+                tokens.next();
+            }
+        }
+        match tokens.next() {
+            Some(TokenTree::Ident(id)) => fields.push(id.to_string()),
+            None => break,
+            other => panic!("unsupported field syntax at {other:?} (tuple struct?)"),
+        }
+        // Skip the `: Type` tail up to the next top-level comma. Commas inside
+        // generic arguments are shielded by tracking angle-bracket depth;
+        // commas inside parens/brackets are inside `Group` tokens already.
+        let mut angle_depth = 0i64;
+        loop {
+            match tokens.next() {
+                Some(TokenTree::Punct(p)) => match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => break,
+                    _ => {}
+                },
+                Some(_) => {}
+                None => break,
+            }
+        }
+        if tokens.peek().is_none() {
+            break;
+        }
+    }
+    fields
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    // Count top-level commas (angle-depth aware); a trailing comma does not
+    // add a field.
+    let mut fields = 0usize;
+    let mut angle_depth = 0i64;
+    let mut saw_tokens = false;
+    let mut pending = false;
+    for tt in body {
+        saw_tokens = true;
+        pending = true;
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    fields += 1;
+                    pending = false;
+                }
+                _ => {}
+            }
+        }
+    }
+    if saw_tokens && pending {
+        fields += 1;
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<String> {
+    let mut variants = Vec::new();
+    let mut tokens = body.into_iter().peekable();
+    loop {
+        while matches!(tokens.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            tokens.next();
+            tokens.next();
+        }
+        match tokens.next() {
+            Some(TokenTree::Ident(id)) => variants.push(id.to_string()),
+            None => break,
+            other => panic!("unsupported enum syntax at {other:?}"),
+        }
+        match tokens.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
+            None => break,
+            other => panic!(
+                "vendored serde derive supports only unit enum variants, got {other:?}"
+            ),
+        }
+    }
+    variants
+}
+
+/// Derives the shim's `serde::Serialize` (`to_value`) implementation.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let Input { name, shape } = parse_input(input);
+    let body = match shape {
+        Shape::Struct(fields) => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "__m.push((::std::string::String::from(\"{f}\"), \
+                         ::serde::Serialize::to_value(&self.{f})));"
+                    )
+                })
+                .collect();
+            format!(
+                "let mut __m: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                 ::std::vec::Vec::new(); {pushes} ::serde::Value::Map(__m)"
+            )
+        }
+        Shape::Tuple(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::Tuple(n) => {
+            let items: String = (0..n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i}),"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{items}])")
+        }
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("Self::{v} => \"{v}\","))
+                .collect();
+            format!(
+                "::serde::Value::Str(::std::string::String::from(match self {{ {arms} }}))"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{ \
+           fn to_value(&self) -> ::serde::Value {{ {body} }} \
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// Derives the shim's `serde::Deserialize` (`from_value`) implementation.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let Input { name, shape } = parse_input(input);
+    let body = match shape {
+        Shape::Struct(fields) => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                         ::serde::map_get(__m, \"{f}\")?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "let __m = __v.as_map().ok_or_else(|| \
+                 ::serde::DeError::new(\"expected a JSON object for struct {name}\"))?; \
+                 ::std::result::Result::Ok(Self {{ {inits} }})"
+            )
+        }
+        Shape::Tuple(1) => {
+            "::std::result::Result::Ok(Self(::serde::Deserialize::from_value(__v)?))".to_string()
+        }
+        Shape::Tuple(n) => {
+            let items: String = (0..n)
+                .map(|i| {
+                    format!(
+                        "::serde::Deserialize::from_value(__s.get({i}).ok_or_else(|| \
+                         ::serde::DeError::new(\"tuple too short\"))?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "let __s = __v.as_seq().ok_or_else(|| \
+                 ::serde::DeError::new(\"expected a JSON array for tuple struct {name}\"))?; \
+                 ::std::result::Result::Ok(Self({items}))"
+            )
+        }
+        Shape::Enum(variants) => {
+            let arms: String = variants
+                .iter()
+                .map(|v| format!("\"{v}\" => ::std::result::Result::Ok(Self::{v}),"))
+                .collect();
+            format!(
+                "match __v.as_str() {{ \
+                   ::std::option::Option::Some(__s) => match __s {{ \
+                     {arms} \
+                     __other => ::std::result::Result::Err(::serde::DeError::new(\
+                       &::std::format!(\"unknown variant '{{__other}}' for enum {name}\"))), \
+                   }}, \
+                   ::std::option::Option::None => ::std::result::Result::Err(\
+                     ::serde::DeError::new(\"expected a string for enum {name}\")), \
+                 }}"
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{ \
+           fn from_value(__v: &::serde::Value) -> \
+             ::std::result::Result<Self, ::serde::DeError> {{ {body} }} \
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}
