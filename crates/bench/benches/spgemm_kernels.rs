@@ -2,7 +2,8 @@
 //! golden models and the CPU-baseline kernel.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use flexagon_sparse::{gen, reference, CompressedMatrix, MajorOrder};
+use flexagon_core::{Accelerator, Dataflow, Flexagon};
+use flexagon_sparse::{gen, merge, reference, CompressedMatrix, Fiber, MajorOrder};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::hint::black_box;
@@ -41,5 +42,72 @@ fn bench_conversion(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_kernels, bench_conversion);
+/// `ways` sorted fibers of ~`len` elements each over a shared coordinate
+/// space, so the merge sees realistic collision rates.
+fn merge_inputs(ways: usize, len: usize) -> Vec<Fiber> {
+    let mut rng = ChaCha8Rng::seed_from_u64(17);
+    let space = (len * 4) as u64;
+    let density = len as f64 / space as f64;
+    (0..ways)
+        .map(|_| {
+            gen::random(1, space as u32, density, MajorOrder::Row, &mut rng)
+                .fiber(0)
+                .to_fiber()
+        })
+        .collect()
+}
+
+fn bench_kway_merge(c: &mut Criterion) {
+    let mut group = c.benchmark_group("kway_merge");
+    for &(ways, len) in &[(2usize, 4096usize), (4, 2048), (16, 512), (64, 256)] {
+        let fibers = merge_inputs(ways, len);
+        group.bench_with_input(
+            BenchmarkId::new("accumulate", format!("{ways}way")),
+            &ways,
+            |bench, _| {
+                bench.iter(|| {
+                    let views: Vec<_> = fibers.iter().map(Fiber::as_view).collect();
+                    merge::merge_accumulate(black_box(&views))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_execute(c: &mut Criterion) {
+    let mut group = c.benchmark_group("execute");
+    group.sample_size(10);
+    let mut rng = ChaCha8Rng::seed_from_u64(23);
+    let a = gen::random(256, 512, 0.15, MajorOrder::Row, &mut rng);
+    let b = gen::random(512, 512, 0.25, MajorOrder::Row, &mut rng);
+    let accel = Flexagon::with_defaults();
+    for df in Dataflow::M_STATIONARY {
+        group.bench_with_input(
+            BenchmarkId::new("table5", df.loop_order()),
+            &df,
+            |bench, &df| {
+                bench.iter(|| accel.run(black_box(&a), black_box(&b), df).unwrap());
+            },
+        );
+    }
+    // The N-stationary duality path (reinterpreted transposes) — the case the
+    // clone-free engine optimizes hardest.
+    group.bench_function("table5/NKM", |bench| {
+        bench.iter(|| {
+            accel
+                .run(black_box(&a), black_box(&b), Dataflow::GustavsonN)
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_kernels,
+    bench_conversion,
+    bench_kway_merge,
+    bench_execute
+);
 criterion_main!(benches);

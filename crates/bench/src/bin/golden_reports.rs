@@ -1,0 +1,47 @@
+//! Dumps full execution reports and outputs for a fixed workload matrix as
+//! JSON — the regression golden for "perf work must not change semantics".
+//!
+//! Usage: `golden_reports > golden.json`. Two builds of the simulator are
+//! functionally and timing-model equivalent iff their outputs are
+//! byte-identical: the dump covers every field of [`ExecutionReport`]
+//! (cycles, per-phase clocks, traffic, cache stats, counters) plus the
+//! functional output matrix for all six dataflows over a spread of shapes
+//! and sparsities.
+
+use flexagon_core::{Accelerator, Dataflow, Flexagon};
+use flexagon_sparse::{gen, MajorOrder};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn main() {
+    // (m, k, n, density_a, density_b, seed)
+    let cases: &[(u32, u32, u32, f64, f64, u64)] = &[
+        (32, 48, 40, 0.30, 0.20, 1),
+        (96, 64, 80, 0.10, 0.40, 2),
+        (160, 160, 160, 0.05, 0.05, 3),
+        (64, 512, 48, 0.20, 0.15, 4),
+        (8, 8, 8, 1.00, 1.00, 5),
+    ];
+    let accel = Flexagon::with_defaults();
+    println!("[");
+    let mut first = true;
+    for &(m, k, n, da, db, seed) in cases {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let a = gen::random(m, k, da, MajorOrder::Row, &mut rng);
+        let b = gen::random(k, n, db, MajorOrder::Row, &mut rng);
+        for df in Dataflow::ALL {
+            let out = accel.run(&a, &b, df).expect("golden run");
+            if !first {
+                println!(",");
+            }
+            first = false;
+            let label = format!("{m}x{k}x{n}/da{da}/db{db}/seed{seed}/{df}");
+            print!(
+                "{{\"case\": \"{label}\", \"report\": {}, \"c\": {}}}",
+                serde_json::to_string(&out.report).expect("report serializes"),
+                serde_json::to_string(&out.c).expect("matrix serializes"),
+            );
+        }
+    }
+    println!("\n]");
+}

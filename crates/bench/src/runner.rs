@@ -4,6 +4,7 @@ use flexagon_core::{
     Accelerator, CpuMkl, Dataflow, ExecutionReport, GammaLike, SigmaLike, SparchLike,
 };
 use flexagon_dnn::{DnnModel, LayerSpec};
+use rayon::prelude::*;
 use serde::Serialize;
 
 /// Seed used by every harness binary, so all tables and figures in
@@ -110,20 +111,40 @@ impl LayerResults {
 /// Panics if any simulation fails — harness inputs are always well-formed.
 pub fn run_layer(spec: &LayerSpec, seed: u64) -> LayerResults {
     let mats = spec.materialize(seed);
-    let sigma = SigmaLike::with_defaults();
-    let sparch = SparchLike::with_defaults();
-    let gamma = GammaLike::with_defaults();
-    let cpu = CpuMkl::with_defaults();
-    let ip = sigma
-        .run(&mats.a, &mats.b, Dataflow::InnerProductM)
-        .expect("inner product run");
-    let op = sparch
-        .run(&mats.a, &mats.b, Dataflow::OuterProductM)
-        .expect("outer product run");
-    let gu = gamma
-        .run(&mats.a, &mats.b, Dataflow::GustavsonM)
-        .expect("gustavson run");
-    let cpu_out = cpu.run(&mats.a, &mats.b).expect("cpu run");
+    // The four systems are independent simulations of the same operands:
+    // fan them out across cores. Each closure is a pure function of the
+    // materialized matrices, so the parallel schedule cannot change any
+    // report bit.
+    let ((ip, op), (gu, cpu_out)) = rayon::join(
+        || {
+            rayon::join(
+                || {
+                    SigmaLike::with_defaults()
+                        .run(&mats.a, &mats.b, Dataflow::InnerProductM)
+                        .expect("inner product run")
+                },
+                || {
+                    SparchLike::with_defaults()
+                        .run(&mats.a, &mats.b, Dataflow::OuterProductM)
+                        .expect("outer product run")
+                },
+            )
+        },
+        || {
+            rayon::join(
+                || {
+                    GammaLike::with_defaults()
+                        .run(&mats.a, &mats.b, Dataflow::GustavsonM)
+                        .expect("gustavson run")
+                },
+                || {
+                    CpuMkl::with_defaults()
+                        .run(&mats.a, &mats.b)
+                        .expect("cpu run")
+                },
+            )
+        },
+    );
     LayerResults {
         spec: spec.clone(),
         inner_product: ip.report,
@@ -167,10 +188,19 @@ impl ModelResults {
 ///
 /// `verbose` prints one progress line per layer to stderr.
 pub fn run_model(model: &DnnModel, seed: u64, verbose: bool) -> ModelResults {
+    // Layers are independent given the fixed seed (each materializes its own
+    // deterministic operands from `spec` + `seed`), so the whole model fans
+    // out across cores; results come back in layer order, and totals are
+    // accumulated sequentially so the aggregation order — and therefore
+    // every output byte — matches the sequential runner's.
+    let layers: Vec<LayerResults> = model
+        .layers
+        .par_iter()
+        .map(|spec| run_layer(spec, seed))
+        .collect();
     let mut totals = [0u64; 5];
     let mut winners = Vec::with_capacity(model.layers.len());
-    for spec in &model.layers {
-        let layer = run_layer(spec, seed);
+    for (spec, layer) in model.layers.iter().zip(&layers) {
         for (i, system) in SystemId::ALL.into_iter().enumerate() {
             totals[i] += layer.of(system).total_cycles;
         }

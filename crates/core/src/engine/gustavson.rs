@@ -9,13 +9,19 @@
 //! GAMMA's signature. Rows that fit one cluster emit final fibers straight
 //! to DRAM; longer rows buffer per-chunk fibers in the PSRAM and run a
 //! short merging phase when their last chunk completes.
+//!
+//! Scaled streaming fibers are staged in the engine's reusable pool: after
+//! the first few clusters the streaming loop performs no allocations at
+//! all — `scale_from` writes into retained buffers and the MRN merges
+//! views of them.
 
 use super::{tiling, Engine};
 use flexagon_sim::{bottleneck, Phase};
-use flexagon_sparse::Fiber;
+use flexagon_sparse::{Fiber, FiberView};
 
 pub(super) fn run(e: &mut Engine<'_>) {
-    let tiles = tiling::tile_rows(&e.a, e.cfg.multipliers);
+    let tiles = tiling::tile_rows(e.a, e.cfg.multipliers);
+    let (a, b) = (e.a, e.b);
 
     for tile in &tiles {
         e.stationary_phase(tile.slots_used());
@@ -27,11 +33,10 @@ pub(super) fn run(e: &mut Engine<'_>) {
         let mut rows_completed: Vec<u32> = Vec::new();
 
         for cl in &tile.clusters {
-            let a_fiber = e.a.fiber(cl.row);
-            let chunk = &a_fiber.elements()[cl.start..cl.start + cl.len];
-            let mut scaled: Vec<Fiber> = Vec::with_capacity(chunk.len());
-            for el in chunk {
-                let len = e.b.fiber_len(el.coord) as u64;
+            let chunk = a.fiber(cl.row).slice(cl.start, cl.len);
+            let mut used = 0usize;
+            for el in chunk.iter() {
+                let len = b.fiber_len(el.coord) as u64;
                 if len == 0 {
                     continue;
                 }
@@ -39,20 +44,29 @@ pub(super) fn run(e: &mut Engine<'_>) {
                 let access = e.cache.read_range(start, len, &mut e.dram);
                 miss_lines += access.misses;
                 delivered += len;
-                scaled.push(e.b.fiber(el.coord).to_fiber().scaled(el.value));
+                if e.scaled_pool.len() == used {
+                    e.scaled_pool.push(Fiber::new());
+                }
+                e.scaled_pool[used].scale_from(b.fiber(el.coord), el.value);
+                used += 1;
             }
-            let cluster_products: u64 = scaled.iter().map(|f| f.len() as u64).sum();
+            let cluster_products: u64 = e.scaled_pool[..used].iter().map(|f| f.len() as u64).sum();
             products += cluster_products;
             e.mn.multiply(cluster_products);
-            let views: Vec<_> = scaled.iter().map(Fiber::as_view).collect();
+            let views: Vec<FiberView<'_>> =
+                e.scaled_pool[..used].iter().map(Fiber::as_view).collect();
             let out = e.mrn.merge_fibers(&views);
             merge_in += cluster_products;
             if cl.is_whole_row() {
                 e.emit_row(cl.row, out.fiber);
             } else {
                 // Partial fiber: buffer under the chunk index as its tag.
-                e.psram
-                    .partial_write_fiber(cl.row, cl.chunk, out.fiber.elements(), &mut e.dram);
+                e.psram.partial_write_fiber_view(
+                    cl.row,
+                    cl.chunk,
+                    out.fiber.as_view(),
+                    &mut e.dram,
+                );
                 if cl.is_last_chunk() {
                     rows_completed.push(cl.row);
                 }

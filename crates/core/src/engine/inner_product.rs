@@ -18,10 +18,16 @@ use flexagon_sparse::{Element, Fiber, Value};
 use std::collections::HashMap;
 
 pub(super) fn run(e: &mut Engine<'_>) {
-    let tiles = tiling::tile_rows(&e.a, e.cfg.multipliers);
-    let k_dim = e.a.cols() as usize;
+    let tiles = tiling::tile_rows(e.a, e.cfg.multipliers);
+    let (a, b) = (e.a, e.b);
+    let k_dim = a.cols() as usize;
     // Reusable k -> [(cluster, stationary value)] index for the current tile.
     let mut k_entries: Vec<Vec<(u32, Value)>> = vec![Vec::new(); k_dim];
+    // One-bit-per-k membership mask for the streaming scan: the controller's
+    // intersection test touches one cache line per 512 k values instead of
+    // chasing a `Vec` header per element, which is where the re-stream of B
+    // spends its time.
+    let mut k_mask: Vec<u64> = vec![0; k_dim.div_ceil(64)];
     // Cross-tile accumulators for rows split into multiple chunks.
     let mut split_acc: HashMap<u32, HashMap<u32, Value>> = HashMap::new();
 
@@ -31,11 +37,12 @@ pub(super) fn run(e: &mut Engine<'_>) {
         // Index this tile's stationary coordinates.
         let mut touched_k: Vec<u32> = Vec::new();
         for (ci, cl) in tile.clusters.iter().enumerate() {
-            let fiber = e.a.fiber(cl.row);
-            for el in &fiber.elements()[cl.start..cl.start + cl.len] {
+            let chunk = a.fiber(cl.row).slice(cl.start, cl.len);
+            for el in chunk.iter() {
                 let slot = &mut k_entries[el.coord as usize];
                 if slot.is_empty() {
                     touched_k.push(el.coord);
+                    k_mask[(el.coord >> 6) as usize] |= 1u64 << (el.coord & 63);
                 }
                 slot.push((ci as u32, el.value));
             }
@@ -49,8 +56,8 @@ pub(super) fn run(e: &mut Engine<'_>) {
         let mut injected_tile = 0u64;
         let mut delivered_tile = 0u64;
         let mut final_elems = 0u64;
-        for n in 0..e.b.major_dim() {
-            let len = e.b.fiber_len(n) as u64;
+        for n in 0..b.major_dim() {
+            let len = b.fiber_len(n) as u64;
             if len == 0 {
                 continue;
             }
@@ -58,23 +65,22 @@ pub(super) fn run(e: &mut Engine<'_>) {
             e.cache.read_range(start, len, &mut e.dram);
             let mut intersections = 0u64;
             let mut injected = 0u64;
-            {
-                let fiber = e.b.fiber(n);
-                for el in fiber.elements() {
-                    let entries = &k_entries[el.coord as usize];
-                    if entries.is_empty() {
-                        continue;
+            let fiber = b.fiber(n);
+            let (coords, vals) = (fiber.coords(), fiber.values());
+            for (i, &c) in coords.iter().enumerate() {
+                if k_mask[(c >> 6) as usize] & (1u64 << (c & 63)) == 0 {
+                    continue;
+                }
+                let entries = &k_entries[c as usize];
+                injected += 1;
+                intersections += entries.len() as u64;
+                for &(ci, aval) in entries {
+                    let ci = ci as usize;
+                    if !hit[ci] {
+                        hit[ci] = true;
+                        hit_list.push(ci as u32);
                     }
-                    injected += 1;
-                    intersections += entries.len() as u64;
-                    for &(ci, aval) in entries {
-                        let ci = ci as usize;
-                        if !hit[ci] {
-                            hit[ci] = true;
-                            hit_list.push(ci as u32);
-                        }
-                        acc[ci] += aval * el.value;
-                    }
+                    acc[ci] += aval * vals[i];
                 }
             }
             injected_tile += injected;
@@ -106,6 +112,7 @@ pub(super) fn run(e: &mut Engine<'_>) {
 
         for k in touched_k {
             k_entries[k as usize].clear();
+            k_mask[(k >> 6) as usize] = 0;
         }
     }
 

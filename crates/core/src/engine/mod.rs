@@ -6,6 +6,12 @@
 //! class-specific phase loop against the simulated memory structures and
 //! networks, and assembles the functional output together with the
 //! execution report.
+//!
+//! The engine is clone-free: operands enter as [`MatrixView`]s, so a
+//! format-matching run borrows the caller's data untouched and the
+//! N-stationary duality is a zero-copy relabeling. Only an explicit format
+//! conversion (the "EC" cost of Table 4) materializes a new matrix, and it
+//! lives on `execute`'s stack just long enough to be viewed.
 
 mod gustavson;
 mod inner_product;
@@ -21,7 +27,9 @@ use flexagon_noc::{
     DistributionNetwork, DnConfig, MergerReductionNetwork, MnConfig, MrnConfig, MultiplierNetwork,
 };
 use flexagon_sim::{bottleneck, cycles_for, Bandwidth, CounterSet, Cycle, Phase, PhaseClock};
-use flexagon_sparse::{stats::SpGemmWork, CompressedMatrix, Fiber, FormatError, MajorOrder};
+use flexagon_sparse::{
+    stats::SpGemmWork, CompressedMatrix, Fiber, FormatError, MajorOrder, MatrixView,
+};
 
 /// Runs `a x b` under `dataflow` on the given configuration, returning the
 /// output matrix (in the dataflow's natural format) and the report.
@@ -40,36 +48,35 @@ pub(crate) fn execute(
     }
     // Bring operands into the dataflow's Table 3 formats, counting explicit
     // conversions (the "EC" cost Flexagon's inter-layer mechanism avoids).
+    // A format-matching operand is borrowed, never copied.
     let mut explicit_conversions = 0u32;
-    let a_fmt = dataflow.a_format();
-    let b_fmt = dataflow.b_format();
     let a_conv;
-    let a_ref = if a.order() == a_fmt {
-        a
+    let a_view = if a.order() == dataflow.a_format() {
+        a.view()
     } else {
         explicit_conversions += 1;
-        a_conv = a.converted(a_fmt);
-        &a_conv
+        a_conv = a.converted(dataflow.a_format());
+        a_conv.view()
     };
     let b_conv;
-    let b_ref = if b.order() == b_fmt {
-        b
+    let b_view = if b.order() == dataflow.b_format() {
+        b.view()
     } else {
         explicit_conversions += 1;
-        b_conv = b.converted(b_fmt);
-        &b_conv
+        b_conv = b.converted(dataflow.b_format());
+        b_conv.view()
     };
     // Orient to M-stationary: an N-stationary run of C = A x B is the
     // M-stationary run of Cᵀ = Bᵀ x Aᵀ, and transposition is a free
-    // reinterpretation of the compressed data.
+    // reinterpretation of the borrowed views.
     let (a_eff, b_eff) = match dataflow.stationarity() {
-        Stationarity::M => (a_ref.clone(), b_ref.clone()),
+        Stationarity::M => (a_view, b_view),
         Stationarity::N => (
-            b_ref.reinterpret_transposed(),
-            a_ref.reinterpret_transposed(),
+            b_view.reinterpret_transposed(),
+            a_view.reinterpret_transposed(),
         ),
     };
-    let work = SpGemmWork::of(&a_eff, &b_eff);
+    let work = SpGemmWork::of_views(a_eff, b_eff);
     let mut engine = Engine::new(cfg, a_eff, b_eff);
     match dataflow.class() {
         DataflowClass::InnerProduct => inner_product::run(&mut engine),
@@ -85,14 +92,14 @@ pub(crate) fn execute(
     Ok((c, report))
 }
 
-/// Execution context: configuration, operands (already M-stationary
+/// Execution context: configuration, operand views (already M-stationary
 /// oriented), the simulated hardware, and accumulating results.
 pub(crate) struct Engine<'a> {
     pub cfg: &'a AcceleratorConfig,
-    /// Stationary operand (CSR for IP/Gust, CSC for OP).
-    pub a: CompressedMatrix,
-    /// Streaming operand (CSC for IP, CSR for OP/Gust).
-    pub b: CompressedMatrix,
+    /// Stationary operand (CSR for IP/Gust, CSC for OP), borrowed.
+    pub a: MatrixView<'a>,
+    /// Streaming operand (CSC for IP, CSR for OP/Gust), borrowed.
+    pub b: MatrixView<'a>,
     pub dram: Dram,
     pub fifo: StaFifo,
     pub cache: StrCache,
@@ -105,6 +112,9 @@ pub(crate) struct Engine<'a> {
     pub counters: CounterSet,
     /// Output fibers per row of C (M-stationary orientation).
     pub out_fibers: Vec<Fiber>,
+    /// Reusable scaled-fiber pool for the streaming phases: entries keep
+    /// their allocations across clusters and tiles.
+    pub scaled_pool: Vec<Fiber>,
     pub tiles_run: u64,
 }
 
@@ -119,11 +129,7 @@ impl std::fmt::Debug for Engine<'_> {
 }
 
 impl<'a> Engine<'a> {
-    pub(crate) fn new(
-        cfg: &'a AcceleratorConfig,
-        a: CompressedMatrix,
-        b: CompressedMatrix,
-    ) -> Self {
+    pub(crate) fn new(cfg: &'a AcceleratorConfig, a: MatrixView<'a>, b: MatrixView<'a>) -> Self {
         let rows = a.rows();
         Self {
             cfg,
@@ -148,6 +154,7 @@ impl<'a> Engine<'a> {
             phases: PhaseClock::new(),
             counters: CounterSet::new(),
             out_fibers: vec![Fiber::new(); rows as usize],
+            scaled_pool: Vec::new(),
             tiles_run: 0,
         }
     }
@@ -190,7 +197,7 @@ impl<'a> Engine<'a> {
         let tags = self.psram.fiber_tags_of_row(row);
         let mut queue: std::collections::VecDeque<Fiber> = tags
             .into_iter()
-            .map(|k| Fiber::from_sorted(self.psram.consume_fiber(row, k, &mut self.dram)))
+            .map(|k| self.psram.consume_fiber(row, k, &mut self.dram))
             .chain(extra)
             .filter(|f| !f.is_empty())
             .collect();

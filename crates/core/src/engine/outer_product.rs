@@ -9,14 +9,19 @@
 //! partial fiber to DRAM and are finally merged when their last tile
 //! completes — the off-chip psum traffic that characterizes Outer-Product
 //! designs like SpArch.
+//!
+//! The streaming phase is fused multiplier-to-PSRAM: scaled fibers stream
+//! from the borrowed B view straight into the PSRAM blocks via
+//! `partial_write_scaled`, with no intermediate scaled buffer at all.
 
 use super::{tiling, Engine};
 use flexagon_sim::{bottleneck, Phase};
-use flexagon_sparse::{Element, Fiber};
+use flexagon_sparse::Fiber;
 use std::collections::HashMap;
 
 pub(super) fn run(e: &mut Engine<'_>) {
-    let tiles = tiling::tile_cols(&e.a, e.cfg.multipliers);
+    let tiles = tiling::tile_cols(e.a, e.cfg.multipliers);
+    let b = e.b;
     // How many tiles contribute psums to each output row.
     let mut tiles_left: HashMap<u32, u32> = HashMap::new();
     for tile in &tiles {
@@ -32,9 +37,8 @@ pub(super) fn run(e: &mut Engine<'_>) {
 
         // Streaming phase: one multicast of B's row k per group.
         let mut streaming = 0u64;
-        let mut scaled: Vec<Element> = Vec::new();
         for g in &tile.groups {
-            let len = e.b.fiber_len(g.k) as u64;
+            let len = b.fiber_len(g.k) as u64;
             if len == 0 {
                 continue;
             }
@@ -45,9 +49,8 @@ pub(super) fn run(e: &mut Engine<'_>) {
             e.dn.send_irregular(len, products);
             let mult = e.mn.multiply(products);
             for &(row, aval) in &g.targets {
-                scaled.clear();
-                scaled.extend(e.b.fiber(g.k).elements().iter().map(|el| el.scaled(aval)));
-                e.psram.partial_write_fiber(row, g.k, &scaled, &mut e.dram);
+                e.psram
+                    .partial_write_scaled(row, g.k, b.fiber(g.k), aval, &mut e.dram);
             }
             // Cache scan, multipliers and PSRAM write ports run concurrently.
             streaming += bottleneck(&[e.dn_cycles(len), mult, e.merge_cycles(products)]);

@@ -7,7 +7,7 @@
 //! column-major order, grouped by their `k` so one B-row multicast serves
 //! the whole group.
 
-use flexagon_sparse::{CompressedMatrix, Value};
+use flexagon_sparse::{MatrixView, Value};
 
 /// A chunk of a stationary row fiber mapped onto consecutive multipliers.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -56,7 +56,7 @@ impl RowTile {
 /// Chunks of one row are emitted in order and never share a tile with a
 /// later chunk of the same row (a full-width chunk fills a tile by itself).
 /// Empty rows occupy no slots.
-pub(crate) fn tile_rows(a: &CompressedMatrix, slots: u32) -> Vec<RowTile> {
+pub(crate) fn tile_rows(a: MatrixView<'_>, slots: u32) -> Vec<RowTile> {
     let slots = slots as usize;
     let mut tiles = Vec::new();
     let mut current = RowTile::default();
@@ -137,13 +137,13 @@ impl ColTile {
 /// most `slots` elements, walking columns in order (the Outer-Product
 /// stationary order). A column spanning a tile boundary is split across
 /// tiles.
-pub(crate) fn tile_cols(a_csc: &CompressedMatrix, slots: u32) -> Vec<ColTile> {
+pub(crate) fn tile_cols(a_csc: MatrixView<'_>, slots: u32) -> Vec<ColTile> {
     let slots = slots as usize;
     let mut tiles = Vec::new();
     let mut current = ColTile::default();
     let mut used = 0usize;
     for k in 0..a_csc.major_dim() {
-        for e in a_csc.fiber(k).elements() {
+        for e in a_csc.fiber(k).iter() {
             if used == slots {
                 tiles.push(std::mem::take(&mut current));
                 used = 0;
@@ -167,7 +167,7 @@ pub(crate) fn tile_cols(a_csc: &CompressedMatrix, slots: u32) -> Vec<ColTile> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use flexagon_sparse::{gen, MajorOrder};
+    use flexagon_sparse::{gen, CompressedMatrix, MajorOrder};
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
 
@@ -184,7 +184,7 @@ mod tests {
     #[test]
     fn tile_rows_covers_all_elements_once() {
         let a = csr(20, 30, 0.3, 1);
-        let tiles = tile_rows(&a, 8);
+        let tiles = tile_rows(a.view(), 8);
         let mut covered = 0usize;
         for t in &tiles {
             assert!(t.slots_used() <= 8);
@@ -197,7 +197,7 @@ mod tests {
     fn tile_rows_splits_long_rows() {
         // One dense row of 20 elements, 8 slots: chunks 8/8/4.
         let a = csr(1, 20, 1.0, 2);
-        let tiles = tile_rows(&a, 8);
+        let tiles = tile_rows(a.view(), 8);
         assert_eq!(tiles.len(), 3);
         let chunks: Vec<(u32, usize)> = tiles
             .iter()
@@ -217,7 +217,7 @@ mod tests {
     fn tile_rows_skips_empty_rows() {
         let a = CompressedMatrix::from_triplets(4, 4, &[(0, 0, 1.0), (3, 1, 1.0)], MajorOrder::Row)
             .unwrap();
-        let tiles = tile_rows(&a, 8);
+        let tiles = tile_rows(a.view(), 8);
         assert_eq!(tiles.len(), 1);
         let rows: Vec<u32> = tiles[0].clusters.iter().map(|c| c.row).collect();
         assert_eq!(rows, vec![0, 3]);
@@ -226,13 +226,13 @@ mod tests {
     #[test]
     fn tile_rows_empty_matrix_no_tiles() {
         let a = CompressedMatrix::zero(5, 5, MajorOrder::Row);
-        assert!(tile_rows(&a, 8).is_empty());
+        assert!(tile_rows(a.view(), 8).is_empty());
     }
 
     #[test]
     fn whole_row_flag() {
         let a = csr(3, 4, 1.0, 3); // rows of 4 nnz, 8 slots
-        let tiles = tile_rows(&a, 8);
+        let tiles = tile_rows(a.view(), 8);
         for t in &tiles {
             for c in &t.clusters {
                 assert!(c.is_whole_row());
@@ -243,7 +243,7 @@ mod tests {
     #[test]
     fn tile_cols_covers_all_elements_once() {
         let a = csr(20, 30, 0.3, 4).converted(MajorOrder::Col);
-        let tiles = tile_cols(&a, 8);
+        let tiles = tile_cols(a.view(), 8);
         let covered: u64 = tiles.iter().map(|t| t.slots_used()).sum();
         assert_eq!(covered, a.nnz() as u64);
         for t in &tiles {
@@ -254,7 +254,7 @@ mod tests {
     #[test]
     fn tile_cols_groups_share_k() {
         let a = csr(10, 3, 1.0, 5).converted(MajorOrder::Col); // 3 cols x 10 nnz
-        let tiles = tile_cols(&a, 8);
+        let tiles = tile_cols(a.view(), 8);
         // Column 0 (10 elements) spans tiles 0 and 1.
         assert_eq!(tiles[0].groups.len(), 1);
         assert_eq!(tiles[0].groups[0].k, 0);
@@ -266,7 +266,7 @@ mod tests {
     #[test]
     fn tile_cols_ks_ascend_within_tile() {
         let a = csr(6, 20, 0.4, 6).converted(MajorOrder::Col);
-        for t in tile_cols(&a, 16) {
+        for t in tile_cols(a.view(), 16) {
             let ks: Vec<u32> = t.groups.iter().map(|g| g.k).collect();
             let mut sorted = ks.clone();
             sorted.sort_unstable();
@@ -278,7 +278,7 @@ mod tests {
     #[test]
     fn rows_touched_is_sorted_unique() {
         let a = csr(6, 6, 0.8, 7).converted(MajorOrder::Col);
-        for t in tile_cols(&a, 12) {
+        for t in tile_cols(a.view(), 12) {
             let rows = t.rows_touched();
             let mut sorted = rows.clone();
             sorted.sort_unstable();

@@ -18,7 +18,7 @@
 //! the hardware achieves the same with the parallel tag search of Fig. 10.
 
 use crate::Dram;
-use flexagon_sparse::{Element, ELEMENT_BYTES};
+use flexagon_sparse::{Element, Fiber, FiberView, ELEMENT_BYTES};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -87,11 +87,48 @@ struct Chain {
     len: usize,
 }
 
+/// Struct-of-arrays element storage for one block or spill buffer: block
+/// writes are a coordinate memcpy plus a scaled value map, and consuming a
+/// chain appends straight into a [`Fiber`] with no per-element conversion.
+#[derive(Debug, Clone, Default)]
+struct SoaBuf {
+    coords: Vec<u32>,
+    values: Vec<f32>,
+}
+
+impl SoaBuf {
+    fn len(&self) -> usize {
+        self.coords.len()
+    }
+
+    fn clear(&mut self) {
+        self.coords.clear();
+        self.values.clear();
+    }
+
+    /// Appends `take` elements of `fiber` starting at `off`, scaling values.
+    fn append_scaled(&mut self, fiber: FiberView<'_>, off: usize, take: usize, factor: f32) {
+        let span = fiber.slice(off, take);
+        self.coords.extend_from_slice(span.coords());
+        if factor == 1.0 {
+            self.values.extend_from_slice(span.values());
+        } else {
+            self.values.extend(span.values().iter().map(|v| v * factor));
+        }
+    }
+
+    /// Drains `other`, appending its contents here.
+    fn append_drain(&mut self, other: &mut SoaBuf) {
+        self.coords.append(&mut other.coords);
+        self.values.append(&mut other.values);
+    }
+}
+
 /// One set: fixed block slots plus a free list.
 #[derive(Debug, Clone)]
 struct Set {
     /// `blocks[i]` is the element data of slot `i` (empty = invalid).
-    blocks: Vec<Vec<Element>>,
+    blocks: Vec<SoaBuf>,
     /// Invalid slots available for allocation.
     free: Vec<usize>,
     /// Chains resident in this set, keyed by (row, k).
@@ -101,7 +138,7 @@ struct Set {
 impl Set {
     fn new(num_blocks: usize) -> Self {
         Self {
-            blocks: vec![Vec::new(); num_blocks],
+            blocks: vec![SoaBuf::default(); num_blocks],
             free: (0..num_blocks).rev().collect(),
             chains: HashMap::new(),
         }
@@ -121,7 +158,7 @@ pub struct Psram {
     usage: PsramUsage,
     /// Overflow fibers resident in DRAM, keyed by (row, k); values stay
     /// coordinate-sorted because spills preserve write order.
-    spilled: HashMap<(u32, u32), Vec<Element>>,
+    spilled: HashMap<(u32, u32), SoaBuf>,
 }
 
 impl Psram {
@@ -161,7 +198,9 @@ impl Psram {
     /// last block; otherwise the first free block is allocated. When the
     /// set is exhausted, the largest resident fiber is spilled to DRAM.
     pub fn partial_write(&mut self, row: u32, k: u32, e: Element, dram: &mut Dram) {
-        self.partial_write_fiber(row, k, std::slice::from_ref(&e), dram);
+        let coords = [e.coord];
+        let values = [e.value];
+        self.partial_write_fiber_view(row, k, FiberView::from_parts(&coords, &values), dram);
     }
 
     /// Appends a whole run of elements for `(row, k)`.
@@ -170,14 +209,59 @@ impl Psram {
     /// the Outer-Product streaming phase emits an entire scaled B fiber per
     /// stationary element.
     pub fn partial_write_fiber(&mut self, row: u32, k: u32, elems: &[Element], dram: &mut Dram) {
-        if elems.is_empty() {
+        // Allocation-free conversion: split the slice into stack-buffered
+        // chunks; sequential chunk writes to the same `(row, k)` append
+        // through the normal tail-block path.
+        const CHUNK: usize = 64;
+        let mut coords = [0u32; CHUNK];
+        let mut values = [0.0f32; CHUNK];
+        for chunk in elems.chunks(CHUNK) {
+            for (i, e) in chunk.iter().enumerate() {
+                coords[i] = e.coord;
+                values[i] = e.value;
+            }
+            self.partial_write_fiber_view(
+                row,
+                k,
+                FiberView::from_parts(&coords[..chunk.len()], &values[..chunk.len()]),
+                dram,
+            );
+        }
+    }
+
+    /// Appends a whole fiber view for `(row, k)` — the zero-copy form the
+    /// engine uses: elements stream straight from the operand (or a scaled
+    /// scratch fiber) into the blocks, with no intermediate vector.
+    pub fn partial_write_fiber_view(
+        &mut self,
+        row: u32,
+        k: u32,
+        fiber: FiberView<'_>,
+        dram: &mut Dram,
+    ) {
+        self.partial_write_scaled(row, k, fiber, 1.0, dram);
+    }
+
+    /// Appends `fiber` with every value multiplied by `factor` — the fused
+    /// multiplier-to-PSRAM path of the Outer-Product streaming phase (one
+    /// stationary scalar times a streaming fiber, §3.2.2), saving the
+    /// intermediate scaled copy entirely.
+    pub fn partial_write_scaled(
+        &mut self,
+        row: u32,
+        k: u32,
+        fiber: FiberView<'_>,
+        factor: f32,
+        dram: &mut Dram,
+    ) {
+        if fiber.is_empty() {
             return;
         }
-        self.write_elems += elems.len() as u64;
+        self.write_elems += fiber.len() as u64;
         let per_block = self.cfg.elements_per_block();
         let set_idx = self.set_index(row);
-        let mut remaining = elems;
-        while !remaining.is_empty() {
+        let mut off = 0usize;
+        while off < fiber.len() {
             // Room in the chain's tail block?
             let tail_space = {
                 let set = &self.sets[set_idx];
@@ -188,13 +272,13 @@ impl Psram {
                     .unwrap_or(0)
             };
             if tail_space > 0 {
-                let take = tail_space.min(remaining.len());
+                let take = tail_space.min(fiber.len() - off);
                 let set = &mut self.sets[set_idx];
                 let chain = set.chains.get_mut(&(row, k)).expect("tail implies chain");
                 let slot = *chain.blocks.last().expect("tail implies block");
-                set.blocks[slot].extend_from_slice(&remaining[..take]);
+                set.blocks[slot].append_scaled(fiber, off, take, factor);
                 chain.len += take;
-                remaining = &remaining[take..];
+                off += take;
                 continue;
             }
             // Allocate a fresh block, spilling if the set is full.
@@ -203,44 +287,55 @@ impl Psram {
             }
             let set = &mut self.sets[set_idx];
             let slot = set.free.pop().expect("free slot after spilling");
-            let take = per_block.min(remaining.len());
+            let take = per_block.min(fiber.len() - off);
             set.blocks[slot].clear();
-            set.blocks[slot].extend_from_slice(&remaining[..take]);
+            set.blocks[slot].append_scaled(fiber, off, take, factor);
             let chain = set.chains.entry((row, k)).or_default();
             chain.blocks.push(slot);
             chain.len += take;
-            remaining = &remaining[take..];
+            off += take;
             self.usage.live_blocks += 1;
             self.usage.high_water_blocks = self.usage.high_water_blocks.max(self.usage.live_blocks);
         }
     }
 
     /// Evicts the largest fiber of `set_idx` to DRAM.
+    ///
+    /// Length ties break toward the smallest `(row, k)` tag: `HashMap`
+    /// iteration order is process-random, and a random victim would make
+    /// spill traffic — and therefore execution reports — differ between
+    /// runs of the same input.
     fn spill_victim(&mut self, set_idx: usize, dram: &mut Dram) {
         let victim = {
             let set = &self.sets[set_idx];
             *set.chains
                 .iter()
-                .max_by_key(|(_, c)| c.len)
+                .max_by_key(|(&key, c)| (c.len, std::cmp::Reverse(key)))
                 .map(|(key, _)| key)
                 .expect("spill requested on a set with no chains")
         };
-        let fiber = self.take_onchip_fiber(set_idx, victim);
+        let mut fiber = self.take_onchip_fiber(set_idx, victim);
         dram.write(fiber.len() as u64 * ELEMENT_BYTES);
         self.usage.spilled_elements += fiber.len() as u64;
-        self.spilled.entry(victim).or_default().extend(fiber);
+        self.spilled
+            .entry(victim)
+            .or_default()
+            .append_drain(&mut fiber);
     }
 
     /// Removes and returns the on-chip portion of fiber `(row, k)`,
     /// invalidating its blocks. Elements come back in write order.
-    fn take_onchip_fiber(&mut self, set_idx: usize, key: (u32, u32)) -> Vec<Element> {
+    fn take_onchip_fiber(&mut self, set_idx: usize, key: (u32, u32)) -> SoaBuf {
         let set = &mut self.sets[set_idx];
         let Some(chain) = set.chains.remove(&key) else {
-            return Vec::new();
+            return SoaBuf::default();
         };
-        let mut out = Vec::with_capacity(chain.len);
+        let mut out = SoaBuf {
+            coords: Vec::with_capacity(chain.len),
+            values: Vec::with_capacity(chain.len),
+        };
         for slot in chain.blocks {
-            out.append(&mut set.blocks[slot]);
+            out.append_drain(&mut set.blocks[slot]);
             set.free.push(slot);
             self.usage.live_blocks -= 1;
         }
@@ -252,21 +347,21 @@ impl Psram {
     ///
     /// Elements are returned in the order they were written, which for all
     /// dataflows is coordinate order.
-    pub fn consume_fiber(&mut self, row: u32, k: u32, dram: &mut Dram) -> Vec<Element> {
+    pub fn consume_fiber(&mut self, row: u32, k: u32, dram: &mut Dram) -> Fiber {
         let set_idx = self.set_index(row);
-        let mut out = Vec::new();
+        let mut out = SoaBuf::default();
         if let Some(spilled) = self.spilled.remove(&(row, k)) {
             dram.read(spilled.len() as u64 * ELEMENT_BYTES);
             out = spilled;
         }
-        let onchip = self.take_onchip_fiber(set_idx, (row, k));
+        let mut onchip = self.take_onchip_fiber(set_idx, (row, k));
         self.read_elems += onchip.len() as u64;
-        out.extend(onchip);
+        out.append_drain(&mut onchip);
         debug_assert!(
-            out.windows(2).all(|w| w[0].coord < w[1].coord),
+            out.coords.windows(2).all(|w| w[0] < w[1]),
             "psum fiber for (row {row}, k {k}) must be coordinate-sorted"
         );
-        out
+        Fiber::from_parts(out.coords, out.values)
     }
 
     /// Sorted list of k tags with data (on-chip or spilled) for `row`.
@@ -378,7 +473,7 @@ mod tests {
         p.partial_write(0, 3, e(1, 1.0), &mut dram);
         p.partial_write(0, 3, e(5, 2.0), &mut dram);
         let fiber = p.consume_fiber(0, 3, &mut dram);
-        assert_eq!(fiber, vec![e(1, 1.0), e(5, 2.0)]);
+        assert_eq!(fiber.into_inner(), vec![e(1, 1.0), e(5, 2.0)]);
         assert!(p.is_empty());
         assert_eq!(p.written_elements(), 2);
         assert_eq!(p.read_elements(), 2);
@@ -403,8 +498,14 @@ mod tests {
         p.partial_write(0, 0, e(2, 1.0), &mut dram);
         p.partial_write(0, 7, e(1, 9.0), &mut dram);
         assert_eq!(p.fiber_tags_of_row(0), vec![0, 7]);
-        assert_eq!(p.consume_fiber(0, 7, &mut dram), vec![e(1, 9.0)]);
-        assert_eq!(p.consume_fiber(0, 0, &mut dram), vec![e(2, 1.0)]);
+        assert_eq!(
+            p.consume_fiber(0, 7, &mut dram).into_inner(),
+            vec![e(1, 9.0)]
+        );
+        assert_eq!(
+            p.consume_fiber(0, 0, &mut dram).into_inner(),
+            vec![e(2, 1.0)]
+        );
     }
 
     #[test]
@@ -415,8 +516,14 @@ mod tests {
         p.partial_write(1, 0, e(0, 2.0), &mut dram); // set 1
         p.partial_write(2, 0, e(0, 3.0), &mut dram); // set 0 again
         assert_eq!(p.rows_with_data(), vec![0, 1, 2]);
-        assert_eq!(p.consume_fiber(2, 0, &mut dram), vec![e(0, 3.0)]);
-        assert_eq!(p.consume_fiber(0, 0, &mut dram), vec![e(0, 1.0)]);
+        assert_eq!(
+            p.consume_fiber(2, 0, &mut dram).into_inner(),
+            vec![e(0, 3.0)]
+        );
+        assert_eq!(
+            p.consume_fiber(0, 0, &mut dram).into_inner(),
+            vec![e(0, 1.0)]
+        );
     }
 
     #[test]
@@ -473,7 +580,7 @@ mod tests {
         let mut dram = Dram::with_defaults();
         let elems = vec![e(0, 1.0), e(3, 2.0), e(4, 3.0)];
         p.partial_write_fiber(1, 2, &elems, &mut dram);
-        assert_eq!(p.consume_fiber(1, 2, &mut dram), elems);
+        assert_eq!(p.consume_fiber(1, 2, &mut dram).into_inner(), elems);
     }
 
     #[test]
@@ -483,7 +590,7 @@ mod tests {
         let elems: Vec<Element> = (0..20).map(|i| e(i, i as f32)).collect();
         p.partial_write_fiber(0, 1, &elems, &mut dram);
         let back = p.consume_fiber(0, 1, &mut dram);
-        assert_eq!(back, elems);
+        assert_eq!(back.into_inner(), elems);
     }
 
     #[test]

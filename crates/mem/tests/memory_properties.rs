@@ -34,7 +34,7 @@ proptest! {
             model.entry((row, k)).or_default().extend(elems);
         }
         for ((row, k), want) in model {
-            let got = psram.consume_fiber(row, k, &mut dram);
+            let got = psram.consume_fiber(row, k, &mut dram).into_inner();
             prop_assert_eq!(got, want, "fiber ({}, {})", row, k);
         }
         prop_assert!(psram.is_empty());

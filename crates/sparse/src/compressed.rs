@@ -1,6 +1,7 @@
 //! The unified CSR/CSC compressed matrix representation.
 
-use crate::{Element, Fiber, FiberView, FormatError, Result, Value, ELEMENT_BYTES};
+use crate::fiber::ElementIter;
+use crate::{Fiber, FiberView, FormatError, Result, Value, ELEMENT_BYTES};
 use serde::{Deserialize, Serialize};
 
 /// Major order of a [`CompressedMatrix`]: row-major is CSR, column-major CSC.
@@ -47,8 +48,9 @@ impl std::fmt::Display for MajorOrder {
 /// A sparse matrix compressed in CSR or CSC form.
 ///
 /// Storage follows the paper's description: a pointer vector marking where
-/// each fiber begins, plus per-element coordinate and value data (stored here
-/// as interleaved [`Element`]s so a fiber is a contiguous, zero-copy slice).
+/// each fiber begins, plus per-element data held struct-of-arrays (one
+/// coordinate array, one value array) so a fiber is a pair of contiguous,
+/// zero-copy slices — the layout the merge and intersection hot loops want.
 ///
 /// # Example
 ///
@@ -59,7 +61,7 @@ impl std::fmt::Display for MajorOrder {
 /// let m = CompressedMatrix::from_triplets(
 ///     2, 2, &[(0, 0, 1.0), (1, 1, 2.0)], MajorOrder::Row)?;
 /// assert_eq!(m.nnz(), 2);
-/// assert_eq!(m.fiber(1).elements()[0].coord, 1);
+/// assert_eq!(m.fiber(1).coords()[0], 1);
 /// # Ok(())
 /// # }
 /// ```
@@ -68,9 +70,12 @@ pub struct CompressedMatrix {
     rows: u32,
     cols: u32,
     order: MajorOrder,
-    /// `ptr[i]..ptr[i+1]` delimits fiber `i` within `elems`.
+    /// `ptr[i]..ptr[i+1]` delimits fiber `i` within the element arrays.
     ptr: Vec<usize>,
-    elems: Vec<Element>,
+    /// Minor coordinates, fiber-major order.
+    coords: Vec<u32>,
+    /// Values, parallel to `coords`.
+    values: Vec<Value>,
 }
 
 impl CompressedMatrix {
@@ -85,7 +90,8 @@ impl CompressedMatrix {
             cols,
             order,
             ptr: vec![0; majors as usize + 1],
-            elems: Vec::new(),
+            coords: Vec::new(),
+            values: Vec::new(),
         }
     }
 
@@ -133,22 +139,39 @@ impl CompressedMatrix {
         }
         let ptr = counts.clone();
         let mut cursor = counts;
-        let mut elems = vec![Element::new(0, 0.0); triplets.len()];
+        let mut coords = vec![0u32; triplets.len()];
+        let mut values = vec![0.0f32; triplets.len()];
         for &(r, c, v) in triplets {
             let (major, minor) = match order {
                 MajorOrder::Row => (r as usize, c),
                 MajorOrder::Col => (c as usize, r),
             };
-            elems[cursor[major]] = Element::new(minor, v);
+            coords[cursor[major]] = minor;
+            values[cursor[major]] = v;
             cursor[major] += 1;
         }
+        // Sort each fiber by coordinate through an index permutation so the
+        // parallel arrays stay in lockstep.
+        let mut perm: Vec<u32> = Vec::new();
         for i in 0..majors {
-            elems[ptr[i]..ptr[i + 1]].sort_by_key(|e| e.coord);
-            for w in elems[ptr[i]..ptr[i + 1]].windows(2) {
-                if w[0].coord == w[1].coord {
+            let (start, end) = (ptr[i], ptr[i + 1]);
+            let span = end - start;
+            if span > 1 {
+                perm.clear();
+                perm.extend(0..span as u32);
+                perm.sort_by_key(|&p| coords[start + p as usize]);
+                let fiber_coords: Vec<u32> =
+                    perm.iter().map(|&p| coords[start + p as usize]).collect();
+                let fiber_values: Vec<Value> =
+                    perm.iter().map(|&p| values[start + p as usize]).collect();
+                coords[start..end].copy_from_slice(&fiber_coords);
+                values[start..end].copy_from_slice(&fiber_values);
+            }
+            for w in coords[start..end].windows(2) {
+                if w[0] == w[1] {
                     let (row, col) = match order {
-                        MajorOrder::Row => (i as u32, w[0].coord),
-                        MajorOrder::Col => (w[0].coord, i as u32),
+                        MajorOrder::Row => (i as u32, w[0]),
+                        MajorOrder::Col => (w[0], i as u32),
                     };
                     return Err(FormatError::DuplicateCoord { row, col });
                 }
@@ -159,7 +182,8 @@ impl CompressedMatrix {
             cols,
             order,
             ptr,
-            elems,
+            coords,
+            values,
         })
     }
 
@@ -192,15 +216,22 @@ impl CompressedMatrix {
                 ),
             });
         }
+        let total: usize = fibers.iter().map(Fiber::len).sum();
         let mut ptr = Vec::with_capacity(majors as usize + 1);
-        let mut elems = Vec::new();
+        let mut coords = Vec::with_capacity(total);
+        let mut values = Vec::with_capacity(total);
         ptr.push(0);
-        for (i, fiber) in fibers.into_iter().enumerate() {
-            for e in fiber.elements() {
-                if e.coord >= minors {
+        for (i, fiber) in fibers.iter().enumerate() {
+            if let Some(&max) = fiber.coords().last() {
+                if max >= minors {
+                    let bad = *fiber
+                        .coords()
+                        .iter()
+                        .find(|&&c| c >= minors)
+                        .expect("max out of range implies some out of range");
                     let (row, col) = match order {
-                        MajorOrder::Row => (i as u32, e.coord),
-                        MajorOrder::Col => (e.coord, i as u32),
+                        MajorOrder::Row => (i as u32, bad),
+                        MajorOrder::Col => (bad, i as u32),
                     };
                     return Err(FormatError::CoordOutOfBounds {
                         row,
@@ -210,15 +241,17 @@ impl CompressedMatrix {
                     });
                 }
             }
-            elems.extend_from_slice(fiber.elements());
-            ptr.push(elems.len());
+            coords.extend_from_slice(fiber.coords());
+            values.extend_from_slice(fiber.values());
+            ptr.push(coords.len());
         }
         Ok(Self {
             rows,
             cols,
             order,
             ptr,
-            elems,
+            coords,
+            values,
         })
     }
 
@@ -255,7 +288,7 @@ impl CompressedMatrix {
 
     /// Number of stored non-zero elements.
     pub fn nnz(&self) -> usize {
-        self.elems.len()
+        self.coords.len()
     }
 
     /// Fraction of stored entries, `nnz / (rows * cols)`.
@@ -277,8 +310,7 @@ impl CompressedMatrix {
     ///
     /// Panics if `major >= self.major_dim()`.
     pub fn fiber(&self, major: u32) -> FiberView<'_> {
-        let i = major as usize;
-        FiberView::from_sorted(&self.elems[self.ptr[i]..self.ptr[i + 1]])
+        self.view().fiber(major)
     }
 
     /// Length (nnz) of fiber `major` without materializing a view.
@@ -289,10 +321,7 @@ impl CompressedMatrix {
 
     /// Iterator over `(major_index, fiber_view)` pairs.
     pub fn fibers(&self) -> FiberIter<'_> {
-        FiberIter {
-            matrix: self,
-            next: 0,
-        }
+        self.view().fibers()
     }
 
     /// The raw pointer vector (`major_dim + 1` monotone offsets).
@@ -300,9 +329,32 @@ impl CompressedMatrix {
         &self.ptr
     }
 
-    /// All stored elements in fiber-major order.
-    pub fn elements(&self) -> &[Element] {
-        &self.elems
+    /// All stored coordinates in fiber-major order.
+    pub fn coords(&self) -> &[u32] {
+        &self.coords
+    }
+
+    /// All stored values, parallel to [`CompressedMatrix::coords`].
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Iterates over all stored elements in fiber-major order.
+    pub fn elements(&self) -> ElementIter<'_> {
+        FiberView::from_parts_unchecked(&self.coords, &self.values).iter()
+    }
+
+    /// Borrowed, zero-copy view of the whole matrix — the unit the engine
+    /// executes on (operands are never cloned into the engine).
+    pub fn view(&self) -> MatrixView<'_> {
+        MatrixView {
+            rows: self.rows,
+            cols: self.cols,
+            order: self.order,
+            ptr: &self.ptr,
+            coords: &self.coords,
+            values: &self.values,
+        }
     }
 
     /// Value at `(row, col)`, or `0.0` if not stored.
@@ -314,11 +366,7 @@ impl CompressedMatrix {
         if major >= self.major_dim() {
             return 0.0;
         }
-        self.fiber(major)
-            .elements()
-            .binary_search_by_key(&minor, |e| e.coord)
-            .map(|i| self.fiber(major).elements()[i].value)
-            .unwrap_or(0.0)
+        self.fiber(major).get(minor).unwrap_or(0.0)
     }
 
     /// Compressed footprint in bytes: element data plus the pointer vector.
@@ -335,7 +383,8 @@ impl CompressedMatrix {
     /// A CSR matrix of `A` is bit-identical to a CSC matrix of `Aᵀ`; only the
     /// dimension labels and the order tag change. This is the trick that lets
     /// one engine run N-stationary dataflows by "exchanging matrices A and B"
-    /// (paper §3.2).
+    /// (paper §3.2). The owned form clones the arrays; the engine uses the
+    /// allocation-free [`MatrixView::reinterpret_transposed`] instead.
     #[must_use]
     pub fn reinterpret_transposed(&self) -> Self {
         Self {
@@ -343,7 +392,8 @@ impl CompressedMatrix {
             cols: self.rows,
             order: self.order.flipped(),
             ptr: self.ptr.clone(),
-            elems: self.elems.clone(),
+            coords: self.coords.clone(),
+            values: self.values.clone(),
         }
     }
 
@@ -364,22 +414,21 @@ impl CompressedMatrix {
             MajorOrder::Col => self.cols,
         } as usize;
         let mut counts = vec![0usize; majors_out + 1];
-        for (major, fiber) in self.fibers() {
-            let _ = major;
-            for e in fiber.elements() {
-                counts[e.coord as usize + 1] += 1;
-            }
+        for &c in &self.coords {
+            counts[c as usize + 1] += 1;
         }
         for i in 0..majors_out {
             counts[i + 1] += counts[i];
         }
         let ptr = counts.clone();
         let mut cursor = counts;
-        let mut elems = vec![Element::new(0, 0.0); self.nnz()];
+        let mut coords = vec![0u32; self.nnz()];
+        let mut values = vec![0.0f32; self.nnz()];
         for (major, fiber) in self.fibers() {
-            for e in fiber.elements() {
-                let out_major = e.coord as usize;
-                elems[cursor[out_major]] = Element::new(major, e.value);
+            for (&c, &v) in fiber.coords().iter().zip(fiber.values()) {
+                let out_major = c as usize;
+                coords[cursor[out_major]] = major;
+                values[cursor[out_major]] = v;
                 cursor[out_major] += 1;
             }
         }
@@ -390,7 +439,8 @@ impl CompressedMatrix {
             cols: self.cols,
             order: target,
             ptr,
-            elems,
+            coords,
+            values,
         }
     }
 
@@ -409,7 +459,16 @@ impl CompressedMatrix {
                 ),
             });
         }
-        if self.ptr[0] != 0 || *self.ptr.last().unwrap() != self.elems.len() {
+        if self.coords.len() != self.values.len() {
+            return Err(FormatError::MalformedPointers {
+                detail: format!(
+                    "coordinate array ({}) and value array ({}) disagree",
+                    self.coords.len(),
+                    self.values.len()
+                ),
+            });
+        }
+        if self.ptr[0] != 0 || *self.ptr.last().unwrap() != self.coords.len() {
             return Err(FormatError::MalformedPointers {
                 detail: "pointer vector does not span the element data".into(),
             });
@@ -422,17 +481,17 @@ impl CompressedMatrix {
             }
         }
         for major in 0..self.major_dim() {
-            let fiber = &self.elems[self.ptr[major as usize]..self.ptr[major as usize + 1]];
+            let fiber = &self.coords[self.ptr[major as usize]..self.ptr[major as usize + 1]];
             for w in fiber.windows(2) {
-                if w[0].coord >= w[1].coord {
+                if w[0] >= w[1] {
                     return Err(FormatError::UnsortedFiber { fiber: major });
                 }
             }
-            for e in fiber {
-                if e.coord >= self.minor_dim() {
+            for &c in fiber {
+                if c >= self.minor_dim() {
                     let (row, col) = match self.order {
-                        MajorOrder::Row => (major, e.coord),
-                        MajorOrder::Col => (e.coord, major),
+                        MajorOrder::Row => (major, c),
+                        MajorOrder::Col => (c, major),
                     };
                     return Err(FormatError::CoordOutOfBounds {
                         row,
@@ -457,7 +516,6 @@ impl CompressedMatrix {
                 .fibers()
                 .flat_map(|(major, fiber)| {
                     fiber
-                        .elements()
                         .iter()
                         .map(move |e| match m.order {
                             MajorOrder::Row => (major, e.coord, e.value),
@@ -480,12 +538,133 @@ impl CompressedMatrix {
     }
 }
 
-/// Iterator over the fibers of a [`CompressedMatrix`].
+/// A borrowed, zero-copy view of a [`CompressedMatrix`] — dimensions, order
+/// tag and data slices.
 ///
-/// Produced by [`CompressedMatrix::fibers`].
+/// The engine executes entirely on views: a format-matching operand is
+/// borrowed as-is, and the N-stationary duality ("exchange matrices A and
+/// B", §3.2) is a relabeling via [`MatrixView::reinterpret_transposed`] that
+/// moves no data at all.
+#[derive(Debug, Clone, Copy)]
+pub struct MatrixView<'a> {
+    rows: u32,
+    cols: u32,
+    order: MajorOrder,
+    ptr: &'a [usize],
+    coords: &'a [u32],
+    values: &'a [Value],
+}
+
+impl<'a> MatrixView<'a> {
+    /// Number of rows.
+    pub fn rows(&self) -> u32 {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> u32 {
+        self.cols
+    }
+
+    /// The compression order (CSR or CSC).
+    pub fn order(&self) -> MajorOrder {
+        self.order
+    }
+
+    /// Number of fibers (rows for CSR, columns for CSC).
+    pub fn major_dim(&self) -> u32 {
+        match self.order {
+            MajorOrder::Row => self.rows,
+            MajorOrder::Col => self.cols,
+        }
+    }
+
+    /// Length of each fiber's coordinate space (columns for CSR).
+    pub fn minor_dim(&self) -> u32 {
+        match self.order {
+            MajorOrder::Row => self.cols,
+            MajorOrder::Col => self.rows,
+        }
+    }
+
+    /// Number of stored non-zero elements.
+    pub fn nnz(&self) -> usize {
+        self.coords.len()
+    }
+
+    /// The raw pointer vector (`major_dim + 1` monotone offsets).
+    pub fn ptr(&self) -> &'a [usize] {
+        self.ptr
+    }
+
+    /// All stored coordinates in fiber-major order.
+    pub fn coords(&self) -> &'a [u32] {
+        self.coords
+    }
+
+    /// All stored values, parallel to [`MatrixView::coords`].
+    pub fn values(&self) -> &'a [Value] {
+        self.values
+    }
+
+    /// Zero-copy view of fiber `major`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `major >= self.major_dim()`.
+    pub fn fiber(&self, major: u32) -> FiberView<'a> {
+        let i = major as usize;
+        let (start, end) = (self.ptr[i], self.ptr[i + 1]);
+        FiberView::from_parts_unchecked(&self.coords[start..end], &self.values[start..end])
+    }
+
+    /// Length (nnz) of fiber `major` without materializing a view.
+    pub fn fiber_len(&self, major: u32) -> usize {
+        let i = major as usize;
+        self.ptr[i + 1] - self.ptr[i]
+    }
+
+    /// Iterator over `(major_index, fiber_view)` pairs.
+    pub fn fibers(&self) -> FiberIter<'a> {
+        FiberIter {
+            matrix: *self,
+            next: 0,
+        }
+    }
+
+    /// Reinterprets the view as its transpose: dimension labels swap, the
+    /// order tag flips, and no data moves.
+    #[must_use]
+    pub fn reinterpret_transposed(&self) -> MatrixView<'a> {
+        MatrixView {
+            rows: self.cols,
+            cols: self.rows,
+            order: self.order.flipped(),
+            ptr: self.ptr,
+            coords: self.coords,
+            values: self.values,
+        }
+    }
+
+    /// Copies the view into an owned matrix.
+    pub fn to_matrix(&self) -> CompressedMatrix {
+        CompressedMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            order: self.order,
+            ptr: self.ptr.to_vec(),
+            coords: self.coords.to_vec(),
+            values: self.values.to_vec(),
+        }
+    }
+}
+
+/// Iterator over the fibers of a [`CompressedMatrix`] or [`MatrixView`].
+///
+/// Produced by [`CompressedMatrix::fibers`] / [`MatrixView::fibers`].
 #[derive(Debug, Clone)]
 pub struct FiberIter<'a> {
-    matrix: &'a CompressedMatrix,
+    matrix: MatrixView<'a>,
     next: u32,
 }
 
@@ -512,6 +691,7 @@ impl ExactSizeIterator for FiberIter<'_> {}
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Element;
 
     fn sample_csr() -> CompressedMatrix {
         // [[0 2 0]
@@ -565,9 +745,18 @@ mod tests {
         )
         .unwrap();
         assert_eq!(m.major_dim(), 3);
-        assert_eq!(m.fiber(0).elements(), &[Element::new(1, 1.0)]);
-        assert_eq!(m.fiber(1).elements(), &[Element::new(0, 2.0)]);
-        assert_eq!(m.fiber(2).elements(), &[Element::new(1, 3.0)]);
+        assert_eq!(
+            m.fiber(0).to_fiber().into_inner(),
+            vec![Element::new(1, 1.0)]
+        );
+        assert_eq!(
+            m.fiber(1).to_fiber().into_inner(),
+            vec![Element::new(0, 2.0)]
+        );
+        assert_eq!(
+            m.fiber(2).to_fiber().into_inner(),
+            vec![Element::new(1, 3.0)]
+        );
     }
 
     #[test]
@@ -603,9 +792,22 @@ mod tests {
         assert_eq!(t.rows(), 3);
         assert_eq!(t.cols(), 2);
         assert_eq!(t.order(), MajorOrder::Col);
-        assert_eq!(t.elements(), csr.elements());
+        assert_eq!(t.coords(), csr.coords());
+        assert_eq!(t.values(), csr.values());
         // A[1][2] == Aᵀ[2][1]
         assert_eq!(t.get(2, 1), 3.0);
+    }
+
+    #[test]
+    fn view_transpose_moves_no_data() {
+        let csr = sample_csr();
+        let v = csr.view().reinterpret_transposed();
+        assert_eq!(v.rows(), 3);
+        assert_eq!(v.cols(), 2);
+        assert_eq!(v.order(), MajorOrder::Col);
+        assert!(std::ptr::eq(v.coords(), csr.coords()));
+        assert!(std::ptr::eq(v.values(), csr.values()));
+        assert_eq!(v.to_matrix(), csr.reinterpret_transposed());
     }
 
     #[test]
@@ -635,6 +837,20 @@ mod tests {
         let lens: Vec<usize> = m.fibers().map(|(_, f)| f.len()).collect();
         assert_eq!(lens, vec![1, 2]);
         assert_eq!(m.fibers().len(), 2);
+    }
+
+    #[test]
+    fn elements_iterates_in_fiber_major_order() {
+        let m = sample_csr();
+        let elems: Vec<Element> = m.elements().collect();
+        assert_eq!(
+            elems,
+            vec![
+                Element::new(1, 2.0),
+                Element::new(0, 1.0),
+                Element::new(2, 3.0)
+            ]
+        );
     }
 
     #[test]

@@ -41,7 +41,7 @@ impl DenseMatrix {
     pub fn from_compressed(m: &CompressedMatrix) -> Self {
         let mut d = Self::zeros(m.rows(), m.cols());
         for (major, fiber) in m.fibers() {
-            for e in fiber.elements() {
+            for e in fiber.iter() {
                 let (r, c) = match m.order() {
                     MajorOrder::Row => (major, e.coord),
                     MajorOrder::Col => (e.coord, major),

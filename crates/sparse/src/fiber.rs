@@ -3,29 +3,42 @@
 //! Following the paper (§2.1, terminology shared with GAMMA), a *fiber* is
 //! one compressed row (CSR) or column (CSC): a list of `(coordinate, value)`
 //! duples sorted by coordinate.
+//!
+//! Storage is struct-of-arrays: one `Vec<u32>` of coordinates and one
+//! `Vec<f32>` of values. The merger-reduction hot loops touch only the
+//! coordinate stream (one cache line holds 16 coordinates instead of 8
+//! interleaved duples), and value moves are contiguous `f32` copies —
+//! branch-predictable, cache-dense and auto-vectorizable. The [`Element`]
+//! duple remains the API unit: iteration yields `Element`s by value.
 
 use crate::{Element, Value};
 
-/// An owned fiber: a coordinate-sorted list of [`Element`]s.
+/// An owned fiber: a coordinate-sorted list of [`Element`]s in
+/// struct-of-arrays layout.
 ///
 /// The sorted-by-coordinate invariant is maintained by construction and is
 /// what allows the merger-reduction network to merge fibers with a single
 /// comparator per tree node.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct Fiber {
-    elems: Vec<Element>,
+    coords: Vec<u32>,
+    values: Vec<Value>,
 }
 
 impl Fiber {
     /// Creates an empty fiber.
     pub fn new() -> Self {
-        Self { elems: Vec::new() }
+        Self {
+            coords: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     /// Creates an empty fiber with room for `cap` elements.
     pub fn with_capacity(cap: usize) -> Self {
         Self {
-            elems: Vec::with_capacity(cap),
+            coords: Vec::with_capacity(cap),
+            values: Vec::with_capacity(cap),
         }
     }
 
@@ -39,7 +52,28 @@ impl Fiber {
             elems.windows(2).all(|w| w[0].coord < w[1].coord),
             "fiber coordinates must be strictly increasing"
         );
-        Self { elems }
+        let mut coords = Vec::with_capacity(elems.len());
+        let mut values = Vec::with_capacity(elems.len());
+        for e in elems {
+            coords.push(e.coord);
+            values.push(e.value);
+        }
+        Self { coords, values }
+    }
+
+    /// Builds a fiber directly from its coordinate and value arrays.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the arrays differ in length; panics in debug builds if
+    /// coordinates are not strictly increasing.
+    pub fn from_parts(coords: Vec<u32>, values: Vec<Value>) -> Self {
+        assert_eq!(coords.len(), values.len(), "coord/value arrays must match");
+        debug_assert!(
+            coords.windows(2).all(|w| w[0] < w[1]),
+            "fiber coordinates must be strictly increasing"
+        );
+        Self { coords, values }
     }
 
     /// Builds a fiber from arbitrary elements, sorting by coordinate and
@@ -57,24 +91,29 @@ impl Fiber {
     /// ```
     pub fn from_unsorted(mut elems: Vec<Element>) -> Self {
         elems.sort_by_key(|e| e.coord);
-        let mut out: Vec<Element> = Vec::with_capacity(elems.len());
+        let mut out = Fiber::with_capacity(elems.len());
         for e in elems {
-            match out.last_mut() {
-                Some(last) if last.coord == e.coord => last.value += e.value,
-                _ => out.push(e),
+            match out.coords.last() {
+                Some(&last) if last == e.coord => {
+                    *out.values.last_mut().expect("parallel arrays") += e.value;
+                }
+                _ => {
+                    out.coords.push(e.coord);
+                    out.values.push(e.value);
+                }
             }
         }
-        Self { elems: out }
+        out
     }
 
     /// Number of non-zero elements in the fiber.
     pub fn len(&self) -> usize {
-        self.elems.len()
+        self.coords.len()
     }
 
     /// Returns `true` when the fiber holds no elements.
     pub fn is_empty(&self) -> bool {
-        self.elems.is_empty()
+        self.coords.is_empty()
     }
 
     /// Appends an element whose coordinate must exceed the current last.
@@ -84,43 +123,62 @@ impl Fiber {
     /// Panics if `elem.coord` is not strictly greater than the last
     /// coordinate currently in the fiber.
     pub fn push(&mut self, elem: Element) {
-        if let Some(last) = self.elems.last() {
+        if let Some(&last) = self.coords.last() {
             assert!(
-                elem.coord > last.coord,
+                elem.coord > last,
                 "push would break fiber ordering: {} after {}",
                 elem.coord,
-                last.coord
+                last
             );
         }
-        self.elems.push(elem);
+        self.coords.push(elem.coord);
+        self.values.push(elem.value);
     }
 
     /// Looks up the value at `coord`, if present.
     pub fn get(&self, coord: u32) -> Option<Value> {
-        self.elems
-            .binary_search_by_key(&coord, |e| e.coord)
+        self.coords
+            .binary_search(&coord)
             .ok()
-            .map(|i| self.elems[i].value)
+            .map(|i| self.values[i])
     }
 
     /// Borrowed view of the elements.
     pub fn as_view(&self) -> FiberView<'_> {
-        FiberView { elems: &self.elems }
+        FiberView {
+            coords: &self.coords,
+            values: &self.values,
+        }
     }
 
     /// Iterates over the elements in coordinate order.
-    pub fn iter(&self) -> std::slice::Iter<'_, Element> {
-        self.elems.iter()
+    pub fn iter(&self) -> ElementIter<'_> {
+        self.as_view().iter()
     }
 
-    /// Consumes the fiber, returning the underlying element vector.
+    /// The coordinate array.
+    pub fn coords(&self) -> &[u32] {
+        &self.coords
+    }
+
+    /// The value array (parallel to [`Fiber::coords`]).
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Consumes the fiber, returning the elements as a vector of duples.
     pub fn into_inner(self) -> Vec<Element> {
-        self.elems
+        self.coords
+            .into_iter()
+            .zip(self.values)
+            .map(|(c, v)| Element::new(c, v))
+            .collect()
     }
 
-    /// Slice of the underlying elements.
-    pub fn elements(&self) -> &[Element] {
-        &self.elems
+    /// Removes all elements, keeping the allocations.
+    pub fn clear(&mut self) {
+        self.coords.clear();
+        self.values.clear();
     }
 
     /// Returns a fiber with every value scaled by `factor`.
@@ -130,9 +188,19 @@ impl Fiber {
     /// entire streaming fiber.
     #[must_use]
     pub fn scaled(&self, factor: Value) -> Fiber {
-        Fiber {
-            elems: self.elems.iter().map(|e| e.scaled(factor)).collect(),
-        }
+        let mut out = Fiber::with_capacity(self.len());
+        out.scale_from(self.as_view(), factor);
+        out
+    }
+
+    /// Replaces the contents with `view` scaled by `factor`, reusing the
+    /// existing allocations — the zero-allocation form of [`Fiber::scaled`]
+    /// used by the engine's streaming loops.
+    pub fn scale_from(&mut self, view: FiberView<'_>, factor: Value) {
+        self.coords.clear();
+        self.coords.extend_from_slice(view.coords);
+        self.values.clear();
+        self.values.extend(view.values.iter().map(|v| v * factor));
     }
 
     /// Dot product against another fiber (sorted intersection).
@@ -154,75 +222,132 @@ impl FromIterator<Element> for Fiber {
 impl Extend<Element> for Fiber {
     /// Extends the fiber; elements are re-sorted and duplicates accumulated.
     fn extend<I: IntoIterator<Item = Element>>(&mut self, iter: I) {
-        let mut all = std::mem::take(&mut self.elems);
+        let mut all: Vec<Element> = std::mem::take(self).into_inner();
         all.extend(iter);
         *self = Fiber::from_unsorted(all);
     }
 }
 
 impl<'a> IntoIterator for &'a Fiber {
-    type Item = &'a Element;
-    type IntoIter = std::slice::Iter<'a, Element>;
+    type Item = Element;
+    type IntoIter = ElementIter<'a>;
     fn into_iter(self) -> Self::IntoIter {
-        self.elems.iter()
+        self.iter()
     }
 }
 
 impl IntoIterator for Fiber {
     type Item = Element;
-    type IntoIter = std::vec::IntoIter<Element>;
+    type IntoIter = std::iter::Map<
+        std::iter::Zip<std::vec::IntoIter<u32>, std::vec::IntoIter<Value>>,
+        fn((u32, Value)) -> Element,
+    >;
     fn into_iter(self) -> Self::IntoIter {
-        self.elems.into_iter()
+        fn make(pair: (u32, Value)) -> Element {
+            Element::new(pair.0, pair.1)
+        }
+        self.coords.into_iter().zip(self.values).map(make)
     }
 }
 
-/// A borrowed, coordinate-sorted slice of elements.
+/// A borrowed, coordinate-sorted span of elements in struct-of-arrays form.
 ///
 /// `FiberView` is the zero-copy unit handed to the networks: tile readers
 /// produce views into the L1 structures without copying element data.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct FiberView<'a> {
-    elems: &'a [Element],
+    coords: &'a [u32],
+    values: &'a [Value],
 }
 
 impl<'a> FiberView<'a> {
-    /// Wraps an element slice that is already coordinate-sorted.
+    /// Wraps parallel coordinate/value slices that are already sorted.
     ///
     /// # Panics
     ///
-    /// Panics in debug builds if coordinates are not strictly increasing.
-    pub fn from_sorted(elems: &'a [Element]) -> Self {
+    /// Panics if the slices differ in length; panics in debug builds if
+    /// coordinates are not strictly increasing.
+    pub fn from_parts(coords: &'a [u32], values: &'a [Value]) -> Self {
+        assert_eq!(coords.len(), values.len(), "coord/value slices must match");
         debug_assert!(
-            elems.windows(2).all(|w| w[0].coord < w[1].coord),
+            coords.windows(2).all(|w| w[0] < w[1]),
             "fiber view coordinates must be strictly increasing"
         );
-        Self { elems }
+        Self { coords, values }
+    }
+
+    /// Wraps parallel slices without the ordering debug-check — for storage
+    /// spans that are sorted per fiber but not globally (the compressed
+    /// matrix's concatenated arrays), and for hot paths where the check is
+    /// enforced upstream.
+    pub(crate) fn from_parts_unchecked(coords: &'a [u32], values: &'a [Value]) -> Self {
+        debug_assert_eq!(coords.len(), values.len(), "coord/value slices must match");
+        Self { coords, values }
     }
 
     /// Number of elements in the view.
     pub fn len(&self) -> usize {
-        self.elems.len()
+        self.coords.len()
     }
 
     /// Returns `true` when the view is empty.
     pub fn is_empty(&self) -> bool {
-        self.elems.is_empty()
+        self.coords.is_empty()
     }
 
-    /// Underlying element slice.
-    pub fn elements(&self) -> &'a [Element] {
-        self.elems
+    /// The coordinate slice.
+    pub fn coords(&self) -> &'a [u32] {
+        self.coords
+    }
+
+    /// The value slice (parallel to [`FiberView::coords`]).
+    pub fn values(&self) -> &'a [Value] {
+        self.values
+    }
+
+    /// The element at position `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.len()`.
+    pub fn element(&self, i: usize) -> Element {
+        Element::new(self.coords[i], self.values[i])
+    }
+
+    /// Looks up the value at `coord`, if present.
+    pub fn get(&self, coord: u32) -> Option<Value> {
+        self.coords
+            .binary_search(&coord)
+            .ok()
+            .map(|i| self.values[i])
+    }
+
+    /// A sub-span of `len` elements starting at `start` — how the engine
+    /// addresses one cluster's chunk of a stationary fiber without copying.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, start: usize, len: usize) -> FiberView<'a> {
+        FiberView {
+            coords: &self.coords[start..start + len],
+            values: &self.values[start..start + len],
+        }
     }
 
     /// Iterates over the elements in coordinate order.
-    pub fn iter(&self) -> std::slice::Iter<'a, Element> {
-        self.elems.iter()
+    pub fn iter(&self) -> ElementIter<'a> {
+        ElementIter {
+            coords: self.coords.iter(),
+            values: self.values.iter(),
+        }
     }
 
     /// Copies the view into an owned [`Fiber`].
     pub fn to_fiber(&self) -> Fiber {
         Fiber {
-            elems: self.elems.to_vec(),
+            coords: self.coords.to_vec(),
+            values: self.values.to_vec(),
         }
     }
 
@@ -231,13 +356,13 @@ impl<'a> FiberView<'a> {
         let (mut i, mut j) = (0, 0);
         let mut acc = 0.0;
         let mut work = 0;
-        while i < self.elems.len() && j < other.elems.len() {
-            let (a, b) = (self.elems[i], other.elems[j]);
-            match a.coord.cmp(&b.coord) {
+        let (ac, bc) = (self.coords, other.coords);
+        while i < ac.len() && j < bc.len() {
+            match ac[i].cmp(&bc[j]) {
                 std::cmp::Ordering::Less => i += 1,
                 std::cmp::Ordering::Greater => j += 1,
                 std::cmp::Ordering::Equal => {
-                    acc += a.value * b.value;
+                    acc += self.values[i] * other.values[j];
                     work += 1;
                     i += 1;
                     j += 1;
@@ -254,12 +379,35 @@ impl<'a> FiberView<'a> {
 }
 
 impl<'a> IntoIterator for FiberView<'a> {
-    type Item = &'a Element;
-    type IntoIter = std::slice::Iter<'a, Element>;
+    type Item = Element;
+    type IntoIter = ElementIter<'a>;
     fn into_iter(self) -> Self::IntoIter {
-        self.elems.iter()
+        self.iter()
     }
 }
+
+/// Iterator over a fiber's elements, yielding [`Element`] duples by value.
+#[derive(Debug, Clone)]
+pub struct ElementIter<'a> {
+    coords: std::slice::Iter<'a, u32>,
+    values: std::slice::Iter<'a, Value>,
+}
+
+impl Iterator for ElementIter<'_> {
+    type Item = Element;
+
+    fn next(&mut self) -> Option<Element> {
+        let c = *self.coords.next()?;
+        let v = *self.values.next()?;
+        Some(Element::new(c, v))
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.coords.size_hint()
+    }
+}
+
+impl ExactSizeIterator for ElementIter<'_> {}
 
 #[cfg(test)]
 mod tests {
@@ -302,6 +450,15 @@ mod tests {
     }
 
     #[test]
+    fn soa_parts_are_parallel() {
+        let fb = f(&[(1, 1.5), (7, 2.5)]);
+        assert_eq!(fb.coords(), &[1, 7]);
+        assert_eq!(fb.values(), &[1.5, 2.5]);
+        let back = Fiber::from_parts(fb.coords().to_vec(), fb.values().to_vec());
+        assert_eq!(back, fb);
+    }
+
+    #[test]
     fn dot_intersects_sorted_coords() {
         let a = f(&[(0, 1.0), (2, 2.0), (5, 3.0)]);
         let b = f(&[(1, 4.0), (2, 5.0), (5, 6.0)]);
@@ -326,11 +483,19 @@ mod tests {
     }
 
     #[test]
+    fn scale_from_reuses_and_matches_scaled() {
+        let a = f(&[(0, 1.0), (2, 2.0), (9, 4.0)]);
+        let mut scratch = f(&[(5, 5.0)]);
+        scratch.scale_from(a.as_view(), 2.5);
+        assert_eq!(scratch, a.scaled(2.5));
+    }
+
+    #[test]
     fn collect_from_iterator() {
         let fb: Fiber = vec![Element::new(2, 1.0), Element::new(0, 2.0)]
             .into_iter()
             .collect();
-        assert_eq!(fb.elements()[0].coord, 0);
+        assert_eq!(fb.coords()[0], 0);
     }
 
     #[test]
@@ -350,6 +515,15 @@ mod tests {
     }
 
     #[test]
+    fn view_slice_addresses_chunks() {
+        let fb = f(&[(0, 1.0), (3, 2.0), (5, 3.0), (9, 4.0)]);
+        let chunk = fb.as_view().slice(1, 2);
+        assert_eq!(chunk.len(), 2);
+        assert_eq!(chunk.element(0), Element::new(3, 2.0));
+        assert_eq!(chunk.element(1), Element::new(5, 3.0));
+    }
+
+    #[test]
     fn intersect_count_matches_dot_work() {
         let a = f(&[(0, 1.0), (1, 1.0), (2, 1.0)]);
         let b = f(&[(1, 1.0), (2, 1.0), (3, 1.0)]);
@@ -363,5 +537,12 @@ mod tests {
         assert_eq!(borrowed, vec![0, 1]);
         let owned: Vec<Value> = fb.into_iter().map(|e| e.value).collect();
         assert_eq!(owned, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn into_inner_preserves_order() {
+        let fb = f(&[(2, 1.0), (4, 2.0)]);
+        let elems = fb.into_inner();
+        assert_eq!(elems, vec![Element::new(2, 1.0), Element::new(4, 2.0)]);
     }
 }

@@ -305,7 +305,7 @@ mod tests {
     fn banded_respects_bandwidth() {
         let m = banded(20, 2, 1.0, MajorOrder::Row, &mut rng());
         for (r, fiber) in m.fibers() {
-            for e in fiber.elements() {
+            for e in fiber.iter() {
                 assert!(
                     (e.coord as i64 - r as i64).abs() <= 2,
                     "element ({r},{}) outside band",

@@ -193,7 +193,7 @@ pub fn write_matrix_market<W: Write>(
         matrix.nnz()
     )?;
     for (major, fiber) in matrix.fibers() {
-        for e in fiber.elements() {
+        for e in fiber.iter() {
             let (r, c) = match matrix.order() {
                 MajorOrder::Row => (major, e.coord),
                 MajorOrder::Col => (e.coord, major),

@@ -50,11 +50,11 @@ pub mod reference;
 pub mod stats;
 
 pub use bitmap::BitmapMatrix;
-pub use compressed::{CompressedMatrix, FiberIter, MajorOrder};
+pub use compressed::{CompressedMatrix, FiberIter, MajorOrder, MatrixView};
 pub use dense::DenseMatrix;
 pub use element::{Element, Value, ELEMENT_BYTES};
 pub use error::FormatError;
-pub use fiber::{Fiber, FiberView};
+pub use fiber::{ElementIter, Fiber, FiberView};
 
 /// Convenience result alias for fallible format operations.
 pub type Result<T> = std::result::Result<T, FormatError>;

@@ -94,7 +94,7 @@ pub fn outer_product(a: &CompressedMatrix, b: &CompressedMatrix) -> Result<Compr
         if b_row.is_empty() {
             continue;
         }
-        for ae in a_col.elements() {
+        for ae in a_col.iter() {
             psums[ae.coord as usize].push(b_row.to_fiber().scaled(ae.value));
         }
     }
@@ -136,7 +136,7 @@ pub fn gustavson(a: &CompressedMatrix, b: &CompressedMatrix) -> Result<Compresse
     let mut scaled: Vec<Fiber> = Vec::new();
     for (_, a_row) in a.fibers() {
         scaled.clear();
-        for ae in a_row.elements() {
+        for ae in a_row.iter() {
             let b_row = b.fiber(ae.coord);
             if !b_row.is_empty() {
                 scaled.push(b_row.to_fiber().scaled(ae.value));

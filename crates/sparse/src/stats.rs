@@ -4,7 +4,7 @@
 //! heuristics: the winning dataflow is a function of dimensions, sparsity
 //! degree and compressed sizes relative to on-chip capacity.
 
-use crate::{CompressedMatrix, MajorOrder};
+use crate::{CompressedMatrix, MajorOrder, MatrixView};
 use serde::{Deserialize, Serialize};
 
 /// Shape/sparsity summary of one matrix (the `sp`/`cs` columns of Table 6).
@@ -87,6 +87,12 @@ pub struct SpGemmWork {
 impl SpGemmWork {
     /// Computes the work profile. Operands may be in either major order.
     pub fn of(a: &CompressedMatrix, b: &CompressedMatrix) -> Self {
+        Self::of_views(a.view(), b.view())
+    }
+
+    /// Computes the work profile from borrowed views (the engine's
+    /// allocation-free path).
+    pub fn of_views(a: MatrixView<'_>, b: MatrixView<'_>) -> Self {
         let a_col_counts = major_counts(a, MajorOrder::Col);
         let b_row_counts = major_counts(b, MajorOrder::Row);
         let mut products = 0u64;
@@ -119,7 +125,7 @@ impl SpGemmWork {
 
 /// nnz per major index of `m` *as if* compressed in `order`, without
 /// converting (counts only).
-fn major_counts(m: &CompressedMatrix, order: MajorOrder) -> Vec<u32> {
+fn major_counts(m: MatrixView<'_>, order: MajorOrder) -> Vec<u32> {
     let dim = match order {
         MajorOrder::Row => m.rows(),
         MajorOrder::Col => m.cols(),
@@ -130,8 +136,8 @@ fn major_counts(m: &CompressedMatrix, order: MajorOrder) -> Vec<u32> {
             counts[major as usize] = f.len() as u32;
         }
     } else {
-        for e in m.elements() {
-            counts[e.coord as usize] += 1;
+        for &c in m.coords() {
+            counts[c as usize] += 1;
         }
     }
     counts
@@ -218,7 +224,7 @@ mod tests {
         let w = SpGemmWork::of(&a, &b);
         let mut manual = 0u64;
         for (_, a_row) in a.fibers() {
-            for e in a_row.elements() {
+            for e in a_row.iter() {
                 manual += b.fiber_len(e.coord) as u64;
             }
         }

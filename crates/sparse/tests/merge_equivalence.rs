@@ -1,0 +1,123 @@
+//! Equivalence properties for the optimized k-way merge.
+//!
+//! The loser-tree / sort-based `merge_accumulate` and its 2-way/4-way fast
+//! paths must be *element-for-element identical* — coordinates, float bits
+//! and collision stats — to two independent models:
+//!
+//! 1. the pairwise `merge_two` composition (the pre-optimization semantics
+//!    of the engine's radix loop), and
+//! 2. the dense SpGEMM reference: merging fibers `f_0..f_{F-1}` equals the
+//!    row `[1, 1, ..., 1] × B` where `B`'s row `i` is `f_i`, accumulated in
+//!    ascending source order — the same float-addition order the MRN's
+//!    tie-break-by-source rule fixes.
+
+use flexagon_sparse::{merge, CompressedMatrix, DenseMatrix, Element, Fiber, MajorOrder};
+use proptest::prelude::*;
+
+/// Strategy: between `min` and `max` coordinate-sorted fibers over a shared
+/// coordinate space, with positive values (no cancellation, so float sums
+/// are reproducible across formulations).
+fn fibers(min: usize, max: usize) -> impl Strategy<Value = Vec<Fiber>> {
+    proptest::collection::vec(
+        proptest::collection::btree_map(0u32..48, 0.25f32..4.0, 0..24),
+        min..max,
+    )
+    .prop_map(|maps| {
+        maps.into_iter()
+            .map(|m| Fiber::from_sorted(m.into_iter().map(|(c, v)| Element::new(c, v)).collect()))
+            .collect()
+    })
+}
+
+/// Folds the fibers with repeated `merge_two` — the old pairwise engine
+/// composition — returning the result and the summed collision count.
+fn pairwise(fibers: &[Fiber]) -> (Fiber, u64) {
+    let mut acc = Fiber::new();
+    let mut additions = 0;
+    for f in fibers {
+        let (merged, stats) = merge::merge_two(acc.as_view(), f.as_view());
+        additions += stats.additions;
+        acc = merged;
+    }
+    (acc, additions)
+}
+
+/// Checks one fiber set against both models.
+fn check_equivalence(fibers: Vec<Fiber>) {
+    let views: Vec<_> = fibers.iter().map(Fiber::as_view).collect();
+    let total: u64 = views.iter().map(|v| v.len() as u64).sum();
+    let (kway, stats) = merge::merge_accumulate(&views);
+
+    // Model 1: pairwise merge_two composition, element-for-element with
+    // identical float bits (both accumulate collisions in source order).
+    let (pw, pw_additions) = pairwise(&fibers);
+    assert_eq!(kway, pw, "k-way merge differs from pairwise composition");
+    assert_eq!(stats.additions, pw_additions, "collision counts differ");
+    assert_eq!(stats.comparisons, total, "pop-per-element comparison count");
+
+    // Model 2: dense SpGEMM reference. C = ones(1xF) x B where B's row i is
+    // fiber i; the dense loop accumulates over k = source in ascending
+    // order, matching the merge's tie-break rule bit-for-bit.
+    let cols = 48;
+    let b = CompressedMatrix::from_fibers(fibers.len() as u32, cols, MajorOrder::Row, fibers)
+        .expect("fibers are in range");
+    let f_dim = b.rows();
+    let ones: Vec<(u32, u32, f32)> = (0..f_dim).map(|k| (0, k, 1.0)).collect();
+    let a = CompressedMatrix::from_triplets(1, f_dim, &ones, MajorOrder::Row)
+        .expect("ones row is well-formed");
+    let dense = DenseMatrix::from_compressed(&a)
+        .matmul(&DenseMatrix::from_compressed(&b))
+        .expect("dimensions agree");
+    for c in 0..cols {
+        let want = dense.get(0, c);
+        let got = kway.get(c).unwrap_or(0.0);
+        assert_eq!(
+            got.to_bits(),
+            want.to_bits(),
+            "coordinate {c}: merge gave {got}, dense SpGEMM gave {want}"
+        );
+    }
+}
+
+proptest! {
+    /// Small sets exercise the 1-way copy and the 2-way/4-way fast paths.
+    #[test]
+    fn fast_paths_match_references(fs in fibers(1, 6)) {
+        check_equivalence(fs);
+    }
+
+    /// Mid radix exercises the loser tree (5..=8 sources).
+    #[test]
+    fn loser_tree_matches_references(fs in fibers(5, 9)) {
+        check_equivalence(fs);
+    }
+
+    /// Wide radix exercises the sort-based path (9..70 sources, spanning
+    /// the MRN's 64-leaf hardware radix).
+    #[test]
+    fn wide_radix_matches_references(fs in fibers(9, 70)) {
+        check_equivalence(fs);
+    }
+}
+
+/// Deterministic sweep across every dispatch boundary, including the exact
+/// hardware radix of 64.
+#[test]
+fn dispatch_boundaries_match_pairwise() {
+    for ways in [1usize, 2, 3, 4, 5, 8, 9, 16, 63, 64, 65] {
+        let fibers: Vec<Fiber> = (0..ways)
+            .map(|s| {
+                let pairs: Vec<Element> = (0..48u32)
+                    .filter(|c| (c.wrapping_mul(2654435761).wrapping_add(s as u32 * 131)) % 3 == 0)
+                    .map(|c| Element::new(c, (s + 1) as f32 * 0.5))
+                    .collect();
+                Fiber::from_sorted(pairs)
+            })
+            .collect();
+        let views: Vec<_> = fibers.iter().map(Fiber::as_view).collect();
+        let (kway, stats) = merge::merge_accumulate(&views);
+        let (pw, pw_additions) = pairwise(&fibers);
+        assert_eq!(kway, pw, "radix {ways}");
+        assert_eq!(stats.additions, pw_additions, "radix {ways} stats");
+    }
+}
