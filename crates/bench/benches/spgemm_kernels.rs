@@ -3,7 +3,7 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use flexagon_core::{Accelerator, Dataflow, Flexagon};
-use flexagon_sparse::{gen, merge, reference, CompressedMatrix, Fiber, MajorOrder};
+use flexagon_sparse::{gen, merge, reference, CompressedMatrix, Fiber, FiberIndex, MajorOrder};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::hint::black_box;
@@ -32,6 +32,53 @@ fn bench_kernels(c: &mut Criterion) {
             bench.iter(|| reference::outer_product(black_box(&a_csc), black_box(&b)).unwrap());
         });
     }
+    group.finish();
+}
+
+/// A fiber of `len` elements drawn from a coordinate space of `space`.
+fn intersection_fiber(len: usize, space: u32, seed: u64) -> Fiber {
+    let density = len as f64 / space as f64;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    gen::random(1, space, density, MajorOrder::Row, &mut rng)
+        .fiber(0)
+        .to_fiber()
+}
+
+/// The three intersection strategies over balanced, skewed and sparse-span
+/// fiber pairs: the naive two-pointer scan, galloping, and index probing
+/// (bitmap or skip tier depending on span).
+fn bench_intersection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("intersection");
+    // (label, len_a, len_b, space): balanced dense-span, skewed (short
+    // stationary list vs long fiber, the MNK tile shape), and sparse-span
+    // pairs that exercise the skip tier.
+    let shapes: &[(&str, usize, usize, u32)] = &[
+        ("balanced/256", 256, 256, 1024),
+        ("skewed/64x4096", 64, 4096, 16384),
+        ("sparse_span/512", 512, 512, 1 << 24),
+    ];
+    for &(label, la, lb, space) in shapes {
+        let a = intersection_fiber(la, space, 7);
+        let b = intersection_fiber(lb, space, 8);
+        let b_index = FiberIndex::build(b.coords());
+        group.bench_function(BenchmarkId::new("dot", label), |bench| {
+            bench.iter(|| black_box(a.as_view()).dot(black_box(b.as_view())));
+        });
+        group.bench_function(BenchmarkId::new("gallop", label), |bench| {
+            bench.iter(|| black_box(a.as_view()).dot_gallop(black_box(b.as_view())));
+        });
+        group.bench_function(BenchmarkId::new("probe", label), |bench| {
+            bench.iter(|| {
+                black_box(a.as_view()).dot_probe(black_box(b.as_view()), black_box(&b_index))
+            });
+        });
+    }
+    // Index construction cost over a whole operand, amortized by the loops
+    // that reuse it.
+    let (_, b) = operands(512, 0.1);
+    group.bench_function("index_build/512", |bench| {
+        bench.iter(|| flexagon_sparse::MatrixIndex::build(black_box(&b).view()));
+    });
     group.finish();
 }
 
@@ -106,6 +153,7 @@ fn bench_execute(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_kernels,
+    bench_intersection,
     bench_conversion,
     bench_kway_merge,
     bench_execute

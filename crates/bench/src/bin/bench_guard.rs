@@ -1,0 +1,166 @@
+//! Compares a criterion-shim results file against the recorded baseline in
+//! `BENCH_spgemm.json` and fails on real per-benchmark regressions.
+//!
+//! Usage: `bench_guard [results.json] [baseline.json]` (defaults:
+//! `target/bench_results.json`, `BENCH_spgemm.json`). The results file is
+//! the record-per-line output the vendored criterion shim appends to
+//! `FLEXAGON_BENCH_JSON`.
+//!
+//! CI machines are not the machine the baseline was recorded on, so raw
+//! nanosecond comparisons would flag every benchmark on a slower runner. The
+//! guard instead normalizes by the *median* measured/recorded ratio across
+//! all matched benchmarks — the machine-speed factor — and fails only when a
+//! single benchmark is more than `BENCH_GUARD_TOLERANCE` (default 1.5×)
+//! slower than that factor predicts: a shape regression, not a slow machine.
+
+use serde::Deserialize;
+use std::process::ExitCode;
+
+/// Benchmarks faster than this are dominated by timer jitter and batching
+/// granularity at smoke budgets (the micro-intersection benches were
+/// observed 1.5-1.7x off on unchanged code at starved budgets); they are
+/// uploaded in the artifact but not gated on.
+const MIN_GATED_NS: f64 = 5000.0;
+
+/// Median measured/recorded ratio beyond which the run fails outright: the
+/// median normalization exists to tolerate slower CI machines, but a factor
+/// this large means either a systemic regression (slowing everything evades
+/// per-bench gating) or a runner too far from the baseline machine class for
+/// the comparison to mean anything.
+const MAX_MACHINE_FACTOR: f64 = 4.0;
+
+#[derive(Debug, Deserialize)]
+struct Baseline {
+    results: Vec<BaselineEntry>,
+}
+
+/// One record of the baseline file; extra fields (pre numbers, speedups)
+/// are ignored by the shim's deserializer.
+#[derive(Debug, Deserialize)]
+struct BaselineEntry {
+    benchmark: String,
+    post_ns_per_iter: f64,
+}
+
+/// One line of the criterion shim's results file.
+#[derive(Debug, Deserialize)]
+struct Measured {
+    name: String,
+    ns_per_iter: f64,
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let results_path = args
+        .next()
+        .unwrap_or_else(|| "target/bench_results.json".into());
+    let baseline_path = args.next().unwrap_or_else(|| "BENCH_spgemm.json".into());
+    let tolerance: f64 = std::env::var("BENCH_GUARD_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(1.5);
+
+    let baseline_text = match std::fs::read_to_string(&baseline_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_guard: cannot read baseline {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let baseline: Baseline = match serde_json::from_str(&baseline_text) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("bench_guard: cannot parse baseline {baseline_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let results_text = match std::fs::read_to_string(&results_path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench_guard: cannot read results {results_path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let measured: Vec<Measured> = results_text
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .filter_map(|l| serde_json::from_str(l).ok())
+        .collect();
+    if measured.is_empty() {
+        eprintln!("bench_guard: no measurements in {results_path}");
+        return ExitCode::FAILURE;
+    }
+
+    // Match measurements to baseline records and compute speed ratios.
+    let mut rows: Vec<(String, f64, f64, f64)> = Vec::new(); // name, base, now, ratio
+    let mut unmatched: Vec<String> = Vec::new();
+    for b in &baseline.results {
+        if b.post_ns_per_iter < MIN_GATED_NS {
+            continue;
+        }
+        // The shim appends records, so a reused results file can hold
+        // several measurements per benchmark: the last one is the latest.
+        match measured.iter().rev().find(|m| m.name == b.benchmark) {
+            Some(m) => rows.push((
+                b.benchmark.clone(),
+                b.post_ns_per_iter,
+                m.ns_per_iter,
+                m.ns_per_iter / b.post_ns_per_iter,
+            )),
+            // A gated baseline entry with no measurement means the benchmark
+            // was renamed or dropped without updating the baseline — that
+            // must not silently shrink the guarded set.
+            None => unmatched.push(b.benchmark.clone()),
+        }
+    }
+    if !unmatched.is_empty() {
+        for name in &unmatched {
+            eprintln!("bench_guard: baseline benchmark '{name}' was not measured");
+        }
+        eprintln!(
+            "bench_guard: {} gated baseline entr{} missing from the results — \
+             renamed or dropped benchmarks must update {baseline_path}",
+            unmatched.len(),
+            if unmatched.len() == 1 { "y" } else { "ies" },
+        );
+        return ExitCode::FAILURE;
+    }
+    if rows.is_empty() {
+        eprintln!("bench_guard: no benchmark matched the baseline — name drift?");
+        return ExitCode::FAILURE;
+    }
+    let mut ratios: Vec<f64> = rows.iter().map(|r| r.3).collect();
+    ratios.sort_by(|a, b| a.partial_cmp(b).expect("finite ratios"));
+    let machine_factor = ratios[ratios.len() / 2];
+    if machine_factor > MAX_MACHINE_FACTOR {
+        eprintln!(
+            "bench_guard: median ratio {machine_factor:.2}x exceeds {MAX_MACHINE_FACTOR}x — \
+             systemic regression, or a machine too slow to compare against the baseline"
+        );
+        return ExitCode::FAILURE;
+    }
+    let limit = machine_factor * tolerance;
+
+    println!(
+        "bench_guard: {} benchmarks, machine factor {machine_factor:.2}x, \
+         per-bench limit {limit:.2}x (tolerance {tolerance}x)",
+        rows.len()
+    );
+    let mut failed = false;
+    for (name, base, now, ratio) in &rows {
+        let verdict = if *ratio > limit {
+            failed = true;
+            "REGRESSION"
+        } else {
+            "ok"
+        };
+        println!("  {name:<44} {base:>14.1} -> {now:>14.1} ns/iter  {ratio:>5.2}x  {verdict}");
+    }
+    if failed {
+        eprintln!("bench_guard: regression(s) above {tolerance}x the machine-normalized baseline");
+        ExitCode::FAILURE
+    } else {
+        println!("bench_guard: baseline held");
+        ExitCode::SUCCESS
+    }
+}

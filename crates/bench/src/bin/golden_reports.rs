@@ -3,7 +3,8 @@
 //!
 //! Usage: `golden_reports > golden.json`. Two builds of the simulator are
 //! functionally and timing-model equivalent iff their outputs are
-//! byte-identical: the dump covers every field of [`ExecutionReport`]
+//! byte-identical: the dump covers every field of
+//! [`ExecutionReport`](flexagon_core::ExecutionReport)
 //! (cycles, per-phase clocks, traffic, cache stats, counters) plus the
 //! functional output matrix for all six dataflows over a spread of shapes
 //! and sparsities.

@@ -11,109 +11,56 @@
 //! cluster's output register across consecutive tiles, which is why the
 //! SIGMA-like bars of Fig. 14 show zero psum traffic while paying a full
 //! re-stream of B per tile.
+//!
+//! The *hardware* re-streams B once per tile and that is what the cycle and
+//! traffic accounting charges, identically in every path below. The
+//! *software* does not have to. Two indexed intersection strategies replace
+//! the per-tile re-scan of all of B:
+//!
+//! * `run_indexed` (taken when K is large relative to the array) walks a
+//!   k-indexed copy of B — only the rows matching the tile's stationary
+//!   coordinates are touched, the Gamma-style schedule — at
+//!   `O(Σ_{k∈tile} nnz(B_row_k))` per tile instead of `O(nnz(B))`.
+//! * `run_streaming` keeps the scan shape but lets each fiber pick its
+//!   short side: scan the fiber against the tile's bit mask, or probe the
+//!   fiber's tiered [`MatrixIndex`] with the tile's sorted stationary
+//!   coordinates through a skip-ahead [`Prober`](flexagon_sparse::Prober).
+//!
+//! Every path visits the matches of a given (cluster, streaming fiber) pair
+//! in ascending k, so each accumulator register receives its additions in
+//! the exact order of the original scan and execution reports stay
+//! bit-identical across strategies.
 
 use super::{tiling, Engine};
 use flexagon_sim::{bottleneck, Phase};
-use flexagon_sparse::{Element, Fiber, Value};
+use flexagon_sparse::{Element, Fiber, MajorOrder, MatrixIndex, MatrixView, Value};
 use std::collections::HashMap;
+
+/// Take the k-indexed path when K is at least this many times the array
+/// width: below that, most of B intersects every tile and the plain scan is
+/// cheaper than touching the index.
+const INDEXED_MIN_K_RATIO: usize = 2;
+
+/// Upper bound on the dense accumulator grid (clusters x N) the k-indexed
+/// path may allocate, in elements.
+const INDEXED_MAX_ACC: usize = 1 << 23;
+
+/// Cross-tile accumulators for rows split into multiple chunks.
+type SplitAcc = HashMap<u32, HashMap<u32, Value>>;
 
 pub(super) fn run(e: &mut Engine<'_>) {
     let tiles = tiling::tile_rows(e.a, e.cfg.multipliers);
-    let (a, b) = (e.a, e.b);
-    let k_dim = a.cols() as usize;
-    // Reusable k -> [(cluster, stationary value)] index for the current tile.
-    let mut k_entries: Vec<Vec<(u32, Value)>> = vec![Vec::new(); k_dim];
-    // One-bit-per-k membership mask for the streaming scan: the controller's
-    // intersection test touches one cache line per 512 k values instead of
-    // chasing a `Vec` header per element, which is where the re-stream of B
-    // spends its time.
-    let mut k_mask: Vec<u64> = vec![0; k_dim.div_ceil(64)];
-    // Cross-tile accumulators for rows split into multiple chunks.
-    let mut split_acc: HashMap<u32, HashMap<u32, Value>> = HashMap::new();
-
-    for tile in &tiles {
-        e.stationary_phase(tile.slots_used());
-
-        // Index this tile's stationary coordinates.
-        let mut touched_k: Vec<u32> = Vec::new();
-        for (ci, cl) in tile.clusters.iter().enumerate() {
-            let chunk = a.fiber(cl.row).slice(cl.start, cl.len);
-            for el in chunk.iter() {
-                let slot = &mut k_entries[el.coord as usize];
-                if slot.is_empty() {
-                    touched_k.push(el.coord);
-                    k_mask[(el.coord >> 6) as usize] |= 1u64 << (el.coord & 63);
-                }
-                slot.push((ci as u32, el.value));
-            }
-        }
-
-        // Streaming phase: the whole of B flows past this tile once.
-        let mut streaming = 0u64;
-        let mut acc: Vec<Value> = vec![0.0; tile.clusters.len()];
-        let mut hit: Vec<bool> = vec![false; tile.clusters.len()];
-        let mut hit_list: Vec<u32> = Vec::new();
-        let mut injected_tile = 0u64;
-        let mut delivered_tile = 0u64;
-        let mut final_elems = 0u64;
-        for n in 0..b.major_dim() {
-            let len = b.fiber_len(n) as u64;
-            if len == 0 {
-                continue;
-            }
-            let start = e.b_elem_offset(n);
-            e.cache.read_range(start, len, &mut e.dram);
-            let mut intersections = 0u64;
-            let mut injected = 0u64;
-            let fiber = b.fiber(n);
-            let (coords, vals) = (fiber.coords(), fiber.values());
-            for (i, &c) in coords.iter().enumerate() {
-                if k_mask[(c >> 6) as usize] & (1u64 << (c & 63)) == 0 {
-                    continue;
-                }
-                let entries = &k_entries[c as usize];
-                injected += 1;
-                intersections += entries.len() as u64;
-                for &(ci, aval) in entries {
-                    let ci = ci as usize;
-                    if !hit[ci] {
-                        hit[ci] = true;
-                        hit_list.push(ci as u32);
-                    }
-                    acc[ci] += aval * vals[i];
-                }
-            }
-            injected_tile += injected;
-            delivered_tile += intersections;
-            let mult = e.mn.multiply(intersections);
-            e.mrn.reduce(intersections);
-            // Controller scans the fiber from the cache at DN rate; the
-            // multipliers and the reduction tree run concurrently.
-            streaming += bottleneck(&[e.dn_cycles(len), mult]);
-            // Emit completed dot products for this column.
-            for &ci in &hit_list {
-                let cl = &tile.clusters[ci as usize];
-                let value = acc[ci as usize];
-                if cl.is_whole_row() {
-                    e.out_fibers[cl.row as usize].push(Element::new(n, value));
-                    final_elems += 1;
-                } else {
-                    *split_acc.entry(cl.row).or_default().entry(n).or_insert(0.0) += value;
-                }
-                acc[ci as usize] = 0.0;
-                hit[ci as usize] = false;
-            }
-            hit_list.clear();
-        }
-        e.dn.send_irregular(injected_tile, delivered_tile.max(injected_tile));
-        streaming += e.mrn.fill_latency();
-        e.wbuf.write(final_elems, &mut e.dram);
-        e.advance_with_dram(Phase::Streaming, streaming);
-
-        for k in touched_k {
-            k_entries[k as usize].clear();
-            k_mask[(k >> 6) as usize] = 0;
-        }
+    let k_dim = e.a.cols() as usize;
+    let n_dim = e.b.major_dim() as usize;
+    let slots = e.cfg.multipliers as usize;
+    let mut split_acc: SplitAcc = HashMap::new();
+    let indexed = k_dim >= INDEXED_MIN_K_RATIO * slots
+        && slots.saturating_mul(n_dim) <= INDEXED_MAX_ACC
+        && e.b.nnz() > 0;
+    if indexed {
+        run_indexed(e, &tiles, &mut split_acc);
+    } else {
+        run_streaming(e, &tiles, &mut split_acc);
     }
 
     // Assemble rows that accumulated across tiles. Their elements were held
@@ -135,5 +82,262 @@ pub(super) fn run(e: &mut Engine<'_>) {
         e.counters.add("ip.split_row_elements", split_elems);
         let drain = e.merge_cycles(split_elems);
         e.advance_with_dram(Phase::Streaming, drain);
+    }
+}
+
+/// Fills `k_entries` with the tile's stationary coordinates — `k` maps to
+/// the `(cluster, stationary value)` pairs holding it — and `touched_k` with
+/// the distinct ks in ascending order. Shared by both tile loops: their
+/// accumulation inputs must be built identically for reports to stay
+/// bit-identical across paths.
+fn index_tile(
+    a: MatrixView<'_>,
+    tile: &tiling::RowTile,
+    k_entries: &mut [Vec<(u32, Value)>],
+    touched_k: &mut Vec<u32>,
+) {
+    touched_k.clear();
+    for (ci, cl) in tile.clusters.iter().enumerate() {
+        for el in cl.chunk_of(a).iter() {
+            let slot = &mut k_entries[el.coord as usize];
+            if slot.is_empty() {
+                touched_k.push(el.coord);
+            }
+            slot.push((ci as u32, el.value));
+        }
+    }
+    // Ascending order is what the prober's skip-ahead cursor needs, and it
+    // reproduces the accumulation order of a plain fiber scan.
+    touched_k.sort_unstable();
+}
+
+/// Records `value` as cluster `cl`'s finished dot product for column `n`.
+#[inline]
+fn emit_dot(
+    e: &mut Engine<'_>,
+    cl: &tiling::Cluster,
+    n: u32,
+    value: Value,
+    final_elems: &mut u64,
+    split_acc: &mut SplitAcc,
+) {
+    if cl.is_whole_row() {
+        e.out_fibers[cl.row as usize].push(Element::new(n, value));
+        *final_elems += 1;
+    } else {
+        *split_acc.entry(cl.row).or_default().entry(n).or_insert(0.0) += value;
+    }
+}
+
+/// The k-indexed tile loop: probe B through its row index, touching only the
+/// rows the tile holds stationary.
+fn run_indexed(e: &mut Engine<'_>, tiles: &[tiling::RowTile], split_acc: &mut SplitAcc) {
+    let (a, b) = (e.a, e.b);
+    let k_dim = a.cols() as usize;
+    let n_dim = b.major_dim() as usize;
+    let slots = e.cfg.multipliers as usize;
+    // The coordinate index over the streaming operand: B's elements grouped
+    // by k. A CSC fiber scan visits each k in ascending order; so does a walk
+    // of ascending `touched_k` here, which is what keeps sums bit-identical.
+    let b_by_k = b.converted(MajorOrder::Row);
+    // Reusable k -> [(cluster, stationary value)] index for the current tile.
+    let mut k_entries: Vec<Vec<(u32, Value)>> = vec![Vec::new(); k_dim];
+    let mut touched_k: Vec<u32> = Vec::new();
+    // Dense per-(cluster, n) accumulator grid and hit bits, kept clean
+    // between tiles by the emission sweep.
+    let mut acc: Vec<Value> = vec![0.0; slots * n_dim];
+    let n_words = n_dim.div_ceil(64);
+    let mut hit: Vec<u64> = vec![0; slots * n_words];
+    // Per-column probe tallies for the cycle/traffic accounting sweep.
+    let mut injected_n: Vec<u32> = vec![0; n_dim];
+    let mut delivered_n: Vec<u64> = vec![0; n_dim];
+
+    for tile in tiles {
+        e.stationary_phase(tile.slots_used());
+
+        index_tile(a, tile, &mut k_entries, &mut touched_k);
+
+        // Intersection phase: only the stationary ks' rows of B are read.
+        for &k in &touched_k {
+            let row = b_by_k.fiber(k);
+            let entries = &k_entries[k as usize];
+            for (&n, &bval) in row.coords().iter().zip(row.values()) {
+                let n = n as usize;
+                injected_n[n] += 1;
+                delivered_n[n] += entries.len() as u64;
+                for &(ci, aval) in entries {
+                    let ci = ci as usize;
+                    hit[ci * n_words + (n >> 6)] |= 1u64 << (n & 63);
+                    acc[ci * n_dim + n] += aval * bval;
+                }
+            }
+        }
+
+        // Accounting + emission sweep in ascending n — the same per-fiber
+        // sequence of cache reads, network charges and output pushes the
+        // streaming scan produces.
+        let mut streaming = 0u64;
+        let mut injected_tile = 0u64;
+        let mut delivered_tile = 0u64;
+        let mut final_elems = 0u64;
+        for n in 0..n_dim {
+            let len = b.fiber_len(n as u32) as u64;
+            if len == 0 {
+                continue;
+            }
+            let start = e.b_elem_offset(n as u32);
+            e.cache.read_range(start, len, &mut e.dram);
+            let injected = u64::from(injected_n[n]);
+            let intersections = delivered_n[n];
+            injected_n[n] = 0;
+            delivered_n[n] = 0;
+            injected_tile += injected;
+            delivered_tile += intersections;
+            let mult = e.mn.multiply(intersections);
+            e.mrn.reduce(intersections);
+            streaming += bottleneck(&[e.dn_cycles(len), mult]);
+            if injected > 0 {
+                let (word, bit) = (n >> 6, 1u64 << (n & 63));
+                for (ci, cl) in tile.clusters.iter().enumerate() {
+                    let w = &mut hit[ci * n_words + word];
+                    if *w & bit == 0 {
+                        continue;
+                    }
+                    *w &= !bit;
+                    let slot = ci * n_dim + n;
+                    let value = acc[slot];
+                    acc[slot] = 0.0;
+                    emit_dot(e, cl, n as u32, value, &mut final_elems, split_acc);
+                }
+            }
+        }
+        e.dn.send_irregular(injected_tile, delivered_tile.max(injected_tile));
+        streaming += e.mrn.fill_latency();
+        e.wbuf.write(final_elems, &mut e.dram);
+        e.advance_with_dram(Phase::Streaming, streaming);
+
+        for &k in &touched_k {
+            k_entries[k as usize].clear();
+        }
+    }
+}
+
+/// The streaming tile loop: every fiber of B flows past each tile, and each
+/// fiber is intersected from its cheaper side.
+fn run_streaming(e: &mut Engine<'_>, tiles: &[tiling::RowTile], split_acc: &mut SplitAcc) {
+    let (a, b) = (e.a, e.b);
+    let k_dim = a.cols() as usize;
+    // Tiered per-fiber index over the streaming operand, built once and
+    // probed by every tile whose stationary list is the short side.
+    let b_index = MatrixIndex::build(b);
+    // Reusable k -> [(cluster, stationary value)] index for the current tile.
+    let mut k_entries: Vec<Vec<(u32, Value)>> = vec![Vec::new(); k_dim];
+    // One-bit-per-k membership mask for fiber-side scans.
+    let mut k_mask: Vec<u64> = vec![0; k_dim.div_ceil(64)];
+    let mut touched_k: Vec<u32> = Vec::new();
+
+    for tile in tiles {
+        e.stationary_phase(tile.slots_used());
+
+        // Index this tile's stationary coordinates and set the scan mask.
+        index_tile(a, tile, &mut k_entries, &mut touched_k);
+        for &k in &touched_k {
+            k_mask[(k >> 6) as usize] |= 1u64 << (k & 63);
+        }
+        let (tile_lo, tile_hi) = match (touched_k.first(), touched_k.last()) {
+            (Some(&lo), Some(&hi)) => (lo, hi),
+            _ => (1, 0), // empty tile: probes find nothing either way
+        };
+
+        // Streaming phase: the whole of B flows past this tile once.
+        let mut streaming = 0u64;
+        let mut acc: Vec<Value> = vec![0.0; tile.clusters.len()];
+        let mut hit: Vec<bool> = vec![false; tile.clusters.len()];
+        let mut hit_list: Vec<u32> = Vec::new();
+        let mut injected_tile = 0u64;
+        let mut delivered_tile = 0u64;
+        let mut final_elems = 0u64;
+        for n in 0..b.major_dim() {
+            let len = b.fiber_len(n) as u64;
+            if len == 0 {
+                continue;
+            }
+            let start = e.b_elem_offset(n);
+            e.cache.read_range(start, len, &mut e.dram);
+            let mut intersections = 0u64;
+            let mut injected = 0u64;
+            let fiber = b.fiber(n);
+            let (coords, vals) = (fiber.coords(), fiber.values());
+            let overlaps = coords[coords.len() - 1] >= tile_lo && coords[0] <= tile_hi;
+            let probe_wins = touched_k.len() * 4 <= coords.len();
+            if !overlaps {
+                // Disjoint coordinate ranges: nothing can intersect. The
+                // fiber still streams past (charged below), but no scan or
+                // probe work is spent on it.
+            } else if probe_wins {
+                // The tile's stationary list is much the shorter side: probe
+                // the fiber's index with it instead of re-scanning the fiber.
+                let mut prober = b_index.fiber(n).prober(fiber);
+                for &c in &touched_k {
+                    let Some((_, bval)) = prober.probe(c) else {
+                        continue;
+                    };
+                    let entries = &k_entries[c as usize];
+                    injected += 1;
+                    intersections += entries.len() as u64;
+                    for &(ci, aval) in entries {
+                        let ci = ci as usize;
+                        if !hit[ci] {
+                            hit[ci] = true;
+                            hit_list.push(ci as u32);
+                        }
+                        acc[ci] += aval * bval;
+                    }
+                }
+            } else {
+                // Scan the fiber and test membership against the tile mask.
+                for (i, &c) in coords.iter().enumerate() {
+                    if k_mask[(c >> 6) as usize] & (1u64 << (c & 63)) == 0 {
+                        continue;
+                    }
+                    let entries = &k_entries[c as usize];
+                    injected += 1;
+                    intersections += entries.len() as u64;
+                    for &(ci, aval) in entries {
+                        let ci = ci as usize;
+                        if !hit[ci] {
+                            hit[ci] = true;
+                            hit_list.push(ci as u32);
+                        }
+                        acc[ci] += aval * vals[i];
+                    }
+                }
+            }
+            injected_tile += injected;
+            delivered_tile += intersections;
+            let mult = e.mn.multiply(intersections);
+            e.mrn.reduce(intersections);
+            // Controller scans the fiber from the cache at DN rate; the
+            // multipliers and the reduction tree run concurrently.
+            streaming += bottleneck(&[e.dn_cycles(len), mult]);
+            // Emit completed dot products for this column.
+            for &ci in &hit_list {
+                let cl = &tile.clusters[ci as usize];
+                let value = acc[ci as usize];
+                emit_dot(e, cl, n, value, &mut final_elems, split_acc);
+                acc[ci as usize] = 0.0;
+                hit[ci as usize] = false;
+            }
+            hit_list.clear();
+        }
+        e.dn.send_irregular(injected_tile, delivered_tile.max(injected_tile));
+        streaming += e.mrn.fill_latency();
+        e.wbuf.write(final_elems, &mut e.dram);
+        e.advance_with_dram(Phase::Streaming, streaming);
+
+        for &k in &touched_k {
+            k_entries[k as usize].clear();
+            k_mask[(k >> 6) as usize] = 0;
+        }
     }
 }

@@ -7,7 +7,7 @@
 //! column-major order, grouped by their `k` so one B-row multicast serves
 //! the whole group.
 
-use flexagon_sparse::{MatrixView, Value};
+use flexagon_sparse::{FiberView, MatrixView, Value};
 
 /// A chunk of a stationary row fiber mapped onto consecutive multipliers.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,6 +33,12 @@ impl Cluster {
     /// Whether this is the row's final chunk.
     pub fn is_last_chunk(&self) -> bool {
         self.chunk + 1 == self.chunks_total
+    }
+
+    /// The chunk of the stationary fiber this cluster holds, as a zero-copy
+    /// view into `a` (the matrix the tiles were planned from).
+    pub fn chunk_of<'a>(&self, a: MatrixView<'a>) -> FiberView<'a> {
+        a.fiber(self.row).slice(self.start, self.len)
     }
 }
 

@@ -189,6 +189,27 @@ mod tests {
         assert_eq!(a.get("y"), 3);
     }
 
+    /// The golden-report bit-identity check (`golden_reports` binary)
+    /// depends on counter serialization being a pure function of the
+    /// recorded (name, value) pairs: insertion order must not leak. The
+    /// indexed Inner-Product paths record the same probe totals in a
+    /// different order than the streaming scan, and this is what guarantees
+    /// their reports still serialize identically.
+    #[test]
+    fn serialization_is_insertion_order_independent() {
+        let mut scan_order = CounterSet::new();
+        scan_order.add("dn.injected", 7);
+        scan_order.add("mrn.additions", 3);
+        scan_order.add("dn.injected", 2);
+        let mut probe_order = CounterSet::new();
+        probe_order.add("mrn.additions", 1);
+        probe_order.add("dn.injected", 9);
+        probe_order.add("mrn.additions", 2);
+        assert_eq!(scan_order, probe_order);
+        let render = |c: &CounterSet| serde_json::to_string(c).expect("serializes");
+        assert_eq!(render(&scan_order), render(&probe_order));
+    }
+
     #[test]
     fn counters_display() {
         let mut c = CounterSet::new();

@@ -11,6 +11,9 @@
 //!   thus, can be seen as a single compression format"; we encode that
 //!   observation directly: one type, tagged with a [`MajorOrder`].
 //! * [`DenseMatrix`] — dense reference used by tests and golden models.
+//! * [`FiberIndex`] / [`MatrixIndex`] — tiered coordinate indexes (dense
+//!   bitmap or block-skip list per fiber) behind the skip-ahead intersection
+//!   paths of the Inner-Product dataflow.
 //! * Workload generators ([`gen`]) and reference SpGEMM kernels
 //!   ([`mod@reference`]) implementing the Inner-Product,
 //!   Outer-Product and Gustavson algorithms in software.
@@ -44,6 +47,7 @@ mod element;
 mod error;
 mod fiber;
 pub mod gen;
+pub mod index;
 pub mod io;
 pub mod merge;
 pub mod reference;
@@ -55,6 +59,7 @@ pub use dense::DenseMatrix;
 pub use element::{Element, Value, ELEMENT_BYTES};
 pub use error::FormatError;
 pub use fiber::{ElementIter, Fiber, FiberView};
+pub use index::{FiberIndex, MatrixIndex, Prober};
 
 /// Convenience result alias for fallible format operations.
 pub type Result<T> = std::result::Result<T, FormatError>;
