@@ -3,7 +3,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use flexagon_core::{Accelerator, Dataflow, Flexagon};
-use flexagon_sparse::{gen, merge, reference, CompressedMatrix, Fiber, FiberIndex, MajorOrder};
+use flexagon_sparse::{
+    gen, merge, reference, AccumConfig, AccumTier, CompressedMatrix, Fiber, FiberIndex, MajorOrder,
+    RowAccum,
+};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::hint::black_box;
@@ -104,6 +107,61 @@ fn merge_inputs(ways: usize, len: usize) -> Vec<Fiber> {
         .collect()
 }
 
+/// The tiered psum accumulators against the k-way merge they replace, per
+/// tier: scatter+drain of `ways` scaled fibers vs `merge_accumulate` over
+/// the same views. The shapes force each tier: a tight span for dense, a
+/// medium span for the paged bitmap-directed gather, a huge span for the
+/// sorted-run list.
+fn bench_accumulators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("accumulators");
+    let cfg = AccumConfig::default();
+    // (label, ways, len per fiber, coordinate space)
+    let shapes: &[(&str, usize, usize, u32)] = &[
+        ("dense/64x256", 64, 256, 1024),
+        ("paged/64x64", 64, 64, 1 << 17),
+        ("runs/16x256", 16, 256, 1 << 26),
+    ];
+    for &(label, ways, len, space) in shapes {
+        let fibers: Vec<Fiber> = (0..ways)
+            .map(|s| intersection_fiber(len, space, 1000 + s as u64))
+            .collect();
+        let (lo, hi, nnz) = fibers.iter().filter(|f| !f.is_empty()).fold(
+            (u32::MAX, 0u32, 0u64),
+            |(lo, hi, nnz), f| {
+                (
+                    lo.min(f.coords()[0]),
+                    hi.max(f.coords()[f.len() - 1]),
+                    nnz + f.len() as u64,
+                )
+            },
+        );
+        let tier = AccumTier::select((hi - lo) as u64 + 1, nnz, &cfg);
+        assert!(
+            label.starts_with(tier.name()),
+            "shape {label} selected tier {}",
+            tier.name()
+        );
+        let mut acc = RowAccum::new();
+        group.bench_function(BenchmarkId::new("scatter_drain", label), |bench| {
+            bench.iter(|| {
+                acc.begin(lo, hi, nnz, &cfg);
+                for f in &fibers {
+                    acc.scatter_scaled(black_box(f.as_view()), 1.5);
+                }
+                acc.drain()
+            });
+        });
+        let scaled: Vec<Fiber> = fibers.iter().map(|f| f.scaled(1.5)).collect();
+        group.bench_function(BenchmarkId::new("kway_reference", label), |bench| {
+            bench.iter(|| {
+                let views: Vec<_> = scaled.iter().map(Fiber::as_view).collect();
+                merge::merge_accumulate(black_box(&views))
+            });
+        });
+    }
+    group.finish();
+}
+
 fn bench_kway_merge(c: &mut Criterion) {
     let mut group = c.benchmark_group("kway_merge");
     for &(ways, len) in &[(2usize, 4096usize), (4, 2048), (16, 512), (64, 256)] {
@@ -155,6 +213,7 @@ criterion_group!(
     bench_kernels,
     bench_intersection,
     bench_conversion,
+    bench_accumulators,
     bench_kway_merge,
     bench_execute
 );

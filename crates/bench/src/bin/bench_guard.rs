@@ -13,7 +13,7 @@
 //! single benchmark is more than `BENCH_GUARD_TOLERANCE` (default 1.5×)
 //! slower than that factor predicts: a shape regression, not a slow machine.
 
-use serde::Deserialize;
+use serde::{DeError, Deserialize, Value};
 use std::process::ExitCode;
 
 /// Benchmarks faster than this are dominated by timer jitter and batching
@@ -35,18 +35,57 @@ struct Baseline {
 }
 
 /// One record of the baseline file; extra fields (pre numbers, speedups)
-/// are ignored by the shim's deserializer.
-#[derive(Debug, Deserialize)]
+/// are ignored by the shim's deserializer. `threads` is optional (absent
+/// means a single-simulation kernel bench), so deserialization is manual —
+/// the derive shim treats every listed field as required.
+#[derive(Debug)]
 struct BaselineEntry {
     benchmark: String,
     post_ns_per_iter: f64,
+    threads: Option<u64>,
 }
 
-/// One line of the criterion shim's results file.
-#[derive(Debug, Deserialize)]
+impl Deserialize for BaselineEntry {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| DeError::new("expected an object for BaselineEntry"))?;
+        Ok(Self {
+            benchmark: Deserialize::from_value(serde::map_get(m, "benchmark")?)?,
+            post_ns_per_iter: Deserialize::from_value(serde::map_get(m, "post_ns_per_iter")?)?,
+            threads: optional_u64(m, "threads")?,
+        })
+    }
+}
+
+/// One line of the criterion shim's results file (or the wall-clock
+/// runner's, which adds `threads`).
+#[derive(Debug)]
 struct Measured {
     name: String,
     ns_per_iter: f64,
+    threads: Option<u64>,
+}
+
+impl Deserialize for Measured {
+    fn from_value(v: &Value) -> Result<Self, DeError> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| DeError::new("expected an object for Measured"))?;
+        Ok(Self {
+            name: Deserialize::from_value(serde::map_get(m, "name")?)?,
+            ns_per_iter: Deserialize::from_value(serde::map_get(m, "ns_per_iter")?)?,
+            threads: optional_u64(m, "threads")?,
+        })
+    }
+}
+
+/// Reads an optional numeric field: absent and `null` both mean `None`.
+fn optional_u64(m: &[(String, Value)], key: &str) -> Result<Option<u64>, DeError> {
+    match serde::map_get(m, key) {
+        Ok(Value::Null) | Err(_) => Ok(None),
+        Ok(v) => Deserialize::from_value(v).map(Some),
+    }
 }
 
 fn main() -> ExitCode {
@@ -101,6 +140,17 @@ fn main() -> ExitCode {
         // The shim appends records, so a reused results file can hold
         // several measurements per benchmark: the last one is the latest.
         match measured.iter().rev().find(|m| m.name == b.benchmark) {
+            // Wall-clock numbers only compare at equal parallelism: a
+            // baseline recorded at N threads is informational on a machine
+            // running a different count (it still must be measured).
+            Some(m) if m.threads.unwrap_or(1) != b.threads.unwrap_or(1) => {
+                println!(
+                    "  {:<44} skipped: measured at {} thread(s), baseline at {}",
+                    b.benchmark,
+                    m.threads.unwrap_or(1),
+                    b.threads.unwrap_or(1),
+                );
+            }
             Some(m) => rows.push((
                 b.benchmark.clone(),
                 b.post_ns_per_iter,

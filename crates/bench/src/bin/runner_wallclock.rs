@@ -1,0 +1,94 @@
+//! Multi-core wall-clock bench for the rayon model runner (ROADMAP item (a)).
+//!
+//! The criterion suites measure single-simulation kernels; the parallel
+//! fan-out of `flexagon_bench::runner` (layers x systems across cores) only
+//! shows up in end-to-end wall clock. This binary times `run_model` over a
+//! fixed synthetic model and appends a result record — including the rayon
+//! thread count — to the `FLEXAGON_BENCH_JSON` results file, in the same
+//! line format the criterion shim emits plus a `"threads"` field.
+//!
+//! `bench_guard` gates the recorded number only when the measured thread
+//! count matches the baseline's: a baseline recorded on this 1-core
+//! container stays ungated on a multi-core runner and vice versa, so the
+//! benchmark is always *run* (even when `available_parallelism() == 1`)
+//! without ever comparing wall clocks across different parallelism.
+//!
+//! Environment knobs mirror the criterion shim: `FLEXAGON_BENCH_MS`
+//! (measurement budget, default 300) and `FLEXAGON_BENCH_JSON` (output
+//! path; relative paths resolve against the workspace root).
+
+use flexagon_bench::runner::{self, DEFAULT_SEED};
+use flexagon_dnn::{DnnModel, Domain, LayerSpec};
+use std::io::Write;
+use std::time::Instant;
+
+/// A small fixed model: large enough that the per-layer fan-out dominates,
+/// small enough for a smoke budget.
+fn bench_model() -> DnnModel {
+    let layers = (0..8)
+        .map(|i| LayerSpec::new(i, format!("wall{i}"), 96, 128, 96, 70.0, 60.0))
+        .collect();
+    DnnModel {
+        name: "Runner wall-clock synthetic",
+        short: "W",
+        domain: Domain::ComputerVision,
+        layers,
+    }
+}
+
+fn budget_ms() -> u64 {
+    std::env::var("FLEXAGON_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300)
+}
+
+/// Resolves the results path exactly like the criterion shim, so this
+/// bin's records land in the same file the bench harnesses append to.
+fn results_path() -> std::path::PathBuf {
+    let path = std::env::var("FLEXAGON_BENCH_JSON")
+        .unwrap_or_else(|_| "target/bench_results.json".to_string());
+    criterion::resolve_output_path(&path)
+}
+
+fn main() {
+    let model = bench_model();
+    let threads = rayon::current_num_threads();
+    // Warm-up: one full pass (operand materialization, allocator, caches).
+    runner::run_model(&model, DEFAULT_SEED, false);
+    let budget = std::time::Duration::from_millis(budget_ms());
+    let start = Instant::now();
+    let mut iters = 0u64;
+    let mut total_cycles = 0u64;
+    while start.elapsed() < budget || iters == 0 {
+        let results = runner::run_model(&model, DEFAULT_SEED, false);
+        total_cycles = total_cycles.max(results.total_cycles.iter().sum());
+        iters += 1;
+    }
+    let ns_per_iter = start.elapsed().as_nanos() as f64 / iters as f64;
+    let name = "runner_wallclock/synthetic8x96";
+    println!("bench: {name:<56} {ns_per_iter:>14.1} ns/iter ({iters} iters, {threads} threads)");
+    let path = results_path();
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    match std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+    {
+        Ok(mut file) => {
+            let _ = writeln!(
+                file,
+                "{{\"name\": \"{name}\", \"ns_per_iter\": {ns_per_iter:.1}, \
+                 \"iterations\": {iters}, \"threads\": {threads}}}"
+            );
+        }
+        Err(e) => eprintln!(
+            "warning: cannot write bench results to {}: {e}",
+            path.display()
+        ),
+    }
+    // Keep the optimizer honest about the simulation results.
+    std::hint::black_box(total_cycles);
+}

@@ -1,8 +1,54 @@
-//! Accelerator configuration (paper Table 5).
+//! Accelerator configuration (paper Table 5) and the engine's software
+//! tuning thresholds.
 
 use flexagon_mem::MemoryConfig;
 use flexagon_sim::Cycle;
+use flexagon_sparse::AccumConfig;
 use serde::{Deserialize, Serialize};
+
+/// Thresholds steering the engine's adaptive software paths.
+///
+/// These do not model hardware — the cycle and traffic accounting is
+/// identical whichever path runs — they pick the cheapest *software*
+/// strategy for the operand shape at hand. They were hand-tuned on one
+/// machine class; ROADMAP item (b) tracks re-deriving them from measured
+/// probe/scan costs, which these fields make possible without code edits.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Inner-Product streaming loop: probe a fiber's index with the tile's
+    /// stationary list (instead of mask-scanning the fiber) when
+    /// `stationary_coords * probe_gate_factor <= fiber_len`.
+    pub probe_gate_factor: usize,
+    /// Inner-Product dispatch: take the k-indexed tile loop when
+    /// `K >= indexed_min_k_ratio * multipliers`.
+    pub indexed_min_k_ratio: usize,
+    /// Inner-Product dispatch: upper bound, in elements, on the dense
+    /// `clusters x N` accumulator grid the k-indexed path may allocate.
+    pub indexed_max_acc_elements: usize,
+    /// Tier cutoffs for the Outer-Product/Gustavson psum accumulators.
+    pub accum: AccumConfig,
+}
+
+impl EngineConfig {
+    /// Default for [`EngineConfig::probe_gate_factor`].
+    pub const DEFAULT_PROBE_GATE_FACTOR: usize = 4;
+    /// Default for [`EngineConfig::indexed_min_k_ratio`].
+    pub const DEFAULT_INDEXED_MIN_K_RATIO: usize = 2;
+    /// Default for [`EngineConfig::indexed_max_acc_elements`] (8M elements,
+    /// a 32 MiB `f32` grid).
+    pub const DEFAULT_INDEXED_MAX_ACC_ELEMENTS: usize = 1 << 23;
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            probe_gate_factor: Self::DEFAULT_PROBE_GATE_FACTOR,
+            indexed_min_k_ratio: Self::DEFAULT_INDEXED_MIN_K_RATIO,
+            indexed_max_acc_elements: Self::DEFAULT_INDEXED_MAX_ACC_ELEMENTS,
+            accum: AccumConfig::default(),
+        }
+    }
+}
 
 /// Architectural parameters shared by Flexagon and the three baseline
 /// accelerators ("for the three accelerators, we model the same parameters
@@ -20,6 +66,8 @@ pub struct AcceleratorConfig {
     pub l1_latency: Cycle,
     /// Memory hierarchy configuration.
     pub memory: MemoryConfig,
+    /// Software-path tuning thresholds (no effect on modeled cycles).
+    pub engine: EngineConfig,
 }
 
 impl AcceleratorConfig {
@@ -33,6 +81,7 @@ impl AcceleratorConfig {
             merge_bandwidth: 16,
             l1_latency: 1,
             memory: MemoryConfig::table5(),
+            engine: EngineConfig::default(),
         }
     }
 
@@ -56,6 +105,7 @@ impl AcceleratorConfig {
             merge_bandwidth: 2,
             l1_latency: 1,
             memory,
+            engine: EngineConfig::default(),
         }
     }
 
@@ -99,6 +149,28 @@ mod tests {
         assert_eq!(c.merge_bandwidth, 16);
         assert_eq!(c.l1_latency, 1);
         c.assert_valid();
+    }
+
+    #[test]
+    fn engine_defaults_match_named_constants() {
+        let e = EngineConfig::default();
+        assert_eq!(e.probe_gate_factor, EngineConfig::DEFAULT_PROBE_GATE_FACTOR);
+        assert_eq!(
+            e.indexed_min_k_ratio,
+            EngineConfig::DEFAULT_INDEXED_MIN_K_RATIO
+        );
+        assert_eq!(
+            e.indexed_max_acc_elements,
+            EngineConfig::DEFAULT_INDEXED_MAX_ACC_ELEMENTS
+        );
+        assert_eq!(
+            e.accum.dense_span_per_elem,
+            AccumConfig::DEFAULT_DENSE_SPAN_PER_ELEM
+        );
+        assert_eq!(
+            e.accum.runs_merge_limit,
+            AccumConfig::DEFAULT_RUNS_MERGE_LIMIT
+        );
     }
 
     #[test]

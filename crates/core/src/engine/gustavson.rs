@@ -10,18 +10,31 @@
 //! to DRAM; longer rows buffer per-chunk fibers in the PSRAM and run a
 //! short merging phase when their last chunk completes.
 //!
-//! Scaled streaming fibers are staged in the engine's reusable pool: after
-//! the first few clusters the streaming loop performs no allocations at
-//! all — `scale_from` writes into retained buffers and the MRN merges
-//! views of them.
+//! The in-cluster merge is where the software time went: instead of
+//! copying each B row into a scaled scratch fiber and replaying the
+//! comparator tree, the cluster's psums scatter straight into a tiered
+//! [`RowAccum`] in stationary order (the merge tree's tie-break order), and
+//! the MRN charges the identical pass model against the drained length.
+//! Split rows collect their per-chunk fibers in a sorted-run accumulator
+//! across tiles while ghost PSRAM chains model the chunk buffering; rows
+//! split into more chunks than one tree pass could merge (beyond the MRN
+//! radix) keep the fully materialized legacy path, so multi-pass merge
+//! accounting stays exact.
 
 use super::{tiling, Engine};
 use flexagon_sim::{bottleneck, Phase};
-use flexagon_sparse::{Fiber, FiberView};
+use flexagon_sparse::{Fiber, FiberView, RowAccum};
 
 pub(super) fn run(e: &mut Engine<'_>) {
     let tiles = tiling::tile_rows(e.a, e.cfg.multipliers);
     let (a, b) = (e.a, e.b);
+    let radix = e.mrn.max_radix() as u32;
+    let rows = a.rows() as usize;
+
+    // One reusable accumulator for the cluster in flight, plus per-row
+    // sorted-run collectors holding split rows' chunk fibers across tiles.
+    let mut cluster_acc = RowAccum::new();
+    let mut split: Vec<Option<RowAccum>> = vec![None; rows];
 
     for tile in &tiles {
         e.stationary_phase(tile.slots_used());
@@ -30,37 +43,97 @@ pub(super) fn run(e: &mut Engine<'_>) {
         let mut products = 0u64;
         let mut merge_in = 0u64;
         let mut miss_lines = 0u64;
-        let mut rows_completed: Vec<u32> = Vec::new();
+        // Completed rows, tagged with whether they took the accumulator
+        // path (true) or the materialized legacy path (false).
+        let mut rows_completed: Vec<(u32, bool)> = Vec::new();
 
         for cl in &tile.clusters {
             let chunk = a.fiber(cl.row).slice(cl.start, cl.len);
-            let mut used = 0usize;
-            for el in chunk.iter() {
-                let len = b.fiber_len(el.coord) as u64;
-                if len == 0 {
-                    continue;
+            if cl.chunks_total <= radix {
+                // Accumulator path. First pass: cache reads (same access
+                // sequence the legacy gather performed) and the cluster's
+                // output span — the tier-selection inputs.
+                let mut c_lo = u32::MAX;
+                let mut c_hi = 0u32;
+                let mut c_nnz = 0u64;
+                for el in chunk.iter() {
+                    let len = b.fiber_len(el.coord) as u64;
+                    if len == 0 {
+                        continue;
+                    }
+                    let start = e.b_elem_offset(el.coord);
+                    let access = e.cache.read_range(start, len, &mut e.dram);
+                    miss_lines += access.misses;
+                    delivered += len;
+                    let coords = b.fiber(el.coord).coords();
+                    c_lo = c_lo.min(coords[0]);
+                    c_hi = c_hi.max(coords[coords.len() - 1]);
+                    c_nnz += len;
                 }
-                let start = e.b_elem_offset(el.coord);
-                let access = e.cache.read_range(start, len, &mut e.dram);
-                miss_lines += access.misses;
-                delivered += len;
-                if e.scaled_pool.len() == used {
-                    e.scaled_pool.push(Fiber::new());
+                // Second pass: scatter the scaled fibers in stationary
+                // order — the order the MRN would tie-break on.
+                let out = if c_nnz == 0 {
+                    Fiber::new()
+                } else {
+                    cluster_acc.begin(c_lo, c_hi, c_nnz, &e.cfg.engine.accum);
+                    for el in chunk.iter() {
+                        if b.fiber_len(el.coord) > 0 {
+                            cluster_acc.scatter_scaled(b.fiber(el.coord), el.value);
+                        }
+                    }
+                    cluster_acc.drain()
+                };
+                products += c_nnz;
+                e.mn.multiply(c_nnz);
+                e.mrn.charge_merge(c_nnz, out.len() as u64);
+                merge_in += c_nnz;
+                if cl.is_whole_row() {
+                    e.emit_row(cl.row, out);
+                } else {
+                    // Partial fiber: ghost-buffer under the chunk index as
+                    // its tag, and keep the data as a sorted run.
+                    e.psram
+                        .ghost_write(cl.row, cl.chunk, out.len(), &mut e.dram);
+                    if !out.is_empty() {
+                        let acc = split[cl.row as usize].get_or_insert_with(|| {
+                            let mut acc = RowAccum::new();
+                            acc.begin_runs(&e.cfg.engine.accum);
+                            acc
+                        });
+                        acc.push_run(out);
+                    }
+                    if cl.is_last_chunk() {
+                        rows_completed.push((cl.row, true));
+                    }
                 }
-                e.scaled_pool[used].scale_from(b.fiber(el.coord), el.value);
-                used += 1;
-            }
-            let cluster_products: u64 = e.scaled_pool[..used].iter().map(|f| f.len() as u64).sum();
-            products += cluster_products;
-            e.mn.multiply(cluster_products);
-            let views: Vec<FiberView<'_>> =
-                e.scaled_pool[..used].iter().map(Fiber::as_view).collect();
-            let out = e.mrn.merge_fibers(&views);
-            merge_in += cluster_products;
-            if cl.is_whole_row() {
-                e.emit_row(cl.row, out.fiber);
             } else {
-                // Partial fiber: buffer under the chunk index as its tag.
+                // Legacy materialized path for rows whose chunk count
+                // exceeds one merge pass: scaled fibers stage in the
+                // engine's reusable pool and the MRN merges views of them.
+                let mut used = 0usize;
+                for el in chunk.iter() {
+                    let len = b.fiber_len(el.coord) as u64;
+                    if len == 0 {
+                        continue;
+                    }
+                    let start = e.b_elem_offset(el.coord);
+                    let access = e.cache.read_range(start, len, &mut e.dram);
+                    miss_lines += access.misses;
+                    delivered += len;
+                    if e.scaled_pool.len() == used {
+                        e.scaled_pool.push(Fiber::new());
+                    }
+                    e.scaled_pool[used].scale_from(b.fiber(el.coord), el.value);
+                    used += 1;
+                }
+                let cluster_products: u64 =
+                    e.scaled_pool[..used].iter().map(|f| f.len() as u64).sum();
+                products += cluster_products;
+                e.mn.multiply(cluster_products);
+                let views: Vec<FiberView<'_>> =
+                    e.scaled_pool[..used].iter().map(Fiber::as_view).collect();
+                let out = e.mrn.merge_fibers(&views);
+                merge_in += cluster_products;
                 e.psram.partial_write_fiber_view(
                     cl.row,
                     cl.chunk,
@@ -68,7 +141,7 @@ pub(super) fn run(e: &mut Engine<'_>) {
                     &mut e.dram,
                 );
                 if cl.is_last_chunk() {
-                    rows_completed.push(cl.row);
+                    rows_completed.push((cl.row, false));
                 }
             }
         }
@@ -98,8 +171,29 @@ pub(super) fn run(e: &mut Engine<'_>) {
         // Merging phase: only rows whose last chunk just finished.
         if !rows_completed.is_empty() {
             let mut merging = 0;
-            for row in rows_completed {
-                let (fiber, cycles) = e.merge_row_fibers(row, Vec::new());
+            for (row, via_accum) in rows_completed {
+                let (fiber, cycles) = if via_accum {
+                    // Consume the ghost chunk chains (PSRAM read and
+                    // reload traffic), drain the collected runs, charge
+                    // the single merge pass.
+                    let mut inputs = 0u64;
+                    let mut nonempty = 0usize;
+                    for chunk in e.psram.fiber_tags_of_row(row) {
+                        let len = e.psram.ghost_consume(row, chunk, &mut e.dram);
+                        inputs += len;
+                        if len > 0 {
+                            nonempty += 1;
+                        }
+                    }
+                    let fiber = split[row as usize]
+                        .take()
+                        .map(|mut acc| acc.drain())
+                        .unwrap_or_default();
+                    let cycles = e.charge_row_merge(nonempty, inputs, fiber.len() as u64);
+                    (fiber, cycles)
+                } else {
+                    e.merge_row_fibers(row, Vec::new())
+                };
                 merging += cycles;
                 e.counters.incr("gust.split_rows_merged");
                 e.emit_row(row, fiber);
@@ -110,5 +204,9 @@ pub(super) fn run(e: &mut Engine<'_>) {
     debug_assert!(
         e.psram.is_empty(),
         "all chunk fibers must be merged when their row completes"
+    );
+    debug_assert!(
+        split.iter().all(Option::is_none),
+        "every split row must drain at its last chunk"
     );
 }

@@ -36,15 +36,6 @@ use flexagon_sim::{bottleneck, Phase};
 use flexagon_sparse::{Element, Fiber, MajorOrder, MatrixIndex, MatrixView, Value};
 use std::collections::HashMap;
 
-/// Take the k-indexed path when K is at least this many times the array
-/// width: below that, most of B intersects every tile and the plain scan is
-/// cheaper than touching the index.
-const INDEXED_MIN_K_RATIO: usize = 2;
-
-/// Upper bound on the dense accumulator grid (clusters x N) the k-indexed
-/// path may allocate, in elements.
-const INDEXED_MAX_ACC: usize = 1 << 23;
-
 /// Cross-tile accumulators for rows split into multiple chunks.
 type SplitAcc = HashMap<u32, HashMap<u32, Value>>;
 
@@ -54,8 +45,11 @@ pub(super) fn run(e: &mut Engine<'_>) {
     let n_dim = e.b.major_dim() as usize;
     let slots = e.cfg.multipliers as usize;
     let mut split_acc: SplitAcc = HashMap::new();
-    let indexed = k_dim >= INDEXED_MIN_K_RATIO * slots
-        && slots.saturating_mul(n_dim) <= INDEXED_MAX_ACC
+    // Dispatch thresholds live on `EngineConfig` (ROADMAP item (b)): the
+    // k-indexed path wins when K dwarfs the array and its dense
+    // `clusters x N` accumulator grid stays affordable.
+    let indexed = k_dim >= e.cfg.engine.indexed_min_k_ratio * slots
+        && slots.saturating_mul(n_dim) <= e.cfg.engine.indexed_max_acc_elements
         && e.b.nnz() > 0;
     if indexed {
         run_indexed(e, &tiles, &mut split_acc);
@@ -227,6 +221,7 @@ fn run_indexed(e: &mut Engine<'_>, tiles: &[tiling::RowTile], split_acc: &mut Sp
 fn run_streaming(e: &mut Engine<'_>, tiles: &[tiling::RowTile], split_acc: &mut SplitAcc) {
     let (a, b) = (e.a, e.b);
     let k_dim = a.cols() as usize;
+    let probe_gate_factor = e.cfg.engine.probe_gate_factor;
     // Tiered per-fiber index over the streaming operand, built once and
     // probed by every tile whose stationary list is the short side.
     let b_index = MatrixIndex::build(b);
@@ -269,7 +264,7 @@ fn run_streaming(e: &mut Engine<'_>, tiles: &[tiling::RowTile], split_acc: &mut 
             let fiber = b.fiber(n);
             let (coords, vals) = (fiber.coords(), fiber.values());
             let overlaps = coords[coords.len() - 1] >= tile_lo && coords[0] <= tile_hi;
-            let probe_wins = touched_k.len() * 4 <= coords.len();
+            let probe_wins = touched_k.len() * probe_gate_factor <= coords.len();
             if !overlaps {
                 // Disjoint coordinate ranges: nothing can intersect. The
                 // fiber still streams past (charged below), but no scan or

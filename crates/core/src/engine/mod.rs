@@ -28,7 +28,7 @@ use flexagon_noc::{
 };
 use flexagon_sim::{bottleneck, cycles_for, Bandwidth, CounterSet, Cycle, Phase, PhaseClock};
 use flexagon_sparse::{
-    stats::SpGemmWork, CompressedMatrix, Fiber, FormatError, MajorOrder, MatrixView,
+    stats::SpGemmWork, CompressedMatrix, Fiber, FormatError, MajorOrder, MatrixView, RowAccum,
 };
 
 /// Runs `a x b` under `dataflow` on the given configuration, returning the
@@ -115,6 +115,9 @@ pub(crate) struct Engine<'a> {
     /// Reusable scaled-fiber pool for the streaming phases: entries keep
     /// their allocations across clusters and tiles.
     pub scaled_pool: Vec<Fiber>,
+    /// Reusable accumulator backing the merge passes of
+    /// [`Engine::merge_row_fibers`].
+    pub merge_acc: RowAccum,
     pub tiles_run: u64,
 }
 
@@ -155,6 +158,7 @@ impl<'a> Engine<'a> {
             counters: CounterSet::new(),
             out_fibers: vec![Fiber::new(); rows as usize],
             scaled_pool: Vec::new(),
+            merge_acc: RowAccum::new(),
             tiles_run: 0,
         }
     }
@@ -193,6 +197,12 @@ impl<'a> Engine<'a> {
     /// MRN passes as the tree radix requires. Intermediate pass results are
     /// buffered in the PSRAM (charged as psum traffic). Returns the merged
     /// fiber and the cycles spent.
+    ///
+    /// Each pass runs through a tiered [`RowAccum`] instead of the
+    /// comparator-tree replay: scattering the batch in queue order folds
+    /// every coordinate's values in the merge's own source order, so the
+    /// result — including the nested fold across passes — is bit-identical
+    /// to `mrn.merge_fibers` while the MRN charges the same pass model.
     pub(crate) fn merge_row_fibers(&mut self, row: u32, extra: Vec<Fiber>) -> (Fiber, Cycle) {
         let tags = self.psram.fiber_tags_of_row(row);
         let mut queue: std::collections::VecDeque<Fiber> = tags
@@ -208,21 +218,49 @@ impl<'a> Engine<'a> {
         }
         let radix = self.mrn.max_radix();
         let mut cycles = 0;
+        let mut acc = std::mem::take(&mut self.merge_acc);
         loop {
             let take = radix.min(queue.len());
             let batch: Vec<Fiber> = queue.drain(..take).collect();
-            let views: Vec<_> = batch.iter().map(Fiber::as_view).collect();
-            let out = self.mrn.merge_fibers(&views);
-            cycles += out.cycles;
+            let total: u64 = batch.iter().map(|f| f.len() as u64).sum();
+            let (mut lo, mut hi) = (u32::MAX, 0u32);
+            for f in &batch {
+                lo = lo.min(f.coords()[0]);
+                hi = hi.max(f.coords()[f.len() - 1]);
+            }
+            acc.begin(lo, hi, total, &self.cfg.engine.accum);
+            for f in &batch {
+                acc.scatter(f.as_view());
+            }
+            let out = acc.drain();
+            cycles += self.mrn.charge_merge(total, out.len() as u64);
             self.counters.incr("mrn.merge_passes");
             if queue.is_empty() {
-                return (out.fiber, cycles);
+                self.merge_acc = acc;
+                return (out, cycles);
             }
             // Intermediate result waits in the PSRAM for the next pass.
-            self.psram
-                .charge_intermediate_roundtrip(out.fiber.len() as u64);
-            queue.push_back(out.fiber);
+            self.psram.charge_intermediate_roundtrip(out.len() as u64);
+            queue.push_back(out);
         }
+    }
+
+    /// Charges the timing and counter model of one row-merge exactly as
+    /// [`Engine::merge_row_fibers`] would for `nonempty` non-empty psum
+    /// fibers totalling `inputs` elements that merge down to `out_len`
+    /// distinct coordinates — used by the accumulator paths, which already
+    /// hold the merged fiber and never fan more than one MRN pass
+    /// (`nonempty` is bounded by the tree radix).
+    ///
+    /// Zero or one input fiber passes through untouched (no tree pass, no
+    /// comparisons); two or more charge a single merge pass.
+    pub(crate) fn charge_row_merge(&mut self, nonempty: usize, inputs: u64, out_len: u64) -> Cycle {
+        debug_assert!(nonempty <= self.mrn.max_radix(), "single-pass bound");
+        if nonempty < 2 {
+            return 0;
+        }
+        self.counters.incr("mrn.merge_passes");
+        self.mrn.charge_merge(inputs, out_len)
     }
 
     /// Emits a final output fiber for `row` through the write buffer.

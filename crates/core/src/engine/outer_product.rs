@@ -10,32 +10,107 @@
 //! completes — the off-chip psum traffic that characterizes Outer-Product
 //! designs like SpArch.
 //!
-//! The streaming phase is fused multiplier-to-PSRAM: scaled fibers stream
-//! from the borrowed B view straight into the PSRAM blocks via
-//! `partial_write_scaled`, with no intermediate scaled buffer at all.
+//! The *hardware* model is unchanged: ghost PSRAM chains reproduce the
+//! exact block allocation, spill traffic and consume traffic of the
+//! k-tagged psum fibers, and the merge network charges the same pass
+//! cycles and comparator counts. The *software* no longer materializes or
+//! re-merges those fibers: each scaled B row scatters straight into a
+//! tiered per-row [`RowAccum`] in ascending-k order — the merge tree's own
+//! tie-break order — so the drained fiber is bit-identical to the k-way
+//! merge at a fraction of the cost. The per-execute plan (tiles feeding
+//! each row, per-tile output spans) lives in flat row-indexed arrays
+//! instead of the former `HashMap`s.
 
 use super::{tiling, Engine};
 use flexagon_sim::{bottleneck, Phase};
-use flexagon_sparse::Fiber;
-use std::collections::HashMap;
+use flexagon_sparse::{Fiber, RowAccum, ELEMENT_BYTES};
 
 pub(super) fn run(e: &mut Engine<'_>) {
     let tiles = tiling::tile_cols(e.a, e.cfg.multipliers);
     let b = e.b;
-    // How many tiles contribute psums to each output row.
-    let mut tiles_left: HashMap<u32, u32> = HashMap::new();
-    for tile in &tiles {
-        for row in tile.rows_touched() {
-            *tiles_left.entry(row).or_insert(0) += 1;
+    let rows = e.a.rows() as usize;
+
+    // Flat tile-indexed plan, computed once per execute: how many tiles
+    // contribute psums to each output row. A per-row tile stamp counts each
+    // (tile, row) pair exactly once without hashing.
+    let mut stamp = vec![u32::MAX; rows];
+    let mut tiles_left = vec![0u32; rows];
+    for (ti, tile) in tiles.iter().enumerate() {
+        for g in &tile.groups {
+            for &(row, _) in &g.targets {
+                let r = row as usize;
+                if stamp[r] != ti as u32 {
+                    stamp[r] = ti as u32;
+                    tiles_left[r] += 1;
+                }
+            }
         }
     }
-    // Partial row fibers shipped to DRAM between tiles.
-    let mut pending: HashMap<u32, Vec<Fiber>> = HashMap::new();
+    // Partial row fibers shipped to DRAM between tiles, per row.
+    let mut pending: Vec<Vec<Fiber>> = vec![Vec::new(); rows];
 
-    for tile in &tiles {
+    // Per-tile scratch: the touched rows with their psum span and count,
+    // and the row -> accumulator assignment. At most `multipliers` rows are
+    // touched per tile, so the pool stays small and its buffers hot.
+    let mut touched: Vec<u32> = Vec::new();
+    let mut lo = vec![0u32; rows];
+    let mut hi = vec![0u32; rows];
+    let mut nnz = vec![0u64; rows];
+    let mut accum_of = vec![u32::MAX; rows];
+    let mut pool: Vec<RowAccum> = Vec::new();
+    let mut free: Vec<u32> = Vec::new();
+    for s in stamp.iter_mut() {
+        *s = u32::MAX;
+    }
+
+    for (ti, tile) in tiles.iter().enumerate() {
+        // Span pass: which rows this tile feeds, and the coordinate span and
+        // element count of each row's incoming psums — the accumulator
+        // tier-selection inputs.
+        touched.clear();
+        for g in &tile.groups {
+            let len = b.fiber_len(g.k) as u64;
+            let (f_lo, f_hi) = if len > 0 {
+                let coords = b.fiber(g.k).coords();
+                (coords[0], coords[coords.len() - 1])
+            } else {
+                (0, 0)
+            };
+            for &(row, _) in &g.targets {
+                let r = row as usize;
+                if stamp[r] != ti as u32 {
+                    stamp[r] = ti as u32;
+                    touched.push(row);
+                    lo[r] = u32::MAX;
+                    hi[r] = 0;
+                    nnz[r] = 0;
+                }
+                if len > 0 {
+                    lo[r] = lo[r].min(f_lo);
+                    hi[r] = hi[r].max(f_hi);
+                    nnz[r] += len;
+                }
+            }
+        }
+        touched.sort_unstable();
+        for &row in &touched {
+            let r = row as usize;
+            if nnz[r] == 0 {
+                continue;
+            }
+            let idx = free.pop().unwrap_or_else(|| {
+                pool.push(RowAccum::new());
+                (pool.len() - 1) as u32
+            });
+            pool[idx as usize].begin(lo[r], hi[r], nnz[r], &e.cfg.engine.accum);
+            accum_of[r] = idx;
+        }
+
         e.stationary_phase(tile.slots_used());
 
-        // Streaming phase: one multicast of B's row k per group.
+        // Streaming phase: one multicast of B's row k per group; every
+        // multiplier's scaled fiber scatters into its row accumulator while
+        // the ghost PSRAM models the psum buffering.
         let mut streaming = 0u64;
         for g in &tile.groups {
             let len = b.fiber_len(g.k) as u64;
@@ -48,9 +123,10 @@ pub(super) fn run(e: &mut Engine<'_>) {
             let products = len * fanout;
             e.dn.send_irregular(len, products);
             let mult = e.mn.multiply(products);
+            let fiber = b.fiber(g.k);
             for &(row, aval) in &g.targets {
-                e.psram
-                    .partial_write_scaled(row, g.k, b.fiber(g.k), aval, &mut e.dram);
+                e.psram.ghost_write(row, g.k, len as usize, &mut e.dram);
+                pool[accum_of[row as usize] as usize].scatter_scaled(fiber, aval);
             }
             // Cache scan, multipliers and PSRAM write ports run concurrently.
             streaming += bottleneck(&[e.dn_cycles(len), mult, e.merge_cycles(products)]);
@@ -58,24 +134,41 @@ pub(super) fn run(e: &mut Engine<'_>) {
         e.advance_with_dram(Phase::Streaming, streaming);
 
         // Merging phase: proceed row by row (paper: "the merging phase
-        // proceeds row by row").
+        // proceeds row by row"). Consuming the ghost chains charges the
+        // PSRAM read and spill-reload traffic; the merged fiber itself
+        // drains from the accumulator.
         let mut merging = e.mrn.fill_latency();
-        for row in tile.rows_touched() {
-            let (fiber, cycles) = e.merge_row_fibers(row, Vec::new());
-            merging += cycles;
-            let left = tiles_left
-                .get_mut(&row)
-                .expect("row appears in its own tile count");
-            *left -= 1;
-            if *left == 0 {
-                let parts = pending.remove(&row).unwrap_or_default();
+        for &row in &touched {
+            let r = row as usize;
+            let mut inputs = 0u64;
+            let mut nonempty = 0usize;
+            for k in e.psram.fiber_tags_of_row(row) {
+                let len = e.psram.ghost_consume(row, k, &mut e.dram);
+                inputs += len;
+                if len > 0 {
+                    nonempty += 1;
+                }
+            }
+            let fiber = match accum_of[r] {
+                u32::MAX => Fiber::new(),
+                idx => {
+                    accum_of[r] = u32::MAX;
+                    free.push(idx);
+                    pool[idx as usize].drain()
+                }
+            };
+            merging += e.charge_row_merge(nonempty, inputs, fiber.len() as u64);
+            debug_assert!(tiles_left[r] > 0, "row appears in its own tile count");
+            tiles_left[r] -= 1;
+            if tiles_left[r] == 0 {
+                let parts = std::mem::take(&mut pending[r]);
                 if parts.is_empty() {
                     e.emit_row(row, fiber);
                 } else {
                     // Reload the DRAM-resident partial fibers and run the
                     // final cross-tile merge.
                     for p in &parts {
-                        e.dram.read(p.len() as u64 * flexagon_sparse::ELEMENT_BYTES);
+                        e.dram.read(p.len() as u64 * ELEMENT_BYTES);
                     }
                     e.counters
                         .add("op.partial_fibers_reloaded", parts.len() as u64);
@@ -87,11 +180,10 @@ pub(super) fn run(e: &mut Engine<'_>) {
                 }
             } else if !fiber.is_empty() {
                 // More tiles will contribute: ship the partial fiber out.
-                e.dram
-                    .write(fiber.len() as u64 * flexagon_sparse::ELEMENT_BYTES);
+                e.dram.write(fiber.len() as u64 * ELEMENT_BYTES);
                 e.counters
                     .add("op.partial_fiber_elements_to_dram", fiber.len() as u64);
-                pending.entry(row).or_default().push(fiber);
+                pending[r].push(fiber);
             }
         }
         e.advance_with_dram(Phase::Merging, merging);
@@ -100,5 +192,8 @@ pub(super) fn run(e: &mut Engine<'_>) {
         e.psram.is_empty(),
         "all psum fibers must be consumed by the merging phases"
     );
-    debug_assert!(pending.is_empty(), "every pending row must be finalized");
+    debug_assert!(
+        pending.iter().all(Vec::is_empty),
+        "every pending row must be finalized"
+    );
 }

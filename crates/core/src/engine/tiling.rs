@@ -127,6 +127,11 @@ impl ColTile {
     }
 
     /// Output rows receiving psums from this tile (sorted, deduplicated).
+    ///
+    /// The Outer-Product loop now derives this from its flat per-row tile
+    /// stamps (one pass, no per-tile allocation); this form remains the
+    /// specification the stamps are tested against.
+    #[cfg(test)]
     pub fn rows_touched(&self) -> Vec<u32> {
         let mut rows: Vec<u32> = self
             .groups

@@ -34,7 +34,7 @@ mod report;
 pub mod transitions;
 
 pub use accel::{Accelerator, Flexagon, GammaLike, RunOutput, SigmaLike, SparchLike};
-pub use config::AcceleratorConfig;
+pub use config::{AcceleratorConfig, EngineConfig};
 pub use cpu::{CpuConfig, CpuMkl};
 pub use dataflow::{Dataflow, DataflowClass, Stationarity};
 pub use error::CoreError;

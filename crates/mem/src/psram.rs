@@ -85,6 +85,19 @@ struct Chain {
     blocks: Vec<usize>,
     /// Total elements across the chain.
     len: usize,
+    /// Ghost chains model occupancy and traffic only: their blocks carry no
+    /// element data (the engine accumulates the psums elsewhere), but every
+    /// allocation, spill and consume follows the exact arithmetic of a data
+    /// chain of the same length.
+    ghost: bool,
+}
+
+impl Chain {
+    /// Free element slots in the chain's tail block. Blocks fill strictly
+    /// in order, so the tail's fill level is implied by the total length.
+    fn tail_space(&self, per_block: usize) -> usize {
+        self.blocks.len() * per_block - self.len
+    }
 }
 
 /// Struct-of-arrays element storage for one block or spill buffer: block
@@ -159,6 +172,8 @@ pub struct Psram {
     /// Overflow fibers resident in DRAM, keyed by (row, k); values stay
     /// coordinate-sorted because spills preserve write order.
     spilled: HashMap<(u32, u32), SoaBuf>,
+    /// Overflow lengths of ghost chains resident in DRAM, keyed by (row, k).
+    spilled_ghost: HashMap<(u32, u32), u64>,
 }
 
 impl Psram {
@@ -173,6 +188,7 @@ impl Psram {
             read_elems: 0,
             usage: PsramUsage::default(),
             spilled: HashMap::new(),
+            spilled_ghost: HashMap::new(),
         }
     }
 
@@ -267,8 +283,10 @@ impl Psram {
                 let set = &self.sets[set_idx];
                 set.chains
                     .get(&(row, k))
-                    .and_then(|c| c.blocks.last())
-                    .map(|&slot| per_block - set.blocks[slot].len())
+                    .map(|c| {
+                        debug_assert!(!c.ghost, "data write into a ghost chain");
+                        c.tail_space(per_block)
+                    })
                     .unwrap_or(0)
             };
             if tail_space > 0 {
@@ -282,11 +300,8 @@ impl Psram {
                 continue;
             }
             // Allocate a fresh block, spilling if the set is full.
-            while self.sets[set_idx].free.is_empty() {
-                self.spill_victim(set_idx, dram);
-            }
+            let slot = self.allocate_block(set_idx, dram);
             let set = &mut self.sets[set_idx];
-            let slot = set.free.pop().expect("free slot after spilling");
             let take = per_block.min(fiber.len() - off);
             set.blocks[slot].clear();
             set.blocks[slot].append_scaled(fiber, off, take, factor);
@@ -294,9 +309,69 @@ impl Psram {
             chain.blocks.push(slot);
             chain.len += take;
             off += take;
-            self.usage.live_blocks += 1;
-            self.usage.high_water_blocks = self.usage.high_water_blocks.max(self.usage.live_blocks);
         }
+    }
+
+    /// `PartialWrite` of `len` elements for `(row, k)` in ghost mode: the
+    /// chain's block allocation, spill pressure, and read/write traffic are
+    /// modeled exactly as [`Psram::partial_write_scaled`] would for a fiber
+    /// of the same length, but no element data is stored — the engine's
+    /// accumulator paths keep the actual psums in a
+    /// `flexagon_sparse::RowAccum` and retrieve them with
+    /// [`Psram::ghost_consume`].
+    pub fn ghost_write(&mut self, row: u32, k: u32, len: usize, dram: &mut Dram) {
+        if len == 0 {
+            return;
+        }
+        self.write_elems += len as u64;
+        let per_block = self.cfg.elements_per_block();
+        let set_idx = self.set_index(row);
+        let mut off = 0usize;
+        while off < len {
+            let tail_space = {
+                let set = &self.sets[set_idx];
+                set.chains
+                    .get(&(row, k))
+                    .map(|c| {
+                        debug_assert!(c.ghost, "ghost write into a data chain");
+                        c.tail_space(per_block)
+                    })
+                    .unwrap_or(0)
+            };
+            if tail_space > 0 {
+                let take = tail_space.min(len - off);
+                let set = &mut self.sets[set_idx];
+                let chain = set.chains.get_mut(&(row, k)).expect("tail implies chain");
+                chain.len += take;
+                off += take;
+                continue;
+            }
+            let slot = self.allocate_block(set_idx, dram);
+            let set = &mut self.sets[set_idx];
+            let take = per_block.min(len - off);
+            let chain = set.chains.entry((row, k)).or_insert_with(|| Chain {
+                ghost: true,
+                ..Chain::default()
+            });
+            chain.blocks.push(slot);
+            chain.len += take;
+            off += take;
+        }
+    }
+
+    /// Pops a free block slot of `set_idx`, spilling victims until one is
+    /// available, and accounts the allocation.
+    fn allocate_block(&mut self, set_idx: usize, dram: &mut Dram) -> usize {
+        while self.sets[set_idx].free.is_empty() {
+            self.spill_victim(set_idx, dram);
+        }
+        let slot = self.sets[set_idx]
+            .free
+            .pop()
+            .expect("free slot after spilling");
+        self.usage.live_blocks += 1;
+        self.usage.high_water_blocks = self.usage.high_water_blocks.max(self.usage.live_blocks);
+        slot
     }
 
     /// Evicts the largest fiber of `set_idx` to DRAM.
@@ -306,21 +381,28 @@ impl Psram {
     /// spill traffic — and therefore execution reports — differ between
     /// runs of the same input.
     fn spill_victim(&mut self, set_idx: usize, dram: &mut Dram) {
-        let victim = {
+        let (victim, ghost) = {
             let set = &self.sets[set_idx];
-            *set.chains
+            set.chains
                 .iter()
                 .max_by_key(|(&key, c)| (c.len, std::cmp::Reverse(key)))
-                .map(|(key, _)| key)
+                .map(|(&key, c)| (key, c.ghost))
                 .expect("spill requested on a set with no chains")
         };
-        let mut fiber = self.take_onchip_fiber(set_idx, victim);
-        dram.write(fiber.len() as u64 * ELEMENT_BYTES);
-        self.usage.spilled_elements += fiber.len() as u64;
-        self.spilled
-            .entry(victim)
-            .or_default()
-            .append_drain(&mut fiber);
+        if ghost {
+            let len = self.take_onchip_ghost(set_idx, victim) as u64;
+            dram.write(len * ELEMENT_BYTES);
+            self.usage.spilled_elements += len;
+            *self.spilled_ghost.entry(victim).or_insert(0) += len;
+        } else {
+            let mut fiber = self.take_onchip_fiber(set_idx, victim);
+            dram.write(fiber.len() as u64 * ELEMENT_BYTES);
+            self.usage.spilled_elements += fiber.len() as u64;
+            self.spilled
+                .entry(victim)
+                .or_default()
+                .append_drain(&mut fiber);
+        }
     }
 
     /// Removes and returns the on-chip portion of fiber `(row, k)`,
@@ -330,6 +412,7 @@ impl Psram {
         let Some(chain) = set.chains.remove(&key) else {
             return SoaBuf::default();
         };
+        debug_assert!(!chain.ghost, "data consume of a ghost chain");
         let mut out = SoaBuf {
             coords: Vec::with_capacity(chain.len),
             values: Vec::with_capacity(chain.len),
@@ -340,6 +423,21 @@ impl Psram {
             self.usage.live_blocks -= 1;
         }
         out
+    }
+
+    /// Removes the on-chip portion of ghost fiber `(row, k)`, freeing its
+    /// blocks, and returns its element count.
+    fn take_onchip_ghost(&mut self, set_idx: usize, key: (u32, u32)) -> usize {
+        let set = &mut self.sets[set_idx];
+        let Some(chain) = set.chains.remove(&key) else {
+            return 0;
+        };
+        debug_assert!(chain.ghost, "ghost consume of a data chain");
+        for slot in chain.blocks {
+            set.free.push(slot);
+            self.usage.live_blocks -= 1;
+        }
+        chain.len
     }
 
     /// `Consume(row, k)`: reads and erases the whole output fiber for
@@ -364,6 +462,22 @@ impl Psram {
         Fiber::from_parts(out.coords, out.values)
     }
 
+    /// `Consume(row, k)` of a ghost fiber: frees the chain's blocks and
+    /// charges the same on-chip read traffic and DRAM reload traffic as
+    /// [`Psram::consume_fiber`] would for the equivalent data fiber.
+    /// Returns the total element count (spilled + on-chip).
+    pub fn ghost_consume(&mut self, row: u32, k: u32, dram: &mut Dram) -> u64 {
+        let set_idx = self.set_index(row);
+        let mut total = 0u64;
+        if let Some(len) = self.spilled_ghost.remove(&(row, k)) {
+            dram.read(len * ELEMENT_BYTES);
+            total += len;
+        }
+        let onchip = self.take_onchip_ghost(set_idx, (row, k)) as u64;
+        self.read_elems += onchip;
+        total + onchip
+    }
+
     /// Sorted list of k tags with data (on-chip or spilled) for `row`.
     pub fn fiber_tags_of_row(&self, row: u32) -> Vec<u32> {
         let set_idx = self.set_index(row);
@@ -374,6 +488,12 @@ impl Psram {
             .map(|&(_, k)| k)
             .chain(
                 self.spilled
+                    .keys()
+                    .filter(|&&(r, _)| r == row)
+                    .map(|&(_, k)| k),
+            )
+            .chain(
+                self.spilled_ghost
                     .keys()
                     .filter(|&&(r, _)| r == row)
                     .map(|&(_, k)| k),
@@ -391,6 +511,7 @@ impl Psram {
             .iter()
             .flat_map(|s| s.chains.keys().map(|&(r, _)| r))
             .chain(self.spilled.keys().map(|&(r, _)| r))
+            .chain(self.spilled_ghost.keys().map(|&(r, _)| r))
             .collect();
         rows.sort_unstable();
         rows.dedup();
@@ -399,7 +520,7 @@ impl Psram {
 
     /// Returns `true` when no psums are buffered anywhere.
     pub fn is_empty(&self) -> bool {
-        self.usage.live_blocks == 0 && self.spilled.is_empty()
+        self.usage.live_blocks == 0 && self.spilled.is_empty() && self.spilled_ghost.is_empty()
     }
 
     /// Occupancy snapshot.
@@ -591,6 +712,49 @@ mod tests {
         p.partial_write_fiber(0, 1, &elems, &mut dram);
         let back = p.consume_fiber(0, 1, &mut dram);
         assert_eq!(back.into_inner(), elems);
+    }
+
+    #[test]
+    fn ghost_mirrors_data_chain_accounting() {
+        // Drive the same write/consume schedule through a data PSRAM and a
+        // ghost PSRAM (spill pressure included) and compare every
+        // observable number: occupancy, spills, on-chip and DRAM traffic.
+        let schedule: &[(u32, u32, usize)] = &[
+            (0, 0, 5),
+            (0, 1, 3),
+            (2, 0, 9), // same set as row 0: contends for blocks
+            (0, 0, 2),
+            (1, 3, 7),
+            (0, 1, 12), // overflows the 8-element set: forces spills
+        ];
+        let mut data = tiny();
+        let mut data_dram = Dram::with_defaults();
+        let mut ghost = tiny();
+        let mut ghost_dram = Dram::with_defaults();
+        let mut next_coord: HashMap<(u32, u32), u32> = HashMap::new();
+        for &(row, k, len) in schedule {
+            let base = next_coord.entry((row, k)).or_insert(0);
+            let elems: Vec<Element> = (0..len as u32).map(|i| e(*base + i, 1.0)).collect();
+            *base += len as u32;
+            data.partial_write_fiber(row, k, &elems, &mut data_dram);
+            ghost.ghost_write(row, k, len, &mut ghost_dram);
+        }
+        assert_eq!(data.usage(), ghost.usage());
+        assert_eq!(data.written_elements(), ghost.written_elements());
+        assert_eq!(data_dram.written_bytes(), ghost_dram.written_bytes());
+        assert_eq!(data.rows_with_data(), ghost.rows_with_data());
+        for row in data.rows_with_data() {
+            assert_eq!(data.fiber_tags_of_row(row), ghost.fiber_tags_of_row(row));
+            for k in data.fiber_tags_of_row(row) {
+                let fiber = data.consume_fiber(row, k, &mut data_dram);
+                let len = ghost.ghost_consume(row, k, &mut ghost_dram);
+                assert_eq!(fiber.len() as u64, len, "row {row} k {k}");
+            }
+        }
+        assert_eq!(data.usage(), ghost.usage());
+        assert_eq!(data.read_elements(), ghost.read_elements());
+        assert_eq!(data_dram.read_bytes(), ghost_dram.read_bytes());
+        assert!(data.is_empty() && ghost.is_empty());
     }
 
     #[test]

@@ -127,6 +127,26 @@ impl Tree {
         }
     }
 
+    /// Charges one merge pass without running it: `input_elements` sorted
+    /// elements enter the tree and `output_len` distinct coordinates leave.
+    ///
+    /// The counter arithmetic is exactly [`Tree::merge_fibers`]'s — one
+    /// comparison per element popped, one addition per coordinate collision
+    /// (`input - output`), depth + bandwidth-limited streaming for the
+    /// cycles — so an engine that materializes the merged fiber elsewhere
+    /// (the accumulator paths) keeps reports bit-identical.
+    fn charge_merge(&mut self, input_elements: u64, output_len: u64) -> Cycle {
+        debug_assert!(output_len <= input_elements, "merge cannot grow output");
+        self.comparisons += input_elements;
+        self.additions += input_elements - output_len;
+        self.merged_in_elements += input_elements;
+        if input_elements == 0 {
+            0
+        } else {
+            self.cfg.depth() as Cycle + self.cfg.bandwidth.cycles(input_elements)
+        }
+    }
+
     fn reduce(&mut self, products: u64) -> Cycle {
         self.reduced_products += products;
         self.additions += products.saturating_sub(1);
@@ -179,6 +199,15 @@ impl MergerReductionNetwork {
     /// responsible for splitting larger merges into multiple passes.
     pub fn merge_fibers(&mut self, fibers: &[FiberView<'_>]) -> MergeOutcome {
         self.tree.merge_fibers(fibers)
+    }
+
+    /// Charges the cycle and counter model of one merge pass whose merged
+    /// fiber the caller produced elsewhere (a [`flexagon_sparse::RowAccum`]
+    /// scatter): `input_elements` total elements entered, `output_len`
+    /// distinct coordinates left. Identical arithmetic to
+    /// [`MergerReductionNetwork::merge_fibers`].
+    pub fn charge_merge(&mut self, input_elements: u64, output_len: u64) -> Cycle {
+        self.tree.charge_merge(input_elements, output_len)
     }
 
     /// Streams `products` partial products through the adders (adder mode)
@@ -384,6 +413,21 @@ mod tests {
         let b = fiber(&(16..32).map(|i| (i, 1.0)).collect::<Vec<_>>());
         let out = mrn.merge_fibers(&[a.as_view(), b.as_view()]);
         assert_eq!(out.cycles, 6 + 2);
+    }
+
+    #[test]
+    fn charge_merge_matches_real_merge() {
+        let a = fiber(&[(0, 1.0), (3, 1.0), (9, 1.0)]);
+        let b = fiber(&[(3, 2.0), (7, 1.0)]);
+        let mut real = MergerReductionNetwork::with_defaults();
+        let out = real.merge_fibers(&[a.as_view(), b.as_view()]);
+        let mut charged = MergerReductionNetwork::with_defaults();
+        let cycles = charged.charge_merge(5, out.fiber.len() as u64);
+        assert_eq!(cycles, out.cycles);
+        assert_eq!(charged.additions(), real.additions());
+        assert_eq!(charged.comparisons(), real.comparisons());
+        assert_eq!(charged.merged_input_elements(), real.merged_input_elements());
+        assert_eq!(charged.charge_merge(0, 0), 0, "empty pass is free");
     }
 
     #[test]

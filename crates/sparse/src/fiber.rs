@@ -203,6 +203,16 @@ impl Fiber {
         self.values.extend(view.values.iter().map(|v| v * factor));
     }
 
+    /// Replaces the contents with an unscaled copy of `view`, reusing the
+    /// existing allocations — the recycled-buffer form of
+    /// [`FiberView::to_fiber`] used by the sorted-run accumulators.
+    pub fn clone_from_view(&mut self, view: FiberView<'_>) {
+        self.coords.clear();
+        self.coords.extend_from_slice(view.coords);
+        self.values.clear();
+        self.values.extend_from_slice(view.values);
+    }
+
     /// Dot product against another fiber (sorted intersection).
     ///
     /// This is the Inner-Product dataflow's core operation; the returned

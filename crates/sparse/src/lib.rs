@@ -14,6 +14,9 @@
 //! * [`FiberIndex`] / [`MatrixIndex`] — tiered coordinate indexes (dense
 //!   bitmap or block-skip list per fiber) behind the skip-ahead intersection
 //!   paths of the Inner-Product dataflow.
+//! * [`RowAccum`] — tiered per-row psum accumulators (dense array, paged
+//!   bitmap-directed gather, or sorted-run list) behind the Outer-Product
+//!   and Gustavson merge paths.
 //! * Workload generators ([`gen`]) and reference SpGEMM kernels
 //!   ([`mod@reference`]) implementing the Inner-Product,
 //!   Outer-Product and Gustavson algorithms in software.
@@ -40,6 +43,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod accum;
 mod bitmap;
 mod compressed;
 mod dense;
@@ -53,6 +57,7 @@ pub mod merge;
 pub mod reference;
 pub mod stats;
 
+pub use accum::{AccumConfig, AccumTier, RowAccum};
 pub use bitmap::BitmapMatrix;
 pub use compressed::{CompressedMatrix, FiberIter, MajorOrder, MatrixView};
 pub use dense::DenseMatrix;

@@ -11,7 +11,9 @@
 //! Environment knobs:
 //! * `FLEXAGON_BENCH_MS` — measurement budget per benchmark in milliseconds
 //!   (default 300).
-//! * `FLEXAGON_BENCH_JSON` — output path for the JSON records.
+//! * `FLEXAGON_BENCH_JSON` — output path for the JSON records. Relative
+//!   paths (and the default) resolve against the workspace root, because
+//!   `cargo bench` runs harnesses from the package directory.
 
 use std::fmt::Display;
 use std::io::Write;
@@ -98,12 +100,21 @@ impl Criterion {
 
     /// Writes the JSON results to `FLEXAGON_BENCH_JSON` (appends records by
     /// rewriting the whole file for simplicity: one file per bench binary).
+    ///
+    /// A relative path — including the `target/bench_results.json` default —
+    /// is resolved against the *workspace root*, not the process working
+    /// directory: `cargo bench` runs harnesses with the package directory as
+    /// CWD, which used to silently scatter results under
+    /// `crates/<pkg>/target/` unless the caller remembered to pass an
+    /// absolute path.
     pub fn flush_results(&self) {
         if self.results.is_empty() {
             return;
         }
         let path = std::env::var("FLEXAGON_BENCH_JSON")
             .unwrap_or_else(|_| "target/bench_results.json".to_string());
+        let path = resolve_output_path(&path);
+        let path = path.to_string_lossy().into_owned();
         if let Some(parent) = std::path::Path::new(&path).parent() {
             let _ = std::fs::create_dir_all(parent);
         }
@@ -118,6 +129,31 @@ impl Criterion {
                 }
             }
             Err(e) => eprintln!("warning: cannot write bench results to {path}: {e}"),
+        }
+    }
+}
+
+/// Resolves a bench-results path: absolute paths pass through; relative
+/// paths anchor at the nearest ancestor directory holding a `Cargo.lock`
+/// (the workspace root), falling back to the path as given when no
+/// workspace root is found.
+///
+/// Public so non-criterion recorders (the wall-clock runner bin) append to
+/// the same file the bench harnesses write, under the same rule.
+pub fn resolve_output_path(path: &str) -> std::path::PathBuf {
+    let p = std::path::PathBuf::from(path);
+    if p.is_absolute() {
+        return p;
+    }
+    let Ok(mut dir) = std::env::current_dir() else {
+        return p;
+    };
+    loop {
+        if dir.join("Cargo.lock").exists() {
+            return dir.join(&p);
+        }
+        if !dir.pop() {
+            return p;
         }
     }
 }
