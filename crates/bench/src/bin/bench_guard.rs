@@ -88,6 +88,16 @@ fn optional_u64(m: &[(String, Value)], key: &str) -> Result<Option<u64>, DeError
     }
 }
 
+/// Display label for a baseline entry: the benchmark name, with the thread
+/// count appended for wall-clock entries so per-thread baselines of the
+/// same benchmark stay distinguishable in the output.
+fn label(b: &BaselineEntry) -> String {
+    match b.threads {
+        Some(t) => format!("{} @{}t", b.benchmark, t),
+        None => b.benchmark.clone(),
+    }
+}
+
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1);
     let results_path = args
@@ -139,28 +149,33 @@ fn main() -> ExitCode {
         }
         // The shim appends records, so a reused results file can hold
         // several measurements per benchmark: the last one is the latest.
-        match measured.iter().rev().find(|m| m.name == b.benchmark) {
-            // Wall-clock numbers only compare at equal parallelism: a
-            // baseline recorded at N threads is informational on a machine
-            // running a different count (it still must be measured).
-            Some(m) if m.threads.unwrap_or(1) != b.threads.unwrap_or(1) => {
-                println!(
-                    "  {:<44} skipped: measured at {} thread(s), baseline at {}",
-                    b.benchmark,
-                    m.threads.unwrap_or(1),
-                    b.threads.unwrap_or(1),
-                );
-            }
+        // Wall-clock baselines exist per thread count (the multi-core
+        // runner records several), so a measurement matches only at equal
+        // parallelism; a baseline measured only at *other* thread counts is
+        // informational (a 4-thread baseline cannot gate a 2-core machine),
+        // while one not measured at all fails below.
+        let same_name = || measured.iter().rev().filter(|m| m.name == b.benchmark);
+        match same_name().find(|m| m.threads.unwrap_or(1) == b.threads.unwrap_or(1)) {
             Some(m) => rows.push((
-                b.benchmark.clone(),
+                label(b),
                 b.post_ns_per_iter,
                 m.ns_per_iter,
                 m.ns_per_iter / b.post_ns_per_iter,
             )),
+            None if same_name().next().is_some() => {
+                println!(
+                    "  {:<44} skipped: baseline at {} thread(s), measured only at {:?}",
+                    label(b),
+                    b.threads.unwrap_or(1),
+                    same_name()
+                        .map(|m| m.threads.unwrap_or(1))
+                        .collect::<Vec<_>>(),
+                );
+            }
             // A gated baseline entry with no measurement means the benchmark
             // was renamed or dropped without updating the baseline — that
             // must not silently shrink the guarded set.
-            None => unmatched.push(b.benchmark.clone()),
+            None => unmatched.push(label(b)),
         }
     }
     if !unmatched.is_empty() {

@@ -7,13 +7,20 @@
 //! thread count — to the `FLEXAGON_BENCH_JSON` results file, in the same
 //! line format the criterion shim emits plus a `"threads"` field.
 //!
-//! `bench_guard` gates the recorded number only when the measured thread
-//! count matches the baseline's: a baseline recorded on this 1-core
-//! container stays ungated on a multi-core runner and vice versa, so the
-//! benchmark is always *run* (even when `available_parallelism() == 1`)
-//! without ever comparing wall clocks across different parallelism.
+//! `bench_guard` gates each recorded number only when a measurement exists
+//! at the baseline's thread count, so the benchmark is always *run* (even
+//! when `available_parallelism() == 1`) without ever comparing wall clocks
+//! across different parallelism. To cover multi-core baselines (ROADMAP
+//! item (a); GitHub-hosted runners have 4 vCPUs), one invocation can
+//! measure several thread counts: `FLEXAGON_BENCH_THREADS` is a
+//! comma-separated list (e.g. `1,4`), each measured in turn by setting
+//! `RAYON_NUM_THREADS` — the vendored rayon shim sizes every parallel
+//! operation from the environment, honoring requests above the hardware
+//! parallelism exactly like real rayon's global-pool variable (a count
+//! above the core count oversubscribes). Default: the ambient thread
+//! count only.
 //!
-//! Environment knobs mirror the criterion shim: `FLEXAGON_BENCH_MS`
+//! The other knobs mirror the criterion shim: `FLEXAGON_BENCH_MS`
 //! (measurement budget, default 300) and `FLEXAGON_BENCH_JSON` (output
 //! path; relative paths resolve against the workspace root).
 
@@ -51,43 +58,84 @@ fn results_path() -> std::path::PathBuf {
     criterion::resolve_output_path(&path)
 }
 
+/// Thread counts to measure: `FLEXAGON_BENCH_THREADS` as a comma-separated
+/// list (deduplicated, order preserved), or the ambient count.
+///
+/// # Panics
+///
+/// Panics on a malformed token — silently dropping one would leave a
+/// recorded wall-clock baseline unmeasured, and `bench_guard` only prints
+/// an easily-missed skip line for that, so a CI typo must fail loudly
+/// here instead.
+fn thread_counts() -> Vec<usize> {
+    let parsed: Vec<usize> = std::env::var("FLEXAGON_BENCH_THREADS")
+        .map(|s| {
+            s.split(',')
+                .map(|t| match t.trim().parse::<usize>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => panic!(
+                        "FLEXAGON_BENCH_THREADS: '{t}' is not a positive thread count \
+                         (expected a comma-separated list like '1,4')"
+                    ),
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    let mut counts = Vec::new();
+    for t in parsed {
+        if !counts.contains(&t) {
+            counts.push(t);
+        }
+    }
+    if counts.is_empty() {
+        counts.push(rayon::current_num_threads());
+    }
+    counts
+}
+
 fn main() {
     let model = bench_model();
-    let threads = rayon::current_num_threads();
-    // Warm-up: one full pass (operand materialization, allocator, caches).
-    runner::run_model(&model, DEFAULT_SEED, false);
     let budget = std::time::Duration::from_millis(budget_ms());
-    let start = Instant::now();
-    let mut iters = 0u64;
-    let mut total_cycles = 0u64;
-    while start.elapsed() < budget || iters == 0 {
-        let results = runner::run_model(&model, DEFAULT_SEED, false);
-        total_cycles = total_cycles.max(results.total_cycles.iter().sum());
-        iters += 1;
-    }
-    let ns_per_iter = start.elapsed().as_nanos() as f64 / iters as f64;
-    let name = "runner_wallclock/synthetic8x96";
-    println!("bench: {name:<56} {ns_per_iter:>14.1} ns/iter ({iters} iters, {threads} threads)");
     let path = results_path();
     if let Some(parent) = path.parent() {
         let _ = std::fs::create_dir_all(parent);
     }
-    match std::fs::OpenOptions::new()
-        .create(true)
-        .append(true)
-        .open(&path)
-    {
-        Ok(mut file) => {
-            let _ = writeln!(
-                file,
-                "{{\"name\": \"{name}\", \"ns_per_iter\": {ns_per_iter:.1}, \
-                 \"iterations\": {iters}, \"threads\": {threads}}}"
-            );
+    let mut total_cycles = 0u64;
+    for requested in thread_counts() {
+        std::env::set_var("RAYON_NUM_THREADS", requested.to_string());
+        let threads = rayon::current_num_threads();
+        // Warm-up: one full pass (operand materialization, allocator,
+        // caches) at this parallelism.
+        runner::run_model(&model, DEFAULT_SEED, false);
+        let start = Instant::now();
+        let mut iters = 0u64;
+        while start.elapsed() < budget || iters == 0 {
+            let results = runner::run_model(&model, DEFAULT_SEED, false);
+            total_cycles = total_cycles.max(results.total_cycles.iter().sum());
+            iters += 1;
         }
-        Err(e) => eprintln!(
-            "warning: cannot write bench results to {}: {e}",
-            path.display()
-        ),
+        let ns_per_iter = start.elapsed().as_nanos() as f64 / iters as f64;
+        let name = "runner_wallclock/synthetic8x96";
+        println!(
+            "bench: {name:<56} {ns_per_iter:>14.1} ns/iter ({iters} iters, {threads} threads)"
+        );
+        match std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
+            Ok(mut file) => {
+                let _ = writeln!(
+                    file,
+                    "{{\"name\": \"{name}\", \"ns_per_iter\": {ns_per_iter:.1}, \
+                     \"iterations\": {iters}, \"threads\": {threads}}}"
+                );
+            }
+            Err(e) => eprintln!(
+                "warning: cannot write bench results to {}: {e}",
+                path.display()
+            ),
+        }
     }
     // Keep the optimizer honest about the simulation results.
     std::hint::black_box(total_cycles);

@@ -1,34 +1,24 @@
 //! General-purpose SpMSpM runner: multiply two Matrix Market files — or a
-//! synthetic R-MAT graph by itself — on any accelerator and dataflow, and
-//! print the full cycle/traffic/energy report.
+//! synthetic R-MAT graph by itself — on any accelerator and mapping
+//! strategy, and print the full cycle/traffic/energy report.
 //!
 //! Usage:
-//!   `spgemm_cli mtx <a.mtx> <b.mtx> [dataflow]`
-//!   `spgemm_cli rmat <scale> <edges> [dataflow]`
+//!   `spgemm_cli mtx <a.mtx> <b.mtx> [strategy]`
+//!   `spgemm_cli rmat <scale> <edges> [strategy]`
 //!   `spgemm_cli help`
 //!
-//! `dataflow` is one of: ip-m, op-m, gust-m, ip-n, op-n, gust-n, auto
-//! (default: auto = oracle over all six).
+//! `strategy` is `oracle` (alias `auto`; sweep all six dataflows and keep
+//! the best — the default), `heuristic` (one run, dataflow picked by the
+//! calibrated cost model — the production fast path), or a fixed dataflow
+//! token: ip-m, op-m, gust-m, ip-n, op-n, gust-n.
 
-use flexagon_core::{mapper, Accelerator, Dataflow, Flexagon};
+use flexagon_core::{Accelerator, Flexagon, MappingStrategy};
 use flexagon_rtl::energy::{average_power_mw, energy_of, EnergyParams};
 use flexagon_sparse::{gen, io, CompressedMatrix, MajorOrder};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use std::fs::File;
 use std::io::BufReader;
-
-fn parse_dataflow(s: &str) -> Option<Dataflow> {
-    match s {
-        "ip-m" => Some(Dataflow::InnerProductM),
-        "op-m" => Some(Dataflow::OuterProductM),
-        "gust-m" => Some(Dataflow::GustavsonM),
-        "ip-n" => Some(Dataflow::InnerProductN),
-        "op-n" => Some(Dataflow::OuterProductN),
-        "gust-n" => Some(Dataflow::GustavsonN),
-        _ => None,
-    }
-}
 
 fn load_mtx(path: &str) -> CompressedMatrix {
     let file = File::open(path).unwrap_or_else(|e| panic!("cannot open {path}: {e}"));
@@ -39,8 +29,9 @@ fn load_mtx(path: &str) -> CompressedMatrix {
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let usage =
-        "usage: spgemm_cli mtx <a.mtx> <b.mtx> [dataflow] | rmat <scale> <edges> [dataflow]";
-    let (a, b, df_arg) = match args.first().map(String::as_str) {
+        "usage: spgemm_cli mtx <a.mtx> <b.mtx> [strategy] | rmat <scale> <edges> [strategy]\n\
+         strategy: oracle (default) | heuristic | ip-m | op-m | gust-m | ip-n | op-n | gust-n";
+    let (a, b, strategy_arg) = match args.first().map(String::as_str) {
         Some("mtx") => {
             let a = load_mtx(args.get(1).expect(usage));
             let b = load_mtx(args.get(2).expect(usage));
@@ -79,17 +70,16 @@ fn main() {
     );
 
     let accel = Flexagon::with_defaults();
-    let (df, out) = match df_arg.as_deref() {
-        None | Some("auto") => {
-            let (df, out) = mapper::oracle(&accel, &a, &b).expect("oracle run");
-            println!("oracle selected dataflow: {df}");
-            (df, out)
-        }
-        Some(s) => {
-            let df = parse_dataflow(s).unwrap_or_else(|| panic!("unknown dataflow '{s}'"));
-            (df, accel.run(&a, &b, df).expect("run"))
-        }
-    };
+    let strategy: MappingStrategy = strategy_arg
+        .as_deref()
+        .unwrap_or("oracle")
+        .parse()
+        .unwrap_or_else(|e| panic!("{e}"));
+    let (df, out) = accel.run_strategy(&a, &b, strategy).expect("run");
+    match strategy {
+        MappingStrategy::Fixed(_) => {}
+        _ => println!("{strategy} selected dataflow: {df}"),
+    }
     let r = &out.report;
     println!("\n== report ({df}) ==");
     println!("cycles            {:>14}", r.total_cycles);

@@ -1,19 +1,24 @@
-//! Table 6: the nine representative DNN layers and their measured
-//! compressed sizes.
+//! Table 6: the nine representative DNN layers, their measured compressed
+//! sizes, and the calibrated heuristic mapper's feature-only pick for each
+//! (the accuracy audit proper — oracle comparison over the whole suite —
+//! is the `mapper_accuracy` binary).
 //!
 //! Run with `cargo run --release -p flexagon-bench --bin table6_layers`.
 
 use flexagon_bench::render::{kib, table};
 use flexagon_bench::DEFAULT_SEED;
+use flexagon_core::{mapper, AcceleratorConfig};
 use flexagon_dnn::table6;
 use flexagon_sparse::reference;
 
 fn main() {
     println!("Table 6 — representative DNN layers (measured)\n");
+    let cfg = AcceleratorConfig::table5();
     let mut rows = Vec::new();
     for layer in table6::layers() {
         let mats = layer.spec.materialize(DEFAULT_SEED);
         let c = reference::spgemm(&mats.a, &mats.b).expect("well-formed layer");
+        let predicted = mapper::heuristic(&cfg, &mats.a, &mats.b);
         rows.push(vec![
             layer.id.to_string(),
             format!("{}, {}, {}", layer.spec.m, layer.spec.n, layer.spec.k),
@@ -23,12 +28,23 @@ fn main() {
             kib(mats.b.compressed_size_bytes()),
             kib(c.compressed_size_bytes()),
             format!("{:?}", layer.favours),
+            predicted.to_string(),
         ]);
     }
     println!(
         "{}",
         table(
-            &["Layer", "M, N, K", "spA", "spB", "csA KiB", "csB KiB", "csC KiB", "favours"],
+            &[
+                "Layer",
+                "M, N, K",
+                "spA",
+                "spB",
+                "csA KiB",
+                "csB KiB",
+                "csC KiB",
+                "favours",
+                "heuristic picks",
+            ],
             &rows
         )
     );

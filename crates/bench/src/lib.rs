@@ -8,7 +8,11 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod mapper;
 pub mod render;
 pub mod runner;
 
-pub use runner::{run_layer, run_model, LayerResults, ModelResults, SystemId, DEFAULT_SEED};
+pub use runner::{
+    run_layer, run_layer_with, run_model, run_model_with, LayerResults, ModelResults, SystemId,
+    DEFAULT_SEED,
+};

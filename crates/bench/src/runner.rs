@@ -1,7 +1,8 @@
 //! Layer- and model-level experiment runners.
 
 use flexagon_core::{
-    Accelerator, CpuMkl, Dataflow, ExecutionReport, GammaLike, SigmaLike, SparchLike,
+    mapper, Accelerator, AcceleratorConfig, CpuMkl, Dataflow, ExecutionReport, GammaLike,
+    MappingStrategy, SigmaLike, SparchLike, Stationarity,
 };
 use flexagon_dnn::{DnnModel, LayerSpec};
 use rayon::prelude::*;
@@ -49,8 +50,10 @@ impl SystemId {
 }
 
 /// Results of one layer across the three fixed-dataflow accelerators (the
-/// Flexagon result is the per-layer minimum, as in the paper's oracle
-/// configuration, and the CPU estimate rides along).
+/// CPU estimate rides along). Flexagon's per-layer result is the dataflow
+/// selected by the configured [`MappingStrategy`] — the per-layer minimum
+/// under the oracle (the paper's configuration), the calibrated cost
+/// model's feature-only pick under the heuristic.
 #[derive(Debug, Clone, Serialize)]
 pub struct LayerResults {
     /// The layer that was run.
@@ -63,6 +66,10 @@ pub struct LayerResults {
     pub gustavson: ExecutionReport,
     /// CPU baseline report.
     pub cpu: ExecutionReport,
+    /// The dataflow Flexagon runs this layer with under the configured
+    /// mapping strategy (equals [`LayerResults::best_dataflow`] for
+    /// [`MappingStrategy::Oracle`]).
+    pub flexagon_dataflow: Dataflow,
 }
 
 impl LayerResults {
@@ -79,9 +86,10 @@ impl LayerResults {
         best.1
     }
 
-    /// The report of the winning dataflow (= Flexagon's per-layer result).
+    /// The report of the dataflow Flexagon ran under the configured
+    /// strategy (= the winning dataflow's report under the oracle).
     pub fn flexagon(&self) -> &ExecutionReport {
-        match self.best_dataflow() {
+        match self.flexagon_dataflow {
             Dataflow::InnerProductM => &self.inner_product,
             Dataflow::OuterProductM => &self.outer_product,
             _ => &self.gustavson,
@@ -100,16 +108,33 @@ impl LayerResults {
     }
 }
 
-/// Runs one layer on the four accelerators plus the CPU baseline.
-///
-/// The three fixed-dataflow baselines run their M-stationary variant, as in
-/// the paper's per-layer methodology; Flexagon's number is the per-layer
-/// best (its oracle configuration).
+/// Runs one layer on the four accelerators plus the CPU baseline, with
+/// Flexagon selecting per the oracle (the paper's configuration);
+/// equivalent to [`run_layer_with`] under [`MappingStrategy::Oracle`].
 ///
 /// # Panics
 ///
 /// Panics if any simulation fails — harness inputs are always well-formed.
 pub fn run_layer(spec: &LayerSpec, seed: u64) -> LayerResults {
+    run_layer_with(spec, seed, MappingStrategy::Oracle)
+}
+
+/// Runs one layer on the four accelerators plus the CPU baseline.
+///
+/// The three fixed-dataflow baselines run their M-stationary variant, as in
+/// the paper's per-layer methodology. Flexagon's number is the strategy's
+/// selection among those three measured dataflows: the per-layer best
+/// under [`MappingStrategy::Oracle`], the calibrated cost model's
+/// feature-only pick under [`MappingStrategy::Heuristic`] (computed from
+/// the operands before any result is known), or the pinned class under
+/// [`MappingStrategy::Fixed`].
+///
+/// # Panics
+///
+/// Panics if any simulation fails — harness inputs are always well-formed —
+/// or if a `Fixed` strategy names an N-stationary dataflow (this harness
+/// measures the M-stationary variants).
+pub fn run_layer_with(spec: &LayerSpec, seed: u64, strategy: MappingStrategy) -> LayerResults {
     let mats = spec.materialize(seed);
     // The four systems are independent simulations of the same operands:
     // fan them out across cores. Each closure is a pure function of the
@@ -145,13 +170,31 @@ pub fn run_layer(spec: &LayerSpec, seed: u64) -> LayerResults {
             )
         },
     );
-    LayerResults {
+    let mut results = LayerResults {
         spec: spec.clone(),
         inner_product: ip.report,
         outer_product: op.report,
         gustavson: gu.report,
         cpu: cpu_out.report,
-    }
+        // Placeholder until the strategy resolves below (Oracle needs the
+        // three reports it is selecting over).
+        flexagon_dataflow: Dataflow::InnerProductM,
+    };
+    results.flexagon_dataflow = match strategy {
+        MappingStrategy::Oracle => results.best_dataflow(),
+        MappingStrategy::Heuristic => {
+            mapper::heuristic(&AcceleratorConfig::table5(), &mats.a, &mats.b)
+        }
+        MappingStrategy::Fixed(df) => {
+            assert_eq!(
+                df.stationarity(),
+                Stationarity::M,
+                "the per-layer harness measures M-stationary dataflows, got {df}"
+            );
+            df
+        }
+    };
+    results
 }
 
 /// Aggregated results of a whole model: total cycles per system plus the
@@ -164,7 +207,8 @@ pub struct ModelResults {
     pub name: &'static str,
     /// Total cycles per system, in [`SystemId::ALL`] order.
     pub total_cycles: [u64; 5],
-    /// Winning dataflow per layer (Fig. 1's series).
+    /// Dataflow Flexagon ran per layer under the configured strategy —
+    /// the per-layer winner (Fig. 1's series) under the oracle.
     pub winners: Vec<Dataflow>,
 }
 
@@ -184,10 +228,25 @@ impl ModelResults {
     }
 }
 
-/// Runs every layer of a model and aggregates per-system totals.
+/// Runs every layer of a model with the oracle strategy and aggregates
+/// per-system totals; equivalent to [`run_model_with`] under
+/// [`MappingStrategy::Oracle`].
 ///
 /// `verbose` prints one progress line per layer to stderr.
 pub fn run_model(model: &DnnModel, seed: u64, verbose: bool) -> ModelResults {
+    run_model_with(model, seed, MappingStrategy::Oracle, verbose)
+}
+
+/// Runs every layer of a model under `strategy` and aggregates per-system
+/// totals.
+///
+/// `verbose` prints one progress line per layer to stderr.
+pub fn run_model_with(
+    model: &DnnModel,
+    seed: u64,
+    strategy: MappingStrategy,
+    verbose: bool,
+) -> ModelResults {
     // Layers are independent given the fixed seed (each materializes its own
     // deterministic operands from `spec` + `seed`), so the whole model fans
     // out across cores; results come back in layer order, and totals are
@@ -196,7 +255,7 @@ pub fn run_model(model: &DnnModel, seed: u64, verbose: bool) -> ModelResults {
     let layers: Vec<LayerResults> = model
         .layers
         .par_iter()
-        .map(|spec| run_layer(spec, seed))
+        .map(|spec| run_layer_with(spec, seed, strategy))
         .collect();
     let mut totals = [0u64; 5];
     let mut winners = Vec::with_capacity(model.layers.len());
@@ -204,14 +263,11 @@ pub fn run_model(model: &DnnModel, seed: u64, verbose: bool) -> ModelResults {
         for (i, system) in SystemId::ALL.into_iter().enumerate() {
             totals[i] += layer.of(system).total_cycles;
         }
-        winners.push(layer.best_dataflow());
+        winners.push(layer.flexagon_dataflow);
         if verbose {
             eprintln!(
                 "  {}/{}: {} -> {}",
-                model.short,
-                spec.index,
-                spec.name,
-                layer.best_dataflow()
+                model.short, spec.index, spec.name, layer.flexagon_dataflow
             );
         }
     }
@@ -239,6 +295,48 @@ mod tests {
         assert!(f <= r.inner_product.total_cycles);
         assert!(f <= r.outer_product.total_cycles);
         assert!(f <= r.gustavson.total_cycles);
+    }
+
+    #[test]
+    fn heuristic_strategy_selects_without_peeking() {
+        let spec = LayerSpec::new(0, "t", 32, 32, 32, 60.0, 60.0);
+        let oracle = run_layer_with(&spec, 1, MappingStrategy::Oracle);
+        let heuristic = run_layer_with(&spec, 1, MappingStrategy::Heuristic);
+        // Same simulations either way; only the Flexagon selection differs.
+        assert_eq!(
+            oracle.inner_product.total_cycles,
+            heuristic.inner_product.total_cycles
+        );
+        assert!(Dataflow::M_STATIONARY.contains(&heuristic.flexagon_dataflow));
+        // The heuristic's report is one of the three measured ones.
+        let f = heuristic.flexagon().total_cycles;
+        assert!(
+            f == heuristic.inner_product.total_cycles
+                || f == heuristic.outer_product.total_cycles
+                || f == heuristic.gustavson.total_cycles
+        );
+    }
+
+    #[test]
+    fn fixed_strategy_pins_the_class() {
+        let spec = LayerSpec::new(0, "t", 24, 24, 24, 50.0, 50.0);
+        for df in Dataflow::M_STATIONARY {
+            let r = run_layer_with(&spec, 1, MappingStrategy::Fixed(df));
+            assert_eq!(r.flexagon_dataflow, df);
+            let expected = match df {
+                Dataflow::InnerProductM => r.inner_product.total_cycles,
+                Dataflow::OuterProductM => r.outer_product.total_cycles,
+                _ => r.gustavson.total_cycles,
+            };
+            assert_eq!(r.flexagon().total_cycles, expected);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "M-stationary")]
+    fn fixed_strategy_rejects_n_stationary() {
+        let spec = LayerSpec::new(0, "t", 8, 8, 8, 50.0, 50.0);
+        run_layer_with(&spec, 1, MappingStrategy::Fixed(Dataflow::GustavsonN));
     }
 
     #[test]

@@ -6,7 +6,10 @@
 //! baselines are the same engine pinned to one dataflow class, with the
 //! PSRAM sized per Table 8 (none for SIGMA-like, half for GAMMA-like).
 
-use crate::{engine, AcceleratorConfig, CoreError, Dataflow, ExecutionReport, Result};
+use crate::{
+    engine, mapper, AcceleratorConfig, CoreError, Dataflow, ExecutionReport, MappingStrategy,
+    Result,
+};
 use flexagon_sparse::CompressedMatrix;
 
 /// Result of one accelerator execution: the functional output matrix and
@@ -58,10 +61,43 @@ pub trait Accelerator {
         Ok(RunOutput { c, report })
     }
 
+    /// Runs `a x b` with the dataflow chosen by `strategy`, returning the
+    /// selection together with its output.
+    ///
+    /// * [`MappingStrategy::Oracle`] sweeps every supported dataflow and
+    ///   keeps the fastest — the paper's evaluation methodology, at
+    ///   `supported_dataflows().len()` times the simulation cost.
+    /// * [`MappingStrategy::Heuristic`] picks the supported dataflow with
+    ///   the lowest calibrated cost estimate and runs it once.
+    /// * [`MappingStrategy::Fixed`] runs the given dataflow directly; the
+    ///   result is identical to calling [`Accelerator::run`] with it.
+    ///
+    /// # Errors
+    ///
+    /// Propagates execution errors; [`CoreError::UnsupportedDataflow`] when
+    /// a `Fixed` dataflow is not supported.
+    fn run_strategy(
+        &self,
+        a: &CompressedMatrix,
+        b: &CompressedMatrix,
+        strategy: MappingStrategy,
+    ) -> Result<(Dataflow, RunOutput)> {
+        match strategy {
+            MappingStrategy::Oracle => mapper::oracle(self, a, b),
+            MappingStrategy::Heuristic => {
+                let df = mapper::heuristic_among(self.config(), a, b, self.supported_dataflows());
+                Ok((df, self.run(a, b, df)?))
+            }
+            MappingStrategy::Fixed(df) => Ok((df, self.run(a, b, df)?)),
+        }
+    }
+
     /// Runs every supported dataflow and returns the fastest result.
     ///
     /// This is the oracle selection the paper uses to drive Flexagon's
-    /// per-layer configuration (the phase-1 mapper is future work there).
+    /// per-layer configuration (equivalent to
+    /// [`Accelerator::run_strategy`] with [`MappingStrategy::Oracle`],
+    /// without reporting the winning dataflow).
     ///
     /// # Errors
     ///
@@ -176,14 +212,15 @@ fixed_accelerator!(
 
 impl Flexagon {
     /// Runs `a x b` with the dataflow chosen by the heuristic mapper
-    /// (no oracle sweep).
+    /// (no oracle sweep); shorthand for [`Accelerator::run_strategy`]
+    /// with [`MappingStrategy::Heuristic`].
     ///
     /// # Errors
     ///
     /// Propagates engine errors.
     pub fn run_mapped(&self, a: &CompressedMatrix, b: &CompressedMatrix) -> Result<RunOutput> {
-        let df = crate::mapper::heuristic(&self.cfg, a, b);
-        self.run(a, b, df)
+        self.run_strategy(a, b, MappingStrategy::Heuristic)
+            .map(|(_, out)| out)
     }
 }
 
@@ -223,6 +260,55 @@ mod tests {
         let b = CompressedMatrix::zero(2, 2, flexagon_sparse::MajorOrder::Row);
         let err = sigma.run(&a, &b, Dataflow::GustavsonM).unwrap_err();
         assert!(matches!(err, CoreError::UnsupportedDataflow { .. }));
+    }
+
+    #[test]
+    fn fixed_strategy_matches_direct_run() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+        let a =
+            flexagon_sparse::gen::random(24, 24, 0.3, flexagon_sparse::MajorOrder::Row, &mut rng);
+        let b =
+            flexagon_sparse::gen::random(24, 24, 0.3, flexagon_sparse::MajorOrder::Row, &mut rng);
+        let f = Flexagon::with_defaults();
+        for df in Dataflow::ALL {
+            let (chosen, out) = f.run_strategy(&a, &b, MappingStrategy::Fixed(df)).unwrap();
+            let direct = f.run(&a, &b, df).unwrap();
+            assert_eq!(chosen, df);
+            assert_eq!(out.c, direct.c);
+            assert_eq!(out.report.total_cycles, direct.report.total_cycles);
+        }
+    }
+
+    #[test]
+    fn oracle_strategy_matches_run_best() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(12);
+        let a =
+            flexagon_sparse::gen::random(24, 32, 0.3, flexagon_sparse::MajorOrder::Row, &mut rng);
+        let b =
+            flexagon_sparse::gen::random(32, 24, 0.3, flexagon_sparse::MajorOrder::Row, &mut rng);
+        let f = Flexagon::with_defaults();
+        let (df, out) = f.run_strategy(&a, &b, MappingStrategy::Oracle).unwrap();
+        let best = f.run_best(&a, &b).unwrap();
+        assert_eq!(out.report.total_cycles, best.report.total_cycles);
+        assert_eq!(df, out.report.dataflow);
+    }
+
+    #[test]
+    fn heuristic_strategy_picks_a_supported_dataflow() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(13);
+        let a =
+            flexagon_sparse::gen::random(24, 24, 0.4, flexagon_sparse::MajorOrder::Row, &mut rng);
+        let b =
+            flexagon_sparse::gen::random(24, 24, 0.4, flexagon_sparse::MajorOrder::Row, &mut rng);
+        let sigma = SigmaLike::with_defaults();
+        let (df, out) = sigma
+            .run_strategy(&a, &b, MappingStrategy::Heuristic)
+            .unwrap();
+        assert!(sigma.supported_dataflows().contains(&df));
+        assert_eq!(out.report.dataflow, df);
     }
 
     #[test]

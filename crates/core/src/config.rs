@@ -1,6 +1,7 @@
 //! Accelerator configuration (paper Table 5) and the engine's software
 //! tuning thresholds.
 
+use crate::mapper::MapperCalibration;
 use flexagon_mem::MemoryConfig;
 use flexagon_sim::Cycle;
 use flexagon_sparse::AccumConfig;
@@ -27,6 +28,11 @@ pub struct EngineConfig {
     pub indexed_max_acc_elements: usize,
     /// Tier cutoffs for the Outer-Product/Gustavson psum accumulators.
     pub accum: AccumConfig,
+    /// Fitted corrections for the heuristic mapper's closed-form cost
+    /// model (defaults to the checked-in `mapper_calibrate` fit; see
+    /// [`MapperCalibration`]). Like the other fields, this has no effect
+    /// on modeled cycles — only on which dataflow the heuristic picks.
+    pub mapper: MapperCalibration,
 }
 
 impl EngineConfig {
@@ -46,6 +52,7 @@ impl Default for EngineConfig {
             indexed_min_k_ratio: Self::DEFAULT_INDEXED_MIN_K_RATIO,
             indexed_max_acc_elements: Self::DEFAULT_INDEXED_MAX_ACC_ELEMENTS,
             accum: AccumConfig::default(),
+            mapper: MapperCalibration::calibrated(),
         }
     }
 }
@@ -171,6 +178,7 @@ mod tests {
             e.accum.runs_merge_limit,
             AccumConfig::DEFAULT_RUNS_MERGE_LIMIT
         );
+        assert_eq!(e.mapper, MapperCalibration::calibrated());
     }
 
     #[test]

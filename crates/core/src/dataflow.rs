@@ -185,6 +185,24 @@ impl Dataflow {
             DataflowClass::Gustavson => Self::GustavsonM,
         }
     }
+
+    /// Short command-line token (`spgemm_cli` and the mapping-strategy
+    /// parser): `ip-m`, `op-m`, `gust-m`, `ip-n`, `op-n`, `gust-n`.
+    pub fn token(self) -> &'static str {
+        match self {
+            Self::InnerProductM => "ip-m",
+            Self::OuterProductM => "op-m",
+            Self::GustavsonM => "gust-m",
+            Self::InnerProductN => "ip-n",
+            Self::OuterProductN => "op-n",
+            Self::GustavsonN => "gust-n",
+        }
+    }
+
+    /// Parses a short token produced by [`Dataflow::token`].
+    pub fn from_token(s: &str) -> Option<Dataflow> {
+        Self::ALL.into_iter().find(|d| d.token() == s)
+    }
 }
 
 impl std::fmt::Display for Dataflow {
@@ -279,6 +297,14 @@ mod tests {
             assert_eq!(d.as_m_stationary().stationarity(), Stationarity::M);
             assert_eq!(d.as_m_stationary().class(), d.class());
         }
+    }
+
+    #[test]
+    fn tokens_round_trip() {
+        for d in Dataflow::ALL {
+            assert_eq!(Dataflow::from_token(d.token()), Some(d));
+        }
+        assert_eq!(Dataflow::from_token("csr"), None);
     }
 
     #[test]

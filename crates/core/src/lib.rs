@@ -13,7 +13,9 @@
 //!   [`SigmaLike`], [`SparchLike`], [`GammaLike`] and [`CpuMkl`].
 //! * [`ExecutionReport`] — cycles, phase split, on-/off-chip traffic, cache
 //!   and PSRAM statistics for one SpMSpM execution.
-//! * [`mapper`] — per-layer dataflow selection (oracle and heuristic).
+//! * [`mapper`] — per-layer dataflow selection: [`MappingStrategy`]
+//!   (oracle sweep, calibrated heuristic, or pinned dataflow) with the
+//!   fitted [`MapperCalibration`] cost-model corrections.
 //!
 //! Every run is functionally exact: the returned output matrix is produced
 //! by actually executing the dataflow (stationary/streaming/merging phases
@@ -38,6 +40,7 @@ pub use config::{AcceleratorConfig, EngineConfig};
 pub use cpu::{CpuConfig, CpuMkl};
 pub use dataflow::{Dataflow, DataflowClass, Stationarity};
 pub use error::CoreError;
+pub use mapper::{ClassCalibration, MapperCalibration, MappingStrategy};
 pub use report::{ExecutionReport, TrafficReport};
 
 /// Convenience result alias for accelerator operations.

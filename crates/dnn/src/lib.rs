@@ -29,4 +29,4 @@ pub mod table6;
 
 pub use layer::{LayerMatrices, LayerSpec};
 pub use models::{suite, DnnModel, Domain};
-pub use stats::ModelStats;
+pub use stats::{AgreementStats, ModelStats};

@@ -70,6 +70,99 @@ impl ModelStats {
     }
 }
 
+/// Running top-1 agreement and cycle-regret statistics for a dataflow
+/// selector audited against an oracle (the mapper-accuracy report's
+/// aggregation unit, one per model or scenario family plus one overall).
+///
+/// *Agreement* is the fraction of cases where the selector picked the
+/// oracle's winner; *regret* is `selected_cycles / oracle_cycles ≥ 1`, so
+/// a geomean regret of 1.0 means the selector never cost anything even
+/// where it disagreed (ties), and 1.15 means 15% mean slowdown.
+#[derive(Debug, Clone, Default)]
+pub struct AgreementStats {
+    /// Number of recorded cases.
+    pub cases: usize,
+    /// Cases where the selector matched the oracle's top-1 choice.
+    pub agreements: usize,
+    log_regret_sum: f64,
+    max_regret: f64,
+    worst: Option<String>,
+}
+
+impl AgreementStats {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one audited case.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `regret < 1` (the oracle is by definition no slower than
+    /// any selection) or is not finite.
+    pub fn record(&mut self, label: &str, agrees: bool, regret: f64) {
+        assert!(
+            regret.is_finite() && regret >= 1.0,
+            "regret must be a finite ratio >= 1, got {regret} for {label}"
+        );
+        self.cases += 1;
+        if agrees {
+            self.agreements += 1;
+        }
+        self.log_regret_sum += regret.ln();
+        if regret > self.max_regret {
+            self.max_regret = regret;
+            self.worst = Some(label.to_owned());
+        }
+    }
+
+    /// Folds another accumulator into this one (e.g. per-group stats into
+    /// the overall row). The worst case is kept from whichever side has the
+    /// larger max regret.
+    pub fn merge(&mut self, other: &AgreementStats) {
+        self.cases += other.cases;
+        self.agreements += other.agreements;
+        self.log_regret_sum += other.log_regret_sum;
+        if other.max_regret > self.max_regret {
+            self.max_regret = other.max_regret;
+            self.worst = other.worst.clone();
+        }
+    }
+
+    /// Top-1 agreement as a fraction in `[0, 1]` (1.0 when empty).
+    pub fn top1_fraction(&self) -> f64 {
+        if self.cases == 0 {
+            1.0
+        } else {
+            self.agreements as f64 / self.cases as f64
+        }
+    }
+
+    /// Geometric-mean regret (1.0 when empty).
+    pub fn geomean_regret(&self) -> f64 {
+        if self.cases == 0 {
+            1.0
+        } else {
+            (self.log_regret_sum / self.cases as f64).exp()
+        }
+    }
+
+    /// Largest single-case regret (1.0 when empty).
+    pub fn max_regret(&self) -> f64 {
+        if self.cases == 0 {
+            1.0
+        } else {
+            self.max_regret
+        }
+    }
+
+    /// Label of the worst-regret case, if any case was recorded.
+    pub fn worst_case(&self) -> Option<&str> {
+        self.worst.as_deref()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -104,5 +197,47 @@ mod tests {
         let vgg = ModelStats::measure(&DnnModel::vgg16(), 1);
         let mb = ModelStats::measure(&DnnModel::mobilebert(), 1);
         assert!(vgg.max_cs_b_mib > 20.0 * mb.max_cs_b_mib);
+    }
+
+    #[test]
+    fn agreement_stats_aggregate_correctly() {
+        let mut s = AgreementStats::new();
+        assert_eq!(s.top1_fraction(), 1.0);
+        assert_eq!(s.geomean_regret(), 1.0);
+        assert_eq!(s.max_regret(), 1.0);
+        s.record("a", true, 1.0);
+        s.record("b", false, 4.0);
+        assert_eq!(s.cases, 2);
+        assert_eq!(s.agreements, 1);
+        assert!((s.top1_fraction() - 0.5).abs() < 1e-12);
+        assert!((s.geomean_regret() - 2.0).abs() < 1e-12, "sqrt(1*4)");
+        assert_eq!(s.max_regret(), 4.0);
+        assert_eq!(s.worst_case(), Some("b"));
+    }
+
+    #[test]
+    fn agreement_stats_merge_matches_flat_recording() {
+        let mut left = AgreementStats::new();
+        left.record("x", true, 1.2);
+        let mut right = AgreementStats::new();
+        right.record("y", false, 1.8);
+        right.record("z", true, 1.0);
+        let mut merged = left.clone();
+        merged.merge(&right);
+        let mut flat = AgreementStats::new();
+        flat.record("x", true, 1.2);
+        flat.record("y", false, 1.8);
+        flat.record("z", true, 1.0);
+        assert_eq!(merged.cases, flat.cases);
+        assert_eq!(merged.agreements, flat.agreements);
+        assert!((merged.geomean_regret() - flat.geomean_regret()).abs() < 1e-12);
+        assert_eq!(merged.max_regret(), flat.max_regret());
+        assert_eq!(merged.worst_case(), Some("y"));
+    }
+
+    #[test]
+    #[should_panic(expected = "regret must be")]
+    fn agreement_stats_reject_sub_unity_regret() {
+        AgreementStats::new().record("bad", true, 0.5);
     }
 }

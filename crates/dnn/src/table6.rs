@@ -20,6 +20,19 @@ pub enum FavouredDataflow {
     Gustavson,
 }
 
+impl FavouredDataflow {
+    /// Short column label ("IP", "OP", "Gust") used by the harness tables,
+    /// matching how the mapper-accuracy report abbreviates dataflow
+    /// classes.
+    pub fn short_name(self) -> &'static str {
+        match self {
+            Self::InnerProduct => "IP",
+            Self::OuterProduct => "OP",
+            Self::Gustavson => "Gust",
+        }
+    }
+}
+
 /// One Table 6 row: a named layer and the dataflow group it belongs to.
 ///
 /// Serialize-only: the `&'static str` identifier cannot be deserialized
@@ -105,6 +118,13 @@ mod tests {
     #[test]
     fn unknown_id_is_none() {
         assert!(by_id("Z9").is_none());
+    }
+
+    #[test]
+    fn short_names_are_distinct() {
+        assert_eq!(FavouredDataflow::InnerProduct.short_name(), "IP");
+        assert_eq!(FavouredDataflow::OuterProduct.short_name(), "OP");
+        assert_eq!(FavouredDataflow::Gustavson.short_name(), "Gust");
     }
 
     #[test]

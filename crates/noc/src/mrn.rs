@@ -426,7 +426,10 @@ mod tests {
         assert_eq!(cycles, out.cycles);
         assert_eq!(charged.additions(), real.additions());
         assert_eq!(charged.comparisons(), real.comparisons());
-        assert_eq!(charged.merged_input_elements(), real.merged_input_elements());
+        assert_eq!(
+            charged.merged_input_elements(),
+            real.merged_input_elements()
+        );
         assert_eq!(charged.charge_merge(0, 0), 0, "empty pass is free");
     }
 

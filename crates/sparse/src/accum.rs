@@ -310,7 +310,11 @@ impl RowAccum {
     ///
     /// Panics in debug builds if the accumulator is not armed as runs.
     pub fn push_run(&mut self, fiber: Fiber) {
-        debug_assert_eq!(self.tier, Some(AccumTier::Runs), "push_run needs the runs tier");
+        debug_assert_eq!(
+            self.tier,
+            Some(AccumTier::Runs),
+            "push_run needs the runs tier"
+        );
         if fiber.is_empty() {
             return;
         }

@@ -89,14 +89,19 @@ pub fn random_with_nnz<R: Rng + ?Sized>(
         nnz as u64 <= total,
         "cannot place {nnz} non-zeros in {total} cells"
     );
-    // Floyd's algorithm for a uniform sample without replacement.
+    // Floyd's algorithm for a uniform sample without replacement. Cells are
+    // collected in insertion order (not HashSet iteration order, whose
+    // per-instance hash seed would make the value assignment
+    // nondeterministic for a fixed rng).
     let mut chosen = std::collections::HashSet::with_capacity(nnz);
+    let mut cells = Vec::with_capacity(nnz);
     for j in (total - nnz as u64)..total {
         let t = rng.gen_range(0..=j);
         let cell = if chosen.contains(&t) { j } else { t };
         chosen.insert(cell);
+        cells.push(cell);
     }
-    let triplets: Vec<(u32, u32, Value)> = chosen
+    let triplets: Vec<(u32, u32, Value)> = cells
         .into_iter()
         .map(|cell| {
             let r = (cell / cols as u64) as u32;
@@ -232,6 +237,103 @@ pub fn rmat<R: Rng + ?Sized>(
     CompressedMatrix::from_triplets(n, n, &triplets, order).expect("rmat cells are always in range")
 }
 
+/// One named SpGEMM scenario: an `(A, B)` operand pair drawn from the
+/// generator families above.
+///
+/// Scenario sweeps complement the DNN layer suite with the sparsity
+/// *structures* unstructured-random layers never produce — power-law skew
+/// (R-MAT), diagonal locality (banded), structured pruning (block-sparse)
+/// and exact-budget extremes (`random_with_nnz`) — which is exactly where
+/// feature-based dataflow selection is hardest.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Scenario name, `family/shape` (stable across runs; used as a report
+    /// row label).
+    pub name: String,
+    /// Left operand.
+    pub a: CompressedMatrix,
+    /// Right operand.
+    pub b: CompressedMatrix,
+}
+
+impl Scenario {
+    fn new(name: impl Into<String>, a: CompressedMatrix, b: CompressedMatrix) -> Self {
+        Self {
+            name: name.into(),
+            a,
+            b,
+        }
+    }
+}
+
+/// The standard scenario sweep: a fixed list of named `(A, B)` pairs
+/// covering [`rmat`], [`banded`], [`block_sparse`] and [`random_with_nnz`]
+/// across shapes that stress different dataflow bottlenecks (graph
+/// squaring, band chains, pruned blocks, skewed tall/flat operands).
+///
+/// Deterministic given `rng`; every pair is dimension-compatible
+/// (`a.cols() == b.rows()`).
+pub fn scenario_sweep<R: Rng + ?Sized>(rng: &mut R) -> Vec<Scenario> {
+    let mut out = Vec::new();
+
+    // Graph squaring (two-hop neighbourhoods): the canonical SpGEMM graph
+    // kernel, with Graph500 skew.
+    for (scale, edges) in [(8u32, 4096usize), (9, 8192), (10, 20000)] {
+        let g = rmat(scale, edges, (0.57, 0.19, 0.19, 0.05), MajorOrder::Row, rng);
+        out.push(Scenario::new(
+            format!("rmat/square/2^{scale}x{edges}"),
+            g.clone(),
+            g,
+        ));
+    }
+
+    // Band-chain products: structured locality, output stays banded.
+    for (n, hb, d) in [(512u32, 8u32, 0.7), (1024, 4, 0.5), (768, 32, 0.3)] {
+        let a = banded(n, hb, d, MajorOrder::Row, rng);
+        let b = banded(n, hb, d, MajorOrder::Row, rng);
+        out.push(Scenario::new(format!("banded/chain/{n}w{hb}"), a, b));
+    }
+
+    // Structured pruning: dense tiles concentrate reuse into block rows.
+    for (m, k, n, blk, d) in [
+        (256u32, 256u32, 192u32, 16u32, 0.15),
+        (384, 192, 384, 8, 0.25),
+    ] {
+        let a = block_sparse(m, k, blk, d, MajorOrder::Row, rng);
+        let b = block_sparse(k, n, blk, d, MajorOrder::Row, rng);
+        out.push(Scenario::new(format!("block/{m}x{k}x{n}b{blk}"), a, b));
+    }
+
+    // Exact-nnz extremes: tiny-A single-tile shapes (IP's best case), a
+    // tall-thin times short-wide outer-product shape, and a balanced
+    // mid-density square.
+    let cases: [(&str, u32, u32, u32, usize, usize); 3] = [
+        ("tiny_a", 8, 64, 1024, 48, 8192),
+        ("tall_flat", 1024, 48, 1024, 4096, 4096),
+        ("balanced", 256, 256, 256, 6000, 6000),
+    ];
+    for (label, m, k, n, nnz_a, nnz_b) in cases {
+        let a = random_with_nnz(m, k, nnz_a, MajorOrder::Row, rng);
+        let b = random_with_nnz(k, n, nnz_b, MajorOrder::Row, rng);
+        out.push(Scenario::new(format!("nnz/{label}/{m}x{k}x{n}"), a, b));
+    }
+
+    // Cross-family products: graph times band (graph smoothing) and
+    // blocks times unstructured (pruned weights, dense-ish activations).
+    let g = rmat(9, 8192, (0.57, 0.19, 0.19, 0.05), MajorOrder::Row, rng);
+    let band = banded(512, 16, 0.5, MajorOrder::Row, rng);
+    out.push(Scenario::new("mixed/rmat_x_banded/512", g, band));
+    let blocks = block_sparse(192, 256, 16, 0.2, MajorOrder::Row, rng);
+    let act = random_with_nnz(256, 384, 24576, MajorOrder::Row, rng);
+    out.push(Scenario::new(
+        "mixed/block_x_dense/192x256x384",
+        blocks,
+        act,
+    ));
+
+    out
+}
+
 fn value_in_range<R: Rng + ?Sized>(rng: &mut R) -> Value {
     // Uniform in [0.5, 1.5): keeps products well-conditioned so functional
     // checks against the dense reference stay within tight tolerances.
@@ -287,6 +389,15 @@ mod tests {
         let m = random_with_nnz(30, 40, 123, MajorOrder::Row, &mut rng());
         assert_eq!(m.nnz(), 123);
         m.validate().unwrap();
+    }
+
+    #[test]
+    fn random_with_nnz_is_deterministic_including_values() {
+        // Regression: values used to be assigned in HashSet iteration
+        // order, which varies per instance.
+        let x = random_with_nnz(30, 40, 200, MajorOrder::Row, &mut rng());
+        let y = random_with_nnz(30, 40, 200, MajorOrder::Row, &mut rng());
+        assert_eq!(x, y);
     }
 
     #[test]
@@ -389,5 +500,32 @@ mod tests {
     #[should_panic(expected = "sum to 1")]
     fn rmat_rejects_bad_probs() {
         rmat(4, 10, (0.9, 0.9, 0.1, 0.1), MajorOrder::Row, &mut rng());
+    }
+
+    #[test]
+    fn scenario_sweep_is_well_formed_and_deterministic() {
+        let sweep = scenario_sweep(&mut rng());
+        assert!(sweep.len() >= 10, "sweep covers all four families");
+        let mut names = std::collections::HashSet::new();
+        for s in &sweep {
+            assert!(names.insert(s.name.clone()), "duplicate name {}", s.name);
+            assert_eq!(s.a.cols(), s.b.rows(), "{}: dims incompatible", s.name);
+            s.a.validate().unwrap();
+            s.b.validate().unwrap();
+            assert!(s.a.nnz() > 0 && s.b.nnz() > 0, "{}: empty operand", s.name);
+        }
+        for family in ["rmat/", "banded/", "block/", "nnz/", "mixed/"] {
+            assert!(
+                sweep.iter().any(|s| s.name.starts_with(family)),
+                "family {family} missing"
+            );
+        }
+        let again = scenario_sweep(&mut rng());
+        assert_eq!(sweep.len(), again.len());
+        for (x, y) in sweep.iter().zip(&again) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.a, y.a);
+            assert_eq!(x.b, y.b);
+        }
     }
 }

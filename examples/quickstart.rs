@@ -59,8 +59,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (best_df, best_cycles) = best.expect("six dataflows ran");
     println!("\nBest dataflow for this layer: {best_df} ({best_cycles} cycles).");
 
-    // 3. The heuristic mapper predicts a dataflow without simulating.
-    let predicted = flexagon::core::mapper::heuristic(accel.config(), &a, &b);
-    println!("Heuristic mapper predicts:    {predicted}");
+    // 3. The heuristic strategy picks a dataflow from matrix features alone
+    //    (its calibrated cost model; no six-way sweep) and runs it once —
+    //    the production fast path, with the oracle sweep above as auditor.
+    use flexagon::core::MappingStrategy;
+    let (predicted, fast) = accel.run_strategy(&a, &b, MappingStrategy::Heuristic)?;
+    println!(
+        "Heuristic mapper picks:       {predicted} ({} cycles, {:.2}x the best, 1 run instead of 6)",
+        fast.report.total_cycles,
+        fast.report.total_cycles as f64 / best_cycles as f64
+    );
     Ok(())
 }

@@ -2,9 +2,40 @@
 //! dataflow on every accelerator computes the exact product, and the
 //! system-level invariants hold.
 
-use flexagon::core::{Accelerator, AcceleratorConfig, Dataflow, Flexagon};
+use flexagon::core::{Accelerator, AcceleratorConfig, Dataflow, Flexagon, MappingStrategy};
 use flexagon::sparse::{CompressedMatrix, DenseMatrix, Element, Fiber, MajorOrder};
 use proptest::prelude::*;
+
+/// The per-instance regret bound recorded next to the accuracy floor in
+/// `MAPPER_accuracy.json` (`thresholds.property_max_regret`), read and
+/// parsed once (the property calls this per generated case).
+fn recorded_property_regret_bound() -> f64 {
+    static BOUND: std::sync::OnceLock<f64> = std::sync::OnceLock::new();
+    *BOUND.get_or_init(load_property_regret_bound)
+}
+
+fn load_property_regret_bound() -> f64 {
+    struct Bound(f64);
+    impl serde::Deserialize for Bound {
+        fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+            let top = v
+                .as_map()
+                .ok_or_else(|| serde::DeError::new("expected an object"))?;
+            let thresholds = serde::map_get(top, "thresholds")?
+                .as_map()
+                .ok_or_else(|| serde::DeError::new("expected thresholds object"))?;
+            Ok(Bound(serde::Deserialize::from_value(serde::map_get(
+                thresholds,
+                "property_max_regret",
+            )?)?))
+        }
+    }
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/MAPPER_accuracy.json");
+    let text = std::fs::read_to_string(path).expect("MAPPER_accuracy.json is checked in");
+    let Bound(b) = serde_json::from_str(&text).expect("thresholds.property_max_regret");
+    assert!(b >= 1.0, "regret bound must be >= 1");
+    b
+}
 
 /// Strategy: a small sparse matrix with arbitrary structure.
 fn sparse_matrix(
@@ -93,6 +124,68 @@ proptest! {
             // Conservation: multiplications equal the work profile.
             prop_assert_eq!(out.report.multiplications, out.report.work.products);
         }
+    }
+
+    /// `Fixed(df)` is pure plumbing: its report and output are
+    /// byte-identical to calling the engine with `df` directly.
+    #[test]
+    fn fixed_strategy_is_byte_identical_to_direct_run(
+        a in sparse_matrix(1..12, 1..12),
+        bseed in 0u64..64,
+    ) {
+        let k = a.cols();
+        let mut rng = <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(bseed);
+        let b = flexagon::sparse::gen::random(k, 8, 0.4, MajorOrder::Row, &mut rng);
+        let accel = Flexagon::new(AcceleratorConfig::tiny());
+        for df in Dataflow::ALL {
+            let (chosen, strat) = accel.run_strategy(&a, &b, MappingStrategy::Fixed(df)).unwrap();
+            let direct = accel.run(&a, &b, df).unwrap();
+            prop_assert_eq!(chosen, df);
+            prop_assert_eq!(
+                serde_json::to_string(&strat.report).unwrap(),
+                serde_json::to_string(&direct.report).unwrap(),
+                "{} report bytes differ", df
+            );
+            prop_assert_eq!(
+                serde_json::to_string(&strat.c).unwrap(),
+                serde_json::to_string(&direct.c).unwrap(),
+                "{} output bytes differ", df
+            );
+        }
+    }
+
+    /// The calibrated heuristic never loses more than the recorded
+    /// per-instance regret bound against the three-way oracle on randomly
+    /// generated operands (Table 5 configuration — the domain the
+    /// calibration is audited on; bound recorded in MAPPER_accuracy.json).
+    #[test]
+    fn heuristic_regret_stays_within_recorded_bound(
+        dims in (16u32..96, 16u32..96, 16u32..96),
+        da in 0.05f64..0.45,
+        db in 0.05f64..0.45,
+        seed in 0u64..1024,
+    ) {
+        let (m, k, n) = dims;
+        let mut rng = <rand_chacha::ChaCha8Rng as rand::SeedableRng>::seed_from_u64(seed);
+        let a = flexagon::sparse::gen::random(m, k, da, MajorOrder::Row, &mut rng);
+        let b = flexagon::sparse::gen::random(k, n, db, MajorOrder::Row, &mut rng);
+        let accel = Flexagon::with_defaults();
+        let picked = flexagon::core::mapper::heuristic(accel.config(), &a, &b);
+        let cycles = |df| accel.run(&a, &b, df).unwrap().report.total_cycles;
+        let measured = [
+            cycles(Dataflow::InnerProductM),
+            cycles(Dataflow::OuterProductM),
+            cycles(Dataflow::GustavsonM),
+        ];
+        let best = *measured.iter().min().unwrap();
+        let idx = Dataflow::M_STATIONARY.iter().position(|&d| d == picked).unwrap();
+        let regret = measured[idx] as f64 / best as f64;
+        let bound = recorded_property_regret_bound();
+        prop_assert!(
+            regret <= bound,
+            "heuristic picked {} at {:.3}x regret (bound {:.2}x) on {}x{}x{} da {:.2} db {:.2}",
+            picked, regret, bound, m, k, n, da, db
+        );
     }
 
     /// Fibers survive arbitrary merge splits: merging any partition of a

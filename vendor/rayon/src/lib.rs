@@ -6,22 +6,27 @@
 //! map is a drop-in replacement for the sequential one: determinism is
 //! preserved as long as the mapped closure is a pure function of its item.
 //!
-//! Thread count comes from `std::thread::available_parallelism`, clamped by
-//! the `RAYON_NUM_THREADS` environment variable when set.
+//! Thread count comes from the `RAYON_NUM_THREADS` environment variable
+//! when set (honored exactly, like real rayon's global pool — a request
+//! above the hardware parallelism oversubscribes), otherwise from
+//! `std::thread::available_parallelism`.
 
 use std::num::NonZeroUsize;
 
 /// Number of worker threads a parallel operation may use.
+///
+/// `RAYON_NUM_THREADS` is honored exactly when set (like real rayon's
+/// global pool, a request above the hardware parallelism oversubscribes);
+/// otherwise `available_parallelism` decides.
 pub fn current_num_threads() -> usize {
-    let hw = std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1);
     match std::env::var("RAYON_NUM_THREADS")
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
     {
-        Some(n) if n >= 1 => n.min(hw.max(1)),
-        _ => hw,
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1),
     }
 }
 
