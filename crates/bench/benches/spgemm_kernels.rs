@@ -2,7 +2,7 @@
 //! golden models and the CPU-baseline kernel.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use flexagon_core::{Accelerator, Dataflow, Flexagon};
+use flexagon_core::{Accelerator, AcceleratorConfig, Dataflow, Flexagon};
 use flexagon_sparse::{
     gen, merge, reference, AccumConfig, AccumTier, CompressedMatrix, Fiber, FiberIndex, MajorOrder,
     RowAccum,
@@ -85,6 +85,113 @@ fn bench_intersection(c: &mut Criterion) {
     group.finish();
 }
 
+/// ROADMAP item (b), measurement half: the two software-path gates on
+/// `EngineConfig`/`AccumConfig` as direct crossover sweeps, so the default
+/// thresholds can be re-derived from numbers instead of hand-tuning.
+///
+/// * `threshold_probe/{scan,probe}/r{R}` — the Inner-Product streaming
+///   loop's per-fiber choice: mask-scan the streaming fiber against the
+///   tile's k-bitmap, or probe the fiber's tiered index with the tile's
+///   sorted stationary list. `R = fiber_len / stationary_len`; the engine
+///   probes when `R >= probe_gate_factor`, so the gate should sit at the
+///   measured crossover ratio.
+/// * `threshold_probe/{dense,paged}_accum/s{S}` — the psum accumulator's
+///   dense-vs-paged choice at span-per-element ratio `S = span / nnz`
+///   (tiers forced via the config gates; identical scatter/drain results
+///   either way). The dense tier pays `span` value slots, the paged tier
+///   pays the bitmap plus page indirection; the gate
+///   `dense_span_per_elem` should sit at the crossover `S`.
+fn bench_threshold_probe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("threshold_probe");
+
+    // Probe-vs-scan: one long streaming fiber, stationary lists of
+    // decreasing length (increasing ratio R).
+    let fiber_len = 4096usize;
+    let space = 16384u32;
+    let fiber = intersection_fiber(fiber_len, space, 31);
+    let index = FiberIndex::build(fiber.coords());
+    for ratio in [1usize, 2, 4, 8, 16, 32] {
+        let stationary = intersection_fiber(fiber_len / ratio, space, 32 + ratio as u64);
+        let k_list: Vec<u32> = stationary.coords().to_vec();
+        // The tile's k-membership bitmap, as the engine builds it.
+        let mut mask = vec![0u64; (space as usize).div_ceil(64)];
+        for &k in &k_list {
+            mask[(k >> 6) as usize] |= 1u64 << (k & 63);
+        }
+        group.bench_function(BenchmarkId::new("scan", format!("r{ratio}")), |bench| {
+            bench.iter(|| {
+                let mut hits = 0u64;
+                let mut sum = 0.0f32;
+                for (&c, &v) in fiber.coords().iter().zip(fiber.values()) {
+                    if mask[(c >> 6) as usize] & (1u64 << (c & 63)) != 0 {
+                        hits += 1;
+                        sum += v;
+                    }
+                }
+                black_box((hits, sum))
+            });
+        });
+        group.bench_function(BenchmarkId::new("probe", format!("r{ratio}")), |bench| {
+            bench.iter(|| {
+                let mut prober = index.prober(fiber.as_view());
+                let mut hits = 0u64;
+                let mut sum = 0.0f32;
+                for &k in &k_list {
+                    if let Some((_, v)) = prober.probe(k) {
+                        hits += 1;
+                        sum += v;
+                    }
+                }
+                black_box((hits, sum))
+            });
+        });
+    }
+
+    // Dense-vs-paged accumulator: fixed element volume, widening span.
+    let ways = 16usize;
+    let len = 256usize;
+    let nnz = (ways * len) as u64;
+    // Force a tier regardless of shape: dense needs the span gate wide
+    // open, paged needs the dense gate shut and the paged gate open.
+    let dense_cfg = AccumConfig {
+        dense_span_per_elem: u64::MAX,
+        dense_max_span: u64::MAX,
+        ..AccumConfig::default()
+    };
+    let paged_cfg = AccumConfig {
+        dense_span_per_elem: 0,
+        paged_bits_per_elem: u64::MAX,
+        paged_max_span: u64::MAX,
+        ..AccumConfig::default()
+    };
+    for spe in [2u64, 4, 8, 16, 32, 64, 128, 256, 512] {
+        let span = nnz * spe;
+        let fibers: Vec<Fiber> = (0..ways)
+            .map(|s| intersection_fiber(len, span as u32, 400 + spe * 31 + s as u64))
+            .collect();
+        let (lo, hi) = (0u32, span as u32 - 1);
+        for (label, cfg, want) in [
+            ("dense_accum", &dense_cfg, AccumTier::Dense),
+            ("paged_accum", &paged_cfg, AccumTier::Paged),
+        ] {
+            let mut acc = RowAccum::new();
+            acc.begin(lo, hi, nnz, cfg);
+            assert_eq!(acc.tier(), Some(want), "{label} s{spe}");
+            acc.drain();
+            group.bench_function(BenchmarkId::new(label, format!("s{spe}")), |bench| {
+                bench.iter(|| {
+                    acc.begin(lo, hi, nnz, cfg);
+                    for f in &fibers {
+                        acc.scatter_scaled(black_box(f.as_view()), 1.5);
+                    }
+                    acc.drain()
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
 fn bench_conversion(c: &mut Criterion) {
     let (a, _) = operands(512, 0.1);
     c.bench_function("csr_to_csc_conversion_512", |bench| {
@@ -118,7 +225,9 @@ fn bench_accumulators(c: &mut Criterion) {
     // (label, ways, len per fiber, coordinate space)
     let shapes: &[(&str, usize, usize, u32)] = &[
         ("dense/64x256", 64, 256, 1024),
-        ("paged/64x64", 64, 64, 1 << 17),
+        // Span/nnz ~49: past the measured dense gate (32), inside the
+        // paged bitmap budget (64 bits per element).
+        ("paged/64x64", 64, 64, 200_000),
         ("runs/16x256", 16, 256, 1 << 26),
     ];
     for &(label, ways, len, space) in shapes {
@@ -208,13 +317,95 @@ fn bench_execute(c: &mut Criterion) {
     group.finish();
 }
 
+/// The workspace-reuse win on sweep-style workloads: the same
+/// six-dataflow sweep over a batch of small layers, once through a single
+/// accelerator (hot `WorkspacePool` — the steady state performs no
+/// scratch allocation) and once through a fresh accelerator per layer
+/// (every execute re-allocates its tile plans, accumulator pools, stamp
+/// vectors and k-entry tables). Small layers maximize the scratch-setup
+/// share, which is exactly the oracle/`mapper_calibrate` sweep pattern.
+fn bench_workspace_reuse(c: &mut Criterion) {
+    let mut group = c.benchmark_group("workspace_reuse");
+    let mut rng = ChaCha8Rng::seed_from_u64(41);
+    let layers: Vec<(CompressedMatrix, CompressedMatrix)> = (0..32)
+        .map(|_| {
+            (
+                gen::random(16, 24, 0.25, MajorOrder::Row, &mut rng),
+                gen::random(24, 16, 0.3, MajorOrder::Row, &mut rng),
+            )
+        })
+        .collect();
+    let sweep = |accel: &Flexagon, a: &CompressedMatrix, b: &CompressedMatrix| {
+        for df in Dataflow::ALL {
+            black_box(accel.run(black_box(a), black_box(b), df).unwrap());
+        }
+    };
+    let pooled = Flexagon::with_defaults();
+    group.bench_function("pooled/32x16", |bench| {
+        bench.iter(|| {
+            for (a, b) in &layers {
+                sweep(&pooled, a, b);
+            }
+        });
+    });
+    group.bench_function("fresh/32x16", |bench| {
+        bench.iter(|| {
+            for (a, b) in &layers {
+                sweep(&Flexagon::with_defaults(), a, b);
+            }
+        });
+    });
+    group.finish();
+}
+
+/// The intra-layer-sharded engine over the same operands as
+/// `bench_execute`: fixed band grain, worker count from
+/// `FLEXAGON_SHARD_WORKERS` (default 4). On a multi-core host the
+/// `execute_sharded/table5/*` numbers should beat `execute/table5/*`; on a
+/// single hardware thread the workers oversubscribe and the comparison
+/// measures the sharding overhead instead.
+fn bench_execute_sharded(c: &mut Criterion) {
+    let mut group = c.benchmark_group("execute_sharded");
+    group.sample_size(10);
+    let mut rng = ChaCha8Rng::seed_from_u64(23);
+    let a = gen::random(256, 512, 0.15, MajorOrder::Row, &mut rng);
+    let b = gen::random(512, 512, 0.25, MajorOrder::Row, &mut rng);
+    let workers = std::env::var("FLEXAGON_SHARD_WORKERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(4usize);
+    let mut cfg = AcceleratorConfig::table5();
+    cfg.engine = cfg.engine.sharded(2048, workers);
+    let accel = Flexagon::new(cfg);
+    for df in Dataflow::M_STATIONARY {
+        group.bench_with_input(
+            BenchmarkId::new("table5", df.loop_order()),
+            &df,
+            |bench, &df| {
+                bench.iter(|| accel.run(black_box(&a), black_box(&b), df).unwrap());
+            },
+        );
+    }
+    group.bench_function("table5/NKM", |bench| {
+        bench.iter(|| {
+            accel
+                .run(black_box(&a), black_box(&b), Dataflow::GustavsonN)
+                .unwrap()
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_kernels,
     bench_intersection,
+    bench_threshold_probe,
     bench_conversion,
     bench_accumulators,
     bench_kway_merge,
-    bench_execute
+    bench_execute,
+    bench_workspace_reuse,
+    bench_execute_sharded
 );
 criterion_main!(benches);

@@ -8,11 +8,23 @@
 //! (cycles, per-phase clocks, traffic, cache stats, counters) plus the
 //! functional output matrix for all six dataflows over a spread of shapes
 //! and sparsities.
+//!
+//! `FLEXAGON_SHARD_GRAIN` / `FLEXAGON_SHARD_WORKERS` configure the
+//! intra-layer sharded engine, which is how the parallel determinism
+//! guarantee is verified end to end: with a fixed grain, dumps at worker
+//! counts 1, 2 and 4 must be byte-identical (`cmp` them).
 
-use flexagon_core::{Accelerator, Dataflow, Flexagon};
+use flexagon_core::{Accelerator, AcceleratorConfig, Dataflow, Flexagon};
 use flexagon_sparse::{gen, MajorOrder};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+
+fn env_knob(name: &str) -> Option<usize> {
+    std::env::var(name).ok().map(|v| {
+        v.parse()
+            .unwrap_or_else(|_| panic!("{name}: '{v}' is not a count"))
+    })
+}
 
 fn main() {
     // (m, k, n, density_a, density_b, seed)
@@ -23,7 +35,12 @@ fn main() {
         (64, 512, 48, 0.20, 0.15, 4),
         (8, 8, 8, 1.00, 1.00, 5),
     ];
-    let accel = Flexagon::with_defaults();
+    let mut cfg = AcceleratorConfig::table5();
+    cfg.engine = cfg.engine.sharded(
+        env_knob("FLEXAGON_SHARD_GRAIN").unwrap_or(0),
+        env_knob("FLEXAGON_SHARD_WORKERS").unwrap_or(1),
+    );
+    let accel = Flexagon::new(cfg);
     println!("[");
     let mut first = true;
     for &(m, k, n, da, db, seed) in cases {

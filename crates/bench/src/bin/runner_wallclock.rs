@@ -24,10 +24,16 @@
 //! (measurement budget, default 300) and `FLEXAGON_BENCH_JSON` (output
 //! path; relative paths resolve against the workspace root).
 
-use flexagon_bench::runner::{self, DEFAULT_SEED};
+use flexagon_bench::runner::{self, RunOptions, DEFAULT_SEED};
+use flexagon_core::EngineConfig;
 use flexagon_dnn::{DnnModel, Domain, LayerSpec};
 use std::io::Write;
 use std::time::Instant;
+
+/// Shard grain for the intra-layer-sharded configuration: the synthetic
+/// layers carry ~3.7k stationary nonzeros, so a 512-nonzero grain yields
+/// roughly seven bands per layer — enough slack for four shard workers.
+const SHARD_GRAIN_NNZ: usize = 512;
 
 /// A small fixed model: large enough that the per-layer fan-out dominates,
 /// small enough for a smoke budget.
@@ -104,37 +110,55 @@ fn main() {
     for requested in thread_counts() {
         std::env::set_var("RAYON_NUM_THREADS", requested.to_string());
         let threads = rayon::current_num_threads();
-        // Warm-up: one full pass (operand materialization, allocator,
-        // caches) at this parallelism.
-        runner::run_model(&model, DEFAULT_SEED, false);
-        let start = Instant::now();
-        let mut iters = 0u64;
-        while start.elapsed() < budget || iters == 0 {
-            let results = runner::run_model(&model, DEFAULT_SEED, false);
-            total_cycles = total_cycles.max(results.total_cycles.iter().sum());
-            iters += 1;
-        }
-        let ns_per_iter = start.elapsed().as_nanos() as f64 / iters as f64;
-        let name = "runner_wallclock/synthetic8x96";
-        println!(
-            "bench: {name:<56} {ns_per_iter:>14.1} ns/iter ({iters} iters, {threads} threads)"
-        );
-        match std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&path)
-        {
-            Ok(mut file) => {
-                let _ = writeln!(
-                    file,
-                    "{{\"name\": \"{name}\", \"ns_per_iter\": {ns_per_iter:.1}, \
-                     \"iterations\": {iters}, \"threads\": {threads}}}"
-                );
+        // Two configurations per thread count: the classic layer-parallel
+        // fan-out, and the intra-layer-sharded engine with layers run
+        // sequentially (all parallelism inside `execute`) — the path the
+        // `bench-smoke` CI job guards alongside the layer-parallel one.
+        let sharded = RunOptions {
+            engine: EngineConfig::default().sharded(SHARD_GRAIN_NNZ, requested),
+            layer_parallel: false,
+            ..RunOptions::default()
+        };
+        let configs: [(&str, Option<&RunOptions>); 2] = [
+            ("runner_wallclock/synthetic8x96", None),
+            ("runner_wallclock/sharded8x96", Some(&sharded)),
+        ];
+        for (name, opts) in configs {
+            let run = || match opts {
+                None => runner::run_model(&model, DEFAULT_SEED, false),
+                Some(o) => runner::run_model_opts(&model, DEFAULT_SEED, o, false),
+            };
+            // Warm-up: one full pass (operand materialization, allocator,
+            // caches, workspace pools) at this parallelism.
+            run();
+            let start = Instant::now();
+            let mut iters = 0u64;
+            while start.elapsed() < budget || iters == 0 {
+                let results = run();
+                total_cycles = total_cycles.max(results.total_cycles.iter().sum());
+                iters += 1;
             }
-            Err(e) => eprintln!(
-                "warning: cannot write bench results to {}: {e}",
-                path.display()
-            ),
+            let ns_per_iter = start.elapsed().as_nanos() as f64 / iters as f64;
+            println!(
+                "bench: {name:<56} {ns_per_iter:>14.1} ns/iter ({iters} iters, {threads} threads)"
+            );
+            match std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+            {
+                Ok(mut file) => {
+                    let _ = writeln!(
+                        file,
+                        "{{\"name\": \"{name}\", \"ns_per_iter\": {ns_per_iter:.1}, \
+                         \"iterations\": {iters}, \"threads\": {threads}}}"
+                    );
+                }
+                Err(e) => eprintln!(
+                    "warning: cannot write bench results to {}: {e}",
+                    path.display()
+                ),
+            }
         }
     }
     // Keep the optimizer honest about the simulation results.

@@ -1,8 +1,8 @@
 //! Layer- and model-level experiment runners.
 
 use flexagon_core::{
-    mapper, Accelerator, AcceleratorConfig, CpuMkl, Dataflow, ExecutionReport, GammaLike,
-    MappingStrategy, SigmaLike, SparchLike, Stationarity,
+    mapper, Accelerator, AcceleratorConfig, CpuMkl, Dataflow, EngineConfig, ExecutionReport,
+    GammaLike, MappingStrategy, SigmaLike, SparchLike, Stationarity,
 };
 use flexagon_dnn::{DnnModel, LayerSpec};
 use rayon::prelude::*;
@@ -108,6 +108,49 @@ impl LayerResults {
     }
 }
 
+/// Execution options for the layer/model harnesses: the mapping strategy
+/// plus where the parallelism lives.
+///
+/// The default reproduces the classic harness bit for bit: oracle mapping,
+/// the default (unsharded) engine, and layer-level rayon fan-out.
+#[derive(Debug, Clone, Copy)]
+pub struct RunOptions {
+    /// How Flexagon selects its per-layer dataflow.
+    pub strategy: MappingStrategy,
+    /// Engine template applied to every accelerator (notably the
+    /// intra-layer shard grain and worker knobs).
+    pub engine: EngineConfig,
+    /// Fan layers and systems across the rayon pool (the classic runner).
+    /// When disabled, layers and systems run sequentially and the
+    /// intra-layer shard workers own the machine — the configuration the
+    /// sharded wall-clock benchmark measures.
+    pub layer_parallel: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> Self {
+        Self {
+            strategy: MappingStrategy::Oracle,
+            engine: EngineConfig::default(),
+            layer_parallel: true,
+        }
+    }
+}
+
+/// Concurrent simulations per layer under the layer-parallel runner: the
+/// three fixed-dataflow accelerators plus the CPU baseline fan out through
+/// nested `rayon::join`s in [`run_layer_opts`].
+pub const LAYER_SIM_FANOUT: usize = 4;
+
+/// The intra-layer shard-worker budget that keeps nested parallelism from
+/// oversubscribing: with `parallel_sims` simulations already fanned across
+/// `total_threads` (layers × the per-layer system fan-out), each
+/// simulation may use at most `total_threads / parallel_sims` shard
+/// workers (at least one).
+pub fn intra_layer_worker_budget(total_threads: usize, parallel_sims: usize) -> usize {
+    (total_threads / parallel_sims.clamp(1, total_threads.max(1))).max(1)
+}
+
 /// Runs one layer on the four accelerators plus the CPU baseline, with
 /// Flexagon selecting per the oracle (the paper's configuration);
 /// equivalent to [`run_layer_with`] under [`MappingStrategy::Oracle`].
@@ -135,41 +178,66 @@ pub fn run_layer(spec: &LayerSpec, seed: u64) -> LayerResults {
 /// or if a `Fixed` strategy names an N-stationary dataflow (this harness
 /// measures the M-stationary variants).
 pub fn run_layer_with(spec: &LayerSpec, seed: u64, strategy: MappingStrategy) -> LayerResults {
+    run_layer_opts(
+        spec,
+        seed,
+        &RunOptions {
+            strategy,
+            ..RunOptions::default()
+        },
+    )
+}
+
+/// Runs one layer on the four accelerators plus the CPU baseline under the
+/// given [`RunOptions`] — see [`run_layer_with`] for the measurement
+/// semantics.
+///
+/// # Panics
+///
+/// Panics if any simulation fails or a `Fixed` strategy names an
+/// N-stationary dataflow.
+pub fn run_layer_opts(spec: &LayerSpec, seed: u64, opts: &RunOptions) -> LayerResults {
     let mats = spec.materialize(seed);
-    // The four systems are independent simulations of the same operands:
-    // fan them out across cores. Each closure is a pure function of the
-    // materialized matrices, so the parallel schedule cannot change any
-    // report bit.
-    let ((ip, op), (gu, cpu_out)) = rayon::join(
-        || {
-            rayon::join(
-                || {
-                    SigmaLike::with_defaults()
-                        .run(&mats.a, &mats.b, Dataflow::InnerProductM)
-                        .expect("inner product run")
-                },
-                || {
-                    SparchLike::with_defaults()
-                        .run(&mats.a, &mats.b, Dataflow::OuterProductM)
-                        .expect("outer product run")
-                },
-            )
-        },
-        || {
-            rayon::join(
-                || {
-                    GammaLike::with_defaults()
-                        .run(&mats.a, &mats.b, Dataflow::GustavsonM)
-                        .expect("gustavson run")
-                },
-                || {
-                    CpuMkl::with_defaults()
-                        .run(&mats.a, &mats.b)
-                        .expect("cpu run")
-                },
-            )
-        },
-    );
+    let base_cfg = {
+        let mut cfg = AcceleratorConfig::table5();
+        cfg.engine = opts.engine;
+        cfg
+    };
+    let sim_ip = || {
+        SigmaLike::new(base_cfg)
+            .run(&mats.a, &mats.b, Dataflow::InnerProductM)
+            .expect("inner product run")
+    };
+    let sim_op = || {
+        SparchLike::new(base_cfg)
+            .run(&mats.a, &mats.b, Dataflow::OuterProductM)
+            .expect("outer product run")
+    };
+    let sim_gu = || {
+        GammaLike::new(base_cfg)
+            .run(&mats.a, &mats.b, Dataflow::GustavsonM)
+            .expect("gustavson run")
+    };
+    let sim_cpu = || {
+        CpuMkl::with_defaults()
+            .run(&mats.a, &mats.b)
+            .expect("cpu run")
+    };
+    // The four systems are independent simulations of the same operands.
+    // Under layer-level parallelism they fan out across cores; each closure
+    // is a pure function of the materialized matrices, so the parallel
+    // schedule cannot change any report bit. When the intra-layer shard
+    // workers own the machine instead, the systems run sequentially so the
+    // two levels of parallelism never multiply.
+    let (ip, op, gu, cpu_out) = if opts.layer_parallel {
+        let ((ip, op), (gu, cpu_out)) = rayon::join(
+            || rayon::join(sim_ip, sim_op),
+            || rayon::join(sim_gu, sim_cpu),
+        );
+        (ip, op, gu, cpu_out)
+    } else {
+        (sim_ip(), sim_op(), sim_gu(), sim_cpu())
+    };
     let mut results = LayerResults {
         spec: spec.clone(),
         inner_product: ip.report,
@@ -180,11 +248,9 @@ pub fn run_layer_with(spec: &LayerSpec, seed: u64, strategy: MappingStrategy) ->
         // three reports it is selecting over).
         flexagon_dataflow: Dataflow::InnerProductM,
     };
-    results.flexagon_dataflow = match strategy {
+    results.flexagon_dataflow = match opts.strategy {
         MappingStrategy::Oracle => results.best_dataflow(),
-        MappingStrategy::Heuristic => {
-            mapper::heuristic(&AcceleratorConfig::table5(), &mats.a, &mats.b)
-        }
+        MappingStrategy::Heuristic => mapper::heuristic(&base_cfg, &mats.a, &mats.b),
         MappingStrategy::Fixed(df) => {
             assert_eq!(
                 df.stationarity(),
@@ -247,16 +313,65 @@ pub fn run_model_with(
     strategy: MappingStrategy,
     verbose: bool,
 ) -> ModelResults {
+    run_model_opts(
+        model,
+        seed,
+        &RunOptions {
+            strategy,
+            ..RunOptions::default()
+        },
+        verbose,
+    )
+}
+
+/// Runs every layer of a model under the given [`RunOptions`] and
+/// aggregates per-system totals.
+///
+/// Nested-parallelism budget: when layers fan out across the rayon pool,
+/// the intra-layer shard workers are clamped to
+/// [`intra_layer_worker_budget`] so the two levels never multiply into
+/// oversubscription. When `layer_parallel` is off, layers run sequentially
+/// and the configured shard workers own the machine.
+///
+/// `verbose` prints one progress line per layer to stderr.
+pub fn run_model_opts(
+    model: &DnnModel,
+    seed: u64,
+    opts: &RunOptions,
+    verbose: bool,
+) -> ModelResults {
+    let mut opts = *opts;
+    if opts.layer_parallel {
+        let threads = rayon::current_num_threads();
+        // Each concurrently-running layer itself fans out LAYER_SIM_FANOUT
+        // simulations, so the divisor is the full simulation concurrency —
+        // not just the layer count.
+        let parallel_sims = model.layers.len().max(1).saturating_mul(LAYER_SIM_FANOUT);
+        opts.engine.shard_workers = opts
+            .engine
+            .shard_workers
+            .min(intra_layer_worker_budget(threads, parallel_sims));
+    }
     // Layers are independent given the fixed seed (each materializes its own
     // deterministic operands from `spec` + `seed`), so the whole model fans
     // out across cores; results come back in layer order, and totals are
     // accumulated sequentially so the aggregation order — and therefore
-    // every output byte — matches the sequential runner's.
-    let layers: Vec<LayerResults> = model
-        .layers
-        .par_iter()
-        .map(|spec| run_layer_with(spec, seed, strategy))
-        .collect();
+    // every output byte — matches the sequential runner's. (Sharded engines
+    // are themselves schedule-independent, so the clamp above affects wall
+    // clock only, never a report bit.)
+    let layers: Vec<LayerResults> = if opts.layer_parallel {
+        model
+            .layers
+            .par_iter()
+            .map(|spec| run_layer_opts(spec, seed, &opts))
+            .collect()
+    } else {
+        model
+            .layers
+            .iter()
+            .map(|spec| run_layer_opts(spec, seed, &opts))
+            .collect()
+    };
     let mut totals = [0u64; 5];
     let mut winners = Vec::with_capacity(model.layers.len());
     for (spec, layer) in model.layers.iter().zip(&layers) {
@@ -337,6 +452,54 @@ mod tests {
     fn fixed_strategy_rejects_n_stationary() {
         let spec = LayerSpec::new(0, "t", 8, 8, 8, 50.0, 50.0);
         run_layer_with(&spec, 1, MappingStrategy::Fixed(Dataflow::GustavsonN));
+    }
+
+    #[test]
+    fn worker_budget_divides_threads() {
+        assert_eq!(intra_layer_worker_budget(8, 4), 2);
+        assert_eq!(intra_layer_worker_budget(4, 8), 1);
+        assert_eq!(intra_layer_worker_budget(1, 1), 1);
+        assert_eq!(intra_layer_worker_budget(8, 0), 8);
+        assert_eq!(intra_layer_worker_budget(0, 3), 1);
+        assert_eq!(intra_layer_worker_budget(6, 2), 3);
+    }
+
+    #[test]
+    fn sharded_model_run_is_schedule_independent() {
+        // The same sharded engine must produce identical totals whether the
+        // parallelism lives at the layer level or inside the layers.
+        let model = DnnModel {
+            name: "Tiny",
+            short: "T",
+            domain: flexagon_dnn::Domain::ComputerVision,
+            layers: vec![
+                LayerSpec::new(0, "l0", 24, 24, 24, 55.0, 55.0),
+                LayerSpec::new(1, "l1", 24, 24, 24, 60.0, 50.0),
+            ],
+        };
+        let engine = flexagon_core::EngineConfig::default().sharded(48, 3);
+        let base = RunOptions {
+            engine,
+            layer_parallel: false,
+            ..RunOptions::default()
+        };
+        let layered = RunOptions {
+            layer_parallel: true,
+            ..base
+        };
+        let a = run_model_opts(&model, 1, &base, false);
+        let b = run_model_opts(&model, 1, &layered, false);
+        assert_eq!(a.total_cycles, b.total_cycles);
+        assert_eq!(a.winners, b.winners);
+    }
+
+    #[test]
+    fn default_options_match_classic_runner() {
+        let spec = LayerSpec::new(0, "t", 24, 24, 24, 50.0, 50.0);
+        let classic = run_layer_with(&spec, 1, MappingStrategy::Oracle);
+        let opts = run_layer_opts(&spec, 1, &RunOptions::default());
+        assert_eq!(classic.gustavson.total_cycles, opts.gustavson.total_cycles);
+        assert_eq!(classic.flexagon_dataflow, opts.flexagon_dataflow);
     }
 
     #[test]

@@ -8,7 +8,7 @@
 
 use crate::{
     engine, mapper, AcceleratorConfig, CoreError, Dataflow, ExecutionReport, MappingStrategy,
-    Result,
+    Result, WorkspacePool,
 };
 use flexagon_sparse::CompressedMatrix;
 
@@ -32,6 +32,13 @@ pub trait Accelerator {
 
     /// The dataflows this accelerator can execute.
     fn supported_dataflows(&self) -> &[Dataflow];
+
+    /// The accelerator's reusable execution-workspace pool, if it keeps
+    /// one. Pooled workspaces eliminate per-execute scratch allocation;
+    /// they never affect results.
+    fn workspaces(&self) -> Option<&WorkspacePool> {
+        None
+    }
 
     /// Runs `a x b` under `dataflow`.
     ///
@@ -57,7 +64,7 @@ pub trait Accelerator {
                 dataflow,
             });
         }
-        let (c, report) = engine::execute(self.config(), a, b, dataflow)?;
+        let (c, report) = engine::execute(self.config(), self.workspaces(), a, b, dataflow)?;
         Ok(RunOutput { c, report })
     }
 
@@ -130,6 +137,9 @@ macro_rules! fixed_accelerator {
         #[derive(Debug, Clone)]
         pub struct $name {
             cfg: AcceleratorConfig,
+            /// Reusable execution workspaces (cloning yields a fresh pool —
+            /// pooled scratch is a pure cache).
+            workspaces: WorkspacePool,
         }
 
         impl $name {
@@ -137,7 +147,10 @@ macro_rules! fixed_accelerator {
             /// memory hierarchy is adjusted to this design's sizing.
             pub fn new(mut cfg: AcceleratorConfig) -> Self {
                 cfg.memory = $memory(cfg.memory);
-                Self { cfg }
+                Self {
+                    cfg,
+                    workspaces: WorkspacePool::new(),
+                }
             }
 
             /// Creates the accelerator with the paper's Table 5 parameters.
@@ -157,6 +170,10 @@ macro_rules! fixed_accelerator {
 
             fn supported_dataflows(&self) -> &[Dataflow] {
                 &$dataflows
+            }
+
+            fn workspaces(&self) -> Option<&WorkspacePool> {
+                Some(&self.workspaces)
             }
         }
 

@@ -11,9 +11,10 @@ use serde::{Deserialize, Serialize};
 ///
 /// These do not model hardware — the cycle and traffic accounting is
 /// identical whichever path runs — they pick the cheapest *software*
-/// strategy for the operand shape at hand. They were hand-tuned on one
-/// machine class; ROADMAP item (b) tracks re-deriving them from measured
-/// probe/scan costs, which these fields make possible without code edits.
+/// strategy for the operand shape at hand. The probe and accumulator
+/// gates are derived from the `threshold_probe` benchmark group's
+/// measured crossovers (see the named defaults below for the method);
+/// re-run that group on a new machine class to re-derive them.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct EngineConfig {
     /// Inner-Product streaming loop: probe a fiber's index with the tile's
@@ -26,6 +27,20 @@ pub struct EngineConfig {
     /// Inner-Product dispatch: upper bound, in elements, on the dense
     /// `clusters x N` accumulator grid the k-indexed path may allocate.
     pub indexed_max_acc_elements: usize,
+    /// Intra-layer shard grain: target stationary-operand nonzeros per
+    /// output-row band. `0` disables sharding (one band spanning every
+    /// output row — the classic sequential execution).
+    ///
+    /// The band partition is derived *only* from the operand structure and
+    /// this grain — never from the worker count — which is what makes
+    /// execution reports byte-identical at any [`EngineConfig::shard_workers`]
+    /// setting: workers only schedule a fixed, deterministic decomposition.
+    pub shard_grain_nnz: usize,
+    /// Maximum worker threads executing a layer's bands concurrently.
+    /// `1` runs the bands sequentially (still banded accounting when
+    /// [`EngineConfig::shard_grain_nnz`] is set). Values above the core
+    /// count oversubscribe, like rayon's global pool.
+    pub shard_workers: usize,
     /// Tier cutoffs for the Outer-Product/Gustavson psum accumulators.
     pub accum: AccumConfig,
     /// Fitted corrections for the heuristic mapper's closed-form cost
@@ -37,12 +52,35 @@ pub struct EngineConfig {
 
 impl EngineConfig {
     /// Default for [`EngineConfig::probe_gate_factor`].
-    pub const DEFAULT_PROBE_GATE_FACTOR: usize = 4;
+    ///
+    /// Derived from `threshold_probe/{scan,probe}`: a mask-scan of a
+    /// 4096-element fiber is flat (~3.6 µs) while probing with a
+    /// stationary list `R` times shorter scales down with `R` (6.1 µs at
+    /// R=1, 3.0 µs at R=2, 1.5 µs at R=4) — the crossover sits between
+    /// R=1 and R=2, so the gate probes from a 2:1 length ratio on. (The
+    /// previous hand-tuned value of 4 left the 2–4x band on the slower
+    /// scan path.)
+    pub const DEFAULT_PROBE_GATE_FACTOR: usize = 2;
     /// Default for [`EngineConfig::indexed_min_k_ratio`].
     pub const DEFAULT_INDEXED_MIN_K_RATIO: usize = 2;
     /// Default for [`EngineConfig::indexed_max_acc_elements`] (8M elements,
     /// a 32 MiB `f32` grid).
     pub const DEFAULT_INDEXED_MAX_ACC_ELEMENTS: usize = 1 << 23;
+    /// Default for [`EngineConfig::shard_grain_nnz`]: sharding disabled, so
+    /// default-configured runs reproduce the unsharded accounting (and the
+    /// recorded goldens) bit for bit.
+    pub const DEFAULT_SHARD_GRAIN_NNZ: usize = 0;
+    /// Default for [`EngineConfig::shard_workers`].
+    pub const DEFAULT_SHARD_WORKERS: usize = 1;
+
+    /// A sharded configuration: bands of roughly `grain_nnz` stationary
+    /// nonzeros executed by up to `workers` threads.
+    #[must_use]
+    pub fn sharded(mut self, grain_nnz: usize, workers: usize) -> Self {
+        self.shard_grain_nnz = grain_nnz;
+        self.shard_workers = workers.max(1);
+        self
+    }
 }
 
 impl Default for EngineConfig {
@@ -51,6 +89,8 @@ impl Default for EngineConfig {
             probe_gate_factor: Self::DEFAULT_PROBE_GATE_FACTOR,
             indexed_min_k_ratio: Self::DEFAULT_INDEXED_MIN_K_RATIO,
             indexed_max_acc_elements: Self::DEFAULT_INDEXED_MAX_ACC_ELEMENTS,
+            shard_grain_nnz: Self::DEFAULT_SHARD_GRAIN_NNZ,
+            shard_workers: Self::DEFAULT_SHARD_WORKERS,
             accum: AccumConfig::default(),
             mapper: MapperCalibration::calibrated(),
         }

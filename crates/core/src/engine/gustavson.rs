@@ -13,31 +13,38 @@
 //! The in-cluster merge is where the software time went: instead of
 //! copying each B row into a scaled scratch fiber and replaying the
 //! comparator tree, the cluster's psums scatter straight into a tiered
-//! [`RowAccum`] in stationary order (the merge tree's tie-break order), and
-//! the MRN charges the identical pass model against the drained length.
-//! Split rows collect their per-chunk fibers in a sorted-run accumulator
-//! across tiles while ghost PSRAM chains model the chunk buffering; rows
-//! split into more chunks than one tree pass could merge (beyond the MRN
-//! radix) keep the fully materialized legacy path, so multi-pass merge
-//! accounting stays exact.
+//! [`RowAccum`](flexagon_sparse::RowAccum) in stationary order (the merge
+//! tree's tie-break order), and the MRN charges the identical pass model
+//! against the drained length. Split rows collect their per-chunk fibers
+//! in sorted-run accumulators checked out of the workspace pool across
+//! tiles while ghost PSRAM chains model the chunk buffering; rows split
+//! into more chunks than one tree pass could merge (beyond the MRN radix)
+//! keep the fully materialized legacy path, so multi-pass merge accounting
+//! stays exact.
 
+use super::workspace::EngineWorkspace;
 use super::{tiling, Engine};
 use flexagon_sim::{bottleneck, Phase};
 use flexagon_sparse::{Fiber, FiberView, RowAccum};
 
-pub(super) fn run(e: &mut Engine<'_>) {
-    let tiles = tiling::tile_rows(e.a, e.cfg.multipliers);
+pub(super) fn run(e: &mut Engine<'_>, ws: &mut EngineWorkspace) {
+    let band_rows = (e.band.end - e.band.start) as usize;
+    let base = e.band.start;
+    ws.reset_band_rows(band_rows);
+    let EngineWorkspace {
+        row_plan,
+        pool,
+        free,
+        accum_of,
+        cluster_acc,
+        ..
+    } = ws;
+    tiling::plan_rows(e.a, e.cfg.multipliers, e.band.clone(), row_plan);
     let (a, b) = (e.a, e.b);
     let radix = e.mrn.max_radix() as u32;
-    let rows = a.rows() as usize;
 
-    // One reusable accumulator for the cluster in flight, plus per-row
-    // sorted-run collectors holding split rows' chunk fibers across tiles.
-    let mut cluster_acc = RowAccum::new();
-    let mut split: Vec<Option<RowAccum>> = vec![None; rows];
-
-    for tile in &tiles {
-        e.stationary_phase(tile.slots_used());
+    for tile in row_plan.tiles() {
+        e.stationary_phase(tiling::slots_used(tile));
 
         let mut delivered = 0u64;
         let mut products = 0u64;
@@ -47,7 +54,7 @@ pub(super) fn run(e: &mut Engine<'_>) {
         // path (true) or the materialized legacy path (false).
         let mut rows_completed: Vec<(u32, bool)> = Vec::new();
 
-        for cl in &tile.clusters {
+        for cl in tile {
             let chunk = a.fiber(cl.row).slice(cl.start, cl.len);
             if cl.chunks_total <= radix {
                 // Accumulator path. First pass: cache reads (same access
@@ -95,12 +102,16 @@ pub(super) fn run(e: &mut Engine<'_>) {
                     e.psram
                         .ghost_write(cl.row, cl.chunk, out.len(), &mut e.dram);
                     if !out.is_empty() {
-                        let acc = split[cl.row as usize].get_or_insert_with(|| {
-                            let mut acc = RowAccum::new();
-                            acc.begin_runs(&e.cfg.engine.accum);
-                            acc
-                        });
-                        acc.push_run(out);
+                        let r = (cl.row - base) as usize;
+                        if accum_of[r] == u32::MAX {
+                            let idx = free.pop().unwrap_or_else(|| {
+                                pool.push(RowAccum::new());
+                                (pool.len() - 1) as u32
+                            });
+                            pool[idx as usize].begin_runs(&e.cfg.engine.accum);
+                            accum_of[r] = idx;
+                        }
+                        pool[accum_of[r] as usize].push_run(out);
                     }
                     if cl.is_last_chunk() {
                         rows_completed.push((cl.row, true));
@@ -185,10 +196,15 @@ pub(super) fn run(e: &mut Engine<'_>) {
                             nonempty += 1;
                         }
                     }
-                    let fiber = split[row as usize]
-                        .take()
-                        .map(|mut acc| acc.drain())
-                        .unwrap_or_default();
+                    let r = (row - base) as usize;
+                    let fiber = match accum_of[r] {
+                        u32::MAX => Fiber::default(),
+                        idx => {
+                            accum_of[r] = u32::MAX;
+                            free.push(idx);
+                            pool[idx as usize].drain()
+                        }
+                    };
                     let cycles = e.charge_row_merge(nonempty, inputs, fiber.len() as u64);
                     (fiber, cycles)
                 } else {
@@ -206,7 +222,7 @@ pub(super) fn run(e: &mut Engine<'_>) {
         "all chunk fibers must be merged when their row completes"
     );
     debug_assert!(
-        split.iter().all(Option::is_none),
+        accum_of.iter().all(|&idx| idx == u32::MAX),
         "every split row must drain at its last chunk"
     );
 }

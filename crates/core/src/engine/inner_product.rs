@@ -23,38 +23,68 @@
 //!   `O(Σ_{k∈tile} nnz(B_row_k))` per tile instead of `O(nnz(B))`.
 //! * `run_streaming` keeps the scan shape but lets each fiber pick its
 //!   short side: scan the fiber against the tile's bit mask, or probe the
-//!   fiber's tiered [`MatrixIndex`] with the tile's sorted stationary
-//!   coordinates through a skip-ahead [`Prober`](flexagon_sparse::Prober).
+//!   fiber's tiered [`MatrixIndex`](flexagon_sparse::MatrixIndex) with the
+//!   tile's sorted stationary coordinates through a skip-ahead
+//!   [`Prober`](flexagon_sparse::Prober).
+//!
+//! The strategy choice and its precomputation (`B` re-majored by k, or the
+//! tiered index) are hoisted to the execution level ([`super::IpShared`])
+//! so every band of a sharded run shares one copy.
 //!
 //! Every path visits the matches of a given (cluster, streaming fiber) pair
 //! in ascending k, so each accumulator register receives its additions in
 //! the exact order of the original scan and execution reports stay
-//! bit-identical across strategies.
+//! bit-identical across strategies. All scratch state lives in the
+//! [`EngineWorkspace`], so a steady-state execution allocates nothing.
 
-use super::{tiling, Engine};
+use super::workspace::EngineWorkspace;
+use super::{tiling, Engine, IpShared};
 use flexagon_sim::{bottleneck, Phase};
-use flexagon_sparse::{Element, Fiber, MajorOrder, MatrixIndex, MatrixView, Value};
+use flexagon_sparse::{CompressedMatrix, Element, Fiber, MatrixIndex, MatrixView, Value};
 use std::collections::HashMap;
 
 /// Cross-tile accumulators for rows split into multiple chunks.
 type SplitAcc = HashMap<u32, HashMap<u32, Value>>;
 
-pub(super) fn run(e: &mut Engine<'_>) {
-    let tiles = tiling::tile_rows(e.a, e.cfg.multipliers);
+pub(super) fn run(e: &mut Engine<'_>, ws: &mut EngineWorkspace, shared: &IpShared) {
     let k_dim = e.a.cols() as usize;
     let n_dim = e.b.major_dim() as usize;
-    let slots = e.cfg.multipliers as usize;
-    let mut split_acc: SplitAcc = HashMap::new();
-    // Dispatch thresholds live on `EngineConfig` (ROADMAP item (b)): the
-    // k-indexed path wins when K dwarfs the array and its dense
-    // `clusters x N` accumulator grid stays affordable.
-    let indexed = k_dim >= e.cfg.engine.indexed_min_k_ratio * slots
-        && slots.saturating_mul(n_dim) <= e.cfg.engine.indexed_max_acc_elements
-        && e.b.nnz() > 0;
-    if indexed {
-        run_indexed(e, &tiles, &mut split_acc);
-    } else {
-        run_streaming(e, &tiles, &mut split_acc);
+    ws.reset_k(k_dim);
+    if matches!(shared, IpShared::Indexed(_)) {
+        ws.reset_grid(e.cfg.multipliers as usize, n_dim);
+    }
+    let EngineWorkspace {
+        row_plan,
+        k_entries,
+        k_mask,
+        touched_k,
+        grid_acc,
+        grid_hit,
+        injected_n,
+        delivered_n,
+        cl_acc,
+        cl_hit,
+        hit_list,
+        split_acc,
+        ..
+    } = ws;
+    tiling::plan_rows(e.a, e.cfg.multipliers, e.band.clone(), row_plan);
+    match shared {
+        IpShared::Indexed(b_by_k) => run_indexed(
+            e,
+            row_plan,
+            b_by_k,
+            k_entries,
+            touched_k,
+            grid_acc,
+            grid_hit,
+            injected_n,
+            delivered_n,
+            split_acc,
+        ),
+        IpShared::Streaming(b_index) => run_streaming(
+            e, row_plan, b_index, k_entries, k_mask, touched_k, cl_acc, cl_hit, hit_list, split_acc,
+        ),
     }
 
     // Assemble rows that accumulated across tiles. Their elements were held
@@ -70,7 +100,8 @@ pub(super) fn run(e: &mut Engine<'_>) {
             .collect();
         split_elems += fiber.len() as u64;
         e.wbuf.write(fiber.len() as u64, &mut e.dram);
-        e.out_fibers[row as usize] = fiber;
+        let idx = e.band_idx(row);
+        e.out_fibers[idx] = fiber;
     }
     if split_elems > 0 {
         e.counters.add("ip.split_row_elements", split_elems);
@@ -86,12 +117,12 @@ pub(super) fn run(e: &mut Engine<'_>) {
 /// bit-identical across paths.
 fn index_tile(
     a: MatrixView<'_>,
-    tile: &tiling::RowTile,
+    tile: &[tiling::Cluster],
     k_entries: &mut [Vec<(u32, Value)>],
     touched_k: &mut Vec<u32>,
 ) {
     touched_k.clear();
-    for (ci, cl) in tile.clusters.iter().enumerate() {
+    for (ci, cl) in tile.iter().enumerate() {
         for el in cl.chunk_of(a).iter() {
             let slot = &mut k_entries[el.coord as usize];
             if slot.is_empty() {
@@ -116,7 +147,8 @@ fn emit_dot(
     split_acc: &mut SplitAcc,
 ) {
     if cl.is_whole_row() {
-        e.out_fibers[cl.row as usize].push(Element::new(n, value));
+        let idx = e.band_idx(cl.row);
+        e.out_fibers[idx].push(Element::new(n, value));
         *final_elems += 1;
     } else {
         *split_acc.entry(cl.row).or_default().entry(n).or_insert(0.0) += value;
@@ -125,34 +157,30 @@ fn emit_dot(
 
 /// The k-indexed tile loop: probe B through its row index, touching only the
 /// rows the tile holds stationary.
-fn run_indexed(e: &mut Engine<'_>, tiles: &[tiling::RowTile], split_acc: &mut SplitAcc) {
+#[allow(clippy::too_many_arguments)]
+fn run_indexed(
+    e: &mut Engine<'_>,
+    plan: &tiling::RowPlan,
+    b_by_k: &CompressedMatrix,
+    k_entries: &mut [Vec<(u32, Value)>],
+    touched_k: &mut Vec<u32>,
+    acc: &mut [Value],
+    hit: &mut [u64],
+    injected_n: &mut [u32],
+    delivered_n: &mut [u64],
+    split_acc: &mut SplitAcc,
+) {
     let (a, b) = (e.a, e.b);
-    let k_dim = a.cols() as usize;
     let n_dim = b.major_dim() as usize;
-    let slots = e.cfg.multipliers as usize;
-    // The coordinate index over the streaming operand: B's elements grouped
-    // by k. A CSC fiber scan visits each k in ascending order; so does a walk
-    // of ascending `touched_k` here, which is what keeps sums bit-identical.
-    let b_by_k = b.converted(MajorOrder::Row);
-    // Reusable k -> [(cluster, stationary value)] index for the current tile.
-    let mut k_entries: Vec<Vec<(u32, Value)>> = vec![Vec::new(); k_dim];
-    let mut touched_k: Vec<u32> = Vec::new();
-    // Dense per-(cluster, n) accumulator grid and hit bits, kept clean
-    // between tiles by the emission sweep.
-    let mut acc: Vec<Value> = vec![0.0; slots * n_dim];
     let n_words = n_dim.div_ceil(64);
-    let mut hit: Vec<u64> = vec![0; slots * n_words];
-    // Per-column probe tallies for the cycle/traffic accounting sweep.
-    let mut injected_n: Vec<u32> = vec![0; n_dim];
-    let mut delivered_n: Vec<u64> = vec![0; n_dim];
 
-    for tile in tiles {
-        e.stationary_phase(tile.slots_used());
+    for tile in plan.tiles() {
+        e.stationary_phase(tiling::slots_used(tile));
 
-        index_tile(a, tile, &mut k_entries, &mut touched_k);
+        index_tile(a, tile, k_entries, touched_k);
 
         // Intersection phase: only the stationary ks' rows of B are read.
-        for &k in &touched_k {
+        for &k in touched_k.iter() {
             let row = b_by_k.fiber(k);
             let entries = &k_entries[k as usize];
             for (&n, &bval) in row.coords().iter().zip(row.values()) {
@@ -192,7 +220,7 @@ fn run_indexed(e: &mut Engine<'_>, tiles: &[tiling::RowTile], split_acc: &mut Sp
             streaming += bottleneck(&[e.dn_cycles(len), mult]);
             if injected > 0 {
                 let (word, bit) = (n >> 6, 1u64 << (n & 63));
-                for (ci, cl) in tile.clusters.iter().enumerate() {
+                for (ci, cl) in tile.iter().enumerate() {
                     let w = &mut hit[ci * n_words + word];
                     if *w & bit == 0 {
                         continue;
@@ -210,7 +238,7 @@ fn run_indexed(e: &mut Engine<'_>, tiles: &[tiling::RowTile], split_acc: &mut Sp
         e.wbuf.write(final_elems, &mut e.dram);
         e.advance_with_dram(Phase::Streaming, streaming);
 
-        for &k in &touched_k {
+        for &k in touched_k.iter() {
             k_entries[k as usize].clear();
         }
     }
@@ -218,25 +246,28 @@ fn run_indexed(e: &mut Engine<'_>, tiles: &[tiling::RowTile], split_acc: &mut Sp
 
 /// The streaming tile loop: every fiber of B flows past each tile, and each
 /// fiber is intersected from its cheaper side.
-fn run_streaming(e: &mut Engine<'_>, tiles: &[tiling::RowTile], split_acc: &mut SplitAcc) {
+#[allow(clippy::too_many_arguments)]
+fn run_streaming(
+    e: &mut Engine<'_>,
+    plan: &tiling::RowPlan,
+    b_index: &MatrixIndex,
+    k_entries: &mut [Vec<(u32, Value)>],
+    k_mask: &mut [u64],
+    touched_k: &mut Vec<u32>,
+    acc: &mut Vec<Value>,
+    hit: &mut Vec<bool>,
+    hit_list: &mut Vec<u32>,
+    split_acc: &mut SplitAcc,
+) {
     let (a, b) = (e.a, e.b);
-    let k_dim = a.cols() as usize;
     let probe_gate_factor = e.cfg.engine.probe_gate_factor;
-    // Tiered per-fiber index over the streaming operand, built once and
-    // probed by every tile whose stationary list is the short side.
-    let b_index = MatrixIndex::build(b);
-    // Reusable k -> [(cluster, stationary value)] index for the current tile.
-    let mut k_entries: Vec<Vec<(u32, Value)>> = vec![Vec::new(); k_dim];
-    // One-bit-per-k membership mask for fiber-side scans.
-    let mut k_mask: Vec<u64> = vec![0; k_dim.div_ceil(64)];
-    let mut touched_k: Vec<u32> = Vec::new();
 
-    for tile in tiles {
-        e.stationary_phase(tile.slots_used());
+    for tile in plan.tiles() {
+        e.stationary_phase(tiling::slots_used(tile));
 
         // Index this tile's stationary coordinates and set the scan mask.
-        index_tile(a, tile, &mut k_entries, &mut touched_k);
-        for &k in &touched_k {
+        index_tile(a, tile, k_entries, touched_k);
+        for &k in touched_k.iter() {
             k_mask[(k >> 6) as usize] |= 1u64 << (k & 63);
         }
         let (tile_lo, tile_hi) = match (touched_k.first(), touched_k.last()) {
@@ -246,9 +277,10 @@ fn run_streaming(e: &mut Engine<'_>, tiles: &[tiling::RowTile], split_acc: &mut 
 
         // Streaming phase: the whole of B flows past this tile once.
         let mut streaming = 0u64;
-        let mut acc: Vec<Value> = vec![0.0; tile.clusters.len()];
-        let mut hit: Vec<bool> = vec![false; tile.clusters.len()];
-        let mut hit_list: Vec<u32> = Vec::new();
+        acc.clear();
+        acc.resize(tile.len(), 0.0);
+        hit.clear();
+        hit.resize(tile.len(), false);
         let mut injected_tile = 0u64;
         let mut delivered_tile = 0u64;
         let mut final_elems = 0u64;
@@ -273,7 +305,7 @@ fn run_streaming(e: &mut Engine<'_>, tiles: &[tiling::RowTile], split_acc: &mut 
                 // The tile's stationary list is much the shorter side: probe
                 // the fiber's index with it instead of re-scanning the fiber.
                 let mut prober = b_index.fiber(n).prober(fiber);
-                for &c in &touched_k {
+                for &c in touched_k.iter() {
                     let Some((_, bval)) = prober.probe(c) else {
                         continue;
                     };
@@ -316,8 +348,8 @@ fn run_streaming(e: &mut Engine<'_>, tiles: &[tiling::RowTile], split_acc: &mut 
             // multipliers and the reduction tree run concurrently.
             streaming += bottleneck(&[e.dn_cycles(len), mult]);
             // Emit completed dot products for this column.
-            for &ci in &hit_list {
-                let cl = &tile.clusters[ci as usize];
+            for &ci in hit_list.iter() {
+                let cl = &tile[ci as usize];
                 let value = acc[ci as usize];
                 emit_dot(e, cl, n, value, &mut final_elems, split_acc);
                 acc[ci as usize] = 0.0;
@@ -330,7 +362,7 @@ fn run_streaming(e: &mut Engine<'_>, tiles: &[tiling::RowTile], split_acc: &mut 
         e.wbuf.write(final_elems, &mut e.dram);
         e.advance_with_dram(Phase::Streaming, streaming);
 
-        for &k in &touched_k {
+        for &k in touched_k.iter() {
             k_entries[k as usize].clear();
             k_mask[(k >> 6) as usize] = 0;
         }

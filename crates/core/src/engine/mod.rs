@@ -12,29 +12,72 @@
 //! N-stationary duality is a zero-copy relabeling. Only an explicit format
 //! conversion (the "EC" cost of Table 4) materializes a new matrix, and it
 //! lives on `execute`'s stack just long enough to be viewed.
+//!
+//! # Sharded execution
+//!
+//! When [`EngineConfig::shard_grain_nnz`] is set, the layer is decomposed
+//! into *bands* of output rows (the stationary dimension after the
+//! M-stationary orientation): Inner-Product and Gustavson bands re-tile
+//! their row range, Outer-Product bands tile the row-filtered stationary
+//! elements. Each band is a complete, independent sub-execution — its own
+//! tile plan, STR cache, PSRAM, DRAM channel and networks — producing its
+//! rows of the output plus a [`BandOutcome`] of totals, and the outcomes
+//! reduce additively in band order into the final report.
+//!
+//! Determinism is by construction, not by luck: the band partition is a
+//! pure function of the operand structure and the configured grain, each
+//! band's execution is a pure function of `(operands, config, band)`, and
+//! the reduction runs in fixed band order. The worker count
+//! ([`EngineConfig::shard_workers`]) only schedules bands onto threads, so
+//! reports and output matrices are byte-identical at *any* worker count.
+//! With the grain at its default of `0` there is a single band spanning
+//! every row and the engine is the classic sequential one, bit for bit.
 
 mod gustavson;
 mod inner_product;
 mod outer_product;
 pub(crate) mod tiling;
+pub(crate) mod workspace;
 
 use crate::{
     AcceleratorConfig, CoreError, Dataflow, DataflowClass, ExecutionReport, Result, Stationarity,
     TrafficReport,
 };
-use flexagon_mem::{Dram, Psram, StaFifo, StrCache, WriteBuffer};
+use flexagon_mem::{Dram, Psram, PsramUsage, StaFifo, StrCache, WriteBuffer};
 use flexagon_noc::{
     DistributionNetwork, DnConfig, MergerReductionNetwork, MnConfig, MrnConfig, MultiplierNetwork,
 };
-use flexagon_sim::{bottleneck, cycles_for, Bandwidth, CounterSet, Cycle, Phase, PhaseClock};
-use flexagon_sparse::{
-    stats::SpGemmWork, CompressedMatrix, Fiber, FormatError, MajorOrder, MatrixView, RowAccum,
+use flexagon_sim::{
+    bottleneck, cycles_for, Bandwidth, CounterSet, Cycle, Phase, PhaseClock, Ratio,
 };
+use flexagon_sparse::{
+    stats::SpGemmWork, CompressedMatrix, Fiber, FormatError, MajorOrder, MatrixIndex, MatrixView,
+    RowAccum, Value,
+};
+use rayon::prelude::*;
+use std::ops::Range;
+use workspace::{EngineWorkspace, WorkspaceGuard, WorkspacePool};
+
+/// Precomputed per-execution state shared read-only by every band of an
+/// Inner-Product run: the streaming operand's k-major copy (k-indexed tile
+/// loop) or its tiered coordinate index (streaming scan). Computed once at
+/// the execution level — the dispatch gate depends only on global shape,
+/// so every band takes the same path.
+enum IpShared {
+    /// `B` converted to k-major rows for the k-indexed tile loop.
+    Indexed(CompressedMatrix),
+    /// Tiered per-fiber index over `B` for the probing streaming scan.
+    Streaming(MatrixIndex),
+}
 
 /// Runs `a x b` under `dataflow` on the given configuration, returning the
 /// output matrix (in the dataflow's natural format) and the report.
+///
+/// `pool` supplies reusable execution workspaces; `None` falls back to a
+/// throwaway workspace per band.
 pub(crate) fn execute(
     cfg: &AcceleratorConfig,
+    pool: Option<&WorkspacePool>,
     a: &CompressedMatrix,
     b: &CompressedMatrix,
     dataflow: Dataflow,
@@ -77,13 +120,60 @@ pub(crate) fn execute(
         ),
     };
     let work = SpGemmWork::of_views(a_eff, b_eff);
-    let mut engine = Engine::new(cfg, a_eff, b_eff);
-    match dataflow.class() {
-        DataflowClass::InnerProduct => inner_product::run(&mut engine),
-        DataflowClass::OuterProduct => outer_product::run(&mut engine),
-        DataflowClass::Gustavson => gustavson::run(&mut engine),
-    }
-    let (c_m, report) = engine.finish(dataflow, work, explicit_conversions)?;
+    let class = dataflow.class();
+    let bands = shard_bands(a_eff, cfg.engine.shard_grain_nnz);
+    let shared = match class {
+        DataflowClass::InnerProduct => Some(ip_shared(cfg, a_eff, b_eff)),
+        _ => None,
+    };
+    // Multi-band Outer-Product planning: one bucketing pass hands every
+    // band its elements in walk order, keeping total planning linear in
+    // nnz(A) instead of O(bands x nnz(A)) full rescans.
+    let op_buckets: Option<Vec<Vec<(u32, u32, Value)>>> =
+        if class == DataflowClass::OuterProduct && bands.len() > 1 {
+            Some(bucket_op_elements(a_eff, &bands))
+        } else {
+            None
+        };
+    let run_band = |bi: usize| -> BandOutcome {
+        let band = bands[bi].clone();
+        let mut guard = match pool {
+            Some(p) => p.acquire(),
+            None => WorkspaceGuard::detached(),
+        };
+        let ws = &mut *guard;
+        let mut engine = Engine::new(cfg, a_eff, b_eff, band, ws);
+        match class {
+            DataflowClass::InnerProduct => {
+                inner_product::run(&mut engine, ws, shared.as_ref().expect("precomputed"))
+            }
+            DataflowClass::OuterProduct => outer_product::run(
+                &mut engine,
+                ws,
+                op_buckets.as_ref().map(|b| b[bi].as_slice()),
+            ),
+            DataflowClass::Gustavson => gustavson::run(&mut engine, ws),
+        }
+        engine.into_outcome(ws)
+    };
+    let outcomes: Vec<BandOutcome> = if bands.len() <= 1 || cfg.engine.shard_workers <= 1 {
+        (0..bands.len()).map(run_band).collect()
+    } else {
+        let indices: Vec<usize> = (0..bands.len()).collect();
+        indices
+            .par_iter()
+            .map(|&bi| run_band(bi))
+            .max_threads(cfg.engine.shard_workers)
+            .collect()
+    };
+    let (c_m, report) = assemble(
+        dataflow,
+        work,
+        explicit_conversions,
+        a_eff.rows(),
+        b_eff.cols(),
+        outcomes,
+    )?;
     let c = match dataflow.stationarity() {
         Stationarity::M => c_m,
         Stationarity::N => c_m.reinterpret_transposed(),
@@ -92,14 +182,180 @@ pub(crate) fn execute(
     Ok((c, report))
 }
 
-/// Execution context: configuration, operand views (already M-stationary
-/// oriented), the simulated hardware, and accumulating results.
+/// Chooses and precomputes the Inner-Product strategy state. The dispatch
+/// thresholds live on `EngineConfig` (ROADMAP item (b)): the k-indexed path
+/// wins when K dwarfs the array and its dense `clusters x N` accumulator
+/// grid stays affordable.
+fn ip_shared(cfg: &AcceleratorConfig, a: MatrixView<'_>, b: MatrixView<'_>) -> IpShared {
+    let k_dim = a.cols() as usize;
+    let n_dim = b.major_dim() as usize;
+    let slots = cfg.multipliers as usize;
+    let indexed = k_dim >= cfg.engine.indexed_min_k_ratio * slots
+        && slots.saturating_mul(n_dim) <= cfg.engine.indexed_max_acc_elements
+        && b.nnz() > 0;
+    if indexed {
+        // B's elements grouped by k. A CSC fiber scan visits each k in
+        // ascending order; so does a walk of ascending stationary ks over
+        // this copy, which is what keeps sums bit-identical across paths.
+        IpShared::Indexed(b.converted(MajorOrder::Row))
+    } else {
+        IpShared::Streaming(MatrixIndex::build(b))
+    }
+}
+
+/// Buckets the column-major stationary operand's `(k, row, value)`
+/// elements by output-row band, preserving the global walk order within
+/// each bucket — the input [`tiling::plan_cols_from_elements`] expects.
+fn bucket_op_elements(a_csc: MatrixView<'_>, bands: &[Range<u32>]) -> Vec<Vec<(u32, u32, Value)>> {
+    let mut band_of = vec![0u32; a_csc.rows() as usize];
+    for (i, band) in bands.iter().enumerate() {
+        for r in band.clone() {
+            band_of[r as usize] = i as u32;
+        }
+    }
+    let mut buckets: Vec<Vec<(u32, u32, Value)>> = vec![Vec::new(); bands.len()];
+    for k in 0..a_csc.major_dim() {
+        let fiber = a_csc.fiber(k);
+        for (&row, &value) in fiber.coords().iter().zip(fiber.values()) {
+            buckets[band_of[row as usize] as usize].push((k, row, value));
+        }
+    }
+    buckets
+}
+
+/// Partitions the stationary operand's rows into bands of roughly
+/// `grain_nnz` nonzeros each (cut at row boundaries). `grain_nnz == 0`
+/// yields the single full-width band.
+///
+/// The partition depends only on the operand structure and the grain —
+/// never on the worker count — so the decomposition, and with it every
+/// band's execution, is fixed before any thread is spawned.
+fn shard_bands(a: MatrixView<'_>, grain_nnz: usize) -> Vec<Range<u32>> {
+    let rows = a.rows();
+    let mut bands = Vec::new();
+    let enabled = grain_nnz > 0 && rows > 0 && a.nnz() > 0;
+    if enabled {
+        // Per-output-row nonzero counts of the stationary operand: direct
+        // from the pointer array in row-major, one counting pass in
+        // column-major.
+        let counts: Vec<u32> = if a.order() == MajorOrder::Col {
+            let mut c = vec![0u32; rows as usize];
+            for &r in a.coords() {
+                c[r as usize] += 1;
+            }
+            c
+        } else {
+            Vec::new()
+        };
+        let row_nnz = |row: u32| -> u64 {
+            match a.order() {
+                MajorOrder::Row => a.fiber_len(row) as u64,
+                MajorOrder::Col => counts[row as usize] as u64,
+            }
+        };
+        let mut start = 0u32;
+        let mut acc = 0u64;
+        for row in 0..rows {
+            acc += row_nnz(row);
+            if acc >= grain_nnz as u64 {
+                bands.push(start..row + 1);
+                start = row + 1;
+                acc = 0;
+            }
+        }
+        if start < rows {
+            bands.push(start..rows);
+        }
+    }
+    if bands.is_empty() {
+        // Sharding disabled (or nothing to shard): one full-width band,
+        // the classic sequential execution.
+        bands.push(0..rows);
+    }
+    bands
+}
+
+/// One band's complete results: its rows of the output (band-local order)
+/// plus every additive total of the report. Reduced in band order by
+/// [`assemble`].
+#[derive(Debug)]
+pub(crate) struct BandOutcome {
+    fibers: Vec<Fiber>,
+    phases: PhaseClock,
+    counters: CounterSet,
+    traffic: TrafficReport,
+    cache: Ratio,
+    psram: PsramUsage,
+    tiles: u64,
+    multiplications: u64,
+}
+
+/// Reduces band outcomes (in band order) into the output matrix and the
+/// execution report. Every reduction is additive except the PSRAM
+/// high-water mark, which takes the maximum — exactly what a sequential
+/// execution of the bands through one PSRAM would record.
+fn assemble(
+    dataflow: Dataflow,
+    work: SpGemmWork,
+    explicit_conversions: u32,
+    rows: u32,
+    cols: u32,
+    outcomes: Vec<BandOutcome>,
+) -> Result<(CompressedMatrix, ExecutionReport)> {
+    let mut fibers: Vec<Fiber> = Vec::with_capacity(rows as usize);
+    let mut phases = PhaseClock::new();
+    let mut counters = CounterSet::new();
+    let mut traffic = TrafficReport::default();
+    let mut cache = Ratio::new();
+    let mut psram = PsramUsage::default();
+    let mut tiles = 0u64;
+    let mut multiplications = 0u64;
+    for mut o in outcomes {
+        fibers.append(&mut o.fibers);
+        phases.merge(o.phases);
+        counters.merge(&o.counters);
+        traffic.sta_onchip_bytes += o.traffic.sta_onchip_bytes;
+        traffic.str_onchip_bytes += o.traffic.str_onchip_bytes;
+        traffic.psum_onchip_bytes += o.traffic.psum_onchip_bytes;
+        traffic.str_fill_bytes += o.traffic.str_fill_bytes;
+        traffic.dram_read_bytes += o.traffic.dram_read_bytes;
+        traffic.dram_write_bytes += o.traffic.dram_write_bytes;
+        cache.merge(o.cache);
+        psram.live_blocks += o.psram.live_blocks;
+        psram.high_water_blocks = psram.high_water_blocks.max(o.psram.high_water_blocks);
+        psram.spilled_elements += o.psram.spilled_elements;
+        tiles += o.tiles;
+        multiplications += o.multiplications;
+    }
+    debug_assert_eq!(fibers.len(), rows as usize, "bands must cover every row");
+    let c = CompressedMatrix::from_fibers(rows, cols, MajorOrder::Row, fibers)?;
+    let report = ExecutionReport {
+        dataflow,
+        total_cycles: phases.total(),
+        phases,
+        traffic,
+        cache,
+        psram,
+        work,
+        tiles,
+        multiplications,
+        explicit_conversions,
+        counters,
+    };
+    Ok((c, report))
+}
+
+/// Execution context for one band: configuration, operand views (already
+/// M-stationary oriented), the band's simulated hardware, and accumulating
+/// results.
 pub(crate) struct Engine<'a> {
     pub cfg: &'a AcceleratorConfig,
     /// Stationary operand (CSR for IP/Gust, CSC for OP), borrowed.
     pub a: MatrixView<'a>,
     /// Streaming operand (CSC for IP, CSR for OP/Gust), borrowed.
     pub b: MatrixView<'a>,
+    /// The output-row band this engine owns (global row coordinates).
+    pub band: Range<u32>,
     pub dram: Dram,
     pub fifo: StaFifo,
     pub cache: StrCache,
@@ -110,13 +366,13 @@ pub(crate) struct Engine<'a> {
     pub mrn: MergerReductionNetwork,
     pub phases: PhaseClock,
     pub counters: CounterSet,
-    /// Output fibers per row of C (M-stationary orientation).
+    /// Output fibers per band row (`out_fibers[row - band.start]`).
     pub out_fibers: Vec<Fiber>,
-    /// Reusable scaled-fiber pool for the streaming phases: entries keep
-    /// their allocations across clusters and tiles.
+    /// Reusable scaled-fiber pool for the streaming phases, borrowed from
+    /// the workspace for the duration of the band.
     pub scaled_pool: Vec<Fiber>,
     /// Reusable accumulator backing the merge passes of
-    /// [`Engine::merge_row_fibers`].
+    /// [`Engine::merge_row_fibers`], borrowed from the workspace.
     pub merge_acc: RowAccum,
     pub tiles_run: u64,
 }
@@ -126,18 +382,26 @@ impl std::fmt::Debug for Engine<'_> {
         f.debug_struct("Engine")
             .field("a", &(self.a.rows(), self.a.cols()))
             .field("b", &(self.b.rows(), self.b.cols()))
+            .field("band", &self.band)
             .field("tiles_run", &self.tiles_run)
             .finish_non_exhaustive()
     }
 }
 
 impl<'a> Engine<'a> {
-    pub(crate) fn new(cfg: &'a AcceleratorConfig, a: MatrixView<'a>, b: MatrixView<'a>) -> Self {
-        let rows = a.rows();
+    pub(crate) fn new(
+        cfg: &'a AcceleratorConfig,
+        a: MatrixView<'a>,
+        b: MatrixView<'a>,
+        band: Range<u32>,
+        ws: &mut EngineWorkspace,
+    ) -> Self {
+        let band_rows = (band.end - band.start) as usize;
         Self {
             cfg,
             a,
             b,
+            band,
             dram: Dram::new(cfg.memory.dram),
             fifo: StaFifo::new(cfg.memory.fifo),
             cache: StrCache::new(cfg.memory.cache),
@@ -156,9 +420,9 @@ impl<'a> Engine<'a> {
             }),
             phases: PhaseClock::new(),
             counters: CounterSet::new(),
-            out_fibers: vec![Fiber::new(); rows as usize],
-            scaled_pool: Vec::new(),
-            merge_acc: RowAccum::new(),
+            out_fibers: vec![Fiber::new(); band_rows],
+            scaled_pool: std::mem::take(&mut ws.scaled_pool),
+            merge_acc: std::mem::take(&mut ws.merge_acc),
             tiles_run: 0,
         }
     }
@@ -167,6 +431,13 @@ impl<'a> Engine<'a> {
     /// the virtual address space the STR cache operates on.
     pub(crate) fn b_elem_offset(&self, major: u32) -> u64 {
         self.b.ptr()[major as usize] as u64
+    }
+
+    /// Band-local index of global output row `row`.
+    #[inline]
+    pub(crate) fn band_idx(&self, row: u32) -> usize {
+        debug_assert!(self.band.contains(&row), "row outside this engine's band");
+        (row - self.band.start) as usize
     }
 
     /// Runs the stationary phase for one tile: `n` elements stream from
@@ -266,20 +537,16 @@ impl<'a> Engine<'a> {
     /// Emits a final output fiber for `row` through the write buffer.
     pub(crate) fn emit_row(&mut self, row: u32, fiber: Fiber) {
         self.wbuf.write(fiber.len() as u64, &mut self.dram);
-        self.out_fibers[row as usize] = fiber;
+        let idx = self.band_idx(row);
+        self.out_fibers[idx] = fiber;
     }
 
-    /// Assembles the output matrix and the execution report.
-    pub(crate) fn finish(
-        mut self,
-        dataflow: Dataflow,
-        work: SpGemmWork,
-        explicit_conversions: u32,
-    ) -> Result<(CompressedMatrix, ExecutionReport)> {
-        let rows = self.a.rows();
-        let cols = self.b.cols();
+    /// Tears the band down into its outcome, returning the borrowed
+    /// workspace buffers.
+    pub(crate) fn into_outcome(mut self, ws: &mut EngineWorkspace) -> BandOutcome {
+        ws.scaled_pool = std::mem::take(&mut self.scaled_pool);
+        ws.merge_acc = std::mem::take(&mut self.merge_acc);
         let fibers = std::mem::take(&mut self.out_fibers);
-        let c = CompressedMatrix::from_fibers(rows, cols, MajorOrder::Row, fibers)?;
         let (uni, multi, broad) = self.dn.cast_counts();
         self.counters.add("dn.unicasts", uni);
         self.counters.add("dn.multicasts", multi);
@@ -297,10 +564,10 @@ impl<'a> Engine<'a> {
         );
         self.counters
             .add("wbuf.elements", self.wbuf.written_elements());
-        let report = ExecutionReport {
-            dataflow,
-            total_cycles: self.phases.total(),
+        BandOutcome {
+            fibers,
             phases: self.phases,
+            counters: self.counters,
             traffic: TrafficReport {
                 sta_onchip_bytes: self.fifo.onchip_bytes(),
                 str_onchip_bytes: self.cache.onchip_bytes(),
@@ -311,13 +578,9 @@ impl<'a> Engine<'a> {
             },
             cache: self.cache.stats(),
             psram: self.psram.usage(),
-            work,
             tiles: self.tiles_run,
             multiplications: self.mn.multiplications(),
-            explicit_conversions,
-            counters: self.counters,
-        };
-        Ok((c, report))
+        }
     }
 
     /// Shorthand for `cycles_for` against the distribution bandwidth.
@@ -333,5 +596,132 @@ impl<'a> Engine<'a> {
     /// Shorthand for `cycles_for` against the multiplier count.
     pub(crate) fn mult_cycles(&self, products: u64) -> Cycle {
         cycles_for(products, self.cfg.multipliers as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexagon_sparse::gen;
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    fn mats(seed: u64) -> (CompressedMatrix, CompressedMatrix) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        (
+            gen::random(40, 48, 0.25, MajorOrder::Row, &mut rng),
+            gen::random(48, 36, 0.2, MajorOrder::Row, &mut rng),
+        )
+    }
+
+    #[test]
+    fn shard_bands_disabled_is_single_full_band() {
+        let (a, _) = mats(1);
+        assert_eq!(shard_bands(a.view(), 0), vec![0..40]);
+    }
+
+    #[test]
+    fn shard_bands_partition_covers_rows_in_order() {
+        let (a, _) = mats(2);
+        for grain in [1usize, 7, 64, 1 << 20] {
+            let bands = shard_bands(a.view(), grain);
+            assert_eq!(bands.first().unwrap().start, 0);
+            assert_eq!(bands.last().unwrap().end, 40);
+            for w in bands.windows(2) {
+                assert_eq!(w[0].end, w[1].start);
+                assert!(!w[0].is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn shard_bands_csc_counts_rows_not_columns() {
+        let (a, _) = mats(3);
+        let a_csc = a.converted(MajorOrder::Col);
+        // Same stationary row partition whichever major order carries it.
+        assert_eq!(shard_bands(a.view(), 50), shard_bands(a_csc.view(), 50));
+    }
+
+    #[test]
+    fn shard_bands_grain_one_isolates_nonempty_rows() {
+        let (a, _) = mats(4);
+        let bands = shard_bands(a.view(), 1);
+        for band in &bands {
+            // Grain 1 cuts after every row with at least one element.
+            let nnz: usize = (band.start..band.end).map(|r| a.view().fiber_len(r)).sum();
+            assert!(nnz > 0 || band.end == a.rows());
+        }
+    }
+
+    #[test]
+    fn worker_count_never_changes_reports() {
+        let (a, b) = mats(5);
+        let run_all = |grain: usize, workers: usize| -> String {
+            let mut cfg = AcceleratorConfig::tiny();
+            cfg.engine = cfg.engine.sharded(grain, workers);
+            Dataflow::ALL
+                .iter()
+                .map(|&df| {
+                    let (c, report) = execute(&cfg, None, &a, &b, df).expect("run");
+                    format!(
+                        "{}{}",
+                        serde_json::to_string(&report).unwrap(),
+                        serde_json::to_string(&c).unwrap()
+                    )
+                })
+                .collect::<Vec<String>>()
+                .join("|")
+        };
+        for grain in [0usize, 40, 200] {
+            let reference = run_all(grain, 1);
+            for workers in [2usize, 4, 7] {
+                assert_eq!(
+                    reference,
+                    run_all(grain, workers),
+                    "grain {grain} workers {workers}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_single_band_matches_unsharded() {
+        // A grain larger than nnz(A) yields one band; its report must be
+        // byte-identical to the grain-0 classic path.
+        let (a, b) = mats(6);
+        let cfg0 = AcceleratorConfig::tiny();
+        let mut cfg1 = AcceleratorConfig::tiny();
+        cfg1.engine = cfg1.engine.sharded(1 << 30, 4);
+        for df in Dataflow::ALL {
+            let (c0, r0) = execute(&cfg0, None, &a, &b, df).expect("run");
+            let (c1, r1) = execute(&cfg1, None, &a, &b, df).expect("run");
+            assert_eq!(c0, c1);
+            assert_eq!(
+                serde_json::to_string(&r0).unwrap(),
+                serde_json::to_string(&r1).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_is_invisible() {
+        // Running the same case twice through one pool must be bit-identical
+        // (a dirty workspace must never leak into results), across all
+        // dataflows and a sharded config.
+        let (a, b) = mats(7);
+        let pool = WorkspacePool::new();
+        let mut cfg = AcceleratorConfig::tiny();
+        cfg.engine = cfg.engine.sharded(30, 2);
+        for df in Dataflow::ALL {
+            let (c0, r0) = execute(&cfg, Some(&pool), &a, &b, df).expect("run");
+            let (c1, r1) = execute(&cfg, Some(&pool), &a, &b, df).expect("run");
+            assert_eq!(c0, c1, "{df}");
+            assert_eq!(
+                serde_json::to_string(&r0).unwrap(),
+                serde_json::to_string(&r1).unwrap(),
+                "{df}"
+            );
+        }
+        assert!(pool.idle() >= 1, "workspaces returned to the pool");
     }
 }

@@ -15,30 +15,57 @@
 //! k-tagged psum fibers, and the merge network charges the same pass
 //! cycles and comparator counts. The *software* no longer materializes or
 //! re-merges those fibers: each scaled B row scatters straight into a
-//! tiered per-row [`RowAccum`] in ascending-k order — the merge tree's own
-//! tie-break order — so the drained fiber is bit-identical to the k-way
-//! merge at a fraction of the cost. The per-execute plan (tiles feeding
-//! each row, per-tile output spans) lives in flat row-indexed arrays
-//! instead of the former `HashMap`s.
+//! tiered per-row [`RowAccum`](flexagon_sparse::RowAccum) in ascending-k
+//! order — the merge tree's own tie-break order — so the drained fiber is
+//! bit-identical to the k-way merge at a fraction of the cost. The
+//! per-execute plan (tiles feeding each row, per-tile output spans) lives
+//! in the flat band-row-indexed arrays of the [`EngineWorkspace`], reused
+//! across executions.
 
+use super::workspace::EngineWorkspace;
 use super::{tiling, Engine};
 use flexagon_sim::{bottleneck, Phase};
-use flexagon_sparse::{Fiber, RowAccum, ELEMENT_BYTES};
+use flexagon_sparse::{Fiber, Value, ELEMENT_BYTES};
 
-pub(super) fn run(e: &mut Engine<'_>) {
-    let tiles = tiling::tile_cols(e.a, e.cfg.multipliers);
+/// `elements` carries this band's pre-bucketed `(k, row, value)` triples
+/// when the execution is multi-band (one bucketing pass at the execute
+/// level replaces per-band full scans of A); `None` plans from the operand
+/// directly — the identical plan, as the tiling tests pin.
+pub(super) fn run(
+    e: &mut Engine<'_>,
+    ws: &mut EngineWorkspace,
+    elements: Option<&[(u32, u32, Value)]>,
+) {
+    let band_rows = (e.band.end - e.band.start) as usize;
+    let base = e.band.start;
+    ws.reset_band_rows(band_rows);
+    let EngineWorkspace {
+        col_plan,
+        pool,
+        free,
+        accum_of,
+        stamp,
+        tiles_left,
+        span_lo: lo,
+        span_hi: hi,
+        span_nnz: nnz,
+        pending,
+        touched,
+        ..
+    } = ws;
+    match elements {
+        Some(els) => tiling::plan_cols_from_elements(els, e.cfg.multipliers, col_plan),
+        None => tiling::plan_cols(e.a, e.cfg.multipliers, e.band.clone(), col_plan),
+    }
     let b = e.b;
-    let rows = e.a.rows() as usize;
 
     // Flat tile-indexed plan, computed once per execute: how many tiles
     // contribute psums to each output row. A per-row tile stamp counts each
     // (tile, row) pair exactly once without hashing.
-    let mut stamp = vec![u32::MAX; rows];
-    let mut tiles_left = vec![0u32; rows];
-    for (ti, tile) in tiles.iter().enumerate() {
-        for g in &tile.groups {
-            for &(row, _) in &g.targets {
-                let r = row as usize;
+    for (ti, tile) in col_plan.tiles().enumerate() {
+        for (_, targets) in tile.groups() {
+            for &(row, _) in targets {
+                let r = (row - base) as usize;
                 if stamp[r] != ti as u32 {
                     stamp[r] = ti as u32;
                     tiles_left[r] += 1;
@@ -46,38 +73,25 @@ pub(super) fn run(e: &mut Engine<'_>) {
             }
         }
     }
-    // Partial row fibers shipped to DRAM between tiles, per row.
-    let mut pending: Vec<Vec<Fiber>> = vec![Vec::new(); rows];
-
-    // Per-tile scratch: the touched rows with their psum span and count,
-    // and the row -> accumulator assignment. At most `multipliers` rows are
-    // touched per tile, so the pool stays small and its buffers hot.
-    let mut touched: Vec<u32> = Vec::new();
-    let mut lo = vec![0u32; rows];
-    let mut hi = vec![0u32; rows];
-    let mut nnz = vec![0u64; rows];
-    let mut accum_of = vec![u32::MAX; rows];
-    let mut pool: Vec<RowAccum> = Vec::new();
-    let mut free: Vec<u32> = Vec::new();
     for s in stamp.iter_mut() {
         *s = u32::MAX;
     }
 
-    for (ti, tile) in tiles.iter().enumerate() {
+    for (ti, tile) in col_plan.tiles().enumerate() {
         // Span pass: which rows this tile feeds, and the coordinate span and
         // element count of each row's incoming psums — the accumulator
         // tier-selection inputs.
         touched.clear();
-        for g in &tile.groups {
-            let len = b.fiber_len(g.k) as u64;
+        for (k, targets) in tile.groups() {
+            let len = b.fiber_len(k) as u64;
             let (f_lo, f_hi) = if len > 0 {
-                let coords = b.fiber(g.k).coords();
+                let coords = b.fiber(k).coords();
                 (coords[0], coords[coords.len() - 1])
             } else {
                 (0, 0)
             };
-            for &(row, _) in &g.targets {
-                let r = row as usize;
+            for &(row, _) in targets {
+                let r = (row - base) as usize;
                 if stamp[r] != ti as u32 {
                     stamp[r] = ti as u32;
                     touched.push(row);
@@ -93,13 +107,13 @@ pub(super) fn run(e: &mut Engine<'_>) {
             }
         }
         touched.sort_unstable();
-        for &row in &touched {
-            let r = row as usize;
+        for &row in touched.iter() {
+            let r = (row - base) as usize;
             if nnz[r] == 0 {
                 continue;
             }
             let idx = free.pop().unwrap_or_else(|| {
-                pool.push(RowAccum::new());
+                pool.push(flexagon_sparse::RowAccum::new());
                 (pool.len() - 1) as u32
             });
             pool[idx as usize].begin(lo[r], hi[r], nnz[r], &e.cfg.engine.accum);
@@ -112,21 +126,21 @@ pub(super) fn run(e: &mut Engine<'_>) {
         // multiplier's scaled fiber scatters into its row accumulator while
         // the ghost PSRAM models the psum buffering.
         let mut streaming = 0u64;
-        for g in &tile.groups {
-            let len = b.fiber_len(g.k) as u64;
+        for (k, targets) in tile.groups() {
+            let len = b.fiber_len(k) as u64;
             if len == 0 {
                 continue;
             }
-            let start = e.b_elem_offset(g.k);
+            let start = e.b_elem_offset(k);
             e.cache.read_range(start, len, &mut e.dram);
-            let fanout = g.targets.len() as u64;
+            let fanout = targets.len() as u64;
             let products = len * fanout;
             e.dn.send_irregular(len, products);
             let mult = e.mn.multiply(products);
-            let fiber = b.fiber(g.k);
-            for &(row, aval) in &g.targets {
-                e.psram.ghost_write(row, g.k, len as usize, &mut e.dram);
-                pool[accum_of[row as usize] as usize].scatter_scaled(fiber, aval);
+            let fiber = b.fiber(k);
+            for &(row, aval) in targets {
+                e.psram.ghost_write(row, k, len as usize, &mut e.dram);
+                pool[accum_of[(row - base) as usize] as usize].scatter_scaled(fiber, aval);
             }
             // Cache scan, multipliers and PSRAM write ports run concurrently.
             streaming += bottleneck(&[e.dn_cycles(len), mult, e.merge_cycles(products)]);
@@ -138,8 +152,8 @@ pub(super) fn run(e: &mut Engine<'_>) {
         // PSRAM read and spill-reload traffic; the merged fiber itself
         // drains from the accumulator.
         let mut merging = e.mrn.fill_latency();
-        for &row in &touched {
-            let r = row as usize;
+        for &row in touched.iter() {
+            let r = (row - base) as usize;
             let mut inputs = 0u64;
             let mut nonempty = 0usize;
             for k in e.psram.fiber_tags_of_row(row) {

@@ -6,8 +6,22 @@
 //! element-stationary Outer Product it packs individual elements walked in
 //! column-major order, grouped by their `k` so one B-row multicast serves
 //! the whole group.
+//!
+//! Plans are *flat*: clusters, groups and targets live in contiguous
+//! vectors with tile boundaries recorded as prefix ends. That keeps a plan
+//! fully reusable — an [`EngineWorkspace`](super::workspace::EngineWorkspace)
+//! holds one of each and replanning touches no allocator in the steady
+//! state — and makes tile iteration a slice walk.
+//!
+//! Every planner takes the *band* of output rows it plans for (the shard
+//! unit of the parallel engine). Planning `0..rows` reproduces the
+//! unsharded plan exactly; a narrower band plans the row-submatrix alone,
+//! which is what keeps each shard's execution — and therefore its
+//! accounting — a pure function of `(operands, config, band)`,
+//! independent of how many worker threads run the bands.
 
 use flexagon_sparse::{FiberView, MatrixView, Value};
+use std::ops::Range;
 
 /// A chunk of a stationary row fiber mapped onto consecutive multipliers.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -42,32 +56,51 @@ impl Cluster {
     }
 }
 
-/// One stationary tile of row clusters.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
-pub(crate) struct RowTile {
-    /// Clusters mapped in this tile, in row order.
-    pub clusters: Vec<Cluster>,
+/// Multiplier slots occupied by a tile of row clusters.
+pub(crate) fn slots_used(tile: &[Cluster]) -> u64 {
+    tile.iter().map(|c| c.len as u64).sum()
 }
 
-impl RowTile {
-    /// Multiplier slots occupied.
-    pub fn slots_used(&self) -> u64 {
-        self.clusters.iter().map(|c| c.len as u64).sum()
+/// Flat row-stationary tile plan: all clusters in tile order, with each
+/// tile's end offset into `clusters`.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct RowPlan {
+    clusters: Vec<Cluster>,
+    tile_ends: Vec<u32>,
+}
+
+impl RowPlan {
+    /// Iterates over the tiles as cluster slices.
+    pub fn tiles(&self) -> impl Iterator<Item = &[Cluster]> {
+        let mut start = 0usize;
+        self.tile_ends.iter().map(move |&end| {
+            let tile = &self.clusters[start..end as usize];
+            start = end as usize;
+            tile
+        })
+    }
+
+    /// Number of tiles planned.
+    #[cfg(test)]
+    pub fn num_tiles(&self) -> usize {
+        self.tile_ends.len()
     }
 }
 
-/// Packs the rows of a row-major stationary matrix into tiles of at most
-/// `slots` multipliers, splitting rows longer than `slots` into chunks.
+/// Packs the rows `band` of a row-major stationary matrix into tiles of at
+/// most `slots` multipliers, splitting rows longer than `slots` into
+/// chunks, writing the plan into `out` (cleared first; buffers reused).
 ///
 /// Chunks of one row are emitted in order and never share a tile with a
 /// later chunk of the same row (a full-width chunk fills a tile by itself).
 /// Empty rows occupy no slots.
-pub(crate) fn tile_rows(a: MatrixView<'_>, slots: u32) -> Vec<RowTile> {
+pub(crate) fn plan_rows(a: MatrixView<'_>, slots: u32, band: Range<u32>, out: &mut RowPlan) {
     let slots = slots as usize;
-    let mut tiles = Vec::new();
-    let mut current = RowTile::default();
+    out.clusters.clear();
+    out.tile_ends.clear();
+    let mut tile_start = 0usize;
     let mut used = 0usize;
-    for row in 0..a.major_dim() {
+    for row in band {
         let len = a.fiber_len(row);
         if len == 0 {
             continue;
@@ -78,10 +111,11 @@ pub(crate) fn tile_rows(a: MatrixView<'_>, slots: u32) -> Vec<RowTile> {
         while start < len {
             let take = (len - start).min(slots);
             if used + take > slots {
-                tiles.push(std::mem::take(&mut current));
+                out.tile_ends.push(out.clusters.len() as u32);
+                tile_start = out.clusters.len();
                 used = 0;
             }
-            current.clusters.push(Cluster {
+            out.clusters.push(Cluster {
                 row,
                 chunk,
                 chunks_total,
@@ -92,87 +126,144 @@ pub(crate) fn tile_rows(a: MatrixView<'_>, slots: u32) -> Vec<RowTile> {
             start += take;
             chunk += 1;
             if used == slots {
-                tiles.push(std::mem::take(&mut current));
+                out.tile_ends.push(out.clusters.len() as u32);
+                tile_start = out.clusters.len();
                 used = 0;
             }
         }
     }
-    if !current.clusters.is_empty() {
-        tiles.push(current);
+    if out.clusters.len() > tile_start {
+        out.tile_ends.push(out.clusters.len() as u32);
     }
-    tiles
 }
 
-/// Stationary elements of one `k` (column of A) within an Outer-Product
-/// tile; the k's B row is multicast to all of them.
-#[derive(Debug, Clone, PartialEq)]
-pub(crate) struct KGroup {
-    /// Shared k coordinate (column of A / row of B).
-    pub k: u32,
-    /// `(output row, stationary A value)` per occupied slot.
-    pub targets: Vec<(u32, Value)>,
+/// One Outer-Product tile as a borrowed slice of the flat plan.
+#[derive(Debug, Clone)]
+pub(crate) struct ColTileRef<'p> {
+    plan: &'p ColPlan,
+    groups: Range<usize>,
 }
 
-/// One stationary tile of Outer-Product element groups.
-#[derive(Debug, Clone, Default, PartialEq)]
-pub(crate) struct ColTile {
-    /// Groups in ascending-k order.
-    pub groups: Vec<KGroup>,
-}
+impl<'p> ColTileRef<'p> {
+    /// Iterates over the tile's `(k, targets)` groups in ascending-k order.
+    pub fn groups(&self) -> impl Iterator<Item = (u32, &'p [(u32, Value)])> {
+        let plan = self.plan;
+        self.groups.clone().map(move |g| {
+            let start = if g == 0 {
+                0
+            } else {
+                plan.group_ends[g - 1] as usize
+            };
+            let end = plan.group_ends[g] as usize;
+            (plan.group_ks[g], &plan.targets[start..end])
+        })
+    }
 
-impl ColTile {
     /// Multiplier slots occupied.
     pub fn slots_used(&self) -> u64 {
-        self.groups.iter().map(|g| g.targets.len() as u64).sum()
-    }
-
-    /// Output rows receiving psums from this tile (sorted, deduplicated).
-    ///
-    /// The Outer-Product loop now derives this from its flat per-row tile
-    /// stamps (one pass, no per-tile allocation); this form remains the
-    /// specification the stamps are tested against.
-    #[cfg(test)]
-    pub fn rows_touched(&self) -> Vec<u32> {
-        let mut rows: Vec<u32> = self
-            .groups
-            .iter()
-            .flat_map(|g| g.targets.iter().map(|&(row, _)| row))
-            .collect();
-        rows.sort_unstable();
-        rows.dedup();
-        rows
+        self.groups().map(|(_, t)| t.len() as u64).sum()
     }
 }
 
-/// Packs the elements of a column-major stationary matrix into tiles of at
-/// most `slots` elements, walking columns in order (the Outer-Product
-/// stationary order). A column spanning a tile boundary is split across
-/// tiles.
-pub(crate) fn tile_cols(a_csc: MatrixView<'_>, slots: u32) -> Vec<ColTile> {
+/// Flat column-stationary (Outer-Product) tile plan: all `(row, value)`
+/// targets in walk order, grouped by `k`, with group and tile boundaries
+/// as prefix ends.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct ColPlan {
+    /// `(output row, stationary A value)` per occupied slot, in walk order.
+    targets: Vec<(u32, Value)>,
+    /// Shared k coordinate of each group.
+    group_ks: Vec<u32>,
+    /// Prefix end of each group within `targets`.
+    group_ends: Vec<u32>,
+    /// Prefix end of each tile within the group arrays.
+    tile_ends: Vec<u32>,
+}
+
+impl ColPlan {
+    /// Iterates over the tiles.
+    pub fn tiles(&self) -> impl Iterator<Item = ColTileRef<'_>> {
+        let mut start = 0usize;
+        self.tile_ends.iter().map(move |&end| {
+            let tile = ColTileRef {
+                plan: self,
+                groups: start..end as usize,
+            };
+            start = end as usize;
+            tile
+        })
+    }
+}
+
+/// Packs a stream of `(k, row, value)` stationary elements — already in
+/// column-major walk order — into tiles of at most `slots` elements,
+/// writing the plan into `out` (cleared first; buffers reused). A column
+/// spanning a tile boundary is split across tiles.
+fn pack_cols(elements: impl Iterator<Item = (u32, u32, Value)>, slots: u32, out: &mut ColPlan) {
     let slots = slots as usize;
-    let mut tiles = Vec::new();
-    let mut current = ColTile::default();
+    out.targets.clear();
+    out.group_ks.clear();
+    out.group_ends.clear();
+    out.tile_ends.clear();
+    let mut tile_start = 0usize;
     let mut used = 0usize;
-    for k in 0..a_csc.major_dim() {
-        for e in a_csc.fiber(k).iter() {
-            if used == slots {
-                tiles.push(std::mem::take(&mut current));
-                used = 0;
-            }
-            match current.groups.last_mut() {
-                Some(g) if g.k == k => g.targets.push((e.coord, e.value)),
-                _ => current.groups.push(KGroup {
-                    k,
-                    targets: vec![(e.coord, e.value)],
-                }),
-            }
-            used += 1;
+    for (k, row, value) in elements {
+        if used == slots {
+            out.tile_ends.push(out.group_ks.len() as u32);
+            tile_start = out.group_ks.len();
+            used = 0;
         }
+        let open = out.group_ks.len() > tile_start && *out.group_ks.last().expect("nonempty") == k;
+        if open {
+            *out.group_ends.last_mut().expect("open group") += 1;
+        } else {
+            out.group_ks.push(k);
+            out.group_ends.push(out.targets.len() as u32 + 1);
+        }
+        out.targets.push((row, value));
+        used += 1;
     }
-    if !current.groups.is_empty() {
-        tiles.push(current);
+    if out.group_ks.len() > tile_start {
+        out.tile_ends.push(out.group_ks.len() as u32);
     }
-    tiles
+}
+
+/// Packs the elements of a column-major stationary matrix whose row
+/// coordinate falls in `band` into tiles of at most `slots` elements,
+/// walking columns in order (the Outer-Product stationary order).
+///
+/// Filtering by `band` is exactly planning the row-submatrix `A[band, :]`:
+/// the walk order of the surviving elements is unchanged, so `0..rows`
+/// reproduces the unsharded plan. This full-scan form costs `O(nnz(A))`
+/// per call regardless of band width — multi-band executions pre-bucket
+/// the elements once and use [`plan_cols_from_elements`] per band instead,
+/// keeping total planning linear in `nnz(A)`.
+pub(crate) fn plan_cols(a_csc: MatrixView<'_>, slots: u32, band: Range<u32>, out: &mut ColPlan) {
+    let elements = (0..a_csc.major_dim()).flat_map(|k| {
+        let fiber = a_csc.fiber(k);
+        fiber
+            .coords()
+            .iter()
+            .zip(fiber.values())
+            .map(move |(&row, &value)| (k, row, value))
+    });
+    pack_cols(
+        elements.filter(|&(_, row, _)| band.contains(&row)),
+        slots,
+        out,
+    );
+}
+
+/// [`plan_cols`] over a pre-bucketed element list: `elements` must be this
+/// band's `(k, row, value)` triples in the global column-major walk order,
+/// as produced by one bucketing pass over the whole operand. Produces the
+/// identical plan to `plan_cols` over the band at linear total cost.
+pub(crate) fn plan_cols_from_elements(
+    elements: &[(u32, u32, Value)],
+    slots: u32,
+    out: &mut ColPlan,
+) {
+    pack_cols(elements.iter().copied(), slots, out);
 }
 
 #[cfg(test)]
@@ -192,93 +283,136 @@ mod tests {
         )
     }
 
+    fn rows_of(a: MatrixView<'_>, slots: u32) -> RowPlan {
+        let mut plan = RowPlan::default();
+        plan_rows(a, slots, 0..a.major_dim(), &mut plan);
+        plan
+    }
+
+    fn cols_of(a: MatrixView<'_>, slots: u32) -> ColPlan {
+        let mut plan = ColPlan::default();
+        plan_cols(a, slots, 0..a.minor_dim(), &mut plan);
+        plan
+    }
+
     #[test]
-    fn tile_rows_covers_all_elements_once() {
+    fn plan_rows_covers_all_elements_once() {
         let a = csr(20, 30, 0.3, 1);
-        let tiles = tile_rows(a.view(), 8);
+        let plan = rows_of(a.view(), 8);
         let mut covered = 0usize;
-        for t in &tiles {
-            assert!(t.slots_used() <= 8);
-            covered += t.slots_used() as usize;
+        for t in plan.tiles() {
+            assert!(slots_used(t) <= 8);
+            covered += slots_used(t) as usize;
         }
         assert_eq!(covered, a.nnz());
     }
 
     #[test]
-    fn tile_rows_splits_long_rows() {
+    fn plan_rows_splits_long_rows() {
         // One dense row of 20 elements, 8 slots: chunks 8/8/4.
         let a = csr(1, 20, 1.0, 2);
-        let tiles = tile_rows(a.view(), 8);
-        assert_eq!(tiles.len(), 3);
-        let chunks: Vec<(u32, usize)> = tiles
-            .iter()
-            .flat_map(|t| t.clusters.iter().map(|c| (c.chunk, c.len)))
+        let plan = rows_of(a.view(), 8);
+        assert_eq!(plan.num_tiles(), 3);
+        let chunks: Vec<(u32, usize)> = plan
+            .tiles()
+            .flat_map(|t| t.iter().map(|c| (c.chunk, c.len)))
             .collect();
         assert_eq!(chunks, vec![(0, 8), (1, 8), (2, 4)]);
+        let tiles: Vec<&[Cluster]> = plan.tiles().collect();
         for t in &tiles {
-            for c in &t.clusters {
+            for c in t.iter() {
                 assert_eq!(c.chunks_total, 3);
             }
         }
-        assert!(tiles[2].clusters[0].is_last_chunk());
-        assert!(!tiles[0].clusters[0].is_last_chunk());
+        assert!(tiles[2][0].is_last_chunk());
+        assert!(!tiles[0][0].is_last_chunk());
     }
 
     #[test]
-    fn tile_rows_skips_empty_rows() {
+    fn plan_rows_skips_empty_rows() {
         let a = CompressedMatrix::from_triplets(4, 4, &[(0, 0, 1.0), (3, 1, 1.0)], MajorOrder::Row)
             .unwrap();
-        let tiles = tile_rows(a.view(), 8);
-        assert_eq!(tiles.len(), 1);
-        let rows: Vec<u32> = tiles[0].clusters.iter().map(|c| c.row).collect();
+        let plan = rows_of(a.view(), 8);
+        assert_eq!(plan.num_tiles(), 1);
+        let rows: Vec<u32> = plan.tiles().next().unwrap().iter().map(|c| c.row).collect();
         assert_eq!(rows, vec![0, 3]);
     }
 
     #[test]
-    fn tile_rows_empty_matrix_no_tiles() {
+    fn plan_rows_empty_matrix_no_tiles() {
         let a = CompressedMatrix::zero(5, 5, MajorOrder::Row);
-        assert!(tile_rows(a.view(), 8).is_empty());
+        assert_eq!(rows_of(a.view(), 8).num_tiles(), 0);
     }
 
     #[test]
     fn whole_row_flag() {
         let a = csr(3, 4, 1.0, 3); // rows of 4 nnz, 8 slots
-        let tiles = tile_rows(a.view(), 8);
-        for t in &tiles {
-            for c in &t.clusters {
+        let plan = rows_of(a.view(), 8);
+        for t in plan.tiles() {
+            for c in t.iter() {
                 assert!(c.is_whole_row());
             }
         }
     }
 
     #[test]
-    fn tile_cols_covers_all_elements_once() {
+    fn banded_row_plans_concatenate_to_row_coverage() {
+        // Bands partition the rows; each band's plan covers exactly its
+        // rows' elements, and reusing the same RowPlan buffer across bands
+        // (the workspace pattern) leaves no stale state behind.
+        let a = csr(24, 30, 0.4, 8);
+        let mut plan = RowPlan::default();
+        let mut covered = 0usize;
+        for band in [0u32..9, 9..10, 10..24] {
+            plan_rows(a.view(), 8, band.clone(), &mut plan);
+            for t in plan.tiles() {
+                for c in t.iter() {
+                    assert!(band.contains(&c.row));
+                    covered += c.len;
+                }
+            }
+        }
+        assert_eq!(covered, a.nnz());
+    }
+
+    #[test]
+    fn full_band_row_plan_matches_fresh_plan() {
+        let a = csr(16, 16, 0.5, 9);
+        let fresh = rows_of(a.view(), 4);
+        let mut reused = rows_of(csr(40, 40, 0.9, 10).view(), 8); // dirty it
+        plan_rows(a.view(), 4, 0..16, &mut reused);
+        assert_eq!(fresh, reused);
+    }
+
+    #[test]
+    fn plan_cols_covers_all_elements_once() {
         let a = csr(20, 30, 0.3, 4).converted(MajorOrder::Col);
-        let tiles = tile_cols(a.view(), 8);
-        let covered: u64 = tiles.iter().map(|t| t.slots_used()).sum();
+        let plan = cols_of(a.view(), 8);
+        let covered: u64 = plan.tiles().map(|t| t.slots_used()).sum();
         assert_eq!(covered, a.nnz() as u64);
-        for t in &tiles {
+        for t in plan.tiles() {
             assert!(t.slots_used() <= 8);
         }
     }
 
     #[test]
-    fn tile_cols_groups_share_k() {
+    fn plan_cols_groups_share_k() {
         let a = csr(10, 3, 1.0, 5).converted(MajorOrder::Col); // 3 cols x 10 nnz
-        let tiles = tile_cols(a.view(), 8);
+        let plan = cols_of(a.view(), 8);
         // Column 0 (10 elements) spans tiles 0 and 1.
-        assert_eq!(tiles[0].groups.len(), 1);
-        assert_eq!(tiles[0].groups[0].k, 0);
-        assert_eq!(tiles[0].groups[0].targets.len(), 8);
-        assert_eq!(tiles[1].groups[0].k, 0);
-        assert_eq!(tiles[1].groups[0].targets.len(), 2);
+        let tiles: Vec<ColTileRef<'_>> = plan.tiles().collect();
+        let t0: Vec<(u32, usize)> = tiles[0].groups().map(|(k, t)| (k, t.len())).collect();
+        assert_eq!(t0, vec![(0, 8)]);
+        let t1_first = tiles[1].groups().next().unwrap();
+        assert_eq!(t1_first.0, 0);
+        assert_eq!(t1_first.1.len(), 2);
     }
 
     #[test]
-    fn tile_cols_ks_ascend_within_tile() {
+    fn plan_cols_ks_ascend_within_tile() {
         let a = csr(6, 20, 0.4, 6).converted(MajorOrder::Col);
-        for t in tile_cols(a.view(), 16) {
-            let ks: Vec<u32> = t.groups.iter().map(|g| g.k).collect();
+        for t in cols_of(a.view(), 16).tiles() {
+            let ks: Vec<u32> = t.groups().map(|(k, _)| k).collect();
             let mut sorted = ks.clone();
             sorted.sort_unstable();
             sorted.dedup();
@@ -287,14 +421,60 @@ mod tests {
     }
 
     #[test]
-    fn rows_touched_is_sorted_unique() {
-        let a = csr(6, 6, 0.8, 7).converted(MajorOrder::Col);
-        for t in tile_cols(a.view(), 12) {
-            let rows = t.rows_touched();
-            let mut sorted = rows.clone();
-            sorted.sort_unstable();
-            sorted.dedup();
-            assert_eq!(rows, sorted);
+    fn banded_col_plan_filters_rows_preserving_walk_order() {
+        let a = csr(12, 12, 0.6, 7).converted(MajorOrder::Col);
+        let mut plan = ColPlan::default();
+        plan_cols(a.view(), 8, 3..9, &mut plan);
+        let mut covered = 0u64;
+        for t in plan.tiles() {
+            for (_, targets) in t.groups() {
+                for &(row, _) in targets {
+                    assert!((3..9).contains(&row));
+                }
+                covered += targets.len() as u64;
+            }
         }
+        let expected = a
+            .view()
+            .coords()
+            .iter()
+            .filter(|&&r| (3..9).contains(&r))
+            .count() as u64;
+        assert_eq!(covered, expected);
+    }
+
+    #[test]
+    fn bucketed_col_plan_matches_band_scan_plan() {
+        // The multi-band fast path (one bucketing pass + per-band
+        // plan_cols_from_elements) must produce exactly the plan the
+        // filtering scan produces for every band.
+        let a = csr(18, 14, 0.45, 13).converted(MajorOrder::Col);
+        for band in [0u32..5, 5..6, 6..18, 0..18] {
+            let mut scanned = ColPlan::default();
+            plan_cols(a.view(), 8, band.clone(), &mut scanned);
+            let elements: Vec<(u32, u32, Value)> = (0..a.view().major_dim())
+                .flat_map(|k| {
+                    let f = a.view().fiber(k);
+                    f.coords()
+                        .iter()
+                        .zip(f.values())
+                        .map(move |(&row, &value)| (k, row, value))
+                        .collect::<Vec<_>>()
+                })
+                .filter(|&(_, row, _)| band.contains(&row))
+                .collect();
+            let mut bucketed = ColPlan::default();
+            plan_cols_from_elements(&elements, 8, &mut bucketed);
+            assert_eq!(scanned, bucketed, "band {band:?}");
+        }
+    }
+
+    #[test]
+    fn full_band_col_plan_matches_fresh_plan() {
+        let a = csr(14, 10, 0.5, 11).converted(MajorOrder::Col);
+        let fresh = cols_of(a.view(), 8);
+        let mut reused = cols_of(csr(30, 30, 0.8, 12).converted(MajorOrder::Col).view(), 4);
+        plan_cols(a.view(), 8, 0..14, &mut reused);
+        assert_eq!(fresh, reused);
     }
 }

@@ -39,6 +39,7 @@ pub use accel::{Accelerator, Flexagon, GammaLike, RunOutput, SigmaLike, SparchLi
 pub use config::{AcceleratorConfig, EngineConfig};
 pub use cpu::{CpuConfig, CpuMkl};
 pub use dataflow::{Dataflow, DataflowClass, Stationarity};
+pub use engine::workspace::WorkspacePool;
 pub use error::CoreError;
 pub use mapper::{ClassCalibration, MapperCalibration, MappingStrategy};
 pub use report::{ExecutionReport, TrafficReport};

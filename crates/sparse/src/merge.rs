@@ -28,6 +28,23 @@ pub struct MergeStats {
 }
 
 /// Merges two sorted fibers, accumulating values on coordinate collisions.
+///
+/// `#[inline(never)]` pins this body (and the 2-way accumulate wrapper) to
+/// one code address instead of re-laying it out per inline site,
+/// addressing the rebuild-to-rebuild bimodality the BENCH notes recorded
+/// for the 2-way merge (22–53 µs across identical rebuilds). Measured
+/// effect: *same-source* rebuilds are now stable — two three-rebuild
+/// sweeps each sat within ±7% of their mode (21.0/24.1/22.6 µs in one
+/// tree state, 47.3/53.8/52.2 µs in another) — but which mode a binary
+/// lands in still flips when unrelated code moves the link layout, since
+/// function alignment is not controllable on stable Rust. The recorded
+/// baseline therefore keeps the slow mode, so a layout flip can never
+/// trip the CI gate. A branchless rewrite (flag-advanced cursors +
+/// conditional-move value select) was also tried and measured worse than
+/// either mode (~60 µs): the merge's branches are well-predicted on real
+/// fiber data, so trading them for a serialized cmov dependency chain is
+/// a loss.
+#[inline(never)]
 pub fn merge_two(a: FiberView<'_>, b: FiberView<'_>) -> (Fiber, MergeStats) {
     let mut coords: Vec<u32> = Vec::with_capacity(a.len() + b.len());
     let mut values: Vec<Value> = Vec::with_capacity(a.len() + b.len());
@@ -37,20 +54,21 @@ pub fn merge_two(a: FiberView<'_>, b: FiberView<'_>) -> (Fiber, MergeStats) {
     let (av, bv) = (a.values(), b.values());
     while i < ac.len() && j < bc.len() {
         stats.comparisons += 1;
-        match ac[i].cmp(&bc[j]) {
+        let (ca, cb) = (ac[i], bc[j]);
+        match ca.cmp(&cb) {
             std::cmp::Ordering::Less => {
-                coords.push(ac[i]);
+                coords.push(ca);
                 values.push(av[i]);
                 i += 1;
             }
             std::cmp::Ordering::Greater => {
-                coords.push(bc[j]);
+                coords.push(cb);
                 values.push(bv[j]);
                 j += 1;
             }
             std::cmp::Ordering::Equal => {
                 stats.additions += 1;
-                coords.push(ac[i]);
+                coords.push(ca);
                 values.push(av[i] + bv[j]);
                 i += 1;
                 j += 1;
@@ -142,6 +160,7 @@ fn merge_sort_based(fibers: &[FiberView<'_>]) -> (Fiber, MergeStats) {
 /// semantics (both colliding elements are charged a comparison, matching
 /// the k-way model; the counts fall out of the lengths, since every
 /// collision shrinks the output by one).
+#[inline(never)]
 fn merge2_accumulate(a: FiberView<'_>, b: FiberView<'_>) -> (Fiber, MergeStats) {
     let total = (a.len() + b.len()) as u64;
     let (out, _) = merge_two(a, b);

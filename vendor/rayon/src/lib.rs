@@ -59,12 +59,17 @@ pub struct ParIter<'a, T> {
 pub struct ParMap<'a, T, F> {
     items: &'a [T],
     f: F,
+    max_threads: Option<usize>,
 }
 
 impl<'a, T: Sync> ParIter<'a, T> {
     /// Maps every item through `f` in parallel.
     pub fn map<U, F: Fn(&'a T) -> U + Sync>(self, f: F) -> ParMap<'a, T, F> {
-        ParMap { items: self.items, f }
+        ParMap {
+            items: self.items,
+            f,
+            max_threads: None,
+        }
     }
 
     /// Number of items.
@@ -79,9 +84,22 @@ impl<'a, T: Sync> ParIter<'a, T> {
 }
 
 impl<'a, T: Sync, U: Send, F: Fn(&'a T) -> U + Sync> ParMap<'a, T, F> {
+    /// Caps this operation at `n` worker threads, overriding the ambient
+    /// thread count (shim extension standing in for real rayon's
+    /// `ThreadPool::install`; like an explicit pool, a cap above the
+    /// hardware parallelism oversubscribes).
+    pub fn max_threads(mut self, n: usize) -> Self {
+        self.max_threads = Some(n.max(1));
+        self
+    }
+
     /// Evaluates the map on worker threads, preserving input order.
     pub fn collect<C: FromParallelResults<U>>(self) -> C {
-        C::from_ordered(parallel_map(self.items, &self.f))
+        let threads = self
+            .max_threads
+            .unwrap_or_else(current_num_threads)
+            .min(self.items.len().max(1));
+        C::from_ordered(parallel_map(self.items, &self.f, threads))
     }
 }
 
@@ -100,8 +118,8 @@ impl<U> FromParallelResults<U> for Vec<U> {
 fn parallel_map<'a, T: Sync, U: Send, F: Fn(&'a T) -> U + Sync>(
     items: &'a [T],
     f: &F,
+    threads: usize,
 ) -> Vec<U> {
-    let threads = current_num_threads().min(items.len().max(1));
     if threads <= 1 || items.len() <= 1 {
         return items.iter().map(f).collect();
     }
@@ -181,6 +199,13 @@ mod tests {
         let (a, b) = super::join(|| 1 + 1, || "two");
         assert_eq!(a, 2);
         assert_eq!(b, "two");
+    }
+
+    #[test]
+    fn max_threads_cap_preserves_order() {
+        let input: Vec<u64> = (0..100).collect();
+        let out: Vec<u64> = input.par_iter().map(|&x| x + 1).max_threads(3).collect();
+        assert_eq!(out, (1..=100).collect::<Vec<_>>());
     }
 
     #[test]
