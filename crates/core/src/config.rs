@@ -7,6 +7,23 @@ use flexagon_sim::Cycle;
 use flexagon_sparse::AccumConfig;
 use serde::{Deserialize, Serialize};
 
+/// SIMD policy for the engine's kernel layer (the `vendor/simd` shim).
+///
+/// Every vectorized kernel is bit-identical to its scalar twin, so this
+/// knob never changes a result — only which instruction sequence computes
+/// it. It exists for A/B measurement and for pinning CI legs to the
+/// fallback; the `FLEXAGON_SIMD=off` environment variable forces scalar
+/// regardless of this setting (the env read is process-wide and wins).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SimdMode {
+    /// Use the best runtime-detected vector path (AVX2/NEON), falling back
+    /// to scalar on machines without one.
+    #[default]
+    Auto,
+    /// Force the scalar kernels everywhere.
+    Scalar,
+}
+
 /// Thresholds steering the engine's adaptive software paths.
 ///
 /// These do not model hardware — the cycle and traffic accounting is
@@ -41,6 +58,10 @@ pub struct EngineConfig {
     /// [`EngineConfig::shard_grain_nnz`] is set). Values above the core
     /// count oversubscribe, like rayon's global pool.
     pub shard_workers: usize,
+    /// SIMD policy for the kernel layer. [`SimdMode::Auto`] (the default)
+    /// takes the runtime-detected vector paths; [`SimdMode::Scalar`] forces
+    /// the scalar twins. Results are bit-identical either way.
+    pub simd: SimdMode,
     /// Tier cutoffs for the Outer-Product/Gustavson psum accumulators.
     pub accum: AccumConfig,
     /// Fitted corrections for the heuristic mapper's closed-form cost
@@ -60,6 +81,18 @@ impl EngineConfig {
     /// R=1 and R=2, so the gate probes from a 2:1 length ratio on. (The
     /// previous hand-tuned value of 4 left the 2–4x band on the slower
     /// scan path.)
+    ///
+    /// Re-checked on the SIMD build (the bitmap tier that dominates these
+    /// fixtures is untouched by SIMD, but inlining around `Prober::probe`
+    /// shifted): a lib-level microbench pins the bitmap probe at the same
+    /// ~1.6 ns/probe as the pre-SIMD build, keeping the crossover between
+    /// R=1 and R=2, and an engine A/B of gate 2 vs 4 on `execute/table5`
+    /// showed no dataflow where 4 wins (KMN was 15% worse). The
+    /// `threshold_probe/probe` numbers as compiled in the bench *binary*
+    /// currently read ~2x the lib-level cost at low `R` (a codegen/layout
+    /// artifact of that binary, not a library regression — see
+    /// BENCH_spgemm.json notes); naively reading them would move the gate
+    /// to 4 and lose the KMN win, so the gate stays 2.
     pub const DEFAULT_PROBE_GATE_FACTOR: usize = 2;
     /// Default for [`EngineConfig::indexed_min_k_ratio`].
     pub const DEFAULT_INDEXED_MIN_K_RATIO: usize = 2;
@@ -91,6 +124,7 @@ impl Default for EngineConfig {
             indexed_max_acc_elements: Self::DEFAULT_INDEXED_MAX_ACC_ELEMENTS,
             shard_grain_nnz: Self::DEFAULT_SHARD_GRAIN_NNZ,
             shard_workers: Self::DEFAULT_SHARD_WORKERS,
+            simd: SimdMode::default(),
             accum: AccumConfig::default(),
             mapper: MapperCalibration::calibrated(),
         }
@@ -210,6 +244,7 @@ mod tests {
             e.indexed_max_acc_elements,
             EngineConfig::DEFAULT_INDEXED_MAX_ACC_ELEMENTS
         );
+        assert_eq!(e.simd, SimdMode::Auto);
         assert_eq!(
             e.accum.dense_span_per_elem,
             AccumConfig::DEFAULT_DENSE_SPAN_PER_ELEM

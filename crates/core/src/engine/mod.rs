@@ -83,6 +83,11 @@ pub(crate) fn execute(
     dataflow: Dataflow,
 ) -> Result<(CompressedMatrix, ExecutionReport)> {
     cfg.assert_valid();
+    // Apply the SIMD policy before any kernel runs. The toggle is
+    // process-global (kernels are bit-identical either way, so a concurrent
+    // execution under a different policy changes speed, never results), and
+    // `FLEXAGON_SIMD=off` in the environment wins over this knob.
+    simd::set_scalar_only(matches!(cfg.engine.simd, crate::config::SimdMode::Scalar));
     if a.cols() != b.rows() {
         return Err(CoreError::Format(FormatError::DimensionMismatch {
             left_cols: a.cols(),

@@ -36,7 +36,7 @@ mod report;
 pub mod transitions;
 
 pub use accel::{Accelerator, Flexagon, GammaLike, RunOutput, SigmaLike, SparchLike};
-pub use config::{AcceleratorConfig, EngineConfig};
+pub use config::{AcceleratorConfig, EngineConfig, SimdMode};
 pub use cpu::{CpuConfig, CpuMkl};
 pub use dataflow::{Dataflow, DataflowClass, Stationarity};
 pub use engine::workspace::WorkspacePool;

@@ -14,8 +14,9 @@
 //! mirroring the span/nnz heuristics of the [`index`](crate::index) tiers:
 //!
 //! * **Dense** — the span is tight enough that a value slot per coordinate
-//!   is affordable: scatters are one indexed add, and the drain walks a
-//!   presence bitmap with popcount-style bit iteration.
+//!   is affordable: scatters are one indexed add, and the drain compacts
+//!   64-slot value windows under the presence bitmap with SIMD
+//!   compress-stores ([`simd::compress_word`]).
 //! * **Paged** — medium spans where only the one-bit-per-coordinate bitmap
 //!   is affordable: value storage is allocated in 64-slot pages on first
 //!   touch of a bitmap word, and the drain is a bitmap-directed gather.
@@ -67,6 +68,13 @@ impl AccumConfig {
     /// 128 bytes per expected element (the reusable-workspace pools
     /// amortize the allocation), and [`AccumConfig::dense_max_span`]
     /// still caps the absolute span. (Previous hand-tuned value: 4.)
+    ///
+    /// Re-derived on the SIMD build (the dense drain's run discovery and
+    /// the paged gather are both vectorized now): dense still wins at
+    /// every measured ratio — the SIMD drain widens its lead at wide
+    /// sparse spans (`simd_kernels/drain/dense` ~1.4×) while the paged
+    /// tier's word-gather path is compare-bound, not compaction-bound —
+    /// so the gate remains the same footprint knob at 32.
     pub const DEFAULT_DENSE_SPAN_PER_ELEM: u64 = 32;
     /// Default for [`AccumConfig::dense_max_span`].
     pub const DEFAULT_DENSE_MAX_SPAN: u64 = 1 << 22;
@@ -205,8 +213,13 @@ impl RowAccum {
         self.n_words = (span as usize).div_ceil(64);
         match tier {
             AccumTier::Dense => {
-                if self.vals.len() < span as usize {
-                    self.vals.resize(span as usize, 0.0);
+                // Word-aligned sizing: the SIMD drain compacts whole 64-slot
+                // value windows per presence word, so the array covers the
+                // final partial word too. Slack slots sit under clear
+                // presence bits and are never emitted.
+                let padded = self.n_words * 64;
+                if self.vals.len() < padded {
+                    self.vals.resize(padded, 0.0);
                 }
                 if self.words.len() < self.n_words {
                     self.words.resize(self.n_words, 0);
@@ -260,6 +273,15 @@ impl RowAccum {
     /// Shared scatter body. The const parameter monomorphizes the two entry
     /// points, so the unscaled path compiles without the per-element
     /// multiply while both keep exactly one copy of the tier logic.
+    ///
+    /// The scatter loop stays scalar by design: its writes are
+    /// random-access indexed adds (`vals[bit] += v`) with a data-dependent
+    /// first-touch branch per element, which vectorizing would require
+    /// gather/scatter with intra-vector conflict detection — AVX2 has no
+    /// scatter at all, and colliding coordinates within one vector would
+    /// reorder float adds and break bit-identity. The SIMD win for these
+    /// tiers is on the drain side instead, where the access pattern is
+    /// sequential.
     #[inline]
     fn scatter_impl<const SCALED: bool>(&mut self, fiber: FiberView<'_>, factor: Value) {
         let scale = |v: Value| if SCALED { v * factor } else { v };
@@ -360,41 +382,51 @@ impl RowAccum {
         let tier = self.tier.take().expect("drain on an un-armed accumulator");
         match tier {
             AccumTier::Dense => {
+                // Bitmap-directed compress-store: each non-zero presence
+                // word compacts its 64-slot value window in one
+                // `simd::compress_word` call (per-byte `vpermps` shuffles on
+                // AVX2, the trailing_zeros loop on the scalar path) instead
+                // of a branch per set bit. Values are moved, never summed,
+                // so the drain is bit-exact on either path.
                 let mut coords: Vec<u32> = Vec::with_capacity(self.distinct);
                 let mut values: Vec<Value> = Vec::with_capacity(self.distinct);
                 for w in 0..self.n_words {
-                    let mut word = self.words[w];
+                    let word = self.words[w];
                     if word == 0 {
                         continue;
                     }
                     self.words[w] = 0;
-                    while word != 0 {
-                        let bit = (w << 6) + word.trailing_zeros() as usize;
-                        coords.push(self.lo + bit as u32);
-                        values.push(self.vals[bit]);
-                        word &= word - 1;
-                    }
+                    simd::compress_word(
+                        word,
+                        self.lo + ((w << 6) as u32),
+                        &self.vals[w << 6..(w << 6) + 64],
+                        &mut coords,
+                        &mut values,
+                    );
                 }
                 self.distinct = 0;
                 Fiber::from_parts(coords, values)
             }
             AccumTier::Paged => {
+                // Same compress-store as the dense drain; the window is the
+                // word's 64-slot page instead of a span offset.
                 let mut coords: Vec<u32> = Vec::with_capacity(self.distinct);
                 let mut values: Vec<Value> = Vec::with_capacity(self.distinct);
                 for w in 0..self.n_words {
-                    let mut word = self.words[w];
+                    let word = self.words[w];
                     if word == 0 {
                         continue;
                     }
                     self.words[w] = 0;
                     let base = self.pages[w] as usize * 64;
                     self.pages[w] = NO_PAGE;
-                    while word != 0 {
-                        let b = word.trailing_zeros() as usize;
-                        coords.push(self.lo + ((w << 6) + b) as u32);
-                        values.push(self.page_pool[base + b]);
-                        word &= word - 1;
-                    }
+                    simd::compress_word(
+                        word,
+                        self.lo + ((w << 6) as u32),
+                        &self.page_pool[base..base + 64],
+                        &mut coords,
+                        &mut values,
+                    );
                 }
                 self.page_pool.clear();
                 self.distinct = 0;

@@ -56,6 +56,28 @@ enum Tier {
     },
 }
 
+/// Rank-based bitmap lookup shared by [`FiberIndex::position`] and
+/// [`Prober::probe`].
+///
+/// Kept `#[inline(always)]`: the bitmap tier answers each probe with a word
+/// test plus a popcount, and the callers' per-probe loops only stay at that
+/// cost if this body is flattened into them (a function call plus re-loading
+/// `first`/`words`/`ranks` per probe is ~3x the lookup itself).
+#[inline(always)]
+fn bitmap_position(first: u32, words: &[u64], ranks: &[u32], coord: u32) -> Option<usize> {
+    if coord < first {
+        return None;
+    }
+    let bit = (coord - first) as usize;
+    let w = bit >> 6;
+    let word = *words.get(w)?;
+    let mask = 1u64 << (bit & 63);
+    if word & mask == 0 {
+        return None;
+    }
+    Some(ranks[w] as usize + (word & (mask - 1)).count_ones() as usize)
+}
+
 /// A per-fiber coordinate index answering "is `coord` present, and at which
 /// position?" without streaming the fiber.
 ///
@@ -153,34 +175,19 @@ impl FiberIndex {
         debug_assert_eq!(coords.len(), self.len, "index/fiber mismatch");
         match &self.tier {
             Tier::Empty => None,
-            Tier::Short => coords.iter().position(|&c| c == coord),
+            Tier::Short => simd::find_eq_u32(coords, coord),
             Tier::Bitmap {
                 first,
                 words,
                 ranks,
-            } => {
-                if coord < *first {
-                    return None;
-                }
-                let bit = (coord - first) as usize;
-                let w = bit >> 6;
-                let word = *words.get(w)?;
-                let mask = 1u64 << (bit & 63);
-                if word & mask == 0 {
-                    return None;
-                }
-                Some(ranks[w] as usize + (word & (mask - 1)).count_ones() as usize)
-            }
+            } => bitmap_position(*first, words, ranks, coord),
             Tier::Skip { skips } => {
                 // Find the block whose minimum does not exceed the query,
                 // then scan inside it.
                 let block = skips.partition_point(|&s| s <= coord).checked_sub(1)?;
                 let start = block * SKIP;
                 let end = (start + SKIP).min(self.len);
-                coords[start..end]
-                    .iter()
-                    .position(|&c| c == coord)
-                    .map(|off| start + off)
+                simd::find_eq_u32(&coords[start..end], coord).map(|off| start + off)
             }
         }
     }
@@ -226,15 +233,34 @@ impl Prober<'_> {
     ///
     /// Queries must be non-decreasing across calls on the same prober; a
     /// lower coordinate than a previous query may be reported absent.
-    #[inline]
+    ///
+    /// The bitmap arm stays in this `#[inline]` body and the scan tiers are
+    /// outlined: the bitmap tier answers in `O(1)` per probe, so it must
+    /// flatten into the caller's probe loop, and keeping the scan tiers'
+    /// force-inlined SIMD prefix scans here bloats `probe` past the inline
+    /// threshold (measured 3x on `threshold_probe/probe/r1` — every bitmap
+    /// probe paid an outlined call plus a tier re-dispatch). The scan tiers
+    /// do `O(run)` work per probe, which amortizes their one call.
+    #[inline(always)]
     pub fn probe(&mut self, coord: u32) -> Option<(usize, Value)> {
-        let coords = self.fiber.coords();
         match &self.index.tier {
             Tier::Empty => None,
-            Tier::Bitmap { .. } => {
-                let i = self.index.position(coords, coord)?;
+            Tier::Bitmap {
+                first,
+                words,
+                ranks,
+            } => {
+                let i = bitmap_position(*first, words, ranks, coord)?;
                 Some((i, self.fiber.values()[i]))
             }
+            Tier::Short | Tier::Skip { .. } => self.probe_scan_tiers(coord),
+        }
+    }
+
+    /// The short/skip arms of [`Self::probe`], outlined (see there).
+    fn probe_scan_tiers(&mut self, coord: u32) -> Option<(usize, Value)> {
+        let coords = self.fiber.coords();
+        match &self.index.tier {
             Tier::Short => self.scan_from_cursor(coords, coord, coords.len()),
             Tier::Skip { skips } => {
                 // Skip whole blocks whose successor minimum is still <= query.
@@ -248,11 +274,19 @@ impl Prober<'_> {
                 let end = (block_start + SKIP).min(coords.len());
                 self.scan_from_cursor(coords, coord, end)
             }
+            Tier::Empty | Tier::Bitmap { .. } => unreachable!("handled in probe"),
         }
     }
 
     /// Advances the element cursor to the first coordinate `>= coord` within
     /// `coords[..end]` and reports a hit on equality.
+    ///
+    /// The cursor advance is a prefix-scan over sorted coordinates, so the
+    /// SIMD path measures it with [`simd::run_lt_u32`] (inline scalar head,
+    /// then 8-lane compares — consecutive probes usually advance by only a
+    /// few elements) instead of a branch per element — this is the
+    /// probe-side inner loop the `threshold_probe` bench group measures,
+    /// and a direct input to the `probe_gate_factor` crossover.
     #[inline]
     fn scan_from_cursor(
         &mut self,
@@ -260,9 +294,7 @@ impl Prober<'_> {
         coord: u32,
         end: usize,
     ) -> Option<(usize, Value)> {
-        while self.pos < end && coords[self.pos] < coord {
-            self.pos += 1;
-        }
+        self.pos += simd::run_lt_u32(&coords[self.pos..end], coord);
         if self.pos < end && coords[self.pos] == coord {
             let i = self.pos;
             Some((i, self.fiber.values()[i]))

@@ -10,7 +10,7 @@
 //! sub-execution, and the reduction runs in band order — so threads only
 //! change wall clock, never results.
 
-use flexagon::core::{Accelerator, AcceleratorConfig, Dataflow, Flexagon};
+use flexagon::core::{Accelerator, AcceleratorConfig, Dataflow, Flexagon, SimdMode};
 use flexagon::sparse::gen;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -67,6 +67,50 @@ fn sharded_execution_is_byte_identical_across_worker_counts() {
                 sequential,
                 run_all(workers),
                 "{} diverged at {workers} workers (grain {grain})",
+                s.name
+            );
+        }
+    }
+}
+
+#[test]
+fn simd_and_sharding_compose_byte_identically() {
+    // The SIMD kernel layer must be invisible in every report and output
+    // byte, and must stay invisible when composed with band sharding:
+    // {Auto, Scalar} x {1 worker, 4 workers} all produce one answer. (The
+    // CI golden matrix additionally crosses the FLEXAGON_SIMD environment
+    // override with worker counts across full golden_reports runs; this
+    // in-process form covers the EngineConfig knob.)
+    for s in representative_scenarios().into_iter().take(3) {
+        let grain = (s.a.nnz() / 6).max(1);
+        let run_all = |simd: SimdMode, workers: usize| -> String {
+            let mut cfg = AcceleratorConfig::table5();
+            cfg.engine = cfg.engine.sharded(grain, workers);
+            cfg.engine.simd = simd;
+            let accel = Flexagon::new(cfg);
+            Dataflow::ALL
+                .iter()
+                .map(|&df| {
+                    let out = accel.run(&s.a, &s.b, df).expect("scenario run");
+                    format!(
+                        "{df}:{}:{}",
+                        serde_json::to_string(&out.report).expect("report"),
+                        serde_json::to_string(&out.c).expect("matrix")
+                    )
+                })
+                .collect::<Vec<_>>()
+                .join("\n")
+        };
+        let reference = run_all(SimdMode::Auto, 1);
+        for (simd, workers) in [
+            (SimdMode::Auto, 4),
+            (SimdMode::Scalar, 1),
+            (SimdMode::Scalar, 4),
+        ] {
+            assert_eq!(
+                reference,
+                run_all(simd, workers),
+                "{} diverged at simd {simd:?} x {workers} workers",
                 s.name
             );
         }

@@ -36,12 +36,24 @@ pub struct BenchResult {
 #[derive(Debug, Default)]
 pub struct Criterion {
     results: Vec<BenchResult>,
+    filters: Vec<String>,
 }
 
 impl Criterion {
-    /// Creates a driver with default settings.
+    /// Creates a driver with default settings, taking substring filters
+    /// from the command line like real criterion: `cargo bench --bench
+    /// <suite> -- <substring>...` runs only benchmarks whose full id
+    /// contains one of the substrings. Flag-shaped arguments (cargo passes
+    /// `--bench` through to the harness) are ignored.
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            results: Vec::new(),
+            filters: std::env::args().skip(1).filter(|a| !a.starts_with('-')).collect(),
+        }
+    }
+
+    fn selected(&self, name: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| name.contains(f))
     }
 
     fn budget() -> Duration {
@@ -53,6 +65,9 @@ impl Criterion {
     }
 
     fn run_one<F: FnMut(&mut Bencher)>(&mut self, name: String, mut f: F) {
+        if !self.selected(&name) {
+            return;
+        }
         let mut bencher = Bencher { batches: Vec::new(), budget: Self::budget() };
         f(&mut bencher);
         let mut per_iter: Vec<f64> = bencher

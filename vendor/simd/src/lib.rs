@@ -1,0 +1,464 @@
+//! Portable-SIMD shim for the Flexagon kernels (offline build).
+//!
+//! The build environment has no crates.io access, so instead of `std::simd`
+//! (nightly) or the `wide` crate this in-tree shim exposes the *slice
+//! kernels* the simulator's hot loops need, each implemented three times:
+//!
+//! * an **x86_64 / AVX2** path over `core::arch::x86_64` intrinsics, taken
+//!   only after `is_x86_feature_detected!("avx2")` succeeds at runtime;
+//! * an **aarch64 / NEON** path over `core::arch::aarch64` intrinsics
+//!   (NEON is baseline on `aarch64-unknown-linux-gnu`, so no runtime probe
+//!   is needed);
+//! * a **mandatory scalar fallback** ([`scalar`]) that defines the
+//!   semantics: every SIMD path must be bit-identical to it — including
+//!   `f32` results, which is why the primitives only ever perform *lanewise*
+//!   float arithmetic (IEEE-754 multiplies round identically lane by lane)
+//!   and never reassociate sums.
+//!
+//! Dispatch is a per-call [`level()`] check: one relaxed atomic load plus a
+//! well-predicted branch, amortized to noise by the slice-granular API (a
+//! call processes a whole run, word, or fiber, not a lane).
+//!
+//! # Forcing the scalar path
+//!
+//! Two knobs force [`Level::Scalar`] everywhere, for A/B measurement and
+//! for covering the fallback in CI:
+//!
+//! * the `FLEXAGON_SIMD` environment variable — `off`, `0`, `false` or
+//!   `scalar` (case-insensitive), read once at first use;
+//! * [`set_scalar_only`] — the programmatic form behind
+//!   `EngineConfig::simd`. Like the environment variable it is
+//!   process-global; this is safe because every kernel is bit-identical on
+//!   either path, so a concurrent toggle can change *speed* but never a
+//!   result.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::OnceLock;
+
+#[cfg(target_arch = "aarch64")]
+mod neon;
+pub mod scalar;
+#[cfg(target_arch = "x86_64")]
+mod x86;
+
+/// The instruction-set level the dispatching primitives will use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Level {
+    /// The scalar fallback — also the semantic reference.
+    Scalar,
+    /// 128-bit NEON (aarch64 baseline).
+    Neon,
+    /// 256-bit AVX2 (runtime-detected on x86_64).
+    Avx2,
+}
+
+impl Level {
+    /// Level name for diagnostics and bench labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Scalar => "scalar",
+            Level::Neon => "neon",
+            Level::Avx2 => "avx2",
+        }
+    }
+}
+
+/// Runtime override set by [`set_scalar_only`] (the `EngineConfig::simd`
+/// knob); `false` by default.
+static RUNTIME_SCALAR: AtomicBool = AtomicBool::new(false);
+
+/// Whether `FLEXAGON_SIMD` forces the scalar path. Read once: the
+/// environment is a process-lifetime policy, not a per-call one.
+fn env_scalar() -> bool {
+    static ENV: OnceLock<bool> = OnceLock::new();
+    *ENV.get_or_init(|| {
+        std::env::var("FLEXAGON_SIMD")
+            .map(|v| {
+                let v = v.to_ascii_lowercase();
+                matches!(v.as_str(), "off" | "0" | "false" | "scalar")
+            })
+            .unwrap_or(false)
+    })
+}
+
+/// The best instruction-set level this machine supports (cached).
+fn detected() -> Level {
+    static DETECTED: OnceLock<Level> = OnceLock::new();
+    *DETECTED.get_or_init(|| {
+        #[cfg(target_arch = "x86_64")]
+        {
+            if std::is_x86_feature_detected!("avx2") {
+                Level::Avx2
+            } else {
+                Level::Scalar
+            }
+        }
+        #[cfg(target_arch = "aarch64")]
+        {
+            Level::Neon
+        }
+        #[cfg(not(any(target_arch = "x86_64", target_arch = "aarch64")))]
+        {
+            Level::Scalar
+        }
+    })
+}
+
+/// The level the primitives dispatch to right now: the detected level,
+/// unless the environment or [`set_scalar_only`] forces the fallback.
+#[inline]
+pub fn level() -> Level {
+    if env_scalar() || RUNTIME_SCALAR.load(Ordering::Relaxed) {
+        Level::Scalar
+    } else {
+        detected()
+    }
+}
+
+/// Forces (`true`) or releases (`false`) the scalar fallback process-wide.
+///
+/// The environment override ([`env_scalar`]) always wins; this flag only
+/// adds a second way to force scalar, it can never enable SIMD that
+/// `FLEXAGON_SIMD=off` disabled.
+pub fn set_scalar_only(scalar: bool) {
+    RUNTIME_SCALAR.store(scalar, Ordering::Relaxed);
+}
+
+/// Whether the scalar fallback is currently forced (by either knob).
+pub fn scalar_forced() -> bool {
+    env_scalar() || RUNTIME_SCALAR.load(Ordering::Relaxed)
+}
+
+/// Length of the longest prefix of `xs` whose elements are all `< pivot`.
+///
+/// For a sorted slice this is `xs.partition_point(|&x| x < pivot)` — the
+/// crossover the merge and intersection kernels advance by — found with
+/// 8-lane (AVX2) or 4-lane (NEON) unsigned compares instead of a
+/// branch-per-element scan.
+#[inline]
+pub fn prefix_lt_u32(xs: &[u32], pivot: u32) -> usize {
+    #[cfg(target_arch = "x86_64")]
+    if level() == Level::Avx2 {
+        // SAFETY: AVX2 presence was runtime-detected by `level()`.
+        return unsafe { x86::prefix_lt_u32(xs, pivot) };
+    }
+    #[cfg(target_arch = "aarch64")]
+    if level() == Level::Neon {
+        // SAFETY: NEON is a baseline feature of the aarch64 targets.
+        return unsafe { neon::prefix_lt_u32(xs, pivot) };
+    }
+    scalar::prefix_lt_u32(xs, pivot)
+}
+
+/// Length of the inline scalar head of [`run_lt_u32`].
+const RUN_HEAD: usize = 8;
+
+/// [`prefix_lt_u32`] tuned for *run discovery* in merge and intersection
+/// loops, where the common run length depends on the operand shapes and is
+/// often 1–2: the first [`RUN_HEAD`] elements are compared inline, so short
+/// runs never pay the dispatch check or the (non-inlinable,
+/// `#[target_feature]`) call into the vector scan, while a run that
+/// survives the head hands the remainder to [`prefix_lt_u32`] and gets the
+/// wide compares exactly where they amortize. Returns the same count as
+/// [`prefix_lt_u32`] on every input.
+///
+/// `#[inline(always)]`: the head is a handful of compares that must fuse
+/// into the caller's loop — at a call boundary it would cost exactly the
+/// overhead it exists to avoid.
+#[inline(always)]
+pub fn run_lt_u32(xs: &[u32], pivot: u32) -> usize {
+    let head = xs.len().min(RUN_HEAD);
+    let mut n = 0usize;
+    while n < head {
+        if xs[n] >= pivot {
+            return n;
+        }
+        n += 1;
+    }
+    if n < xs.len() {
+        n + prefix_lt_u32(&xs[n..], pivot)
+    } else {
+        n
+    }
+}
+
+/// Position of the first element equal to `target`, scanning left to right.
+///
+/// The vector paths compare whole blocks and recover the lane from the
+/// movemask, so short-tier index probes touch 4–8 coordinates per compare.
+#[inline]
+pub fn find_eq_u32(xs: &[u32], target: u32) -> Option<usize> {
+    #[cfg(target_arch = "x86_64")]
+    if level() == Level::Avx2 {
+        // SAFETY: AVX2 presence was runtime-detected by `level()`.
+        return unsafe { x86::find_eq_u32(xs, target) };
+    }
+    #[cfg(target_arch = "aarch64")]
+    if level() == Level::Neon {
+        // SAFETY: NEON is a baseline feature of the aarch64 targets.
+        return unsafe { neon::find_eq_u32(xs, target) };
+    }
+    scalar::find_eq_u32(xs, target)
+}
+
+/// Total set bits across `ws` — the rank query of the bitmap tiers.
+#[inline]
+pub fn popcount_u64(ws: &[u64]) -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    if level() == Level::Avx2 {
+        // SAFETY: AVX2 presence was runtime-detected by `level()`.
+        return unsafe { x86::popcount_u64(ws) };
+    }
+    #[cfg(target_arch = "aarch64")]
+    if level() == Level::Neon {
+        // SAFETY: NEON is a baseline feature of the aarch64 targets.
+        return unsafe { neon::popcount_u64(ws) };
+    }
+    scalar::popcount_u64(ws)
+}
+
+/// Set bits of the wide AND of two equal-length masks — the structural
+/// intersection count of two bitmaps.
+///
+/// # Panics
+///
+/// Panics if the slices differ in length.
+#[inline]
+pub fn and_popcount_u64(a: &[u64], b: &[u64]) -> u64 {
+    assert_eq!(a.len(), b.len(), "mask lengths must match");
+    #[cfg(target_arch = "x86_64")]
+    if level() == Level::Avx2 {
+        // SAFETY: AVX2 presence was runtime-detected by `level()`.
+        return unsafe { x86::and_popcount_u64(a, b) };
+    }
+    #[cfg(target_arch = "aarch64")]
+    if level() == Level::Neon {
+        // SAFETY: NEON is a baseline feature of the aarch64 targets.
+        return unsafe { neon::and_popcount_u64(a, b) };
+    }
+    scalar::and_popcount_u64(a, b)
+}
+
+/// Appends, for every set bit `b` of `word` in ascending order,
+/// `base.wrapping_add(b)` to `coords` and `vals[b]` to `values` — the
+/// presence-word compaction step of the accumulator drains.
+///
+/// The AVX2 path is a compress-store: per mask byte, a precomputed
+/// shuffle-index table compacts 8 value lanes with one `vpermps` and
+/// derives the coordinates from the same index vector, advancing the
+/// output by the byte's popcount. Words with fewer than
+/// [`COMPRESS_DENSE_MIN_BITS`] set bits take the scalar bit loop on every
+/// level: the per-byte permute setup only amortizes on dense words, and
+/// the mostly-empty pages of the paged accumulator tier are measurably
+/// faster through `trailing_zeros` stepping.
+///
+/// # Panics
+///
+/// Panics if `vals` holds fewer than 64 slots (the fixed window a presence
+/// word addresses).
+#[inline]
+pub fn compress_word(
+    word: u64,
+    base: u32,
+    vals: &[f32],
+    coords: &mut Vec<u32>,
+    values: &mut Vec<f32>,
+) {
+    assert!(vals.len() >= 64, "a presence word addresses 64 value slots");
+    #[cfg(target_arch = "x86_64")]
+    if word.count_ones() >= COMPRESS_DENSE_MIN_BITS && level() == Level::Avx2 {
+        // SAFETY: AVX2 presence was runtime-detected by `level()`.
+        unsafe { x86::compress_word(word, base, vals, coords, values) };
+        return;
+    }
+    scalar::compress_word(word, base, vals, coords, values)
+}
+
+/// Set-bit density below which [`compress_word`] prefers the scalar bit
+/// loop (see its docs). A quarter-full word gives each nonzero mask byte
+/// ~2 lanes of useful permute work, about where the vector path breaks
+/// even with `trailing_zeros` stepping on this container class.
+#[cfg(target_arch = "x86_64")]
+const COMPRESS_DENSE_MIN_BITS: u32 = 16;
+
+/// Appends `src[i] * factor` for every element of `src` to `out`.
+///
+/// Lanewise IEEE-754 multiplies round identically to the scalar loop, so
+/// the result is bit-identical — this is the streaming-phase scaling of
+/// the Outer-Product and Gustavson dataflows.
+#[inline]
+pub fn extend_scaled_f32(src: &[f32], factor: f32, out: &mut Vec<f32>) {
+    #[cfg(target_arch = "x86_64")]
+    if level() == Level::Avx2 {
+        // SAFETY: AVX2 presence was runtime-detected by `level()`.
+        unsafe { x86::extend_scaled_f32(src, factor, out) };
+        return;
+    }
+    #[cfg(target_arch = "aarch64")]
+    if level() == Level::Neon {
+        // SAFETY: NEON is a baseline feature of the aarch64 targets.
+        unsafe { neon::extend_scaled_f32(src, factor, out) };
+        return;
+    }
+    scalar::extend_scaled_f32(src, factor, out)
+}
+
+/// Shuffle-index table for [`compress_word`]: entry `m` holds the bit
+/// positions of the set bits of the byte `m`, in ascending order, padded
+/// with zeros — simultaneously the `vpermps` control vector and the
+/// coordinate offsets.
+#[cfg(target_arch = "x86_64")]
+pub(crate) static COMPRESS_IDX: [[u32; 8]; 256] = build_compress_idx();
+
+#[cfg(target_arch = "x86_64")]
+const fn build_compress_idx() -> [[u32; 8]; 256] {
+    let mut lut = [[0u32; 8]; 256];
+    let mut m = 0usize;
+    while m < 256 {
+        let mut out = 0usize;
+        let mut b = 0usize;
+        while b < 8 {
+            if m & (1 << b) != 0 {
+                lut[m][out] = b as u32;
+                out += 1;
+            }
+            b += 1;
+        }
+        m += 1;
+    }
+    lut
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sorted(seed: u64, len: usize, space: u32) -> Vec<u32> {
+        // Deterministic pseudo-random strictly-increasing coordinates.
+        let mut out = Vec::with_capacity(len);
+        let mut x = seed;
+        let mut c = 0u32;
+        for _ in 0..len {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            c = c.saturating_add(1 + (x >> 33) as u32 % (space / len.max(1) as u32).max(1));
+            out.push(c);
+        }
+        out
+    }
+
+    #[test]
+    fn prefix_lt_matches_scalar_on_all_lengths() {
+        for len in 0..70 {
+            let xs = sorted(7, len, 4 * len.max(1) as u32);
+            for &pivot in &[0u32, 1, 5, u32::MAX] {
+                assert_eq!(
+                    prefix_lt_u32(&xs, pivot),
+                    scalar::prefix_lt_u32(&xs, pivot),
+                    "len {len} pivot {pivot}"
+                );
+            }
+            // Pivot inside the slice: exact crossovers.
+            for &p in xs.iter().step_by(3) {
+                assert_eq!(prefix_lt_u32(&xs, p), scalar::prefix_lt_u32(&xs, p));
+                assert_eq!(
+                    prefix_lt_u32(&xs, p.wrapping_add(1)),
+                    scalar::prefix_lt_u32(&xs, p.wrapping_add(1))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn run_lt_matches_prefix_lt_on_all_lengths() {
+        // The inline head must be invisible: same count as the plain
+        // primitive at every length, including lengths straddling the head.
+        for len in 0..70 {
+            let xs = sorted(13, len, 4 * len.max(1) as u32);
+            for &pivot in &[0u32, 1, 5, u32::MAX] {
+                assert_eq!(run_lt_u32(&xs, pivot), scalar::prefix_lt_u32(&xs, pivot));
+            }
+            for &p in xs.iter().step_by(3) {
+                assert_eq!(run_lt_u32(&xs, p), scalar::prefix_lt_u32(&xs, p));
+                assert_eq!(
+                    run_lt_u32(&xs, p.wrapping_add(1)),
+                    scalar::prefix_lt_u32(&xs, p.wrapping_add(1))
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn find_eq_matches_scalar() {
+        for len in 0..70 {
+            let xs = sorted(11, len, 8 * len.max(1) as u32);
+            for probe in 0..xs.last().copied().unwrap_or(0) + 2 {
+                assert_eq!(find_eq_u32(&xs, probe), scalar::find_eq_u32(&xs, probe));
+            }
+        }
+        // First match wins on duplicates (unsorted input is allowed).
+        let dup = [3u32, 9, 9, 1, 9];
+        assert_eq!(find_eq_u32(&dup, 9), Some(1));
+    }
+
+    #[test]
+    fn popcounts_match_scalar() {
+        for len in 0..20 {
+            let ws: Vec<u64> = (0..len)
+                .map(|i| (i as u64).wrapping_mul(0x9e3779b97f4a7c15) ^ (i as u64) << 7)
+                .collect();
+            let other: Vec<u64> = ws.iter().map(|w| w.rotate_left(13) ^ 0xff00ff00).collect();
+            assert_eq!(popcount_u64(&ws), scalar::popcount_u64(&ws));
+            assert_eq!(
+                and_popcount_u64(&ws, &other),
+                scalar::and_popcount_u64(&ws, &other)
+            );
+        }
+    }
+
+    #[test]
+    fn compress_word_matches_scalar() {
+        let vals: Vec<f32> = (0..64).map(|i| i as f32 * 1.5 - 7.0).collect();
+        let words = [
+            0u64,
+            1,
+            u64::MAX,
+            0x8000_0000_0000_0001,
+            0xAAAA_5555_F0F0_0F0F,
+            0x0123_4567_89AB_CDEF,
+        ];
+        for &w in &words {
+            let (mut c1, mut v1) = (vec![99u32], vec![0.5f32]);
+            let (mut c2, mut v2) = (vec![99u32], vec![0.5f32]);
+            compress_word(w, 1000, &vals, &mut c1, &mut v1);
+            scalar::compress_word(w, 1000, &vals, &mut c2, &mut v2);
+            assert_eq!(c1, c2, "word {w:#x}");
+            assert_eq!(v1, v2, "word {w:#x}");
+        }
+    }
+
+    #[test]
+    fn extend_scaled_matches_scalar_bitwise() {
+        for len in 0..40 {
+            let src: Vec<f32> = (0..len).map(|i| (i as f32 - 3.5) * 0.3).collect();
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            extend_scaled_f32(&src, 0.7, &mut a);
+            scalar::extend_scaled_f32(&src, 0.7, &mut b);
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(&b) {
+                assert_eq!(x.to_bits(), y.to_bits(), "len {len}");
+            }
+        }
+    }
+
+    #[test]
+    fn scalar_override_forces_fallback() {
+        set_scalar_only(true);
+        assert_eq!(level(), Level::Scalar);
+        assert!(scalar_forced());
+        set_scalar_only(false);
+        // Whatever the machine supports; just must not panic.
+        let _ = level().name();
+    }
+}

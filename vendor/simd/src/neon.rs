@@ -1,0 +1,118 @@
+//! NEON implementations (aarch64).
+//!
+//! NEON is a baseline feature of the `aarch64-unknown-linux-gnu`-family
+//! targets, so no runtime probe is needed; the dispatchers still call these
+//! through `unsafe` for symmetry with the AVX2 path. Lane masks are
+//! extracted with the narrow-to-u16 / reinterpret-as-u64 trick (each lane
+//! contributes 16 mask bits), popcounts via the `vcnt` + pairwise-widening
+//! chain. The compress-store drain has no cheap NEON equivalent of
+//! `vpermps`, so [`crate::compress_word`] keeps the scalar loop on aarch64.
+
+#![allow(clippy::missing_safety_doc)] // SAFETY contract is module-wide: NEON is baseline on aarch64.
+
+use core::arch::aarch64::*;
+
+/// 64-bit mask with 16 bits per lane, set where the lane predicate held.
+#[inline]
+#[target_feature(enable = "neon")]
+unsafe fn mask4(cmp: uint32x4_t) -> u64 {
+    vget_lane_u64(vreinterpret_u64_u16(vmovn_u32(cmp)), 0)
+}
+
+/// See [`crate::prefix_lt_u32`].
+#[target_feature(enable = "neon")]
+pub unsafe fn prefix_lt_u32(xs: &[u32], pivot: u32) -> usize {
+    let n = xs.len();
+    let pv = vdupq_n_u32(pivot);
+    let mut i = 0;
+    while i + 4 <= n {
+        let v = unsafe { vld1q_u32(xs.as_ptr().add(i)) };
+        let m = unsafe { mask4(vcltq_u32(v, pv)) };
+        if m != u64::MAX {
+            // 16 mask bits per lane; the first lane failing `x < pivot`
+            // ends the prefix.
+            return i + (m.trailing_ones() / 16) as usize;
+        }
+        i += 4;
+    }
+    i + crate::scalar::prefix_lt_u32(&xs[i..], pivot)
+}
+
+/// See [`crate::find_eq_u32`].
+#[target_feature(enable = "neon")]
+pub unsafe fn find_eq_u32(xs: &[u32], target: u32) -> Option<usize> {
+    let n = xs.len();
+    let tv = vdupq_n_u32(target);
+    let mut i = 0;
+    while i + 4 <= n {
+        let v = unsafe { vld1q_u32(xs.as_ptr().add(i)) };
+        let m = unsafe { mask4(vceqq_u32(v, tv)) };
+        if m != 0 {
+            return Some(i + (m.trailing_zeros() / 16) as usize);
+        }
+        i += 4;
+    }
+    crate::scalar::find_eq_u32(&xs[i..], target).map(|p| i + p)
+}
+
+/// Per-128-bit-chunk popcount reduced to a u64x2 partial sum.
+#[inline]
+#[target_feature(enable = "neon")]
+unsafe fn popcount_chunk(v: uint8x16_t) -> uint64x2_t {
+    vpaddlq_u32(vpaddlq_u16(vpaddlq_u8(vcntq_u8(v))))
+}
+
+/// See [`crate::popcount_u64`].
+#[target_feature(enable = "neon")]
+pub unsafe fn popcount_u64(ws: &[u64]) -> u64 {
+    let n = ws.len();
+    let mut acc = vdupq_n_u64(0);
+    let mut i = 0;
+    while i + 2 <= n {
+        let v = unsafe { vld1q_u8(ws.as_ptr().add(i) as *const u8) };
+        acc = vaddq_u64(acc, unsafe { popcount_chunk(v) });
+        i += 2;
+    }
+    let mut total = vgetq_lane_u64(acc, 0).wrapping_add(vgetq_lane_u64(acc, 1));
+    total += crate::scalar::popcount_u64(&ws[i..]);
+    total
+}
+
+/// See [`crate::and_popcount_u64`]. Caller guarantees equal lengths.
+#[target_feature(enable = "neon")]
+pub unsafe fn and_popcount_u64(a: &[u64], b: &[u64]) -> u64 {
+    let n = a.len();
+    let mut acc = vdupq_n_u64(0);
+    let mut i = 0;
+    while i + 2 <= n {
+        let va = unsafe { vld1q_u8(a.as_ptr().add(i) as *const u8) };
+        let vb = unsafe { vld1q_u8(b.as_ptr().add(i) as *const u8) };
+        acc = vaddq_u64(acc, unsafe { popcount_chunk(vandq_u8(va, vb)) });
+        i += 2;
+    }
+    let mut total = vgetq_lane_u64(acc, 0).wrapping_add(vgetq_lane_u64(acc, 1));
+    total += crate::scalar::and_popcount_u64(&a[i..], &b[i..]);
+    total
+}
+
+/// See [`crate::extend_scaled_f32`].
+#[target_feature(enable = "neon")]
+pub unsafe fn extend_scaled_f32(src: &[f32], factor: f32, out: &mut Vec<f32>) {
+    let n = src.len();
+    out.reserve(n);
+    let mut o = out.len();
+    let mut i = 0;
+    while i + 4 <= n {
+        // SAFETY: `i + 4 <= n` bounds the load; `reserve(n)` above bounds
+        // the store.
+        unsafe {
+            let v = vld1q_f32(src.as_ptr().add(i));
+            vst1q_f32(out.as_mut_ptr().add(o), vmulq_n_f32(v, factor));
+        }
+        i += 4;
+        o += 4;
+    }
+    // SAFETY: `o` lanes are initialized and within capacity.
+    unsafe { out.set_len(o) };
+    out.extend(src[i..].iter().map(|&v| v * factor));
+}

@@ -1,0 +1,63 @@
+//! Scalar reference implementations — the semantic ground truth.
+//!
+//! Every vector path in this crate must produce results bit-identical to
+//! these loops on all inputs; the differential tests in `flexagon-sparse`
+//! compare against them directly. They are also the runtime fallback when
+//! no vector unit is detected or `FLEXAGON_SIMD=off` forces them, so they
+//! are written to be good scalar code, not just specifications.
+
+/// See [`crate::prefix_lt_u32`].
+#[inline]
+pub fn prefix_lt_u32(xs: &[u32], pivot: u32) -> usize {
+    let mut i = 0;
+    while i < xs.len() && xs[i] < pivot {
+        i += 1;
+    }
+    i
+}
+
+/// See [`crate::find_eq_u32`].
+#[inline]
+pub fn find_eq_u32(xs: &[u32], target: u32) -> Option<usize> {
+    xs.iter().position(|&x| x == target)
+}
+
+/// See [`crate::popcount_u64`].
+#[inline]
+pub fn popcount_u64(ws: &[u64]) -> u64 {
+    ws.iter().map(|w| w.count_ones() as u64).sum()
+}
+
+/// See [`crate::and_popcount_u64`]. Callers guarantee equal lengths.
+#[inline]
+pub fn and_popcount_u64(a: &[u64], b: &[u64]) -> u64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x & y).count_ones() as u64)
+        .sum()
+}
+
+/// See [`crate::compress_word`]: ascending bit extraction via
+/// `trailing_zeros` + clear-lowest-set-bit.
+#[inline]
+pub fn compress_word(
+    word: u64,
+    base: u32,
+    vals: &[f32],
+    coords: &mut Vec<u32>,
+    values: &mut Vec<f32>,
+) {
+    let mut w = word;
+    while w != 0 {
+        let b = w.trailing_zeros() as usize;
+        coords.push(base.wrapping_add(b as u32));
+        values.push(vals[b]);
+        w &= w - 1;
+    }
+}
+
+/// See [`crate::extend_scaled_f32`].
+#[inline]
+pub fn extend_scaled_f32(src: &[f32], factor: f32, out: &mut Vec<f32>) {
+    out.extend(src.iter().map(|&v| v * factor));
+}

@@ -1,0 +1,201 @@
+//! AVX2 implementations (x86_64, runtime-detected).
+//!
+//! Every function here carries `#[target_feature(enable = "avx2")]` and is
+//! `unsafe` to call: the dispatchers in the crate root only reach them after
+//! `is_x86_feature_detected!("avx2")` succeeded. Unsigned 32-bit compares
+//! are synthesized by XOR-biasing both operands with `i32::MIN` and using
+//! the signed compare AVX2 does have; popcounts use the nibble-LUT + `vpsadbw`
+//! reduction (Mula's method); the compress-store drain combines a per-byte
+//! shuffle-index table with `vpermps`.
+
+#![allow(clippy::missing_safety_doc)] // SAFETY contract is module-wide: caller detected AVX2.
+
+use core::arch::x86_64::*;
+
+use crate::COMPRESS_IDX;
+
+/// Movemask of the per-lane `x < pivot` predicate for 8 u32 lanes.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn lt_mask(v: __m256i, biased_pivot: __m256i, bias: __m256i) -> u32 {
+    let vb = _mm256_xor_si256(v, bias);
+    let lt = _mm256_cmpgt_epi32(biased_pivot, vb);
+    _mm256_movemask_ps(_mm256_castsi256_ps(lt)) as u32
+}
+
+/// See [`crate::prefix_lt_u32`].
+#[target_feature(enable = "avx2")]
+pub unsafe fn prefix_lt_u32(xs: &[u32], pivot: u32) -> usize {
+    let n = xs.len();
+    let bias = _mm256_set1_epi32(i32::MIN);
+    let pv = _mm256_xor_si256(_mm256_set1_epi32(pivot as i32), bias);
+    let mut i = 0;
+    while i + 8 <= n {
+        let v = unsafe { _mm256_loadu_si256(xs.as_ptr().add(i) as *const __m256i) };
+        let mask = unsafe { lt_mask(v, pv, bias) };
+        if mask != 0xff {
+            // First lane that fails `x < pivot` ends the prefix.
+            return i + mask.trailing_ones() as usize;
+        }
+        i += 8;
+    }
+    i + crate::scalar::prefix_lt_u32(&xs[i..], pivot)
+}
+
+/// See [`crate::find_eq_u32`].
+#[target_feature(enable = "avx2")]
+pub unsafe fn find_eq_u32(xs: &[u32], target: u32) -> Option<usize> {
+    let n = xs.len();
+    let tv = _mm256_set1_epi32(target as i32);
+    let mut i = 0;
+    while i + 8 <= n {
+        let v = unsafe { _mm256_loadu_si256(xs.as_ptr().add(i) as *const __m256i) };
+        let eq = _mm256_cmpeq_epi32(v, tv);
+        let mask = _mm256_movemask_ps(_mm256_castsi256_ps(eq)) as u32;
+        if mask != 0 {
+            // Lowest set lane is the leftmost match.
+            return Some(i + mask.trailing_zeros() as usize);
+        }
+        i += 8;
+    }
+    crate::scalar::find_eq_u32(&xs[i..], target).map(|p| i + p)
+}
+
+/// Per-byte popcount of a 256-bit vector, reduced to four u64 partial sums
+/// (Mula's nibble-LUT method: two `vpshufb` lookups + `vpsadbw`).
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn popcount_bytes(v: __m256i) -> __m256i {
+    #[rustfmt::skip]
+    let lookup = _mm256_setr_epi8(
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+        0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+    );
+    let low_nibble = _mm256_set1_epi8(0x0f);
+    let lo = _mm256_and_si256(v, low_nibble);
+    let hi = _mm256_and_si256(_mm256_srli_epi16(v, 4), low_nibble);
+    let cnt = _mm256_add_epi8(
+        _mm256_shuffle_epi8(lookup, lo),
+        _mm256_shuffle_epi8(lookup, hi),
+    );
+    _mm256_sad_epu8(cnt, _mm256_setzero_si256())
+}
+
+/// Horizontal sum of the four u64 lanes of `acc`.
+#[inline]
+#[target_feature(enable = "avx2")]
+unsafe fn hsum_epi64(acc: __m256i) -> u64 {
+    let mut lanes = [0u64; 4];
+    unsafe { _mm256_storeu_si256(lanes.as_mut_ptr() as *mut __m256i, acc) };
+    lanes[0]
+        .wrapping_add(lanes[1])
+        .wrapping_add(lanes[2])
+        .wrapping_add(lanes[3])
+}
+
+/// See [`crate::popcount_u64`].
+#[target_feature(enable = "avx2")]
+pub unsafe fn popcount_u64(ws: &[u64]) -> u64 {
+    let n = ws.len();
+    let mut acc = _mm256_setzero_si256();
+    let mut i = 0;
+    while i + 4 <= n {
+        let v = unsafe { _mm256_loadu_si256(ws.as_ptr().add(i) as *const __m256i) };
+        acc = _mm256_add_epi64(acc, unsafe { popcount_bytes(v) });
+        i += 4;
+    }
+    let mut total = unsafe { hsum_epi64(acc) };
+    total += crate::scalar::popcount_u64(&ws[i..]);
+    total
+}
+
+/// See [`crate::and_popcount_u64`]. Caller guarantees equal lengths.
+#[target_feature(enable = "avx2")]
+pub unsafe fn and_popcount_u64(a: &[u64], b: &[u64]) -> u64 {
+    let n = a.len();
+    let mut acc = _mm256_setzero_si256();
+    let mut i = 0;
+    while i + 4 <= n {
+        let va = unsafe { _mm256_loadu_si256(a.as_ptr().add(i) as *const __m256i) };
+        let vb = unsafe { _mm256_loadu_si256(b.as_ptr().add(i) as *const __m256i) };
+        acc = _mm256_add_epi64(acc, unsafe { popcount_bytes(_mm256_and_si256(va, vb)) });
+        i += 4;
+    }
+    let mut total = unsafe { hsum_epi64(acc) };
+    total += crate::scalar::and_popcount_u64(&a[i..], &b[i..]);
+    total
+}
+
+/// See [`crate::compress_word`]. Caller guarantees `vals.len() >= 64`.
+///
+/// Processes the presence word one mask byte at a time: the shuffle-index
+/// table entry for the byte compacts the corresponding 8 value lanes to the
+/// front with a single `vpermps`, and doubles as the coordinate offsets
+/// (broadcast base + index vector). Both stores write a full 8-lane block
+/// and only advance the logical length by the byte's popcount — the slack
+/// lanes are overwritten by the next byte or discarded by the final
+/// `set_len`, which is why `reserve` adds 8 lanes beyond the exact count.
+#[target_feature(enable = "avx2")]
+pub unsafe fn compress_word(
+    word: u64,
+    base: u32,
+    vals: &[f32],
+    coords: &mut Vec<u32>,
+    values: &mut Vec<f32>,
+) {
+    let total = word.count_ones() as usize;
+    coords.reserve(total + 8);
+    values.reserve(total + 8);
+    let mut ci = coords.len();
+    let mut vi = values.len();
+    for k in 0..8usize {
+        let m = ((word >> (k * 8)) & 0xff) as usize;
+        if m == 0 {
+            continue;
+        }
+        // SAFETY: the LUT row is 8 u32s; `vals[k*8..k*8+8]` is in bounds for
+        // `vals.len() >= 64`; both destinations have >= 8 lanes of reserved
+        // capacity past their logical length (see doc above).
+        unsafe {
+            let idx = _mm256_loadu_si256(COMPRESS_IDX[m].as_ptr() as *const __m256i);
+            let v = _mm256_loadu_ps(vals.as_ptr().add(k * 8));
+            let packed = _mm256_permutevar8x32_ps(v, idx);
+            let base_k = _mm256_set1_epi32(base.wrapping_add((k as u32) * 8) as i32);
+            let cvec = _mm256_add_epi32(base_k, idx);
+            _mm256_storeu_si256(coords.as_mut_ptr().add(ci) as *mut __m256i, cvec);
+            _mm256_storeu_ps(values.as_mut_ptr().add(vi), packed);
+        }
+        let c = m.count_ones() as usize;
+        ci += c;
+        vi += c;
+    }
+    // SAFETY: exactly `total` lanes past the original lengths were written
+    // with initialized data, and capacity was reserved above.
+    unsafe {
+        coords.set_len(ci);
+        values.set_len(vi);
+    }
+}
+
+/// See [`crate::extend_scaled_f32`].
+#[target_feature(enable = "avx2")]
+pub unsafe fn extend_scaled_f32(src: &[f32], factor: f32, out: &mut Vec<f32>) {
+    let n = src.len();
+    out.reserve(n);
+    let f = _mm256_set1_ps(factor);
+    let mut o = out.len();
+    let mut i = 0;
+    while i + 8 <= n {
+        // SAFETY: `i + 8 <= n` bounds the load; `reserve(n)` above bounds
+        // the store at `o < out.len() + n - 7`.
+        unsafe {
+            let v = _mm256_loadu_ps(src.as_ptr().add(i));
+            _mm256_storeu_ps(out.as_mut_ptr().add(o), _mm256_mul_ps(v, f));
+        }
+        i += 8;
+        o += 8;
+    }
+    // SAFETY: `o` lanes are initialized and within capacity.
+    unsafe { out.set_len(o) };
+    out.extend(src[i..].iter().map(|&v| v * factor));
+}
