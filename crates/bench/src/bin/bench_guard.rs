@@ -1,10 +1,24 @@
 //! Compares a criterion-shim results file against the recorded baseline in
 //! `BENCH_spgemm.json` and fails on real per-benchmark regressions.
 //!
-//! Usage: `bench_guard [results.json] [baseline.json]` (defaults:
-//! `target/bench_results.json`, `BENCH_spgemm.json`). The results file is
-//! the record-per-line output the vendored criterion shim appends to
-//! `FLEXAGON_BENCH_JSON`.
+//! Usage: `bench_guard [--only PREFIX]... [--skip PREFIX]...
+//! [results.json] [baseline.json]` (defaults: `target/bench_results.json`,
+//! `BENCH_spgemm.json`). The results file is the record-per-line output the
+//! vendored criterion shim appends to `FLEXAGON_BENCH_JSON`. `--only`
+//! restricts the gated baseline set to benchmarks whose name starts with
+//! `PREFIX` (repeatable; any match qualifies), `--skip` excludes a prefix —
+//! so CI jobs each gate their own suite against the shared baseline file
+//! without tripping the unmatched-entry failure for suites they do not run
+//! (serve-smoke passes `--only serve_wallclock/`, bench-smoke passes
+//! `--skip serve_wallclock/`); within the filtered set, unmatched gated
+//! baselines still fail.
+//!
+//! Latency-percentile baselines: an entry carrying `post_p50_ns` /
+//! `post_p99_ns` alongside `post_ns_per_iter` gates those fields against
+//! the measurement's `p50_ns` / `p99_ns` (rows labeled `/p50`, `/p99`),
+//! with the same machine-factor normalization. A percentile recorded in
+//! the baseline but missing from the measurement is an unmatched failure —
+//! dropping a percentile silently must not shrink the guarded set.
 //!
 //! CI machines are not the machine the baseline was recorded on, so raw
 //! nanosecond comparisons would flag every benchmark on a slower runner. The
@@ -43,6 +57,8 @@ struct BaselineEntry {
     benchmark: String,
     post_ns_per_iter: f64,
     threads: Option<u64>,
+    post_p50_ns: Option<f64>,
+    post_p99_ns: Option<f64>,
 }
 
 impl Deserialize for BaselineEntry {
@@ -54,17 +70,21 @@ impl Deserialize for BaselineEntry {
             benchmark: Deserialize::from_value(serde::map_get(m, "benchmark")?)?,
             post_ns_per_iter: Deserialize::from_value(serde::map_get(m, "post_ns_per_iter")?)?,
             threads: optional_u64(m, "threads")?,
+            post_p50_ns: optional_f64(m, "post_p50_ns")?,
+            post_p99_ns: optional_f64(m, "post_p99_ns")?,
         })
     }
 }
 
-/// One line of the criterion shim's results file (or the wall-clock
-/// runner's, which adds `threads`).
+/// One line of the criterion shim's results file (or a wall-clock
+/// runner's, which may add `threads` and latency percentiles).
 #[derive(Debug)]
 struct Measured {
     name: String,
     ns_per_iter: f64,
     threads: Option<u64>,
+    p50_ns: Option<f64>,
+    p99_ns: Option<f64>,
 }
 
 impl Deserialize for Measured {
@@ -76,12 +96,22 @@ impl Deserialize for Measured {
             name: Deserialize::from_value(serde::map_get(m, "name")?)?,
             ns_per_iter: Deserialize::from_value(serde::map_get(m, "ns_per_iter")?)?,
             threads: optional_u64(m, "threads")?,
+            p50_ns: optional_f64(m, "p50_ns")?,
+            p99_ns: optional_f64(m, "p99_ns")?,
         })
     }
 }
 
 /// Reads an optional numeric field: absent and `null` both mean `None`.
 fn optional_u64(m: &[(String, Value)], key: &str) -> Result<Option<u64>, DeError> {
+    match serde::map_get(m, key) {
+        Ok(Value::Null) | Err(_) => Ok(None),
+        Ok(v) => Deserialize::from_value(v).map(Some),
+    }
+}
+
+/// Reads an optional float field: absent and `null` both mean `None`.
+fn optional_f64(m: &[(String, Value)], key: &str) -> Result<Option<f64>, DeError> {
     match serde::map_get(m, key) {
         Ok(Value::Null) | Err(_) => Ok(None),
         Ok(v) => Deserialize::from_value(v).map(Some),
@@ -99,11 +129,32 @@ fn label(b: &BaselineEntry) -> String {
 }
 
 fn main() -> ExitCode {
+    let mut only: Vec<String> = Vec::new();
+    let mut skip: Vec<String> = Vec::new();
+    let mut positional: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
-    let results_path = args
+    while let Some(arg) = args.next() {
+        if arg == "--only" || arg == "--skip" {
+            let Some(p) = args.next() else {
+                eprintln!("bench_guard: {arg} needs a benchmark-name prefix");
+                return ExitCode::FAILURE;
+            };
+            if arg == "--only" {
+                only.push(p)
+            } else {
+                skip.push(p)
+            }
+        } else {
+            positional.push(arg);
+        }
+    }
+    let mut positional = positional.into_iter();
+    let results_path = positional
         .next()
         .unwrap_or_else(|| "target/bench_results.json".into());
-    let baseline_path = args.next().unwrap_or_else(|| "BENCH_spgemm.json".into());
+    let baseline_path = positional
+        .next()
+        .unwrap_or_else(|| "BENCH_spgemm.json".into());
     let tolerance: f64 = std::env::var("BENCH_GUARD_TOLERANCE")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -144,6 +195,12 @@ fn main() -> ExitCode {
     let mut rows: Vec<(String, f64, f64, f64)> = Vec::new(); // name, base, now, ratio
     let mut unmatched: Vec<String> = Vec::new();
     for b in &baseline.results {
+        if !only.is_empty() && !only.iter().any(|p| b.benchmark.starts_with(p.as_str())) {
+            continue;
+        }
+        if skip.iter().any(|p| b.benchmark.starts_with(p.as_str())) {
+            continue;
+        }
         if b.post_ns_per_iter < MIN_GATED_NS {
             continue;
         }
@@ -156,12 +213,32 @@ fn main() -> ExitCode {
         // while one not measured at all fails below.
         let same_name = || measured.iter().rev().filter(|m| m.name == b.benchmark);
         match same_name().find(|m| m.threads.unwrap_or(1) == b.threads.unwrap_or(1)) {
-            Some(m) => rows.push((
-                label(b),
-                b.post_ns_per_iter,
-                m.ns_per_iter,
-                m.ns_per_iter / b.post_ns_per_iter,
-            )),
+            Some(m) => {
+                rows.push((
+                    label(b),
+                    b.post_ns_per_iter,
+                    m.ns_per_iter,
+                    m.ns_per_iter / b.post_ns_per_iter,
+                ));
+                // Latency-percentile baselines gate alongside the mean: one
+                // row per recorded percentile, matched against the same
+                // measurement. A baseline percentile the runner stopped
+                // reporting is an unmatched failure, same as a dropped
+                // benchmark.
+                let percentiles = [
+                    ("p50", b.post_p50_ns, m.p50_ns),
+                    ("p99", b.post_p99_ns, m.p99_ns),
+                ];
+                for (suffix, base, now) in percentiles {
+                    match (base, now) {
+                        (Some(base), Some(now)) => {
+                            rows.push((format!("{}/{suffix}", label(b)), base, now, now / base));
+                        }
+                        (Some(_), None) => unmatched.push(format!("{}/{suffix}", label(b))),
+                        (None, _) => {}
+                    }
+                }
+            }
             None if same_name().next().is_some() => {
                 println!(
                     "  {:<44} skipped: baseline at {} thread(s), measured only at {:?}",

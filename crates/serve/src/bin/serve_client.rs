@@ -1,0 +1,229 @@
+//! The `serve_client` CLI: drives a running `flexagon_served` daemon.
+//!
+//! ```text
+//! serve_client --addr ADDR ping
+//! serve_client --addr ADDR stats [--json PATH]
+//! serve_client --addr ADDR shutdown
+//! serve_client --addr ADDR load [--clients N] [--requests N] [--dim N]
+//!              [--density F] [--tenant T] [--strategy S] [--seed N] [--ids]
+//! ```
+//!
+//! `load` fans `--clients` threads, each its own connection, each issuing
+//! `--requests` SpGEMM jobs over deterministic operands; with `--ids` all
+//! clients share cache identities so the operand cache reaches steady
+//! state. Prints aggregate p50/p99/mean latency and throughput; exits
+//! nonzero if any request failed.
+
+use flexagon_serve::protocol::{RawValue, Request, Response, SpGemmRequest};
+use flexagon_serve::Client;
+use flexagon_sparse::MajorOrder;
+use rand::SeedableRng;
+use std::time::Instant;
+
+struct LoadArgs {
+    clients: usize,
+    requests: usize,
+    dim: u32,
+    density: f64,
+    tenant: String,
+    strategy: String,
+    seed: u64,
+    ids: bool,
+}
+
+impl Default for LoadArgs {
+    fn default() -> Self {
+        Self {
+            clients: 2,
+            requests: 16,
+            dim: 96,
+            density: 0.3,
+            tenant: "load".to_owned(),
+            strategy: "heuristic".to_owned(),
+            seed: 7,
+            ids: false,
+        }
+    }
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: serve_client --addr ADDR (ping | shutdown | stats [--json PATH] | \
+         load [--clients N] [--requests N] [--dim N] [--density F] [--tenant T] \
+         [--strategy S] [--seed N] [--ids])"
+    );
+    std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("serve_client: {msg}");
+    std::process::exit(1);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = None;
+    let mut mode = None;
+    let mut rest = Vec::new();
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--addr" => addr = Some(it.next().unwrap_or_else(|| usage())),
+            "ping" | "shutdown" | "stats" | "load" if mode.is_none() => mode = Some(a),
+            _ => rest.push(a),
+        }
+    }
+    let addr = addr.unwrap_or_else(|| usage());
+    match mode.as_deref() {
+        Some("ping") => {
+            let resp = one_request(&addr, &Request::Ping);
+            match resp {
+                Response::Pong => println!("pong"),
+                other => fail(&format!("unexpected reply {other:?}")),
+            }
+        }
+        Some("shutdown") => {
+            let resp = one_request(&addr, &Request::Shutdown);
+            match resp {
+                Response::Ok => println!("draining"),
+                other => fail(&format!("unexpected reply {other:?}")),
+            }
+        }
+        Some("stats") => {
+            let mut json_path = None;
+            let mut it = rest.into_iter();
+            while let Some(a) = it.next() {
+                match a.as_str() {
+                    "--json" => json_path = Some(it.next().unwrap_or_else(|| usage())),
+                    _ => usage(),
+                }
+            }
+            let resp = one_request(&addr, &Request::Stats);
+            let Response::Stats(v) = resp else {
+                fail(&format!("unexpected reply {resp:?}"));
+            };
+            let text = serde_json::to_string_pretty(&RawValue(&v)).expect("value renders");
+            match json_path {
+                Some(p) => {
+                    std::fs::write(&p, text).unwrap_or_else(|e| fail(&format!("write {p}: {e}")));
+                    println!("stats written to {p}");
+                }
+                None => println!("{text}"),
+            }
+        }
+        Some("load") => run_load(&addr, parse_load(rest)),
+        _ => usage(),
+    }
+}
+
+fn one_request(addr: &str, req: &Request) -> Response {
+    let mut client =
+        Client::connect(addr).unwrap_or_else(|e| fail(&format!("connect {addr}: {e}")));
+    client
+        .request(req)
+        .unwrap_or_else(|e| fail(&format!("request: {e}")))
+}
+
+fn parse_load(rest: Vec<String>) -> LoadArgs {
+    let mut la = LoadArgs::default();
+    let mut it = rest.into_iter();
+    while let Some(a) = it.next() {
+        let mut value = || it.next().unwrap_or_else(|| usage());
+        match a.as_str() {
+            "--clients" => la.clients = value().parse().unwrap_or_else(|_| usage()),
+            "--requests" => la.requests = value().parse().unwrap_or_else(|_| usage()),
+            "--dim" => la.dim = value().parse().unwrap_or_else(|_| usage()),
+            "--density" => la.density = value().parse().unwrap_or_else(|_| usage()),
+            "--tenant" => la.tenant = value(),
+            "--strategy" => la.strategy = value(),
+            "--seed" => la.seed = value().parse().unwrap_or_else(|_| usage()),
+            "--ids" => la.ids = true,
+            _ => usage(),
+        }
+    }
+    la
+}
+
+fn run_load(addr: &str, la: LoadArgs) {
+    let strategy = la
+        .strategy
+        .parse()
+        .unwrap_or_else(|e: String| fail(&format!("--strategy: {e}")));
+    let started = Instant::now();
+    let handles: Vec<_> = (0..la.clients.max(1))
+        .map(|c| {
+            let addr = addr.to_owned();
+            let tenant = la.tenant.clone();
+            let (dim, density, seed, requests, ids) =
+                (la.dim, la.density, la.seed, la.requests, la.ids);
+            std::thread::spawn(move || -> Result<Vec<u64>, String> {
+                let mut client =
+                    Client::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+                // With shared ids every client uses the same operand set
+                // (cache steady state); without, each client streams its
+                // own matrices (cold-path load).
+                let operand_seed = if ids { seed } else { seed ^ (c as u64) << 32 };
+                let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(operand_seed);
+                let a = flexagon_sparse::gen::random(dim, dim, density, MajorOrder::Row, &mut rng);
+                let b = flexagon_sparse::gen::random(dim, dim, density, MajorOrder::Row, &mut rng);
+                let mut latencies = Vec::with_capacity(requests);
+                for i in 0..requests {
+                    let req = Request::spgemm(SpGemmRequest {
+                        tenant: tenant.clone(),
+                        strategy,
+                        // Inline bytes ride along on the first request per
+                        // connection; afterwards the id alone suffices.
+                        a: (!ids || i == 0).then(|| a.clone()),
+                        b: (!ids || i == 0).then(|| b.clone()),
+                        a_id: ids.then(|| format!("load-a-{seed}")),
+                        b_id: ids.then(|| format!("load-b-{seed}")),
+                        want_output: false,
+                        timeout_ms: Some(60_000),
+                    });
+                    let t0 = Instant::now();
+                    let resp = client.request(&req).map_err(|e| format!("request: {e}"))?;
+                    let us = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
+                    match resp {
+                        Response::Result(_) => latencies.push(us),
+                        Response::Error { code, detail } => {
+                            return Err(format!("request rejected: {code}: {detail}"))
+                        }
+                        other => return Err(format!("unexpected reply {other:?}")),
+                    }
+                }
+                Ok(latencies)
+            })
+        })
+        .collect();
+    let mut all = Vec::new();
+    let mut failures = Vec::new();
+    for h in handles {
+        match h.join().expect("client thread panicked") {
+            Ok(ls) => all.extend(ls),
+            Err(e) => failures.push(e),
+        }
+    }
+    let wall = started.elapsed();
+    for f in &failures {
+        eprintln!("serve_client: {f}");
+    }
+    if all.is_empty() {
+        fail("no request completed");
+    }
+    all.sort_unstable();
+    let pct = |p: usize| all[((p * all.len()).div_ceil(100)).clamp(1, all.len()) - 1];
+    let mean = all.iter().sum::<u64>() / all.len() as u64;
+    println!(
+        "load: {} requests over {} clients in {:.2}s  p50={}us p99={}us mean={}us  {:.1} req/s",
+        all.len(),
+        la.clients,
+        wall.as_secs_f64(),
+        pct(50),
+        pct(99),
+        mean,
+        all.len() as f64 / wall.as_secs_f64().max(1e-9),
+    );
+    if !failures.is_empty() {
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,168 @@
+//! Wall-clock bench for the serving daemon: sustained multi-client SpGEMM
+//! latency through the full stack (socket, frames, scheduler, cache,
+//! engine).
+//!
+//! Boots an in-process [`flexagon_serve::Server`] on an ephemeral TCP
+//! port, then fans client threads issuing back-to-back jobs over shared
+//! cache identities (steady-state: operand bytes cross the wire once per
+//! connection) until the budget elapses. One configuration per client
+//! count — each with a fresh daemon so runs are independent — recording
+//! mean latency as `ns_per_iter` plus `p50_ns`/`p99_ns` percentile fields
+//! to `FLEXAGON_BENCH_JSON`, in the criterion shim's line format with
+//! `"threads"` carrying the client count (the serve SLO is per-client
+//! latency under concurrency, so concurrency is the match key for
+//! `bench_guard`, which gates the percentile fields alongside the mean).
+//!
+//! Knobs mirror the other wall-clock bins: `FLEXAGON_BENCH_MS` (budget per
+//! configuration, default 300) and `FLEXAGON_BENCH_JSON` (output path;
+//! relative paths resolve against the workspace root).
+//! `FLEXAGON_SERVE_CLIENTS` is a comma-separated client-count list
+//! (default `1,4`).
+
+use flexagon_serve::protocol::{Request, Response, SpGemmRequest};
+use flexagon_serve::{Client, ServeConfig, Server};
+use flexagon_sparse::{CompressedMatrix, MajorOrder};
+use rand::SeedableRng;
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+/// Operand shape: the synthetic wall-clock layer geometry (96x128x96 at
+/// the suite's typical sparsity), small enough for a smoke budget, large
+/// enough that the engine dominates framing overhead.
+fn operands() -> (CompressedMatrix, CompressedMatrix) {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(0x005E_127E);
+    let a = flexagon_sparse::gen::random(96, 128, 0.30, MajorOrder::Row, &mut rng);
+    let b = flexagon_sparse::gen::random(128, 96, 0.40, MajorOrder::Row, &mut rng);
+    (a, b)
+}
+
+fn budget_ms() -> u64 {
+    std::env::var("FLEXAGON_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300)
+}
+
+fn results_path() -> std::path::PathBuf {
+    let path = std::env::var("FLEXAGON_BENCH_JSON")
+        .unwrap_or_else(|_| "target/bench_results.json".to_string());
+    criterion::resolve_output_path(&path)
+}
+
+/// Client counts to measure: `FLEXAGON_SERVE_CLIENTS` as a comma-separated
+/// list, default `1,4`.
+///
+/// # Panics
+///
+/// Panics on a malformed token — an unmeasured recorded baseline would
+/// only surface as a `bench_guard` skip line, so a typo fails loudly here.
+fn client_counts() -> Vec<usize> {
+    std::env::var("FLEXAGON_SERVE_CLIENTS")
+        .map(|s| {
+            s.split(',')
+                .map(|t| match t.trim().parse::<usize>() {
+                    Ok(n) if n >= 1 => n,
+                    _ => panic!(
+                        "FLEXAGON_SERVE_CLIENTS: '{t}' is not a positive client count \
+                         (expected a comma-separated list like '1,4')"
+                    ),
+                })
+                .collect()
+        })
+        .unwrap_or_else(|_| vec![1, 4])
+}
+
+fn percentile(sorted: &[u64], p: usize) -> u64 {
+    sorted[((p * sorted.len()).div_ceil(100)).clamp(1, sorted.len()) - 1]
+}
+
+fn main() {
+    let budget = Duration::from_millis(budget_ms());
+    let path = results_path();
+    if let Some(parent) = path.parent() {
+        let _ = std::fs::create_dir_all(parent);
+    }
+    let (a, b) = operands();
+    for clients in client_counts() {
+        let server = Server::start(ServeConfig {
+            addr: "127.0.0.1:0".to_owned(),
+            workers: 2,
+            ..ServeConfig::default()
+        })
+        .expect("bind ephemeral serve port");
+        let addr = server.local_addr().to_owned();
+        let deadline = Instant::now() + budget;
+        let handles: Vec<_> = (0..clients)
+            .map(|_| {
+                let addr = addr.clone();
+                let (a, b) = (a.clone(), b.clone());
+                std::thread::spawn(move || -> Vec<u64> {
+                    let mut client = Client::connect(&addr).expect("connect to in-process daemon");
+                    let mut latencies = Vec::new();
+                    let mut first = true;
+                    // Warm-up: one job per connection primes the cache
+                    // entry (and ships the operand bytes) outside the
+                    // measured window.
+                    loop {
+                        let req = Request::spgemm(SpGemmRequest {
+                            tenant: "bench".to_owned(),
+                            a: first.then(|| a.clone()),
+                            b: first.then(|| b.clone()),
+                            a_id: Some("wall-a".to_owned()),
+                            b_id: Some("wall-b".to_owned()),
+                            timeout_ms: Some(120_000),
+                            ..SpGemmRequest::default()
+                        });
+                        let t0 = Instant::now();
+                        let resp = client.request(&req).expect("serve request");
+                        let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+                        assert!(
+                            matches!(resp, Response::Result(_)),
+                            "bench job rejected: {resp:?}"
+                        );
+                        if first {
+                            first = false;
+                        } else {
+                            latencies.push(ns);
+                        }
+                        if Instant::now() >= deadline && !latencies.is_empty() {
+                            return latencies;
+                        }
+                    }
+                })
+            })
+            .collect();
+        let mut all: Vec<u64> = Vec::new();
+        for h in handles {
+            all.extend(h.join().expect("client thread"));
+        }
+        server.shutdown();
+        all.sort_unstable();
+        let iters = all.len() as u64;
+        let ns_per_iter = all.iter().sum::<u64>() as f64 / iters as f64;
+        let (p50, p99) = (percentile(&all, 50), percentile(&all, 99));
+        let name = format!("serve_wallclock/sustained_c{clients}");
+        println!(
+            "bench: {name:<56} {ns_per_iter:>14.1} ns/iter (p50 {p50} ns, p99 {p99} ns, \
+             {iters} iters, {clients} clients)"
+        );
+        match std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
+            Ok(mut file) => {
+                let _ = writeln!(
+                    file,
+                    "{{\"name\": \"{name}\", \"ns_per_iter\": {ns_per_iter:.1}, \
+                     \"iterations\": {iters}, \"threads\": {clients}, \
+                     \"p50_ns\": {p50}, \"p99_ns\": {p99}}}"
+                );
+            }
+            Err(e) => eprintln!(
+                "warning: cannot write bench results to {}: {e}",
+                path.display()
+            ),
+        }
+    }
+}

@@ -1,0 +1,265 @@
+//! Cross-request operand cache.
+//!
+//! Clients that multiply against a recurring operand (a layer's weight
+//! matrix, say) can name it with an `a_id`/`b_id` and send the bytes once.
+//! The cache stores the matrix behind an `Arc`, so every job touching the
+//! same identity shares one allocation — and, more importantly, one
+//! memoized `TransposePlan`: the engine's lazy structure-only transpose
+//! memo lives inside `CompressedMatrix`, so the first request that needs
+//! the operand in the other major order pays for the plan and every
+//! subsequent request reuses it. The cache never pre-converts operands —
+//! conversion stays inside `engine::execute`, where it is *recorded* in the
+//! report (`explicit_conversions`), keeping served reports byte-identical
+//! to direct execution.
+//!
+//! Keying is two-level: the client-chosen identity string locates the
+//! entry, and an FNV-1a fingerprint of the full compressed representation
+//! guards it — re-sending different bytes under an old identity replaces
+//! the entry instead of silently multiplying stale data. Entries are
+//! evicted least-recently-used once the byte budget is exceeded.
+
+use crate::protocol::matrix_digest;
+use flexagon_sparse::CompressedMatrix;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+/// How a lookup was satisfied (exposed for stats and tests).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resolution {
+    /// Identity known and fingerprint matched: the shared entry was reused.
+    Hit,
+    /// Identity unknown (or fingerprint changed); the inline matrix was
+    /// inserted (replacing any stale entry).
+    Inserted,
+    /// No identity given: the inline matrix is used once, uncached.
+    Uncached,
+}
+
+/// Counters describing cache effectiveness.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups satisfied by an existing entry.
+    pub hits: u64,
+    /// Lookups that inserted or replaced an entry.
+    pub misses: u64,
+    /// Entries evicted by the LRU byte budget.
+    pub evictions: u64,
+    /// Bytes currently resident.
+    pub resident_bytes: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+}
+
+#[derive(Debug)]
+struct Entry {
+    matrix: Arc<CompressedMatrix>,
+    fingerprint: u64,
+    bytes: u64,
+    last_used: u64,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    map: HashMap<String, Entry>,
+    total_bytes: u64,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// The shared LRU operand cache (interior mutability; cheap to share via
+/// `Arc`).
+#[derive(Debug)]
+pub struct OperandCache {
+    budget_bytes: u64,
+    inner: Mutex<Inner>,
+}
+
+/// A failed resolution: the identity names nothing resident.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownMatrix(pub String);
+
+impl OperandCache {
+    /// Creates a cache holding at most `budget_bytes` of matrix data.
+    pub fn new(budget_bytes: u64) -> Self {
+        Self {
+            budget_bytes,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Resolves one operand from its optional identity and optional inline
+    /// bytes (see the module docs for the four cases).
+    ///
+    /// # Errors
+    ///
+    /// [`UnknownMatrix`] when only an identity is given and it is not
+    /// resident. The id-less, matrix-less case is a protocol-level error
+    /// the caller rejects before resolving.
+    pub fn resolve(
+        &self,
+        id: Option<&str>,
+        inline: Option<CompressedMatrix>,
+    ) -> Result<(Arc<CompressedMatrix>, Resolution), UnknownMatrix> {
+        let Some(id) = id else {
+            let m = inline.expect("caller validates that id or inline is present");
+            return Ok((Arc::new(m), Resolution::Uncached));
+        };
+        let mut inner = self.inner.lock().expect("cache lock");
+        inner.tick += 1;
+        let tick = inner.tick;
+        let fp = inline.as_ref().map(matrix_digest);
+        let resident = inner
+            .map
+            .get(id)
+            .is_some_and(|e| fp.is_none() || fp == Some(e.fingerprint));
+        if resident {
+            let e = inner.map.get_mut(id).expect("presence just observed");
+            e.last_used = tick;
+            let arc = Arc::clone(&e.matrix);
+            inner.hits += 1;
+            return Ok((arc, Resolution::Hit));
+        }
+        let Some(m) = inline else {
+            inner.misses += 1;
+            return Err(UnknownMatrix(id.to_owned()));
+        };
+        let bytes = approx_bytes(&m);
+        let arc = Arc::new(m);
+        if let Some(old) = inner.map.insert(
+            id.to_owned(),
+            Entry {
+                matrix: Arc::clone(&arc),
+                fingerprint: fp.expect("inline fingerprint computed above"),
+                bytes,
+                last_used: tick,
+            },
+        ) {
+            inner.total_bytes -= old.bytes;
+        }
+        inner.total_bytes += bytes;
+        inner.misses += 1;
+        self.evict_locked(&mut inner);
+        Ok((arc, Resolution::Inserted))
+    }
+
+    /// Evicts least-recently-used entries until the budget holds. An entry
+    /// still referenced by an in-flight job keeps its `Arc` alive — only
+    /// the cache's handle is dropped.
+    fn evict_locked(&self, inner: &mut Inner) {
+        while inner.total_bytes > self.budget_bytes && inner.map.len() > 1 {
+            let Some(oldest) = inner
+                .map
+                .iter()
+                .min_by_key(|(_, e)| e.last_used)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            let e = inner.map.remove(&oldest).expect("key just observed");
+            inner.total_bytes -= e.bytes;
+            inner.evictions += 1;
+        }
+    }
+
+    /// A snapshot of the cache counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("cache lock");
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            resident_bytes: inner.total_bytes,
+            entries: inner.map.len() as u64,
+        }
+    }
+}
+
+/// In-memory footprint estimate: compressed representation plus the pointer
+/// array's native width (the on-accelerator `compressed_size_bytes` models
+/// 4-byte pointers; the host holds `usize`).
+fn approx_bytes(m: &CompressedMatrix) -> u64 {
+    m.compressed_size_bytes() + (m.ptr().len() as u64) * (std::mem::size_of::<usize>() as u64 - 4)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexagon_sparse::MajorOrder;
+
+    fn mat(seed: u64, dim: u32) -> CompressedMatrix {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        flexagon_sparse::gen::random(dim, dim, 0.5, MajorOrder::Row, &mut rng)
+    }
+
+    #[test]
+    fn identity_roundtrip_shares_the_allocation() {
+        let cache = OperandCache::new(1 << 20);
+        let m = mat(1, 16);
+        let (first, r1) = cache.resolve(Some("w0"), Some(m.clone())).unwrap();
+        assert_eq!(r1, Resolution::Inserted);
+        let (second, r2) = cache.resolve(Some("w0"), None).unwrap();
+        assert_eq!(r2, Resolution::Hit);
+        assert!(Arc::ptr_eq(&first, &second));
+        assert_eq!(*second, m);
+        // Re-sending the same bytes under the same id is also a hit.
+        let (_, r3) = cache.resolve(Some("w0"), Some(m)).unwrap();
+        assert_eq!(r3, Resolution::Hit);
+        assert_eq!(cache.stats().hits, 2);
+    }
+
+    #[test]
+    fn changed_bytes_replace_a_stale_identity() {
+        let cache = OperandCache::new(1 << 20);
+        cache.resolve(Some("w"), Some(mat(1, 16))).unwrap();
+        let fresh = mat(2, 16);
+        let (got, r) = cache.resolve(Some("w"), Some(fresh.clone())).unwrap();
+        assert_eq!(r, Resolution::Inserted);
+        assert_eq!(*got, fresh);
+        let (again, _) = cache.resolve(Some("w"), None).unwrap();
+        assert_eq!(*again, fresh);
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn unknown_identity_is_an_error() {
+        let cache = OperandCache::new(1 << 20);
+        assert_eq!(
+            cache.resolve(Some("nope"), None).unwrap_err(),
+            UnknownMatrix("nope".to_owned())
+        );
+    }
+
+    #[test]
+    fn lru_eviction_respects_the_byte_budget() {
+        let m = mat(1, 32);
+        let one = approx_bytes(&m);
+        // Budget for two entries; the third insert evicts the least
+        // recently used.
+        let cache = OperandCache::new(2 * one + one / 2);
+        cache.resolve(Some("a"), Some(mat(1, 32))).unwrap();
+        cache.resolve(Some("b"), Some(mat(2, 32))).unwrap();
+        cache.resolve(Some("a"), None).unwrap(); // touch a: b becomes LRU
+        cache.resolve(Some("c"), Some(mat(3, 32))).unwrap();
+        let s = cache.stats();
+        assert_eq!(s.evictions, 1);
+        assert!(cache.resolve(Some("b"), None).is_err(), "b was evicted");
+        assert!(cache.resolve(Some("a"), None).is_ok(), "a survived");
+        assert!(cache.resolve(Some("c"), None).is_ok(), "c survived");
+        assert!(cache.stats().resident_bytes <= 2 * one + one / 2);
+    }
+
+    #[test]
+    fn uncached_operands_do_not_occupy_budget() {
+        let cache = OperandCache::new(1 << 20);
+        let (_, r) = cache.resolve(None, Some(mat(7, 16))).unwrap();
+        assert_eq!(r, Resolution::Uncached);
+        let s = cache.stats();
+        assert_eq!(
+            (s.entries, s.resident_bytes, s.hits, s.misses),
+            (0, 0, 0, 0)
+        );
+    }
+}

@@ -1,0 +1,64 @@
+//! A small blocking client for the frame protocol (used by the CLI bins,
+//! the benches and the tests; also the reference implementation for
+//! speaking the protocol from elsewhere).
+
+use crate::net::Stream;
+use crate::protocol::{
+    write_message, FrameEvent, FrameReader, Request, Response, DEFAULT_MAX_FRAME_BYTES,
+};
+
+/// One connection to a daemon, issuing requests synchronously.
+pub struct Client {
+    stream: Stream,
+    reader: FrameReader,
+}
+
+impl Client {
+    /// Dials `addr` (`host:port` or `unix:<path>`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect errors.
+    pub fn connect(addr: &str) -> std::io::Result<Self> {
+        Ok(Self {
+            stream: Stream::connect(addr)?,
+            reader: FrameReader::new(DEFAULT_MAX_FRAME_BYTES),
+        })
+    }
+
+    /// Sends one request and blocks for its response.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors, an unexpectedly closed connection
+    /// ([`std::io::ErrorKind::UnexpectedEof`]), or an unparseable response
+    /// ([`std::io::ErrorKind::InvalidData`]).
+    pub fn request(&mut self, req: &Request) -> std::io::Result<Response> {
+        write_message(&mut self.stream, req)?;
+        loop {
+            match self.reader.read(&mut self.stream)? {
+                FrameEvent::Frame(payload) => {
+                    let text = std::str::from_utf8(&payload).map_err(|e| {
+                        std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+                    })?;
+                    return serde_json::from_str(text).map_err(|e| {
+                        std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
+                    });
+                }
+                FrameEvent::Timeout => continue,
+                FrameEvent::Closed { .. } => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::UnexpectedEof,
+                        "daemon closed the connection before answering",
+                    ))
+                }
+                FrameEvent::TooLarge(len) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("daemon sent an oversized frame ({len} bytes)"),
+                    ))
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,38 @@
+//! SpGEMM-as-a-service: a request-serving daemon over the sharded engine.
+//!
+//! The simulator's other crates run one workload and exit; this crate
+//! keeps the engine resident and serves concurrent SpGEMM and DNN-model
+//! jobs over a length-prefixed JSON protocol ([`protocol`]) on a TCP or
+//! Unix socket ([`net`]). The pieces:
+//!
+//! * [`server`] — accept loop, per-connection protocol handling, graceful
+//!   drain (SIGTERM / `shutdown` request: in-flight jobs finish, the
+//!   queue is rejected).
+//! * [`scheduler`] — bounded queue + worker pool; per-job intra-layer
+//!   shard workers are clamped under the bench runner's
+//!   `intra_layer_worker_budget` so the two parallelism levels compose
+//!   without oversubscription. Scheduling never changes a bit of any
+//!   result: served output is byte-identical to a direct
+//!   `engine::execute` of the same (operands, config).
+//! * [`cache`] — cross-request operand cache (client-named identities,
+//!   fingerprint-guarded, LRU byte budget) sharing one allocation and one
+//!   memoized transpose plan across jobs.
+//! * [`stats`] — per-tenant p50/p99 latency, throughput and outcome
+//!   counters, served by the `stats` request.
+//! * [`client`] — a small blocking client (also used by the load bins).
+//!
+//! Everything is std-only: no async runtime, threads and blocking sockets
+//! throughout, per the workspace's vendored-shim constraint.
+
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod client;
+pub mod net;
+pub mod protocol;
+pub mod scheduler;
+pub mod server;
+pub mod stats;
+
+pub use client::Client;
+pub use server::{ServeConfig, Server};

@@ -1,0 +1,252 @@
+//! Transport abstraction: one listener/stream pair over TCP or Unix
+//! domain sockets.
+//!
+//! Addresses are plain strings: `"127.0.0.1:7070"` (TCP) or
+//! `"unix:/tmp/flexagon.sock"` (Unix, on cfg(unix) targets). TCP port `0`
+//! binds an ephemeral port; [`Listener::display_addr`] reports the
+//! resolved address so tests and the daemon banner can hand it to clients.
+
+use std::io::{Read, Write};
+use std::net::{TcpListener, TcpStream};
+#[cfg(unix)]
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::time::Duration;
+
+/// Prefix selecting the Unix-domain transport in an address string.
+pub const UNIX_PREFIX: &str = "unix:";
+
+/// A bound server socket on either transport.
+#[derive(Debug)]
+pub enum Listener {
+    /// TCP listener.
+    Tcp(TcpListener),
+    /// Unix-domain listener, remembering its path for display/cleanup.
+    #[cfg(unix)]
+    Unix(UnixListener, String),
+}
+
+impl Listener {
+    /// Binds `addr` (`host:port` or `unix:<path>`).
+    ///
+    /// A stale Unix socket file left by a dead daemon is removed before
+    /// binding — a *live* daemon would still lose the race, but the common
+    /// crash-restart case just works.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors; `unix:` addresses fail with
+    /// [`std::io::ErrorKind::Unsupported`] on non-Unix targets.
+    pub fn bind(addr: &str) -> std::io::Result<Self> {
+        if let Some(path) = addr.strip_prefix(UNIX_PREFIX) {
+            #[cfg(unix)]
+            {
+                if std::fs::metadata(path).is_ok() {
+                    let _ = std::fs::remove_file(path);
+                }
+                return Ok(Self::Unix(UnixListener::bind(path)?, path.to_owned()));
+            }
+            #[cfg(not(unix))]
+            {
+                let _ = path;
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::Unsupported,
+                    "unix: addresses need a Unix target",
+                ));
+            }
+        }
+        Ok(Self::Tcp(TcpListener::bind(addr)?))
+    }
+
+    /// Switches the listener to non-blocking accepts.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying `set_nonblocking` error.
+    pub fn set_nonblocking(&self, nonblocking: bool) -> std::io::Result<()> {
+        match self {
+            Self::Tcp(l) => l.set_nonblocking(nonblocking),
+            #[cfg(unix)]
+            Self::Unix(l, _) => l.set_nonblocking(nonblocking),
+        }
+    }
+
+    /// Accepts one connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept errors (including `WouldBlock` when non-blocking).
+    pub fn accept(&self) -> std::io::Result<Stream> {
+        match self {
+            Self::Tcp(l) => {
+                let (s, _) = l.accept()?;
+                // Nagle would hold the response payload behind the
+                // length-prefix segment until the peer's delayed ACK —
+                // tens of milliseconds of pure protocol latency per frame
+                // on loopback. The framing layer already coalesces writes;
+                // disable batching-by-timer entirely.
+                s.set_nodelay(true)?;
+                Ok(Stream::Tcp(s))
+            }
+            #[cfg(unix)]
+            Self::Unix(l, _) => l.accept().map(|(s, _)| Stream::Unix(s)),
+        }
+    }
+
+    /// The resolved address in the same syntax [`Listener::bind`] accepts —
+    /// for TCP this includes the actual port when `0` was requested.
+    pub fn display_addr(&self) -> String {
+        match self {
+            Self::Tcp(l) => l
+                .local_addr()
+                .map(|a| a.to_string())
+                .unwrap_or_else(|_| "<tcp>".to_owned()),
+            #[cfg(unix)]
+            Self::Unix(_, path) => format!("{UNIX_PREFIX}{path}"),
+        }
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        #[cfg(unix)]
+        if let Self::Unix(_, path) = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// One accepted or dialed connection on either transport.
+#[derive(Debug)]
+pub enum Stream {
+    /// TCP stream.
+    Tcp(TcpStream),
+    /// Unix-domain stream.
+    #[cfg(unix)]
+    Unix(UnixStream),
+}
+
+impl Stream {
+    /// Connects to `addr` (`host:port` or `unix:<path>`).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect errors; `unix:` addresses fail with
+    /// [`std::io::ErrorKind::Unsupported`] on non-Unix targets.
+    pub fn connect(addr: &str) -> std::io::Result<Self> {
+        if let Some(path) = addr.strip_prefix(UNIX_PREFIX) {
+            #[cfg(unix)]
+            return Ok(Self::Unix(UnixStream::connect(path)?));
+            #[cfg(not(unix))]
+            {
+                let _ = path;
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::Unsupported,
+                    "unix: addresses need a Unix target",
+                ));
+            }
+        }
+        let s = TcpStream::connect(addr)?;
+        s.set_nodelay(true)?; // see `Listener::accept` — frame latency, not throughput
+        Ok(Self::Tcp(s))
+    }
+
+    /// Sets the read timeout, so server-side frame reads surface periodic
+    /// [`crate::protocol::FrameEvent::Timeout`]s for shutdown polling.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying `set_read_timeout` error.
+    pub fn set_read_timeout(&self, dur: Option<Duration>) -> std::io::Result<()> {
+        match self {
+            Self::Tcp(s) => s.set_read_timeout(dur),
+            #[cfg(unix)]
+            Self::Unix(s) => s.set_read_timeout(dur),
+        }
+    }
+}
+
+impl Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        match self {
+            Self::Tcp(s) => s.read(buf),
+            #[cfg(unix)]
+            Self::Unix(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        match self {
+            Self::Tcp(s) => s.write(buf),
+            #[cfg(unix)]
+            Self::Unix(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        match self {
+            Self::Tcp(s) => s.flush(),
+            #[cfg(unix)]
+            Self::Unix(s) => s.flush(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+
+    #[test]
+    fn tcp_listener_reports_resolved_port() {
+        let l = Listener::bind("127.0.0.1:0").unwrap();
+        let addr = l.display_addr();
+        assert!(addr.starts_with("127.0.0.1:"));
+        assert!(!addr.ends_with(":0"));
+    }
+
+    #[test]
+    fn tcp_roundtrip() {
+        let l = Listener::bind("127.0.0.1:0").unwrap();
+        let addr = l.display_addr();
+        let t = std::thread::spawn(move || {
+            let mut c = Stream::connect(&addr).unwrap();
+            c.write_all(b"ping").unwrap();
+            let mut buf = [0u8; 4];
+            c.read_exact(&mut buf).unwrap();
+            buf
+        });
+        let mut s = l.accept().unwrap();
+        let mut buf = [0u8; 4];
+        s.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+        s.write_all(b"pong").unwrap();
+        assert_eq!(&t.join().unwrap(), b"pong");
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_roundtrip_and_stale_socket_cleanup() {
+        let path = std::env::temp_dir().join(format!("flexagon-net-test-{}", std::process::id()));
+        let addr = format!("{UNIX_PREFIX}{}", path.display());
+        // Bind twice: the second bind must clean up the first's socket file
+        // (simulating a crashed daemon) once the first listener is dropped.
+        let l1 = Listener::bind(&addr).unwrap();
+        drop(l1);
+        std::fs::write(&path, b"").unwrap(); // stale file in the way
+        let l2 = Listener::bind(&addr).unwrap();
+        let addr2 = l2.display_addr();
+        let t = std::thread::spawn(move || {
+            let mut c = Stream::connect(&addr2).unwrap();
+            c.write_all(b"hi").unwrap();
+        });
+        let mut s = l2.accept().unwrap();
+        let mut buf = [0u8; 2];
+        s.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"hi");
+        t.join().unwrap();
+        drop(l2);
+        assert!(!path.exists(), "listener drop removes the socket file");
+    }
+}

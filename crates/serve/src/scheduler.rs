@@ -1,0 +1,446 @@
+//! The job scheduler: a bounded queue feeding a fixed worker pool.
+//!
+//! Each worker owns its accelerators (one `Flexagon` + `WorkspacePool` per
+//! effective shard-worker setting it has seen), so pooled scratch is reused
+//! across requests without cross-thread contention. Parallelism composes
+//! on two levels, exactly like the bench runner: jobs fan across workers,
+//! and each job's intra-layer shard workers are clamped to
+//! [`intra_layer_worker_budget`] of the configured thread budget over the
+//! jobs currently in flight — one lone job may use every thread, while a
+//! full pool degrades gracefully to one thread per job instead of
+//! oversubscribing.
+//!
+//! None of this can change a result: the band decomposition is derived
+//! from operand structure and grain alone (never the worker count), so a
+//! served job is byte-identical to a direct `engine::execute` of the same
+//! (operands, config) regardless of scheduling order or pool pressure.
+//!
+//! Degradation is explicit: a full queue rejects with `queue_full`
+//! (backpressure), a job whose deadline passes while queued is answered
+//! `timeout` without running, and a draining scheduler answers `draining`.
+//! In-flight jobs always finish — drain never aborts work.
+
+use crate::cache::OperandCache;
+use crate::protocol::{
+    digest_hex, matrix_digest, ErrorCode, ModelResponse, Response, SpGemmResponse,
+};
+use crate::stats::{Outcome, StatsRegistry};
+use flexagon_bench::runner::{self, intra_layer_worker_budget, RunOptions};
+use flexagon_core::{Accelerator, AcceleratorConfig, EngineConfig, Flexagon, MappingStrategy};
+use flexagon_dnn::DnnModel;
+use flexagon_sparse::CompressedMatrix;
+use serde::Serialize;
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// What a queued job computes.
+#[derive(Debug)]
+pub enum JobKind {
+    /// One SpGEMM: operands are already resolved (possibly cache-shared).
+    SpGemm {
+        /// Stationary operand.
+        a: Arc<CompressedMatrix>,
+        /// Streamed operand.
+        b: Arc<CompressedMatrix>,
+        /// Dataflow selection.
+        strategy: MappingStrategy,
+        /// Return the output matrix in the response.
+        want_output: bool,
+    },
+    /// One whole DNN model through the bench runner (layer-sequential;
+    /// intra-layer shard workers carry the parallelism).
+    Model {
+        /// The suite model to run.
+        model: DnnModel,
+        /// Dataflow selection per layer.
+        strategy: MappingStrategy,
+        /// Workload materialization seed.
+        seed: u64,
+    },
+}
+
+/// One queued request.
+#[derive(Debug)]
+pub struct Job {
+    /// Tenant label for stats attribution.
+    pub tenant: String,
+    /// The work.
+    pub kind: JobKind,
+    /// When the job entered the queue.
+    pub enqueued: Instant,
+    /// Queue-wait deadline: not started by then → `timeout` reply.
+    pub deadline: Instant,
+    /// Where the worker sends the response.
+    pub reply: mpsc::Sender<Response>,
+}
+
+struct Shared {
+    queue: Mutex<VecDeque<Job>>,
+    available: Condvar,
+    capacity: usize,
+    draining: AtomicBool,
+    stop: AtomicBool,
+    in_flight: AtomicUsize,
+    worker_budget: usize,
+    engine: EngineConfig,
+    stats: Arc<StatsRegistry>,
+}
+
+/// The scheduler handle owned by the server.
+pub struct Scheduler {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Scheduler {
+    /// Spawns `workers` job threads executing under `engine` (per-job
+    /// shard workers are clamped to `worker_budget` over the in-flight
+    /// count); at most `queue_capacity` jobs wait.
+    pub fn start(
+        workers: usize,
+        worker_budget: usize,
+        queue_capacity: usize,
+        engine: EngineConfig,
+        stats: Arc<StatsRegistry>,
+    ) -> Self {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            capacity: queue_capacity.max(1),
+            draining: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
+            in_flight: AtomicUsize::new(0),
+            worker_budget: worker_budget.max(1),
+            engine,
+            stats,
+        });
+        let handles = (0..workers.max(1))
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        Self {
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// Enqueues a job, applying backpressure and drain rejection.
+    ///
+    /// # Errors
+    ///
+    /// `queue_full` when the queue is at capacity, `draining` once a drain
+    /// began; the job is returned (boxed, to keep the `Err` variant small)
+    /// so the caller can answer its reply channel (the error carries no
+    /// channel of its own).
+    pub fn submit(&self, job: Job) -> Result<(), (Box<Job>, ErrorCode)> {
+        if self.shared.draining.load(Ordering::SeqCst) {
+            return Err((Box::new(job), ErrorCode::Draining));
+        }
+        let mut queue = self.shared.queue.lock().expect("queue lock");
+        if queue.len() >= self.shared.capacity {
+            return Err((Box::new(job), ErrorCode::QueueFull));
+        }
+        queue.push_back(job);
+        drop(queue);
+        self.shared.available.notify_one();
+        Ok(())
+    }
+
+    /// Jobs currently waiting.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.lock().expect("queue lock").len()
+    }
+
+    /// Jobs currently executing.
+    pub fn in_flight(&self) -> usize {
+        self.shared.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// Begins a graceful drain: new submissions and everything still queued
+    /// are answered `draining`; in-flight jobs run to completion.
+    pub fn begin_drain(&self) {
+        self.shared.draining.store(true, Ordering::SeqCst);
+        let rejected: Vec<Job> = {
+            let mut queue = self.shared.queue.lock().expect("queue lock");
+            queue.drain(..).collect()
+        };
+        for job in rejected {
+            self.shared
+                .stats
+                .record(&job.tenant, Outcome::Rejected, 0, 0);
+            let _ = job.reply.send(Response::Error {
+                code: ErrorCode::Draining,
+                detail: "daemon is draining".to_owned(),
+            });
+        }
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.available.notify_all();
+    }
+
+    /// Whether a drain has begun.
+    pub fn draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst)
+    }
+
+    /// Drains and joins every worker (idempotent on the drain part).
+    pub fn shutdown(mut self) {
+        self.begin_drain();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    // One accelerator per effective shard-worker setting: the engine config
+    // differs, and each keeps its own WorkspacePool warm.
+    let mut accels: HashMap<usize, Flexagon> = HashMap::new();
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("queue lock");
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break Some(job);
+                }
+                if shared.stop.load(Ordering::SeqCst) {
+                    break None;
+                }
+                queue = shared
+                    .available
+                    .wait_timeout(queue, Duration::from_millis(100))
+                    .expect("queue lock")
+                    .0;
+            }
+        };
+        let Some(job) = job else { return };
+        let started = Instant::now();
+        let queue_us = duration_us(started.duration_since(job.enqueued));
+        if started > job.deadline {
+            shared
+                .stats
+                .record(&job.tenant, Outcome::TimedOut, queue_us, 0);
+            let _ = job.reply.send(Response::Error {
+                code: ErrorCode::Timeout,
+                detail: format!("deadline passed after {queue_us} us in queue"),
+            });
+            continue;
+        }
+        let running = shared.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+        let budget = intra_layer_worker_budget(shared.worker_budget, running);
+        let eff_workers = shared.engine.shard_workers.min(budget).max(1);
+        let mut engine = shared.engine;
+        engine.shard_workers = eff_workers;
+        let accel = accels.entry(eff_workers).or_insert_with(|| {
+            let mut cfg = AcceleratorConfig::table5();
+            cfg.engine = engine;
+            Flexagon::new(cfg)
+        });
+        let response = execute(accel, &engine, job.kind);
+        shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+        let exec_us = duration_us(started.elapsed());
+        let outcome = match &response {
+            Response::Error { .. } => Outcome::Failed,
+            _ => Outcome::Completed,
+        };
+        shared.stats.record(&job.tenant, outcome, queue_us, exec_us);
+        let response = stamp_timing(response, queue_us, exec_us);
+        let _ = job.reply.send(response);
+    }
+}
+
+/// Runs the job body; timing fields are stamped by the caller.
+fn execute(accel: &Flexagon, engine: &EngineConfig, kind: JobKind) -> Response {
+    match kind {
+        JobKind::SpGemm {
+            a,
+            b,
+            strategy,
+            want_output,
+        } => match accel.run_strategy(&a, &b, strategy) {
+            Ok((dataflow, out)) => Response::Result(SpGemmResponse {
+                dataflow,
+                c_digest: digest_hex(matrix_digest(&out.c)),
+                c: want_output.then_some(out.c),
+                report: out.report.to_value(),
+                queue_us: 0,
+                exec_us: 0,
+            }),
+            Err(e) => Response::Error {
+                code: ErrorCode::Engine,
+                detail: e.to_string(),
+            },
+        },
+        JobKind::Model {
+            model,
+            strategy,
+            seed,
+        } => {
+            let opts = RunOptions {
+                strategy,
+                engine: *engine,
+                layer_parallel: false,
+            };
+            let results = runner::run_model_opts(&model, seed, &opts, false);
+            Response::ModelResult(ModelResponse {
+                results: results.to_value(),
+                queue_us: 0,
+                exec_us: 0,
+            })
+        }
+    }
+}
+
+fn stamp_timing(response: Response, queue_us: u64, exec_us: u64) -> Response {
+    match response {
+        Response::Result(mut r) => {
+            r.queue_us = queue_us;
+            r.exec_us = exec_us;
+            Response::Result(r)
+        }
+        Response::ModelResult(mut r) => {
+            r.queue_us = queue_us;
+            r.exec_us = exec_us;
+            Response::ModelResult(r)
+        }
+        other => other,
+    }
+}
+
+fn duration_us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Resolves both operands of a SpGEMM request against the cache.
+///
+/// # Errors
+///
+/// A `(code, detail)` pair for missing operands or unknown identities.
+pub fn resolve_operands(
+    cache: &OperandCache,
+    a: Option<CompressedMatrix>,
+    a_id: Option<&str>,
+    b: Option<CompressedMatrix>,
+    b_id: Option<&str>,
+) -> Result<(Arc<CompressedMatrix>, Arc<CompressedMatrix>), (ErrorCode, String)> {
+    let resolve_one = |name: &str,
+                       inline: Option<CompressedMatrix>,
+                       id: Option<&str>|
+     -> Result<Arc<CompressedMatrix>, (ErrorCode, String)> {
+        if inline.is_none() && id.is_none() {
+            return Err((
+                ErrorCode::BadRequest,
+                format!("operand {name} needs '{name}' bytes or an '{name}_id'"),
+            ));
+        }
+        cache.resolve(id, inline).map(|(m, _)| m).map_err(|u| {
+            (
+                ErrorCode::UnknownMatrix,
+                format!("operand {name}: no cached matrix under id '{}'", u.0),
+            )
+        })
+    };
+    Ok((resolve_one("a", a, a_id)?, resolve_one("b", b, b_id)?))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use flexagon_sparse::MajorOrder;
+
+    fn mat(seed: u64) -> CompressedMatrix {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        flexagon_sparse::gen::random(24, 24, 0.35, MajorOrder::Row, &mut rng)
+    }
+
+    fn spgemm_job(tenant: &str, reply: mpsc::Sender<Response>) -> Job {
+        Job {
+            tenant: tenant.to_owned(),
+            kind: JobKind::SpGemm {
+                a: Arc::new(mat(1)),
+                b: Arc::new(mat(2)),
+                strategy: MappingStrategy::Heuristic,
+                want_output: false,
+            },
+            enqueued: Instant::now(),
+            deadline: Instant::now() + Duration::from_secs(30),
+            reply,
+        }
+    }
+
+    #[test]
+    fn jobs_complete_and_record_stats() {
+        let stats = Arc::new(StatsRegistry::new());
+        let sched = Scheduler::start(2, 2, 8, EngineConfig::default(), Arc::clone(&stats));
+        let (tx, rx) = mpsc::channel();
+        sched.submit(spgemm_job("t", tx)).unwrap();
+        let resp = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        assert!(matches!(resp, Response::Result(_)));
+        sched.shutdown();
+    }
+
+    #[test]
+    fn expired_deadline_is_rejected_without_running() {
+        let stats = Arc::new(StatsRegistry::new());
+        let sched = Scheduler::start(1, 1, 8, EngineConfig::default(), Arc::clone(&stats));
+        let (tx, rx) = mpsc::channel();
+        let mut job = spgemm_job("t", tx);
+        job.deadline = Instant::now() - Duration::from_millis(1);
+        sched.submit(job).unwrap();
+        let resp = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert!(
+            matches!(
+                resp,
+                Response::Error {
+                    code: ErrorCode::Timeout,
+                    ..
+                }
+            ),
+            "got {resp:?}"
+        );
+        sched.shutdown();
+    }
+
+    #[test]
+    fn draining_rejects_new_and_queued_jobs() {
+        let stats = Arc::new(StatsRegistry::new());
+        let sched = Scheduler::start(1, 1, 8, EngineConfig::default(), Arc::clone(&stats));
+        sched.begin_drain();
+        let (tx, rx) = mpsc::channel();
+        let err = sched.submit(spgemm_job("t", tx)).unwrap_err();
+        assert_eq!(err.1, ErrorCode::Draining);
+        drop(err);
+        assert!(rx.try_recv().is_err(), "rejected submit sends no reply");
+        sched.shutdown();
+    }
+
+    #[test]
+    fn full_queue_applies_backpressure() {
+        let stats = Arc::new(StatsRegistry::new());
+        // No capacity headroom: one queued job is the limit, and no worker
+        // drains it because the queue is saturated before workers start...
+        // workers do start, so use capacity 1 and check the error path by
+        // submitting faster than a single worker can drain.
+        let sched = Scheduler::start(1, 1, 1, EngineConfig::default(), Arc::clone(&stats));
+        let (tx, _rx) = mpsc::channel();
+        let mut saw_full = false;
+        for _ in 0..64 {
+            if let Err((_, code)) = sched.submit(spgemm_job("t", tx.clone())) {
+                assert_eq!(code, ErrorCode::QueueFull);
+                saw_full = true;
+                break;
+            }
+        }
+        assert!(saw_full, "64 rapid submits never hit a capacity-1 queue");
+        sched.shutdown();
+    }
+}

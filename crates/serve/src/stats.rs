@@ -1,0 +1,261 @@
+//! Per-tenant and daemon-wide serving statistics.
+//!
+//! Each tenant accumulates outcome counters and a bounded ring of recent
+//! end-to-end latencies (queue wait + execution). Percentiles are
+//! nearest-rank over that window — an SLO dashboard's view of "recent"
+//! traffic, not an all-time average that old warm-up samples would skew.
+//! The registry is lock-per-snapshot; recording is a few integer writes
+//! under a mutex, far below the cost of the jobs being measured.
+
+use serde::Value;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Latency samples retained per tenant (ring buffer capacity).
+pub const LATENCY_WINDOW: usize = 4096;
+
+/// How one request ended, for the outcome counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// Completed and answered with a result.
+    Completed,
+    /// Rejected because its deadline passed while queued.
+    TimedOut,
+    /// Rejected by queue backpressure.
+    Rejected,
+    /// The engine refused the job (bad operands and the like).
+    Failed,
+}
+
+/// Bounded ring of latency samples with nearest-rank percentiles.
+#[derive(Debug)]
+struct LatencyWindow {
+    samples: Vec<u64>,
+    next: usize,
+}
+
+impl LatencyWindow {
+    fn new() -> Self {
+        Self {
+            samples: Vec::new(),
+            next: 0,
+        }
+    }
+
+    fn push(&mut self, us: u64) {
+        if self.samples.len() < LATENCY_WINDOW {
+            self.samples.push(us);
+        } else {
+            self.samples[self.next] = us;
+        }
+        self.next = (self.next + 1) % LATENCY_WINDOW;
+    }
+
+    /// Nearest-rank percentile (`p` in 0..=100) over the window.
+    fn percentile(&self, p: u64) -> Option<u64> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = ((p as usize * sorted.len()).div_ceil(100)).clamp(1, sorted.len());
+        Some(sorted[rank - 1])
+    }
+}
+
+#[derive(Debug)]
+struct TenantStats {
+    completed: u64,
+    timed_out: u64,
+    rejected: u64,
+    failed: u64,
+    queue_us_total: u64,
+    exec_us_total: u64,
+    latency: LatencyWindow,
+}
+
+impl TenantStats {
+    fn new() -> Self {
+        Self {
+            completed: 0,
+            timed_out: 0,
+            rejected: 0,
+            failed: 0,
+            queue_us_total: 0,
+            exec_us_total: 0,
+            latency: LatencyWindow::new(),
+        }
+    }
+}
+
+/// The daemon's statistics registry.
+#[derive(Debug)]
+pub struct StatsRegistry {
+    started: Instant,
+    tenants: Mutex<BTreeMap<String, TenantStats>>,
+    bad_frames: Mutex<u64>,
+}
+
+impl StatsRegistry {
+    /// Creates an empty registry; throughput is measured from this instant.
+    pub fn new() -> Self {
+        Self {
+            started: Instant::now(),
+            tenants: Mutex::new(BTreeMap::new()),
+            bad_frames: Mutex::new(0),
+        }
+    }
+
+    /// Records one finished request. Latency (queue + exec) feeds the
+    /// percentile window only for completed requests — a timeout's "latency"
+    /// is its deadline, which would just echo the configuration back.
+    pub fn record(&self, tenant: &str, outcome: Outcome, queue_us: u64, exec_us: u64) {
+        let mut tenants = self.tenants.lock().expect("stats lock");
+        let t = tenants
+            .entry(tenant.to_owned())
+            .or_insert_with(TenantStats::new);
+        match outcome {
+            Outcome::Completed => {
+                t.completed += 1;
+                t.queue_us_total += queue_us;
+                t.exec_us_total += exec_us;
+                t.latency.push(queue_us + exec_us);
+            }
+            Outcome::TimedOut => t.timed_out += 1,
+            Outcome::Rejected => t.rejected += 1,
+            Outcome::Failed => t.failed += 1,
+        }
+    }
+
+    /// Counts one malformed/oversized frame (not attributable to a tenant).
+    pub fn record_bad_frame(&self) {
+        *self.bad_frames.lock().expect("stats lock") += 1;
+    }
+
+    /// Builds the `stats` response payload. `queue_depth`/`in_flight` are
+    /// sampled by the caller from the scheduler; `cache` is the operand
+    /// cache's counters.
+    pub fn snapshot(
+        &self,
+        queue_depth: usize,
+        in_flight: usize,
+        cache: crate::cache::CacheStats,
+    ) -> Value {
+        let uptime = self.started.elapsed();
+        let uptime_s = uptime.as_secs_f64().max(1e-9);
+        let tenants = self.tenants.lock().expect("stats lock");
+        let mut tenant_entries: Vec<(String, Value)> = Vec::new();
+        let mut total_completed = 0u64;
+        for (name, t) in tenants.iter() {
+            total_completed += t.completed;
+            let mut m: Vec<(String, Value)> = vec![
+                ("completed".into(), Value::UInt(t.completed)),
+                ("timed_out".into(), Value::UInt(t.timed_out)),
+                ("rejected".into(), Value::UInt(t.rejected)),
+                ("failed".into(), Value::UInt(t.failed)),
+                (
+                    "throughput_rps".into(),
+                    Value::Float(t.completed as f64 / uptime_s),
+                ),
+                ("queue_us_total".into(), Value::UInt(t.queue_us_total)),
+                ("exec_us_total".into(), Value::UInt(t.exec_us_total)),
+            ];
+            if let (Some(p50), Some(p99)) = (t.latency.percentile(50), t.latency.percentile(99)) {
+                m.push(("p50_us".into(), Value::UInt(p50)));
+                m.push(("p99_us".into(), Value::UInt(p99)));
+            }
+            tenant_entries.push((name.clone(), Value::Map(m)));
+        }
+        let hit_rate = {
+            let looked = cache.hits + cache.misses;
+            if looked == 0 {
+                0.0
+            } else {
+                cache.hits as f64 / looked as f64
+            }
+        };
+        Value::Map(vec![
+            ("uptime_ms".into(), Value::UInt(uptime.as_millis() as u64)),
+            ("queue_depth".into(), Value::UInt(queue_depth as u64)),
+            ("in_flight".into(), Value::UInt(in_flight as u64)),
+            ("completed".into(), Value::UInt(total_completed)),
+            (
+                "bad_frames".into(),
+                Value::UInt(*self.bad_frames.lock().expect("stats lock")),
+            ),
+            (
+                "cache".into(),
+                Value::Map(vec![
+                    ("hits".into(), Value::UInt(cache.hits)),
+                    ("misses".into(), Value::UInt(cache.misses)),
+                    ("evictions".into(), Value::UInt(cache.evictions)),
+                    ("resident_bytes".into(), Value::UInt(cache.resident_bytes)),
+                    ("entries".into(), Value::UInt(cache.entries)),
+                    ("hit_rate".into(), Value::Float(hit_rate)),
+                ]),
+            ),
+            ("tenants".into(), Value::Map(tenant_entries)),
+        ])
+    }
+}
+
+impl Default for StatsRegistry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_are_nearest_rank() {
+        let mut w = LatencyWindow::new();
+        for v in 1..=100 {
+            w.push(v);
+        }
+        assert_eq!(w.percentile(50), Some(50));
+        assert_eq!(w.percentile(99), Some(99));
+        assert_eq!(w.percentile(100), Some(100));
+        assert_eq!(w.percentile(0), Some(1));
+    }
+
+    #[test]
+    fn window_is_bounded() {
+        let mut w = LatencyWindow::new();
+        for v in 0..(LATENCY_WINDOW as u64 * 2) {
+            w.push(v);
+        }
+        assert_eq!(w.samples.len(), LATENCY_WINDOW);
+        // Only the most recent LATENCY_WINDOW samples remain.
+        assert_eq!(w.percentile(0), Some(LATENCY_WINDOW as u64));
+    }
+
+    #[test]
+    fn snapshot_reports_tenants_and_cache() {
+        let reg = StatsRegistry::new();
+        reg.record("alice", Outcome::Completed, 10, 90);
+        reg.record("alice", Outcome::Completed, 20, 80);
+        reg.record("bob", Outcome::TimedOut, 0, 0);
+        reg.record_bad_frame();
+        let snap = reg.snapshot(3, 1, crate::cache::CacheStats::default());
+        let m = snap.as_map().unwrap();
+        assert_eq!(serde::map_get(m, "queue_depth").unwrap().as_u64(), Some(3));
+        assert_eq!(serde::map_get(m, "bad_frames").unwrap().as_u64(), Some(1));
+        let tenants = serde::map_get(m, "tenants").unwrap().as_map().unwrap();
+        let alice = serde::map_get(tenants, "alice").unwrap().as_map().unwrap();
+        assert_eq!(
+            serde::map_get(alice, "completed").unwrap().as_u64(),
+            Some(2)
+        );
+        assert_eq!(serde::map_get(alice, "p50_us").unwrap().as_u64(), Some(100));
+        let bob = serde::map_get(tenants, "bob").unwrap().as_map().unwrap();
+        assert_eq!(serde::map_get(bob, "timed_out").unwrap().as_u64(), Some(1));
+        assert!(
+            serde::map_get(bob, "p50_us").is_err(),
+            "no samples, no percentile"
+        );
+    }
+}

@@ -1,0 +1,216 @@
+//! Lifecycle coverage: client disconnects mid-request don't hurt the
+//! daemon, and a drain finishes in-flight work while rejecting the rest.
+
+use flexagon_core::MappingStrategy;
+use flexagon_serve::protocol::{ErrorCode, Request, Response, SpGemmRequest};
+use flexagon_serve::{Client, ServeConfig, Server};
+use flexagon_sparse::MajorOrder;
+use rand::SeedableRng;
+use std::io::Write;
+use std::time::{Duration, Instant};
+
+fn random_matrix(seed: u64, dim: u32) -> flexagon_sparse::CompressedMatrix {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    flexagon_sparse::gen::random(dim, dim, 0.3, MajorOrder::Row, &mut rng)
+}
+
+fn spgemm_request(seed: u64, dim: u32, strategy: MappingStrategy) -> Request {
+    Request::spgemm(SpGemmRequest {
+        tenant: "shutdown-test".to_owned(),
+        strategy,
+        a: Some(random_matrix(seed, dim)),
+        b: Some(random_matrix(seed ^ 0xFF, dim)),
+        ..SpGemmRequest::default()
+    })
+}
+
+fn queue_state(client: &mut Client) -> (u64, u64) {
+    let Response::Stats(v) = client.request(&Request::Stats).expect("stats") else {
+        panic!("expected stats");
+    };
+    let m = v.as_map().unwrap();
+    (
+        serde::map_get(m, "queue_depth").unwrap().as_u64().unwrap(),
+        serde::map_get(m, "in_flight").unwrap().as_u64().unwrap(),
+    )
+}
+
+#[test]
+fn disconnect_mid_request_leaves_the_daemon_serving() {
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 1,
+        ..ServeConfig::default()
+    })
+    .expect("start server");
+    let addr = server.local_addr().to_owned();
+    // Fire a request and vanish before the answer: raw socket, no read.
+    {
+        let mut stream = flexagon_serve::net::Stream::connect(&addr).expect("connect");
+        let req = spgemm_request(1, 48, MappingStrategy::Oracle);
+        flexagon_serve::protocol::write_message(&mut stream, &req).expect("send");
+        // Dropping the stream closes the connection with the job enqueued
+        // or already running.
+    }
+    // A half-written frame followed by a hangup must not kill anything
+    // either (truncated-frame path).
+    {
+        let mut stream = flexagon_serve::net::Stream::connect(&addr).expect("connect");
+        stream.write_all(&[0, 0, 0, 200, 1, 2, 3]).expect("send");
+    }
+    // The daemon keeps serving: a fresh client completes a job.
+    let mut client = Client::connect(&addr).expect("connect after disconnects");
+    let resp = client
+        .request(&spgemm_request(2, 32, MappingStrategy::Heuristic))
+        .expect("request after disconnects");
+    assert!(matches!(resp, Response::Result(_)), "got {resp:?}");
+    server.shutdown();
+}
+
+#[test]
+fn malformed_frames_get_errors_and_the_connection_survives() {
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        ..ServeConfig::default()
+    })
+    .expect("start server");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    // A frame of JSON garbage: clean boundary, bad payload → error reply,
+    // connection stays usable for a real request afterwards.
+    // (Drive the raw framing through the client's stream via the protocol
+    // request path: send a junk "request" by writing a frame manually.)
+    let mut raw = flexagon_serve::net::Stream::connect(server.local_addr()).expect("connect raw");
+    flexagon_serve::protocol::write_frame(&mut raw, b"this is not json").expect("send junk");
+    let mut reader = flexagon_serve::protocol::FrameReader::new(
+        flexagon_serve::protocol::DEFAULT_MAX_FRAME_BYTES,
+    );
+    let event = loop {
+        match reader.read(&mut raw).expect("read") {
+            flexagon_serve::protocol::FrameEvent::Timeout => continue,
+            other => break other,
+        }
+    };
+    let flexagon_serve::protocol::FrameEvent::Frame(payload) = event else {
+        panic!("expected an error frame, got {event:?}");
+    };
+    let resp: Response = serde_json::from_str(std::str::from_utf8(&payload).unwrap()).unwrap();
+    assert!(
+        matches!(
+            resp,
+            Response::Error {
+                code: ErrorCode::BadRequest,
+                ..
+            }
+        ),
+        "got {resp:?}"
+    );
+    // Same connection, now a valid frame: still served.
+    flexagon_serve::protocol::write_message(&mut raw, &Request::Ping).expect("ping");
+    let event = loop {
+        match reader.read(&mut raw).expect("read") {
+            flexagon_serve::protocol::FrameEvent::Timeout => continue,
+            other => break other,
+        }
+    };
+    let flexagon_serve::protocol::FrameEvent::Frame(payload) = event else {
+        panic!("expected pong, got {event:?}");
+    };
+    let resp: Response = serde_json::from_str(std::str::from_utf8(&payload).unwrap()).unwrap();
+    assert!(matches!(resp, Response::Pong), "got {resp:?}");
+    // The daemon-wide ping still works too.
+    let resp = client.request(&Request::Ping).expect("ping");
+    assert!(matches!(resp, Response::Pong));
+    server.shutdown();
+}
+
+#[test]
+fn graceful_drain_finishes_in_flight_and_rejects_the_rest() {
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 1,
+        queue_capacity: 16,
+        ..ServeConfig::default()
+    })
+    .expect("start server");
+    let addr = server.local_addr().to_owned();
+    // Client 1: a slow job — the oracle sweeps all six dataflows, and
+    // 256x256 operands keep it in flight for upwards of a second even in
+    // release builds, a wide window for the drain to land in.
+    let slow = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut client = Client::connect(&addr).expect("connect");
+            client.request(&spgemm_request(3, 256, MappingStrategy::Oracle))
+        })
+    };
+    // Wait until the slow job is actually executing.
+    let mut observer = Client::connect(&addr).expect("connect observer");
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (_, in_flight) = queue_state(&mut observer);
+        if in_flight >= 1 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "slow job never started");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // Client 2: queued behind the slow job, then the drain rejects it.
+    let queued = {
+        let addr = addr.clone();
+        std::thread::spawn(move || {
+            let mut client = Client::connect(&addr).expect("connect");
+            client.request(&spgemm_request(4, 256, MappingStrategy::Oracle))
+        })
+    };
+    // Make sure client 2 is queued (depth 1) before draining, so the test
+    // pins both halves of the drain contract.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let (depth, _) = queue_state(&mut observer);
+        if depth >= 1 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "second job never queued");
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // Drain via the protocol, as a client would.
+    let resp = observer.request(&Request::Shutdown).expect("shutdown");
+    assert!(matches!(resp, Response::Ok));
+    assert!(server.drain_requested());
+    // The in-flight job finishes with a real result; the queued one is
+    // rejected with `draining`.
+    let slow_resp = slow.join().expect("slow thread").expect("slow request");
+    assert!(
+        matches!(slow_resp, Response::Result(_)),
+        "got {slow_resp:?}"
+    );
+    let queued_resp = queued
+        .join()
+        .expect("queued thread")
+        .expect("queued request");
+    assert!(
+        matches!(
+            queued_resp,
+            Response::Error {
+                code: ErrorCode::Draining,
+                ..
+            }
+        ),
+        "got {queued_resp:?}"
+    );
+    // New jobs after the drain are likewise rejected.
+    let resp = observer
+        .request(&spgemm_request(5, 32, MappingStrategy::Heuristic))
+        .expect("post-drain request");
+    assert!(
+        matches!(
+            resp,
+            Response::Error {
+                code: ErrorCode::Draining,
+                ..
+            }
+        ),
+        "got {resp:?}"
+    );
+    server.shutdown();
+}

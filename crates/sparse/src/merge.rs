@@ -29,7 +29,7 @@ pub struct MergeStats {
 
 /// Merges two sorted fibers, accumulating values on coordinate collisions.
 ///
-/// Dispatches between a run-advance SIMD loop ([`merge_two_simd`]) and the
+/// Dispatches between a run-advance SIMD loop (`merge_two_simd`) and the
 /// classic element-at-a-time loop ([`merge_two_scalar`]); both produce
 /// bit-identical fibers and identical [`MergeStats`]. The SIMD loop is also
 /// the fix for the rebuild-to-rebuild bimodality PR 5 documented (22–53 µs
@@ -132,7 +132,7 @@ fn copy_run(c: &[u32], v: &[Value], coords: &mut Vec<u32>, values: &mut Vec<Valu
 }
 
 /// Scalar 2-way merge — the `FLEXAGON_SIMD=off` fallback and the semantic
-/// reference the differential tests compare [`merge_two_simd`] against.
+/// reference the differential tests compare `merge_two_simd` against.
 ///
 /// `#[inline(never)]` pins this body to one code address instead of
 /// re-laying it out per inline site; PR 5 measured that this makes

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# Multi-client load smoke against a live flexagon_served daemon.
+#
+# Boots the daemon on a unix socket, waits for the readiness banner via a
+# ping loop, drives two load runs (one exercising the operand cache with
+# shared --ids, one sweeping the oracle), snapshots the per-tenant stats to
+# a JSON artifact, and finally SIGTERMs the daemon asserting a clean
+# graceful-drain exit (status 0) — the same lifecycle CI gates on.
+#
+# Usage: scripts/serve_load.sh [BIN_DIR] [STATS_JSON]
+#   BIN_DIR    directory holding flexagon_served + serve_client
+#              (default: target/release)
+#   STATS_JSON where to write the stats snapshot
+#              (default: target/serve_stats.json)
+set -euo pipefail
+
+BIN_DIR="${1:-target/release}"
+STATS_JSON="${2:-target/serve_stats.json}"
+SOCK="${TMPDIR:-/tmp}/flexagon-serve-$$.sock"
+ADDR="unix:${SOCK}"
+
+SERVED="${BIN_DIR}/flexagon_served"
+CLIENT="${BIN_DIR}/serve_client"
+for bin in "$SERVED" "$CLIENT"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "serve_load: missing binary $bin (build flexagon-serve first)" >&2
+    exit 1
+  fi
+done
+
+mkdir -p "$(dirname "$STATS_JSON")"
+
+"$SERVED" --addr "$ADDR" --workers 2 --queue 64 &
+SERVED_PID=$!
+cleanup() {
+  kill -9 "$SERVED_PID" 2>/dev/null || true
+  rm -f "$SOCK"
+}
+trap cleanup EXIT
+
+# Readiness: the daemon prints its banner once the socket accepts, but
+# polling ping is racier-proof than scraping stdout.
+for _ in $(seq 1 100); do
+  if "$CLIENT" --addr "$ADDR" ping >/dev/null 2>&1; then
+    break
+  fi
+  if ! kill -0 "$SERVED_PID" 2>/dev/null; then
+    echo "serve_load: daemon died before accepting connections" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+"$CLIENT" --addr "$ADDR" ping
+
+# Run 1: cached-operand load — clients share matrix identities, so all but
+# the first request per connection ride the operand cache.
+"$CLIENT" --addr "$ADDR" load \
+  --clients 4 --requests 6 --dim 64 --density 0.3 \
+  --tenant smoke-cached --ids --seed 11
+
+# Run 2: oracle load — every request sweeps all dataflows, heavier per-job
+# work through the same scheduler.
+"$CLIENT" --addr "$ADDR" load \
+  --clients 2 --requests 3 --dim 48 --density 0.3 \
+  --tenant smoke-oracle --strategy oracle --seed 23
+
+"$CLIENT" --addr "$ADDR" stats --json "$STATS_JSON"
+echo "serve_load: stats written to $STATS_JSON"
+
+# Graceful drain on SIGTERM: in-flight work finishes, exit status is 0.
+kill -TERM "$SERVED_PID"
+if wait "$SERVED_PID"; then
+  echo "serve_load: daemon drained cleanly on SIGTERM"
+else
+  status=$?
+  echo "serve_load: daemon exited with status $status after SIGTERM" >&2
+  exit 1
+fi
+trap - EXIT
+rm -f "$SOCK"
