@@ -10,7 +10,7 @@ use crate::{
     engine, mapper, AcceleratorConfig, CoreError, Dataflow, ExecutionReport, MappingStrategy,
     Result, WorkspacePool,
 };
-use flexagon_sparse::CompressedMatrix;
+use flexagon_sparse::{validate_matrix, CompressedMatrix, ValidationConfig};
 
 /// Result of one accelerator execution: the functional output matrix and
 /// the measured report.
@@ -97,6 +97,49 @@ pub trait Accelerator {
             }
             MappingStrategy::Fixed(df) => Ok((df, self.run(a, b, df)?)),
         }
+    }
+
+    /// Like [`Accelerator::run`], but validates both operands under
+    /// `validation` before they reach the engine — the entry point for
+    /// operands whose bytes arrived from outside the process (the serve
+    /// daemon, file loaders). With [`ValidationConfig::permissive`] the
+    /// extra cost is a structural scan; with
+    /// [`ValidationConfig::untrusted`] resource bombs and non-finite
+    /// values are rejected too.
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Validation`] when an operand fails validation, plus
+    /// everything [`Accelerator::run`] can return.
+    fn try_run(
+        &self,
+        a: &CompressedMatrix,
+        b: &CompressedMatrix,
+        dataflow: Dataflow,
+        validation: &ValidationConfig,
+    ) -> Result<RunOutput> {
+        validate_matrix(a, validation).map_err(CoreError::Validation)?;
+        validate_matrix(b, validation).map_err(CoreError::Validation)?;
+        self.run(a, b, dataflow)
+    }
+
+    /// Like [`Accelerator::run_strategy`], but validates both operands
+    /// under `validation` first (see [`Accelerator::try_run`]).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Validation`] when an operand fails validation, plus
+    /// everything [`Accelerator::run_strategy`] can return.
+    fn try_run_strategy(
+        &self,
+        a: &CompressedMatrix,
+        b: &CompressedMatrix,
+        strategy: MappingStrategy,
+        validation: &ValidationConfig,
+    ) -> Result<(Dataflow, RunOutput)> {
+        validate_matrix(a, validation).map_err(CoreError::Validation)?;
+        validate_matrix(b, validation).map_err(CoreError::Validation)?;
+        self.run_strategy(a, b, strategy)
     }
 
     /// Runs every supported dataflow and returns the fastest result.
@@ -326,6 +369,37 @@ mod tests {
             .unwrap();
         assert!(sigma.supported_dataflows().contains(&df));
         assert_eq!(out.report.dataflow, df);
+    }
+
+    #[test]
+    fn try_run_rejects_invalid_operands_and_matches_run_on_valid() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(14);
+        let a =
+            flexagon_sparse::gen::random(16, 16, 0.3, flexagon_sparse::MajorOrder::Row, &mut rng);
+        let b =
+            flexagon_sparse::gen::random(16, 16, 0.3, flexagon_sparse::MajorOrder::Row, &mut rng);
+        let f = Flexagon::with_defaults();
+        let cfg = flexagon_sparse::ValidationConfig::untrusted();
+        let out = f.try_run(&a, &b, Dataflow::GustavsonM, &cfg).unwrap();
+        assert_eq!(out.c, f.run(&a, &b, Dataflow::GustavsonM).unwrap().c);
+
+        // An Inf operand passes `run` but is refused at the try_ boundary.
+        let poisoned = CompressedMatrix::from_triplets(
+            16,
+            16,
+            &[(0, 0, f32::INFINITY)],
+            flexagon_sparse::MajorOrder::Row,
+        )
+        .unwrap();
+        let err = f
+            .try_run(&a, &poisoned, Dataflow::GustavsonM, &cfg)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Validation(_)));
+        let err = f
+            .try_run_strategy(&poisoned, &b, MappingStrategy::Heuristic, &cfg)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Validation(_)));
     }
 
     #[test]

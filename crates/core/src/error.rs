@@ -1,7 +1,7 @@
 //! Error type for accelerator operations.
 
 use crate::Dataflow;
-use flexagon_sparse::FormatError;
+use flexagon_sparse::{FormatError, ValidationError};
 
 /// Errors produced while configuring or running an accelerator.
 #[derive(Debug, Clone, PartialEq)]
@@ -9,6 +9,9 @@ use flexagon_sparse::FormatError;
 pub enum CoreError {
     /// A sparse-format defect (dimensions, ordering, bounds).
     Format(FormatError),
+    /// An operand failed untrusted-input validation before reaching the
+    /// engine (the `try_run*` entry points).
+    Validation(ValidationError),
     /// The accelerator does not support the requested dataflow — e.g. the
     /// SIGMA-like baseline asked to run Gustavson's.
     UnsupportedDataflow {
@@ -23,6 +26,7 @@ impl std::fmt::Display for CoreError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             Self::Format(e) => write!(f, "{e}"),
+            Self::Validation(e) => write!(f, "invalid operand: {e}"),
             Self::UnsupportedDataflow {
                 accelerator,
                 dataflow,
@@ -37,6 +41,7 @@ impl std::error::Error for CoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Self::Format(e) => Some(e),
+            Self::Validation(e) => Some(e),
             _ => None,
         }
     }
@@ -45,6 +50,12 @@ impl std::error::Error for CoreError {
 impl From<FormatError> for CoreError {
     fn from(e: FormatError) -> Self {
         Self::Format(e)
+    }
+}
+
+impl From<ValidationError> for CoreError {
+    fn from(e: ValidationError) -> Self {
+        Self::Validation(e)
     }
 }
 

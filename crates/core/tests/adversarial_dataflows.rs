@@ -1,0 +1,65 @@
+//! The adversarial sweep, pinned **bit-identical** to the reference
+//! kernels on all six dataflows.
+//!
+//! Exactness is by construction, not luck: `gen::adversarial_sweep` emits
+//! integer-valued matrices, so every product and partial sum is exactly
+//! representable in `f32` (far below 2^24) and every accumulation order —
+//! the engine's tiled, banded, accumulator-tiered order and the reference
+//! kernels' naive order alike — produces identical bits. Any divergence is
+//! therefore a real structural or indexing bug (a dropped element, a
+//! truncated coordinate, a misplaced psum), never float noise.
+//!
+//! The N-stationary recipes mirror the engine's own orientation step: an
+//! N-run of `C = A x B` is the M-run of `Cᵀ = Bᵀ x Aᵀ` on reinterpreted
+//! views, with the output reinterpreted back to CSC.
+
+use flexagon_core::{
+    Accelerator, AcceleratorConfig, Dataflow, DataflowClass, Flexagon, Stationarity,
+};
+use flexagon_sparse::{gen, reference, CompressedMatrix};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// The reference result for `df`, in `df.c_format()`.
+fn reference_for(df: Dataflow, a: &CompressedMatrix, b: &CompressedMatrix) -> CompressedMatrix {
+    let af = a.converted(df.a_format());
+    let bf = b.converted(df.b_format());
+    let kernel = |x: &CompressedMatrix, y: &CompressedMatrix| match df.class() {
+        DataflowClass::InnerProduct => reference::inner_product(x, y),
+        DataflowClass::OuterProduct => reference::outer_product(x, y),
+        DataflowClass::Gustavson => reference::gustavson(x, y),
+    };
+    match df.stationarity() {
+        Stationarity::M => kernel(&af, &bf).expect("reference M run"),
+        Stationarity::N => kernel(&bf.reinterpret_transposed(), &af.reinterpret_transposed())
+            .expect("reference N run")
+            .reinterpret_transposed(),
+    }
+}
+
+#[test]
+fn adversarial_sweep_is_bit_identical_to_reference_on_all_dataflows() {
+    let mut rng = ChaCha8Rng::seed_from_u64(0xAD7E);
+    let sweep = gen::adversarial_sweep(&mut rng);
+    assert!(sweep.len() >= 7, "sweep covers all three families");
+    // The tiny config forces row splitting, cache thrash and PSRAM spills
+    // even on these shapes — the pin must hold through all of it.
+    let accel = Flexagon::new(AcceleratorConfig::tiny());
+    for sc in &sweep {
+        for df in Dataflow::ALL {
+            let out = accel
+                .run(&sc.a, &sc.b, df)
+                .unwrap_or_else(|e| panic!("{df} failed on {}: {e}", sc.name));
+            assert_eq!(out.c.order(), df.c_format(), "{df} on {}", sc.name);
+            out.c
+                .validate()
+                .unwrap_or_else(|e| panic!("{df} on {}: invalid output: {e}", sc.name));
+            let want = reference_for(df, &sc.a, &sc.b);
+            assert_eq!(
+                out.c, want,
+                "{df} on {} diverges from the reference kernel",
+                sc.name
+            );
+        }
+    }
+}

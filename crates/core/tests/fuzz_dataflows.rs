@@ -1,0 +1,135 @@
+//! Fuzz targets for the engine's six dataflow paths.
+//!
+//! The robustness invariant: **any structurally valid operand pair runs
+//! every dataflow without panicking and produces the exact product; any
+//! invalid operand yields a typed [`CoreError::Validation`] before the
+//! engine touches it** — on every path, including adversarial shapes the
+//! generators never emit (maximally skewed rows, all-empty fibers, zero
+//! matrices, degenerate 1×n dimensions).
+//!
+//! Case count scales with the `FLEXAGON_FUZZ_CASES` environment variable
+//! (default 128; CI's chaos-smoke job runs far more).
+
+use flexagon_core::{Accelerator, AcceleratorConfig, CoreError, Dataflow, Flexagon};
+use flexagon_sparse::{gen, CompressedMatrix, DenseMatrix, MajorOrder, ValidationConfig};
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+fn cases() -> u32 {
+    std::env::var("FLEXAGON_FUZZ_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .map_or(128, |n: u32| n / 2)
+}
+
+/// One adversarial structure family, keyed by `family % 5`.
+fn family(rows: u32, cols: u32, family: u8, seed: u64) -> CompressedMatrix {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    match family % 5 {
+        // Uniform random — the baseline the engine sees everywhere else.
+        0 => gen::random(rows, cols, 0.3, MajorOrder::Row, &mut rng),
+        // Maximal skew: every nonzero in one row, the rest all-empty
+        // fibers (stresses row splitting and empty-fiber walks).
+        1 => {
+            let r = (seed % u64::from(rows)) as u32;
+            let triplets: Vec<(u32, u32, f32)> =
+                (0..cols).map(|c| (r, c, c as f32 + 1.0)).collect();
+            CompressedMatrix::from_triplets(rows, cols, &triplets, MajorOrder::Row)
+                .expect("in-range triplets")
+        }
+        // The zero matrix: nothing to multiply, everything to survive.
+        2 => CompressedMatrix::zero(rows, cols, MajorOrder::Row),
+        // Near-dense, accumulator pressure.
+        3 => gen::random(rows, cols, 0.95, MajorOrder::Row, &mut rng),
+        // A single nonzero in the last cell (minimal, corner-placed).
+        _ => CompressedMatrix::from_triplets(
+            rows,
+            cols,
+            &[(rows - 1, cols - 1, 2.5)],
+            MajorOrder::Row,
+        )
+        .expect("one in-range triplet"),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
+
+    /// Every family pair, through every dataflow, on the punishing tiny
+    /// config: no panic, structurally valid output, exact product.
+    #[test]
+    fn six_dataflows_survive_adversarial_structures(
+        m in 1u32..14,
+        k in 1u32..14,
+        n in 1u32..14,
+        fam_a in 0u8..5,
+        fam_b in 0u8..5,
+        seed in 0u64..1 << 32,
+    ) {
+        let a = family(m, k, fam_a, seed);
+        let b = family(k, n, fam_b, seed ^ 0x5eed);
+        let accel = Flexagon::new(AcceleratorConfig::tiny());
+        let want = DenseMatrix::from_compressed(&a)
+            .matmul(&DenseMatrix::from_compressed(&b))
+            .expect("dims agree");
+        for df in Dataflow::ALL {
+            let out = accel
+                .try_run(&a, &b, df, &ValidationConfig::untrusted())
+                .unwrap_or_else(|e| panic!("{df} rejected a valid pair: {e}"));
+            prop_assert!(out.c.validate().is_ok(), "{df} output invalid");
+            let got = DenseMatrix::from_compressed(&out.c);
+            prop_assert!(
+                got.approx_eq(&want, 1e-2),
+                "{df}: wrong product on families ({fam_a},{fam_b})"
+            );
+        }
+    }
+
+    /// A non-finite value anywhere in either operand is rejected with a
+    /// typed validation error by every dataflow path — never a panic,
+    /// never a NaN-laced result.
+    #[test]
+    fn non_finite_operands_yield_typed_errors_on_every_path(
+        m in 2u32..12,
+        k in 2u32..12,
+        n in 2u32..12,
+        poison_b in 0u8..2,
+        poison_at in 0usize..64,
+        kind in 0u8..3,
+        seed in 0u64..1 << 32,
+    ) {
+        let mut a = family(m, k, 3, seed);
+        let mut b = family(k, n, 3, seed ^ 0x5eed);
+        let bad = match kind {
+            0 => f32::NAN,
+            1 => f32::INFINITY,
+            _ => f32::NEG_INFINITY,
+        };
+        let target = if poison_b == 0 { &mut a } else { &mut b };
+        prop_assert!(target.nnz() > 0, "family 3 at dims >=2 is never empty");
+        let idx = poison_at % target.nnz();
+        let mut values = target.values().to_vec();
+        values[idx] = bad;
+        *target = CompressedMatrix::from_raw_parts(
+            target.rows(),
+            target.cols(),
+            target.order(),
+            target.ptr().to_vec(),
+            target.coords().to_vec(),
+            values,
+        )
+        .expect("structure untouched");
+        let accel = Flexagon::new(AcceleratorConfig::tiny());
+        for df in Dataflow::ALL {
+            match accel.try_run(&a, &b, df, &ValidationConfig::untrusted()) {
+                Err(CoreError::Validation(_)) => {}
+                other => prop_assert!(
+                    false,
+                    "{df}: expected a validation error, got {:?}",
+                    other.map(|o| o.report.dataflow)
+                ),
+            }
+        }
+    }
+}

@@ -8,9 +8,17 @@
 //! flexagon_served [--addr 127.0.0.1:7070 | --addr unix:/run/flexagon.sock]
 //!                 [--workers N] [--budget N] [--queue N] [--cache-mb N]
 //!                 [--timeout-ms N] [--grain NNZ] [--shard-workers N]
+//!                 [--faults panic=N,slow=N:MS,corrupt=N]
 //! ```
+//!
+//! `--faults` (or the `FLEXAGON_FAULTS` environment variable, flag wins)
+//! arms deterministic fault injection for chaos testing — see
+//! [`flexagon_serve::fault`].
+
+#![deny(clippy::unwrap_used)]
 
 use flexagon_core::EngineConfig;
+use flexagon_serve::fault::{FaultPlan, FaultSpec};
 use flexagon_serve::{ServeConfig, Server};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
@@ -43,7 +51,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: flexagon_served [--addr HOST:PORT|unix:PATH] [--workers N] \
          [--budget N] [--queue N] [--cache-mb N] [--timeout-ms N] \
-         [--grain NNZ] [--shard-workers N]"
+         [--grain NNZ] [--shard-workers N] [--faults SPEC]"
     );
     std::process::exit(2);
 }
@@ -55,6 +63,7 @@ fn parse_config() -> ServeConfig {
     };
     let mut grain = 0usize;
     let mut shard_workers = 0usize;
+    let mut faults: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         let mut value = |name: &str| -> String {
@@ -78,6 +87,7 @@ fn parse_config() -> ServeConfig {
             "--shard-workers" => {
                 shard_workers = parse_num(&value("--shard-workers"), "--shard-workers");
             }
+            "--faults" => faults = Some(value("--faults")),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("unknown flag '{other}'");
@@ -91,6 +101,29 @@ fn parse_config() -> ServeConfig {
         eprintln!("--shard-workers needs --grain (sharding is off at grain 0)");
         usage()
     }
+    // Flag wins over FLEXAGON_FAULTS so a script can override the ambient
+    // environment; either way a malformed spec is a startup error, not a
+    // silently-unarmed plan.
+    let plan = match faults {
+        Some(spec) => match FaultSpec::parse(&spec) {
+            Ok(s) => FaultPlan::new(s),
+            Err(e) => {
+                eprintln!("--faults: {e}");
+                usage()
+            }
+        },
+        None => match FaultPlan::from_env() {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("FLEXAGON_FAULTS: {e}");
+                std::process::exit(2);
+            }
+        },
+    };
+    if plan.enabled() {
+        eprintln!("flexagon_served: FAULT INJECTION ARMED: {:?}", plan.spec());
+    }
+    cfg.faults = std::sync::Arc::new(plan);
     cfg
 }
 

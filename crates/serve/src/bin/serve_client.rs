@@ -6,13 +6,20 @@
 //! serve_client --addr ADDR shutdown
 //! serve_client --addr ADDR load [--clients N] [--requests N] [--dim N]
 //!              [--density F] [--tenant T] [--strategy S] [--seed N] [--ids]
+//!              [--tolerate-errors]
 //! ```
 //!
 //! `load` fans `--clients` threads, each its own connection, each issuing
 //! `--requests` SpGEMM jobs over deterministic operands; with `--ids` all
 //! clients share cache identities so the operand cache reaches steady
 //! state. Prints aggregate p50/p99/mean latency and throughput; exits
-//! nonzero if any request failed.
+//! nonzero if any request failed. `--tolerate-errors` (for chaos runs
+//! against a fault-injecting daemon) counts typed error replies instead of
+//! aborting — connection-level failures still fail the run, because a
+//! healthy tenant's *connection* surviving is exactly what chaos tests
+//! assert.
+
+#![deny(clippy::unwrap_used)]
 
 use flexagon_serve::protocol::{RawValue, Request, Response, SpGemmRequest};
 use flexagon_serve::Client;
@@ -29,6 +36,7 @@ struct LoadArgs {
     strategy: String,
     seed: u64,
     ids: bool,
+    tolerate_errors: bool,
 }
 
 impl Default for LoadArgs {
@@ -42,6 +50,7 @@ impl Default for LoadArgs {
             strategy: "heuristic".to_owned(),
             seed: 7,
             ids: false,
+            tolerate_errors: false,
         }
     }
 }
@@ -50,7 +59,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: serve_client --addr ADDR (ping | shutdown | stats [--json PATH] | \
          load [--clients N] [--requests N] [--dim N] [--density F] [--tenant T] \
-         [--strategy S] [--seed N] [--ids])"
+         [--strategy S] [--seed N] [--ids] [--tolerate-errors])"
     );
     std::process::exit(2);
 }
@@ -138,6 +147,7 @@ fn parse_load(rest: Vec<String>) -> LoadArgs {
             "--strategy" => la.strategy = value(),
             "--seed" => la.seed = value().parse().unwrap_or_else(|_| usage()),
             "--ids" => la.ids = true,
+            "--tolerate-errors" => la.tolerate_errors = true,
             _ => usage(),
         }
     }
@@ -156,7 +166,8 @@ fn run_load(addr: &str, la: LoadArgs) {
             let tenant = la.tenant.clone();
             let (dim, density, seed, requests, ids) =
                 (la.dim, la.density, la.seed, la.requests, la.ids);
-            std::thread::spawn(move || -> Result<Vec<u64>, String> {
+            let tolerate = la.tolerate_errors;
+            std::thread::spawn(move || -> Result<(Vec<u64>, u64), String> {
                 let mut client =
                     Client::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
                 // With shared ids every client uses the same operand set
@@ -167,6 +178,7 @@ fn run_load(addr: &str, la: LoadArgs) {
                 let a = flexagon_sparse::gen::random(dim, dim, density, MajorOrder::Row, &mut rng);
                 let b = flexagon_sparse::gen::random(dim, dim, density, MajorOrder::Row, &mut rng);
                 let mut latencies = Vec::with_capacity(requests);
+                let mut tolerated = 0u64;
                 for i in 0..requests {
                     let req = Request::spgemm(SpGemmRequest {
                         tenant: tenant.clone(),
@@ -186,20 +198,32 @@ fn run_load(addr: &str, la: LoadArgs) {
                     match resp {
                         Response::Result(_) => latencies.push(us),
                         Response::Error { code, detail } => {
-                            return Err(format!("request rejected: {code}: {detail}"))
+                            if tolerate {
+                                // The connection answered with a typed error
+                                // and stays usable — exactly what a chaos run
+                                // expects from injected faults.
+                                tolerated += 1;
+                                eprintln!("serve_client: tolerated: {code}: {detail}");
+                            } else {
+                                return Err(format!("request rejected: {code}: {detail}"));
+                            }
                         }
                         other => return Err(format!("unexpected reply {other:?}")),
                     }
                 }
-                Ok(latencies)
+                Ok((latencies, tolerated))
             })
         })
         .collect();
     let mut all = Vec::new();
     let mut failures = Vec::new();
+    let mut tolerated = 0u64;
     for h in handles {
         match h.join().expect("client thread panicked") {
-            Ok(ls) => all.extend(ls),
+            Ok((ls, t)) => {
+                all.extend(ls);
+                tolerated += t;
+            }
             Err(e) => failures.push(e),
         }
     }
@@ -223,6 +247,9 @@ fn run_load(addr: &str, la: LoadArgs) {
         mean,
         all.len() as f64 / wall.as_secs_f64().max(1e-9),
     );
+    if tolerated > 0 {
+        println!("load: tolerated {tolerated} error replies");
+    }
     if !failures.is_empty() {
         std::process::exit(1);
     }

@@ -19,6 +19,8 @@
 //! `FLEXAGON_SERVE_CLIENTS` is a comma-separated client-count list
 //! (default `1,4`).
 
+#![deny(clippy::unwrap_used)]
+
 use flexagon_serve::protocol::{Request, Response, SpGemmRequest};
 use flexagon_serve::{Client, ServeConfig, Server};
 use flexagon_sparse::{CompressedMatrix, MajorOrder};

@@ -18,6 +18,7 @@
 //! the entry instead of silently multiplying stale data. Entries are
 //! evicted least-recently-used once the byte budget is exceeded.
 
+use crate::lock::lock_recover;
 use crate::protocol::matrix_digest;
 use flexagon_sparse::CompressedMatrix;
 use std::collections::HashMap;
@@ -106,7 +107,7 @@ impl OperandCache {
             let m = inline.expect("caller validates that id or inline is present");
             return Ok((Arc::new(m), Resolution::Uncached));
         };
-        let mut inner = self.inner.lock().expect("cache lock");
+        let mut inner = lock_recover(&self.inner);
         inner.tick += 1;
         let tick = inner.tick;
         let fp = inline.as_ref().map(matrix_digest);
@@ -165,7 +166,7 @@ impl OperandCache {
 
     /// A snapshot of the cache counters.
     pub fn stats(&self) -> CacheStats {
-        let inner = self.inner.lock().expect("cache lock");
+        let inner = lock_recover(&self.inner);
         CacheStats {
             hits: inner.hits,
             misses: inner.misses,

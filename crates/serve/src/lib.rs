@@ -20,14 +20,26 @@
 //! * [`stats`] — per-tenant p50/p99 latency, throughput and outcome
 //!   counters, served by the `stats` request.
 //! * [`client`] — a small blocking client (also used by the load bins).
+//! * [`fault`] — deterministic fault injection (worker panics, slow jobs,
+//!   corrupted frames) for chaos testing; compiled in always, one relaxed
+//!   atomic load per job/frame when no plan is armed.
+//!
+//! Robustness posture: workers run jobs under `catch_unwind`, so a
+//! panicking job poisons only its own request ([`scheduler`]); every lock
+//! recovers from poisoning (the internal `lock` module; non-test code
+//! denies `clippy::unwrap_used`); untrusted operands are validated before
+//! they reach the engine.
 //!
 //! Everything is std-only: no async runtime, threads and blocking sockets
 //! throughout, per the workspace's vendored-shim constraint.
 
 #![warn(missing_docs)]
+#![cfg_attr(not(test), deny(clippy::unwrap_used))]
 
 pub mod cache;
 pub mod client;
+pub mod fault;
+mod lock;
 pub mod net;
 pub mod protocol;
 pub mod scheduler;

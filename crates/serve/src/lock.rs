@@ -1,0 +1,56 @@
+//! Poison-recovering mutex helpers.
+//!
+//! The daemon's shared state (stats registry, operand cache, job queue)
+//! holds only counters, maps and queues whose invariants are re-established
+//! before every unlock — no guard ever leaves them mid-update across a
+//! call that can panic. Mutex poisoning therefore carries no information
+//! here: a worker that panicked mid-job (now caught and isolated) must not
+//! wedge the stats lock for every other connection forever. These helpers
+//! take the lock and discard the poison flag instead of propagating it.
+
+use std::sync::{Condvar, Mutex, MutexGuard, WaitTimeoutResult};
+use std::time::Duration;
+
+/// Locks `m`, recovering the guard if a previous holder panicked.
+pub fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// [`Condvar::wait_timeout`] that recovers the guard on poison.
+pub fn wait_timeout_recover<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    dur: Duration,
+) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+    cv.wait_timeout(guard, dur)
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Mutex;
+
+    #[test]
+    fn recovers_a_poisoned_mutex() {
+        let m = Mutex::new(41u32);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = m.lock().unwrap();
+            panic!("poison it");
+        }));
+        assert!(caught.is_err());
+        assert!(m.is_poisoned());
+        let mut g = lock_recover(&m);
+        *g += 1;
+        assert_eq!(*g, 42);
+    }
+
+    #[test]
+    fn wait_timeout_recovers() {
+        let m = Mutex::new(());
+        let cv = Condvar::new();
+        let g = lock_recover(&m);
+        let (_g, timed_out) = wait_timeout_recover(&cv, g, Duration::from_millis(1));
+        assert!(timed_out.timed_out());
+    }
+}

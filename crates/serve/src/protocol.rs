@@ -47,6 +47,9 @@ pub enum ErrorCode {
     BadRequest,
     /// An `a_id`/`b_id` referenced a matrix the operand cache does not hold.
     UnknownMatrix,
+    /// An operand decoded but failed untrusted-input validation (broken
+    /// structure, non-finite values, resource-bomb dimensions).
+    InvalidOperand,
     /// A `model` request named a model outside the DNN suite.
     UnknownModel,
     /// The job queue is at capacity — back off and retry.
@@ -67,6 +70,7 @@ impl ErrorCode {
         match self {
             Self::BadRequest => "bad_request",
             Self::UnknownMatrix => "unknown_matrix",
+            Self::InvalidOperand => "invalid_operand",
             Self::UnknownModel => "unknown_model",
             Self::QueueFull => "queue_full",
             Self::Timeout => "timeout",
@@ -81,6 +85,7 @@ impl ErrorCode {
         Some(match s {
             "bad_request" => Self::BadRequest,
             "unknown_matrix" => Self::UnknownMatrix,
+            "invalid_operand" => Self::InvalidOperand,
             "unknown_model" => Self::UnknownModel,
             "queue_full" => Self::QueueFull,
             "timeout" => Self::Timeout,

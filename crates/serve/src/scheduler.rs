@@ -21,6 +21,8 @@
 //! In-flight jobs always finish — drain never aborts work.
 
 use crate::cache::OperandCache;
+use crate::fault::FaultPlan;
+use crate::lock::{lock_recover, wait_timeout_recover};
 use crate::protocol::{
     digest_hex, matrix_digest, ErrorCode, ModelResponse, Response, SpGemmResponse,
 };
@@ -28,9 +30,10 @@ use crate::stats::{Outcome, StatsRegistry};
 use flexagon_bench::runner::{self, intra_layer_worker_budget, RunOptions};
 use flexagon_core::{Accelerator, AcceleratorConfig, EngineConfig, Flexagon, MappingStrategy};
 use flexagon_dnn::DnnModel;
-use flexagon_sparse::CompressedMatrix;
+use flexagon_sparse::{validate_matrix, CompressedMatrix, ValidationConfig};
 use serde::Serialize;
 use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
@@ -88,6 +91,7 @@ struct Shared {
     worker_budget: usize,
     engine: EngineConfig,
     stats: Arc<StatsRegistry>,
+    faults: Arc<FaultPlan>,
 }
 
 /// The scheduler handle owned by the server.
@@ -99,13 +103,16 @@ pub struct Scheduler {
 impl Scheduler {
     /// Spawns `workers` job threads executing under `engine` (per-job
     /// shard workers are clamped to `worker_budget` over the in-flight
-    /// count); at most `queue_capacity` jobs wait.
+    /// count); at most `queue_capacity` jobs wait. `faults` injects worker
+    /// panics and latency for chaos testing ([`FaultPlan::none`] in
+    /// production).
     pub fn start(
         workers: usize,
         worker_budget: usize,
         queue_capacity: usize,
         engine: EngineConfig,
         stats: Arc<StatsRegistry>,
+        faults: Arc<FaultPlan>,
     ) -> Self {
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
@@ -117,6 +124,7 @@ impl Scheduler {
             worker_budget: worker_budget.max(1),
             engine,
             stats,
+            faults,
         });
         let handles = (0..workers.max(1))
             .map(|i| {
@@ -145,7 +153,7 @@ impl Scheduler {
         if self.shared.draining.load(Ordering::SeqCst) {
             return Err((Box::new(job), ErrorCode::Draining));
         }
-        let mut queue = self.shared.queue.lock().expect("queue lock");
+        let mut queue = lock_recover(&self.shared.queue);
         if queue.len() >= self.shared.capacity {
             return Err((Box::new(job), ErrorCode::QueueFull));
         }
@@ -157,7 +165,7 @@ impl Scheduler {
 
     /// Jobs currently waiting.
     pub fn queue_depth(&self) -> usize {
-        self.shared.queue.lock().expect("queue lock").len()
+        lock_recover(&self.shared.queue).len()
     }
 
     /// Jobs currently executing.
@@ -170,7 +178,7 @@ impl Scheduler {
     pub fn begin_drain(&self) {
         self.shared.draining.store(true, Ordering::SeqCst);
         let rejected: Vec<Job> = {
-            let mut queue = self.shared.queue.lock().expect("queue lock");
+            let mut queue = lock_recover(&self.shared.queue);
             queue.drain(..).collect()
         };
         for job in rejected {
@@ -206,7 +214,7 @@ fn worker_loop(shared: &Shared) {
     let mut accels: HashMap<usize, Flexagon> = HashMap::new();
     loop {
         let job = {
-            let mut queue = shared.queue.lock().expect("queue lock");
+            let mut queue = lock_recover(&shared.queue);
             loop {
                 if let Some(job) = queue.pop_front() {
                     break Some(job);
@@ -214,11 +222,8 @@ fn worker_loop(shared: &Shared) {
                 if shared.stop.load(Ordering::SeqCst) {
                     break None;
                 }
-                queue = shared
-                    .available
-                    .wait_timeout(queue, Duration::from_millis(100))
-                    .expect("queue lock")
-                    .0;
+                queue =
+                    wait_timeout_recover(&shared.available, queue, Duration::from_millis(100)).0;
             }
         };
         let Some(job) = job else { return };
@@ -234,6 +239,12 @@ fn worker_loop(shared: &Shared) {
             });
             continue;
         }
+        let fault = shared.faults.on_job();
+        if let Some(delay) = fault.delay {
+            // Injected latency lands before execution, outside the panic
+            // region — it models a slow job, not a broken one.
+            std::thread::sleep(delay);
+        }
         let running = shared.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
         let budget = intra_layer_worker_budget(shared.worker_budget, running);
         let eff_workers = shared.engine.shard_workers.min(budget).max(1);
@@ -244,9 +255,33 @@ fn worker_loop(shared: &Shared) {
             cfg.engine = engine;
             Flexagon::new(cfg)
         });
-        let response = execute(accel, &engine, job.kind);
+        // Panic isolation: a job that panics — a real engine bug or an
+        // injected fault — poisons only its own request. The catch keeps
+        // the worker thread alive; `AssertUnwindSafe` is sound because
+        // everything the closure touches is discarded on the Err arm
+        // (`accels` is cleared below, the job's kind is consumed).
+        let kind = job.kind;
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            if fault.panic {
+                panic!("injected worker panic (fault plan)");
+            }
+            execute(accel, &engine, kind)
+        }));
         shared.in_flight.fetch_sub(1, Ordering::SeqCst);
         let exec_us = duration_us(started.elapsed());
+        let response = match caught {
+            Ok(response) => response,
+            Err(payload) => {
+                // The accelerators' pooled workspaces may be mid-update;
+                // drop them all and rebuild lazily on the next job.
+                accels.clear();
+                shared.stats.record_worker_panic(&job.tenant);
+                Response::Error {
+                    code: ErrorCode::Engine,
+                    detail: format!("job panicked: {}", panic_message(payload.as_ref())),
+                }
+            }
+        };
         let outcome = match &response {
             Response::Error { .. } => Outcome::Failed,
             _ => Outcome::Completed,
@@ -254,6 +289,18 @@ fn worker_loop(shared: &Shared) {
         shared.stats.record(&job.tenant, outcome, queue_us, exec_us);
         let response = stamp_timing(response, queue_us, exec_us);
         let _ = job.reply.send(response);
+    }
+}
+
+/// Best-effort extraction of a panic payload's message (`panic!` with a
+/// string literal or a formatted message; anything else gets a placeholder).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s
+    } else {
+        "<non-string panic payload>"
     }
 }
 
@@ -265,7 +312,7 @@ fn execute(accel: &Flexagon, engine: &EngineConfig, kind: JobKind) -> Response {
             b,
             strategy,
             want_output,
-        } => match accel.run_strategy(&a, &b, strategy) {
+        } => match accel.try_run_strategy(&a, &b, strategy, &ValidationConfig::permissive()) {
             Ok((dataflow, out)) => Response::Result(SpGemmResponse {
                 dataflow,
                 c_digest: digest_hex(matrix_digest(&out.c)),
@@ -321,9 +368,16 @@ fn duration_us(d: Duration) -> u64 {
 
 /// Resolves both operands of a SpGEMM request against the cache.
 ///
+/// Inline operands are held to [`ValidationConfig::untrusted`] before
+/// touching the cache — structure was already enforced when the bytes
+/// decoded, so this layer adds the network-facing policy: no non-finite
+/// values, no resource-bomb dimensions. Cached operands passed the same
+/// gate when they were inserted.
+///
 /// # Errors
 ///
-/// A `(code, detail)` pair for missing operands or unknown identities.
+/// A `(code, detail)` pair for missing operands, invalid operands, or
+/// unknown identities.
 pub fn resolve_operands(
     cache: &OperandCache,
     a: Option<CompressedMatrix>,
@@ -340,6 +394,10 @@ pub fn resolve_operands(
                 ErrorCode::BadRequest,
                 format!("operand {name} needs '{name}' bytes or an '{name}_id'"),
             ));
+        }
+        if let Some(m) = &inline {
+            validate_matrix(m, &ValidationConfig::untrusted())
+                .map_err(|e| (ErrorCode::InvalidOperand, format!("operand {name}: {e}")))?;
         }
         cache.resolve(id, inline).map(|(m, _)| m).map_err(|u| {
             (
@@ -380,7 +438,14 @@ mod tests {
     #[test]
     fn jobs_complete_and_record_stats() {
         let stats = Arc::new(StatsRegistry::new());
-        let sched = Scheduler::start(2, 2, 8, EngineConfig::default(), Arc::clone(&stats));
+        let sched = Scheduler::start(
+            2,
+            2,
+            8,
+            EngineConfig::default(),
+            Arc::clone(&stats),
+            Arc::new(FaultPlan::none()),
+        );
         let (tx, rx) = mpsc::channel();
         sched.submit(spgemm_job("t", tx)).unwrap();
         let resp = rx.recv_timeout(Duration::from_secs(30)).unwrap();
@@ -389,9 +454,68 @@ mod tests {
     }
 
     #[test]
+    fn injected_panic_poisons_one_job_and_the_worker_survives() {
+        let stats = Arc::new(StatsRegistry::new());
+        // One worker, panic on every 2nd job: the pool has no spare thread
+        // to hide behind — the same worker must answer job 3.
+        let faults = Arc::new(FaultPlan::new(
+            crate::fault::FaultSpec::parse("panic=2").unwrap(),
+        ));
+        let sched = Scheduler::start(1, 1, 8, EngineConfig::default(), Arc::clone(&stats), faults);
+        let mut responses = Vec::new();
+        for _ in 0..3 {
+            let (tx, rx) = mpsc::channel();
+            sched.submit(spgemm_job("t", tx)).unwrap();
+            responses.push(rx.recv_timeout(Duration::from_secs(30)).unwrap());
+        }
+        assert!(matches!(responses[0], Response::Result(_)));
+        assert!(
+            matches!(
+                &responses[1],
+                Response::Error {
+                    code: ErrorCode::Engine,
+                    detail,
+                } if detail.contains("panicked")
+            ),
+            "got {:?}",
+            responses[1]
+        );
+        assert!(
+            matches!(responses[2], Response::Result(_)),
+            "worker must survive the panic and serve the next job"
+        );
+        // The first and third jobs are identical: the rebuilt accelerator
+        // must produce the identical digest.
+        let (Response::Result(first), Response::Result(third)) = (&responses[0], &responses[2])
+        else {
+            unreachable!()
+        };
+        assert_eq!(first.c_digest, third.c_digest);
+        assert_eq!(sched.in_flight(), 0, "panic path decrements in_flight");
+        sched.shutdown();
+    }
+
+    #[test]
+    fn invalid_inline_operand_is_rejected_at_resolve() {
+        let cache = OperandCache::new(1 << 20);
+        let inf = CompressedMatrix::from_triplets(2, 2, &[(0, 0, f32::INFINITY)], MajorOrder::Row)
+            .unwrap();
+        let err = resolve_operands(&cache, Some(inf), None, Some(mat(1)), None).unwrap_err();
+        assert_eq!(err.0, ErrorCode::InvalidOperand);
+        assert!(err.1.contains("operand a"));
+    }
+
+    #[test]
     fn expired_deadline_is_rejected_without_running() {
         let stats = Arc::new(StatsRegistry::new());
-        let sched = Scheduler::start(1, 1, 8, EngineConfig::default(), Arc::clone(&stats));
+        let sched = Scheduler::start(
+            1,
+            1,
+            8,
+            EngineConfig::default(),
+            Arc::clone(&stats),
+            Arc::new(FaultPlan::none()),
+        );
         let (tx, rx) = mpsc::channel();
         let mut job = spgemm_job("t", tx);
         job.deadline = Instant::now() - Duration::from_millis(1);
@@ -413,7 +537,14 @@ mod tests {
     #[test]
     fn draining_rejects_new_and_queued_jobs() {
         let stats = Arc::new(StatsRegistry::new());
-        let sched = Scheduler::start(1, 1, 8, EngineConfig::default(), Arc::clone(&stats));
+        let sched = Scheduler::start(
+            1,
+            1,
+            8,
+            EngineConfig::default(),
+            Arc::clone(&stats),
+            Arc::new(FaultPlan::none()),
+        );
         sched.begin_drain();
         let (tx, rx) = mpsc::channel();
         let err = sched.submit(spgemm_job("t", tx)).unwrap_err();
@@ -430,7 +561,14 @@ mod tests {
         // drains it because the queue is saturated before workers start...
         // workers do start, so use capacity 1 and check the error path by
         // submitting faster than a single worker can drain.
-        let sched = Scheduler::start(1, 1, 1, EngineConfig::default(), Arc::clone(&stats));
+        let sched = Scheduler::start(
+            1,
+            1,
+            1,
+            EngineConfig::default(),
+            Arc::clone(&stats),
+            Arc::new(FaultPlan::none()),
+        );
         let (tx, _rx) = mpsc::channel();
         let mut saw_full = false;
         for _ in 0..64 {

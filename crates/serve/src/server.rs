@@ -9,6 +9,7 @@
 //! still completes; the send into the closed channel is discarded).
 
 use crate::cache::OperandCache;
+use crate::fault::FaultPlan;
 use crate::net::{Listener, Stream};
 use crate::protocol::{
     parse_request, write_message, ErrorCode, FrameEvent, FrameReader, Request, Response,
@@ -42,6 +43,9 @@ pub struct ServeConfig {
     pub max_frame_bytes: u64,
     /// Default queue-wait deadline for requests that set no `timeout_ms`.
     pub default_timeout_ms: u64,
+    /// Fault-injection plan for chaos testing ([`FaultPlan::none`] in
+    /// production — one relaxed atomic load per job/frame when empty).
+    pub faults: Arc<FaultPlan>,
 }
 
 impl Default for ServeConfig {
@@ -55,6 +59,7 @@ impl Default for ServeConfig {
             cache_budget_bytes: 256 << 20,
             max_frame_bytes: DEFAULT_MAX_FRAME_BYTES,
             default_timeout_ms: 30_000,
+            faults: Arc::new(FaultPlan::none()),
         }
     }
 }
@@ -68,6 +73,7 @@ struct ServerShared {
     open_connections: AtomicUsize,
     max_frame_bytes: u64,
     default_timeout: Duration,
+    faults: Arc<FaultPlan>,
 }
 
 /// A running daemon (in-process handle).
@@ -95,6 +101,7 @@ impl Server {
                 cfg.queue_capacity,
                 cfg.engine,
                 Arc::clone(&stats),
+                Arc::clone(&cfg.faults),
             ),
             cache: OperandCache::new(cfg.cache_budget_bytes),
             stats,
@@ -103,6 +110,7 @@ impl Server {
             open_connections: AtomicUsize::new(0),
             max_frame_bytes: cfg.max_frame_bytes,
             default_timeout: Duration::from_millis(cfg.default_timeout_ms.max(1)),
+            faults: cfg.faults,
         });
         let accept_shared = Arc::clone(&shared);
         let accept_thread = std::thread::Builder::new()
@@ -202,7 +210,14 @@ fn connection_loop(mut stream: Stream, shared: &Arc<ServerShared>) {
             Err(_) => return, // connection-level I/O failure: drop it
         };
         let payload = match event {
-            FrameEvent::Frame(p) => p,
+            FrameEvent::Frame(mut p) => {
+                // Chaos injection point: corrupting here, after framing but
+                // before parsing, models bit-rot on the wire. Corrupted
+                // bytes are never valid UTF-8, so the parse below answers a
+                // typed `bad_request` and the connection stays usable.
+                shared.faults.corrupt_frame(&mut p);
+                p
+            }
             FrameEvent::Timeout => {
                 if shared.stop_accept.load(Ordering::SeqCst) {
                     return;

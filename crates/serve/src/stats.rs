@@ -7,6 +7,7 @@
 //! The registry is lock-per-snapshot; recording is a few integer writes
 //! under a mutex, far below the cost of the jobs being measured.
 
+use crate::lock::lock_recover;
 use serde::Value;
 use std::collections::BTreeMap;
 use std::sync::Mutex;
@@ -70,6 +71,7 @@ struct TenantStats {
     timed_out: u64,
     rejected: u64,
     failed: u64,
+    worker_panics: u64,
     queue_us_total: u64,
     exec_us_total: u64,
     latency: LatencyWindow,
@@ -82,6 +84,7 @@ impl TenantStats {
             timed_out: 0,
             rejected: 0,
             failed: 0,
+            worker_panics: 0,
             queue_us_total: 0,
             exec_us_total: 0,
             latency: LatencyWindow::new(),
@@ -111,7 +114,7 @@ impl StatsRegistry {
     /// percentile window only for completed requests — a timeout's "latency"
     /// is its deadline, which would just echo the configuration back.
     pub fn record(&self, tenant: &str, outcome: Outcome, queue_us: u64, exec_us: u64) {
-        let mut tenants = self.tenants.lock().expect("stats lock");
+        let mut tenants = lock_recover(&self.tenants);
         let t = tenants
             .entry(tenant.to_owned())
             .or_insert_with(TenantStats::new);
@@ -130,7 +133,18 @@ impl StatsRegistry {
 
     /// Counts one malformed/oversized frame (not attributable to a tenant).
     pub fn record_bad_frame(&self) {
-        *self.bad_frames.lock().expect("stats lock") += 1;
+        *lock_recover(&self.bad_frames) += 1;
+    }
+
+    /// Counts one caught worker panic against `tenant` — the job whose
+    /// execution panicked; the tenant also receives a `Failed` outcome via
+    /// the ordinary [`StatsRegistry::record`] path.
+    pub fn record_worker_panic(&self, tenant: &str) {
+        let mut tenants = lock_recover(&self.tenants);
+        tenants
+            .entry(tenant.to_owned())
+            .or_insert_with(TenantStats::new)
+            .worker_panics += 1;
     }
 
     /// Builds the `stats` response payload. `queue_depth`/`in_flight` are
@@ -144,11 +158,13 @@ impl StatsRegistry {
     ) -> Value {
         let uptime = self.started.elapsed();
         let uptime_s = uptime.as_secs_f64().max(1e-9);
-        let tenants = self.tenants.lock().expect("stats lock");
+        let tenants = lock_recover(&self.tenants);
         let mut tenant_entries: Vec<(String, Value)> = Vec::new();
         let mut total_completed = 0u64;
+        let mut total_panics = 0u64;
         for (name, t) in tenants.iter() {
             total_completed += t.completed;
+            total_panics += t.worker_panics;
             let mut m: Vec<(String, Value)> = vec![
                 ("completed".into(), Value::UInt(t.completed)),
                 ("timed_out".into(), Value::UInt(t.timed_out)),
@@ -165,6 +181,11 @@ impl StatsRegistry {
                 m.push(("p50_us".into(), Value::UInt(p50)));
                 m.push(("p99_us".into(), Value::UInt(p99)));
             }
+            // Emitted only when nonzero: a healthy tenant's entry is
+            // unchanged, and a nonzero count is loud.
+            if t.worker_panics > 0 {
+                m.push(("worker_panics".into(), Value::UInt(t.worker_panics)));
+            }
             tenant_entries.push((name.clone(), Value::Map(m)));
         }
         let hit_rate = {
@@ -180,9 +201,10 @@ impl StatsRegistry {
             ("queue_depth".into(), Value::UInt(queue_depth as u64)),
             ("in_flight".into(), Value::UInt(in_flight as u64)),
             ("completed".into(), Value::UInt(total_completed)),
+            ("worker_panics".into(), Value::UInt(total_panics)),
             (
                 "bad_frames".into(),
-                Value::UInt(*self.bad_frames.lock().expect("stats lock")),
+                Value::UInt(*lock_recover(&self.bad_frames)),
             ),
             (
                 "cache".into(),
@@ -231,6 +253,50 @@ mod tests {
         assert_eq!(w.samples.len(), LATENCY_WINDOW);
         // Only the most recent LATENCY_WINDOW samples remain.
         assert_eq!(w.percentile(0), Some(LATENCY_WINDOW as u64));
+    }
+
+    #[test]
+    fn worker_panics_surface_per_tenant_and_globally() {
+        let reg = StatsRegistry::new();
+        reg.record("victim", Outcome::Failed, 5, 5);
+        reg.record_worker_panic("victim");
+        reg.record("healthy", Outcome::Completed, 5, 5);
+        let snap = reg.snapshot(0, 0, crate::cache::CacheStats::default());
+        let m = snap.as_map().unwrap();
+        assert_eq!(
+            serde::map_get(m, "worker_panics").unwrap().as_u64(),
+            Some(1)
+        );
+        let tenants = serde::map_get(m, "tenants").unwrap().as_map().unwrap();
+        let victim = serde::map_get(tenants, "victim").unwrap().as_map().unwrap();
+        assert_eq!(
+            serde::map_get(victim, "worker_panics").unwrap().as_u64(),
+            Some(1)
+        );
+        let healthy = serde::map_get(tenants, "healthy")
+            .unwrap()
+            .as_map()
+            .unwrap();
+        assert!(
+            serde::map_get(healthy, "worker_panics").is_err(),
+            "zero panics emit no field"
+        );
+    }
+
+    #[test]
+    fn registry_survives_a_poisoned_lock() {
+        let reg = std::sync::Arc::new(StatsRegistry::new());
+        let poisoner = std::sync::Arc::clone(&reg);
+        let _ = std::thread::spawn(move || {
+            let _guard = poisoner.tenants.lock().unwrap();
+            panic!("poison the stats lock");
+        })
+        .join();
+        assert!(reg.tenants.is_poisoned());
+        reg.record("t", Outcome::Completed, 1, 1);
+        let snap = reg.snapshot(0, 0, crate::cache::CacheStats::default());
+        let m = snap.as_map().unwrap();
+        assert_eq!(serde::map_get(m, "completed").unwrap().as_u64(), Some(1));
     }
 
     #[test]

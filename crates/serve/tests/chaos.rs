@@ -1,0 +1,151 @@
+//! Chaos: the daemon survives injected worker panics, corrupted frames,
+//! and artificial latency while serving concurrent clients.
+//!
+//! The contract under fault injection:
+//!
+//! * every request is *answered* on its own connection — a fault poisons at
+//!   most the request it hits, never the connection or the daemon;
+//! * an injected panic surfaces as exactly one typed `engine` error;
+//! * a corrupted frame surfaces as exactly one typed `bad_request` error;
+//! * every healthy reply is byte-identical (digest and dataflow) to a
+//!   direct `engine::execute` of the same operands;
+//! * the stats endpoint accounts for every fault;
+//! * the drain completes cleanly afterwards.
+
+use flexagon_core::{Accelerator, Flexagon, MappingStrategy};
+use flexagon_serve::fault::{FaultPlan, FaultSpec};
+use flexagon_serve::protocol::{
+    digest_hex, matrix_digest, ErrorCode, Request, Response, SpGemmRequest,
+};
+use flexagon_serve::{Client, ServeConfig, Server};
+use flexagon_sparse::{CompressedMatrix, MajorOrder};
+use rand::SeedableRng;
+use std::sync::Arc;
+
+const CLIENTS: usize = 4;
+const REQUESTS_PER_CLIENT: usize = 60;
+// 240 requests against every-50/47/53 spacing: at least four injections of
+// each fault kind, and no two kinds pinned to the same job index.
+const FAULT_SPEC: &str = "panic=50,slow=47:5,corrupt=53";
+
+fn random_matrix(seed: u64, rows: u32, cols: u32, density: f64) -> CompressedMatrix {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    flexagon_sparse::gen::random(rows, cols, density, MajorOrder::Row, &mut rng)
+}
+
+#[test]
+fn daemon_survives_injected_panics_corruption_and_latency() {
+    let faults = Arc::new(FaultPlan::new(
+        FaultSpec::parse(FAULT_SPEC).expect("fault spec parses"),
+    ));
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 2,
+        faults: Arc::clone(&faults),
+        ..ServeConfig::default()
+    })
+    .expect("start server");
+    let addr = server.local_addr().to_owned();
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|i| {
+            let addr = addr.clone();
+            std::thread::spawn(move || -> (usize, usize, usize) {
+                let a = random_matrix(1000 + i as u64, 32, 40, 0.3);
+                let b = random_matrix(2000 + i as u64, 40, 36, 0.3);
+                let strategy = MappingStrategy::Heuristic;
+                let (df, out) = Flexagon::with_defaults()
+                    .run_strategy(&a, &b, strategy)
+                    .expect("direct run");
+                let expected_digest = digest_hex(matrix_digest(&out.c));
+                let mut client = Client::connect(&addr).expect("connect");
+                let (mut ok, mut panicked, mut corrupted) = (0usize, 0usize, 0usize);
+                for _ in 0..REQUESTS_PER_CLIENT {
+                    let req = Request::spgemm(SpGemmRequest {
+                        tenant: format!("chaos-{i}"),
+                        strategy,
+                        a: Some(a.clone()),
+                        b: Some(b.clone()),
+                        want_output: false,
+                        ..SpGemmRequest::default()
+                    });
+                    // `expect` here is the survival assertion: a fault must
+                    // never cost the connection, only (at most) this reply.
+                    match client.request(&req).expect("connection survives") {
+                        Response::Result(r) => {
+                            assert_eq!(r.dataflow, df);
+                            assert_eq!(
+                                r.c_digest, expected_digest,
+                                "served result differs from direct execute"
+                            );
+                            ok += 1;
+                        }
+                        Response::Error {
+                            code: ErrorCode::Engine,
+                            detail,
+                        } => {
+                            assert!(
+                                detail.contains("panicked"),
+                                "unexpected engine error: {detail}"
+                            );
+                            panicked += 1;
+                        }
+                        Response::Error {
+                            code: ErrorCode::BadRequest,
+                            ..
+                        } => corrupted += 1,
+                        other => panic!("unexpected reply {other:?}"),
+                    }
+                }
+                (ok, panicked, corrupted)
+            })
+        })
+        .collect();
+    let (mut ok, mut panicked, mut corrupted) = (0, 0, 0);
+    for h in handles {
+        let (o, p, c) = h.join().expect("no client connection crashed");
+        ok += o;
+        panicked += p;
+        corrupted += c;
+    }
+    assert_eq!(
+        ok + panicked + corrupted,
+        CLIENTS * REQUESTS_PER_CLIENT,
+        "every request was answered"
+    );
+    let injected = faults.injected();
+    assert!(
+        injected.panics >= 1 && injected.slow_jobs >= 1 && injected.corrupted_frames >= 1,
+        "all three fault kinds must fire: {injected:?}"
+    );
+    assert_eq!(
+        panicked as u64, injected.panics,
+        "each injected panic surfaces as exactly one engine error"
+    );
+    assert_eq!(
+        corrupted as u64, injected.corrupted_frames,
+        "each corrupted frame surfaces as exactly one bad_request"
+    );
+    // Slowed jobs are delayed, not failed: everything else completed.
+    assert_eq!(ok, CLIENTS * REQUESTS_PER_CLIENT - panicked - corrupted);
+
+    // The stats endpoint accounts for every fault.
+    let mut client = Client::connect(&addr).expect("connect for stats");
+    let resp = client.request(&Request::Stats).expect("stats");
+    let Response::Stats(v) = resp else {
+        panic!("expected stats, got {resp:?}");
+    };
+    let m = v.as_map().expect("stats is a map");
+    assert_eq!(
+        serde::map_get(m, "worker_panics").unwrap().as_u64(),
+        Some(injected.panics)
+    );
+    assert_eq!(
+        serde::map_get(m, "bad_frames").unwrap().as_u64(),
+        Some(injected.corrupted_frames)
+    );
+    drop(client);
+
+    // Clean drain: blocks until in-flight work finishes, then the pool and
+    // accept thread are gone.
+    server.shutdown();
+}

@@ -1,0 +1,147 @@
+//! Fuzz targets for the wire boundary: frame reader and request parser.
+//!
+//! The robustness invariant: **arbitrary bytes never panic the framing or
+//! parsing layers** — every input produces a frame event or a typed
+//! `(ErrorCode, detail)` rejection, and whatever parses is a well-formed
+//! request. This is the path an adversarial (or merely broken) client
+//! controls completely.
+//!
+//! Case count scales with the `FLEXAGON_FUZZ_CASES` environment variable
+//! (default 256; CI's chaos-smoke job runs 10 000+).
+
+use flexagon_serve::protocol::{
+    parse_request, write_frame, write_message, FrameEvent, FrameReader, Request, SpGemmRequest,
+};
+use flexagon_sparse::MajorOrder;
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn cases() -> u32 {
+    std::env::var("FLEXAGON_FUZZ_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(256)
+}
+
+/// Drains a byte stream through a [`FrameReader`], collecting every event
+/// until the stream closes. The reader must never panic and never loop
+/// forever (each iteration either consumes input or terminates).
+fn drain(reader: &mut FrameReader, mut input: &[u8]) -> (Vec<Vec<u8>>, bool, bool) {
+    let mut frames = Vec::new();
+    let mut clean = false;
+    let mut too_large = false;
+    loop {
+        match reader
+            .read(&mut input)
+            .expect("in-memory reads cannot fail")
+        {
+            FrameEvent::Frame(p) => frames.push(p),
+            FrameEvent::Closed { clean: c } => {
+                clean = c;
+                break;
+            }
+            FrameEvent::TooLarge(_) => {
+                too_large = true;
+                break;
+            }
+            FrameEvent::Timeout => unreachable!("slices do not time out"),
+        }
+    }
+    (frames, clean, too_large)
+}
+
+fn mutate(bytes: &mut [u8], muts: &[(usize, u8)]) {
+    if bytes.is_empty() {
+        return;
+    }
+    for &(pos, val) in muts {
+        bytes[pos % bytes.len()] = val;
+    }
+}
+
+/// A small valid SpGEMM request, serialized to one wire frame.
+fn valid_request_frame(seed: u64) -> Vec<u8> {
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+    let a = flexagon_sparse::gen::random(6, 7, 0.4, MajorOrder::Row, &mut rng);
+    let b = flexagon_sparse::gen::random(7, 5, 0.4, MajorOrder::Row, &mut rng);
+    let req = Request::spgemm(SpGemmRequest {
+        tenant: "fuzz".to_owned(),
+        a: Some(a),
+        b: Some(b),
+        ..SpGemmRequest::default()
+    });
+    let mut bytes = Vec::new();
+    write_message(&mut bytes, &req).expect("write to vec");
+    bytes
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
+
+    /// Arbitrary byte soup through the frame reader: no panic, no hang,
+    /// and every yielded frame's bytes came from the input.
+    #[test]
+    fn arbitrary_bytes_never_panic_the_reader(
+        bytes in proptest::collection::vec(0u8..=255, 0..512),
+        ceiling in 1u64..256,
+    ) {
+        let mut reader = FrameReader::new(ceiling);
+        let (frames, _clean, _too_large) = drain(&mut reader, &bytes);
+        for f in &frames {
+            prop_assert!(f.len() as u64 <= ceiling);
+        }
+        let framed: usize = frames.iter().map(|f| f.len() + 4).sum();
+        prop_assert!(framed <= bytes.len());
+    }
+
+    /// A well-formed frame round-trips exactly and closes cleanly.
+    #[test]
+    fn frame_roundtrip_is_exact(payload in proptest::collection::vec(0u8..=255, 0..300)) {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).expect("write to vec");
+        let mut reader = FrameReader::new(1024);
+        let (frames, clean, too_large) = drain(&mut reader, &wire);
+        prop_assert!(!too_large);
+        prop_assert!(clean, "stream ends on a frame boundary");
+        prop_assert_eq!(frames, vec![payload]);
+    }
+
+    /// Arbitrary payload bytes through the request parser: parse or typed
+    /// error, never a panic.
+    #[test]
+    fn arbitrary_payloads_never_panic_the_parser(
+        payload in proptest::collection::vec(0u8..=255, 0..256),
+    ) {
+        match parse_request(&payload) {
+            Ok(_) => {}
+            Err((code, detail)) => {
+                prop_assert!(!detail.is_empty());
+                prop_assert!(!code.as_str().is_empty());
+            }
+        }
+    }
+
+    /// A valid request frame with mutated bytes: the reader and parser
+    /// digest it without panicking, and anything that still parses is a
+    /// request the scheduler could run.
+    #[test]
+    fn mutated_request_frames_never_panic(
+        seed in 0u64..32,
+        muts in proptest::collection::vec((0usize..1 << 20, 0u8..=255), 1..8),
+    ) {
+        let mut wire = valid_request_frame(seed);
+        mutate(&mut wire, &muts);
+        let mut reader = FrameReader::new(1 << 22);
+        let mut input = &wire[..];
+        loop {
+            match reader.read(&mut input).expect("in-memory reads cannot fail") {
+                FrameEvent::Frame(p) => {
+                    // Ok or typed error — both fine; panic is the bug.
+                    let _ = parse_request(&p);
+                }
+                FrameEvent::Closed { .. } | FrameEvent::TooLarge(_) => break,
+                FrameEvent::Timeout => unreachable!("slices do not time out"),
+            }
+        }
+    }
+}

@@ -182,19 +182,23 @@ impl Serialize for CompressedMatrix {
 }
 
 impl Deserialize for CompressedMatrix {
+    /// Decodes the field map and routes it through
+    /// [`CompressedMatrix::from_raw_parts`] — wire bytes cannot construct a
+    /// matrix that violates the structural invariants the engine's hot
+    /// loops index by without checking.
     fn from_value(v: &serde::Value) -> std::result::Result<Self, serde::DeError> {
         let m = v
             .as_map()
             .ok_or_else(|| serde::DeError::new("expected a JSON object for CompressedMatrix"))?;
-        Ok(Self {
-            rows: Deserialize::from_value(serde::map_get(m, "rows")?)?,
-            cols: Deserialize::from_value(serde::map_get(m, "cols")?)?,
-            order: Deserialize::from_value(serde::map_get(m, "order")?)?,
-            ptr: Deserialize::from_value(serde::map_get(m, "ptr")?)?,
-            coords: Deserialize::from_value(serde::map_get(m, "coords")?)?,
-            values: Deserialize::from_value(serde::map_get(m, "values")?)?,
-            transpose_plan: OnceLock::new(),
-        })
+        Self::from_raw_parts(
+            Deserialize::from_value(serde::map_get(m, "rows")?)?,
+            Deserialize::from_value(serde::map_get(m, "cols")?)?,
+            Deserialize::from_value(serde::map_get(m, "order")?)?,
+            Deserialize::from_value(serde::map_get(m, "ptr")?)?,
+            Deserialize::from_value(serde::map_get(m, "coords")?)?,
+            Deserialize::from_value(serde::map_get(m, "values")?)?,
+        )
+        .map_err(|e| serde::DeError::new(&format!("invalid CompressedMatrix: {e}")))
     }
 }
 
@@ -307,6 +311,42 @@ impl CompressedMatrix {
             values,
             transpose_plan: OnceLock::new(),
         })
+    }
+
+    /// Builds a matrix directly from its storage arrays, validating the
+    /// structural invariants before the parts become a matrix.
+    ///
+    /// This is the ingestion path for *decoded* representations — the serve
+    /// protocol's operand fields, golden fixtures — where the arrays arrive
+    /// from bytes rather than from a constructor that established the
+    /// invariants. Validation here is structural only
+    /// ([`CompressedMatrix::validate`]); resource ceilings and value
+    /// policies are the caller's choice via
+    /// [`crate::validate::validate_matrix`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`crate::validate::ValidationError::Structure`] wrapping the
+    /// first structural defect found.
+    pub fn from_raw_parts(
+        rows: u32,
+        cols: u32,
+        order: MajorOrder,
+        ptr: Vec<usize>,
+        coords: Vec<u32>,
+        values: Vec<Value>,
+    ) -> std::result::Result<Self, crate::validate::ValidationError> {
+        let m = Self {
+            rows,
+            cols,
+            order,
+            ptr,
+            coords,
+            values,
+            transpose_plan: OnceLock::new(),
+        };
+        m.validate()?;
+        Ok(m)
     }
 
     /// Builds a matrix from per-fiber element lists.

@@ -334,6 +334,145 @@ pub fn scenario_sweep<R: Rng + ?Sized>(rng: &mut R) -> Vec<Scenario> {
     out
 }
 
+/// The adversarial scenario sweep: named `(A, B)` pairs built from the
+/// structure families the random generators never emit — maximally skewed
+/// rows/columns, all-empty fibers, and dimensions crossing the `u16` index
+/// boundary with tiny nnz (stressing index-width assumptions without
+/// boundary-sized allocations).
+///
+/// Separate from [`scenario_sweep`] on purpose: that sweep feeds the
+/// mapper-accuracy CI gate and must not change; this one feeds robustness
+/// tests.
+///
+/// All values are small integers, so every product and partial sum is
+/// exactly representable in `f32` far below 2^24 — any accumulation order
+/// produces identical bits, which lets downstream tests pin engine output
+/// **bit-identical** to the reference kernels instead of approximately
+/// equal.
+///
+/// Deterministic given `rng`; every pair is dimension-compatible.
+pub fn adversarial_sweep<R: Rng + ?Sized>(rng: &mut R) -> Vec<Scenario> {
+    /// Uniform scatter of `nnz` distinct cells with integer values in 1..9.
+    fn int_random<R: Rng + ?Sized>(
+        rows: u32,
+        cols: u32,
+        nnz: usize,
+        rng: &mut R,
+    ) -> CompressedMatrix {
+        assert!(nnz as u64 <= u64::from(rows) * u64::from(cols));
+        let mut cells = std::collections::BTreeSet::new();
+        while cells.len() < nnz {
+            cells.insert((rng.gen_range(0..rows), rng.gen_range(0..cols)));
+        }
+        let triplets: Vec<(u32, u32, Value)> = cells
+            .into_iter()
+            .map(|(r, c)| (r, c, rng.gen_range(1..9) as Value))
+            .collect();
+        CompressedMatrix::from_triplets(rows, cols, &triplets, MajorOrder::Row)
+            .expect("distinct in-range cells")
+    }
+
+    let mut out = Vec::new();
+
+    // Maximal row skew: one fully dense row in A, everything else sparse
+    // scatter — stresses row splitting and per-fiber accumulator sizing.
+    {
+        let mut triplets: Vec<(u32, u32, Value)> =
+            (0..128).map(|c| (17, c, (c % 7 + 1) as Value)).collect();
+        for r in (0..96).step_by(9) {
+            if r != 17 {
+                triplets.push((r, rng.gen_range(0..128), rng.gen_range(1..9) as Value));
+            }
+        }
+        let a = CompressedMatrix::from_triplets(96, 128, &triplets, MajorOrder::Row)
+            .expect("in-range skew triplets");
+        let b = int_random(128, 64, 512, rng);
+        out.push(Scenario::new("skew/one_dense_row/96x128x64", a, b));
+    }
+
+    // Maximal column skew in B — the mirror case, which the N-stationary
+    // dataflows see as row skew of the transposed problem.
+    {
+        let a = int_random(64, 96, 384, rng);
+        let mut triplets: Vec<(u32, u32, Value)> =
+            (0..96).map(|r| (r, 11, (r % 5 + 1) as Value)).collect();
+        for c in (0..48).step_by(7) {
+            if c != 11 {
+                triplets.push((rng.gen_range(0..96), c, rng.gen_range(1..9) as Value));
+            }
+        }
+        triplets.sort_unstable_by_key(|&(r, c, _)| (r, c));
+        triplets.dedup_by_key(|&mut (r, c, _)| (r, c));
+        let b = CompressedMatrix::from_triplets(96, 48, &triplets, MajorOrder::Row)
+            .expect("deduped in-range triplets");
+        out.push(Scenario::new("skew/one_dense_col/64x96x48", a, b));
+    }
+
+    // All-empty fibers: the zero matrix on either side, and striped
+    // operands where seven of every eight fibers are empty.
+    out.push(Scenario::new(
+        "empty/zero_a/64x96x48",
+        CompressedMatrix::zero(64, 96, MajorOrder::Row),
+        int_random(96, 48, 256, rng),
+    ));
+    out.push(Scenario::new(
+        "empty/zero_b/64x96x48",
+        int_random(64, 96, 256, rng),
+        CompressedMatrix::zero(96, 48, MajorOrder::Row),
+    ));
+    {
+        let a_triplets: Vec<(u32, u32, Value)> = (0..128)
+            .step_by(8)
+            .flat_map(|r| {
+                (0..96)
+                    .step_by(5)
+                    .map(move |c| (r, c, ((r + c) % 6 + 1) as Value))
+            })
+            .collect();
+        let a = CompressedMatrix::from_triplets(128, 96, &a_triplets, MajorOrder::Row)
+            .expect("in-range striped triplets");
+        let b_triplets: Vec<(u32, u32, Value)> = (0..96)
+            .flat_map(|r| {
+                (0..64)
+                    .step_by(8)
+                    .map(move |c| (r, c, ((r * 3 + c) % 6 + 1) as Value))
+            })
+            .collect();
+        let b = CompressedMatrix::from_triplets(96, 64, &b_triplets, MajorOrder::Row)
+            .expect("in-range striped triplets");
+        out.push(Scenario::new("empty/striped/128x96x64", a, b));
+    }
+
+    // Index-boundary dims: row and column counts just past u16::MAX with a
+    // hundred-odd nonzeros — any u16 truncation in an index path corrupts
+    // coordinates loudly, while allocations stay small.
+    {
+        let mut a = int_random(65_537, 32, 96, rng);
+        // Pin the extreme row so the boundary is actually exercised.
+        let mut triplets: Vec<(u32, u32, Value)> = a
+            .fibers()
+            .flat_map(|(r, f)| {
+                f.iter()
+                    .map(move |e| (r, e.coord, e.value))
+                    .collect::<Vec<_>>()
+            })
+            .filter(|&(r, _, _)| r != 65_536)
+            .collect();
+        triplets.push((65_536, 7, 3.0));
+        a = CompressedMatrix::from_triplets(65_537, 32, &triplets, MajorOrder::Row)
+            .expect("in-range boundary triplets");
+        let b = int_random(32, 16, 128, rng);
+        out.push(Scenario::new("boundary/tall/65537x32x16", a, b));
+    }
+    {
+        let a = int_random(24, 65_537, 128, rng);
+        let b = int_random(65_537, 12, 128, rng);
+        out.push(Scenario::new("boundary/wide_k/24x65537x12", a, b));
+    }
+
+    out
+}
+
 fn value_in_range<R: Rng + ?Sized>(rng: &mut R) -> Value {
     // Uniform in [0.5, 1.5): keeps products well-conditioned so functional
     // checks against the dense reference stay within tight tolerances.
@@ -521,6 +660,44 @@ mod tests {
             );
         }
         let again = scenario_sweep(&mut rng());
+        assert_eq!(sweep.len(), again.len());
+        for (x, y) in sweep.iter().zip(&again) {
+            assert_eq!(x.name, y.name);
+            assert_eq!(x.a, y.a);
+            assert_eq!(x.b, y.b);
+        }
+    }
+
+    #[test]
+    fn adversarial_sweep_is_well_formed_and_deterministic() {
+        let sweep = adversarial_sweep(&mut rng());
+        let mut names = std::collections::HashSet::new();
+        for s in &sweep {
+            assert!(names.insert(s.name.clone()), "duplicate name {}", s.name);
+            assert_eq!(s.a.cols(), s.b.rows(), "{}: dims incompatible", s.name);
+            s.a.validate().unwrap();
+            s.b.validate().unwrap();
+            for m in [&s.a, &s.b] {
+                for v in m.values() {
+                    assert_eq!(v.fract(), 0.0, "{}: non-integer value {v}", s.name);
+                    assert!((1.0..=8.0).contains(v), "{}: value {v} out of band", s.name);
+                }
+            }
+        }
+        for family in ["skew/", "empty/", "boundary/"] {
+            assert!(
+                sweep.iter().any(|s| s.name.starts_with(family)),
+                "family {family} missing"
+            );
+        }
+        // The boundary family really crosses the u16 index boundary.
+        let tall = sweep
+            .iter()
+            .find(|s| s.name.starts_with("boundary/tall"))
+            .expect("tall boundary scenario");
+        assert!(tall.a.rows() > u32::from(u16::MAX));
+        assert!(tall.a.fibers().any(|(r, f)| r == 65_536 && !f.is_empty()));
+        let again = adversarial_sweep(&mut rng());
         assert_eq!(sweep.len(), again.len());
         for (x, y) in sweep.iter().zip(&again) {
             assert_eq!(x.name, y.name);

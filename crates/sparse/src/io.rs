@@ -7,8 +7,16 @@
 //! `general` or `symmetric` symmetry is supported — the subset covering
 //! the SuiteSparse collection.
 
+use crate::validate::ValidationError;
 use crate::{CompressedMatrix, MajorOrder, Value};
 use std::io::{BufRead, Write};
+
+/// Triplet capacity pre-allocated from the header's *declared* nnz. The
+/// declared count is untrusted input: a one-line file claiming 10^18
+/// entries must not turn `Vec::with_capacity` into an allocation bomb
+/// (which aborts the process rather than unwinding). Growth beyond the
+/// clamp falls back to ordinary doubling, paid for by actual data lines.
+const MAX_PREALLOC_ENTRIES: usize = 1 << 20;
 
 /// Errors produced while parsing a Matrix Market stream.
 #[derive(Debug)]
@@ -29,6 +37,10 @@ pub enum MtxError {
     },
     /// The parsed entries violate the declared dimensions.
     Format(crate::FormatError),
+    /// The stream fails untrusted-input validation: dimensions beyond the
+    /// representable range, or a declared element count that disagrees
+    /// with the entries present (truncated or padded file).
+    Invalid(ValidationError),
 }
 
 impl std::fmt::Display for MtxError {
@@ -41,6 +53,7 @@ impl std::fmt::Display for MtxError {
                 write!(f, "bad entry at line {line}: {detail}")
             }
             Self::Format(e) => write!(f, "{e}"),
+            Self::Invalid(e) => write!(f, "{e}"),
         }
     }
 }
@@ -56,6 +69,12 @@ impl From<std::io::Error> for MtxError {
 impl From<crate::FormatError> for MtxError {
     fn from(e: crate::FormatError) -> Self {
         Self::Format(e)
+    }
+}
+
+impl From<ValidationError> for MtxError {
+    fn from(e: ValidationError) -> Self {
+        Self::Invalid(e)
     }
 }
 
@@ -118,8 +137,23 @@ pub fn read_matrix_market<R: BufRead>(
             detail: format!("expected 'rows cols nnz', got '{size_line}'"),
         });
     };
+    // Coordinates are u32 internally; a declared dimension beyond that
+    // would previously truncate silently (`rows as u32`) and misattribute
+    // every entry. Reject it as what it is: an unrepresentable input.
+    for (what, dim) in [("rows", rows), ("cols", cols)] {
+        if dim > u64::from(u32::MAX) {
+            return Err(ValidationError::DimTooLarge {
+                what,
+                value: dim,
+                limit: u32::MAX,
+            }
+            .into());
+        }
+    }
 
-    let mut triplets: Vec<(u32, u32, Value)> = Vec::with_capacity(nnz as usize);
+    let mut parsed_entries = 0u64;
+    let mut triplets: Vec<(u32, u32, Value)> =
+        Vec::with_capacity((nnz as usize).min(MAX_PREALLOC_ENTRIES));
     for (idx, line) in lines {
         let line = line?;
         let trimmed = line.trim();
@@ -161,10 +195,21 @@ pub fn read_matrix_market<R: BufRead>(
                     detail: e.to_string(),
                 })? as Value
         };
+        parsed_entries += 1;
         triplets.push((r - 1, c - 1, v));
         if symmetric && r != c {
             triplets.push((c - 1, r - 1, v));
         }
+    }
+    // The size line's nnz counts stored entries (data lines, before any
+    // symmetric expansion). A disagreement means the file was truncated or
+    // padded — previously accepted silently.
+    if parsed_entries != nnz {
+        return Err(ValidationError::NnzMismatch {
+            declared: nnz,
+            actual: parsed_entries,
+        }
+        .into());
     }
     Ok(CompressedMatrix::from_triplets(
         rows as u32,
@@ -274,6 +319,63 @@ mod tests {
         assert!(matches!(
             read_matrix_market(Cursor::new("hello\n"), MajorOrder::Row),
             Err(MtxError::BadHeader(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_truncated_file() {
+        // Declares 3 entries, provides 2 — previously accepted silently.
+        let text = "%%MatrixMarket matrix coordinate real general\n3 3 3\n1 1 1.0\n2 2 2.0\n";
+        assert!(matches!(
+            read_matrix_market(Cursor::new(text), MajorOrder::Row),
+            Err(MtxError::Invalid(ValidationError::NnzMismatch {
+                declared: 3,
+                actual: 2
+            }))
+        ));
+    }
+
+    #[test]
+    fn rejects_padded_file() {
+        let text = "%%MatrixMarket matrix coordinate real general\n3 3 1\n1 1 1.0\n2 2 2.0\n";
+        assert!(matches!(
+            read_matrix_market(Cursor::new(text), MajorOrder::Row),
+            Err(MtxError::Invalid(ValidationError::NnzMismatch { .. }))
+        ));
+    }
+
+    #[test]
+    fn rejects_dims_beyond_u32() {
+        // 2^33 rows would previously truncate to 0 via `as u32`.
+        let text = "%%MatrixMarket matrix coordinate real general\n8589934592 2 1\n1 1 1.0\n";
+        assert!(matches!(
+            read_matrix_market(Cursor::new(text), MajorOrder::Row),
+            Err(MtxError::Invalid(ValidationError::DimTooLarge {
+                what: "rows",
+                value: 8589934592,
+                ..
+            }))
+        ));
+    }
+
+    #[test]
+    fn huge_declared_nnz_does_not_preallocate() {
+        // A tiny stream claiming 10^18 entries must fail with a typed
+        // error, not abort the process in `Vec::with_capacity`.
+        let text =
+            "%%MatrixMarket matrix coordinate real general\n2 2 1000000000000000000\n1 1 1.0\n";
+        assert!(matches!(
+            read_matrix_market(Cursor::new(text), MajorOrder::Row),
+            Err(MtxError::Invalid(ValidationError::NnzMismatch { .. }))
+        ));
+    }
+
+    #[test]
+    fn rejects_non_numeric_value_token() {
+        let text = "%%MatrixMarket matrix coordinate real general\n2 2 1\n1 1 banana\n";
+        assert!(matches!(
+            read_matrix_market(Cursor::new(text), MajorOrder::Row),
+            Err(MtxError::BadEntry { line: 3, .. })
         ));
     }
 

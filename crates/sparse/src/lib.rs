@@ -56,6 +56,7 @@ pub mod io;
 pub mod merge;
 pub mod reference;
 pub mod stats;
+pub mod validate;
 
 pub use accum::{AccumConfig, AccumTier, RowAccum};
 pub use bitmap::BitmapMatrix;
@@ -65,6 +66,7 @@ pub use element::{Element, Value, ELEMENT_BYTES};
 pub use error::FormatError;
 pub use fiber::{ElementIter, Fiber, FiberView};
 pub use index::{FiberIndex, MatrixIndex, Prober};
+pub use validate::{validate_matrix, ValidationConfig, ValidationError, ValuePolicy};
 
 /// Convenience result alias for fallible format operations.
 pub type Result<T> = std::result::Result<T, FormatError>;

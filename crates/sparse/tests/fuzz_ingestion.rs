@@ -1,0 +1,156 @@
+//! Fuzz targets for the ingestion boundary.
+//!
+//! The robustness invariant under test: **validated input never panics,
+//! and invalid input always yields a typed error** — never a panic, never
+//! a silently-accepted malformed structure. Three attack surfaces:
+//!
+//! * raw CSR/CSC arrays through [`CompressedMatrix::from_raw_parts`],
+//! * Matrix Market text (valid streams with mutated bytes) through
+//!   [`io::read_matrix_market`],
+//! * JSON wire bytes (valid documents with mutated bytes) through the
+//!   validating `Deserialize` impl.
+//!
+//! Case count scales with the `FLEXAGON_FUZZ_CASES` environment variable
+//! (default 256; CI's chaos-smoke job runs 10 000+).
+
+use flexagon_sparse::{
+    io, validate_matrix, CompressedMatrix, MajorOrder, ValidationConfig, ValidationError,
+};
+use proptest::prelude::*;
+
+fn cases() -> u32 {
+    std::env::var("FLEXAGON_FUZZ_CASES")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(256)
+}
+
+/// Strategy: a well-formed sparse matrix with unique random cells.
+fn matrix(max_dim: u32) -> impl Strategy<Value = CompressedMatrix> {
+    (1..max_dim, 1..max_dim, 0u8..2).prop_flat_map(|(r, c, ord)| {
+        let cells = (r * c) as usize;
+        let order = if ord == 0 {
+            MajorOrder::Row
+        } else {
+            MajorOrder::Col
+        };
+        proptest::collection::btree_map(0..cells, 0.25f32..4.0, 0..cells.min(100)).prop_map(
+            move |entries| {
+                let triplets: Vec<(u32, u32, f32)> = entries
+                    .into_iter()
+                    .map(|(p, v)| (p as u32 / c, p as u32 % c, v))
+                    .collect();
+                CompressedMatrix::from_triplets(r, c, &triplets, order)
+                    .expect("unique in-range triplets")
+            },
+        )
+    })
+}
+
+/// Strategy: byte mutations as (position, replacement) pairs; positions are
+/// taken modulo the payload length at apply time.
+fn mutations() -> impl Strategy<Value = Vec<(usize, u8)>> {
+    proptest::collection::vec((0usize..1 << 20, 0u8..=255), 1..8)
+}
+
+fn mutate(bytes: &mut [u8], muts: &[(usize, u8)]) {
+    if bytes.is_empty() {
+        return;
+    }
+    for &(pos, val) in muts {
+        bytes[pos % bytes.len()] = val;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(cases()))]
+
+    /// Arbitrary raw arrays never panic the constructor: either a
+    /// structurally valid matrix comes back, or a typed error does.
+    #[test]
+    fn raw_parts_never_panic(
+        rows in 0u32..20,
+        cols in 0u32..20,
+        ord in 0u8..2,
+        ptr in proptest::collection::vec(0usize..40, 0..24),
+        coords in proptest::collection::vec(0u32..40, 0..32),
+        values in proptest::collection::vec(-4.0f32..4.0, 0..32),
+    ) {
+        let order = if ord == 0 { MajorOrder::Row } else { MajorOrder::Col };
+        match CompressedMatrix::from_raw_parts(rows, cols, order, ptr, coords, values) {
+            Ok(m) => {
+                // Accepted structures really are valid: re-validation and a
+                // full fiber walk hold up.
+                prop_assert!(validate_matrix(&m, &ValidationConfig::permissive()).is_ok());
+                let walked: usize = m.fibers().map(|(_, f)| f.len()).sum();
+                prop_assert_eq!(walked, m.nnz());
+            }
+            Err(e) => {
+                // Typed rejection, and the error renders.
+                prop_assert!(!e.to_string().is_empty());
+            }
+        }
+    }
+
+    /// A valid Matrix Market stream with mutated bytes never panics the
+    /// reader; whatever it accepts is structurally valid.
+    #[test]
+    fn mutated_mtx_never_panics(m in matrix(16), muts in mutations()) {
+        let mut bytes = Vec::new();
+        io::write_matrix_market(&m, &mut bytes).expect("write to vec");
+        mutate(&mut bytes, &muts);
+        match io::read_matrix_market(&bytes[..], MajorOrder::Row) {
+            Ok(parsed) => prop_assert!(parsed.validate().is_ok()),
+            Err(e) => prop_assert!(!e.to_string().is_empty()),
+        }
+    }
+
+    /// A Matrix Market round trip of an unmutated matrix is exact.
+    #[test]
+    fn mtx_roundtrip_is_exact(m in matrix(16)) {
+        let mut bytes = Vec::new();
+        io::write_matrix_market(&m, &mut bytes).expect("write to vec");
+        let back = io::read_matrix_market(&bytes[..], m.order()).expect("valid stream");
+        prop_assert_eq!(back, m);
+    }
+
+    /// Valid JSON with mutated bytes never panics the deserializer; the
+    /// validating `Deserialize` impl guarantees whatever it accepts is
+    /// structurally sound.
+    #[test]
+    fn mutated_json_never_panics(m in matrix(16), muts in mutations()) {
+        let mut bytes = serde_json::to_string(&m).expect("serialize").into_bytes();
+        mutate(&mut bytes, &muts);
+        // Mutation may break UTF-8; both layers must reject gracefully.
+        let Ok(text) = std::str::from_utf8(&bytes) else { return };
+        match serde_json::from_str::<CompressedMatrix>(text) {
+            Ok(parsed) => prop_assert!(parsed.validate().is_ok()),
+            Err(e) => prop_assert!(!e.to_string().is_empty()),
+        }
+    }
+
+    /// The untrusted config rejects every non-finite value with a typed
+    /// error naming the offending index.
+    #[test]
+    fn untrusted_config_rejects_non_finite(m in matrix(12), poison_at in 0usize..64, kind in 0u8..3) {
+        if m.nnz() == 0 {
+            return;
+        }
+        let bad = match kind {
+            0 => f32::NAN,
+            1 => f32::INFINITY,
+            _ => f32::NEG_INFINITY,
+        };
+        let idx = poison_at % m.nnz();
+        let mut values = m.values().to_vec();
+        values[idx] = bad;
+        let poisoned = CompressedMatrix::from_raw_parts(
+            m.rows(), m.cols(), m.order(), m.ptr().to_vec(), m.coords().to_vec(), values,
+        ).expect("structure untouched");
+        prop_assert!(validate_matrix(&poisoned, &ValidationConfig::permissive()).is_ok());
+        match validate_matrix(&poisoned, &ValidationConfig::untrusted()) {
+            Err(ValidationError::NonFiniteValue { index, .. }) => prop_assert_eq!(index, idx),
+            other => prop_assert!(false, "expected NonFiniteValue, got {other:?}"),
+        }
+    }
+}

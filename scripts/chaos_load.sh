@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# Chaos smoke against a live flexagon_served daemon with fault injection
+# armed.
+#
+# Boots the daemon with --faults injecting a worker panic, an artificial
+# delay, and a corrupted inbound frame every ~50 requests, then drives a
+# 4-client load (200+ requests) with --tolerate-errors: typed error replies
+# are expected, but every connection must survive and at least one request
+# must succeed. Afterwards the stats snapshot must account for the faults
+# (worker_panics >= 1, bad_frames >= 1), and the daemon must still drain
+# cleanly on SIGTERM (exit 0) — a panicking worker pool must not cost the
+# lifecycle contract.
+#
+# Usage: scripts/chaos_load.sh [BIN_DIR] [STATS_JSON]
+#   BIN_DIR    directory holding flexagon_served + serve_client
+#              (default: target/release)
+#   STATS_JSON where to write the stats snapshot
+#              (default: target/chaos_stats.json)
+set -euo pipefail
+
+BIN_DIR="${1:-target/release}"
+STATS_JSON="${2:-target/chaos_stats.json}"
+SOCK="${TMPDIR:-/tmp}/flexagon-chaos-$$.sock"
+ADDR="unix:${SOCK}"
+FAULTS="panic=50,slow=47:5,corrupt=53"
+
+SERVED="${BIN_DIR}/flexagon_served"
+CLIENT="${BIN_DIR}/serve_client"
+for bin in "$SERVED" "$CLIENT"; do
+  if [[ ! -x "$bin" ]]; then
+    echo "chaos_load: missing binary $bin (build flexagon-serve first)" >&2
+    exit 1
+  fi
+done
+
+mkdir -p "$(dirname "$STATS_JSON")"
+
+"$SERVED" --addr "$ADDR" --workers 2 --queue 64 --faults "$FAULTS" &
+SERVED_PID=$!
+cleanup() {
+  kill -9 "$SERVED_PID" 2>/dev/null || true
+  rm -f "$SOCK"
+}
+trap cleanup EXIT
+
+# Readiness: poll ping until the socket answers. Control frames count
+# toward the corruption counter too, so a ping may legitimately get a
+# bad_request reply (nonzero exit) — only daemon death is fatal here.
+for _ in $(seq 1 100); do
+  if "$CLIENT" --addr "$ADDR" ping >/dev/null 2>&1; then
+    break
+  fi
+  if ! kill -0 "$SERVED_PID" 2>/dev/null; then
+    echo "chaos_load: daemon died before accepting connections" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+# 4 clients x 52 requests = 208: at least 3-4 injections of each fault
+# kind. --tolerate-errors accepts typed error replies (the panicked and
+# corrupted requests) but still fails on any connection-level error and
+# requires at least one success.
+"$CLIENT" --addr "$ADDR" load \
+  --clients 4 --requests 52 --dim 48 --density 0.3 \
+  --tenant chaos --seed 17 --tolerate-errors
+
+# The stats frame itself can be the corrupted one; retry the snapshot.
+stats_ok=0
+for _ in $(seq 1 5); do
+  if "$CLIENT" --addr "$ADDR" stats --json "$STATS_JSON" >/dev/null 2>&1; then
+    stats_ok=1
+    break
+  fi
+  sleep 0.1
+done
+if [[ "$stats_ok" != 1 ]]; then
+  echo "chaos_load: stats snapshot failed" >&2
+  exit 1
+fi
+echo "chaos_load: stats written to $STATS_JSON"
+
+# The snapshot must show the faults were injected AND survived: caught
+# worker panics and rejected corrupted frames, with completed requests
+# alongside them.
+get_counter() {
+  sed -n "s/^ *\"$1\": \([0-9][0-9]*\).*/\1/p" "$STATS_JSON" | head -n 1
+}
+PANICS="$(get_counter worker_panics)"
+BAD_FRAMES="$(get_counter bad_frames)"
+COMPLETED="$(get_counter completed)"
+echo "chaos_load: worker_panics=${PANICS:-?} bad_frames=${BAD_FRAMES:-?} completed=${COMPLETED:-?}"
+if [[ -z "$PANICS" || "$PANICS" -lt 1 ]]; then
+  echo "chaos_load: expected >=1 caught worker panic in stats" >&2
+  exit 1
+fi
+if [[ -z "$BAD_FRAMES" || "$BAD_FRAMES" -lt 1 ]]; then
+  echo "chaos_load: expected >=1 bad frame in stats" >&2
+  exit 1
+fi
+if [[ -z "$COMPLETED" || "$COMPLETED" -lt 100 ]]; then
+  echo "chaos_load: expected >=100 completed requests, got ${COMPLETED:-0}" >&2
+  exit 1
+fi
+
+# Graceful drain on SIGTERM: in-flight work finishes, exit status is 0 —
+# even after the worker pool has caught panics.
+kill -TERM "$SERVED_PID"
+if wait "$SERVED_PID"; then
+  echo "chaos_load: daemon drained cleanly on SIGTERM after chaos"
+else
+  status=$?
+  echo "chaos_load: daemon exited with status $status after SIGTERM" >&2
+  exit 1
+fi
+trap - EXIT
+rm -f "$SOCK"

@@ -48,7 +48,10 @@ impl Criterion {
     pub fn new() -> Self {
         Self {
             results: Vec::new(),
-            filters: std::env::args().skip(1).filter(|a| !a.starts_with('-')).collect(),
+            filters: std::env::args()
+                .skip(1)
+                .filter(|a| !a.starts_with('-'))
+                .collect(),
         }
     }
 
@@ -68,7 +71,10 @@ impl Criterion {
         if !self.selected(&name) {
             return;
         }
-        let mut bencher = Bencher { batches: Vec::new(), budget: Self::budget() };
+        let mut bencher = Bencher {
+            batches: Vec::new(),
+            budget: Self::budget(),
+        };
         f(&mut bencher);
         let mut per_iter: Vec<f64> = bencher
             .batches
@@ -83,7 +89,11 @@ impl Criterion {
         };
         let iterations: u64 = bencher.batches.iter().map(|&(_, iters)| iters).sum();
         println!("bench: {name:<56} {median:>14.1} ns/iter ({iterations} iters)");
-        self.results.push(BenchResult { name, ns_per_iter: median, iterations });
+        self.results.push(BenchResult {
+            name,
+            ns_per_iter: median,
+            iterations,
+        });
     }
 
     /// Runs one named benchmark.
@@ -94,7 +104,10 @@ impl Criterion {
 
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { criterion: self, name: name.to_string() }
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
     }
 
     /// Serializes all measured results as a JSON array.
@@ -133,7 +146,11 @@ impl Criterion {
         if let Some(parent) = std::path::Path::new(&path).parent() {
             let _ = std::fs::create_dir_all(parent);
         }
-        match std::fs::OpenOptions::new().create(true).append(true).open(&path) {
+        match std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+        {
             Ok(mut file) => {
                 for r in &self.results {
                     let _ = writeln!(
@@ -193,7 +210,8 @@ impl BenchmarkGroup<'_> {
         f: F,
     ) -> &mut Self {
         let id = id.into();
-        self.criterion.run_one(format!("{}/{}", self.name, id.label()), f);
+        self.criterion
+            .run_one(format!("{}/{}", self.name, id.label()), f);
         self
     }
 
@@ -223,12 +241,16 @@ pub struct BenchmarkId {
 impl BenchmarkId {
     /// Builds an id from a function name and a parameter value.
     pub fn new<P: Display>(function: &str, parameter: P) -> Self {
-        Self { label: format!("{function}/{parameter}") }
+        Self {
+            label: format!("{function}/{parameter}"),
+        }
     }
 
     /// Builds an id from a parameter value alone.
     pub fn from_parameter<P: Display>(parameter: P) -> Self {
-        Self { label: parameter.to_string() }
+        Self {
+            label: parameter.to_string(),
+        }
     }
 
     fn label(&self) -> &str {
@@ -238,7 +260,9 @@ impl BenchmarkId {
 
 impl From<&str> for BenchmarkId {
     fn from(s: &str) -> Self {
-        Self { label: s.to_string() }
+        Self {
+            label: s.to_string(),
+        }
     }
 }
 

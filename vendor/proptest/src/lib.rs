@@ -24,7 +24,9 @@ impl TestRng {
             hash ^= byte as u64;
             hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
         }
-        Self(ChaCha8Rng::seed_from_u64(hash ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+        Self(ChaCha8Rng::seed_from_u64(
+            hash ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+        ))
     }
 }
 
@@ -163,7 +165,7 @@ macro_rules! impl_tuple_strategy {
         }
     )*};
 }
-impl_tuple_strategy!((A, B) (A, B, C) (A, B, C, D) (A, B, C, D, E));
+impl_tuple_strategy!((A, B)(A, B, C)(A, B, C, D)(A, B, C, D, E));
 
 impl<S: Strategy + ?Sized> Strategy for &S {
     type Value = S::Value;

@@ -70,7 +70,11 @@ impl SeedableRng for ChaCha8Rng {
             *word = u32::from_le_bytes(bytes.try_into().expect("4-byte chunk"));
         }
         // Counter and nonce start at zero.
-        let mut rng = Self { state, block: [0; 16], cursor: 16 };
+        let mut rng = Self {
+            state,
+            block: [0; 16],
+            cursor: 16,
+        };
         rng.refill();
         rng
     }

@@ -170,9 +170,9 @@ fn parse_variants(body: TokenStream) -> Vec<String> {
         match tokens.next() {
             Some(TokenTree::Punct(p)) if p.as_char() == ',' => {}
             None => break,
-            other => panic!(
-                "vendored serde derive supports only unit enum variants, got {other:?}"
-            ),
+            other => {
+                panic!("vendored serde derive supports only unit enum variants, got {other:?}")
+            }
         }
     }
     variants
@@ -210,9 +210,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
                 .iter()
                 .map(|v| format!("Self::{v} => \"{v}\","))
                 .collect();
-            format!(
-                "::serde::Value::Str(::std::string::String::from(match self {{ {arms} }}))"
-            )
+            format!("::serde::Value::Str(::std::string::String::from(match self {{ {arms} }}))")
         }
     };
     format!(

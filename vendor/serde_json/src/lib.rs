@@ -40,12 +40,18 @@ pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String> {
 
 /// Parses JSON text into any deserializable type.
 pub fn from_str<T: Deserialize>(s: &str) -> Result<T> {
-    let mut parser = Parser { bytes: s.as_bytes(), pos: 0 };
+    let mut parser = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
     parser.skip_ws();
     let value = parser.parse_value()?;
     parser.skip_ws();
     if parser.pos != parser.bytes.len() {
-        return Err(Error(format!("trailing characters at offset {}", parser.pos)));
+        return Err(Error(format!(
+            "trailing characters at offset {}",
+            parser.pos
+        )));
     }
     Ok(T::from_value(&value)?)
 }
