@@ -3,7 +3,7 @@
 //! ablations live in the `ablations` binary).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use flexagon_core::{Accelerator, AcceleratorConfig, Dataflow, Flexagon};
+use flexagon_core::{Accelerator, AcceleratorConfig, Dataflow, ExecutionRequest, Flexagon};
 use flexagon_sparse::{gen, MajorOrder};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -22,7 +22,10 @@ fn bench_multiplier_scaling(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("gustavson", mults), &mults, |bench, _| {
             bench.iter(|| {
                 accel
-                    .run(black_box(&a), black_box(&b), Dataflow::GustavsonM)
+                    .execute(
+                        ExecutionRequest::new(black_box(&a), black_box(&b))
+                            .dataflow(Dataflow::GustavsonM),
+                    )
                     .unwrap()
             });
         });
@@ -43,7 +46,10 @@ fn bench_psram_pressure(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("outer_product", kib), &kib, |bench, _| {
             bench.iter(|| {
                 accel
-                    .run(black_box(&a), black_box(&b), Dataflow::OuterProductM)
+                    .execute(
+                        ExecutionRequest::new(black_box(&a), black_box(&b))
+                            .dataflow(Dataflow::OuterProductM),
+                    )
                     .unwrap()
             });
         });

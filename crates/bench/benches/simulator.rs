@@ -3,7 +3,7 @@
 //! large a workload suite the harness can sweep).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use flexagon_core::{Accelerator, Dataflow, Flexagon};
+use flexagon_core::{Accelerator, Dataflow, ExecutionRequest, Flexagon};
 use flexagon_sparse::{gen, CompressedMatrix, MajorOrder};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -28,7 +28,11 @@ fn bench_dataflows(c: &mut Criterion) {
             BenchmarkId::new("table5", df.loop_order()),
             &df,
             |bench, &df| {
-                bench.iter(|| accel.run(black_box(&a), black_box(&b), df).unwrap());
+                bench.iter(|| {
+                    accel
+                        .execute(ExecutionRequest::new(black_box(&a), black_box(&b)).dataflow(df))
+                        .unwrap()
+                });
             },
         );
     }
@@ -44,7 +48,10 @@ fn bench_scaling(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("gustavson", n), &n, |bench, _| {
             bench.iter(|| {
                 accel
-                    .run(black_box(&a), black_box(&b), Dataflow::GustavsonM)
+                    .execute(
+                        ExecutionRequest::new(black_box(&a), black_box(&b))
+                            .dataflow(Dataflow::GustavsonM),
+                    )
                     .unwrap()
             });
         });

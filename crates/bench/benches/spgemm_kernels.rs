@@ -2,10 +2,10 @@
 //! golden models and the CPU-baseline kernel.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use flexagon_core::{Accelerator, AcceleratorConfig, Dataflow, Flexagon};
+use flexagon_core::{Accelerator, AcceleratorConfig, Dataflow, ExecutionRequest, Flexagon};
 use flexagon_sparse::{
-    gen, merge, reference, AccumConfig, AccumTier, BitmapMatrix, CompressedMatrix, Fiber,
-    FiberIndex, MajorOrder, RowAccum,
+    gen, merge, reference, AccumConfig, AccumTier, BitmapMatrix, BlockedFiber, CompressedMatrix,
+    Fiber, FiberFormat, FiberIndex, FormattedMatrix, MajorOrder, RowAccum,
 };
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -403,7 +403,11 @@ fn bench_execute(c: &mut Criterion) {
             BenchmarkId::new("table5", df.loop_order()),
             &df,
             |bench, &df| {
-                bench.iter(|| accel.run(black_box(&a), black_box(&b), df).unwrap());
+                bench.iter(|| {
+                    accel
+                        .execute(ExecutionRequest::new(black_box(&a), black_box(&b)).dataflow(df))
+                        .unwrap()
+                });
             },
         );
     }
@@ -412,7 +416,10 @@ fn bench_execute(c: &mut Criterion) {
     group.bench_function("table5/NKM", |bench| {
         bench.iter(|| {
             accel
-                .run(black_box(&a), black_box(&b), Dataflow::GustavsonN)
+                .execute(
+                    ExecutionRequest::new(black_box(&a), black_box(&b))
+                        .dataflow(Dataflow::GustavsonN),
+                )
                 .unwrap()
         });
     });
@@ -439,7 +446,11 @@ fn bench_workspace_reuse(c: &mut Criterion) {
         .collect();
     let sweep = |accel: &Flexagon, a: &CompressedMatrix, b: &CompressedMatrix| {
         for df in Dataflow::ALL {
-            black_box(accel.run(black_box(a), black_box(b), df).unwrap());
+            black_box(
+                accel
+                    .execute(ExecutionRequest::new(black_box(a), black_box(b)).dataflow(df))
+                    .unwrap(),
+            );
         }
     };
     let pooled = Flexagon::with_defaults();
@@ -484,17 +495,79 @@ fn bench_execute_sharded(c: &mut Criterion) {
             BenchmarkId::new("table5", df.loop_order()),
             &df,
             |bench, &df| {
-                bench.iter(|| accel.run(black_box(&a), black_box(&b), df).unwrap());
+                bench.iter(|| {
+                    accel
+                        .execute(ExecutionRequest::new(black_box(&a), black_box(&b)).dataflow(df))
+                        .unwrap()
+                });
             },
         );
     }
     group.bench_function("table5/NKM", |bench| {
         bench.iter(|| {
             accel
-                .run(black_box(&a), black_box(&b), Dataflow::GustavsonN)
+                .execute(
+                    ExecutionRequest::new(black_box(&a), black_box(&b))
+                        .dataflow(Dataflow::GustavsonN),
+                )
                 .unwrap()
         });
     });
+    group.finish();
+}
+
+/// The storage-format tier's kernels: the blocked masked dot against the
+/// SoA coordinate-compare baselines on dense-clustered fibers (the BCSR
+/// sweet spot — one compare per block instead of per element), and whole-
+/// matrix encode/decode throughput per format (the staging cost a format
+/// choice pays before any kernel runs).
+fn bench_format_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("format_kernels");
+
+    // Clustered fibers: coordinates drawn from dense runs, the structure
+    // block_sparse workloads hand the engine. ~1024 elements in runs of 8.
+    let clustered = |seed: u64| {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        gen::block_sparse(1, 16384, 8, 0.5, MajorOrder::Row, &mut rng)
+            .fiber(0)
+            .to_fiber()
+    };
+    let a = clustered(71);
+    let b = clustered(72);
+    let (a4, b4) = (
+        BlockedFiber::encode(a.as_view(), 4),
+        BlockedFiber::encode(b.as_view(), 4),
+    );
+    let (a8, b8) = (
+        BlockedFiber::encode(a.as_view(), 8),
+        BlockedFiber::encode(b.as_view(), 8),
+    );
+    group.bench_function("dot_clustered/soa", |bench| {
+        bench.iter(|| black_box(a.as_view()).dot(black_box(b.as_view())));
+    });
+    group.bench_function("dot_clustered/bcsr4", |bench| {
+        bench.iter(|| black_box(&a4).dot(black_box(&b4)));
+    });
+    group.bench_function("dot_clustered/bcsr8", |bench| {
+        bench.iter(|| black_box(&a8).dot(black_box(&b8)));
+    });
+
+    // Whole-operand staging: encode and decode per format over the same
+    // clustered matrix the engine would stage.
+    let mut rng = ChaCha8Rng::seed_from_u64(73);
+    let m = gen::block_sparse(256, 1024, 8, 0.25, MajorOrder::Row, &mut rng);
+    for format in FiberFormat::ALL {
+        if format == FiberFormat::Soa {
+            continue;
+        }
+        group.bench_function(BenchmarkId::new("encode", format.token()), |bench| {
+            bench.iter(|| FormattedMatrix::encode(black_box(&m), format));
+        });
+        let enc = FormattedMatrix::encode(&m, format);
+        group.bench_function(BenchmarkId::new("decode", format.token()), |bench| {
+            bench.iter(|| black_box(&enc).decode());
+        });
+    }
     group.finish();
 }
 
@@ -508,6 +581,7 @@ criterion_group!(
     bench_accumulators,
     bench_kway_merge,
     bench_execute,
+    bench_format_kernels,
     bench_workspace_reuse,
     bench_execute_sharded
 );

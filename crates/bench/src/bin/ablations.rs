@@ -9,15 +9,16 @@
 
 use flexagon_bench::render::table;
 use flexagon_bench::DEFAULT_SEED;
-use flexagon_core::{Accelerator, AcceleratorConfig, Dataflow, Flexagon};
+use flexagon_core::{Accelerator, AcceleratorConfig, Dataflow, ExecutionRequest, Flexagon};
 use flexagon_dnn::table6;
 
 fn run_with(cfg: AcceleratorConfig, layer_id: &str, dataflow: Dataflow) -> u64 {
     let layer = table6::by_id(layer_id).expect("known layer");
     let mats = layer.spec.materialize(DEFAULT_SEED);
     Flexagon::new(cfg)
-        .run(&mats.a, &mats.b, dataflow)
+        .execute(ExecutionRequest::new(&mats.a, &mats.b).dataflow(dataflow))
         .expect("run")
+        .output
         .report
         .total_cycles
 }

@@ -1,0 +1,88 @@
+//! Offline Matrix Market fixture generator: materialize one `.mtx` file per
+//! synthetic generator family so external tools (and the CI round-trip
+//! check) can exercise the `spgemm_cli mtx` path without any network
+//! downloads of SuiteSparse matrices.
+//!
+//! Usage: `gen_fixtures [out_dir]` (default `fixtures/`).
+//!
+//! Every written file is immediately read back through
+//! [`io::read_matrix_market`] and compared element-for-element against the
+//! in-memory source, so a successful run *is* the serialization round-trip
+//! proof — CI runs this binary and then feeds a generated pair back through
+//! `spgemm_cli`.
+
+use flexagon_sparse::{gen, io, CompressedMatrix, MajorOrder};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+use std::path::Path;
+
+/// The fixture set: one representative per generator family, sized so the
+/// whole directory stays in the tens of kilobytes.
+fn fixtures() -> Vec<(&'static str, CompressedMatrix)> {
+    let mut rng = ChaCha8Rng::seed_from_u64(2023);
+    vec![
+        (
+            "uniform_96x128.mtx",
+            gen::random(96, 128, 0.15, MajorOrder::Row, &mut rng),
+        ),
+        (
+            "uniform_128x64.mtx",
+            gen::random(128, 64, 0.25, MajorOrder::Row, &mut rng),
+        ),
+        (
+            "rmat_s8.mtx",
+            gen::rmat(8, 1024, (0.57, 0.19, 0.19, 0.05), MajorOrder::Row, &mut rng),
+        ),
+        (
+            "banded_128.mtx",
+            gen::banded(128, 6, 0.8, MajorOrder::Row, &mut rng),
+        ),
+        (
+            "blocks_96x96.mtx",
+            gen::block_sparse(96, 96, 8, 0.2, MajorOrder::Row, &mut rng),
+        ),
+        ("diagonal_64.mtx", gen::diagonal(64, 1.5, MajorOrder::Row)),
+    ]
+}
+
+fn main() {
+    let out_dir = std::env::args().nth(1).unwrap_or_else(|| "fixtures".into());
+    let out_dir = Path::new(&out_dir);
+    std::fs::create_dir_all(out_dir)
+        .unwrap_or_else(|e| panic!("cannot create {}: {e}", out_dir.display()));
+
+    for (name, matrix) in fixtures() {
+        let path = out_dir.join(name);
+        let file =
+            File::create(&path).unwrap_or_else(|e| panic!("cannot create {}: {e}", path.display()));
+        io::write_matrix_market(&matrix, BufWriter::new(file))
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+
+        // Read-back proof: the on-disk bytes must reconstruct the exact
+        // matrix (same structure, bit-identical values).
+        let file =
+            File::open(&path).unwrap_or_else(|e| panic!("cannot reopen {}: {e}", path.display()));
+        let back = io::read_matrix_market(BufReader::new(file), MajorOrder::Row)
+            .unwrap_or_else(|e| panic!("round-trip parse of {} failed: {e}", path.display()));
+        assert_eq!(
+            back,
+            matrix,
+            "{} did not survive the mtx round-trip",
+            path.display()
+        );
+        println!(
+            "{:<20} {:>4}x{:<4} nnz {:>6}  round-trip ok",
+            name,
+            matrix.rows(),
+            matrix.cols(),
+            matrix.nnz()
+        );
+    }
+    println!(
+        "wrote {} fixtures to {}",
+        fixtures().len(),
+        out_dir.display()
+    );
+}

@@ -14,7 +14,7 @@
 //! guarantee is verified end to end: with a fixed grain, dumps at worker
 //! counts 1, 2 and 4 must be byte-identical (`cmp` them).
 
-use flexagon_core::{Accelerator, AcceleratorConfig, Dataflow, Flexagon};
+use flexagon_core::{Accelerator, AcceleratorConfig, Dataflow, ExecutionRequest, Flexagon};
 use flexagon_sparse::{gen, MajorOrder};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -48,7 +48,10 @@ fn main() {
         let a = gen::random(m, k, da, MajorOrder::Row, &mut rng);
         let b = gen::random(k, n, db, MajorOrder::Row, &mut rng);
         for df in Dataflow::ALL {
-            let out = accel.run(&a, &b, df).expect("golden run");
+            let out = accel
+                .execute(ExecutionRequest::new(&a, &b).dataflow(df))
+                .expect("golden run")
+                .output;
             if !first {
                 println!(",");
             }

@@ -50,12 +50,40 @@ impl serde::Deserialize for Gate {
     }
 }
 
+/// The format-selection gate of the thresholds file — optional, so older
+/// threshold files without the section still pass the dataflow gates.
+#[derive(Debug)]
+struct FormatGate {
+    min_top1_percent: f64,
+    max_geomean_waste: f64,
+}
+
+impl serde::Deserialize for FormatGate {
+    fn from_value(v: &serde::Value) -> Result<Self, serde::DeError> {
+        let m = v
+            .as_map()
+            .ok_or_else(|| serde::DeError::new("expected an object for FormatGate"))?;
+        Ok(Self {
+            min_top1_percent: serde::Deserialize::from_value(serde::map_get(
+                m,
+                "min_top1_percent",
+            )?)?,
+            max_geomean_waste: serde::Deserialize::from_value(serde::map_get(
+                m,
+                "max_geomean_waste",
+            )?)?,
+        })
+    }
+}
+
 /// The recorded thresholds file (`MAPPER_accuracy.json`): only the
-/// `thresholds.{smoke,full}` gates are read; the recorded results and
+/// `thresholds.{smoke,full}` dataflow gates and the optional
+/// `thresholds.format_selection` gate are read; the recorded results and
 /// notes alongside them are documentation.
 struct Thresholds {
     smoke: Gate,
     full: Gate,
+    format_selection: Option<FormatGate>,
 }
 
 impl serde::Deserialize for Thresholds {
@@ -69,18 +97,17 @@ impl serde::Deserialize for Thresholds {
         Ok(Self {
             smoke: serde::Deserialize::from_value(serde::map_get(by_mode, "smoke")?)?,
             full: serde::Deserialize::from_value(serde::map_get(by_mode, "full")?)?,
+            format_selection: match serde::map_get(by_mode, "format_selection") {
+                Ok(v) => Some(serde::Deserialize::from_value(v)?),
+                Err(_) => None,
+            },
         })
     }
 }
 
-fn load_gate(path: &str, smoke: bool) -> Gate {
+fn load_thresholds(path: &str) -> Thresholds {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read {path}: {e}"));
-    let t: Thresholds = serde_json::from_str(&text).unwrap_or_else(|e| panic!("parse {path}: {e}"));
-    if smoke {
-        t.smoke
-    } else {
-        t.full
-    }
+    serde_json::from_str(&text).unwrap_or_else(|e| panic!("parse {path}: {e}"))
 }
 
 fn stats_row(name: &str, s: &AgreementStats) -> Vec<String> {
@@ -158,6 +185,20 @@ fn main() -> ExitCode {
         );
     }
 
+    // The format-selection audit over the same cases: the feature-only
+    // format heuristic against the footprint oracle (lossless formats are
+    // result-transparent, so encoded bytes are the objective).
+    let format_outcomes = flexagon_bench::mapper::evaluate_formats(&cases);
+    let (fmt_top1, fmt_waste, fmt_worst) =
+        flexagon_bench::mapper::aggregate_formats(&format_outcomes);
+    let (worst_label, worst_waste) = fmt_worst.unwrap_or(("-", 1.0));
+    println!(
+        "Format selection — heuristic vs footprint oracle: top-1 {} over {} cases, \
+         geomean waste {fmt_waste:.4}x, worst {worst_waste:.3}x ({worst_label})\n",
+        pct(fmt_top1),
+        format_outcomes.len()
+    );
+
     // The Table 6 representative layers, individually (the paper's named
     // per-dataflow-group exemplars; materialized at the harness seed).
     let accel = Flexagon::new(cfg);
@@ -213,17 +254,29 @@ fn main() -> ExitCode {
         }
         writeln!(
             file,
-            "], \"top1_percent\": {:.4}, \"geomean_regret\": {:.6}, \"max_regret\": {:.6}}}",
+            "], \"top1_percent\": {:.4}, \"geomean_regret\": {:.6}, \"max_regret\": {:.6},",
             100.0 * overall.top1_fraction(),
             overall.geomean_regret(),
             overall.max_regret(),
+        )
+        .expect("write json");
+        writeln!(
+            file,
+            "\"format_selection\": {{\"top1_percent\": {:.4}, \"geomean_waste\": {:.6}}}}}",
+            100.0 * fmt_top1,
+            fmt_waste,
         )
         .expect("write json");
         eprintln!("wrote per-case results to {path}");
     }
 
     if let Some(path) = flag_value("--check") {
-        let gate = load_gate(&path, smoke);
+        let thresholds = load_thresholds(&path);
+        let gate = if smoke {
+            thresholds.smoke
+        } else {
+            thresholds.full
+        };
         let top1 = 100.0 * overall.top1_fraction();
         let regret = overall.geomean_regret();
         println!(
@@ -246,6 +299,30 @@ fn main() -> ExitCode {
                 gate.max_geomean_regret
             );
             failed = true;
+        }
+        if let Some(fg) = thresholds.format_selection {
+            let ft = 100.0 * fmt_top1;
+            println!(
+                "gate (format): top-1 {ft:.2}% (floor {:.2}%), geomean waste {fmt_waste:.4}x \
+                 (ceiling {:.3}x)",
+                fg.min_top1_percent, fg.max_geomean_waste
+            );
+            if ft < fg.min_top1_percent {
+                eprintln!(
+                    "mapper_accuracy: format top-1 {ft:.2}% fell below the recorded floor \
+                     {:.2}% — retune FormatSelection or update {path}",
+                    fg.min_top1_percent
+                );
+                failed = true;
+            }
+            if fmt_waste > fg.max_geomean_waste {
+                eprintln!(
+                    "mapper_accuracy: format geomean waste {fmt_waste:.4}x exceeds {:.3}x — \
+                     retune FormatSelection or update {path}",
+                    fg.max_geomean_waste
+                );
+                failed = true;
+            }
         }
         if failed {
             return ExitCode::FAILURE;

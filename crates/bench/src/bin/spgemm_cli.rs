@@ -3,16 +3,22 @@
 //! strategy, and print the full cycle/traffic/energy report.
 //!
 //! Usage:
-//!   `spgemm_cli mtx <a.mtx> <b.mtx> [strategy]`
-//!   `spgemm_cli rmat <scale> <edges> [strategy]`
+//!   `spgemm_cli mtx <a.mtx> <b.mtx> [strategy] [--format F]`
+//!   `spgemm_cli rmat <scale> <edges> [strategy] [--format F]`
 //!   `spgemm_cli help`
 //!
 //! `strategy` is `oracle` (alias `auto`; sweep all six dataflows and keep
 //! the best — the default), `heuristic` (one run, dataflow picked by the
 //! calibrated cost model — the production fast path), or a fixed dataflow
 //! token: ip-m, op-m, gust-m, ip-n, op-n, gust-n.
+//!
+//! The storage format is pinned like the dataflow: either with `--format`
+//! (`auto`, `soa`, `bcsr4`, `bcsr8`, `ell`, `q8`) or inline as a
+//! `strategy@format` spec (`heuristic@bcsr4`). Omitted, the engine default
+//! applies; `auto` lets the mapper pick a lossless format from the
+//! stationary operand's shape.
 
-use flexagon_core::{Accelerator, Flexagon, MappingStrategy};
+use flexagon_core::{Accelerator, ExecutionRequest, Flexagon, FormatChoice, MappingStrategy};
 use flexagon_rtl::energy::{average_power_mw, energy_of, EnergyParams};
 use flexagon_sparse::{gen, io, CompressedMatrix, MajorOrder};
 use rand::SeedableRng;
@@ -27,10 +33,22 @@ fn load_mtx(path: &str) -> CompressedMatrix {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let usage =
-        "usage: spgemm_cli mtx <a.mtx> <b.mtx> [strategy] | rmat <scale> <edges> [strategy]\n\
-         strategy: oracle (default) | heuristic | ip-m | op-m | gust-m | ip-n | op-n | gust-n";
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let usage = "usage: spgemm_cli mtx <a.mtx> <b.mtx> [strategy] [--format F] \
+         | rmat <scale> <edges> [strategy] [--format F]\n\
+         strategy: oracle (default) | heuristic | ip-m | op-m | gust-m | ip-n | op-n | gust-n\n\
+         format:   auto | soa | bcsr4 | bcsr8 | ell | q8 (also inline: strategy@format)";
+    // `--format` may appear anywhere; strip it before positional parsing.
+    let mut format_flag: Option<String> = None;
+    if let Some(i) = args.iter().position(|a| a == "--format") {
+        args.remove(i);
+        if i < args.len() {
+            format_flag = Some(args.remove(i));
+        } else {
+            eprintln!("{usage}");
+            std::process::exit(2);
+        }
+    }
     let (a, b, strategy_arg) = match args.first().map(String::as_str) {
         Some("mtx") => {
             let a = load_mtx(args.get(1).expect(usage));
@@ -70,15 +88,26 @@ fn main() {
     );
 
     let accel = Flexagon::with_defaults();
-    let strategy: MappingStrategy = strategy_arg
-        .as_deref()
-        .unwrap_or("oracle")
-        .parse()
-        .unwrap_or_else(|e| panic!("{e}"));
-    let (df, out) = accel.run_strategy(&a, &b, strategy).expect("run");
+    let (strategy, mut format) =
+        MappingStrategy::parse_spec(strategy_arg.as_deref().unwrap_or("oracle"))
+            .unwrap_or_else(|e| panic!("{e}"));
+    if let Some(f) = format_flag {
+        format = f.parse().unwrap_or_else(|e: String| panic!("{e}"));
+    }
+    let ex = accel
+        .execute(
+            ExecutionRequest::new(&a, &b)
+                .strategy(strategy)
+                .format_choice(format),
+        )
+        .expect("run");
+    let (df, out) = (ex.dataflow, ex.output);
     match strategy {
         MappingStrategy::Fixed(_) => {}
         _ => println!("{strategy} selected dataflow: {df}"),
+    }
+    if format != FormatChoice::Config {
+        println!("{format} selected storage format: {}", ex.format);
     }
     let r = &out.report;
     println!("\n== report ({df}) ==");

@@ -2,7 +2,7 @@
 
 use flexagon_core::{
     mapper, Accelerator, AcceleratorConfig, CpuMkl, Dataflow, EngineConfig, ExecutionReport,
-    GammaLike, MappingStrategy, SigmaLike, SparchLike, Stationarity,
+    ExecutionRequest, GammaLike, MappingStrategy, SigmaLike, SparchLike, Stationarity,
 };
 use flexagon_dnn::{DnnModel, LayerSpec};
 use rayon::prelude::*;
@@ -205,18 +205,21 @@ pub fn run_layer_opts(spec: &LayerSpec, seed: u64, opts: &RunOptions) -> LayerRe
     };
     let sim_ip = || {
         SigmaLike::new(base_cfg)
-            .run(&mats.a, &mats.b, Dataflow::InnerProductM)
+            .execute(ExecutionRequest::new(&mats.a, &mats.b).dataflow(Dataflow::InnerProductM))
             .expect("inner product run")
+            .output
     };
     let sim_op = || {
         SparchLike::new(base_cfg)
-            .run(&mats.a, &mats.b, Dataflow::OuterProductM)
+            .execute(ExecutionRequest::new(&mats.a, &mats.b).dataflow(Dataflow::OuterProductM))
             .expect("outer product run")
+            .output
     };
     let sim_gu = || {
         GammaLike::new(base_cfg)
-            .run(&mats.a, &mats.b, Dataflow::GustavsonM)
+            .execute(ExecutionRequest::new(&mats.a, &mats.b).dataflow(Dataflow::GustavsonM))
             .expect("gustavson run")
+            .output
     };
     let sim_cpu = || {
         CpuMkl::with_defaults()

@@ -7,10 +7,10 @@
 //! PSRAM sized per Table 8 (none for SIGMA-like, half for GAMMA-like).
 
 use crate::{
-    engine, mapper, AcceleratorConfig, CoreError, Dataflow, ExecutionReport, MappingStrategy,
-    Result, WorkspacePool,
+    engine, mapper, AcceleratorConfig, CoreError, Dataflow, ExecutionReport, FormatChoice,
+    MappingStrategy, Result, WorkspacePool,
 };
-use flexagon_sparse::{validate_matrix, CompressedMatrix, ValidationConfig};
+use flexagon_sparse::{validate_matrix, CompressedMatrix, FiberFormat, ValidationConfig};
 
 /// Result of one accelerator execution: the functional output matrix and
 /// the measured report.
@@ -20,6 +20,95 @@ pub struct RunOutput {
     pub c: CompressedMatrix,
     /// Cycles, traffic and statistics for the run.
     pub report: ExecutionReport,
+}
+
+/// One execution, fully specified: operands plus the strategy, format and
+/// validation knobs that used to be spread across the
+/// `run`/`run_strategy`/`try_run`/`try_run_strategy` method grid.
+///
+/// Built builder-style from [`ExecutionRequest::new`] — every knob
+/// defaults to the common case (heuristic dataflow, config-default
+/// format, no validation), so the simplest call reads
+/// `accel.execute(ExecutionRequest::new(&a, &b).dataflow(df))`.
+#[derive(Debug, Clone)]
+pub struct ExecutionRequest<'m> {
+    /// The stationary operand A.
+    pub a: &'m CompressedMatrix,
+    /// The streaming operand B.
+    pub b: &'m CompressedMatrix,
+    /// How the dataflow is chosen ([`MappingStrategy::Heuristic`] by
+    /// default).
+    pub strategy: MappingStrategy,
+    /// How the fiber storage format is chosen ([`FormatChoice::Config`]
+    /// by default — the accelerator's configured format).
+    pub format: FormatChoice,
+    /// Operand validation to run before execution (`None` skips it — the
+    /// policy for operands this process built itself).
+    pub validation: Option<ValidationConfig>,
+}
+
+impl<'m> ExecutionRequest<'m> {
+    /// A request for `a x b` with every knob at its default: heuristic
+    /// dataflow selection, the config-default format, no validation.
+    pub fn new(a: &'m CompressedMatrix, b: &'m CompressedMatrix) -> Self {
+        Self {
+            a,
+            b,
+            strategy: MappingStrategy::Heuristic,
+            format: FormatChoice::Config,
+            validation: None,
+        }
+    }
+
+    /// Sets the mapping strategy.
+    #[must_use]
+    pub fn strategy(mut self, strategy: MappingStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Pins the dataflow (shorthand for
+    /// `strategy(MappingStrategy::Fixed(dataflow))`).
+    #[must_use]
+    pub fn dataflow(mut self, dataflow: Dataflow) -> Self {
+        self.strategy = MappingStrategy::Fixed(dataflow);
+        self
+    }
+
+    /// Pins the fiber storage format (shorthand for
+    /// `format_choice(FormatChoice::Fixed(format))`).
+    #[must_use]
+    pub fn format(mut self, format: FiberFormat) -> Self {
+        self.format = FormatChoice::Fixed(format);
+        self
+    }
+
+    /// Sets how the storage format is chosen.
+    #[must_use]
+    pub fn format_choice(mut self, choice: FormatChoice) -> Self {
+        self.format = choice;
+        self
+    }
+
+    /// Validates both operands under `validation` before execution — the
+    /// boundary for operands whose bytes arrived from outside the process.
+    #[must_use]
+    pub fn validated(mut self, validation: ValidationConfig) -> Self {
+        self.validation = Some(validation);
+        self
+    }
+}
+
+/// Result of [`Accelerator::execute`]: the selections the request left
+/// open, resolved, plus the run output.
+#[derive(Debug, Clone)]
+pub struct Execution {
+    /// The dataflow that ran (the strategy's choice).
+    pub dataflow: Dataflow,
+    /// The fiber storage format the engine staged operands through.
+    pub format: FiberFormat,
+    /// The output matrix and execution report.
+    pub output: RunOutput,
 }
 
 /// Common interface of all simulated accelerators.
@@ -40,77 +129,154 @@ pub trait Accelerator {
         None
     }
 
+    /// The unified execution entry point: runs one SpMSpM operation as a
+    /// fully-specified [`ExecutionRequest`].
+    ///
+    /// The request carries in one struct what used to be a 2x2 method grid
+    /// (`run`/`run_strategy` x plain/`try_`), plus the format knob the
+    /// grid would have doubled again:
+    ///
+    /// * **Validation** runs first when requested
+    ///   ([`ExecutionRequest::validated`]) — the boundary for operands
+    ///   whose bytes arrived from outside the process.
+    /// * **Format** resolves next: [`FormatChoice::Config`] takes the
+    ///   configured [`crate::EngineConfig::format`], [`FormatChoice::Auto`]
+    ///   asks [`mapper::heuristic_format`] (lossless formats only), and
+    ///   [`FormatChoice::Fixed`] pins a token. Lossless formats are
+    ///   result-transparent — outputs and reports are byte-identical to
+    ///   the SoA baseline.
+    /// * **Strategy** dispatches last: [`MappingStrategy::Fixed`] runs
+    ///   the pinned dataflow, [`MappingStrategy::Heuristic`] picks by
+    ///   calibrated cost estimate and runs once, and
+    ///   [`MappingStrategy::Oracle`] sweeps every supported dataflow and
+    ///   keeps the fastest (the paper's evaluation methodology, at
+    ///   `supported_dataflows().len()` times the simulation cost).
+    ///
+    /// # Errors
+    ///
+    /// [`CoreError::Validation`] when a requested validation fails;
+    /// [`CoreError::UnsupportedDataflow`] when a `Fixed` dataflow is not
+    /// in [`Accelerator::supported_dataflows`]; [`CoreError::Format`] on
+    /// dimension mismatch; plus any engine error.
+    fn execute(&self, req: ExecutionRequest<'_>) -> Result<Execution> {
+        if let Some(validation) = &req.validation {
+            validate_matrix(req.a, validation).map_err(CoreError::Validation)?;
+            validate_matrix(req.b, validation).map_err(CoreError::Validation)?;
+        }
+        // `FLEXAGON_FORMAT` (lossless tokens only) rewrites the *default*
+        // choice — the CI knob that routes every unpinned run through one
+        // lossless tier suite-wide. An explicit `Auto`/`Fixed` on the
+        // request is program intent and always wins over the environment.
+        let format = match req.format {
+            FormatChoice::Config => flexagon_sparse::format::env_format_override()
+                .unwrap_or(self.config().engine.format),
+            FormatChoice::Auto => mapper::heuristic_format(req.a),
+            FormatChoice::Fixed(f) => f,
+        };
+        let cfg_owned;
+        let cfg = if self.config().engine.format == format {
+            self.config()
+        } else {
+            let mut c = *self.config();
+            c.engine.format = format;
+            cfg_owned = c;
+            &cfg_owned
+        };
+        let run_one = |df: Dataflow| -> Result<RunOutput> {
+            if !self.supported_dataflows().contains(&df) {
+                return Err(CoreError::UnsupportedDataflow {
+                    accelerator: self.name().to_owned(),
+                    dataflow: df,
+                });
+            }
+            let (c, report) = engine::execute(cfg, self.workspaces(), req.a, req.b, df)?;
+            Ok(RunOutput { c, report })
+        };
+        let (dataflow, output) = match req.strategy {
+            MappingStrategy::Fixed(df) => (df, run_one(df)?),
+            MappingStrategy::Heuristic => {
+                let df = mapper::heuristic_among(cfg, req.a, req.b, self.supported_dataflows());
+                (df, run_one(df)?)
+            }
+            MappingStrategy::Oracle => {
+                let mut best: Option<(Dataflow, RunOutput)> = None;
+                for &df in self.supported_dataflows() {
+                    let out = run_one(df)?;
+                    let better = match &best {
+                        None => true,
+                        Some((_, prev)) => out.report.total_cycles < prev.report.total_cycles,
+                    };
+                    if better {
+                        best = Some((df, out));
+                    }
+                }
+                best.ok_or_else(|| CoreError::UnsupportedDataflow {
+                    accelerator: self.name().to_owned(),
+                    dataflow: Dataflow::InnerProductM,
+                })?
+            }
+        };
+        Ok(Execution {
+            dataflow,
+            format,
+            output,
+        })
+    }
+
     /// Runs `a x b` under `dataflow`.
     ///
-    /// Operands may arrive in either major order; if an operand is not in
-    /// the format Table 3 requires, it is explicitly converted and the
-    /// conversion is recorded in the report (`explicit_conversions`) — the
-    /// cost Flexagon's inter-layer transitions avoid.
+    /// Thin wrapper over [`Accelerator::execute`]; prefer
+    /// `execute(ExecutionRequest::new(a, b).dataflow(dataflow))`.
     ///
     /// # Errors
     ///
     /// [`CoreError::UnsupportedDataflow`] if the dataflow is not in
     /// [`Accelerator::supported_dataflows`]; [`CoreError::Format`] on
     /// dimension mismatch.
+    #[deprecated(note = "use `execute(ExecutionRequest::new(a, b).dataflow(dataflow))`")]
     fn run(
         &self,
         a: &CompressedMatrix,
         b: &CompressedMatrix,
         dataflow: Dataflow,
     ) -> Result<RunOutput> {
-        if !self.supported_dataflows().contains(&dataflow) {
-            return Err(CoreError::UnsupportedDataflow {
-                accelerator: self.name().to_owned(),
-                dataflow,
-            });
-        }
-        let (c, report) = engine::execute(self.config(), self.workspaces(), a, b, dataflow)?;
-        Ok(RunOutput { c, report })
+        self.execute(ExecutionRequest::new(a, b).dataflow(dataflow))
+            .map(|ex| ex.output)
     }
 
     /// Runs `a x b` with the dataflow chosen by `strategy`, returning the
     /// selection together with its output.
     ///
-    /// * [`MappingStrategy::Oracle`] sweeps every supported dataflow and
-    ///   keeps the fastest — the paper's evaluation methodology, at
-    ///   `supported_dataflows().len()` times the simulation cost.
-    /// * [`MappingStrategy::Heuristic`] picks the supported dataflow with
-    ///   the lowest calibrated cost estimate and runs it once.
-    /// * [`MappingStrategy::Fixed`] runs the given dataflow directly; the
-    ///   result is identical to calling [`Accelerator::run`] with it.
+    /// Thin wrapper over [`Accelerator::execute`]; prefer
+    /// `execute(ExecutionRequest::new(a, b).strategy(strategy))`.
     ///
     /// # Errors
     ///
     /// Propagates execution errors; [`CoreError::UnsupportedDataflow`] when
     /// a `Fixed` dataflow is not supported.
+    #[deprecated(note = "use `execute(ExecutionRequest::new(a, b).strategy(strategy))`")]
     fn run_strategy(
         &self,
         a: &CompressedMatrix,
         b: &CompressedMatrix,
         strategy: MappingStrategy,
     ) -> Result<(Dataflow, RunOutput)> {
-        match strategy {
-            MappingStrategy::Oracle => mapper::oracle(self, a, b),
-            MappingStrategy::Heuristic => {
-                let df = mapper::heuristic_among(self.config(), a, b, self.supported_dataflows());
-                Ok((df, self.run(a, b, df)?))
-            }
-            MappingStrategy::Fixed(df) => Ok((df, self.run(a, b, df)?)),
-        }
+        self.execute(ExecutionRequest::new(a, b).strategy(strategy))
+            .map(|ex| (ex.dataflow, ex.output))
     }
 
-    /// Like [`Accelerator::run`], but validates both operands under
-    /// `validation` before they reach the engine — the entry point for
-    /// operands whose bytes arrived from outside the process (the serve
-    /// daemon, file loaders). With [`ValidationConfig::permissive`] the
-    /// extra cost is a structural scan; with
-    /// [`ValidationConfig::untrusted`] resource bombs and non-finite
-    /// values are rejected too.
+    /// Like `run`, but validates both operands under `validation` first.
+    ///
+    /// Thin wrapper over [`Accelerator::execute`]; prefer
+    /// `execute(ExecutionRequest::new(a, b).dataflow(dataflow).validated(*validation))`.
     ///
     /// # Errors
     ///
     /// [`CoreError::Validation`] when an operand fails validation, plus
-    /// everything [`Accelerator::run`] can return.
+    /// everything the fixed-dataflow execution can return.
+    #[deprecated(
+        note = "use `execute(ExecutionRequest::new(a, b).dataflow(dataflow).validated(validation))`"
+    )]
     fn try_run(
         &self,
         a: &CompressedMatrix,
@@ -118,18 +284,27 @@ pub trait Accelerator {
         dataflow: Dataflow,
         validation: &ValidationConfig,
     ) -> Result<RunOutput> {
-        validate_matrix(a, validation).map_err(CoreError::Validation)?;
-        validate_matrix(b, validation).map_err(CoreError::Validation)?;
-        self.run(a, b, dataflow)
+        self.execute(
+            ExecutionRequest::new(a, b)
+                .dataflow(dataflow)
+                .validated(*validation),
+        )
+        .map(|ex| ex.output)
     }
 
-    /// Like [`Accelerator::run_strategy`], but validates both operands
-    /// under `validation` first (see [`Accelerator::try_run`]).
+    /// Like `run_strategy`, but validates both operands under `validation`
+    /// first.
+    ///
+    /// Thin wrapper over [`Accelerator::execute`]; prefer
+    /// `execute(ExecutionRequest::new(a, b).strategy(strategy).validated(*validation))`.
     ///
     /// # Errors
     ///
     /// [`CoreError::Validation`] when an operand fails validation, plus
-    /// everything [`Accelerator::run_strategy`] can return.
+    /// everything the strategy execution can return.
+    #[deprecated(
+        note = "use `execute(ExecutionRequest::new(a, b).strategy(strategy).validated(validation))`"
+    )]
     fn try_run_strategy(
         &self,
         a: &CompressedMatrix,
@@ -137,37 +312,27 @@ pub trait Accelerator {
         strategy: MappingStrategy,
         validation: &ValidationConfig,
     ) -> Result<(Dataflow, RunOutput)> {
-        validate_matrix(a, validation).map_err(CoreError::Validation)?;
-        validate_matrix(b, validation).map_err(CoreError::Validation)?;
-        self.run_strategy(a, b, strategy)
+        self.execute(
+            ExecutionRequest::new(a, b)
+                .strategy(strategy)
+                .validated(*validation),
+        )
+        .map(|ex| (ex.dataflow, ex.output))
     }
 
     /// Runs every supported dataflow and returns the fastest result.
     ///
     /// This is the oracle selection the paper uses to drive Flexagon's
-    /// per-layer configuration (equivalent to
-    /// [`Accelerator::run_strategy`] with [`MappingStrategy::Oracle`],
-    /// without reporting the winning dataflow).
+    /// per-layer configuration (equivalent to [`Accelerator::execute`]
+    /// with [`MappingStrategy::Oracle`], without reporting the winning
+    /// dataflow).
     ///
     /// # Errors
     ///
     /// Propagates the first execution error encountered.
     fn run_best(&self, a: &CompressedMatrix, b: &CompressedMatrix) -> Result<RunOutput> {
-        let mut best: Option<RunOutput> = None;
-        for &df in self.supported_dataflows() {
-            let out = self.run(a, b, df)?;
-            let better = match &best {
-                None => true,
-                Some(b) => out.report.total_cycles < b.report.total_cycles,
-            };
-            if better {
-                best = Some(out);
-            }
-        }
-        best.ok_or_else(|| CoreError::UnsupportedDataflow {
-            accelerator: self.name().to_owned(),
-            dataflow: Dataflow::InnerProductM,
-        })
+        self.execute(ExecutionRequest::new(a, b).strategy(MappingStrategy::Oracle))
+            .map(|ex| ex.output)
     }
 }
 
@@ -272,15 +437,15 @@ fixed_accelerator!(
 
 impl Flexagon {
     /// Runs `a x b` with the dataflow chosen by the heuristic mapper
-    /// (no oracle sweep); shorthand for [`Accelerator::run_strategy`]
-    /// with [`MappingStrategy::Heuristic`].
+    /// (no oracle sweep); shorthand for [`Accelerator::execute`] with
+    /// [`MappingStrategy::Heuristic`] (the request default).
     ///
     /// # Errors
     ///
     /// Propagates engine errors.
     pub fn run_mapped(&self, a: &CompressedMatrix, b: &CompressedMatrix) -> Result<RunOutput> {
-        self.run_strategy(a, b, MappingStrategy::Heuristic)
-            .map(|(_, out)| out)
+        self.execute(ExecutionRequest::new(a, b))
+            .map(|ex| ex.output)
     }
 }
 
@@ -314,6 +479,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // wrapper coverage: the deprecated grid must stay correct
     fn baselines_reject_foreign_dataflows() {
         let sigma = SigmaLike::with_defaults();
         let a = CompressedMatrix::zero(2, 2, flexagon_sparse::MajorOrder::Row);
@@ -323,6 +489,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // wrapper coverage: the deprecated grid must stay correct
     fn fixed_strategy_matches_direct_run() {
         use rand::SeedableRng;
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
@@ -341,6 +508,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // wrapper coverage: the deprecated grid must stay correct
     fn oracle_strategy_matches_run_best() {
         use rand::SeedableRng;
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(12);
@@ -356,6 +524,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // wrapper coverage: the deprecated grid must stay correct
     fn heuristic_strategy_picks_a_supported_dataflow() {
         use rand::SeedableRng;
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(13);
@@ -372,6 +541,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(deprecated)] // wrapper coverage: the deprecated grid must stay correct
     fn try_run_rejects_invalid_operands_and_matches_run_on_valid() {
         use rand::SeedableRng;
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(14);
@@ -398,6 +568,98 @@ mod tests {
         assert!(matches!(err, CoreError::Validation(_)));
         let err = f
             .try_run_strategy(&poisoned, &b, MappingStrategy::Heuristic, &cfg)
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Validation(_)));
+    }
+
+    #[test]
+    fn execute_lossless_formats_are_result_transparent() {
+        use flexagon_sparse::FiberFormat;
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(21);
+        let a =
+            flexagon_sparse::gen::random(32, 24, 0.3, flexagon_sparse::MajorOrder::Row, &mut rng);
+        let b =
+            flexagon_sparse::gen::random(24, 32, 0.3, flexagon_sparse::MajorOrder::Row, &mut rng);
+        let f = Flexagon::with_defaults();
+        for df in [Dataflow::InnerProductM, Dataflow::GustavsonN] {
+            // The baseline pins SoA explicitly so the differential holds
+            // even when `FLEXAGON_FORMAT` redirects the config default.
+            let base = f
+                .execute(
+                    ExecutionRequest::new(&a, &b)
+                        .dataflow(df)
+                        .format(FiberFormat::Soa),
+                )
+                .unwrap();
+            assert_eq!(base.format, FiberFormat::Soa);
+            for fmt in [FiberFormat::Bcsr4, FiberFormat::Bcsr8, FiberFormat::Ell] {
+                let ex = f
+                    .execute(ExecutionRequest::new(&a, &b).dataflow(df).format(fmt))
+                    .unwrap();
+                assert_eq!(ex.format, fmt);
+                assert_eq!(ex.dataflow, df);
+                assert_eq!(ex.output.c, base.output.c, "{fmt} output");
+                assert_eq!(
+                    format!("{:?}", ex.output.report),
+                    format!("{:?}", base.output.report),
+                    "{fmt} report"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn execute_auto_format_picks_lossless_only() {
+        use crate::FormatChoice;
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(22);
+        // Dense-clustered A: the auto heuristic should leave SoA, and must
+        // never pick the lossy format on its own.
+        let a = flexagon_sparse::gen::block_sparse(
+            64,
+            64,
+            8,
+            0.8,
+            flexagon_sparse::MajorOrder::Row,
+            &mut rng,
+        );
+        let b =
+            flexagon_sparse::gen::random(64, 32, 0.3, flexagon_sparse::MajorOrder::Row, &mut rng);
+        let f = Flexagon::with_defaults();
+        let ex = f
+            .execute(ExecutionRequest::new(&a, &b).format_choice(FormatChoice::Auto))
+            .unwrap();
+        assert!(ex.format.is_lossless());
+        assert_eq!(ex.format, crate::mapper::heuristic_format(&a));
+        // The resolved choice is result-transparent against the baseline.
+        let base = f
+            .execute(ExecutionRequest::new(&a, &b).dataflow(ex.dataflow))
+            .unwrap();
+        assert_eq!(ex.output.c, base.output.c);
+    }
+
+    #[test]
+    fn execute_validates_when_asked() {
+        let f = Flexagon::with_defaults();
+        let good =
+            CompressedMatrix::from_triplets(2, 2, &[(0, 0, 1.0)], flexagon_sparse::MajorOrder::Row)
+                .unwrap();
+        let poisoned = CompressedMatrix::from_triplets(
+            2,
+            2,
+            &[(0, 0, f32::NAN)],
+            flexagon_sparse::MajorOrder::Row,
+        )
+        .unwrap();
+        // Without validation the NaN operand executes; with the untrusted
+        // policy it is refused before the engine sees it.
+        f.execute(ExecutionRequest::new(&good, &poisoned)).unwrap();
+        let err = f
+            .execute(
+                ExecutionRequest::new(&good, &poisoned)
+                    .validated(flexagon_sparse::ValidationConfig::untrusted()),
+            )
             .unwrap_err();
         assert!(matches!(err, CoreError::Validation(_)));
     }

@@ -4,7 +4,7 @@
 use crate::mapper::MapperCalibration;
 use flexagon_mem::MemoryConfig;
 use flexagon_sim::Cycle;
-use flexagon_sparse::AccumConfig;
+use flexagon_sparse::{AccumConfig, FiberFormat};
 use serde::{Deserialize, Serialize};
 
 /// SIMD policy for the engine's kernel layer (the `vendor/simd` shim).
@@ -62,6 +62,17 @@ pub struct EngineConfig {
     /// takes the runtime-detected vector paths; [`SimdMode::Scalar`] forces
     /// the scalar twins. Results are bit-identical either way.
     pub simd: SimdMode,
+    /// Fiber storage format the engine stages its operands through
+    /// ([`FiberFormat::Soa`] by default — the baseline, no staging at
+    /// all). Lossless formats are result-transparent: encode → decode
+    /// reproduces the operand bit for bit, so reports and outputs are
+    /// byte-identical to the SoA run. The lossy [`FiberFormat::Quant8`]
+    /// is honored only when set here explicitly (opt-in). The
+    /// `FLEXAGON_FORMAT` environment variable, when set to a lossless
+    /// token, wins over this field for runs that don't pin a format on
+    /// the request (the `FLEXAGON_SIMD` precedent); an explicit
+    /// `FormatChoice::Auto`/`Fixed` always wins over the environment.
+    pub format: FiberFormat,
     /// Tier cutoffs for the Outer-Product/Gustavson psum accumulators.
     pub accum: AccumConfig,
     /// Fitted corrections for the heuristic mapper's closed-form cost
@@ -105,6 +116,10 @@ impl EngineConfig {
     pub const DEFAULT_SHARD_GRAIN_NNZ: usize = 0;
     /// Default for [`EngineConfig::shard_workers`].
     pub const DEFAULT_SHARD_WORKERS: usize = 1;
+    /// Default for [`EngineConfig::format`]: the SoA baseline, which skips
+    /// format staging entirely and reproduces the recorded goldens bit for
+    /// bit.
+    pub const DEFAULT_FORMAT: FiberFormat = FiberFormat::Soa;
 
     /// A sharded configuration: bands of roughly `grain_nnz` stationary
     /// nonzeros executed by up to `workers` threads.
@@ -125,6 +140,7 @@ impl Default for EngineConfig {
             shard_grain_nnz: Self::DEFAULT_SHARD_GRAIN_NNZ,
             shard_workers: Self::DEFAULT_SHARD_WORKERS,
             simd: SimdMode::default(),
+            format: Self::DEFAULT_FORMAT,
             accum: AccumConfig::default(),
             mapper: MapperCalibration::calibrated(),
         }
@@ -245,6 +261,8 @@ mod tests {
             EngineConfig::DEFAULT_INDEXED_MAX_ACC_ELEMENTS
         );
         assert_eq!(e.simd, SimdMode::Auto);
+        assert_eq!(e.format, EngineConfig::DEFAULT_FORMAT);
+        assert_eq!(e.format, FiberFormat::Soa);
         assert_eq!(
             e.accum.dense_span_per_elem,
             AccumConfig::DEFAULT_DENSE_SPAN_PER_ELEM

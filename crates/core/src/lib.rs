@@ -13,9 +13,15 @@
 //!   [`SigmaLike`], [`SparchLike`], [`GammaLike`] and [`CpuMkl`].
 //! * [`ExecutionReport`] — cycles, phase split, on-/off-chip traffic, cache
 //!   and PSRAM statistics for one SpMSpM execution.
-//! * [`mapper`] — per-layer dataflow selection: [`MappingStrategy`]
-//!   (oracle sweep, calibrated heuristic, or pinned dataflow) with the
-//!   fitted [`MapperCalibration`] cost-model corrections.
+//! * [`mapper`] — per-layer `(dataflow, format)` selection:
+//!   [`MappingStrategy`] (oracle sweep, calibrated heuristic, or pinned
+//!   dataflow) with the fitted [`MapperCalibration`] cost-model
+//!   corrections, plus [`FormatChoice`]/[`FormatSelection`] for the
+//!   storage-format axis.
+//! * [`Accelerator::execute`] — the unified entry point: one
+//!   [`ExecutionRequest`] carries strategy, format and validation (the
+//!   former `run`/`run_strategy`/`try_run`/`try_run_strategy` grid
+//!   remains as thin deprecated wrappers).
 //!
 //! Every run is functionally exact: the returned output matrix is produced
 //! by actually executing the dataflow (stationary/streaming/merging phases
@@ -35,13 +41,17 @@ pub mod mapper;
 mod report;
 pub mod transitions;
 
-pub use accel::{Accelerator, Flexagon, GammaLike, RunOutput, SigmaLike, SparchLike};
+pub use accel::{
+    Accelerator, Execution, ExecutionRequest, Flexagon, GammaLike, RunOutput, SigmaLike, SparchLike,
+};
 pub use config::{AcceleratorConfig, EngineConfig, SimdMode};
 pub use cpu::{CpuConfig, CpuMkl};
 pub use dataflow::{Dataflow, DataflowClass, Stationarity};
 pub use engine::workspace::WorkspacePool;
 pub use error::CoreError;
-pub use mapper::{ClassCalibration, MapperCalibration, MappingStrategy};
+pub use mapper::{
+    ClassCalibration, FormatChoice, FormatSelection, MapperCalibration, MappingStrategy,
+};
 pub use report::{ExecutionReport, TrafficReport};
 
 /// Convenience result alias for accelerator operations.

@@ -6,6 +6,19 @@ use flexagon_sparse::{gen, CompressedMatrix, MajorOrder, ELEMENT_BYTES};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+/// One fixed-dataflow run through the unified `execute` entry point (the
+/// deprecated `run` wrapper keeps its own coverage in the core crate).
+fn run_df(
+    accel: &impl Accelerator,
+    a: &CompressedMatrix,
+    b: &CompressedMatrix,
+    df: Dataflow,
+) -> flexagon_core::Result<flexagon_core::RunOutput> {
+    accel
+        .execute(flexagon_core::ExecutionRequest::new(a, b).dataflow(df))
+        .map(|ex| ex.output)
+}
+
 fn pair(
     m: u32,
     k: u32,
@@ -27,7 +40,7 @@ fn inner_product_never_touches_the_psram() {
     // SIGMA-like architecture is always 0".
     let accel = Flexagon::new(AcceleratorConfig::tiny());
     let (a, b) = pair(20, 30, 25, 0.4, 0.4, 1);
-    let out = accel.run(&a, &b, Dataflow::InnerProductM).unwrap();
+    let out = run_df(&accel, &a, &b, Dataflow::InnerProductM).unwrap();
     assert_eq!(out.report.traffic.psum_onchip_bytes, 0);
     assert_eq!(out.report.psram.high_water_blocks, 0);
 }
@@ -37,7 +50,7 @@ fn inner_product_streams_b_once_per_tile() {
     // IP's defining cost: the whole of B flows past every stationary tile.
     let accel = Flexagon::new(AcceleratorConfig::tiny());
     let (a, b) = pair(20, 30, 25, 0.4, 0.4, 2);
-    let out = accel.run(&a, &b, Dataflow::InnerProductM).unwrap();
+    let out = run_df(&accel, &a, &b, Dataflow::InnerProductM).unwrap();
     let expected = out.report.tiles * b.nnz() as u64 * ELEMENT_BYTES;
     assert_eq!(out.report.traffic.str_onchip_bytes, expected);
     assert!(
@@ -50,7 +63,7 @@ fn inner_product_streams_b_once_per_tile() {
 fn outer_product_reads_b_once_but_doubles_psum_traffic() {
     let accel = Flexagon::new(AcceleratorConfig::table5());
     let (a, b) = pair(30, 40, 35, 0.3, 0.3, 3);
-    let out = accel.run(&a, &b, Dataflow::OuterProductM).unwrap();
+    let out = run_df(&accel, &a, &b, Dataflow::OuterProductM).unwrap();
     // Every product goes into the PSRAM once and is read back at least
     // once (merge passes may add intermediate round trips).
     let products = out.report.work.products;
@@ -69,7 +82,7 @@ fn gustavson_merges_inline_with_zero_merge_phase_for_short_rows() {
     // PSRAM and spend no cycles in the merging phase.
     let accel = Flexagon::new(AcceleratorConfig::table5());
     let (a, b) = pair(32, 48, 24, 0.2, 0.3, 4); // rows << 64 nnz
-    let out = accel.run(&a, &b, Dataflow::GustavsonM).unwrap();
+    let out = run_df(&accel, &a, &b, Dataflow::GustavsonM).unwrap();
     assert_eq!(out.report.phases.merge_cycles(), 0);
     assert_eq!(out.report.traffic.psum_onchip_bytes, 0);
 }
@@ -78,7 +91,7 @@ fn gustavson_merges_inline_with_zero_merge_phase_for_short_rows() {
 fn gustavson_long_rows_use_psram_and_merge_phase() {
     let accel = Flexagon::new(AcceleratorConfig::tiny()); // 4 multipliers
     let (a, b) = pair(4, 30, 20, 0.9, 0.5, 5); // ~27 nnz rows => 7 chunks
-    let out = accel.run(&a, &b, Dataflow::GustavsonM).unwrap();
+    let out = run_df(&accel, &a, &b, Dataflow::GustavsonM).unwrap();
     assert!(out.report.phases.merge_cycles() > 0);
     assert!(out.report.traffic.psum_onchip_bytes > 0);
     assert!(out.report.counters.get("gust.split_rows_merged") > 0);
@@ -91,8 +104,8 @@ fn ip_traffic_grows_with_stationary_tiles_gust_does_not() {
     let accel = Flexagon::new(AcceleratorConfig::tiny());
     let (a_small, b) = pair(8, 24, 20, 0.25, 0.4, 6);
     let (a_big, _) = pair(32, 24, 20, 0.5, 0.4, 7);
-    let ip_small = accel.run(&a_small, &b, Dataflow::InnerProductM).unwrap();
-    let ip_big = accel.run(&a_big, &b, Dataflow::InnerProductM).unwrap();
+    let ip_small = run_df(&accel, &a_small, &b, Dataflow::InnerProductM).unwrap();
+    let ip_big = run_df(&accel, &a_big, &b, Dataflow::InnerProductM).unwrap();
     assert!(ip_big.report.tiles > ip_small.report.tiles);
     assert!(ip_big.report.traffic.str_onchip_bytes > ip_small.report.traffic.str_onchip_bytes);
 }
@@ -103,10 +116,10 @@ fn small_b_hits_cache_large_b_misses() {
     let accel = Flexagon::new(AcceleratorConfig::tiny()); // 512-byte cache
                                                           // Small B: 32 elements = 128 bytes, fits.
     let (a1, b_small) = pair(30, 16, 8, 0.5, 0.25, 8);
-    let small = accel.run(&a1, &b_small, Dataflow::GustavsonM).unwrap();
+    let small = run_df(&accel, &a1, &b_small, Dataflow::GustavsonM).unwrap();
     // Large B: ~2000 elements = 8 KiB >> 512 B.
     let (a2, b_large) = pair(30, 64, 64, 0.5, 0.5, 9);
-    let large = accel.run(&a2, &b_large, Dataflow::GustavsonM).unwrap();
+    let large = run_df(&accel, &a2, &b_large, Dataflow::GustavsonM).unwrap();
     assert!(
         large.report.cache.miss_rate() > small.report.cache.miss_rate(),
         "large-B miss rate {} must exceed small-B {}",
@@ -122,7 +135,7 @@ fn offchip_traffic_includes_cache_fills_and_output() {
     let accel = Flexagon::new(AcceleratorConfig::tiny());
     let a = gen::diagonal(12, 2.0, MajorOrder::Row);
     let (_, b) = pair(10, 12, 10, 0.5, 0.5, 10);
-    let out = accel.run(&a, &b, Dataflow::GustavsonM).unwrap();
+    let out = run_df(&accel, &a, &b, Dataflow::GustavsonM).unwrap();
     let t = &out.report.traffic;
     assert!(t.dram_read_bytes >= t.str_fill_bytes);
     assert_eq!(out.report.psram.spilled_elements, 0);
@@ -148,8 +161,8 @@ fn cycles_scale_with_problem_size() {
     let (a1, b1) = pair(16, 16, 16, 0.3, 0.3, 11);
     let (a2, b2) = pair(128, 128, 128, 0.3, 0.3, 12);
     for df in Dataflow::M_STATIONARY {
-        let small = accel.run(&a1, &b1, df).unwrap();
-        let large = accel.run(&a2, &b2, df).unwrap();
+        let small = run_df(&accel, &a1, &b1, df).unwrap();
+        let large = run_df(&accel, &a2, &b2, df).unwrap();
         assert!(
             large.report.total_cycles > small.report.total_cycles,
             "{df}: {} !> {}",
@@ -164,7 +177,7 @@ fn phase_cycles_sum_to_total() {
     let accel = Flexagon::new(AcceleratorConfig::tiny());
     let (a, b) = pair(20, 25, 15, 0.4, 0.4, 13);
     for df in Dataflow::ALL {
-        let out = accel.run(&a, &b, df).unwrap();
+        let out = run_df(&accel, &a, &b, df).unwrap();
         assert_eq!(out.report.phases.total(), out.report.total_cycles, "{df}");
     }
 }
@@ -176,7 +189,7 @@ fn stationary_traffic_is_negligible_fraction() {
     let accel = Flexagon::new(AcceleratorConfig::table5());
     let (a, b) = pair(64, 96, 64, 0.3, 0.4, 14);
     for df in Dataflow::M_STATIONARY {
-        let out = accel.run(&a, &b, df).unwrap();
+        let out = run_df(&accel, &a, &b, df).unwrap();
         let t = &out.report.traffic;
         assert!(
             t.sta_onchip_bytes * 4 <= t.onchip_total(),
@@ -192,7 +205,7 @@ fn psram_spills_surface_in_offchip_traffic() {
     // A tiny PSRAM (256 B) with a psum-heavy OP run must spill.
     let accel = Flexagon::new(AcceleratorConfig::tiny());
     let (a, b) = pair(12, 40, 40, 0.6, 0.6, 15);
-    let out = accel.run(&a, &b, Dataflow::OuterProductM).unwrap();
+    let out = run_df(&accel, &a, &b, Dataflow::OuterProductM).unwrap();
     assert!(out.report.psram.spilled_elements > 0, "must spill");
     assert!(
         out.report.traffic.dram_write_bytes > out.c.nnz() as u64 * ELEMENT_BYTES,

@@ -8,6 +8,19 @@ use flexagon_sparse::{gen, CompressedMatrix, DenseMatrix, MajorOrder};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+/// One fixed-dataflow run through the unified `execute` entry point (the
+/// deprecated `run` wrapper keeps its own coverage in the core crate).
+fn run_df(
+    accel: &impl Accelerator,
+    a: &CompressedMatrix,
+    b: &CompressedMatrix,
+    df: Dataflow,
+) -> flexagon_core::Result<flexagon_core::RunOutput> {
+    accel
+        .execute(flexagon_core::ExecutionRequest::new(a, b).dataflow(df))
+        .map(|ex| ex.output)
+}
+
 fn golden(a: &CompressedMatrix, b: &CompressedMatrix) -> DenseMatrix {
     DenseMatrix::from_compressed(a)
         .matmul(&DenseMatrix::from_compressed(b))
@@ -18,9 +31,7 @@ fn check_all_dataflows(cfg: &AcceleratorConfig, a: &CompressedMatrix, b: &Compre
     let accel = Flexagon::new(*cfg);
     let want = golden(a, b);
     for df in Dataflow::ALL {
-        let out = accel
-            .run(a, b, df)
-            .unwrap_or_else(|e| panic!("{df} failed: {e}"));
+        let out = run_df(&accel, a, b, df).unwrap_or_else(|e| panic!("{df} failed: {e}"));
         assert_eq!(out.c.order(), df.c_format(), "{df} output format");
         assert_eq!(out.c.rows(), a.rows());
         assert_eq!(out.c.cols(), b.cols());
@@ -93,7 +104,7 @@ fn empty_operands_give_empty_output() {
     let a = CompressedMatrix::zero(5, 6, MajorOrder::Row);
     let b = CompressedMatrix::zero(6, 7, MajorOrder::Row);
     for df in Dataflow::ALL {
-        let out = accel.run(&a, &b, df).unwrap();
+        let out = run_df(&accel, &a, &b, df).unwrap();
         assert_eq!(out.c.nnz(), 0, "{df}");
         assert_eq!(out.report.total_cycles, 0, "{df} should be free");
     }
@@ -106,7 +117,7 @@ fn single_element_matrices() {
     let a = CompressedMatrix::from_triplets(1, 1, &[(0, 0, 3.0)], MajorOrder::Row).unwrap();
     let b = CompressedMatrix::from_triplets(1, 1, &[(0, 0, 4.0)], MajorOrder::Row).unwrap();
     for df in Dataflow::ALL {
-        let out = accel.run(&a, &b, df).unwrap();
+        let out = run_df(&accel, &a, &b, df).unwrap();
         assert_eq!(out.c.get(0, 0), 12.0, "{df}");
         assert!(out.report.total_cycles > 0, "{df} must cost something");
     }
@@ -139,15 +150,9 @@ fn baselines_match_flexagon_functionally() {
     let a = gen::random(15, 20, 0.3, MajorOrder::Row, &mut rng);
     let b = gen::random(20, 12, 0.3, MajorOrder::Row, &mut rng);
     let want = golden(&a, &b);
-    let sigma = SigmaLike::new(cfg)
-        .run(&a, &b, Dataflow::InnerProductM)
-        .unwrap();
-    let sparch = SparchLike::new(cfg)
-        .run(&a, &b, Dataflow::OuterProductM)
-        .unwrap();
-    let gamma = GammaLike::new(cfg)
-        .run(&a, &b, Dataflow::GustavsonM)
-        .unwrap();
+    let sigma = run_df(&SigmaLike::new(cfg), &a, &b, Dataflow::InnerProductM).unwrap();
+    let sparch = run_df(&SparchLike::new(cfg), &a, &b, Dataflow::OuterProductM).unwrap();
+    let gamma = run_df(&GammaLike::new(cfg), &a, &b, Dataflow::GustavsonM).unwrap();
     for out in [sigma, sparch, gamma] {
         assert!(DenseMatrix::from_compressed(&out.c).approx_eq(&want, 1e-2));
     }
@@ -165,8 +170,8 @@ fn n_stationary_equals_m_stationary_transposed() {
         (Dataflow::OuterProductM, Dataflow::OuterProductN),
         (Dataflow::GustavsonM, Dataflow::GustavsonN),
     ] {
-        let m = accel.run(&a, &b, class_pair.0).unwrap();
-        let n = accel.run(&a, &b, class_pair.1).unwrap();
+        let m = run_df(&accel, &a, &b, class_pair.0).unwrap();
+        let n = run_df(&accel, &a, &b, class_pair.1).unwrap();
         assert!(
             m.c.approx_eq(&n.c, 1e-3),
             "{} vs {}",
@@ -187,12 +192,12 @@ fn explicit_conversions_are_counted() {
     let a = gen::random(8, 8, 0.5, MajorOrder::Row, &mut rng);
     let b = gen::random(8, 8, 0.5, MajorOrder::Row, &mut rng);
     // Gustavson(M) wants CSR x CSR: as given, no conversions.
-    let ok = accel.run(&a, &b, Dataflow::GustavsonM).unwrap();
+    let ok = run_df(&accel, &a, &b, Dataflow::GustavsonM).unwrap();
     assert_eq!(ok.report.explicit_conversions, 0);
     // Inner-Product(M) wants B in CSC: one conversion.
-    let one = accel.run(&a, &b, Dataflow::InnerProductM).unwrap();
+    let one = run_df(&accel, &a, &b, Dataflow::InnerProductM).unwrap();
     assert_eq!(one.report.explicit_conversions, 1);
     // Outer-Product(M) wants A in CSC: also one.
-    let op = accel.run(&a, &b, Dataflow::OuterProductM).unwrap();
+    let op = run_df(&accel, &a, &b, Dataflow::OuterProductM).unwrap();
     assert_eq!(op.report.explicit_conversions, 1);
 }

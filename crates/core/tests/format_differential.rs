@@ -1,0 +1,120 @@
+//! Differential tests for the storage-format tier at the engine level: a
+//! pinned *lossless* format must be result-transparent — byte-identical
+//! output matrix **and** byte-identical execution report — against the SoA
+//! baseline, across all six dataflows and the adversarial generator sweep.
+//!
+//! This is the contract that lets the mapper treat format as a free
+//! mapping dimension and lets `FLEXAGON_FORMAT` force CI through any
+//! lossless tier without re-blessing goldens.
+
+use flexagon_core::{Accelerator, AcceleratorConfig, Dataflow, ExecutionRequest, Flexagon};
+use flexagon_sparse::{gen, DenseMatrix, FiberFormat, FormattedMatrix};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+
+/// Runs one `(dataflow, format)` point and returns the output.
+fn run(
+    accel: &Flexagon,
+    a: &flexagon_sparse::CompressedMatrix,
+    b: &flexagon_sparse::CompressedMatrix,
+    df: Dataflow,
+    format: FiberFormat,
+) -> flexagon_core::RunOutput {
+    accel
+        .execute(ExecutionRequest::new(a, b).dataflow(df).format(format))
+        .unwrap_or_else(|e| panic!("{df} @ {format} failed: {e}"))
+        .output
+}
+
+/// Every lossless non-SoA format, on every dataflow, over the adversarial
+/// sweep: outputs and reports must equal the SoA run bit for bit.
+#[test]
+fn lossless_formats_are_result_transparent_on_every_dataflow() {
+    let mut rng = ChaCha8Rng::seed_from_u64(23);
+    let scenarios = gen::adversarial_sweep(&mut rng);
+    assert!(scenarios.len() >= 7, "sweep lost scenarios");
+    let accel = Flexagon::new(AcceleratorConfig::tiny());
+    for s in &scenarios {
+        for df in Dataflow::ALL {
+            let baseline = run(&accel, &s.a, &s.b, df, FiberFormat::Soa);
+            for format in FiberFormat::ALL {
+                if format == FiberFormat::Soa || !format.is_lossless() {
+                    continue;
+                }
+                let formatted = run(&accel, &s.a, &s.b, df, format);
+                assert_eq!(
+                    formatted.c, baseline.c,
+                    "{}: {df} output differs under {format}",
+                    s.name
+                );
+                assert_eq!(
+                    serde_json::to_string(&formatted.report).unwrap(),
+                    serde_json::to_string(&baseline.report).unwrap(),
+                    "{}: {df} report differs under {format}",
+                    s.name
+                );
+            }
+        }
+    }
+}
+
+/// The lossy quantized tier is *opt-in* and close, not identical: under
+/// `q8` every dataflow still computes a product within the per-block
+/// quantization tolerance of the exact one, and structure is untouched.
+#[test]
+fn quantized_execution_stays_within_tolerance() {
+    let mut rng = ChaCha8Rng::seed_from_u64(29);
+    let a = gen::random(48, 64, 0.2, flexagon_sparse::MajorOrder::Row, &mut rng);
+    let b = gen::random(64, 40, 0.3, flexagon_sparse::MajorOrder::Row, &mut rng);
+    let accel = Flexagon::new(AcceleratorConfig::tiny());
+    // The engine computes on dequantized operands, so the right reference
+    // is the dense product of the *quantized* operands — exactly what the
+    // documented bound covers — plus a sanity band against the true one.
+    let aq = FormattedMatrix::encode(&a, FiberFormat::Quant8).decode();
+    let bq = FormattedMatrix::encode(&b, FiberFormat::Quant8).decode();
+    let want_q = DenseMatrix::from_compressed(&aq)
+        .matmul(&DenseMatrix::from_compressed(&bq))
+        .expect("dims agree");
+    let want_exact = DenseMatrix::from_compressed(&a)
+        .matmul(&DenseMatrix::from_compressed(&b))
+        .expect("dims agree");
+    for df in Dataflow::ALL {
+        let out = run(&accel, &a, &b, df, FiberFormat::Quant8);
+        let got = DenseMatrix::from_compressed(&out.c);
+        assert!(
+            got.approx_eq(&want_q, 1e-3),
+            "{df}: quantized run differs from the quantized reference"
+        );
+        // |v - v'| <= max_abs/254 per operand element; through a K-deep
+        // dot product the product error stays far inside this band for
+        // these magnitudes.
+        assert!(
+            got.approx_eq(&want_exact, 0.5),
+            "{df}: quantized run drifted past the documented tolerance"
+        );
+    }
+}
+
+/// `FormatChoice::Auto` never picks the lossy tier, whatever the operand
+/// structure — quantization is strictly opt-in.
+#[test]
+fn auto_selection_never_picks_quant() {
+    let mut rng = ChaCha8Rng::seed_from_u64(31);
+    let scenarios = gen::adversarial_sweep(&mut rng);
+    let accel = Flexagon::new(AcceleratorConfig::tiny());
+    for s in &scenarios {
+        let ex = accel
+            .execute(
+                ExecutionRequest::new(&s.a, &s.b)
+                    .strategy(flexagon_core::MappingStrategy::Heuristic)
+                    .format_choice(flexagon_core::FormatChoice::Auto),
+            )
+            .unwrap_or_else(|e| panic!("{}: auto run failed: {e}", s.name));
+        assert!(
+            ex.format.is_lossless(),
+            "{}: auto picked lossy {}",
+            s.name,
+            ex.format
+        );
+    }
+}

@@ -10,7 +10,9 @@
 //! Case count scales with the `FLEXAGON_FUZZ_CASES` environment variable
 //! (default 128; CI's chaos-smoke job runs far more).
 
-use flexagon_core::{Accelerator, AcceleratorConfig, CoreError, Dataflow, Flexagon};
+use flexagon_core::{
+    Accelerator, AcceleratorConfig, CoreError, Dataflow, ExecutionRequest, Flexagon,
+};
 use flexagon_sparse::{gen, CompressedMatrix, DenseMatrix, MajorOrder, ValidationConfig};
 use proptest::prelude::*;
 use rand::SeedableRng;
@@ -75,8 +77,13 @@ proptest! {
             .expect("dims agree");
         for df in Dataflow::ALL {
             let out = accel
-                .try_run(&a, &b, df, &ValidationConfig::untrusted())
-                .unwrap_or_else(|e| panic!("{df} rejected a valid pair: {e}"));
+                .execute(
+                    ExecutionRequest::new(&a, &b)
+                        .dataflow(df)
+                        .validated(ValidationConfig::untrusted()),
+                )
+                .unwrap_or_else(|e| panic!("{df} rejected a valid pair: {e}"))
+                .output;
             prop_assert!(out.c.validate().is_ok(), "{df} output invalid");
             let got = DenseMatrix::from_compressed(&out.c);
             prop_assert!(
@@ -122,12 +129,15 @@ proptest! {
         .expect("structure untouched");
         let accel = Flexagon::new(AcceleratorConfig::tiny());
         for df in Dataflow::ALL {
-            match accel.try_run(&a, &b, df, &ValidationConfig::untrusted()) {
+            let req = ExecutionRequest::new(&a, &b)
+                .dataflow(df)
+                .validated(ValidationConfig::untrusted());
+            match accel.execute(req) {
                 Err(CoreError::Validation(_)) => {}
                 other => prop_assert!(
                     false,
                     "{df}: expected a validation error, got {:?}",
-                    other.map(|o| o.report.dataflow)
+                    other.map(|ex| ex.output.report.dataflow)
                 ),
             }
         }

@@ -7,6 +7,19 @@ use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+/// One fixed-dataflow run through the unified `execute` entry point (the
+/// deprecated `run` wrapper keeps its own coverage in the core crate).
+fn run_df(
+    accel: &impl Accelerator,
+    a: &CompressedMatrix,
+    b: &CompressedMatrix,
+    df: Dataflow,
+) -> flexagon_core::Result<flexagon_core::RunOutput> {
+    accel
+        .execute(flexagon_core::ExecutionRequest::new(a, b).dataflow(df))
+        .map(|ex| ex.output)
+}
+
 fn random_pair(
     m: u32,
     k: u32,
@@ -35,7 +48,7 @@ proptest! {
         let (a, b) = random_pair(m, k, n, da, db, seed);
         let accel = Flexagon::new(AcceleratorConfig::tiny());
         for df in Dataflow::ALL {
-            let out = accel.run(&a, &b, df).unwrap();
+            let out = run_df(&accel, &a, &b, df).unwrap();
             let r = &out.report;
 
             // Work conservation: the MN performed exactly the effectual
@@ -83,8 +96,8 @@ proptest! {
         for df in Dataflow::M_STATIONARY {
             let mut small_cfg = AcceleratorConfig::table5();
             small_cfg.multipliers = 8;
-            let small = Flexagon::new(small_cfg).run(&a, &b, df).unwrap();
-            let large = Flexagon::with_defaults().run(&a, &b, df).unwrap();
+            let small = run_df(&Flexagon::new(small_cfg), &a, &b, df).unwrap();
+            let large = run_df(&Flexagon::with_defaults(), &a, &b, df).unwrap();
             prop_assert!(
                 large.report.total_cycles <= small.report.total_cycles,
                 "{df}: 64 mults {} vs 8 mults {}",
@@ -104,8 +117,8 @@ proptest! {
         let mut big_cfg = small_cfg;
         big_cfg.memory.cache.capacity_bytes = 64 << 10;
         big_cfg.memory.cache.associativity = 16;
-        let small = Flexagon::new(small_cfg).run(&a, &b, Dataflow::GustavsonM).unwrap();
-        let big = Flexagon::new(big_cfg).run(&a, &b, Dataflow::GustavsonM).unwrap();
+        let small = run_df(&Flexagon::new(small_cfg), &a, &b, Dataflow::GustavsonM).unwrap();
+        let big = run_df(&Flexagon::new(big_cfg), &a, &b, Dataflow::GustavsonM).unwrap();
         prop_assert!(big.report.cache.misses() <= small.report.cache.misses());
     }
 }

@@ -1,8 +1,20 @@
 //! Integration tests of the workload suite against the simulator: the
 //! Table 6 layer groups must favour the paper's dataflows.
 
-use flexagon_core::{Accelerator, Dataflow, Flexagon, GammaLike, SigmaLike, SparchLike};
+use flexagon_core::{
+    Accelerator, Dataflow, ExecutionRequest, Flexagon, GammaLike, SigmaLike, SparchLike,
+};
 use flexagon_dnn::table6::{self, FavouredDataflow};
+
+/// `total_cycles` of one fixed-dataflow execution.
+fn cycles(accel: &impl Accelerator, mats: &flexagon_dnn::LayerMatrices, df: Dataflow) -> u64 {
+    accel
+        .execute(ExecutionRequest::new(&mats.a, &mats.b).dataflow(df))
+        .unwrap()
+        .output
+        .report
+        .total_cycles
+}
 
 /// Gustavson-group layers: GAMMA-like must win them (MB215 and A2 are small
 /// enough to verify in a debug-build test; V7 is covered by the release
@@ -13,21 +25,9 @@ fn gustavson_group_layers_favour_gamma() {
         let layer = table6::by_id(id).unwrap();
         assert_eq!(layer.favours, FavouredDataflow::Gustavson);
         let mats = layer.spec.materialize(1);
-        let ip = SigmaLike::with_defaults()
-            .run(&mats.a, &mats.b, Dataflow::InnerProductM)
-            .unwrap()
-            .report
-            .total_cycles;
-        let op = SparchLike::with_defaults()
-            .run(&mats.a, &mats.b, Dataflow::OuterProductM)
-            .unwrap()
-            .report
-            .total_cycles;
-        let gu = GammaLike::with_defaults()
-            .run(&mats.a, &mats.b, Dataflow::GustavsonM)
-            .unwrap()
-            .report
-            .total_cycles;
+        let ip = cycles(&SigmaLike::with_defaults(), &mats, Dataflow::InnerProductM);
+        let op = cycles(&SparchLike::with_defaults(), &mats, Dataflow::OuterProductM);
+        let gu = cycles(&GammaLike::with_defaults(), &mats, Dataflow::GustavsonM);
         assert!(gu < ip && gu < op, "{id}: Gust {gu} vs IP {ip} / OP {op}");
     }
 }
@@ -40,16 +40,8 @@ fn inner_product_group_beats_outer_product() {
         let layer = table6::by_id(id).unwrap();
         assert_eq!(layer.favours, FavouredDataflow::InnerProduct);
         let mats = layer.spec.materialize(1);
-        let ip = SigmaLike::with_defaults()
-            .run(&mats.a, &mats.b, Dataflow::InnerProductM)
-            .unwrap()
-            .report
-            .total_cycles;
-        let op = SparchLike::with_defaults()
-            .run(&mats.a, &mats.b, Dataflow::OuterProductM)
-            .unwrap()
-            .report
-            .total_cycles;
+        let ip = cycles(&SigmaLike::with_defaults(), &mats, Dataflow::InnerProductM);
+        let op = cycles(&SparchLike::with_defaults(), &mats, Dataflow::OuterProductM);
         assert!(ip < op, "{id}: IP {ip} !< OP {op}");
     }
 }
@@ -63,7 +55,7 @@ fn flexagon_matches_best_on_table6() {
         let accel = Flexagon::with_defaults();
         let mut best = u64::MAX;
         for df in Dataflow::M_STATIONARY {
-            best = best.min(accel.run(&mats.a, &mats.b, df).unwrap().report.total_cycles);
+            best = best.min(cycles(&accel, &mats, df));
         }
         let oracle = flexagon_core::mapper::oracle(&accel, &mats.a, &mats.b)
             .unwrap()

@@ -150,7 +150,7 @@ pub fn table8_power_reference() -> AreaPower {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use flexagon_core::{Accelerator, AcceleratorConfig, Dataflow, Flexagon};
+    use flexagon_core::{Accelerator, AcceleratorConfig, Dataflow, ExecutionRequest, Flexagon};
     use flexagon_sparse::{gen, MajorOrder};
     use rand::SeedableRng;
     use rand_chacha::ChaCha8Rng;
@@ -160,8 +160,9 @@ mod tests {
         let a = gen::random(32, 48, 0.3, MajorOrder::Row, &mut rng);
         let b = gen::random(48, 40, 0.4, MajorOrder::Row, &mut rng);
         Flexagon::new(AcceleratorConfig::table5())
-            .run(&a, &b, df)
+            .execute(ExecutionRequest::new(&a, &b).dataflow(df))
             .unwrap()
+            .output
             .report
     }
 

@@ -5,8 +5,8 @@
 //! serve_client --addr ADDR stats [--json PATH]
 //! serve_client --addr ADDR shutdown
 //! serve_client --addr ADDR load [--clients N] [--requests N] [--dim N]
-//!              [--density F] [--tenant T] [--strategy S] [--seed N] [--ids]
-//!              [--tolerate-errors]
+//!              [--density F] [--tenant T] [--strategy S] [--format F]
+//!              [--seed N] [--ids] [--tolerate-errors]
 //! ```
 //!
 //! `load` fans `--clients` threads, each its own connection, each issuing
@@ -34,6 +34,7 @@ struct LoadArgs {
     density: f64,
     tenant: String,
     strategy: String,
+    format: String,
     seed: u64,
     ids: bool,
     tolerate_errors: bool,
@@ -48,6 +49,7 @@ impl Default for LoadArgs {
             density: 0.3,
             tenant: "load".to_owned(),
             strategy: "heuristic".to_owned(),
+            format: "config".to_owned(),
             seed: 7,
             ids: false,
             tolerate_errors: false,
@@ -59,7 +61,7 @@ fn usage() -> ! {
     eprintln!(
         "usage: serve_client --addr ADDR (ping | shutdown | stats [--json PATH] | \
          load [--clients N] [--requests N] [--dim N] [--density F] [--tenant T] \
-         [--strategy S] [--seed N] [--ids] [--tolerate-errors])"
+         [--strategy S] [--format F] [--seed N] [--ids] [--tolerate-errors])"
     );
     std::process::exit(2);
 }
@@ -145,6 +147,7 @@ fn parse_load(rest: Vec<String>) -> LoadArgs {
             "--density" => la.density = value().parse().unwrap_or_else(|_| usage()),
             "--tenant" => la.tenant = value(),
             "--strategy" => la.strategy = value(),
+            "--format" => la.format = value(),
             "--seed" => la.seed = value().parse().unwrap_or_else(|_| usage()),
             "--ids" => la.ids = true,
             "--tolerate-errors" => la.tolerate_errors = true,
@@ -159,6 +162,10 @@ fn run_load(addr: &str, la: LoadArgs) {
         .strategy
         .parse()
         .unwrap_or_else(|e: String| fail(&format!("--strategy: {e}")));
+    let format: flexagon_core::FormatChoice = la
+        .format
+        .parse()
+        .unwrap_or_else(|e: String| fail(&format!("--format: {e}")));
     let started = Instant::now();
     let handles: Vec<_> = (0..la.clients.max(1))
         .map(|c| {
@@ -183,6 +190,7 @@ fn run_load(addr: &str, la: LoadArgs) {
                     let req = Request::spgemm(SpGemmRequest {
                         tenant: tenant.clone(),
                         strategy,
+                        format,
                         // Inline bytes ride along on the first request per
                         // connection; afterwards the id alone suffices.
                         a: (!ids || i == 0).then(|| a.clone()),

@@ -11,8 +11,13 @@
 //! | `type`     | fields |
 //! |------------|--------|
 //! | `ping`     | — |
-//! | `spgemm`   | `tenant?`, `strategy?`, `a?`/`b?` (matrices), `a_id?`/`b_id?` (cache keys), `want_output?`, `timeout_ms?` |
-//! | `model`    | `tenant?`, `model` (suite short code or name), `strategy?`, `seed?`, `timeout_ms?` |
+//! | `spgemm`   | `tenant?`, `strategy?`, `format?`, `a?`/`b?` (matrices), `a_id?`/`b_id?` (cache keys), `want_output?`, `timeout_ms?` |
+//! | `model`    | `tenant?`, `model` (suite short code or name), `strategy?`, `format?`, `seed?`, `timeout_ms?` |
+//!
+//! `format` pins the fiber storage format like `strategy` pins the
+//! dataflow: a [`FormatChoice`] token (`auto`, `soa`, `bcsr4`, `bcsr8`,
+//! `ell`, `q8`). Omitted, the daemon's configured default applies. An
+//! unknown token is a typed `bad_request`.
 //! | `stats`    | — |
 //! | `shutdown` | — (begins a graceful drain) |
 //!
@@ -29,7 +34,7 @@
 //! everywhere else in the workspace (goldens, reports), so a served result
 //! with `want_output` is byte-comparable against a direct `execute`.
 
-use flexagon_core::{Dataflow, MappingStrategy};
+use flexagon_core::{Dataflow, FormatChoice, MappingStrategy};
 use flexagon_sparse::CompressedMatrix;
 use serde::{DeError, Deserialize, Serialize, Value};
 use std::io::{Read, Write};
@@ -111,6 +116,9 @@ pub struct SpGemmRequest {
     /// Dataflow selection (default [`MappingStrategy::Heuristic`] — the
     /// production single-run path; `oracle` sweeps all six dataflows).
     pub strategy: MappingStrategy,
+    /// Fiber storage format selection (default [`FormatChoice::Config`]:
+    /// the daemon's configured engine format).
+    pub format: FormatChoice,
     /// Inline operand A. May be omitted when `a_id` names a cached matrix.
     pub a: Option<CompressedMatrix>,
     /// Inline operand B. May be omitted when `b_id` names a cached matrix.
@@ -134,6 +142,7 @@ impl Default for SpGemmRequest {
         Self {
             tenant: "anon".to_owned(),
             strategy: MappingStrategy::Heuristic,
+            format: FormatChoice::Config,
             a: None,
             b: None,
             a_id: None,
@@ -153,6 +162,10 @@ pub struct ModelRequest {
     pub model: String,
     /// Dataflow selection per layer.
     pub strategy: MappingStrategy,
+    /// Fiber storage format for every layer. `auto` is SpGEMM-only (a
+    /// model run spans many layers); the server rejects it as
+    /// `bad_request`.
+    pub format: FormatChoice,
     /// Workload materialization seed (default [`flexagon_bench::runner::DEFAULT_SEED`]).
     pub seed: u64,
     /// Queue-wait deadline in milliseconds (see [`SpGemmRequest::timeout_ms`]).
@@ -165,6 +178,7 @@ impl Default for ModelRequest {
             tenant: "anon".to_owned(),
             model: String::new(),
             strategy: MappingStrategy::Heuristic,
+            format: FormatChoice::Config,
             seed: flexagon_bench::runner::DEFAULT_SEED,
             timeout_ms: None,
         }
@@ -297,6 +311,7 @@ impl Serialize for Request {
                 m.push(("type".into(), Value::Str("spgemm".into())));
                 m.push(("tenant".into(), Value::Str(r.tenant.clone())));
                 m.push(("strategy".into(), Value::Str(strategy_token(r.strategy))));
+                push_format(&mut m, r.format);
                 push_opt(&mut m, "a", &r.a);
                 push_opt(&mut m, "b", &r.b);
                 push_opt(&mut m, "a_id", &r.a_id);
@@ -309,6 +324,7 @@ impl Serialize for Request {
                 m.push(("tenant".into(), Value::Str(r.tenant.clone())));
                 m.push(("model".into(), Value::Str(r.model.clone())));
                 m.push(("strategy".into(), Value::Str(strategy_token(r.strategy))));
+                push_format(&mut m, r.format);
                 m.push(("seed".into(), Value::UInt(r.seed)));
                 push_opt(&mut m, "timeout_ms", &r.timeout_ms);
             }
@@ -324,6 +340,26 @@ fn parse_strategy(m: &[(String, Value)]) -> Result<MappingStrategy, DeError> {
             let s = v
                 .as_str()
                 .ok_or_else(|| DeError::new("strategy must be a string token"))?;
+            s.parse().map_err(|e: String| DeError::new(&e))
+        }
+    }
+}
+
+/// Emits the `format` field only when it deviates from the daemon default,
+/// keeping pre-format clients' frames byte-identical.
+fn push_format(entries: &mut Vec<(String, Value)>, format: FormatChoice) {
+    if format != FormatChoice::Config {
+        entries.push(("format".into(), Value::Str(format.to_string())));
+    }
+}
+
+fn parse_format(m: &[(String, Value)]) -> Result<FormatChoice, DeError> {
+    match get_opt(m, "format") {
+        None => Ok(FormatChoice::Config),
+        Some(v) => {
+            let s = v
+                .as_str()
+                .ok_or_else(|| DeError::new("format must be a string token"))?;
             s.parse().map_err(|e: String| DeError::new(&e))
         }
     }
@@ -346,6 +382,7 @@ impl Deserialize for Request {
                 Ok(Self::spgemm(SpGemmRequest {
                     tenant: opt_field(m, "tenant")?.unwrap_or(d.tenant),
                     strategy: parse_strategy(m)?,
+                    format: parse_format(m)?,
                     a: opt_field(m, "a")?,
                     b: opt_field(m, "b")?,
                     a_id: opt_field(m, "a_id")?,
@@ -361,6 +398,7 @@ impl Deserialize for Request {
                     model: opt_field(m, "model")?
                         .ok_or_else(|| DeError::new("model request needs a 'model' field"))?,
                     strategy: parse_strategy(m)?,
+                    format: parse_format(m)?,
                     seed: opt_field(m, "seed")?.unwrap_or(d.seed),
                     timeout_ms: opt_field(m, "timeout_ms")?,
                 }))
@@ -684,8 +722,42 @@ mod tests {
         };
         assert_eq!(r.tenant, "anon");
         assert_eq!(r.strategy, MappingStrategy::Heuristic);
+        assert_eq!(r.format, FormatChoice::Config);
         assert!(!r.want_output);
         assert!(r.a.is_none() && r.b.is_none());
+    }
+
+    #[test]
+    fn format_tokens_roundtrip_and_default_is_omitted() {
+        use flexagon_sparse::FiberFormat;
+        for (choice, token) in [
+            (FormatChoice::Auto, "auto"),
+            (FormatChoice::Fixed(FiberFormat::Bcsr4), "bcsr4"),
+            (FormatChoice::Fixed(FiberFormat::Ell), "ell"),
+            (FormatChoice::Fixed(FiberFormat::Quant8), "q8"),
+        ] {
+            let req = Request::spgemm(SpGemmRequest {
+                format: choice,
+                ..SpGemmRequest::default()
+            });
+            let json = serde_json::to_string(&req).unwrap();
+            assert!(json.contains(token), "{json} should carry '{token}'");
+            let Request::SpGemm(back) = serde_json::from_str(&json).unwrap() else {
+                panic!("expected spgemm")
+            };
+            assert_eq!(back.format, choice);
+        }
+        // The config default stays off the wire: old clients and new
+        // daemons (and vice versa) interoperate without the field.
+        let json = serde_json::to_string(&Request::spgemm(SpGemmRequest::default())).unwrap();
+        assert!(!json.contains("format"), "default emits no format field");
+    }
+
+    #[test]
+    fn unknown_format_token_is_bad_request() {
+        let err = parse_request(br#"{"type":"spgemm","format":"csr5"}"#).unwrap_err();
+        assert_eq!(err.0, ErrorCode::BadRequest);
+        assert!(err.1.contains("csr5"), "detail names the token: {}", err.1);
     }
 
     #[test]

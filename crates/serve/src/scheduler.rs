@@ -28,7 +28,10 @@ use crate::protocol::{
 };
 use crate::stats::{Outcome, StatsRegistry};
 use flexagon_bench::runner::{self, intra_layer_worker_budget, RunOptions};
-use flexagon_core::{Accelerator, AcceleratorConfig, EngineConfig, Flexagon, MappingStrategy};
+use flexagon_core::{
+    Accelerator, AcceleratorConfig, EngineConfig, ExecutionRequest, Flexagon, FormatChoice,
+    MappingStrategy,
+};
 use flexagon_dnn::DnnModel;
 use flexagon_sparse::{validate_matrix, CompressedMatrix, ValidationConfig};
 use serde::Serialize;
@@ -51,6 +54,8 @@ pub enum JobKind {
         b: Arc<CompressedMatrix>,
         /// Dataflow selection.
         strategy: MappingStrategy,
+        /// Fiber storage format selection.
+        format: FormatChoice,
         /// Return the output matrix in the response.
         want_output: bool,
     },
@@ -61,6 +66,9 @@ pub enum JobKind {
         model: DnnModel,
         /// Dataflow selection per layer.
         strategy: MappingStrategy,
+        /// Fiber storage format for every layer (`Auto` is rejected at the
+        /// server before a job is built).
+        format: FormatChoice,
         /// Workload materialization seed.
         seed: u64,
     },
@@ -311,29 +319,44 @@ fn execute(accel: &Flexagon, engine: &EngineConfig, kind: JobKind) -> Response {
             a,
             b,
             strategy,
+            format,
             want_output,
-        } => match accel.try_run_strategy(&a, &b, strategy, &ValidationConfig::permissive()) {
-            Ok((dataflow, out)) => Response::Result(SpGemmResponse {
-                dataflow,
-                c_digest: digest_hex(matrix_digest(&out.c)),
-                c: want_output.then_some(out.c),
-                report: out.report.to_value(),
-                queue_us: 0,
-                exec_us: 0,
-            }),
-            Err(e) => Response::Error {
-                code: ErrorCode::Engine,
-                detail: e.to_string(),
-            },
-        },
+        } => {
+            let req = ExecutionRequest::new(&a, &b)
+                .strategy(strategy)
+                .format_choice(format)
+                .validated(ValidationConfig::permissive());
+            match accel.execute(req) {
+                Ok(ex) => {
+                    let out = ex.output;
+                    Response::Result(SpGemmResponse {
+                        dataflow: ex.dataflow,
+                        c_digest: digest_hex(matrix_digest(&out.c)),
+                        c: want_output.then_some(out.c),
+                        report: out.report.to_value(),
+                        queue_us: 0,
+                        exec_us: 0,
+                    })
+                }
+                Err(e) => Response::Error {
+                    code: ErrorCode::Engine,
+                    detail: e.to_string(),
+                },
+            }
+        }
         JobKind::Model {
             model,
             strategy,
+            format,
             seed,
         } => {
+            let mut engine = *engine;
+            if let FormatChoice::Fixed(f) = format {
+                engine.format = f;
+            }
             let opts = RunOptions {
                 strategy,
-                engine: *engine,
+                engine,
                 layer_parallel: false,
             };
             let results = runner::run_model_opts(&model, seed, &opts, false);
@@ -427,6 +450,7 @@ mod tests {
                 a: Arc::new(mat(1)),
                 b: Arc::new(mat(2)),
                 strategy: MappingStrategy::Heuristic,
+                format: FormatChoice::Config,
                 want_output: false,
             },
             enqueued: Instant::now(),

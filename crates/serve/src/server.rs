@@ -17,7 +17,7 @@ use crate::protocol::{
 };
 use crate::scheduler::{resolve_operands, Job, JobKind, Scheduler};
 use crate::stats::StatsRegistry;
-use flexagon_core::EngineConfig;
+use flexagon_core::{EngineConfig, FormatChoice};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{mpsc, Arc};
 use std::thread::JoinHandle;
@@ -274,16 +274,20 @@ fn handle_request(shared: &Arc<ServerShared>, request: Request) -> Response {
             Response::Ok
         }
         Request::SpGemm(r) => {
-            let (a, b) = match resolve_operands(
-                &shared.cache,
-                r.a,
-                r.a_id.as_deref(),
-                r.b,
-                r.b_id.as_deref(),
-            ) {
-                Ok(ops) => ops,
-                Err((code, detail)) => return Response::Error { code, detail },
-            };
+            // The pinned format joins the operand-cache identity: a request
+            // pinning `bcsr4` stages its operands differently than the
+            // `soa` default, so cached state (the memoized transpose plan
+            // in particular) is never shared across format-distinct request
+            // streams. Default-format requests keep their bare ids — the
+            // pre-format cache behavior is unchanged.
+            let a_key = cache_key(r.a_id.as_deref(), r.format);
+            let b_key = cache_key(r.b_id.as_deref(), r.format);
+            let (a, b) =
+                match resolve_operands(&shared.cache, r.a, a_key.as_deref(), r.b, b_key.as_deref())
+                {
+                    Ok(ops) => ops,
+                    Err((code, detail)) => return Response::Error { code, detail },
+                };
             submit_and_wait(
                 shared,
                 r.tenant,
@@ -292,11 +296,20 @@ fn handle_request(shared: &Arc<ServerShared>, request: Request) -> Response {
                     a,
                     b,
                     strategy: r.strategy,
+                    format: r.format,
                     want_output: r.want_output,
                 },
             )
         }
         Request::Model(r) => {
+            if r.format == FormatChoice::Auto {
+                return Response::Error {
+                    code: ErrorCode::BadRequest,
+                    detail: "format 'auto' is spgemm-only; pin a format token (soa, bcsr4, \
+                             bcsr8, ell, q8) for model runs"
+                        .to_owned(),
+                };
+            }
             let Some(model) = flexagon_dnn::suite().into_iter().find(|m| {
                 m.short.eq_ignore_ascii_case(&r.model) || m.name.eq_ignore_ascii_case(&r.model)
             }) else {
@@ -312,11 +325,21 @@ fn handle_request(shared: &Arc<ServerShared>, request: Request) -> Response {
                 JobKind::Model {
                     model,
                     strategy: r.strategy,
+                    format: r.format,
                     seed: r.seed,
                 },
             )
         }
     }
+}
+
+/// Suffixes a client-chosen operand identity with the non-default format
+/// token (`weights` pinned to bcsr4 resolves as `weights#bcsr4`).
+fn cache_key(id: Option<&str>, format: FormatChoice) -> Option<String> {
+    id.map(|id| match format {
+        FormatChoice::Config => id.to_owned(),
+        other => format!("{id}#{other}"),
+    })
 }
 
 fn submit_and_wait(

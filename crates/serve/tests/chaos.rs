@@ -53,9 +53,10 @@ fn daemon_survives_injected_panics_corruption_and_latency() {
                 let a = random_matrix(1000 + i as u64, 32, 40, 0.3);
                 let b = random_matrix(2000 + i as u64, 40, 36, 0.3);
                 let strategy = MappingStrategy::Heuristic;
-                let (df, out) = Flexagon::with_defaults()
-                    .run_strategy(&a, &b, strategy)
+                let ex = Flexagon::with_defaults()
+                    .execute(flexagon_core::ExecutionRequest::new(&a, &b).strategy(strategy))
                     .expect("direct run");
+                let (df, out) = (ex.dataflow, ex.output);
                 let expected_digest = digest_hex(matrix_digest(&out.c));
                 let mut client = Client::connect(&addr).expect("connect");
                 let (mut ok, mut panicked, mut corrupted) = (0usize, 0usize, 0usize);

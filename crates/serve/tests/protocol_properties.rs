@@ -2,11 +2,12 @@
 //! byte-stable, and no byte garbage — malformed JSON, truncated frames,
 //! lying length prefixes — can panic the parsing path.
 
-use flexagon_core::{Dataflow, MappingStrategy};
+use flexagon_core::{Dataflow, FormatChoice, MappingStrategy};
 use flexagon_serve::protocol::{
     digest_hex, matrix_digest, parse_request, write_frame, write_message, ErrorCode, FrameEvent,
     FrameReader, ModelRequest, RawValue, Request, Response, SpGemmRequest, SpGemmResponse,
 };
+use flexagon_sparse::FiberFormat;
 use flexagon_sparse::MajorOrder;
 use proptest::prelude::*;
 use rand::SeedableRng;
@@ -22,6 +23,14 @@ fn strategy_from(idx: usize) -> MappingStrategy {
         0 => MappingStrategy::Oracle,
         1 => MappingStrategy::Heuristic,
         n => MappingStrategy::Fixed(Dataflow::ALL[n - 2]),
+    }
+}
+
+fn format_from(idx: usize) -> FormatChoice {
+    match idx % 7 {
+        0 => FormatChoice::Config,
+        1 => FormatChoice::Auto,
+        n => FormatChoice::Fixed(FiberFormat::ALL[n - 2]),
     }
 }
 
@@ -53,6 +62,7 @@ proptest! {
         let req = Request::spgemm(SpGemmRequest {
             tenant: format!("tenant-{}", seed % 5),
             strategy: strategy_from(strat),
+            format: format_from(strat + seed as usize),
             a: with_inline.then(|| random_matrix(seed, dim, density)),
             b: with_inline.then(|| random_matrix(seed ^ 1, dim, density)),
             a_id: with_ids.then(|| format!("a-{seed}")),
@@ -70,6 +80,7 @@ proptest! {
             tenant: format!("t{}", seed % 3),
             model: ["A", "S-R", "MB"][(seed % 3) as usize].to_owned(),
             strategy: strategy_from(strat),
+            format: format_from(strat),
             seed,
             timeout_ms: (seed % 2 == 0).then_some(seed % 10_000 + 1),
         });

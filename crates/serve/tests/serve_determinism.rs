@@ -3,7 +3,8 @@
 //! concurrent clients, through the operand cache, and on a sharded engine.
 
 use flexagon_core::{
-    Accelerator, AcceleratorConfig, Dataflow, EngineConfig, Flexagon, MappingStrategy,
+    Accelerator, AcceleratorConfig, Dataflow, EngineConfig, ExecutionRequest, Flexagon,
+    MappingStrategy,
 };
 use flexagon_serve::protocol::{
     digest_hex, matrix_digest, RawValue, Request, Response, SpGemmRequest,
@@ -74,9 +75,10 @@ fn served_results_match_direct_execute_under_concurrent_clients() {
             let addr = addr.clone();
             let a = random_matrix(100 + i as u64, 48, 56, 0.3);
             let b = random_matrix(200 + i as u64, 56, 40, 0.35);
-            let (df, out) = Flexagon::with_defaults()
-                .run_strategy(&a, &b, strategy)
+            let ex = Flexagon::with_defaults()
+                .execute(ExecutionRequest::new(&a, &b).strategy(strategy))
                 .expect("direct run");
+            let (df, out) = (ex.dataflow, ex.output);
             let expected_report = report_json(&out.report);
             std::thread::spawn(move || {
                 let mut client = Client::connect(&addr).expect("connect");
@@ -114,9 +116,10 @@ fn cached_operands_are_transparent_to_reports() {
     // reports) explicit conversions — exactly what a result-altering cache
     // would optimize away. The served report must keep them.
     let strategy = MappingStrategy::Fixed(Dataflow::GustavsonN);
-    let (df, out) = Flexagon::with_defaults()
-        .run_strategy(&a, &b, strategy)
+    let ex = Flexagon::with_defaults()
+        .execute(ExecutionRequest::new(&a, &b).strategy(strategy))
         .expect("direct run");
+    let (df, out) = (ex.dataflow, ex.output);
     let expected_report = report_json(&out.report);
     let mut client = Client::connect(server.local_addr()).expect("connect");
     // First request ships the bytes and registers the identities; the next
@@ -169,7 +172,10 @@ fn sharded_server_is_byte_identical_to_sharded_direct() {
         Flexagon::new(cfg)
     };
     let strategy = MappingStrategy::Heuristic;
-    let (df, out) = direct.run_strategy(&a, &b, strategy).expect("direct run");
+    let ex = direct
+        .execute(ExecutionRequest::new(&a, &b).strategy(strategy))
+        .expect("direct run");
+    let (df, out) = (ex.dataflow, ex.output);
     let expected_report = report_json(&out.report);
     let mut client = Client::connect(server.local_addr()).expect("connect");
     let req = Request::spgemm(SpGemmRequest {
@@ -181,5 +187,51 @@ fn sharded_server_is_byte_identical_to_sharded_direct() {
         ..SpGemmRequest::default()
     });
     assert_served_matches_direct(&mut client, &req, df, &out.c, &expected_report);
+    server.shutdown();
+}
+
+#[test]
+fn pinned_lossless_format_is_result_transparent() {
+    use flexagon_core::FormatChoice;
+    use flexagon_sparse::FiberFormat;
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        ..ServeConfig::default()
+    })
+    .expect("start server");
+    let a = random_matrix(51, 48, 48, 0.3);
+    let b = random_matrix(52, 48, 48, 0.3);
+    let strategy = MappingStrategy::Heuristic;
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    for format in [FiberFormat::Bcsr4, FiberFormat::Ell] {
+        let direct = Flexagon::with_defaults()
+            .execute(
+                ExecutionRequest::new(&a, &b)
+                    .strategy(strategy)
+                    .format(format),
+            )
+            .expect("direct run");
+        let expected_report = report_json(&direct.output.report);
+        let req = Request::spgemm(SpGemmRequest {
+            tenant: "format-pin".to_owned(),
+            strategy,
+            format: FormatChoice::Fixed(format),
+            a: Some(a.clone()),
+            b: Some(b.clone()),
+            // Pinned formats key the cache per token: the same identity
+            // under bcsr4 and ell must resolve independently.
+            a_id: Some("fmt-a".to_owned()),
+            b_id: Some("fmt-b".to_owned()),
+            want_output: true,
+            ..SpGemmRequest::default()
+        });
+        assert_served_matches_direct(
+            &mut client,
+            &req,
+            direct.dataflow,
+            &direct.output.c,
+            &expected_report,
+        );
+    }
     server.shutdown();
 }

@@ -17,6 +17,10 @@
 //! * [`RowAccum`] — tiered per-row psum accumulators (dense array, paged
 //!   bitmap-directed gather, or sorted-run list) behind the Outer-Product
 //!   and Gustavson merge paths.
+//! * [`FiberFormat`] / [`FormattedMatrix`] — the storage-format tier:
+//!   blocked (BCSR-style), fixed-width (ELL-ish) and INT8-quantized
+//!   encodings over the SoA baseline, selected per layer by the mapper the
+//!   same way a dataflow is ([`format`]).
 //! * Workload generators ([`gen`]) and reference SpGEMM kernels
 //!   ([`mod@reference`]) implementing the Inner-Product,
 //!   Outer-Product and Gustavson algorithms in software.
@@ -50,6 +54,7 @@ mod dense;
 mod element;
 mod error;
 mod fiber;
+pub mod format;
 pub mod gen;
 pub mod index;
 pub mod io;
@@ -65,6 +70,7 @@ pub use dense::DenseMatrix;
 pub use element::{Element, Value, ELEMENT_BYTES};
 pub use error::FormatError;
 pub use fiber::{ElementIter, Fiber, FiberView};
+pub use format::{BlockedFiber, FiberFormat, FormatStats, FormattedMatrix};
 pub use index::{FiberIndex, MatrixIndex, Prober};
 pub use validate::{validate_matrix, ValidationConfig, ValidationError, ValuePolicy};
 

@@ -4,7 +4,7 @@
 //!
 //! Run with `cargo run --release --example dataflow_explorer`.
 
-use flexagon::core::{Accelerator, Dataflow, Flexagon};
+use flexagon::core::{Accelerator, Dataflow, ExecutionRequest, Flexagon};
 use flexagon::sparse::{gen, MajorOrder};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -58,7 +58,8 @@ fn report_row(
 ) -> Result<(), Box<dyn std::error::Error>> {
     let mut cycles = Vec::new();
     for df in Dataflow::M_STATIONARY {
-        cycles.push(accel.run(a, b, df)?.report.total_cycles);
+        let ex = accel.execute(ExecutionRequest::new(a, b).dataflow(df))?;
+        cycles.push(ex.output.report.total_cycles);
     }
     let winner = match (0..3).min_by_key(|&i| cycles[i]).expect("three dataflows") {
         0 => "Inner Product",

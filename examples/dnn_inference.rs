@@ -5,7 +5,9 @@
 //! Run with `cargo run --release --example dnn_inference [MODEL]` where
 //! MODEL is one of A, S, V, R, S-R, S-M, DB, MB (default: S).
 
-use flexagon::core::{Accelerator, Dataflow, Flexagon, GammaLike, SigmaLike, SparchLike};
+use flexagon::core::{
+    Accelerator, Dataflow, ExecutionRequest, Flexagon, GammaLike, SigmaLike, SparchLike,
+};
 use flexagon::dnn::{suite, DnnModel};
 
 fn pick_model(arg: Option<String>) -> DnnModel {
@@ -37,9 +39,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut winners = [0usize; 3];
     for layer in &model.layers {
         let mats = layer.materialize(7);
-        let ip = sigma.run(&mats.a, &mats.b, Dataflow::InnerProductM)?;
-        let op = sparch.run(&mats.a, &mats.b, Dataflow::OuterProductM)?;
-        let gu = gamma.run(&mats.a, &mats.b, Dataflow::GustavsonM)?;
+        let ip = sigma
+            .execute(ExecutionRequest::new(&mats.a, &mats.b).dataflow(Dataflow::InnerProductM))?
+            .output;
+        let op = sparch
+            .execute(ExecutionRequest::new(&mats.a, &mats.b).dataflow(Dataflow::OuterProductM))?
+            .output;
+        let gu = gamma
+            .execute(ExecutionRequest::new(&mats.a, &mats.b).dataflow(Dataflow::GustavsonM))?
+            .output;
         let cycles = [
             ip.report.total_cycles,
             op.report.total_cycles,

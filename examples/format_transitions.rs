@@ -5,7 +5,7 @@
 //!
 //! Run with `cargo run --release --example format_transitions`.
 
-use flexagon::core::{transitions, Accelerator, Dataflow, Flexagon};
+use flexagon::core::{transitions, Accelerator, Dataflow, ExecutionRequest, Flexagon};
 use flexagon::sparse::{gen, reference, DenseMatrix, MajorOrder};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -41,7 +41,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Layer 1: IP(N) wants A in CSR, B in CSC; outputs CSC.
-    let l1 = accel.run(&x0, &w1.converted(MajorOrder::Col), plan[0])?;
+    let w1_csc = w1.converted(MajorOrder::Col);
+    let l1 = accel
+        .execute(ExecutionRequest::new(&x0, &w1_csc).dataflow(plan[0]))?
+        .output;
     println!(
         "layer 1 ({}): output {} [{}x{}], {} conversions during run",
         plan[0],
@@ -54,7 +57,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Layer 2 consumes layer 1's CSC output as its A operand: OP(M) wants
     // exactly CSC, so no conversion happens.
-    let l2 = accel.run(&l1.c, &w2, plan[1])?;
+    let l2 = accel
+        .execute(ExecutionRequest::new(&l1.c, &w2).dataflow(plan[1]))?
+        .output;
     println!(
         "layer 2 ({}): output {} [{}x{}], {} conversions during run",
         plan[1],
@@ -66,7 +71,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     assert_eq!(l2.report.explicit_conversions, 0);
 
     // Layer 3 consumes layer 2's CSR output: Gust(M) wants CSR. Free again.
-    let l3 = accel.run(&l2.c, &w3, plan[2])?;
+    let l3 = accel
+        .execute(ExecutionRequest::new(&l2.c, &w3).dataflow(plan[2]))?
+        .output;
     println!(
         "layer 3 ({}): output {} [{}x{}], {} conversions during run",
         plan[2],
@@ -90,7 +97,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nChain verified: 3 layers, 3 different dataflows, 0 format conversions.");
 
     // Contrast: a plan that ignores Table 4 pays explicit conversions.
-    let bad = accel.run(&l1.c, &w2, Dataflow::GustavsonM)?; // wants CSR, gets CSC
+    let bad = accel
+        .execute(ExecutionRequest::new(&l1.c, &w2).dataflow(Dataflow::GustavsonM))?
+        .output; // wants CSR, gets CSC
     println!(
         "Counter-example: feeding a CSC output into Gustavson's(M) costs {} \
          explicit conversion(s).",

@@ -4,7 +4,7 @@
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use flexagon::core::{Accelerator, Dataflow, Flexagon};
+use flexagon::core::{Accelerator, Dataflow, ExecutionRequest, Flexagon};
 use flexagon::sparse::{gen, DenseMatrix, MajorOrder};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -36,7 +36,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let mut best: Option<(Dataflow, u64)> = None;
     for df in Dataflow::ALL {
-        let out = accel.run(&a, &b, df)?;
+        let out = accel
+            .execute(ExecutionRequest::new(&a, &b).dataflow(df))?
+            .output;
         // Every dataflow computes the exact same product.
         assert!(
             DenseMatrix::from_compressed(&out.c).approx_eq(&golden, 1e-2),
@@ -63,11 +65,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    (its calibrated cost model; no six-way sweep) and runs it once —
     //    the production fast path, with the oracle sweep above as auditor.
     use flexagon::core::MappingStrategy;
-    let (predicted, fast) = accel.run_strategy(&a, &b, MappingStrategy::Heuristic)?;
+    let ex = accel.execute(ExecutionRequest::new(&a, &b).strategy(MappingStrategy::Heuristic))?;
+    let (predicted, fast) = (ex.dataflow, ex.output);
     println!(
         "Heuristic mapper picks:       {predicted} ({} cycles, {:.2}x the best, 1 run instead of 6)",
         fast.report.total_cycles,
         fast.report.total_cycles as f64 / best_cycles as f64
+    );
+
+    // 4. The storage format is a mapping dimension too: `auto` lets the
+    //    mapper pick a lossless fiber format from the stationary operand's
+    //    shape (blocked for clustered structure, ELL for uniform rows).
+    //    Lossless formats are result-transparent — same C, same report.
+    use flexagon::core::FormatChoice;
+    let fmt = accel.execute(
+        ExecutionRequest::new(&a, &b)
+            .strategy(MappingStrategy::Heuristic)
+            .format_choice(FormatChoice::Auto),
+    )?;
+    assert_eq!(fmt.output.c, fast.c, "lossless formats never change C");
+    println!(
+        "Auto format picks:            {} (identical output, {} cycles)",
+        fmt.format, fmt.output.report.total_cycles
     );
     Ok(())
 }

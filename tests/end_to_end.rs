@@ -8,6 +8,19 @@ use flexagon::dnn::{table6, DnnModel};
 use flexagon::rtl::{perf_per_area, table8_rows, AcceleratorKind};
 use flexagon::sparse::{reference, DenseMatrix};
 
+/// One fixed-dataflow run through the unified `execute` entry point (the
+/// deprecated `run` wrapper keeps its own coverage in the core crate).
+fn run_df(
+    accel: &impl Accelerator,
+    a: &flexagon::sparse::CompressedMatrix,
+    b: &flexagon::sparse::CompressedMatrix,
+    df: Dataflow,
+) -> flexagon::core::Result<flexagon::core::RunOutput> {
+    accel
+        .execute(flexagon::core::ExecutionRequest::new(a, b).dataflow(df))
+        .map(|ex| ex.output)
+}
+
 /// A small Table 6 layer runs on all four accelerators and every result is
 /// the true product.
 #[test]
@@ -20,15 +33,27 @@ fn representative_layer_runs_everywhere() {
     let (best_df, best) = mapper::oracle(&flexagon, &mats.a, &mats.b).unwrap();
     assert!(DenseMatrix::from_compressed(&best.c).approx_eq(&want, 1e-1));
 
-    let sigma = SigmaLike::with_defaults()
-        .run(&mats.a, &mats.b, Dataflow::InnerProductM)
-        .unwrap();
-    let sparch = SparchLike::with_defaults()
-        .run(&mats.a, &mats.b, Dataflow::OuterProductM)
-        .unwrap();
-    let gamma = GammaLike::with_defaults()
-        .run(&mats.a, &mats.b, Dataflow::GustavsonM)
-        .unwrap();
+    let sigma = run_df(
+        &SigmaLike::with_defaults(),
+        &mats.a,
+        &mats.b,
+        Dataflow::InnerProductM,
+    )
+    .unwrap();
+    let sparch = run_df(
+        &SparchLike::with_defaults(),
+        &mats.a,
+        &mats.b,
+        Dataflow::OuterProductM,
+    )
+    .unwrap();
+    let gamma = run_df(
+        &GammaLike::with_defaults(),
+        &mats.a,
+        &mats.b,
+        Dataflow::GustavsonM,
+    )
+    .unwrap();
     for out in [&sigma, &sparch, &gamma] {
         assert!(DenseMatrix::from_compressed(&out.c).approx_eq(&want, 1e-1));
     }
@@ -75,18 +100,14 @@ fn three_layer_chain_without_conversions() {
     ])
     .expect("free plan exists");
     let accel = Flexagon::with_defaults();
-    let l1 = accel
-        .run(&x, &w1.converted(plan[0].b_format()), plan[0])
-        .unwrap();
+    let l1 = run_df(&accel, &x, &w1.converted(plan[0].b_format()), plan[0]).unwrap();
     assert_eq!(l1.report.explicit_conversions, 0);
     assert_eq!(
         l1.c.order(),
         plan[1].a_format(),
         "chain is format-compatible"
     );
-    let l2 = accel
-        .run(&l1.c, &w2.converted(plan[1].b_format()), plan[1])
-        .unwrap();
+    let l2 = run_df(&accel, &l1.c, &w2.converted(plan[1].b_format()), plan[1]).unwrap();
     assert_eq!(l2.report.explicit_conversions, 0);
 
     let want = reference::spgemm(&reference::spgemm(&x, &w1).unwrap(), &w2).unwrap();
@@ -142,7 +163,7 @@ fn model_layers_all_verify() {
         let mats = layer.materialize(11);
         let want = reference::spgemm(&mats.a, &mats.b).unwrap();
         for df in Dataflow::M_STATIONARY {
-            let out = accel.run(&mats.a, &mats.b, df).unwrap();
+            let out = run_df(&accel, &mats.a, &mats.b, df).unwrap();
             assert!(
                 out.c.approx_eq(&want, 2e-1),
                 "layer {} under {df}: functional mismatch",

@@ -9,6 +9,19 @@
 use flexagon::core::{Accelerator, AcceleratorConfig, Dataflow, Flexagon};
 use flexagon::sparse::{CompressedMatrix, MajorOrder};
 
+/// One fixed-dataflow run through the unified `execute` entry point (the
+/// deprecated `run` wrapper keeps its own coverage in the core crate).
+fn run_df(
+    accel: &impl Accelerator,
+    a: &flexagon::sparse::CompressedMatrix,
+    b: &flexagon::sparse::CompressedMatrix,
+    df: Dataflow,
+) -> flexagon::core::Result<flexagon::core::RunOutput> {
+    accel
+        .execute(flexagon::core::ExecutionRequest::new(a, b).dataflow(df))
+        .map(|ex| ex.output)
+}
+
 /// The A matrix of Fig. 2/5/6/7 with distinguishable values.
 fn paper_a() -> CompressedMatrix {
     CompressedMatrix::from_triplets(
@@ -71,9 +84,7 @@ fn check_product(c: &CompressedMatrix) {
 #[test]
 fn fig5_inner_product_walkthrough() {
     let accel = four_multiplier_accel();
-    let out = accel
-        .run(&paper_a(), &paper_b(), Dataflow::InnerProductM)
-        .unwrap();
+    let out = run_df(&accel, &paper_a(), &paper_b(), Dataflow::InnerProductM).unwrap();
     check_product(&out.c);
     let r = &out.report;
     // All four A elements fit the 4-multiplier array: one stationary tile.
@@ -90,9 +101,7 @@ fn fig5_inner_product_walkthrough() {
 #[test]
 fn fig6_outer_product_walkthrough() {
     let accel = four_multiplier_accel();
-    let out = accel
-        .run(&paper_a(), &paper_b(), Dataflow::OuterProductM)
-        .unwrap();
+    let out = run_df(&accel, &paper_a(), &paper_b(), Dataflow::OuterProductM).unwrap();
     check_product(&out.c);
     let r = &out.report;
     assert_eq!(r.tiles, 1, "columns 0..3 of A fill the four multipliers");
@@ -112,9 +121,7 @@ fn fig6_outer_product_walkthrough() {
 #[test]
 fn fig7_gustavson_walkthrough() {
     let accel = four_multiplier_accel();
-    let out = accel
-        .run(&paper_a(), &paper_b(), Dataflow::GustavsonM)
-        .unwrap();
+    let out = run_df(&accel, &paper_a(), &paper_b(), Dataflow::GustavsonM).unwrap();
     check_product(&out.c);
     let r = &out.report;
     // Fig. 7 maps row 0 (1 element) and row 1 (3 elements) spatially in
@@ -137,7 +144,7 @@ fn walkthrough_dataflow_costs_differ() {
     let b = paper_b();
     let cycles: Vec<u64> = Dataflow::M_STATIONARY
         .iter()
-        .map(|&df| accel.run(&a, &b, df).unwrap().report.total_cycles)
+        .map(|&df| run_df(&accel, &a, &b, df).unwrap().report.total_cycles)
         .collect();
     assert!(
         cycles.iter().any(|&c| c != cycles[0]),
@@ -155,7 +162,7 @@ fn n_stationary_variants_on_walkthrough() {
         Dataflow::OuterProductN,
         Dataflow::GustavsonN,
     ] {
-        let out = accel.run(&a, &b, df).unwrap();
+        let out = run_df(&accel, &a, &b, df).unwrap();
         check_product(&out.c);
         assert_eq!(out.c.order(), MajorOrder::Col, "{df} outputs CSC");
     }

@@ -15,6 +15,19 @@ use flexagon::sparse::gen;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+/// One fixed-dataflow run through the unified `execute` entry point (the
+/// deprecated `run` wrapper keeps its own coverage in the core crate).
+fn run_df(
+    accel: &impl Accelerator,
+    a: &flexagon::sparse::CompressedMatrix,
+    b: &flexagon::sparse::CompressedMatrix,
+    df: Dataflow,
+) -> flexagon::core::Result<flexagon::core::RunOutput> {
+    accel
+        .execute(flexagon::core::ExecutionRequest::new(a, b).dataflow(df))
+        .map(|ex| ex.output)
+}
+
 /// One affordable representative per generator family keeps the debug
 /// tier-1 runtime bounded while covering every structure class the sweep
 /// generates.
@@ -51,7 +64,7 @@ fn sharded_execution_is_byte_identical_across_worker_counts() {
             Dataflow::ALL
                 .iter()
                 .map(|&df| {
-                    let out = accel.run(&s.a, &s.b, df).expect("scenario run");
+                    let out = run_df(&accel, &s.a, &s.b, df).expect("scenario run");
                     format!(
                         "{df}:{}:{}",
                         serde_json::to_string(&out.report).expect("report"),
@@ -91,7 +104,7 @@ fn simd_and_sharding_compose_byte_identically() {
             Dataflow::ALL
                 .iter()
                 .map(|&df| {
-                    let out = accel.run(&s.a, &s.b, df).expect("scenario run");
+                    let out = run_df(&accel, &s.a, &s.b, df).expect("scenario run");
                     format!(
                         "{df}:{}:{}",
                         serde_json::to_string(&out.report).expect("report"),
@@ -130,8 +143,8 @@ fn sharding_grain_disabled_matches_defaults() {
     cfg.engine = cfg.engine.sharded(usize::MAX, 4);
     let one_band = Flexagon::new(cfg);
     for df in Dataflow::ALL {
-        let d = default_accel.run(&a, &b, df).expect("default run");
-        let s = one_band.run(&a, &b, df).expect("one-band run");
+        let d = run_df(&default_accel, &a, &b, df).expect("default run");
+        let s = run_df(&one_band, &a, &b, df).expect("one-band run");
         assert_eq!(
             serde_json::to_string(&d.report).unwrap(),
             serde_json::to_string(&s.report).unwrap(),

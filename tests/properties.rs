@@ -6,6 +6,19 @@ use flexagon::core::{Accelerator, AcceleratorConfig, Dataflow, Flexagon, Mapping
 use flexagon::sparse::{CompressedMatrix, DenseMatrix, Element, Fiber, MajorOrder};
 use proptest::prelude::*;
 
+/// One fixed-dataflow run through the unified `execute` entry point (the
+/// deprecated `run` wrapper keeps its own coverage in the core crate).
+fn run_df(
+    accel: &impl Accelerator,
+    a: &flexagon::sparse::CompressedMatrix,
+    b: &flexagon::sparse::CompressedMatrix,
+    df: Dataflow,
+) -> flexagon::core::Result<flexagon::core::RunOutput> {
+    accel
+        .execute(flexagon::core::ExecutionRequest::new(a, b).dataflow(df))
+        .map(|ex| ex.output)
+}
+
 /// The per-instance regret bound recorded next to the accuracy floor in
 /// `MAPPER_accuracy.json` (`thresholds.property_max_regret`), read and
 /// parsed once (the property calls this per generated case).
@@ -75,7 +88,7 @@ proptest! {
             .unwrap();
         let accel = Flexagon::new(AcceleratorConfig::tiny());
         for df in Dataflow::ALL {
-            let out = accel.run(&a, &b, df).unwrap();
+            let out = run_df(&accel, &a, &b, df).unwrap();
             prop_assert!(
                 DenseMatrix::from_compressed(&out.c).approx_eq(&want, 1e-2),
                 "{df} mismatch"
@@ -96,10 +109,10 @@ proptest! {
             (Dataflow::OuterProductM, Dataflow::OuterProductN),
             (Dataflow::GustavsonM, Dataflow::GustavsonN),
         ] {
-            let n_run = accel.run(&a, &b, n_df).unwrap();
+            let n_run = run_df(&accel, &a, &b, n_df).unwrap();
             let bt = b.converted(n_df.b_format()).reinterpret_transposed();
             let at = a.converted(n_df.a_format()).reinterpret_transposed();
-            let m_run = accel.run(&bt, &at, m_df).unwrap();
+            let m_run = run_df(&accel, &bt, &at, m_df).unwrap();
             prop_assert_eq!(n_run.report.total_cycles, m_run.report.total_cycles);
             prop_assert_eq!(
                 n_run.report.traffic.onchip_total(),
@@ -116,7 +129,7 @@ proptest! {
         let b = flexagon::sparse::gen::random(k, 6, 0.3, MajorOrder::Row, &mut rng);
         let accel = Flexagon::new(AcceleratorConfig::tiny());
         for df in Dataflow::ALL {
-            let out = accel.run(&a, &b, df).unwrap();
+            let out = run_df(&accel, &a, &b, df).unwrap();
             prop_assert!(out.c.validate().is_ok());
             prop_assert_eq!(out.c.order(), df.c_format());
             prop_assert_eq!(out.c.rows(), a.rows());
@@ -138,8 +151,14 @@ proptest! {
         let b = flexagon::sparse::gen::random(k, 8, 0.4, MajorOrder::Row, &mut rng);
         let accel = Flexagon::new(AcceleratorConfig::tiny());
         for df in Dataflow::ALL {
-            let (chosen, strat) = accel.run_strategy(&a, &b, MappingStrategy::Fixed(df)).unwrap();
-            let direct = accel.run(&a, &b, df).unwrap();
+            let ex = accel
+                .execute(
+                    flexagon::core::ExecutionRequest::new(&a, &b)
+                        .strategy(MappingStrategy::Fixed(df)),
+                )
+                .unwrap();
+            let (chosen, strat) = (ex.dataflow, ex.output);
+            let direct = run_df(&accel, &a, &b, df).unwrap();
             prop_assert_eq!(chosen, df);
             prop_assert_eq!(
                 serde_json::to_string(&strat.report).unwrap(),
@@ -171,7 +190,7 @@ proptest! {
         let b = flexagon::sparse::gen::random(k, n, db, MajorOrder::Row, &mut rng);
         let accel = Flexagon::with_defaults();
         let picked = flexagon::core::mapper::heuristic(accel.config(), &a, &b);
-        let cycles = |df| accel.run(&a, &b, df).unwrap().report.total_cycles;
+        let cycles = |df| run_df(&accel, &a, &b, df).unwrap().report.total_cycles;
         let measured = [
             cycles(Dataflow::InnerProductM),
             cycles(Dataflow::OuterProductM),

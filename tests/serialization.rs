@@ -6,14 +6,31 @@ use flexagon::sparse::{gen, MajorOrder};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 
+/// One fixed-dataflow run through the unified `execute` entry point (the
+/// deprecated `run` wrapper keeps its own coverage in the core crate).
+fn run_df(
+    accel: &impl Accelerator,
+    a: &flexagon::sparse::CompressedMatrix,
+    b: &flexagon::sparse::CompressedMatrix,
+    df: Dataflow,
+) -> flexagon::core::Result<flexagon::core::RunOutput> {
+    accel
+        .execute(flexagon::core::ExecutionRequest::new(a, b).dataflow(df))
+        .map(|ex| ex.output)
+}
+
 fn sample_report() -> flexagon::core::ExecutionReport {
     let mut rng = ChaCha8Rng::seed_from_u64(2);
     let a = gen::random(16, 16, 0.4, MajorOrder::Row, &mut rng);
     let b = gen::random(16, 16, 0.4, MajorOrder::Row, &mut rng);
-    Flexagon::new(AcceleratorConfig::tiny())
-        .run(&a, &b, Dataflow::OuterProductM)
-        .unwrap()
-        .report
+    run_df(
+        &Flexagon::new(AcceleratorConfig::tiny()),
+        &a,
+        &b,
+        Dataflow::OuterProductM,
+    )
+    .unwrap()
+    .report
 }
 
 #[test]
