@@ -7,8 +7,8 @@
 //! PSRAM sized per Table 8 (none for SIGMA-like, half for GAMMA-like).
 
 use crate::{
-    engine, mapper, AcceleratorConfig, CoreError, Dataflow, ExecutionReport, FormatChoice,
-    MappingStrategy, Result, WorkspacePool,
+    engine, mapper, AcceleratorConfig, CancelToken, CoreError, Dataflow, ExecutionReport,
+    FormatChoice, MappingStrategy, Result, WorkspacePool,
 };
 use flexagon_sparse::{validate_matrix, CompressedMatrix, FiberFormat, ValidationConfig};
 
@@ -45,6 +45,11 @@ pub struct ExecutionRequest<'m> {
     /// Operand validation to run before execution (`None` skips it — the
     /// policy for operands this process built itself).
     pub validation: Option<ValidationConfig>,
+    /// Cooperative cancellation handle, polled at band/tile/merge-pass
+    /// boundaries. The default unarmed token never fires and is
+    /// result-transparent; an armed token surfaces
+    /// [`CoreError::DeadlineExceeded`] once it fires.
+    pub cancel: CancelToken,
 }
 
 impl<'m> ExecutionRequest<'m> {
@@ -57,6 +62,7 @@ impl<'m> ExecutionRequest<'m> {
             strategy: MappingStrategy::Heuristic,
             format: FormatChoice::Config,
             validation: None,
+            cancel: CancelToken::never(),
         }
     }
 
@@ -96,6 +102,22 @@ impl<'m> ExecutionRequest<'m> {
     pub fn validated(mut self, validation: ValidationConfig) -> Self {
         self.validation = Some(validation);
         self
+    }
+
+    /// Attaches a cancellation token. Clones of the token share the same
+    /// latch, so the caller keeps one handle and can fire it (or let its
+    /// deadline pass) while the execution is in flight.
+    #[must_use]
+    pub fn cancel_token(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// Arms an end-to-end deadline `budget` from now (shorthand for
+    /// `cancel_token(CancelToken::after(budget))`).
+    #[must_use]
+    pub fn deadline_in(self, budget: std::time::Duration) -> Self {
+        self.cancel_token(CancelToken::after(budget))
     }
 }
 
@@ -157,7 +179,9 @@ pub trait Accelerator {
     /// [`CoreError::Validation`] when a requested validation fails;
     /// [`CoreError::UnsupportedDataflow`] when a `Fixed` dataflow is not
     /// in [`Accelerator::supported_dataflows`]; [`CoreError::Format`] on
-    /// dimension mismatch; plus any engine error.
+    /// dimension mismatch; [`CoreError::DeadlineExceeded`] when the
+    /// request's [`CancelToken`] fires mid-execution; plus any engine
+    /// error.
     fn execute(&self, req: ExecutionRequest<'_>) -> Result<Execution> {
         if let Some(validation) = &req.validation {
             validate_matrix(req.a, validation).map_err(CoreError::Validation)?;
@@ -189,7 +213,8 @@ pub trait Accelerator {
                     dataflow: df,
                 });
             }
-            let (c, report) = engine::execute(cfg, self.workspaces(), req.a, req.b, df)?;
+            let (c, report) =
+                engine::execute(cfg, self.workspaces(), req.a, req.b, df, &req.cancel)?;
             Ok(RunOutput { c, report })
         };
         let (dataflow, output) = match req.strategy {
@@ -607,6 +632,79 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn unarmed_cancellation_is_result_transparent() {
+        // The tentpole invariant: threading the cancellation layer through
+        // every dataflow must not change a single byte of output or report
+        // when no deadline is armed — goldens stay identical.
+        use rand::SeedableRng;
+        use std::time::{Duration, Instant};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(23);
+        let a =
+            flexagon_sparse::gen::random(32, 28, 0.3, flexagon_sparse::MajorOrder::Row, &mut rng);
+        let b =
+            flexagon_sparse::gen::random(28, 32, 0.25, flexagon_sparse::MajorOrder::Row, &mut rng);
+        let f = Flexagon::with_defaults();
+        for df in Dataflow::ALL {
+            let base = f
+                .execute(ExecutionRequest::new(&a, &b).dataflow(df))
+                .unwrap();
+            // Explicit unarmed token and a far-future armed one: both must
+            // reproduce the default run bit for bit.
+            let tokens = [
+                CancelToken::never(),
+                CancelToken::with_deadline(Instant::now() + Duration::from_secs(3600)),
+            ];
+            for token in tokens {
+                let ex = f
+                    .execute(
+                        ExecutionRequest::new(&a, &b)
+                            .dataflow(df)
+                            .cancel_token(token),
+                    )
+                    .unwrap();
+                assert_eq!(ex.output.c, base.output.c, "{df} output");
+                assert_eq!(
+                    format!("{:?}", ex.output.report),
+                    format!("{:?}", base.output.report),
+                    "{df} report"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn fired_token_surfaces_deadline_exceeded() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(24);
+        let a =
+            flexagon_sparse::gen::random(24, 24, 0.3, flexagon_sparse::MajorOrder::Row, &mut rng);
+        let b =
+            flexagon_sparse::gen::random(24, 24, 0.3, flexagon_sparse::MajorOrder::Row, &mut rng);
+        let f = Flexagon::with_defaults();
+        let fired = CancelToken::manual();
+        fired.cancel();
+        for strategy in [
+            MappingStrategy::Heuristic,
+            MappingStrategy::Oracle,
+            MappingStrategy::Fixed(Dataflow::OuterProductN),
+        ] {
+            let err = f
+                .execute(
+                    ExecutionRequest::new(&a, &b)
+                        .strategy(strategy)
+                        .cancel_token(fired.clone()),
+                )
+                .unwrap_err();
+            assert!(matches!(err, CoreError::DeadlineExceeded), "{strategy:?}");
+        }
+        // An already-expired deadline behaves the same.
+        let err = f
+            .execute(ExecutionRequest::new(&a, &b).deadline_in(std::time::Duration::ZERO))
+            .unwrap_err();
+        assert!(matches!(err, CoreError::DeadlineExceeded));
     }
 
     #[test]

@@ -44,6 +44,12 @@ pub(super) fn run(e: &mut Engine<'_>, ws: &mut EngineWorkspace) {
     let radix = e.mrn.max_radix() as u32;
 
     for tile in row_plan.tiles() {
+        // Tile boundary: a fired token stops before the next tile streams.
+        // The early return skips the end-of-run drain asserts below — the
+        // band's workspace is discarded by `execute`, never recycled.
+        if e.is_cancelled() {
+            return;
+        }
         e.stationary_phase(tiling::slots_used(tile));
 
         let mut delivered = 0u64;

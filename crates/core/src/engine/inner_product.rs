@@ -86,6 +86,11 @@ pub(super) fn run(e: &mut Engine<'_>, ws: &mut EngineWorkspace, shared: &IpShare
             e, row_plan, b_index, k_entries, k_mask, touched_k, cl_acc, cl_hit, hit_list, split_acc,
         ),
     }
+    // A cancelled tile loop leaves nothing worth assembling: the band is
+    // discarded wholesale by `execute`.
+    if e.is_cancelled() {
+        return;
+    }
 
     // Assemble rows that accumulated across tiles. Their elements were held
     // in the cluster output registers, so only the final store is charged.
@@ -175,6 +180,10 @@ fn run_indexed(
     let n_words = n_dim.div_ceil(64);
 
     for tile in plan.tiles() {
+        // Tile boundary: a fired token stops before the next tile streams.
+        if e.is_cancelled() {
+            return;
+        }
         e.stationary_phase(tiling::slots_used(tile));
 
         index_tile(a, tile, k_entries, touched_k);
@@ -263,6 +272,10 @@ fn run_streaming(
     let probe_gate_factor = e.cfg.engine.probe_gate_factor;
 
     for tile in plan.tiles() {
+        // Tile boundary: a fired token stops before the next tile streams.
+        if e.is_cancelled() {
+            return;
+        }
         e.stationary_phase(tiling::slots_used(tile));
 
         // Index this tile's stationary coordinates and set the scan mask.

@@ -40,8 +40,8 @@ pub(crate) mod tiling;
 pub(crate) mod workspace;
 
 use crate::{
-    AcceleratorConfig, CoreError, Dataflow, DataflowClass, ExecutionReport, Result, Stationarity,
-    TrafficReport,
+    AcceleratorConfig, CancelToken, CoreError, Dataflow, DataflowClass, ExecutionReport, Result,
+    Stationarity, TrafficReport,
 };
 use flexagon_mem::{Dram, Psram, PsramUsage, StaFifo, StrCache, WriteBuffer};
 use flexagon_noc::{
@@ -74,15 +74,21 @@ enum IpShared {
 /// output matrix (in the dataflow's natural format) and the report.
 ///
 /// `pool` supplies reusable execution workspaces; `None` falls back to a
-/// throwaway workspace per band.
+/// throwaway workspace per band. `cancel` is polled cooperatively at
+/// band, tile and merge-pass boundaries: once it fires the run unwinds
+/// with [`CoreError::DeadlineExceeded`] and no partial result escapes.
+/// An unarmed token is result-transparent — outputs and reports are
+/// byte-identical to a run without it.
 pub(crate) fn execute(
     cfg: &AcceleratorConfig,
     pool: Option<&WorkspacePool>,
     a: &CompressedMatrix,
     b: &CompressedMatrix,
     dataflow: Dataflow,
+    cancel: &CancelToken,
 ) -> Result<(CompressedMatrix, ExecutionReport)> {
     cfg.assert_valid();
+    cancel.check()?;
     // Apply the SIMD policy before any kernel runs. The toggle is
     // process-global (kernels are bit-identical either way, so a concurrent
     // execution under a different policy changes speed, never results), and
@@ -160,14 +166,17 @@ pub(crate) fn execute(
         } else {
             None
         };
-    let run_band = |bi: usize| -> BandOutcome {
+    let run_band = |bi: usize| -> Result<BandOutcome> {
+        // Band boundary: a fired token stops before any further band
+        // starts (concurrent bands observe the shared latch together).
+        cancel.check()?;
         let band = bands[bi].clone();
         let mut guard = match pool {
             Some(p) => p.acquire(),
             None => WorkspaceGuard::detached(),
         };
         let ws = &mut *guard;
-        let mut engine = Engine::new(cfg, a_eff, b_eff, band, ws);
+        let mut engine = Engine::new(cfg, a_eff, b_eff, band, ws, cancel);
         match class {
             DataflowClass::InnerProduct => {
                 inner_product::run(&mut engine, ws, shared.as_ref().expect("precomputed"))
@@ -179,17 +188,30 @@ pub(crate) fn execute(
             ),
             DataflowClass::Gustavson => gustavson::run(&mut engine, ws),
         }
-        engine.into_outcome(ws)
+        if cancel.is_cancelled() {
+            // The phase loop bailed mid-run (or the deadline passed at the
+            // finish line): the band's fibers are incomplete and the
+            // workspace's drain invariants don't hold, so the arena is
+            // discarded rather than recycled.
+            drop(engine);
+            guard.discard();
+            return Err(CoreError::DeadlineExceeded);
+        }
+        Ok(engine.into_outcome(ws))
     };
     let outcomes: Vec<BandOutcome> = if bands.len() <= 1 || cfg.engine.shard_workers <= 1 {
-        (0..bands.len()).map(run_band).collect()
+        (0..bands.len())
+            .map(run_band)
+            .collect::<Result<Vec<BandOutcome>>>()?
     } else {
         let indices: Vec<usize> = (0..bands.len()).collect();
         indices
             .par_iter()
             .map(|&bi| run_band(bi))
             .max_threads(cfg.engine.shard_workers)
-            .collect()
+            .collect::<Vec<Result<BandOutcome>>>()
+            .into_iter()
+            .collect::<Result<Vec<BandOutcome>>>()?
     };
     let (c_m, report) = assemble(
         dataflow,
@@ -400,6 +422,9 @@ pub(crate) struct Engine<'a> {
     /// [`Engine::merge_row_fibers`], borrowed from the workspace.
     pub merge_acc: RowAccum,
     pub tiles_run: u64,
+    /// Shared cancellation handle, polled at tile and merge-pass
+    /// boundaries. Unarmed on every run without a deadline.
+    pub cancel: &'a CancelToken,
 }
 
 impl std::fmt::Debug for Engine<'_> {
@@ -420,6 +445,7 @@ impl<'a> Engine<'a> {
         b: MatrixView<'a>,
         band: Range<u32>,
         ws: &mut EngineWorkspace,
+        cancel: &'a CancelToken,
     ) -> Self {
         let band_rows = (band.end - band.start) as usize;
         Self {
@@ -449,7 +475,16 @@ impl<'a> Engine<'a> {
             scaled_pool: std::mem::take(&mut ws.scaled_pool),
             merge_acc: std::mem::take(&mut ws.merge_acc),
             tiles_run: 0,
+            cancel,
         }
+    }
+
+    /// Cooperative cancellation poll for the phase loops. `false` forever
+    /// on an unarmed token; once `true`, the loop should return — the
+    /// band's outcome is discarded by `execute`.
+    #[inline]
+    pub(crate) fn is_cancelled(&self) -> bool {
+        self.cancel.is_cancelled()
     }
 
     /// Element offset of streaming fiber `major` within B's data vector —
@@ -532,6 +567,13 @@ impl<'a> Engine<'a> {
             cycles += self.mrn.charge_merge(total, out.len() as u64);
             self.counters.incr("mrn.merge_passes");
             if queue.is_empty() {
+                self.merge_acc = acc;
+                return (out, cycles);
+            }
+            // Merge-pass boundary: a fired token abandons the remaining
+            // passes. The partial fiber flows back to a caller that bails
+            // at its next tile check, and the band is then discarded.
+            if self.cancel.is_cancelled() {
                 self.merge_acc = acc;
                 return (out, cycles);
             }
@@ -687,7 +729,8 @@ mod tests {
             Dataflow::ALL
                 .iter()
                 .map(|&df| {
-                    let (c, report) = execute(&cfg, None, &a, &b, df).expect("run");
+                    let (c, report) =
+                        execute(&cfg, None, &a, &b, df, &CancelToken::never()).expect("run");
                     format!(
                         "{}{}",
                         serde_json::to_string(&report).unwrap(),
@@ -718,12 +761,59 @@ mod tests {
         let mut cfg1 = AcceleratorConfig::tiny();
         cfg1.engine = cfg1.engine.sharded(1 << 30, 4);
         for df in Dataflow::ALL {
-            let (c0, r0) = execute(&cfg0, None, &a, &b, df).expect("run");
-            let (c1, r1) = execute(&cfg1, None, &a, &b, df).expect("run");
+            let (c0, r0) = execute(&cfg0, None, &a, &b, df, &CancelToken::never()).expect("run");
+            let (c1, r1) = execute(&cfg1, None, &a, &b, df, &CancelToken::never()).expect("run");
             assert_eq!(c0, c1);
             assert_eq!(
                 serde_json::to_string(&r0).unwrap(),
                 serde_json::to_string(&r1).unwrap()
+            );
+        }
+    }
+
+    #[test]
+    fn cancelled_token_stops_every_dataflow() {
+        let (a, b) = mats(8);
+        let cancelled = CancelToken::manual();
+        cancelled.cancel();
+        let cfg = AcceleratorConfig::tiny();
+        for df in Dataflow::ALL {
+            let err = execute(&cfg, None, &a, &b, df, &cancelled).unwrap_err();
+            assert!(matches!(err, CoreError::DeadlineExceeded), "{df}");
+        }
+        // Sharded multi-band path bails too, and a pool never receives a
+        // dirty workspace from a cancelled run.
+        let pool = WorkspacePool::new();
+        let mut sharded = AcceleratorConfig::tiny();
+        sharded.engine = sharded.engine.sharded(20, 3);
+        for df in Dataflow::ALL {
+            let err = execute(&sharded, Some(&pool), &a, &b, df, &cancelled).unwrap_err();
+            assert!(matches!(err, CoreError::DeadlineExceeded), "{df} sharded");
+        }
+        // The same pool still serves clean runs afterwards.
+        for df in Dataflow::ALL {
+            let (c, _) = execute(&sharded, Some(&pool), &a, &b, df, &CancelToken::never())
+                .expect("pool unaffected by cancelled runs");
+            let (c_ref, _) = execute(&sharded, None, &a, &b, df, &CancelToken::never()).unwrap();
+            assert_eq!(c, c_ref, "{df}");
+        }
+    }
+
+    #[test]
+    fn unarmed_and_far_deadline_tokens_are_result_transparent() {
+        use std::time::{Duration, Instant};
+        let (a, b) = mats(9);
+        let mut cfg = AcceleratorConfig::tiny();
+        cfg.engine = cfg.engine.sharded(25, 2);
+        let far = CancelToken::with_deadline(Instant::now() + Duration::from_secs(3600));
+        for df in Dataflow::ALL {
+            let (c0, r0) = execute(&cfg, None, &a, &b, df, &CancelToken::never()).unwrap();
+            let (c1, r1) = execute(&cfg, None, &a, &b, df, &far).unwrap();
+            assert_eq!(c0, c1, "{df}");
+            assert_eq!(
+                serde_json::to_string(&r0).unwrap(),
+                serde_json::to_string(&r1).unwrap(),
+                "{df}"
             );
         }
     }
@@ -738,8 +828,10 @@ mod tests {
         let mut cfg = AcceleratorConfig::tiny();
         cfg.engine = cfg.engine.sharded(30, 2);
         for df in Dataflow::ALL {
-            let (c0, r0) = execute(&cfg, Some(&pool), &a, &b, df).expect("run");
-            let (c1, r1) = execute(&cfg, Some(&pool), &a, &b, df).expect("run");
+            let (c0, r0) =
+                execute(&cfg, Some(&pool), &a, &b, df, &CancelToken::never()).expect("run");
+            let (c1, r1) =
+                execute(&cfg, Some(&pool), &a, &b, df, &CancelToken::never()).expect("run");
             assert_eq!(c0, c1, "{df}");
             assert_eq!(
                 serde_json::to_string(&r0).unwrap(),

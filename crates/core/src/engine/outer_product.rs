@@ -78,6 +78,10 @@ pub(super) fn run(
     }
 
     for (ti, tile) in col_plan.tiles().enumerate() {
+        // Tile boundary: a fired token stops before the next tile streams.
+        if e.is_cancelled() {
+            return;
+        }
         // Span pass: which rows this tile feeds, and the coordinate span and
         // element count of each row's incoming psums — the accumulator
         // tier-selection inputs.

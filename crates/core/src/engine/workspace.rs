@@ -251,6 +251,15 @@ impl WorkspaceGuard<'_> {
             pool: None,
         }
     }
+
+    /// Detaches the workspace from its pool so it drops instead of being
+    /// recycled. A band that bails out mid-run (cooperative cancellation)
+    /// leaves sweep-maintained buffers dirty — pending fibers undrained,
+    /// accumulators checked out — and discarding the arena is cheaper and
+    /// safer than unwinding every loop's cleanup by hand.
+    pub fn discard(&mut self) {
+        self.pool = None;
+    }
 }
 
 impl std::ops::Deref for WorkspaceGuard<'_> {
@@ -293,6 +302,19 @@ mod tests {
         assert_eq!(pool.idle(), 1);
         drop(g);
         assert_eq!(pool.idle(), 2);
+    }
+
+    #[test]
+    fn discarded_guard_never_returns_to_pool() {
+        let pool = WorkspacePool::new();
+        {
+            let mut g = pool.acquire();
+            g.pending.push(vec![Fiber::new()]); // dirty, as after a bail-out
+            g.discard();
+        }
+        assert_eq!(pool.idle(), 0, "discarded workspaces drop");
+        drop(pool.acquire());
+        assert_eq!(pool.idle(), 1);
     }
 
     #[test]

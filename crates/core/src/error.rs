@@ -20,6 +20,11 @@ pub enum CoreError {
         /// The requested dataflow.
         dataflow: Dataflow,
     },
+    /// The request's [`crate::CancelToken`] fired before execution
+    /// finished: the deadline passed (or the token was cancelled) and the
+    /// engine stopped at the next band/tile/merge-pass boundary. No
+    /// partial result is returned.
+    DeadlineExceeded,
 }
 
 impl std::fmt::Display for CoreError {
@@ -32,6 +37,9 @@ impl std::fmt::Display for CoreError {
                 dataflow,
             } => {
                 write!(f, "accelerator {accelerator} does not support {dataflow}")
+            }
+            Self::DeadlineExceeded => {
+                write!(f, "execution cancelled: deadline exceeded")
             }
         }
     }
@@ -79,6 +87,10 @@ mod tests {
         }
         .into();
         assert!(f.source().is_some());
+
+        let d = CoreError::DeadlineExceeded;
+        assert!(format!("{d}").contains("deadline"));
+        assert!(d.source().is_none());
     }
 
     #[test]

@@ -19,9 +19,13 @@
 //!   corrections, plus [`FormatChoice`]/[`FormatSelection`] for the
 //!   storage-format axis.
 //! * [`Accelerator::execute`] — the unified entry point: one
-//!   [`ExecutionRequest`] carries strategy, format and validation (the
-//!   former `run`/`run_strategy`/`try_run`/`try_run_strategy` grid
-//!   remains as thin deprecated wrappers).
+//!   [`ExecutionRequest`] carries strategy, format, validation and an
+//!   optional [`CancelToken`] deadline (the former
+//!   `run`/`run_strategy`/`try_run`/`try_run_strategy` grid remains as
+//!   thin deprecated wrappers).
+//! * [`CancelToken`] — cooperative cancellation, polled at band/tile/
+//!   merge-pass boundaries; unarmed tokens are result-transparent, armed
+//!   ones surface [`CoreError::DeadlineExceeded`].
 //!
 //! Every run is functionally exact: the returned output matrix is produced
 //! by actually executing the dataflow (stationary/streaming/merging phases
@@ -32,6 +36,7 @@
 #![warn(missing_debug_implementations)]
 
 mod accel;
+mod cancel;
 mod config;
 mod cpu;
 mod dataflow;
@@ -44,6 +49,7 @@ pub mod transitions;
 pub use accel::{
     Accelerator, Execution, ExecutionRequest, Flexagon, GammaLike, RunOutput, SigmaLike, SparchLike,
 };
+pub use cancel::CancelToken;
 pub use config::{AcceleratorConfig, EngineConfig, SimdMode};
 pub use cpu::{CpuConfig, CpuMkl};
 pub use dataflow::{Dataflow, DataflowClass, Stationarity};

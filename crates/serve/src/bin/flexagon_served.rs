@@ -8,12 +8,13 @@
 //! flexagon_served [--addr 127.0.0.1:7070 | --addr unix:/run/flexagon.sock]
 //!                 [--workers N] [--budget N] [--queue N] [--cache-mb N]
 //!                 [--timeout-ms N] [--grain NNZ] [--shard-workers N]
-//!                 [--faults panic=N,slow=N:MS,corrupt=N]
+//!                 [--faults panic=N,slow=N:MS,corrupt=N,stuck=N]
 //! ```
 //!
 //! `--faults` (or the `FLEXAGON_FAULTS` environment variable, flag wins)
 //! arms deterministic fault injection for chaos testing — see
-//! [`flexagon_serve::fault`].
+//! [`flexagon_serve::fault`]. `--timeout-ms` sets the default *end-to-end*
+//! deadline applied to requests that carry no `timeout_ms` of their own.
 
 #![deny(clippy::unwrap_used)]
 

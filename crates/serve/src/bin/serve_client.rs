@@ -6,23 +6,27 @@
 //! serve_client --addr ADDR shutdown
 //! serve_client --addr ADDR load [--clients N] [--requests N] [--dim N]
 //!              [--density F] [--tenant T] [--strategy S] [--format F]
-//!              [--seed N] [--ids] [--tolerate-errors]
+//!              [--seed N] [--timeout-ms MS] [--retries N] [--ids]
+//!              [--tolerate-errors]
 //! ```
 //!
 //! `load` fans `--clients` threads, each its own connection, each issuing
 //! `--requests` SpGEMM jobs over deterministic operands; with `--ids` all
 //! clients share cache identities so the operand cache reaches steady
 //! state. Prints aggregate p50/p99/mean latency and throughput; exits
-//! nonzero if any request failed. `--tolerate-errors` (for chaos runs
-//! against a fault-injecting daemon) counts typed error replies instead of
-//! aborting — connection-level failures still fail the run, because a
-//! healthy tenant's *connection* surviving is exactly what chaos tests
-//! assert.
+//! nonzero if any request failed. `--timeout-ms` sets each job's
+//! end-to-end deadline; `--retries N` allows N jittered-backoff retries
+//! of retryable typed errors (`queue_full`, `overloaded`, `timeout`) per
+//! request — keep it 0 when a chaos harness reconciles stats counters
+//! exactly. `--tolerate-errors` (for chaos runs against a fault-injecting
+//! daemon) counts typed error replies instead of aborting —
+//! connection-level failures still fail the run, because a healthy
+//! tenant's *connection* surviving is exactly what chaos tests assert.
 
 #![deny(clippy::unwrap_used)]
 
 use flexagon_serve::protocol::{RawValue, Request, Response, SpGemmRequest};
-use flexagon_serve::Client;
+use flexagon_serve::{Client, RetryPolicy};
 use flexagon_sparse::MajorOrder;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -36,6 +40,8 @@ struct LoadArgs {
     strategy: String,
     format: String,
     seed: u64,
+    timeout_ms: u64,
+    retries: u32,
     ids: bool,
     tolerate_errors: bool,
 }
@@ -51,6 +57,8 @@ impl Default for LoadArgs {
             strategy: "heuristic".to_owned(),
             format: "config".to_owned(),
             seed: 7,
+            timeout_ms: 60_000,
+            retries: 0,
             ids: false,
             tolerate_errors: false,
         }
@@ -61,7 +69,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: serve_client --addr ADDR (ping | shutdown | stats [--json PATH] | \
          load [--clients N] [--requests N] [--dim N] [--density F] [--tenant T] \
-         [--strategy S] [--format F] [--seed N] [--ids] [--tolerate-errors])"
+         [--strategy S] [--format F] [--seed N] [--timeout-ms MS] [--retries N] \
+         [--ids] [--tolerate-errors])"
     );
     std::process::exit(2);
 }
@@ -149,6 +158,8 @@ fn parse_load(rest: Vec<String>) -> LoadArgs {
             "--strategy" => la.strategy = value(),
             "--format" => la.format = value(),
             "--seed" => la.seed = value().parse().unwrap_or_else(|_| usage()),
+            "--timeout-ms" => la.timeout_ms = value().parse().unwrap_or_else(|_| usage()),
+            "--retries" => la.retries = value().parse().unwrap_or_else(|_| usage()),
             "--ids" => la.ids = true,
             "--tolerate-errors" => la.tolerate_errors = true,
             _ => usage(),
@@ -173,10 +184,12 @@ fn run_load(addr: &str, la: LoadArgs) {
             let tenant = la.tenant.clone();
             let (dim, density, seed, requests, ids) =
                 (la.dim, la.density, la.seed, la.requests, la.ids);
-            let tolerate = la.tolerate_errors;
+            let (timeout_ms, retries, tolerate) = (la.timeout_ms, la.retries, la.tolerate_errors);
             std::thread::spawn(move || -> Result<(Vec<u64>, u64), String> {
                 let mut client =
                     Client::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+                // Distinct jitter seed per client so retries decorrelate.
+                let mut retry = RetryPolicy::new(retries, seed ^ c as u64);
                 // With shared ids every client uses the same operand set
                 // (cache steady state); without, each client streams its
                 // own matrices (cold-path load).
@@ -198,10 +211,12 @@ fn run_load(addr: &str, la: LoadArgs) {
                         a_id: ids.then(|| format!("load-a-{seed}")),
                         b_id: ids.then(|| format!("load-b-{seed}")),
                         want_output: false,
-                        timeout_ms: Some(60_000),
+                        timeout_ms: Some(timeout_ms),
                     });
                     let t0 = Instant::now();
-                    let resp = client.request(&req).map_err(|e| format!("request: {e}"))?;
+                    let resp = client
+                        .request_with_retries(&req, &mut retry)
+                        .map_err(|e| format!("request: {e}"))?;
                     let us = u64::try_from(t0.elapsed().as_micros()).unwrap_or(u64::MAX);
                     match resp {
                         Response::Result(_) => latencies.push(us),

@@ -1,16 +1,44 @@
 //! A small blocking client for the frame protocol (used by the CLI bins,
 //! the benches and the tests; also the reference implementation for
 //! speaking the protocol from elsewhere).
+//!
+//! Two robustness layers ride on top of raw request/response:
+//!
+//! * **A client-side response deadline.** The daemon bounds its own reply
+//!   time (deadline cancellation plus a response-window backstop), but a
+//!   client must not trust that: [`Client::request`] gives up with a typed
+//!   [`std::io::ErrorKind::TimedOut`] once [`Client::response_deadline`]
+//!   passes. A response timeout poisons the connection — the daemon's
+//!   late reply frame would otherwise be read as the answer to the *next*
+//!   request — so reconnect before reusing the address.
+//! * **Jittered exponential-backoff retries.** [`Client::request_with_retries`]
+//!   re-issues requests that failed with a *retryable* typed error
+//!   (`queue_full`, `overloaded`, `timeout` — transient load conditions
+//!   the protocol invites a retry on) under a bounded [`RetryPolicy`];
+//!   `draining` and request-shaped errors (`bad_request` and friends) are
+//!   terminal and returned immediately. Typed errors leave the connection
+//!   usable, so retries reuse it.
 
 use crate::net::Stream;
 use crate::protocol::{
-    write_message, FrameEvent, FrameReader, Request, Response, DEFAULT_MAX_FRAME_BYTES,
+    write_message, ErrorCode, FrameEvent, FrameReader, Request, Response, DEFAULT_MAX_FRAME_BYTES,
 };
+use rand::{RngCore, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// How often the blocking read wakes to check the response deadline.
+const READ_POLL: Duration = Duration::from_millis(100);
+
+/// Default ceiling on one request's response time. Generous — above any
+/// server-side deadline backstop for default requests — so it only trips
+/// when the daemon is truly wedged.
+pub const DEFAULT_RESPONSE_DEADLINE: Duration = Duration::from_secs(120);
 
 /// One connection to a daemon, issuing requests synchronously.
 pub struct Client {
     stream: Stream,
     reader: FrameReader,
+    response_deadline: Duration,
 }
 
 impl Client {
@@ -20,10 +48,26 @@ impl Client {
     ///
     /// Propagates connect errors.
     pub fn connect(addr: &str) -> std::io::Result<Self> {
+        let stream = Stream::connect(addr)?;
+        // Periodic read timeouts let `request` observe its response
+        // deadline between partial frames instead of blocking forever.
+        stream.set_read_timeout(Some(READ_POLL))?;
         Ok(Self {
-            stream: Stream::connect(addr)?,
+            stream,
             reader: FrameReader::new(DEFAULT_MAX_FRAME_BYTES),
+            response_deadline: DEFAULT_RESPONSE_DEADLINE,
         })
+    }
+
+    /// Sets the per-request response deadline (default
+    /// [`DEFAULT_RESPONSE_DEADLINE`]).
+    pub fn set_response_deadline(&mut self, deadline: Duration) {
+        self.response_deadline = deadline.max(Duration::from_millis(1));
+    }
+
+    /// The per-request response deadline.
+    pub fn response_deadline(&self) -> Duration {
+        self.response_deadline
     }
 
     /// Sends one request and blocks for its response.
@@ -31,10 +75,13 @@ impl Client {
     /// # Errors
     ///
     /// I/O errors, an unexpectedly closed connection
-    /// ([`std::io::ErrorKind::UnexpectedEof`]), or an unparseable response
-    /// ([`std::io::ErrorKind::InvalidData`]).
+    /// ([`std::io::ErrorKind::UnexpectedEof`]), an unparseable response
+    /// ([`std::io::ErrorKind::InvalidData`]), or no response within the
+    /// client's response deadline ([`std::io::ErrorKind::TimedOut`] — the
+    /// connection must then be abandoned, see the module docs).
     pub fn request(&mut self, req: &Request) -> std::io::Result<Response> {
         write_message(&mut self.stream, req)?;
+        let deadline = Instant::now() + self.response_deadline;
         loop {
             match self.reader.read(&mut self.stream)? {
                 FrameEvent::Frame(payload) => {
@@ -45,7 +92,18 @@ impl Client {
                         std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string())
                     });
                 }
-                FrameEvent::Timeout => continue,
+                FrameEvent::Timeout => {
+                    if Instant::now() >= deadline {
+                        return Err(std::io::Error::new(
+                            std::io::ErrorKind::TimedOut,
+                            format!(
+                                "no response within the {} ms client deadline (connection is \
+                                 now unusable — reconnect)",
+                                self.response_deadline.as_millis()
+                            ),
+                        ));
+                    }
+                }
                 FrameEvent::Closed { .. } => {
                     return Err(std::io::Error::new(
                         std::io::ErrorKind::UnexpectedEof,
@@ -59,6 +117,114 @@ impl Client {
                     ))
                 }
             }
+        }
+    }
+
+    /// Sends a request, retrying retryable typed errors under `policy`
+    /// (see the module docs; the final attempt's response is returned
+    /// as-is, so callers still observe the error that exhausted the
+    /// budget).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Client::request`] — I/O-level failures are never retried,
+    /// because a missed response leaves the stream unusable.
+    pub fn request_with_retries(
+        &mut self,
+        req: &Request,
+        policy: &mut RetryPolicy,
+    ) -> std::io::Result<Response> {
+        let mut attempt = 0u32;
+        loop {
+            let resp = self.request(req)?;
+            match &resp {
+                Response::Error { code, .. } if code.is_retryable() && attempt < policy.retries => {
+                    std::thread::sleep(policy.backoff(attempt));
+                    attempt += 1;
+                }
+                _ => return Ok(resp),
+            }
+        }
+    }
+}
+
+impl ErrorCode {
+    /// Whether a typed error invites a retry: transient load conditions
+    /// (`queue_full`, `overloaded`, `timeout`) do; terminal answers
+    /// (`draining`, `bad_request`, engine failures, ...) do not.
+    pub fn is_retryable(self) -> bool {
+        matches!(self, Self::QueueFull | Self::Overloaded | Self::Timeout)
+    }
+}
+
+/// A bounded, jittered exponential-backoff retry budget.
+#[derive(Debug)]
+pub struct RetryPolicy {
+    /// Retries allowed after the first attempt (0 = never retry).
+    pub retries: u32,
+    /// Backoff before the first retry; doubles per retry.
+    pub base: Duration,
+    /// Backoff ceiling.
+    pub max: Duration,
+    jitter: rand_chacha::ChaCha8Rng,
+}
+
+impl RetryPolicy {
+    /// A policy allowing `retries` retries (50 ms base, 2 s cap), with
+    /// jitter decorrelated by `seed` (give concurrent clients distinct
+    /// seeds so their retries don't stampede in lockstep).
+    pub fn new(retries: u32, seed: u64) -> Self {
+        Self {
+            retries,
+            base: Duration::from_millis(50),
+            max: Duration::from_secs(2),
+            jitter: rand_chacha::ChaCha8Rng::seed_from_u64(seed),
+        }
+    }
+
+    /// The sleep before retry number `attempt` (0-based): full jitter over
+    /// an exponentially growing, capped window.
+    fn backoff(&mut self, attempt: u32) -> Duration {
+        let window = self
+            .base
+            .saturating_mul(2u32.saturating_pow(attempt))
+            .min(self.max);
+        let nanos = window.as_nanos() as u64;
+        if nanos == 0 {
+            return Duration::ZERO;
+        }
+        // Full jitter in [window/2, window): keeps some backoff while
+        // spreading concurrent retries apart.
+        let half = nanos / 2;
+        Duration::from_nanos(half + self.jitter.next_u64() % (nanos - half).max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retryable_codes_are_the_transient_ones() {
+        assert!(ErrorCode::QueueFull.is_retryable());
+        assert!(ErrorCode::Overloaded.is_retryable());
+        assert!(ErrorCode::Timeout.is_retryable());
+        assert!(!ErrorCode::Draining.is_retryable());
+        assert!(!ErrorCode::BadRequest.is_retryable());
+        assert!(!ErrorCode::Engine.is_retryable());
+    }
+
+    #[test]
+    fn backoff_grows_and_stays_in_window() {
+        let mut p = RetryPolicy::new(5, 42);
+        for attempt in 0..6 {
+            let window = p.base.saturating_mul(2u32.pow(attempt)).min(p.max);
+            let b = p.backoff(attempt);
+            assert!(
+                b >= window / 2,
+                "attempt {attempt}: {b:?} below half-window"
+            );
+            assert!(b < window, "attempt {attempt}: {b:?} above window");
         }
     }
 }

@@ -7,7 +7,7 @@
 //! reproduces identically across runs, which is what an assertion like
 //! "≥1 panic per 50 requests was injected *and survived*" needs.
 //!
-//! Three injection points:
+//! Four injection points:
 //!
 //! * **Worker panic** — [`FaultPlan::on_job`] tells the scheduler worker
 //!   to panic inside its `catch_unwind` region, exercising the rebuild
@@ -18,11 +18,17 @@
 //!   of an inbound payload with `0xFF` (never valid UTF-8, so corruption
 //!   deterministically yields a typed `bad_request` error rather than a
 //!   silently altered request).
+//! * **Stuck job** — `stuck=N` wedges every Nth job: the worker spins in
+//!   place of executing it and only returns when the job's cancellation
+//!   token fires. Without end-to-end deadlines a stuck job would hold its
+//!   worker hostage forever; the chaos tests use it to prove a wedged
+//!   worker is reclaimed within one deadline.
 //!
 //! The plan is configured from a spec string — `--faults` flag or the
 //! `FLEXAGON_FAULTS` environment variable — of comma-separated knobs:
 //! `panic=N` (every Nth job panics), `slow=N:MS` (every Nth job sleeps
-//! MS milliseconds), `corrupt=N` (every Nth data frame is corrupted).
+//! MS milliseconds), `corrupt=N` (every Nth data frame is corrupted),
+//! `stuck=N` (every Nth job wedges until cancelled).
 //! Example: `panic=50,slow=50:20,corrupt=50`.
 
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -39,12 +45,18 @@ pub struct FaultSpec {
     pub slow_ms: u64,
     /// Every `corrupt_every`-th inbound frame is corrupted (0 = never).
     pub corrupt_every: u64,
+    /// Every `stuck_every`-th job wedges — it never finishes unless its
+    /// cancellation token fires (0 = never).
+    pub stuck_every: u64,
 }
 
 impl FaultSpec {
     /// Whether any fault is configured.
     pub fn is_empty(&self) -> bool {
-        self.panic_every == 0 && self.slow_every == 0 && self.corrupt_every == 0
+        self.panic_every == 0
+            && self.slow_every == 0
+            && self.corrupt_every == 0
+            && self.stuck_every == 0
     }
 
     /// Parses a spec string (`panic=N,slow=N:MS,corrupt=N`; empty string →
@@ -73,6 +85,7 @@ impl FaultSpec {
                     spec.slow_ms = parse_u64(ms)?;
                 }
                 "corrupt" => spec.corrupt_every = parse_u64(value)?,
+                "stuck" => spec.stuck_every = parse_u64(value)?,
                 other => return Err(format!("unknown fault knob '{other}'")),
             }
         }
@@ -87,6 +100,9 @@ pub struct JobFault {
     pub panic: bool,
     /// Sleep this long before executing (deadline pressure).
     pub delay: Option<Duration>,
+    /// The worker must wedge on this job: spin instead of executing, and
+    /// return only when the job's cancellation token fires.
+    pub stuck: bool,
 }
 
 /// How many faults a plan has actually injected — what a chaos test
@@ -99,6 +115,8 @@ pub struct InjectionCounts {
     pub slow_jobs: u64,
     /// Inbound frames corrupted.
     pub corrupted_frames: u64,
+    /// Jobs wedged until their cancellation token fired.
+    pub stuck_jobs: u64,
 }
 
 /// A live fault-injection plan: the spec plus the counters that drive it.
@@ -115,6 +133,7 @@ pub struct FaultPlan {
     panics: AtomicU64,
     slow_jobs: AtomicU64,
     corrupted_frames: AtomicU64,
+    stuck_jobs: AtomicU64,
 }
 
 impl FaultPlan {
@@ -133,6 +152,7 @@ impl FaultPlan {
             panics: AtomicU64::new(0),
             slow_jobs: AtomicU64::new(0),
             corrupted_frames: AtomicU64::new(0),
+            stuck_jobs: AtomicU64::new(0),
         }
     }
 
@@ -171,12 +191,16 @@ impl FaultPlan {
             panic: self.spec.panic_every != 0 && n.is_multiple_of(self.spec.panic_every),
             delay: (self.spec.slow_every != 0 && n.is_multiple_of(self.spec.slow_every))
                 .then(|| Duration::from_millis(self.spec.slow_ms)),
+            stuck: self.spec.stuck_every != 0 && n.is_multiple_of(self.spec.stuck_every),
         };
         if fault.panic {
             self.panics.fetch_add(1, Ordering::Relaxed);
         }
         if fault.delay.is_some() {
             self.slow_jobs.fetch_add(1, Ordering::Relaxed);
+        }
+        if fault.stuck {
+            self.stuck_jobs.fetch_add(1, Ordering::Relaxed);
         }
         fault
     }
@@ -187,6 +211,7 @@ impl FaultPlan {
             panics: self.panics.load(Ordering::Relaxed),
             slow_jobs: self.slow_jobs.load(Ordering::Relaxed),
             corrupted_frames: self.corrupted_frames.load(Ordering::Relaxed),
+            stuck_jobs: self.stuck_jobs.load(Ordering::Relaxed),
         }
     }
 
@@ -218,7 +243,7 @@ mod tests {
 
     #[test]
     fn parse_full_spec() {
-        let s = FaultSpec::parse("panic=50, slow=25:20, corrupt=10").unwrap();
+        let s = FaultSpec::parse("panic=50, slow=25:20, corrupt=10, stuck=40").unwrap();
         assert_eq!(
             s,
             FaultSpec {
@@ -226,6 +251,7 @@ mod tests {
                 slow_every: 25,
                 slow_ms: 20,
                 corrupt_every: 10,
+                stuck_every: 40,
             }
         );
         assert!(!s.is_empty());
@@ -254,12 +280,14 @@ mod tests {
 
     #[test]
     fn every_nth_job_faults_exactly() {
-        let plan = FaultPlan::new(FaultSpec::parse("panic=3,slow=2:7").unwrap());
+        let plan = FaultPlan::new(FaultSpec::parse("panic=3,slow=2:7,stuck=5").unwrap());
         let faults: Vec<JobFault> = (0..6).map(|_| plan.on_job()).collect();
         let panics: Vec<bool> = faults.iter().map(|f| f.panic).collect();
         assert_eq!(panics, [false, false, true, false, false, true]);
         let delays: Vec<bool> = faults.iter().map(|f| f.delay.is_some()).collect();
         assert_eq!(delays, [false, true, false, true, false, true]);
+        let stuck: Vec<bool> = faults.iter().map(|f| f.stuck).collect();
+        assert_eq!(stuck, [false, false, false, false, true, false]);
         assert_eq!(faults[1].delay, Some(Duration::from_millis(7)));
         assert_eq!(
             plan.injected(),
@@ -267,6 +295,7 @@ mod tests {
                 panics: 2,
                 slow_jobs: 3,
                 corrupted_frames: 0,
+                stuck_jobs: 1,
             }
         );
     }

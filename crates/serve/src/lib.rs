@@ -11,18 +11,25 @@
 //! * [`scheduler`] — bounded queue + worker pool; per-job intra-layer
 //!   shard workers are clamped under the bench runner's
 //!   `intra_layer_worker_budget` so the two parallelism levels compose
-//!   without oversubscription. Scheduling never changes a bit of any
-//!   result: served output is byte-identical to a direct
+//!   without oversubscription. `timeout_ms` is an end-to-end deadline:
+//!   queued-and-late jobs are rejected, executing-and-late jobs are
+//!   cooperatively cancelled through the engine's `CancelToken`, and an
+//!   admission controller sheds deadline-infeasible jobs (`overloaded`)
+//!   using the calibrated mapper cost model; sustained overload degrades
+//!   worker budgets before shedding. Scheduling never changes a bit of
+//!   any result: served output is byte-identical to a direct
 //!   `engine::execute` of the same (operands, config).
 //! * [`cache`] — cross-request operand cache (client-named identities,
 //!   fingerprint-guarded, LRU byte budget) sharing one allocation and one
 //!   memoized transpose plan across jobs.
 //! * [`stats`] — per-tenant p50/p99 latency, throughput and outcome
 //!   counters, served by the `stats` request.
-//! * [`client`] — a small blocking client (also used by the load bins).
+//! * [`client`] — a small blocking client (also used by the load bins)
+//!   with a client-side response deadline and jittered-backoff retries
+//!   honoring the typed error codes.
 //! * [`fault`] — deterministic fault injection (worker panics, slow jobs,
-//!   corrupted frames) for chaos testing; compiled in always, one relaxed
-//!   atomic load per job/frame when no plan is armed.
+//!   corrupted frames, stuck jobs) for chaos testing; compiled in always,
+//!   one relaxed atomic load per job/frame when no plan is armed.
 //!
 //! Robustness posture: workers run jobs under `catch_unwind`, so a
 //! panicking job poisons only its own request ([`scheduler`]); every lock
@@ -46,5 +53,5 @@ pub mod scheduler;
 pub mod server;
 pub mod stats;
 
-pub use client::Client;
+pub use client::{Client, RetryPolicy};
 pub use server::{ServeConfig, Server};

@@ -59,7 +59,14 @@ pub enum ErrorCode {
     UnknownModel,
     /// The job queue is at capacity — back off and retry.
     QueueFull,
-    /// The job's deadline passed before a worker could start it.
+    /// Admission control judged the job infeasible: its estimated cost
+    /// cannot fit inside its deadline at current load. Distinct from
+    /// [`ErrorCode::QueueFull`] (the queue has room, the *deadline*
+    /// doesn't) — retrying with a longer deadline may succeed; retrying
+    /// with the same one will not until load falls.
+    Overloaded,
+    /// The job's end-to-end deadline passed — before a worker could start
+    /// it, or mid-execution (the engine was cooperatively cancelled).
     Timeout,
     /// The daemon is draining: in-flight jobs finish, new work is refused.
     Draining,
@@ -78,6 +85,7 @@ impl ErrorCode {
             Self::InvalidOperand => "invalid_operand",
             Self::UnknownModel => "unknown_model",
             Self::QueueFull => "queue_full",
+            Self::Overloaded => "overloaded",
             Self::Timeout => "timeout",
             Self::Draining => "draining",
             Self::Engine => "engine",
@@ -93,6 +101,7 @@ impl ErrorCode {
             "invalid_operand" => Self::InvalidOperand,
             "unknown_model" => Self::UnknownModel,
             "queue_full" => Self::QueueFull,
+            "overloaded" => Self::Overloaded,
             "timeout" => Self::Timeout,
             "draining" => Self::Draining,
             "engine" => Self::Engine,
@@ -131,9 +140,14 @@ pub struct SpGemmRequest {
     /// Return the full output matrix C (default `false`: the response
     /// carries only its digest, sparing the downlink on large outputs).
     pub want_output: bool,
-    /// Queue-wait deadline in milliseconds; a job not *started* within it
-    /// is rejected with [`ErrorCode::Timeout`]. `None` uses the daemon's
-    /// default. In-flight jobs always run to completion.
+    /// End-to-end deadline in milliseconds, covering queue wait *and*
+    /// execution. A job not started within it is rejected with
+    /// [`ErrorCode::Timeout`]; one still executing when it passes is
+    /// cooperatively cancelled at the engine's next band/tile/merge
+    /// boundary and replies `timeout` too. Admission control may reject a
+    /// deadline the cost model judges infeasible with
+    /// [`ErrorCode::Overloaded`] before queueing. `None` uses the
+    /// daemon's default.
     pub timeout_ms: Option<u64>,
 }
 
@@ -168,7 +182,11 @@ pub struct ModelRequest {
     pub format: FormatChoice,
     /// Workload materialization seed (default [`flexagon_bench::runner::DEFAULT_SEED`]).
     pub seed: u64,
-    /// Queue-wait deadline in milliseconds (see [`SpGemmRequest::timeout_ms`]).
+    /// Deadline in milliseconds. Model jobs honor it at queue-pop (a job
+    /// not started in time replies `timeout`) but run to completion once
+    /// started — the bench runner has no cancellation path; only SpGEMM
+    /// jobs are cancelled mid-execution (see
+    /// [`SpGemmRequest::timeout_ms`]).
     pub timeout_ms: Option<u64>,
 }
 

@@ -15,10 +15,28 @@
 //! served job is byte-identical to a direct `engine::execute` of the same
 //! (operands, config) regardless of scheduling order or pool pressure.
 //!
-//! Degradation is explicit: a full queue rejects with `queue_full`
-//! (backpressure), a job whose deadline passes while queued is answered
-//! `timeout` without running, and a draining scheduler answers `draining`.
-//! In-flight jobs always finish — drain never aborts work.
+//! Degradation is explicit and layered. A full queue rejects with
+//! `queue_full` (backpressure). An admission controller prices every
+//! SpGEMM at enqueue with the calibrated mapper cost model: once the
+//! scheduler has observed real executions (an EWMA of nanoseconds per
+//! estimated cycle), a job whose estimated cost cannot fit inside its
+//! remaining deadline is shed immediately with `overloaded` — a typed
+//! "this deadline is infeasible", distinct from `queue_full`'s "no room".
+//! Under sustained overload — queue depth crossing a high watermark —
+//! the scheduler *degrades before it sheds*: workers clamp their
+//! intra-layer shard budget to one thread and downgrade `oracle` jobs to
+//! the heuristic's single cheapest mapping, trading per-job latency for
+//! pool throughput until depth falls below the low watermark.
+//!
+//! Deadlines are end-to-end: a job whose deadline passes while queued is
+//! answered `timeout` without running, and a job still executing at its
+//! deadline is cooperatively cancelled — the scheduler hands each worker
+//! the job's [`CancelToken`], the engine stops at its next band/tile/merge
+//! boundary, and the client receives the same typed `timeout`. Neither
+//! cancellation nor degradation can change a result: an unarmed token is
+//! result-transparent, and degraded jobs only narrow worker counts and
+//! strategy choices, never the band decomposition. Drain never aborts
+//! in-flight work (only a fired deadline does).
 
 use crate::cache::OperandCache;
 use crate::fault::FaultPlan;
@@ -28,20 +46,27 @@ use crate::protocol::{
 };
 use crate::stats::{Outcome, StatsRegistry};
 use flexagon_bench::runner::{self, intra_layer_worker_budget, RunOptions};
+use flexagon_core::mapper::CostEstimates;
 use flexagon_core::{
-    Accelerator, AcceleratorConfig, EngineConfig, ExecutionRequest, Flexagon, FormatChoice,
-    MappingStrategy,
+    Accelerator, AcceleratorConfig, CancelToken, CoreError, EngineConfig, ExecutionRequest,
+    Flexagon, FormatChoice, MappingStrategy,
 };
 use flexagon_dnn::DnnModel;
 use flexagon_sparse::{validate_matrix, CompressedMatrix, ValidationConfig};
 use serde::Serialize;
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// EWMA weight of the newest cost observation (see [`Shared::observe_cost`]).
+const COST_EWMA_ALPHA: f64 = 0.2;
+
+/// How often a wedged (stuck-fault) worker polls its job's cancel token.
+const STUCK_POLL: Duration = Duration::from_millis(1);
 
 /// What a queued job computes.
 #[derive(Debug)]
@@ -83,8 +108,18 @@ pub struct Job {
     pub kind: JobKind,
     /// When the job entered the queue.
     pub enqueued: Instant,
-    /// Queue-wait deadline: not started by then → `timeout` reply.
+    /// End-to-end deadline: not started by then → `timeout` reply; still
+    /// executing past it → cooperative cancellation, same reply.
     pub deadline: Instant,
+    /// Cancellation token the worker threads the engine with. Arm it with
+    /// the same instant as `deadline` so queue-expiry and mid-execution
+    /// cancellation agree; an unarmed token disables mid-execution
+    /// cancellation (and admission control) for this job.
+    pub cancel: CancelToken,
+    /// Calibrated-cost estimate in engine cycles, filled in by
+    /// [`Scheduler::submit`] for SpGEMM jobs (admission control and the
+    /// cost-rate EWMA). Constructors pass `None`.
+    pub est_cycles: Option<u64>,
     /// Where the worker sends the response.
     pub reply: mpsc::Sender<Response>,
 }
@@ -100,6 +135,52 @@ struct Shared {
     engine: EngineConfig,
     stats: Arc<StatsRegistry>,
     faults: Arc<FaultPlan>,
+    /// Deepest the queue has ever been (a gauge for the stats response).
+    queue_high_water: AtomicUsize,
+    /// Overload mode: set when queue depth crosses `hi_watermark`, cleared
+    /// when it falls back under `lo_watermark`. Workers read it per job.
+    degraded: AtomicBool,
+    /// Queue depth that enters degraded mode (3/4 of capacity).
+    hi_watermark: usize,
+    /// Queue depth that leaves degraded mode (1/4 of capacity).
+    lo_watermark: usize,
+    /// Observed nanoseconds per estimated engine cycle, as `f64` bits — the
+    /// EWMA that converts the mapper's cycle estimates into wall-clock for
+    /// admission control. Zero until the first completed SpGEMM.
+    ns_per_cycle_bits: AtomicU64,
+}
+
+impl Shared {
+    fn ns_per_cycle(&self) -> f64 {
+        f64::from_bits(self.ns_per_cycle_bits.load(Ordering::Relaxed))
+    }
+
+    /// Folds one completed SpGEMM into the cost-rate EWMA. The
+    /// read-modify-write is not atomic across workers; a lost update only
+    /// skews the average by one sample, which an EWMA absorbs anyway.
+    fn observe_cost(&self, est_cycles: u64, exec: Duration) {
+        if est_cycles == 0 {
+            return;
+        }
+        let observed = exec.as_nanos() as f64 / est_cycles as f64;
+        let prev = self.ns_per_cycle();
+        let next = if prev == 0.0 {
+            observed
+        } else {
+            (1.0 - COST_EWMA_ALPHA) * prev + COST_EWMA_ALPHA * observed
+        };
+        self.ns_per_cycle_bits
+            .store(next.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Records a post-push queue depth: bumps the high-water gauge and
+    /// enters degraded mode at the high watermark.
+    fn note_queue_depth(&self, depth: usize) {
+        self.queue_high_water.fetch_max(depth, Ordering::Relaxed);
+        if depth >= self.hi_watermark {
+            self.degraded.store(true, Ordering::Relaxed);
+        }
+    }
 }
 
 /// The scheduler handle owned by the server.
@@ -122,10 +203,11 @@ impl Scheduler {
         stats: Arc<StatsRegistry>,
         faults: Arc<FaultPlan>,
     ) -> Self {
+        let capacity = queue_capacity.max(1);
         let shared = Arc::new(Shared {
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
-            capacity: queue_capacity.max(1),
+            capacity,
             draining: AtomicBool::new(false),
             stop: AtomicBool::new(false),
             in_flight: AtomicUsize::new(0),
@@ -133,6 +215,11 @@ impl Scheduler {
             engine,
             stats,
             faults,
+            queue_high_water: AtomicUsize::new(0),
+            degraded: AtomicBool::new(false),
+            hi_watermark: (capacity * 3 / 4).max(1),
+            lo_watermark: capacity / 4,
+            ns_per_cycle_bits: AtomicU64::new(0),
         });
         let handles = (0..workers.max(1))
             .map(|i| {
@@ -149,24 +236,42 @@ impl Scheduler {
         }
     }
 
-    /// Enqueues a job, applying backpressure and drain rejection.
+    /// Enqueues a job, applying admission control, backpressure, and drain
+    /// rejection.
     ///
     /// # Errors
     ///
-    /// `queue_full` when the queue is at capacity, `draining` once a drain
-    /// began; the job is returned (boxed, to keep the `Err` variant small)
-    /// so the caller can answer its reply channel (the error carries no
-    /// channel of its own).
+    /// `overloaded` when the calibrated cost model prices the job's SpGEMM
+    /// beyond its remaining deadline (only once a cost rate has been
+    /// observed or seeded), `queue_full` when the queue is at capacity,
+    /// `draining` once a drain began; the job is returned (boxed, to keep
+    /// the `Err` variant small) so the caller can answer its reply channel
+    /// (the error carries no channel of its own).
     pub fn submit(&self, job: Job) -> Result<(), (Box<Job>, ErrorCode)> {
         if self.shared.draining.load(Ordering::SeqCst) {
             return Err((Box::new(job), ErrorCode::Draining));
+        }
+        let mut job = job;
+        if let JobKind::SpGemm { a, b, strategy, .. } = &job.kind {
+            job.est_cycles = Some(estimate_cycles(&self.shared.engine, a, b, *strategy));
+        }
+        // Admission control: once real executions have calibrated the
+        // cycles→wall-clock rate, a job that cannot finish inside its
+        // deadline is shed now rather than queued to time out later.
+        if let (Some(est), Some(remaining)) = (job.est_cycles, job.cancel.remaining()) {
+            let rate = self.shared.ns_per_cycle();
+            if rate > 0.0 && est as f64 * rate > remaining.as_nanos() as f64 {
+                return Err((Box::new(job), ErrorCode::Overloaded));
+            }
         }
         let mut queue = lock_recover(&self.shared.queue);
         if queue.len() >= self.shared.capacity {
             return Err((Box::new(job), ErrorCode::QueueFull));
         }
         queue.push_back(job);
+        let depth = queue.len();
         drop(queue);
+        self.shared.note_queue_depth(depth);
         self.shared.available.notify_one();
         Ok(())
     }
@@ -179,6 +284,25 @@ impl Scheduler {
     /// Jobs currently executing.
     pub fn in_flight(&self) -> usize {
         self.shared.in_flight.load(Ordering::SeqCst)
+    }
+
+    /// Deepest the queue has ever been.
+    pub fn queue_depth_high_water(&self) -> usize {
+        self.shared.queue_high_water.load(Ordering::Relaxed)
+    }
+
+    /// Whether the scheduler is in degraded (overload) mode.
+    pub fn degraded(&self) -> bool {
+        self.shared.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Seeds the admission controller's cost rate (observed nanoseconds
+    /// per estimated engine cycle) before any traffic has calibrated it.
+    /// The EWMA keeps learning from completed jobs afterwards.
+    pub fn seed_cost_rate(&self, ns_per_cycle: f64) {
+        self.shared
+            .ns_per_cycle_bits
+            .store(ns_per_cycle.max(0.0).to_bits(), Ordering::Relaxed);
     }
 
     /// Begins a graceful drain: new submissions and everything still queued
@@ -225,6 +349,11 @@ fn worker_loop(shared: &Shared) {
             let mut queue = lock_recover(&shared.queue);
             loop {
                 if let Some(job) = queue.pop_front() {
+                    // Leaving overload: once depth falls to the low
+                    // watermark, jobs get their full budgets back.
+                    if queue.len() <= shared.lo_watermark {
+                        shared.degraded.store(false, Ordering::Relaxed);
+                    }
                     break Some(job);
                 }
                 if shared.stop.load(Ordering::SeqCst) {
@@ -237,7 +366,7 @@ fn worker_loop(shared: &Shared) {
         let Some(job) = job else { return };
         let started = Instant::now();
         let queue_us = duration_us(started.duration_since(job.enqueued));
-        if started > job.deadline {
+        if started > job.deadline || job.cancel.is_cancelled() {
             shared
                 .stats
                 .record(&job.tenant, Outcome::TimedOut, queue_us, 0);
@@ -254,7 +383,32 @@ fn worker_loop(shared: &Shared) {
             std::thread::sleep(delay);
         }
         let running = shared.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
-        let budget = intra_layer_worker_budget(shared.worker_budget, running);
+        if fault.stuck {
+            // Injected wedge: the worker holds the job "executing" and only
+            // the job's cancel token (or daemon stop) reclaims it — the
+            // chaos proof that a deadline frees a hostage worker.
+            while !job.cancel.is_cancelled() && !shared.stop.load(Ordering::SeqCst) {
+                std::thread::sleep(STUCK_POLL);
+            }
+            shared.in_flight.fetch_sub(1, Ordering::SeqCst);
+            let exec_us = duration_us(started.elapsed());
+            shared
+                .stats
+                .record(&job.tenant, Outcome::Cancelled, queue_us, exec_us);
+            let _ = job.reply.send(Response::Error {
+                code: ErrorCode::Timeout,
+                detail: format!("job wedged (injected fault), reclaimed after {exec_us} us by deadline cancellation"),
+            });
+            continue;
+        }
+        let degraded = shared.degraded.load(Ordering::Relaxed);
+        let budget = if degraded {
+            // Overload: every job runs single-threaded so the pool drains
+            // the queue instead of oversubscribing cores.
+            1
+        } else {
+            intra_layer_worker_budget(shared.worker_budget, running)
+        };
         let eff_workers = shared.engine.shard_workers.min(budget).max(1);
         let mut engine = shared.engine;
         engine.shard_workers = eff_workers;
@@ -268,12 +422,22 @@ fn worker_loop(shared: &Shared) {
         // the worker thread alive; `AssertUnwindSafe` is sound because
         // everything the closure touches is discarded on the Err arm
         // (`accels` is cleared below, the job's kind is consumed).
-        let kind = job.kind;
+        let mut kind = job.kind;
+        if degraded {
+            // Overload: the oracle's six-dataflow sweep costs ~6× a single
+            // mapped run; force the heuristic's cheapest single mapping.
+            if let JobKind::SpGemm { strategy, .. } = &mut kind {
+                if *strategy == MappingStrategy::Oracle {
+                    *strategy = MappingStrategy::Heuristic;
+                }
+            }
+        }
+        let cancel = job.cancel.clone();
         let caught = catch_unwind(AssertUnwindSafe(|| {
             if fault.panic {
                 panic!("injected worker panic (fault plan)");
             }
-            execute(accel, &engine, kind)
+            execute(accel, &engine, kind, &cancel)
         }));
         shared.in_flight.fetch_sub(1, Ordering::SeqCst);
         let exec_us = duration_us(started.elapsed());
@@ -291,9 +455,21 @@ fn worker_loop(shared: &Shared) {
             }
         };
         let outcome = match &response {
+            // A timeout reply from execution means the engine was
+            // cooperatively cancelled mid-flight (queue expiry replied
+            // above, before running).
+            Response::Error {
+                code: ErrorCode::Timeout,
+                ..
+            } => Outcome::Cancelled,
             Response::Error { .. } => Outcome::Failed,
             _ => Outcome::Completed,
         };
+        if outcome == Outcome::Completed {
+            if let Some(est) = job.est_cycles {
+                shared.observe_cost(est, started.elapsed());
+            }
+        }
         shared.stats.record(&job.tenant, outcome, queue_us, exec_us);
         let response = stamp_timing(response, queue_us, exec_us);
         let _ = job.reply.send(response);
@@ -312,8 +488,37 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> &str {
     }
 }
 
+/// Estimates a SpGEMM's engine cycles under `strategy` with the calibrated
+/// mapper cost model: the cheapest class for a single mapped run, the sum
+/// over all classes (×2 for the M/N variants) for the oracle's sweep.
+fn estimate_cycles(
+    engine: &EngineConfig,
+    a: &CompressedMatrix,
+    b: &CompressedMatrix,
+    strategy: MappingStrategy,
+) -> u64 {
+    let mut cfg = AcceleratorConfig::table5();
+    cfg.engine = *engine;
+    let est = CostEstimates::of(&cfg, a, b);
+    let cycles = match strategy {
+        MappingStrategy::Heuristic => est.inner_product.min(est.outer_product).min(est.gustavson),
+        MappingStrategy::Fixed(df) => est.of_class(df.class()),
+        MappingStrategy::Oracle => 2.0 * (est.inner_product + est.outer_product + est.gustavson),
+    };
+    if cycles.is_finite() && cycles > 0.0 {
+        cycles as u64
+    } else {
+        0
+    }
+}
+
 /// Runs the job body; timing fields are stamped by the caller.
-fn execute(accel: &Flexagon, engine: &EngineConfig, kind: JobKind) -> Response {
+fn execute(
+    accel: &Flexagon,
+    engine: &EngineConfig,
+    kind: JobKind,
+    cancel: &CancelToken,
+) -> Response {
     match kind {
         JobKind::SpGemm {
             a,
@@ -325,7 +530,8 @@ fn execute(accel: &Flexagon, engine: &EngineConfig, kind: JobKind) -> Response {
             let req = ExecutionRequest::new(&a, &b)
                 .strategy(strategy)
                 .format_choice(format)
-                .validated(ValidationConfig::permissive());
+                .validated(ValidationConfig::permissive())
+                .cancel_token(cancel.clone());
             match accel.execute(req) {
                 Ok(ex) => {
                     let out = ex.output;
@@ -338,6 +544,12 @@ fn execute(accel: &Flexagon, engine: &EngineConfig, kind: JobKind) -> Response {
                         exec_us: 0,
                     })
                 }
+                Err(CoreError::DeadlineExceeded) => Response::Error {
+                    code: ErrorCode::Timeout,
+                    detail: "deadline passed mid-execution; engine cancelled at a band/tile \
+                             boundary"
+                        .to_owned(),
+                },
                 Err(e) => Response::Error {
                     code: ErrorCode::Engine,
                     detail: e.to_string(),
@@ -443,7 +655,12 @@ mod tests {
         flexagon_sparse::gen::random(24, 24, 0.35, MajorOrder::Row, &mut rng)
     }
 
-    fn spgemm_job(tenant: &str, reply: mpsc::Sender<Response>) -> Job {
+    fn spgemm_job_with_deadline(
+        tenant: &str,
+        budget: Duration,
+        reply: mpsc::Sender<Response>,
+    ) -> Job {
+        let deadline = Instant::now() + budget;
         Job {
             tenant: tenant.to_owned(),
             kind: JobKind::SpGemm {
@@ -454,9 +671,15 @@ mod tests {
                 want_output: false,
             },
             enqueued: Instant::now(),
-            deadline: Instant::now() + Duration::from_secs(30),
+            deadline,
+            cancel: CancelToken::with_deadline(deadline),
+            est_cycles: None,
             reply,
         }
+    }
+
+    fn spgemm_job(tenant: &str, reply: mpsc::Sender<Response>) -> Job {
+        spgemm_job_with_deadline(tenant, Duration::from_secs(30), reply)
     }
 
     #[test]
@@ -554,6 +777,155 @@ mod tests {
                 }
             ),
             "got {resp:?}"
+        );
+        sched.shutdown();
+    }
+
+    #[test]
+    fn stuck_job_is_reclaimed_within_twice_its_deadline() {
+        let stats = Arc::new(StatsRegistry::new());
+        // Every job wedges; only the cancel token can free the worker.
+        let faults = Arc::new(FaultPlan::new(
+            crate::fault::FaultSpec::parse("stuck=1").unwrap(),
+        ));
+        let sched = Scheduler::start(1, 1, 8, EngineConfig::default(), Arc::clone(&stats), faults);
+        let deadline = Duration::from_millis(100);
+        let (tx, rx) = mpsc::channel();
+        let submitted = Instant::now();
+        sched
+            .submit(spgemm_job_with_deadline("t", deadline, tx))
+            .unwrap();
+        // The typed timeout must arrive within 2× the deadline — the wedged
+        // worker is reclaimed by cancellation, not by finishing.
+        let resp = rx
+            .recv_timeout(deadline * 2)
+            .expect("reply within 2x deadline");
+        assert!(
+            submitted.elapsed() >= deadline,
+            "a stuck job cannot finish before its deadline"
+        );
+        assert!(
+            matches!(
+                &resp,
+                Response::Error {
+                    code: ErrorCode::Timeout,
+                    detail,
+                } if detail.contains("wedged")
+            ),
+            "got {resp:?}"
+        );
+        // Worker reclaimed: in-flight returns to zero promptly.
+        let freed = Instant::now();
+        while sched.in_flight() != 0 {
+            assert!(
+                freed.elapsed() < Duration::from_secs(5),
+                "in_flight never returned to 0"
+            );
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        sched.shutdown();
+    }
+
+    #[test]
+    fn mid_execution_deadline_cancels_the_engine() {
+        let stats = Arc::new(StatsRegistry::new());
+        // Every job sleeps 60 ms before executing: a 20 ms deadline is
+        // alive at pickup but fires during execution, so the reply must
+        // come from the engine's cooperative cancellation path.
+        let faults = Arc::new(FaultPlan::new(
+            crate::fault::FaultSpec::parse("slow=1:60").unwrap(),
+        ));
+        let sched = Scheduler::start(1, 1, 8, EngineConfig::default(), Arc::clone(&stats), faults);
+        let (tx, rx) = mpsc::channel();
+        sched
+            .submit(spgemm_job_with_deadline("t", Duration::from_millis(20), tx))
+            .unwrap();
+        let resp = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert!(
+            matches!(
+                &resp,
+                Response::Error {
+                    code: ErrorCode::Timeout,
+                    detail,
+                } if detail.contains("mid-execution")
+            ),
+            "got {resp:?}"
+        );
+        sched.shutdown();
+    }
+
+    #[test]
+    fn admission_control_sheds_infeasible_deadlines() {
+        let stats = Arc::new(StatsRegistry::new());
+        let sched = Scheduler::start(
+            1,
+            1,
+            8,
+            EngineConfig::default(),
+            Arc::clone(&stats),
+            Arc::new(FaultPlan::none()),
+        );
+        // With no observed rate, everything is admitted.
+        let (tx, rx) = mpsc::channel();
+        sched
+            .submit(spgemm_job_with_deadline("t", Duration::from_millis(50), tx))
+            .unwrap();
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_secs(30)).unwrap(),
+            Response::Result(_)
+                | Response::Error {
+                    code: ErrorCode::Timeout,
+                    ..
+                }
+        ));
+        // Seed an absurd rate (1 ms per estimated cycle): no realistic
+        // deadline is feasible, so admission must shed with `overloaded`.
+        sched.seed_cost_rate(1_000_000.0);
+        let (tx, rx) = mpsc::channel();
+        let err = sched
+            .submit(spgemm_job_with_deadline("t", Duration::from_millis(50), tx))
+            .unwrap_err();
+        assert_eq!(err.1, ErrorCode::Overloaded);
+        drop(err);
+        assert!(rx.try_recv().is_err(), "shed submit sends no reply");
+        // An unarmed token opts out of admission control entirely.
+        let (tx, rx) = mpsc::channel();
+        let mut job = spgemm_job("t", tx);
+        job.cancel = CancelToken::never();
+        sched.submit(job).unwrap();
+        assert!(matches!(
+            rx.recv_timeout(Duration::from_secs(30)).unwrap(),
+            Response::Result(_)
+        ));
+        sched.shutdown();
+    }
+
+    #[test]
+    fn overload_watermarks_enter_and_leave_degraded_mode() {
+        let stats = Arc::new(StatsRegistry::new());
+        // Every job sleeps 30 ms, so eight rapid submits pile the queue
+        // past the high watermark (capacity 8 → hi 6) behind one worker.
+        let faults = Arc::new(FaultPlan::new(
+            crate::fault::FaultSpec::parse("slow=1:30").unwrap(),
+        ));
+        let sched = Scheduler::start(1, 1, 8, EngineConfig::default(), Arc::clone(&stats), faults);
+        let mut replies = Vec::new();
+        for _ in 0..8 {
+            let (tx, rx) = mpsc::channel();
+            sched.submit(spgemm_job("t", tx)).unwrap();
+            replies.push(rx);
+        }
+        assert!(sched.degraded(), "queue past hi watermark → degraded");
+        assert!(sched.queue_depth_high_water() >= 6);
+        for rx in replies {
+            assert!(matches!(
+                rx.recv_timeout(Duration::from_secs(30)).unwrap(),
+                Response::Result(_)
+            ));
+        }
+        assert!(
+            !sched.degraded(),
+            "drained below lo watermark → degraded cleared"
         );
         sched.shutdown();
     }

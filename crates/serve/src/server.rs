@@ -41,7 +41,8 @@ pub struct ServeConfig {
     pub cache_budget_bytes: u64,
     /// Per-frame payload ceiling.
     pub max_frame_bytes: u64,
-    /// Default queue-wait deadline for requests that set no `timeout_ms`.
+    /// Default end-to-end deadline (queue wait + execution) for requests
+    /// that set no `timeout_ms`.
     pub default_timeout_ms: u64,
     /// Fault-injection plan for chaos testing ([`FaultPlan::none`] in
     /// production — one relaxed atomic load per job/frame when empty).
@@ -264,9 +265,14 @@ fn handle_request(shared: &Arc<ServerShared>, request: Request) -> Response {
     match request {
         Request::Ping => Response::Pong,
         Request::Stats => Response::Stats(shared.stats.snapshot(
-            shared.scheduler.queue_depth(),
-            shared.scheduler.in_flight(),
+            crate::stats::Gauges {
+                queue_depth: shared.scheduler.queue_depth(),
+                in_flight: shared.scheduler.in_flight(),
+                queue_depth_high_water: shared.scheduler.queue_depth_high_water(),
+                degraded: shared.scheduler.degraded(),
+            },
             shared.cache.stats(),
+            shared.faults.injected(),
         )),
         Request::Shutdown => {
             shared.drain_requested.store(true, Ordering::SeqCst);
@@ -352,30 +358,63 @@ fn submit_and_wait(
         Duration::from_millis(ms.max(1))
     });
     let now = Instant::now();
+    let deadline = now + timeout;
     let (reply_tx, reply_rx) = mpsc::channel();
     let job = Job {
         tenant: tenant.clone(),
         kind,
         enqueued: now,
-        deadline: now + timeout,
+        deadline,
+        // The end-to-end deadline, as a token: the scheduler hands it to
+        // the worker, which threads it through the engine — a job still
+        // executing at the deadline is cooperatively cancelled.
+        cancel: flexagon_core::CancelToken::with_deadline(deadline),
+        est_cycles: None,
         reply: reply_tx,
     };
     if let Err((_, code)) = shared.scheduler.submit(job) {
-        let detail = match code {
-            ErrorCode::QueueFull => "job queue is full — retry with backoff".to_owned(),
-            _ => "daemon is draining".to_owned(),
+        let (outcome, detail) = match code {
+            ErrorCode::QueueFull => (
+                crate::stats::Outcome::Rejected,
+                "job queue is full — retry with backoff".to_owned(),
+            ),
+            ErrorCode::Overloaded => (
+                crate::stats::Outcome::Shed,
+                "admission control: estimated cost exceeds the deadline at current load — \
+                 retry with backoff or a longer timeout_ms"
+                    .to_owned(),
+            ),
+            _ => (
+                crate::stats::Outcome::Rejected,
+                "daemon is draining".to_owned(),
+            ),
         };
-        shared
-            .stats
-            .record(&tenant, crate::stats::Outcome::Rejected, 0, 0);
+        shared.stats.record(&tenant, outcome, 0, 0);
         return Response::Error { code, detail };
     }
     // The worker always answers: result, engine error, timeout, or drain
-    // rejection. A missing answer means the worker died — report that
-    // rather than hanging the connection forever.
-    match reply_rx.recv() {
+    // rejection — normally within the deadline (cancellation fires at the
+    // next engine boundary). The response window is a backstop well past
+    // 2× the deadline: if even cancellation could not reclaim the worker,
+    // answer typed instead of hanging the connection forever.
+    let response_window = timeout
+        .saturating_mul(2)
+        .saturating_add(Duration::from_secs(5));
+    match reply_rx.recv_timeout(response_window) {
         Ok(resp) => resp,
-        Err(_) => Response::Error {
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            shared
+                .stats
+                .record(&tenant, crate::stats::Outcome::TimedOut, 0, 0);
+            Response::Error {
+                code: ErrorCode::Timeout,
+                detail: format!(
+                    "no worker response within the {} ms response window",
+                    response_window.as_millis()
+                ),
+            }
+        }
+        Err(mpsc::RecvTimeoutError::Disconnected) => Response::Error {
             code: ErrorCode::Internal,
             detail: "worker disappeared before answering".to_owned(),
         },

@@ -7,6 +7,7 @@
 //! The registry is lock-per-snapshot; recording is a few integer writes
 //! under a mutex, far below the cost of the jobs being measured.
 
+use crate::fault::InjectionCounts;
 use crate::lock::lock_recover;
 use serde::Value;
 use std::collections::BTreeMap;
@@ -23,10 +24,28 @@ pub enum Outcome {
     Completed,
     /// Rejected because its deadline passed while queued.
     TimedOut,
-    /// Rejected by queue backpressure.
+    /// Cancelled mid-execution (or mid-wedge) by its deadline — the job
+    /// held a worker before the token reclaimed it.
+    Cancelled,
+    /// Rejected by queue backpressure or drain.
     Rejected,
+    /// Shed by admission control: its deadline was priced infeasible.
+    Shed,
     /// The engine refused the job (bad operands and the like).
     Failed,
+}
+
+/// Scheduler gauges sampled by the caller at snapshot time.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Gauges {
+    /// Jobs currently queued.
+    pub queue_depth: usize,
+    /// Jobs currently executing.
+    pub in_flight: usize,
+    /// Deepest the queue has ever been.
+    pub queue_depth_high_water: usize,
+    /// Whether the scheduler is in degraded (overload) mode.
+    pub degraded: bool,
 }
 
 /// Bounded ring of latency samples with nearest-rank percentiles.
@@ -69,7 +88,9 @@ impl LatencyWindow {
 struct TenantStats {
     completed: u64,
     timed_out: u64,
+    cancelled: u64,
     rejected: u64,
+    shed: u64,
     failed: u64,
     worker_panics: u64,
     queue_us_total: u64,
@@ -82,7 +103,9 @@ impl TenantStats {
         Self {
             completed: 0,
             timed_out: 0,
+            cancelled: 0,
             rejected: 0,
+            shed: 0,
             failed: 0,
             worker_panics: 0,
             queue_us_total: 0,
@@ -126,7 +149,9 @@ impl StatsRegistry {
                 t.latency.push(queue_us + exec_us);
             }
             Outcome::TimedOut => t.timed_out += 1,
+            Outcome::Cancelled => t.cancelled += 1,
             Outcome::Rejected => t.rejected += 1,
+            Outcome::Shed => t.shed += 1,
             Outcome::Failed => t.failed += 1,
         }
     }
@@ -147,28 +172,35 @@ impl StatsRegistry {
             .worker_panics += 1;
     }
 
-    /// Builds the `stats` response payload. `queue_depth`/`in_flight` are
-    /// sampled by the caller from the scheduler; `cache` is the operand
-    /// cache's counters.
+    /// Builds the `stats` response payload. `gauges` is sampled by the
+    /// caller from the scheduler, `cache` is the operand cache's counters,
+    /// `faults` is the fault plan's injection tally (all zero in
+    /// production).
     pub fn snapshot(
         &self,
-        queue_depth: usize,
-        in_flight: usize,
+        gauges: Gauges,
         cache: crate::cache::CacheStats,
+        faults: InjectionCounts,
     ) -> Value {
         let uptime = self.started.elapsed();
         let uptime_s = uptime.as_secs_f64().max(1e-9);
         let tenants = lock_recover(&self.tenants);
         let mut tenant_entries: Vec<(String, Value)> = Vec::new();
         let mut total_completed = 0u64;
+        let mut total_cancelled = 0u64;
+        let mut total_shed = 0u64;
         let mut total_panics = 0u64;
         for (name, t) in tenants.iter() {
             total_completed += t.completed;
+            total_cancelled += t.cancelled;
+            total_shed += t.shed;
             total_panics += t.worker_panics;
             let mut m: Vec<(String, Value)> = vec![
                 ("completed".into(), Value::UInt(t.completed)),
                 ("timed_out".into(), Value::UInt(t.timed_out)),
+                ("cancelled".into(), Value::UInt(t.cancelled)),
                 ("rejected".into(), Value::UInt(t.rejected)),
+                ("shed".into(), Value::UInt(t.shed)),
                 ("failed".into(), Value::UInt(t.failed)),
                 (
                     "throughput_rps".into(),
@@ -198,13 +230,32 @@ impl StatsRegistry {
         };
         Value::Map(vec![
             ("uptime_ms".into(), Value::UInt(uptime.as_millis() as u64)),
-            ("queue_depth".into(), Value::UInt(queue_depth as u64)),
-            ("in_flight".into(), Value::UInt(in_flight as u64)),
+            ("queue_depth".into(), Value::UInt(gauges.queue_depth as u64)),
+            ("in_flight".into(), Value::UInt(gauges.in_flight as u64)),
+            (
+                "queue_depth_high_water".into(),
+                Value::UInt(gauges.queue_depth_high_water as u64),
+            ),
+            ("degraded".into(), Value::Bool(gauges.degraded)),
             ("completed".into(), Value::UInt(total_completed)),
+            ("cancelled".into(), Value::UInt(total_cancelled)),
+            ("shed".into(), Value::UInt(total_shed)),
             ("worker_panics".into(), Value::UInt(total_panics)),
             (
                 "bad_frames".into(),
                 Value::UInt(*lock_recover(&self.bad_frames)),
+            ),
+            (
+                "faults".into(),
+                Value::Map(vec![
+                    ("panics".into(), Value::UInt(faults.panics)),
+                    ("slow_jobs".into(), Value::UInt(faults.slow_jobs)),
+                    (
+                        "corrupted_frames".into(),
+                        Value::UInt(faults.corrupted_frames),
+                    ),
+                    ("stuck_jobs".into(), Value::UInt(faults.stuck_jobs)),
+                ]),
             ),
             (
                 "cache".into(),
@@ -261,7 +312,11 @@ mod tests {
         reg.record("victim", Outcome::Failed, 5, 5);
         reg.record_worker_panic("victim");
         reg.record("healthy", Outcome::Completed, 5, 5);
-        let snap = reg.snapshot(0, 0, crate::cache::CacheStats::default());
+        let snap = reg.snapshot(
+            Gauges::default(),
+            crate::cache::CacheStats::default(),
+            InjectionCounts::default(),
+        );
         let m = snap.as_map().unwrap();
         assert_eq!(
             serde::map_get(m, "worker_panics").unwrap().as_u64(),
@@ -284,6 +339,36 @@ mod tests {
     }
 
     #[test]
+    fn cancelled_shed_and_fault_counts_surface() {
+        let reg = StatsRegistry::new();
+        reg.record("a", Outcome::Cancelled, 10, 100);
+        reg.record("a", Outcome::Shed, 0, 0);
+        reg.record("b", Outcome::Cancelled, 10, 100);
+        let snap = reg.snapshot(
+            Gauges::default(),
+            crate::cache::CacheStats::default(),
+            InjectionCounts {
+                panics: 1,
+                slow_jobs: 2,
+                corrupted_frames: 3,
+                stuck_jobs: 4,
+            },
+        );
+        let m = snap.as_map().unwrap();
+        assert_eq!(serde::map_get(m, "cancelled").unwrap().as_u64(), Some(2));
+        assert_eq!(serde::map_get(m, "shed").unwrap().as_u64(), Some(1));
+        let faults = serde::map_get(m, "faults").unwrap().as_map().unwrap();
+        assert_eq!(
+            serde::map_get(faults, "stuck_jobs").unwrap().as_u64(),
+            Some(4)
+        );
+        let tenants = serde::map_get(m, "tenants").unwrap().as_map().unwrap();
+        let a = serde::map_get(tenants, "a").unwrap().as_map().unwrap();
+        assert_eq!(serde::map_get(a, "cancelled").unwrap().as_u64(), Some(1));
+        assert_eq!(serde::map_get(a, "shed").unwrap().as_u64(), Some(1));
+    }
+
+    #[test]
     fn registry_survives_a_poisoned_lock() {
         let reg = std::sync::Arc::new(StatsRegistry::new());
         let poisoner = std::sync::Arc::clone(&reg);
@@ -294,7 +379,11 @@ mod tests {
         .join();
         assert!(reg.tenants.is_poisoned());
         reg.record("t", Outcome::Completed, 1, 1);
-        let snap = reg.snapshot(0, 0, crate::cache::CacheStats::default());
+        let snap = reg.snapshot(
+            Gauges::default(),
+            crate::cache::CacheStats::default(),
+            InjectionCounts::default(),
+        );
         let m = snap.as_map().unwrap();
         assert_eq!(serde::map_get(m, "completed").unwrap().as_u64(), Some(1));
     }
@@ -306,9 +395,25 @@ mod tests {
         reg.record("alice", Outcome::Completed, 20, 80);
         reg.record("bob", Outcome::TimedOut, 0, 0);
         reg.record_bad_frame();
-        let snap = reg.snapshot(3, 1, crate::cache::CacheStats::default());
+        let snap = reg.snapshot(
+            Gauges {
+                queue_depth: 3,
+                in_flight: 1,
+                queue_depth_high_water: 5,
+                degraded: true,
+            },
+            crate::cache::CacheStats::default(),
+            InjectionCounts::default(),
+        );
         let m = snap.as_map().unwrap();
         assert_eq!(serde::map_get(m, "queue_depth").unwrap().as_u64(), Some(3));
+        assert_eq!(
+            serde::map_get(m, "queue_depth_high_water")
+                .unwrap()
+                .as_u64(),
+            Some(5)
+        );
+        assert_eq!(serde::map_get(m, "degraded").unwrap().as_bool(), Some(true));
         assert_eq!(serde::map_get(m, "bad_frames").unwrap().as_u64(), Some(1));
         let tenants = serde::map_get(m, "tenants").unwrap().as_map().unwrap();
         let alice = serde::map_get(tenants, "alice").unwrap().as_map().unwrap();

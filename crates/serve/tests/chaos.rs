@@ -10,6 +10,10 @@
 //! * every healthy reply is byte-identical (digest and dataflow) to a
 //!   direct `engine::execute` of the same operands;
 //! * the stats endpoint accounts for every fault;
+//! * a wedged worker (a `stuck` job that never finishes on its own) is
+//!   reclaimed by its job's end-to-end deadline: the victim gets a typed
+//!   `timeout` within twice the deadline and other tenants' requests
+//!   queued behind the wedge still succeed;
 //! * the drain completes cleanly afterwards.
 
 use flexagon_core::{Accelerator, Flexagon, MappingStrategy};
@@ -148,5 +152,126 @@ fn daemon_survives_injected_panics_corruption_and_latency() {
 
     // Clean drain: blocks until in-flight work finishes, then the pool and
     // accept thread are gone.
+    server.shutdown();
+}
+
+/// An armed `stuck` fault wedges the only worker mid-"execution"; the
+/// job's end-to-end deadline reclaims it. The victim receives a typed
+/// `timeout` within twice its deadline, the healthy tenant's requests
+/// queued behind the wedge still succeed byte-identically, and both the
+/// cancellation and the injection surface in stats.
+#[test]
+fn stuck_job_times_out_and_other_tenants_keep_succeeding() {
+    const DEADLINE_MS: u64 = 200;
+    let faults = Arc::new(FaultPlan::new(
+        // Jobs are counted globally in submission order; with one worker
+        // and the sequencing below, job #3 (the victim's) is the wedge.
+        FaultSpec::parse("stuck=3").expect("fault spec parses"),
+    ));
+    let server = Server::start(ServeConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 1,
+        faults: Arc::clone(&faults),
+        ..ServeConfig::default()
+    })
+    .expect("start server");
+    let addr = server.local_addr().to_owned();
+
+    let a_op = random_matrix(11, 24, 28, 0.3);
+    let b_op = random_matrix(12, 28, 20, 0.3);
+    let strategy = MappingStrategy::Heuristic;
+    let expected = {
+        let ex = Flexagon::with_defaults()
+            .execute(flexagon_core::ExecutionRequest::new(&a_op, &b_op).strategy(strategy))
+            .expect("direct run");
+        digest_hex(matrix_digest(&ex.output.c))
+    };
+    let request_for = |tenant: &str, timeout_ms: Option<u64>| {
+        Request::spgemm(SpGemmRequest {
+            tenant: tenant.to_owned(),
+            strategy,
+            a: Some(a_op.clone()),
+            b: Some(b_op.clone()),
+            want_output: false,
+            timeout_ms,
+            ..SpGemmRequest::default()
+        })
+    };
+
+    // Jobs #1 and #2: the healthy tenant, synchronously, so the victim's
+    // request is deterministically job #3.
+    let mut healthy = Client::connect(&addr).expect("connect healthy");
+    for _ in 0..2 {
+        match healthy
+            .request(&request_for("steady", None))
+            .expect("healthy request")
+        {
+            Response::Result(r) => assert_eq!(r.c_digest, expected),
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    // Job #3: the victim, on its own connection and thread, with a short
+    // end-to-end deadline. The injected wedge never finishes on its own —
+    // only deadline cancellation can reclaim the worker.
+    let victim = {
+        let addr = addr.clone();
+        let req = request_for("victim", Some(DEADLINE_MS));
+        std::thread::spawn(move || {
+            let mut client = Client::connect(&addr).expect("connect victim");
+            let t0 = std::time::Instant::now();
+            let resp = client.request(&req).expect("victim connection survives");
+            (resp, t0.elapsed())
+        })
+    };
+    // Let the victim's job reach the queue first (submission order decides
+    // which job the fault counter wedges).
+    std::thread::sleep(std::time::Duration::from_millis(50));
+
+    // Jobs #4 and #5: queued behind the wedged worker; they must still
+    // succeed once cancellation reclaims it.
+    for _ in 0..2 {
+        match healthy
+            .request(&request_for("steady", None))
+            .expect("healthy request survives the wedge")
+        {
+            Response::Result(r) => assert_eq!(r.c_digest, expected),
+            other => panic!("unexpected reply {other:?}"),
+        }
+    }
+
+    let (resp, elapsed) = victim.join().expect("victim thread");
+    match resp {
+        Response::Error {
+            code: ErrorCode::Timeout,
+            detail,
+        } => assert!(
+            detail.contains("wedged"),
+            "unexpected timeout detail: {detail}"
+        ),
+        other => panic!("expected a typed timeout, got {other:?}"),
+    }
+    assert!(
+        elapsed < std::time::Duration::from_millis(2 * DEADLINE_MS),
+        "wedged worker reclaimed late: {elapsed:?} against a {DEADLINE_MS} ms deadline"
+    );
+
+    let injected = faults.injected();
+    assert_eq!(injected.stuck_jobs, 1, "exactly the victim's job wedged");
+
+    // Stats: the cancellation and the injection both surface.
+    let resp = healthy.request(&Request::Stats).expect("stats");
+    let Response::Stats(v) = resp else {
+        panic!("expected stats, got {resp:?}");
+    };
+    let m = v.as_map().expect("stats is a map");
+    assert_eq!(serde::map_get(m, "cancelled").unwrap().as_u64(), Some(1));
+    let fm = serde::map_get(m, "faults")
+        .unwrap()
+        .as_map()
+        .expect("faults map");
+    assert_eq!(serde::map_get(fm, "stuck_jobs").unwrap().as_u64(), Some(1));
+    drop(healthy);
+
     server.shutdown();
 }

@@ -114,8 +114,13 @@ proptest! {
         assert_byte_stable(&resp);
         assert_byte_stable(&Response::Pong);
         assert_byte_stable(&Response::Ok);
+        // Cycle through the shedding/deadline codes so the overload
+        // surface (`overloaded`, `timeout`, `queue_full`) round-trips
+        // under fuzzed details too.
+        let code = [ErrorCode::QueueFull, ErrorCode::Overloaded, ErrorCode::Timeout]
+            [(seed % 3) as usize];
         assert_byte_stable(&Response::Error {
-            code: ErrorCode::QueueFull,
+            code,
             detail: format!("queue at {seed}"),
         });
     }
@@ -172,6 +177,34 @@ proptest! {
             FrameEvent::TooLarge(l) if l == len
         ));
     }
+}
+
+/// Every error-code wire token round-trips through `as_str` /
+/// `from_str_token`, and an `error` response carrying it is byte-stable —
+/// in particular the overload/deadline codes a retrying client branches on.
+#[test]
+fn every_error_code_token_roundtrips() {
+    let all = [
+        ErrorCode::BadRequest,
+        ErrorCode::UnknownMatrix,
+        ErrorCode::InvalidOperand,
+        ErrorCode::UnknownModel,
+        ErrorCode::QueueFull,
+        ErrorCode::Overloaded,
+        ErrorCode::Timeout,
+        ErrorCode::Draining,
+        ErrorCode::Engine,
+        ErrorCode::Internal,
+    ];
+    for code in all {
+        assert_eq!(ErrorCode::from_str_token(code.as_str()), Some(code));
+        assert_byte_stable(&Response::Error {
+            code,
+            detail: format!("detail for {code}"),
+        });
+    }
+    assert_eq!(ErrorCode::Overloaded.as_str(), "overloaded");
+    assert!(ErrorCode::from_str_token("frobnicated").is_none());
 }
 
 /// A stream carrying several frames back to back parses into exactly

@@ -11,15 +11,23 @@
 # cleanly on SIGTERM (exit 0) — a panicking worker pool must not cost the
 # lifecycle contract.
 #
+# A second leg then drives a small-queue daemon past capacity with short
+# end-to-end deadlines: overload must surface as *typed* shedding
+# (`queue_full` / `overloaded` / `timeout` replies on live connections,
+# never dropped ones), the outcome counters must reconcile exactly with
+# the number of requests issued, and SIGTERM must still drain to exit 0.
+#
 # Usage: scripts/chaos_load.sh [BIN_DIR] [STATS_JSON]
 #   BIN_DIR    directory holding flexagon_served + serve_client
 #              (default: target/release)
 #   STATS_JSON where to write the stats snapshot
-#              (default: target/chaos_stats.json)
+#              (default: target/chaos_stats.json; the overload leg writes
+#              a second snapshot next to it with an .overload.json suffix)
 set -euo pipefail
 
 BIN_DIR="${1:-target/release}"
 STATS_JSON="${2:-target/chaos_stats.json}"
+OVERLOAD_JSON="${STATS_JSON%.json}.overload.json"
 SOCK="${TMPDIR:-/tmp}/flexagon-chaos-$$.sock"
 ADDR="unix:${SOCK}"
 FAULTS="panic=50,slow=47:5,corrupt=53"
@@ -113,5 +121,112 @@ else
   echo "chaos_load: daemon exited with status $status after SIGTERM" >&2
   exit 1
 fi
-trap - EXIT
 rm -f "$SOCK"
+
+# ---------------------------------------------------------------------------
+# Overload leg: a fresh daemon with a tiny queue, one worker, and a 12 ms
+# injected service floor (slow=1:12 delays every job), driven past capacity.
+# Phase 1 saturates the queue with feasible 150 ms deadlines: completions,
+# queue_full rejections and deadline timeouts/cancellations all on live
+# connections. Phase 2 issues deadlines (6 ms) below the service floor —
+# the admission controller has learned the cost rate from phase 1's
+# completions, so these are shed with a typed `overloaded` at the door.
+# Every one of the 170 requests must be accounted for exactly once in the
+# outcome counters, and the daemon must still drain to exit 0.
+SOCK2="${TMPDIR:-/tmp}/flexagon-overload-$$.sock"
+ADDR2="unix:${SOCK2}"
+P1_CLIENTS=6; P1_REQUESTS=25
+P2_CLIENTS=2; P2_REQUESTS=10
+
+"$SERVED" --addr "$ADDR2" --workers 1 --queue 4 --faults "slow=1:12" &
+SERVED2_PID=$!
+cleanup2() {
+  kill -9 "$SERVED2_PID" 2>/dev/null || true
+  rm -f "$SOCK2"
+}
+trap cleanup2 EXIT
+
+for _ in $(seq 1 100); do
+  if "$CLIENT" --addr "$ADDR2" ping >/dev/null 2>&1; then
+    break
+  fi
+  if ! kill -0 "$SERVED2_PID" 2>/dev/null; then
+    echo "chaos_load: overload daemon died before accepting connections" >&2
+    exit 1
+  fi
+  sleep 0.1
+done
+
+# Phase 1: 6 serial clients against 1 worker + 4 queue slots. Must exit 0:
+# at least one completion, typed errors tolerated, no connection drops.
+"$CLIENT" --addr "$ADDR2" load \
+  --clients "$P1_CLIENTS" --requests "$P1_REQUESTS" --dim 48 --density 0.3 \
+  --tenant overload --seed 23 --timeout-ms 150 --retries 0 --tolerate-errors
+
+# Phase 2: deadlines below the service floor. Expect every reply to be a
+# typed `overloaded`; serve_client then exits nonzero only because zero
+# requests completed, so capture the output and assert the failure mode
+# is shedding, not dropped connections.
+P2_OUT="$("$CLIENT" --addr "$ADDR2" load \
+  --clients "$P2_CLIENTS" --requests "$P2_REQUESTS" --dim 48 --density 0.3 \
+  --tenant overload --seed 29 --timeout-ms 6 --retries 0 --tolerate-errors 2>&1 || true)"
+echo "$P2_OUT" | tail -n 3
+if echo "$P2_OUT" | grep -Eq "serve_client: (connect|request:)"; then
+  echo "chaos_load: overload phase dropped a connection:" >&2
+  echo "$P2_OUT" | grep -E "serve_client: (connect|request:)" >&2
+  exit 1
+fi
+if ! echo "$P2_OUT" | grep -q "tolerated: "; then
+  echo "chaos_load: expected typed shed/timeout replies in the overload phase" >&2
+  exit 1
+fi
+
+if ! "$CLIENT" --addr "$ADDR2" stats --json "$OVERLOAD_JSON" >/dev/null 2>&1; then
+  echo "chaos_load: overload stats snapshot failed" >&2
+  exit 1
+fi
+echo "chaos_load: overload stats written to $OVERLOAD_JSON"
+
+# Exact reconciliation: one outcome per issued request, no more, no less.
+# Top-level completed/cancelled/shed are daemon-wide aggregates;
+# timed_out/rejected/failed come from the single `overload` tenant entry
+# (first match wins, and this daemon serves one tenant).
+ocount() {
+  sed -n "s/^ *\"$1\": \([0-9][0-9]*\).*/\1/p" "$OVERLOAD_JSON" | head -n 1
+}
+O_COMPLETED="$(ocount completed)"
+O_CANCELLED="$(ocount cancelled)"
+O_SHED="$(ocount shed)"
+O_TIMED_OUT="$(ocount timed_out)"
+O_REJECTED="$(ocount rejected)"
+O_FAILED="$(ocount failed)"
+O_HIGH_WATER="$(ocount queue_depth_high_water)"
+ISSUED=$((P1_CLIENTS * P1_REQUESTS + P2_CLIENTS * P2_REQUESTS))
+ACCOUNTED=$((O_COMPLETED + O_CANCELLED + O_SHED + O_TIMED_OUT + O_REJECTED + O_FAILED))
+echo "chaos_load: overload outcomes: completed=$O_COMPLETED timed_out=$O_TIMED_OUT \
+cancelled=$O_CANCELLED rejected=$O_REJECTED shed=$O_SHED failed=$O_FAILED \
+high_water=$O_HIGH_WATER (issued=$ISSUED)"
+if [[ "$ACCOUNTED" -ne "$ISSUED" ]]; then
+  echo "chaos_load: outcome counters ($ACCOUNTED) do not reconcile with issued requests ($ISSUED)" >&2
+  exit 1
+fi
+if [[ "$((O_SHED + O_TIMED_OUT + O_CANCELLED + O_REJECTED))" -lt 1 ]]; then
+  echo "chaos_load: expected at least one typed shed/timeout under overload" >&2
+  exit 1
+fi
+if [[ "$O_FAILED" -ne 0 ]]; then
+  echo "chaos_load: unexpected failed jobs under overload (no panic fault armed)" >&2
+  exit 1
+fi
+
+# The overloaded daemon must still honor the lifecycle contract.
+kill -TERM "$SERVED2_PID"
+if wait "$SERVED2_PID"; then
+  echo "chaos_load: overload daemon drained cleanly on SIGTERM"
+else
+  status=$?
+  echo "chaos_load: overload daemon exited with status $status after SIGTERM" >&2
+  exit 1
+fi
+trap - EXIT
+rm -f "$SOCK2"
